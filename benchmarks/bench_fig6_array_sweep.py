@@ -1,0 +1,54 @@
+"""E2 — Fig. 6: IPS/W as a function of crossbar rows and columns.
+
+Paper shape: IPS/W rises with array size, peaks at 128–256 rows and 64–128
+columns, and falls beyond that because photonic losses (and hence the laser
+power) grow exponentially with the array dimensions.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import save_rows
+from repro.analysis.fig6_array_sweep import generate_fig6_array_sweep, peak_point
+from repro.core.report import format_table
+
+ROWS = (32, 64, 128, 256)
+COLUMNS = (32, 64, 128, 256)
+
+
+def test_fig6_ipsw_vs_array_dimensions(benchmark, resnet50, sweep_config, framework, results_dir):
+    rows = benchmark.pedantic(
+        lambda: generate_fig6_array_sweep(
+            network=resnet50,
+            base_config=sweep_config,
+            rows_values=ROWS,
+            columns_values=COLUMNS,
+            framework=framework,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    save_rows(rows, results_dir / "fig6_array_sweep.csv")
+    print()
+    print(format_table(
+        ["rows", "cols", "IPS", "IPS/W", "power (W)", "feasible"],
+        [
+            [int(r["rows"]), int(r["columns"]), f"{r['ips']:.0f}", f"{r['ips_per_watt']:.0f}",
+             f"{r['power_w']:.1f}", "yes" if r["feasible"] else "no"]
+            for r in rows
+        ],
+    ))
+    best = peak_point(rows)
+    print(f"peak IPS/W: {best['ips_per_watt']:.0f} at {int(best['rows'])}x{int(best['columns'])} "
+          "(paper: peak at 128-256 rows x 64-128 columns)")
+
+    by_size = {(int(r["rows"]), int(r["columns"])): r for r in rows}
+    # IPS always increases with array size (paper Section VI-A.2) ...
+    assert by_size[(256, 256)]["ips"] > by_size[(64, 64)]["ips"] > by_size[(32, 32)]["ips"]
+    # ... but IPS/W peaks at an intermediate point, in the paper's band.
+    assert 64 <= best["rows"] <= 256
+    assert 32 <= best["columns"] <= 256
+    # The peak is NOT at the largest array of the grid: losses catch up.
+    assert best["ips_per_watt"] > by_size[(256, 256)]["ips_per_watt"]
+    # Efficiency at the peak is well above the smallest array's.
+    assert best["ips_per_watt"] > 1.3 * by_size[(32, 32)]["ips_per_watt"]

@@ -1,0 +1,51 @@
+"""E3 — Fig. 7a: chip power vs batch size (32×32 default chip).
+
+Paper shape: total power rises with batch size and the DRAM component rises
+steeply between batch 32 and 64, because the batched input working set stops
+fitting the 26.3 MB input SRAM and must be re-fetched from DRAM on every
+array reprogramming.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import save_rows
+from repro.analysis.fig7_sram_batch import generate_fig7a_batch_power
+from repro.core.report import format_table
+
+BATCHES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def test_fig7a_power_vs_batch_size(benchmark, resnet50, sweep_config, framework, results_dir):
+    rows = benchmark.pedantic(
+        lambda: generate_fig7a_batch_power(
+            network=resnet50, base_config=sweep_config, batch_sizes=BATCHES, framework=framework
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    save_rows(rows, results_dir / "fig7a_batch_power.csv")
+    print()
+    print(format_table(
+        ["batch", "power (W)", "DRAM (W)", "SRAM (W)", "IPS", "IPS/W"],
+        [
+            [int(r["batch_size"]), f"{r['power_w']:.2f}", f"{r['dram_power_w']:.2f}",
+             f"{r['sram_power_w']:.2f}", f"{r['ips']:.0f}", f"{r['ips_per_watt']:.0f}"]
+            for r in rows
+        ],
+    ))
+
+    dram = {int(r["batch_size"]): r["dram_power_w"] for r in rows}
+    power = {int(r["batch_size"]): r["power_w"] for r in rows}
+    efficiency = {int(r["batch_size"]): r["ips_per_watt"] for r in rows}
+
+    # DRAM power grows monotonically with batch size ...
+    assert dram[256] > dram[64] > dram[32] > dram[8]
+    # ... and its growth accelerates once the input working set stops fitting
+    # the input SRAM (the knee between batch 32 and 64 in the paper).
+    assert dram[64] / dram[32] > dram[32] / dram[16]
+    assert dram[64] / dram[32] > 1.2
+    # Total power follows the same monotone trend.
+    assert power[256] > power[32] > power[1]
+    # Batch 32 is the IPS/W sweet spot the paper selects.
+    assert max(efficiency, key=efficiency.get) == 32

@@ -1,0 +1,63 @@
+"""E4 — Fig. 7b: IPS/W vs input-SRAM size for several batch sizes.
+
+Paper shape: for every batch size there is a critical input-SRAM size — the
+capacity that holds the batched input working set — beyond which adding SRAM
+does not improve IPS/W; the critical size grows with the batch size.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import save_rows
+from repro.analysis.fig7_sram_batch import critical_sram_size_mb, generate_fig7b_sram_ipsw
+from repro.core.report import format_table
+
+SRAM_SIZES_MB = (1.0, 2.0, 4.0, 8.0, 16.0, 26.3, 48.0, 64.0)
+BATCHES = (8, 16, 32, 64)
+
+
+def test_fig7b_ipsw_vs_input_sram(benchmark, resnet50, sweep_config, framework, results_dir):
+    rows = benchmark.pedantic(
+        lambda: generate_fig7b_sram_ipsw(
+            network=resnet50,
+            base_config=sweep_config,
+            input_sram_mb_values=SRAM_SIZES_MB,
+            batch_sizes=BATCHES,
+            framework=framework,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    save_rows(rows, results_dir / "fig7b_sram_ipsw.csv")
+    print()
+    print(format_table(
+        ["batch", "input SRAM (MB)", "IPS/W", "DRAM power (W)"],
+        [
+            [int(r["batch_size"]), f"{r['input_sram_mb']:.1f}", f"{r['ips_per_watt']:.0f}",
+             f"{r['dram_power_w']:.2f}"]
+            for r in rows
+        ],
+    ))
+
+    criticals = {batch: critical_sram_size_mb(rows, batch) for batch in BATCHES}
+    print(f"critical input-SRAM size per batch (MB): {criticals}")
+
+    # The critical SRAM size grows with the batch size.
+    assert criticals[8] <= criticals[16] <= criticals[32] <= criticals[64]
+    assert criticals[64] > criticals[8]
+
+    # Beyond the critical size, more SRAM gives (essentially) no IPS/W benefit.
+    for batch in BATCHES:
+        batch_rows = [r for r in rows if r["batch_size"] == float(batch)]
+        beyond = [r["ips_per_watt"] for r in batch_rows if r["input_sram_mb"] >= criticals[batch]]
+        assert max(beyond) / min(beyond) < 1.05
+
+    # Starving the input SRAM hurts the large-batch configuration the most.
+    def efficiency(batch, sram):
+        return next(
+            r["ips_per_watt"]
+            for r in rows
+            if r["batch_size"] == float(batch) and r["input_sram_mb"] == float(sram)
+        )
+
+    assert efficiency(64, 64.0) / efficiency(64, 1.0) > efficiency(8, 64.0) / efficiency(8, 1.0)

@@ -1,0 +1,51 @@
+"""E5 — Fig. 7c: IPS vs batch size for single- and dual-core chips.
+
+Paper shape: the dual core hides the PCM programming latency, so its IPS is
+high even at small batch sizes, while the single core needs a large batch to
+amortise programming; the two curves converge at large batches.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import save_rows
+from repro.analysis.fig7_sram_batch import generate_fig7c_dual_core_ips
+from repro.core.report import format_table
+
+BATCHES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def test_fig7c_dual_core_ips_vs_batch(benchmark, resnet50, sweep_config, framework, results_dir):
+    rows = benchmark.pedantic(
+        lambda: generate_fig7c_dual_core_ips(
+            network=resnet50, base_config=sweep_config, batch_sizes=BATCHES, framework=framework
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    save_rows(rows, results_dir / "fig7c_dualcore_ips.csv")
+    by_key = {(int(r["num_cores"]), int(r["batch_size"])): r for r in rows}
+    print()
+    print(format_table(
+        ["batch", "1-core IPS", "2-core IPS", "dual-core gain"],
+        [
+            [batch, f"{by_key[(1, batch)]['ips']:.0f}", f"{by_key[(2, batch)]['ips']:.0f}",
+             f"{by_key[(2, batch)]['ips'] / by_key[(1, batch)]['ips']:.2f}x"]
+            for batch in BATCHES
+        ],
+    ))
+
+    gains = {batch: by_key[(2, batch)]["ips"] / by_key[(1, batch)]["ips"] for batch in BATCHES}
+    # Dual core never hurts and helps most at small batch sizes.
+    assert all(gain >= 1.0 - 1e-9 for gain in gains.values())
+    assert gains[1] > gains[32] > gains[128] * 0.999
+    assert gains[1] > 1.3
+    assert gains[128] < 1.15
+    # Both curves increase with batch size (programming amortisation).
+    for cores in (1, 2):
+        ips_curve = [by_key[(cores, batch)]["ips"] for batch in BATCHES]
+        assert all(b >= a - 1e-9 for a, b in zip(ips_curve, ips_curve[1:]))
+    # IPS/W is essentially core-count independent (Section VI-A.1).
+    for batch in (8, 32, 128):
+        ratio = by_key[(2, batch)]["ips_per_watt"] / by_key[(1, batch)]["ips_per_watt"]
+        assert 0.85 < ratio < 1.15

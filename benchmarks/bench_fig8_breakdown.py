@@ -1,0 +1,47 @@
+"""E6 — Fig. 8: power and area breakdown of the optimised accelerator.
+
+Paper shape: at the 128×128 dual-core design point the chip power is
+dominated by DRAM accesses and the chip area is dominated by the SRAM blocks.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.fig8_breakdown import generate_fig8_breakdown
+from repro.core.report import format_breakdown
+
+
+def test_fig8_power_and_area_breakdown(benchmark, resnet50, optimal_config, framework, results_dir):
+    data = benchmark.pedantic(
+        lambda: generate_fig8_breakdown(
+            network=resnet50, config=optimal_config, framework=framework
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    (results_dir / "fig8_breakdown.json").write_text(json.dumps(data, indent=2, default=float))
+    print()
+    print(f"totals: {data['totals']}")
+    print("\nPower breakdown (W):")
+    print(format_breakdown(data["power_w"], "W"))
+    print("\nArea breakdown (mm^2):")
+    print(format_breakdown(data["area_mm2"], "mm^2"))
+
+    power = data["power_w"]
+    area = data["area_mm2"]
+    totals = data["totals"]
+
+    # DRAM is the largest power component and a sizeable fraction of the total.
+    assert max(power, key=power.get) == "dram"
+    assert power["dram"] > 0.3 * totals["power_w"]
+    # SRAM is the largest area component and dominates the chip.
+    assert max(area, key=area.get) == "sram"
+    assert area["sram"] > 0.5 * totals["area_mm2"]
+    # Total power / area in the paper's ballpark (30 W, 121 mm^2) within ~2x.
+    assert 10 < totals["power_w"] < 60
+    assert 60 < totals["area_mm2"] < 250
+    # Grouped views sum to the same totals.
+    assert abs(sum(data["power_grouped_w"].values()) - totals["power_w"]) < 1e-6
+    assert abs(sum(data["area_grouped_mm2"].values()) - totals["area_mm2"]) < 1e-6

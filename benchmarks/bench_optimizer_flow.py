@@ -1,0 +1,60 @@
+"""E10 — Section VI-B: the three-step optimization flow.
+
+Paper outcome: smallest sufficient batch = 32, input SRAM = 26.3 MB, array
+size = 128×128 (largest array among the IPS/W near-ties), dual core.  The
+benchmark runs the same flow with the reproduction's models and checks it
+lands on a large array with a moderate batch and an IPS/W at least as good as
+the paper's default 32×32 starting point.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.config import default_sweep_chip
+from repro.core.optimizer import DesignOptimizer
+from repro.core.report import format_table
+
+
+def test_optimization_flow(benchmark, resnet50, framework, results_dir):
+    optimizer = DesignOptimizer(resnet50, default_sweep_chip(), area_cap_mm2=160.0)
+
+    result = benchmark.pedantic(
+        lambda: optimizer.optimize(
+            batch_candidates=(1, 2, 4, 8, 16, 32, 64),
+            array_candidates=(32, 64, 128, 256),
+            sram_candidates_mb=(4.0, 8.0, 16.0, 26.3, 32.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    summary = result.summary()
+    (results_dir / "optimizer_flow.json").write_text(json.dumps(summary, indent=2))
+    print()
+    print("chosen design point:")
+    for key, value in summary.items():
+        print(f"  {key:<16s} {value}")
+    print("\ntop array candidates by IPS/W:")
+    print(format_table(
+        ["rows", "cols", "IPS", "IPS/W", "feasible"],
+        [
+            [int(r["rows"]), int(r["columns"]), f"{r['ips']:.0f}", f"{r['ips_per_watt']:.0f}",
+             "yes" if r["feasible"] else "no"]
+            for r in result.array_candidates[:8]
+        ],
+    ))
+    print("(paper's chosen point: 128x128, batch 32, 26.3 MB input SRAM, dual core)")
+
+    baseline = framework.evaluate(default_sweep_chip())
+
+    # The flow lands on a large array (the paper picks 128x128) ...
+    assert result.chosen_rows * result.chosen_columns >= 64 * 64
+    # ... with a moderate batch size (paper: 32) ...
+    assert 8 <= result.chosen_batch_size <= 64
+    # ... a feasible link budget and dual-core operation ...
+    assert result.metrics.feasible
+    assert result.config.is_dual_core
+    # ... within the area cap, and clearly better IPS/W than the 32x32 default.
+    assert result.metrics.area_mm2 <= 160.0
+    assert result.metrics.ips_per_watt > baseline.ips_per_watt

@@ -1,0 +1,69 @@
+"""Extension — roofline placement and IPS-vs-power Pareto frontier.
+
+Two analyses that complement the paper's evaluation:
+
+* the roofline view shows which ResNet-50 layers are DRAM-bandwidth-bound on
+  the optimised chip (the flip side of "power is dominated by DRAM");
+* the Pareto frontier over the Fig. 6 array-size grid shows the IPS vs power
+  trade-off that the single "best IPS/W" number hides.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import save_rows
+from repro.core.pareto import frontier_rows, pareto_frontier
+from repro.core.report import format_table
+from repro.core.sweep import sweep_array_sizes
+from repro.perf.roofline import RooflineModel
+
+
+def test_resnet50_roofline(benchmark, resnet50, optimal_config, framework, results_dir):
+    def run():
+        runtime = framework.runtime_specs(optimal_config)
+        roofline = RooflineModel(optimal_config)
+        return roofline.summary(runtime), [p.as_dict() for p in roofline.layer_points(runtime)]
+
+    summary, points = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_rows(points, results_dir / "roofline_layers.csv")
+    print()
+    for key, value in summary.items():
+        print(f"  {key:<34s} {value:,.3f}")
+
+    # The chip's peak MAC rate is far above what HBM bandwidth can feed for
+    # low-reuse layers, so a visible fraction of layers is memory-bound ...
+    assert summary["machine_balance_macs_per_bit"] > 1.0
+    assert 0.0 < summary["memory_bound_fraction"] < 1.0
+    # ... yet the network as a whole still achieves a sizeable fraction of peak.
+    assert summary["achieved_macs_per_second"] > 0.2 * summary["peak_macs_per_second"]
+
+
+def test_array_size_pareto_frontier(benchmark, resnet50, sweep_config, framework, results_dir):
+    def run():
+        sweep = sweep_array_sizes(
+            resnet50,
+            sweep_config,
+            rows_values=(32, 64, 128, 256),
+            columns_values=(32, 64, 128, 256),
+            framework=framework,
+        )
+        return sweep, pareto_frontier(sweep, objectives=("ips", "power_w"))
+
+    sweep, frontier = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = frontier_rows(frontier)
+    save_rows(rows, results_dir / "pareto_ips_power.csv")
+    print()
+    print(format_table(
+        ["rows", "cols", "IPS", "power (W)"],
+        [
+            [int(r["rows"]), int(r["columns"]), f"{r['ips']:.0f}", f"{r['power_w']:.1f}"]
+            for r in rows
+        ],
+    ))
+
+    # The frontier is a strict subset of the sweep and includes the highest-IPS point.
+    assert 2 <= len(frontier) < len(sweep)
+    best_ips = max(result.row()["ips"] for result in sweep if result.metrics.feasible)
+    assert any(abs(r["ips"] - best_ips) < 1e-6 for r in rows)
+    # Along the frontier, more IPS always costs more power.
+    ordered = sorted(rows, key=lambda r: r["ips"])
+    assert all(b["power_w"] >= a["power_w"] for a, b in zip(ordered, ordered[1:]))

@@ -1,0 +1,58 @@
+"""Performance benchmarks of the simulator itself (not a paper figure).
+
+These measure the wall-clock cost of the reproduction's two main code paths —
+the analytical dataflow simulator and the functional INT6 crossbar — so
+regressions in the modelling code show up in the benchmark history.  Unlike
+the figure benchmarks these use multiple rounds, since they are cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import optimal_chip
+from repro.crossbar import CrossbarArray
+from repro.nn import build_resnet50
+from repro.perf.metrics import evaluate_runtime
+from repro.scalesim.simulator import CrossbarDataflowSimulator
+
+
+def test_dataflow_simulation_speed(benchmark):
+    """Full ResNet-50 dataflow simulation + metrics on the optimal chip."""
+    network = build_resnet50()
+    config = optimal_chip()
+
+    def run():
+        runtime = CrossbarDataflowSimulator(config).simulate(network)
+        return evaluate_runtime(runtime).inferences_per_second
+
+    ips = benchmark(run)
+    assert ips > 10_000
+
+
+def test_network_construction_speed(benchmark):
+    """Building the ResNet-50 shape graph (175+ layers) and its totals."""
+    total_macs = benchmark(lambda: build_resnet50().total_macs)
+    assert 3.9e9 < total_macs < 4.3e9
+
+
+def test_functional_matvec_speed(benchmark):
+    """One 128x128 optical matrix-vector product (quantised, no noise)."""
+    rng = np.random.default_rng(0)
+    array = CrossbarArray(128, 128)
+    array.program_weights(rng.uniform(0, 1, (128, 128)))
+    inputs = rng.uniform(0, 1, 128)
+
+    result = benchmark(lambda: array.matvec(inputs))
+    assert result.shape == (128,)
+
+
+def test_functional_batch_matmul_speed(benchmark):
+    """Streaming 64 input vectors through a 64x64 array."""
+    rng = np.random.default_rng(1)
+    array = CrossbarArray(64, 64)
+    array.program_weights(rng.uniform(0, 1, (64, 64)))
+    inputs = rng.uniform(0, 1, (64, 64))
+
+    result = benchmark(lambda: array.matmul(inputs))
+    assert result.shape == (64, 64)

@@ -1,0 +1,57 @@
+"""Extension — tornado sensitivity of the optimal design point's IPS/W.
+
+Not a figure of the paper, but a direct consequence of its Fig. 8 claim: if
+DRAM accesses dominate power, then IPS/W must be most sensitive to the DRAM
+energy-per-bit assumption, with the converter and photonic parameters far
+behind.  The benchmark quantifies that ordering (each device constant halved
+and doubled, one at a time).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import save_rows, sensitivity_rows
+from repro.core.report import format_table
+
+PARAMETERS = (
+    "dram_energy_per_bit_j",
+    "sram_energy_per_bit_j",
+    "adc_power_w",
+    "tia_power_w",
+    "odac_driver_energy_per_sample_j",
+    "serdes_energy_per_bit_j",
+    "mmi_crossing_loss_db",
+    "receiver_sensitivity_w",
+    "laser_wall_plug_efficiency",
+    "pcm_programming_energy_j",
+)
+
+
+def test_ipsw_sensitivity_tornado(benchmark, resnet50, optimal_config, framework, results_dir):
+    rows = benchmark.pedantic(
+        lambda: sensitivity_rows(
+            resnet50, optimal_config, metric="ips_per_watt", parameters=PARAMETERS,
+            framework=framework,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    save_rows(rows, results_dir / "sensitivity_tornado.csv")
+    print()
+    print(format_table(
+        ["parameter", "IPS/W @ 0.5x", "IPS/W @ 2x", "relative swing"],
+        [
+            [r["parameter"], f"{r['metric_at_low']:.0f}", f"{r['metric_at_high']:.0f}",
+             f"{r['relative_swing'] * 100:.1f} %"]
+            for r in rows
+        ],
+    ))
+
+    order = [r["parameter"] for r in rows]
+    swings = {r["parameter"]: r["relative_swing"] for r in rows}
+    # DRAM energy is the single most influential constant (Fig. 8 corollary).
+    assert order[0] == "dram_energy_per_bit_j"
+    assert swings["dram_energy_per_bit_j"] > 0.3
+    # Photonic loss / laser constants barely matter at the 128x128 point.
+    assert swings["mmi_crossing_loss_db"] < 0.1
+    assert swings["pcm_programming_energy_j"] < swings["dram_energy_per_bit_j"]

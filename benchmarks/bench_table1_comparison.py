@@ -1,0 +1,46 @@
+"""E7 — Table I: this work (128×128, dual core, batch 32) vs the NVIDIA A100.
+
+Paper values:  this work 36,382 IPS / 1,196 IPS/W / 30 W / 121 mm²;
+               A100 29,733 IPS / 75 IPS/W / 396 W / 826 mm²
+               (15.4× lower power, 7.24× lower area at comparable IPS).
+
+The benchmark regenerates the table with the reproduction's models and checks
+the headline shape: comparable IPS, an order of magnitude better power and
+energy efficiency, several times smaller area.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import save_rows
+from repro.analysis.table1 import generate_table1
+from repro.core.report import format_table
+
+
+def test_table1_this_work_vs_a100(benchmark, resnet50, optimal_config, framework, results_dir):
+    table = benchmark.pedantic(
+        lambda: generate_table1(network=resnet50, config=optimal_config, framework=framework),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = table["rows"]
+    save_rows(rows, results_dir / "table1_comparison.csv")
+    print()
+    print(format_table(
+        ["System", "IPS", "IPS/W", "Power (W)", "Area (mm^2)"],
+        [
+            [r["system"], f"{r['ips']:.0f}", f"{r['ips_per_watt']:.0f}",
+             f"{r['power_w']:.1f}", f"{r['area_mm2']:.1f}"]
+            for r in rows
+        ],
+    ))
+    print(f"paper reference: {table['paper']}")
+    print(f"measured ratios: {table['ratios']}")
+
+    this_work, gpu = rows
+    ratios = table["ratios"]
+    # Shape checks: comparable IPS, >10x power and efficiency advantage, >3x area advantage.
+    assert 0.5 < ratios["ips_ratio"] < 2.0
+    assert ratios["power_advantage"] > 10.0
+    assert ratios["area_advantage"] > 3.0
+    assert this_work["ips_per_watt"] > 10 * gpu["ips_per_watt"]

@@ -1,0 +1,57 @@
+"""E9 — Section VI-A.2: array-size trend.
+
+Paper statements: IPS increases approximately linearly with the array size
+(N × M); peripheral power grows less than linearly, but photonic losses grow
+exponentially, so the required laser power eventually explodes and IPS/W
+peaks at intermediate array sizes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import save_rows
+from repro.analysis.trends import array_size_trend
+from repro.core.report import format_table
+
+SIZES = (16, 32, 64, 128, 256, 512)
+
+
+def test_array_size_trend(benchmark, resnet50, sweep_config, framework, results_dir):
+    rows = benchmark.pedantic(
+        lambda: array_size_trend(
+            network=resnet50, base_config=sweep_config, sizes=SIZES, framework=framework
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    save_rows(rows, results_dir / "trend_array_size.csv")
+    print()
+    print(format_table(
+        ["size", "cells", "IPS", "IPS/W", "power (W)", "laser (W)", "feasible"],
+        [
+            [int(r["size"]), int(r["array_cells"]), f"{r['ips']:.0f}", f"{r['ips_per_watt']:.0f}",
+             f"{r['power_w']:.1f}", f"{r['laser_electrical_w']:.3f}",
+             "yes" if r["feasible"] else "no"]
+            for r in rows
+        ],
+    ))
+
+    by_size = {int(r["size"]): r for r in rows}
+
+    # IPS increases monotonically with array size, roughly tracking the cell count.
+    ips = [by_size[s]["ips"] for s in SIZES]
+    assert ips == sorted(ips)
+    assert by_size[128]["ips"] / by_size[16]["ips"] > 10.0
+
+    # Laser power grows super-linearly in the number of cells.
+    laser_ratio = by_size[256]["laser_electrical_w"] / by_size[32]["laser_electrical_w"]
+    cells_ratio = by_size[256]["array_cells"] / by_size[32]["array_cells"]
+    assert laser_ratio > cells_ratio
+
+    # IPS/W peaks at an intermediate size (not the smallest, not the largest feasible).
+    efficiency = {s: by_size[s]["ips_per_watt"] for s in SIZES}
+    peak = max(efficiency, key=efficiency.get)
+    assert 64 <= peak <= 256
+
+    # 512x512 cannot close the optical link budget with the 45 nm loss numbers.
+    assert not by_size[512]["feasible"]

@@ -1,0 +1,35 @@
+"""E8 — Section VI-A.1: dual vs single core trend.
+
+Paper statement: "Dual core design increases the IPS, but power consumption
+is also consistently higher since computing and programming happen
+simultaneously.  As a result, IPS/W is the same regardless of the core
+count."
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.trends import dual_vs_single_core_trend
+
+
+def test_dual_vs_single_core_trend(benchmark, resnet50, sweep_config, framework, results_dir):
+    trend = benchmark.pedantic(
+        lambda: dual_vs_single_core_trend(
+            network=resnet50, config=sweep_config, framework=framework
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    (results_dir / "trend_dual_vs_single.json").write_text(json.dumps(trend, indent=2))
+    print()
+    for key, value in trend.items():
+        print(f"  {key:<28s} {value:,.2f}")
+
+    # IPS goes up with the second core ...
+    assert trend["ips_gain"] > 1.0
+    # ... and so does power ...
+    assert trend["power_increase"] > 1.0
+    # ... by a similar factor, leaving IPS/W essentially unchanged (within 10%).
+    assert 0.9 < trend["ips_per_watt_ratio"] < 1.1

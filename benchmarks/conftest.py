@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper, writes the
+series to ``benchmarks/results/`` (CSV/JSON), prints it, and asserts the
+qualitative shape the paper reports.  Heavy objects (the ResNet-50 workload
+and a memoising simulation framework) are shared across the whole benchmark
+session so each design point is only ever evaluated once.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.config import default_sweep_chip, optimal_chip
+from repro.core.simulation import SimulationFramework
+from repro.nn import build_resnet50
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def resnet50():
+    """The paper's benchmark workload."""
+    return build_resnet50()
+
+
+@pytest.fixture(scope="session")
+def framework(resnet50):
+    """A single memoising framework shared by every benchmark."""
+    return SimulationFramework(resnet50)
+
+
+@pytest.fixture(scope="session")
+def sweep_config():
+    """The Section VI-A default design point (32×32, dual core, batch 32)."""
+    return default_sweep_chip()
+
+
+@pytest.fixture(scope="session")
+def optimal_config():
+    """The Section VII optimised design point (128×128, dual core, batch 32)."""
+    return optimal_chip()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benchmark series are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """List the regenerated figure/table series at the end of a benchmark run."""
+    if not RESULTS_DIR.exists():
+        return
+    artefacts = sorted(RESULTS_DIR.glob("*"))
+    if not artefacts:
+        return
+    terminalreporter.write_sep("-", "regenerated paper figures/tables (benchmarks/results/)")
+    for path in artefacts:
+        terminalreporter.write_line(f"  {path.relative_to(RESULTS_DIR.parent.parent)}")
+    terminalreporter.write_line(
+        "  (paper-vs-measured discussion: EXPERIMENTS.md; per-experiment index: DESIGN.md)"
+    )

@@ -1,0 +1,132 @@
+"""Design-space exploration: reproduce the Section VI trend studies.
+
+Sweeps the crossbar dimensions, batch size and input-SRAM size around the
+paper's default 32×32 configuration, prints the trends behind Figs. 6 and 7,
+and then runs the Section VI-B optimization flow to find the best design
+point for ResNet-50.
+
+Usage::
+
+    python examples/design_space_exploration.py [--fast]
+
+``--fast`` uses ResNet-18 and smaller grids so the script finishes in a few
+seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import DesignOptimizer, build_resnet18, build_resnet50, default_sweep_chip
+from repro.analysis import (
+    generate_fig6_array_sweep,
+    generate_fig7a_batch_power,
+    generate_fig7b_sram_ipsw,
+    generate_fig7c_dual_core_ips,
+)
+from repro.analysis.fig6_array_sweep import peak_point
+from repro.core.report import format_table
+from repro.core.simulation import SimulationFramework
+
+
+def print_fig6(network, framework, sizes) -> None:
+    print("\n--- Fig. 6: IPS/W vs crossbar rows x columns " + "-" * 25)
+    rows = generate_fig6_array_sweep(
+        network=network,
+        base_config=default_sweep_chip(),
+        rows_values=sizes,
+        columns_values=sizes,
+        framework=framework,
+    )
+    table = [
+        [int(r["rows"]), int(r["columns"]), f"{r['ips']:.0f}", f"{r['ips_per_watt']:.0f}",
+         "yes" if r["feasible"] else "NO"]
+        for r in rows
+    ]
+    print(format_table(["rows", "cols", "IPS", "IPS/W", "feasible"], table))
+    best = peak_point(rows)
+    print(f"peak IPS/W at {int(best['rows'])}x{int(best['columns'])} "
+          f"({best['ips_per_watt']:.0f} IPS/W) — paper reports a peak at 128-256 rows, 64-128 cols")
+
+
+def print_fig7(network, framework, batches, sram_sizes) -> None:
+    print("\n--- Fig. 7a: power vs batch size (32x32 default chip) " + "-" * 16)
+    rows = generate_fig7a_batch_power(
+        network=network, base_config=default_sweep_chip(), batch_sizes=batches, framework=framework
+    )
+    table = [
+        [int(r["batch_size"]), f"{r['power_w']:.2f}", f"{r['dram_power_w']:.2f}",
+         f"{r['ips']:.0f}", f"{r['ips_per_watt']:.0f}"]
+        for r in rows
+    ]
+    print(format_table(["batch", "power (W)", "DRAM (W)", "IPS", "IPS/W"], table))
+
+    print("\n--- Fig. 7b: IPS/W vs input SRAM size " + "-" * 33)
+    rows = generate_fig7b_sram_ipsw(
+        network=network,
+        base_config=default_sweep_chip(),
+        input_sram_mb_values=sram_sizes,
+        batch_sizes=(8, 32),
+        framework=framework,
+    )
+    table = [
+        [int(r["batch_size"]), f"{r['input_sram_mb']:.1f}", f"{r['ips_per_watt']:.0f}",
+         f"{r['dram_power_w']:.2f}"]
+        for r in rows
+    ]
+    print(format_table(["batch", "input SRAM (MB)", "IPS/W", "DRAM (W)"], table))
+
+    print("\n--- Fig. 7c: IPS vs batch size, single vs dual core " + "-" * 19)
+    rows = generate_fig7c_dual_core_ips(
+        network=network, base_config=default_sweep_chip(), batch_sizes=batches, framework=framework
+    )
+    table = [
+        [int(r["num_cores"]), int(r["batch_size"]), f"{r['ips']:.0f}", f"{r['ips_per_watt']:.0f}"]
+        for r in rows
+    ]
+    print(format_table(["cores", "batch", "IPS", "IPS/W"], table))
+
+
+def run_optimizer(network) -> None:
+    print("\n--- Section VI-B optimization flow " + "-" * 36)
+    optimizer = DesignOptimizer(network, default_sweep_chip(), area_cap_mm2=160.0)
+    result = optimizer.optimize(
+        batch_candidates=(1, 4, 8, 16, 32, 64),
+        array_candidates=(32, 64, 128, 256),
+        sram_candidates_mb=(8.0, 16.0, 26.3, 32.0),
+    )
+    summary = result.summary()
+    print(f"chosen batch size   : {summary['batch_size']}")
+    print(f"chosen input SRAM   : {summary['input_sram_mb']} MB")
+    print(f"chosen array size   : {summary['rows']}x{summary['columns']}")
+    print(f"resulting IPS       : {summary['ips']:.0f}")
+    print(f"resulting IPS/W     : {summary['ips_per_watt']:.0f}")
+    print(f"resulting area      : {summary['area_mm2']:.1f} mm^2")
+    print("(paper's optimum: 128x128, batch 32, 26.3 MB input SRAM)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="smaller network and grids")
+    args = parser.parse_args()
+
+    if args.fast:
+        network = build_resnet18()
+        sizes = (32, 64, 128)
+        batches = (1, 8, 32, 64)
+        sram_sizes = (8.0, 26.3)
+    else:
+        network = build_resnet50()
+        sizes = (32, 64, 128, 256)
+        batches = (1, 4, 8, 16, 32, 64, 128)
+        sram_sizes = (2.0, 8.0, 16.0, 26.3, 48.0)
+
+    framework = SimulationFramework(network)
+    print(f"workload: {network.name} ({network.total_macs / 1e9:.2f} GMAC)")
+    print_fig6(network, framework, sizes)
+    print_fig7(network, framework, batches, sram_sizes)
+    run_optimizer(network)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Dual-core programming-latency hiding on real ResNet-50 layer tiles.
+
+The PCM array cannot compute while it is being reprogrammed, and a
+reprogramming pass (~100 ns) costs ~1000 MAC cycles.  This example extracts
+the real (programming, compute) tile sequence of ResNet-50 from the dataflow
+simulator, replays it through the event-driven dual-core scheduler, and shows
+how the speed-up from the second core shrinks as the batch size grows — the
+trade-off behind Fig. 7c of the paper.
+
+Usage::
+
+    python examples/dual_core_scheduling.py
+"""
+
+from __future__ import annotations
+
+from repro import build_resnet50, default_sweep_chip
+from repro.core.report import format_table
+from repro.crossbar import DualCoreCrossbar
+from repro.scalesim import CrossbarDataflowSimulator, network_tile_jobs
+
+
+def tile_jobs_for(config, network):
+    """One ProgrammingJob per (layer, tile) of the whole network."""
+    runtime = CrossbarDataflowSimulator(config).simulate(network)
+    return network_tile_jobs(runtime, config), runtime
+
+
+def main() -> None:
+    network = build_resnet50()
+    print("Dual-core programming-latency hiding on ResNet-50 (32x32 default chip)")
+    print("-" * 78)
+
+    rows = []
+    for batch in (1, 2, 4, 8, 16, 32, 64):
+        config = default_sweep_chip(batch_size=batch)
+        jobs, runtime = tile_jobs_for(config, network)
+        summary = DualCoreCrossbar.summarize(jobs)
+        rows.append(
+            [
+                batch,
+                len(jobs),
+                f"{summary['single_core_makespan_s'] * 1e3:.3f}",
+                f"{summary['dual_core_makespan_s'] * 1e3:.3f}",
+                f"{summary['speedup']:.2f}x",
+                f"{summary['dual_core_utilisation'] * 100:.0f} %",
+            ]
+        )
+    print(
+        format_table(
+            ["batch", "tiles", "1-core batch time (ms)", "2-core batch time (ms)", "speed-up", "compute util."],
+            rows,
+        )
+    )
+    print()
+    print("At small batch sizes the second core nearly doubles throughput by")
+    print("overlapping PCM programming with compute; at batch 32+ a single core")
+    print("is already compute-bound and the dual core's benefit shrinks — which")
+    print("is exactly why the paper pairs the dual-core scheme with batch 32.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Functional demo: run a CNN layer *optically* on the INT6 coherent crossbar.
+
+This example exercises the functional datapath rather than the performance
+model: a convolution layer with signed weights is lowered via im2col, mapped
+tile-by-tile onto the PCM crossbar (differential weight mapping, 6-bit ODAC
+inputs, 6-bit ADC outputs), and compared against the exact floating-point
+convolution — with and without analog impairments, before and after thermal
+phase calibration.
+
+Usage::
+
+    python examples/optical_convolution.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import OpticalCrossbarAccelerator, small_test_chip
+from repro.crossbar import CrossbarNoiseModel, PhaseCalibrator
+from repro.nn.im2col import conv2d_reference
+
+
+def relative_error(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.linalg.norm(a - b) / np.linalg.norm(b))
+
+
+def run_layer(noise_model, label: str, fmap, weights) -> None:
+    accelerator = OpticalCrossbarAccelerator(
+        small_test_chip(rows=16, columns=16), noise_model=noise_model, seed=7
+    )
+    optical = accelerator.conv2d(fmap, weights, stride=1, padding=1)
+    exact = conv2d_reference(fmap, weights, stride=1, padding=1)
+    error = relative_error(optical, exact)
+    correlation = np.corrcoef(optical.ravel(), exact.ravel())[0, 1]
+    print(f"{label:<38s} rel. error {error * 100:6.2f} %   correlation {correlation:.4f}")
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    # A small "image" and a bank of signed 3x3 filters.
+    feature_map = rng.uniform(0.0, 1.0, size=(12, 12, 3))
+    filters = rng.normal(0.0, 0.5, size=(3, 3, 3, 8))
+
+    print("Optical convolution on a 16x16 PCM crossbar (INT6 end to end)")
+    print("-" * 72)
+    run_layer(None, "ideal array (quantisation only)", feature_map, filters)
+    run_layer(CrossbarNoiseModel.typical(), "typical impairments", feature_map, filters)
+    run_layer(CrossbarNoiseModel.pessimistic(), "pessimistic impairments", feature_map, filters)
+
+    print()
+    print("Thermal phase-shifter calibration (Section III-A.2)")
+    print("-" * 72)
+    calibrator = PhaseCalibrator(16, 16, heater_resolution_bits=8)
+    for fabrication_std in (0.1, 0.3, 0.6):
+        report = calibrator.calibration_report(fabrication_std, seed=3)
+        residual_model = CrossbarNoiseModel(phase_error_std_rad=report["residual_phase_std_rad"])
+        uncalibrated_model = CrossbarNoiseModel(phase_error_std_rad=fabrication_std)
+        print(
+            f"fabrication phase error sigma = {fabrication_std:.2f} rad: "
+            f"coherence {uncalibrated_model.coherence_factor():.3f} -> "
+            f"{residual_model.coherence_factor():.4f} after calibration "
+            f"({report['heater_power_w'] * 1e3:.2f} mW of heater power)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""End-to-end optical inference: a LeNet-class CNN on the INT6 crossbar.
+
+Every convolution and dense layer of a small CNN is executed on the
+functional coherent PCM crossbar (differential INT6 weights, 6-bit ODAC
+inputs, 6-bit ADC outputs, tile-by-tile mapping), while pooling and
+activations run in the digital backend — i.e. the complete inference path of
+the proposed accelerator, just with synthetic weights and images.
+
+The script reports, over a small batch of random images, how closely the
+optical INT6 results track exact floating-point inference and how often the
+predicted class (arg-max) agrees — with an ideal array and with pessimistic
+analog impairments.
+
+Usage::
+
+    python examples/optical_lenet_inference.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import small_test_chip
+from repro.core.inference import FunctionalInferenceEngine, generate_random_weights
+from repro.crossbar import CrossbarNoiseModel
+from repro.nn import build_lenet5
+
+
+def evaluate(engine: FunctionalInferenceEngine, images) -> dict:
+    errors, correlations, matches = [], [], []
+    for image in images:
+        report = engine.agreement(image)
+        errors.append(report["relative_error"])
+        correlations.append(report["correlation"])
+        matches.append(report["top1_match"])
+    return {
+        "mean_relative_error": float(np.mean(errors)),
+        "mean_correlation": float(np.mean(correlations)),
+        "top1_agreement": float(np.mean(matches)),
+    }
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    network = build_lenet5(input_size=12)
+    weights = generate_random_weights(network, seed=1, scale=0.3)
+    chip = small_test_chip(rows=64, columns=64)
+    images = [rng.uniform(0, 1, (12, 12, 1)) for _ in range(8)]
+
+    print(f"network : {network.name} ({network.total_macs / 1e6:.2f} MMAC / inference)")
+    print(f"chip    : {chip.describe()}")
+    print(f"samples : {len(images)} random images, synthetic weights")
+    print("-" * 72)
+
+    for label, noise in (
+        ("ideal array (quantisation only)", None),
+        ("typical analog impairments", CrossbarNoiseModel.typical()),
+        ("pessimistic analog impairments", CrossbarNoiseModel.pessimistic()),
+    ):
+        engine = FunctionalInferenceEngine(network, weights, chip, noise_model=noise, seed=2)
+        stats = evaluate(engine, images)
+        print(
+            f"{label:<34s} rel. error {stats['mean_relative_error'] * 100:5.1f} %   "
+            f"corr {stats['mean_correlation']:.4f}   "
+            f"top-1 agreement {stats['top1_agreement'] * 100:.0f} %"
+        )
+
+    print()
+    print("With synthetic (random) weights the ten output logits are nearly tied, so")
+    print("top-1 agreement is a harsh metric; the output correlation of ~0.99 is the")
+    print("meaningful number and is the accuracy premise behind the paper's choice of")
+    print("6-bit precision for weights, activations and converters.")
+
+
+if __name__ == "__main__":
+    main()

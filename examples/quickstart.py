@@ -1,0 +1,47 @@
+"""Quickstart: evaluate ResNet-50 v1.5 on the paper's optimised design point.
+
+Runs the full two-step simulation framework (dataflow simulation + power/area
+models) on the 128×128 dual-core crossbar and prints the headline metrics,
+the component breakdowns and the Table I comparison against the NVIDIA A100.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    OpticalCrossbarAccelerator,
+    build_resnet50,
+    compare_to_gpu,
+    format_comparison_table,
+    format_metrics_report,
+    optimal_chip,
+)
+
+
+def main() -> None:
+    network = build_resnet50()
+    config = optimal_chip()
+    accelerator = OpticalCrossbarAccelerator(config)
+
+    print("=" * 72)
+    print("Optical PCM crossbar accelerator — quickstart")
+    print("=" * 72)
+    print(f"Workload : {network.name} "
+          f"({network.total_macs / 1e9:.2f} GMAC, {network.total_weights / 1e6:.1f} M parameters)")
+    print(f"Chip     : {config.describe()}")
+    print(f"Peak     : {accelerator.peak_tops():.1f} TOPS per core")
+    print()
+
+    metrics = accelerator.evaluate(network)
+    print(format_metrics_report(metrics))
+    print()
+
+    print("Table I — comparison against the NVIDIA A100 (ResNet-50, INT8, batch 128)")
+    print(format_comparison_table(compare_to_gpu(metrics)))
+
+
+if __name__ == "__main__":
+    main()

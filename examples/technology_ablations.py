@@ -1,0 +1,117 @@
+"""Technology ablations: what breaks the design if a device assumption changes?
+
+Four what-if studies around the paper's optimised 128×128 design point:
+
+1. co-packaged HBM (3.9 pJ/bit) vs PCIe-attached DRAM (15 pJ/bit) — the
+   paper's argument against [11];
+2. the MMI crossing loss as printed (1.8 dB/junction) vs the cited device
+   (0.018 dB) — why the printed number cannot be meant literally;
+3. arithmetic precision (4/6/8 bits) — converter energy vs accuracy headroom;
+4. alternative CNN workloads (ResNet-18/50, VGG-16, MobileNet-V1).
+
+Usage::
+
+    python examples/technology_ablations.py
+"""
+
+from __future__ import annotations
+
+from repro import build_mobilenet_v1, build_resnet18, build_resnet50, build_vgg16, optimal_chip
+from repro.config.technology import MMI_CROSSING_LOSS_DB_AS_PRINTED
+from repro.core.report import format_table
+from repro.core.simulation import SimulationFramework
+
+
+def dram_ablation(network) -> None:
+    print("\n--- HBM vs PCIe-attached DRAM " + "-" * 42)
+    framework = SimulationFramework(network)
+    rows = []
+    for kind in ("hbm", "pcie"):
+        metrics = framework.evaluate(optimal_chip(dram_kind=kind))
+        rows.append(
+            [
+                kind.upper(),
+                f"{metrics.inferences_per_second:.0f}",
+                f"{metrics.power_w:.1f}",
+                f"{metrics.ips_per_watt:.0f}",
+                f"{metrics.power_breakdown.component('dram'):.1f}",
+            ]
+        )
+    print(format_table(["DRAM", "IPS", "power (W)", "IPS/W", "DRAM power (W)"], rows))
+
+
+def crossing_loss_ablation(network) -> None:
+    print("\n--- MMI crossing loss sensitivity " + "-" * 38)
+    framework = SimulationFramework(network)
+    rows = []
+    for loss_db in (0.018, 0.05, 0.1, 0.2, MMI_CROSSING_LOSS_DB_AS_PRINTED):
+        config = optimal_chip()
+        config = config.with_updates(
+            technology=config.technology.with_updates(mmi_crossing_loss_db=loss_db)
+        )
+        metrics = framework.evaluate(config)
+        rows.append(
+            [
+                f"{loss_db:.3f}",
+                f"{metrics.laser.excess_loss_db:.1f}",
+                f"{metrics.laser.electrical_power_w:.2f}",
+                f"{metrics.ips_per_watt:.0f}",
+                "yes" if metrics.feasible else "NO — link budget cannot close",
+            ]
+        )
+    print(format_table(
+        ["dB/crossing", "excess loss (dB)", "laser power (W)", "IPS/W", "feasible"], rows
+    ))
+    print("(the value printed in the paper, 1.8 dB/junction, is shown last)")
+
+
+def precision_ablation(network) -> None:
+    print("\n--- Arithmetic precision " + "-" * 47)
+    framework = SimulationFramework(network)
+    rows = []
+    for bits in (4, 6, 8):
+        config = optimal_chip()
+        config = config.with_updates(
+            technology=config.technology.with_updates(
+                weight_bits=bits, activation_bits=bits, output_bits=bits
+            )
+        )
+        metrics = framework.evaluate(config)
+        rows.append(
+            [bits, f"{metrics.inferences_per_second:.0f}", f"{metrics.power_w:.1f}",
+             f"{metrics.ips_per_watt:.0f}"]
+        )
+    print(format_table(["bits", "IPS", "power (W)", "IPS/W"], rows))
+    print("(the paper assumes INT6 end to end; SerDes/SRAM/DRAM traffic scale with word width)")
+
+
+def workload_ablation() -> None:
+    print("\n--- Workloads on the same 128x128 chip " + "-" * 33)
+    rows = []
+    for builder in (build_resnet18, build_resnet50, build_vgg16, build_mobilenet_v1):
+        network = builder()
+        metrics = SimulationFramework(network).evaluate(optimal_chip())
+        rows.append(
+            [
+                network.name,
+                f"{network.total_macs / 1e9:.2f}",
+                f"{metrics.inferences_per_second:.0f}",
+                f"{metrics.power_w:.1f}",
+                f"{metrics.ips_per_watt:.0f}",
+                f"{metrics.mac_utilization * 100:.0f} %",
+            ]
+        )
+    print(format_table(["network", "GMAC", "IPS", "power (W)", "IPS/W", "MAC util."], rows))
+
+
+def main() -> None:
+    network = build_resnet50()
+    print(f"Baseline workload: {network.name}, chip: {optimal_chip().describe()}")
+    dram_ablation(network)
+    crossing_loss_ablation(network)
+    precision_ablation(network)
+    workload_ablation()
+
+
+if __name__ == "__main__":
+    main()

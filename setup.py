@@ -1,0 +1,24 @@
+"""Setuptools entry point.
+
+The offline build environment ships without the ``wheel`` package, so the
+PEP 517 editable-wheel path is unavailable; providing a classic ``setup.py``
+lets ``pip install -e .`` fall back to the legacy develop install.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Scalable coherent optical crossbar (PCM) AI accelerator modeling framework — "
+        "reproduction of Sturm & Moazeni, DATE 2023"
+    ),
+    author="Reproduction Authors",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,80 @@
+"""repro — Scalable Coherent Optical Crossbar (PCM) AI Accelerator modelling.
+
+A from-scratch Python reproduction of *"Scalable Coherent Optical Crossbar
+Architecture using PCM for AI Acceleration"* (Sturm & Moazeni, DATE 2023):
+photonic device models, a functional INT6 coherent-crossbar datapath, a
+SCALE-Sim-style cycle-accurate CNN dataflow simulator, chip power/area
+models, a design-space optimizer, GPU/ONN baselines and per-figure analysis
+generators.
+
+Quickstart
+----------
+>>> from repro import OpticalCrossbarAccelerator, build_resnet50, optimal_chip
+>>> accelerator = OpticalCrossbarAccelerator(optimal_chip())
+>>> metrics = accelerator.evaluate(build_resnet50())
+>>> round(metrics.ips_per_watt) > 500
+True
+"""
+
+from repro.config import (
+    ChipConfig,
+    SramConfig,
+    TechnologyConfig,
+    default_sweep_chip,
+    optimal_chip,
+    paper_technology,
+    small_test_chip,
+)
+from repro.core import (
+    DesignOptimizer,
+    OpticalCrossbarAccelerator,
+    SimulationFramework,
+    compare_to_gpu,
+    format_comparison_table,
+    format_metrics_report,
+)
+from repro.crossbar import CrossbarArray, CrossbarNoiseModel, SignedCrossbarEngine
+from repro.nn import (
+    Network,
+    build_alexnet,
+    build_lenet5,
+    build_mobilenet_v1,
+    build_resnet18,
+    build_resnet34,
+    build_resnet50,
+    build_vgg16,
+)
+from repro.perf import evaluate_runtime
+from repro.scalesim import CrossbarDataflowSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChipConfig",
+    "CrossbarArray",
+    "CrossbarDataflowSimulator",
+    "CrossbarNoiseModel",
+    "DesignOptimizer",
+    "Network",
+    "OpticalCrossbarAccelerator",
+    "SignedCrossbarEngine",
+    "SimulationFramework",
+    "SramConfig",
+    "TechnologyConfig",
+    "__version__",
+    "build_alexnet",
+    "build_lenet5",
+    "build_mobilenet_v1",
+    "build_resnet18",
+    "build_resnet34",
+    "build_resnet50",
+    "build_vgg16",
+    "compare_to_gpu",
+    "default_sweep_chip",
+    "evaluate_runtime",
+    "format_comparison_table",
+    "format_metrics_report",
+    "optimal_chip",
+    "paper_technology",
+    "small_test_chip",
+]

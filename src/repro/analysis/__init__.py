@@ -1,0 +1,49 @@
+"""Per-figure and per-table data generators.
+
+Every data-bearing artefact of the paper's evaluation has one generator here
+that returns the plotted series as plain Python data (lists of dicts), so the
+benchmark harness can print the same rows/series the paper reports and tests
+can assert the qualitative shape:
+
+* :func:`~repro.analysis.fig1_landscape.generate_fig1_landscape` — Fig. 1
+* :func:`~repro.analysis.fig6_array_sweep.generate_fig6_array_sweep` — Fig. 6
+* :func:`~repro.analysis.fig7_sram_batch.generate_fig7a_batch_power`,
+  :func:`~repro.analysis.fig7_sram_batch.generate_fig7b_sram_ipsw`,
+  :func:`~repro.analysis.fig7_sram_batch.generate_fig7c_dual_core_ips` — Fig. 7
+* :func:`~repro.analysis.fig8_breakdown.generate_fig8_breakdown` — Fig. 8
+* :func:`~repro.analysis.table1.generate_table1` — Table I
+* :mod:`repro.analysis.trends` — the Section VI-A.1/VI-A.2 trend statements
+"""
+
+from repro.analysis.export import rows_to_csv, rows_to_json, save_rows
+from repro.analysis.fig1_landscape import generate_fig1_landscape
+from repro.analysis.fig6_array_sweep import generate_fig6_array_sweep
+from repro.analysis.fig7_sram_batch import (
+    generate_fig7a_batch_power,
+    generate_fig7b_sram_ipsw,
+    generate_fig7c_dual_core_ips,
+)
+from repro.analysis.fig8_breakdown import generate_fig8_breakdown
+from repro.analysis.sensitivity import (
+    TechnologySensitivityAnalysis,
+    sensitivity_rows,
+)
+from repro.analysis.table1 import generate_table1
+from repro.analysis.trends import array_size_trend, dual_vs_single_core_trend
+
+__all__ = [
+    "TechnologySensitivityAnalysis",
+    "array_size_trend",
+    "dual_vs_single_core_trend",
+    "sensitivity_rows",
+    "generate_fig1_landscape",
+    "generate_fig6_array_sweep",
+    "generate_fig7a_batch_power",
+    "generate_fig7b_sram_ipsw",
+    "generate_fig7c_dual_core_ips",
+    "generate_fig8_breakdown",
+    "generate_table1",
+    "rows_to_csv",
+    "rows_to_json",
+    "save_rows",
+]

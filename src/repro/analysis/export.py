@@ -1,0 +1,53 @@
+"""Export helpers: turn generator output (lists of dicts) into CSV/JSON."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.errors import SimulationError
+
+
+def rows_to_csv(rows: Sequence[Dict[str, object]]) -> str:
+    """Serialise a list of flat dictionaries to CSV text.
+
+    The header is the union of all keys, in first-seen order, so rows with
+    slightly different keys (e.g. optional diagnostic columns) still export.
+    """
+    if not rows:
+        raise SimulationError("cannot export an empty row list")
+    fieldnames: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def rows_to_json(rows: Sequence[Dict[str, object]]) -> str:
+    """Serialise a list of dictionaries to pretty-printed JSON."""
+    if not rows:
+        raise SimulationError("cannot export an empty row list")
+    return json.dumps(list(rows), indent=2, sort_keys=True, default=float)
+
+
+def save_rows(rows: Sequence[Dict[str, object]], path: Union[str, Path]) -> Path:
+    """Write rows to ``path``; the format is chosen from the file extension."""
+    path = Path(path)
+    if path.suffix.lower() == ".csv":
+        path.write_text(rows_to_csv(rows))
+    elif path.suffix.lower() == ".json":
+        path.write_text(rows_to_json(rows))
+    else:
+        raise SimulationError(
+            f"unsupported export extension {path.suffix!r}; use .csv or .json"
+        )
+    return path

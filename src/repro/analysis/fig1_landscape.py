@@ -1,0 +1,71 @@
+"""Fig. 1 — landscape of AI processors: throughput vs. energy efficiency.
+
+The paper's Fig. 1 positions AI/ML processors on a TOPS vs. TOPS/W plane and
+argues that ONNs target the high-throughput (datacenter) corner.  The
+generator combines
+
+* published GPU datapoints (A100, V100, T4),
+* representative published edge / analog accelerators (static catalogue), and
+* this work's proposed design point, evaluated with the full model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines.gpu import known_gpu_references
+from repro.config.chip import ChipConfig
+from repro.config.presets import optimal_chip
+from repro.core.simulation import SimulationFramework
+from repro.nn.network import Network
+from repro.nn.resnet import build_resnet50
+
+#: Representative published accelerators used only as landscape context
+#: (category, peak TOPS, TOPS/W).  Values are order-of-magnitude public
+#: figures for the three classes the paper's Fig. 1 shows.
+STATIC_LANDSCAPE_POINTS = [
+    {"name": "Edge NPU (class)", "category": "edge", "tops": 4.0, "tops_per_watt": 2.0},
+    {"name": "Analog in-memory (class)", "category": "analog", "tops": 1.0, "tops_per_watt": 10.0},
+    {"name": "Neuromorphic (class)", "category": "neuromorphic", "tops": 0.1, "tops_per_watt": 5.0},
+    {"name": "Datacenter ASIC (class)", "category": "asic", "tops": 400.0, "tops_per_watt": 1.2},
+]
+
+
+def generate_fig1_landscape(
+    network: Optional[Network] = None,
+    config: Optional[ChipConfig] = None,
+) -> List[Dict[str, object]]:
+    """Generate the Fig. 1 scatter points (one dict per processor).
+
+    Each row carries ``name``, ``category``, ``tops`` (effective for this
+    work, peak for published points) and ``tops_per_watt``.
+    """
+    network = network or build_resnet50()
+    config = config or optimal_chip()
+
+    rows: List[Dict[str, object]] = []
+    for point in STATIC_LANDSCAPE_POINTS:
+        rows.append(dict(point))
+
+    for gpu in known_gpu_references():
+        rows.append(
+            {
+                "name": gpu.name,
+                "category": "gpu",
+                "tops": gpu.peak_tops,
+                "tops_per_watt": gpu.peak_tops_per_watt,
+            }
+        )
+
+    metrics = SimulationFramework(network).evaluate(config)
+    rows.append(
+        {
+            "name": "This work (128x128 PCM crossbar)",
+            "category": "this_work",
+            "tops": metrics.effective_tops,
+            "tops_per_watt": metrics.effective_tops_per_watt,
+            "ips": metrics.inferences_per_second,
+            "ips_per_watt": metrics.ips_per_watt,
+        }
+    )
+    return rows

@@ -1,0 +1,59 @@
+"""Fig. 6 — IPS/W as a function of crossbar rows and columns.
+
+The paper sweeps the array dimensions with the other default parameters
+fixed (batch 32, dual core, 26.3/0.75/0.75/0.75 MB SRAM) and observes a peak
+IPS/W at 128–256 rows and 64–128 columns.  The generator returns one row per
+(rows, columns) grid point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.config.chip import ChipConfig
+from repro.config.presets import default_sweep_chip
+from repro.core.simulation import SimulationFramework
+from repro.core.sweep import sweep_array_sizes
+from repro.nn.network import Network
+from repro.nn.resnet import build_resnet50
+
+#: The grid the paper's Fig. 6 spans.
+DEFAULT_ROWS = (16, 32, 64, 128, 256, 512)
+DEFAULT_COLUMNS = (16, 32, 64, 128, 256, 512)
+
+
+def generate_fig6_array_sweep(
+    network: Optional[Network] = None,
+    base_config: Optional[ChipConfig] = None,
+    rows_values: Sequence[int] = DEFAULT_ROWS,
+    columns_values: Sequence[int] = DEFAULT_COLUMNS,
+    framework: Optional[SimulationFramework] = None,
+) -> List[Dict[str, float]]:
+    """Generate the Fig. 6 surface: IPS/W (and IPS) per (rows, columns) point."""
+    network = network or build_resnet50()
+    base_config = base_config or default_sweep_chip()
+    results = sweep_array_sizes(
+        network, base_config, rows_values, columns_values, framework=framework
+    )
+    rows: List[Dict[str, float]] = []
+    for result in results:
+        row = result.row()
+        rows.append(
+            {
+                "rows": row["rows"],
+                "columns": row["columns"],
+                "ips": row["ips"],
+                "ips_per_watt": row["ips_per_watt"],
+                "power_w": row["power_w"],
+                "feasible": row["feasible"],
+            }
+        )
+    return rows
+
+
+def peak_point(rows: List[Dict[str, float]]) -> Dict[str, float]:
+    """The grid point with the highest IPS/W among feasible points."""
+    feasible = [row for row in rows if row.get("feasible", True)]
+    if not feasible:
+        feasible = rows
+    return max(feasible, key=lambda row: row["ips_per_watt"])

@@ -1,0 +1,130 @@
+"""Fig. 7 — effect of batch size, input-SRAM size and core count.
+
+Three panels:
+
+* **7a** — chip power (broken down by component group) vs. batch size at the
+  32×32 default configuration; DRAM access energy rises steeply once the
+  batched input working set no longer fits the 26.3 MB input SRAM (between
+  batch 32 and 64 for ResNet-50).
+* **7b** — IPS/W vs. input-SRAM size for several batch sizes; each batch has
+  a critical SRAM size beyond which more SRAM does not help.
+* **7c** — IPS vs. batch size for single- and dual-core chips; the dual core
+  hides the PCM programming latency, which matters most at small batches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.config.chip import ChipConfig
+from repro.config.presets import default_sweep_chip
+from repro.core.simulation import SimulationFramework
+from repro.nn.network import Network
+from repro.nn.resnet import build_resnet50
+
+DEFAULT_BATCH_SIZES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+DEFAULT_SRAM_SIZES_MB = (1.0, 2.0, 4.0, 8.0, 16.0, 26.3, 32.0, 48.0, 64.0)
+DEFAULT_7B_BATCHES = (8, 16, 32, 64)
+
+
+def generate_fig7a_batch_power(
+    network: Optional[Network] = None,
+    base_config: Optional[ChipConfig] = None,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    framework: Optional[SimulationFramework] = None,
+) -> List[Dict[str, float]]:
+    """Fig. 7a series: total power and grouped power breakdown per batch size."""
+    network = network or build_resnet50()
+    base_config = base_config or default_sweep_chip()
+    framework = framework or SimulationFramework(network)
+
+    rows: List[Dict[str, float]] = []
+    for batch in batch_sizes:
+        config = base_config.with_updates(batch_size=int(batch))
+        metrics = framework.evaluate(config)
+        row: Dict[str, float] = {
+            "batch_size": float(batch),
+            "power_w": metrics.power_w,
+            "ips": metrics.inferences_per_second,
+            "ips_per_watt": metrics.ips_per_watt,
+            "dram_power_w": metrics.power_breakdown.component("dram"),
+            "sram_power_w": metrics.power_breakdown.component("sram"),
+        }
+        for group, value in metrics.power_breakdown.grouped().items():
+            row[f"group_{group}_w"] = value
+        rows.append(row)
+    return rows
+
+
+def generate_fig7b_sram_ipsw(
+    network: Optional[Network] = None,
+    base_config: Optional[ChipConfig] = None,
+    input_sram_mb_values: Sequence[float] = DEFAULT_SRAM_SIZES_MB,
+    batch_sizes: Sequence[int] = DEFAULT_7B_BATCHES,
+    framework: Optional[SimulationFramework] = None,
+) -> List[Dict[str, float]]:
+    """Fig. 7b series: IPS/W vs. input-SRAM size, one curve per batch size."""
+    network = network or build_resnet50()
+    base_config = base_config or default_sweep_chip()
+    framework = framework or SimulationFramework(network)
+
+    rows: List[Dict[str, float]] = []
+    for batch in batch_sizes:
+        for input_mb in input_sram_mb_values:
+            config = base_config.with_updates(
+                batch_size=int(batch),
+                sram=base_config.sram.scaled_input(float(input_mb)),
+            )
+            metrics = framework.evaluate(config)
+            rows.append(
+                {
+                    "batch_size": float(batch),
+                    "input_sram_mb": float(input_mb),
+                    "ips_per_watt": metrics.ips_per_watt,
+                    "power_w": metrics.power_w,
+                    "dram_power_w": metrics.power_breakdown.component("dram"),
+                }
+            )
+    return rows
+
+
+def generate_fig7c_dual_core_ips(
+    network: Optional[Network] = None,
+    base_config: Optional[ChipConfig] = None,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    framework: Optional[SimulationFramework] = None,
+) -> List[Dict[str, float]]:
+    """Fig. 7c series: IPS vs. batch size for single- and dual-core chips."""
+    network = network or build_resnet50()
+    base_config = base_config or default_sweep_chip()
+    framework = framework or SimulationFramework(network)
+
+    rows: List[Dict[str, float]] = []
+    for num_cores in (1, 2):
+        for batch in batch_sizes:
+            config = base_config.with_updates(batch_size=int(batch), num_cores=num_cores)
+            metrics = framework.evaluate(config)
+            rows.append(
+                {
+                    "num_cores": float(num_cores),
+                    "batch_size": float(batch),
+                    "ips": metrics.inferences_per_second,
+                    "ips_per_watt": metrics.ips_per_watt,
+                    "power_w": metrics.power_w,
+                }
+            )
+    return rows
+
+
+def critical_sram_size_mb(rows: List[Dict[str, float]], batch_size: int, tolerance: float = 0.02) -> float:
+    """Smallest input-SRAM size whose IPS/W is within ``tolerance`` of that batch's best."""
+    candidates = [row for row in rows if row["batch_size"] == float(batch_size)]
+    if not candidates:
+        raise ValueError(f"no Fig. 7b rows for batch size {batch_size}")
+    best = max(row["ips_per_watt"] for row in candidates)
+    sufficient = [
+        row["input_sram_mb"]
+        for row in candidates
+        if row["ips_per_watt"] >= (1.0 - tolerance) * best
+    ]
+    return min(sufficient)

@@ -1,0 +1,188 @@
+"""One-at-a-time sensitivity (tornado) analysis of technology parameters.
+
+The paper's conclusions rest on a handful of device constants (DRAM energy,
+ADC power, crossing loss, receiver sensitivity, ...).  This module perturbs
+each constant individually by a multiplicative factor and records the effect
+on a chosen metric (IPS/W by default), producing the data for a tornado
+chart.  It answers "which device assumption is the design most sensitive
+to?" — useful both for reviewing the paper's claims and for prioritising
+device engineering effort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config.chip import ChipConfig
+from repro.core.simulation import SimulationFramework
+from repro.errors import SimulationError
+from repro.nn.network import Network
+
+#: Technology fields perturbed by default, chosen to cover every major
+#: subsystem: memory, converters, optics, PCM and the laser.
+DEFAULT_PARAMETERS: Tuple[str, ...] = (
+    "dram_energy_per_bit_j",
+    "sram_energy_per_bit_j",
+    "adc_power_w",
+    "tia_power_w",
+    "odac_driver_energy_per_sample_j",
+    "serdes_energy_per_bit_j",
+    "mmi_crossing_loss_db",
+    "waveguide_loss_db_per_cm",
+    "receiver_sensitivity_w",
+    "laser_wall_plug_efficiency",
+    "pcm_programming_energy_j",
+    "pcm_programming_time_s",
+)
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """Effect of perturbing one technology parameter."""
+
+    parameter: str
+    low_factor: float
+    high_factor: float
+    baseline_value: float
+    metric_at_low: float
+    metric_at_high: float
+    baseline_metric: float
+
+    @property
+    def swing(self) -> float:
+        """Absolute metric swing between the low and high perturbations."""
+        return abs(self.metric_at_high - self.metric_at_low)
+
+    @property
+    def relative_swing(self) -> float:
+        """Swing normalised by the baseline metric."""
+        if self.baseline_metric == 0:
+            return 0.0
+        return self.swing / self.baseline_metric
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat row for CSV export."""
+        return {
+            "parameter": self.parameter,
+            "baseline_value": self.baseline_value,
+            "metric_at_low": self.metric_at_low,
+            "metric_at_high": self.metric_at_high,
+            "baseline_metric": self.baseline_metric,
+            "relative_swing": self.relative_swing,
+        }
+
+
+class TechnologySensitivityAnalysis:
+    """Tornado analysis of a design point's sensitivity to device constants.
+
+    Parameters
+    ----------
+    network:
+        Workload to evaluate.
+    config:
+        Design point whose technology constants are perturbed.
+    metric:
+        Name of the metric to track; any numeric key of
+        :meth:`repro.perf.metrics.PerformanceMetrics.summary` ("ips_per_watt",
+        "power_w", "ips", "area_mm2", ...).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        config: ChipConfig,
+        metric: str = "ips_per_watt",
+        framework: Optional[SimulationFramework] = None,
+    ) -> None:
+        self.network = network
+        self.config = config
+        self.metric = metric
+        self.framework = framework or SimulationFramework(network)
+
+    # ------------------------------------------------------------------ internals
+    def _metric_for(self, config: ChipConfig) -> float:
+        summary = self.framework.evaluate(config).summary()
+        if self.metric not in summary:
+            raise SimulationError(
+                f"unknown metric {self.metric!r}; available: {sorted(summary)}"
+            )
+        value = summary[self.metric]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SimulationError(f"metric {self.metric!r} is not numeric")
+        return float(value)
+
+    def _perturbed_config(self, parameter: str, factor: float) -> ChipConfig:
+        baseline = getattr(self.config.technology, parameter)
+        technology = self.config.technology.with_updates(**{parameter: baseline * factor})
+        return self.config.with_updates(technology=technology)
+
+    # ------------------------------------------------------------------ api
+    def analyze(
+        self,
+        parameters: Sequence[str] = DEFAULT_PARAMETERS,
+        low_factor: float = 0.5,
+        high_factor: float = 2.0,
+    ) -> List[SensitivityEntry]:
+        """Perturb each parameter by ``low_factor``/``high_factor``.
+
+        Returns entries sorted by decreasing metric swing (tornado order).
+        Perturbations that make a parameter invalid (e.g. a wall-plug
+        efficiency above 1) are clamped to the valid range.
+        """
+        if not parameters:
+            raise SimulationError("at least one parameter is required")
+        if low_factor <= 0 or high_factor <= 0:
+            raise SimulationError("perturbation factors must be > 0")
+
+        baseline_metric = self._metric_for(self.config)
+        entries: List[SensitivityEntry] = []
+        for parameter in parameters:
+            if not hasattr(self.config.technology, parameter):
+                raise SimulationError(f"unknown technology parameter {parameter!r}")
+            baseline_value = getattr(self.config.technology, parameter)
+            metric_low = self._metric_for(
+                self._clamped_perturbation(parameter, low_factor)
+            )
+            metric_high = self._metric_for(
+                self._clamped_perturbation(parameter, high_factor)
+            )
+            entries.append(
+                SensitivityEntry(
+                    parameter=parameter,
+                    low_factor=low_factor,
+                    high_factor=high_factor,
+                    baseline_value=baseline_value,
+                    metric_at_low=metric_low,
+                    metric_at_high=metric_high,
+                    baseline_metric=baseline_metric,
+                )
+            )
+        entries.sort(key=lambda entry: entry.swing, reverse=True)
+        return entries
+
+    def _clamped_perturbation(self, parameter: str, factor: float) -> ChipConfig:
+        baseline = getattr(self.config.technology, parameter)
+        value = baseline * factor
+        if parameter == "laser_wall_plug_efficiency":
+            value = min(value, 1.0)
+        technology = self.config.technology.with_updates(**{parameter: value})
+        return self.config.with_updates(technology=technology)
+
+    def most_sensitive_parameter(
+        self, parameters: Sequence[str] = DEFAULT_PARAMETERS
+    ) -> str:
+        """Name of the parameter with the largest metric swing."""
+        return self.analyze(parameters)[0].parameter
+
+
+def sensitivity_rows(
+    network: Network,
+    config: ChipConfig,
+    metric: str = "ips_per_watt",
+    parameters: Sequence[str] = DEFAULT_PARAMETERS,
+    framework: Optional[SimulationFramework] = None,
+) -> List[Dict[str, float]]:
+    """Convenience wrapper returning plain-dict rows for export/benchmarks."""
+    analysis = TechnologySensitivityAnalysis(network, config, metric, framework)
+    return [entry.as_dict() for entry in analysis.analyze(parameters)]

@@ -1,0 +1,72 @@
+"""Section VI-A trend statements as checkable data.
+
+* VI-A.1 — a dual-core chip has higher IPS *and* proportionally higher power
+  than a single-core chip, so IPS/W is (nearly) unchanged.
+* VI-A.2 — IPS grows approximately linearly with the array size, while IPS/W
+  peaks at intermediate dimensions because photonic losses grow exponentially
+  (in power) with array size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.config.chip import ChipConfig
+from repro.config.presets import default_sweep_chip
+from repro.core.simulation import SimulationFramework
+from repro.nn.network import Network
+from repro.nn.resnet import build_resnet50
+
+
+def dual_vs_single_core_trend(
+    network: Optional[Network] = None,
+    config: Optional[ChipConfig] = None,
+    framework: Optional[SimulationFramework] = None,
+) -> Dict[str, float]:
+    """Compare single- vs dual-core at one design point (Section VI-A.1)."""
+    network = network or build_resnet50()
+    config = config or default_sweep_chip()
+    framework = framework or SimulationFramework(network)
+
+    single = framework.evaluate(config.with_updates(num_cores=1))
+    dual = framework.evaluate(config.with_updates(num_cores=2))
+    return {
+        "single_core_ips": single.inferences_per_second,
+        "dual_core_ips": dual.inferences_per_second,
+        "single_core_power_w": single.power_w,
+        "dual_core_power_w": dual.power_w,
+        "single_core_ips_per_watt": single.ips_per_watt,
+        "dual_core_ips_per_watt": dual.ips_per_watt,
+        "ips_gain": dual.inferences_per_second / single.inferences_per_second,
+        "power_increase": dual.power_w / single.power_w,
+        "ips_per_watt_ratio": dual.ips_per_watt / single.ips_per_watt,
+    }
+
+
+def array_size_trend(
+    network: Optional[Network] = None,
+    base_config: Optional[ChipConfig] = None,
+    sizes: Sequence[int] = (16, 32, 64, 128, 256),
+    framework: Optional[SimulationFramework] = None,
+) -> List[Dict[str, float]]:
+    """IPS and IPS/W for square arrays of increasing size (Section VI-A.2)."""
+    network = network or build_resnet50()
+    base_config = base_config or default_sweep_chip()
+    framework = framework or SimulationFramework(network)
+
+    rows: List[Dict[str, float]] = []
+    for size in sizes:
+        config = base_config.with_updates(rows=int(size), columns=int(size))
+        metrics = framework.evaluate(config)
+        rows.append(
+            {
+                "size": float(size),
+                "array_cells": float(size * size),
+                "ips": metrics.inferences_per_second,
+                "ips_per_watt": metrics.ips_per_watt,
+                "power_w": metrics.power_w,
+                "laser_electrical_w": metrics.laser.electrical_power_w,
+                "feasible": metrics.feasible,
+            }
+        )
+    return rows

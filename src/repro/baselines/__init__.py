@@ -1,0 +1,34 @@
+"""Baseline accelerator models used for comparison.
+
+* :mod:`repro.baselines.gpu` — published NVIDIA GPU reference points (A100,
+  V100, T4) for ResNet-50 inference, used by Table I and the Fig. 1 landscape.
+* :mod:`repro.baselines.systolic` — an electronic weight-stationary systolic
+  array (TPU-like) evaluated with the same dataflow model, so optical vs.
+  electronic MAC energetics can be compared like for like.
+* :mod:`repro.baselines.mzi_onn` — an MZI-mesh coherent ONN area/power model
+  (the scalability argument of Section II).
+* :mod:`repro.baselines.incoherent_wdm` — a non-coherent WDM PCM crossbar
+  model (the wavelength-count argument of Section II).
+"""
+
+from repro.baselines.gpu import (
+    GPUReference,
+    NVIDIA_A100,
+    NVIDIA_T4,
+    NVIDIA_V100,
+    known_gpu_references,
+)
+from repro.baselines.incoherent_wdm import IncoherentWDMCrossbarModel
+from repro.baselines.mzi_onn import MZIMeshONNModel
+from repro.baselines.systolic import SystolicArrayAccelerator
+
+__all__ = [
+    "GPUReference",
+    "IncoherentWDMCrossbarModel",
+    "MZIMeshONNModel",
+    "NVIDIA_A100",
+    "NVIDIA_T4",
+    "NVIDIA_V100",
+    "SystolicArrayAccelerator",
+    "known_gpu_references",
+]

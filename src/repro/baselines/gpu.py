@@ -1,0 +1,94 @@
+"""Published GPU reference points.
+
+Table I of the paper compares the proposed accelerator against the NVIDIA
+A100 running ResNet-50 v1.5 inference in INT8 with a batch of 128 (29,733
+IPS at 396 W board power and an 826 mm² die).  Additional widely published
+datapoints (V100, T4) are included for the Fig. 1 landscape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class GPUReference:
+    """A published accelerator datapoint for ResNet-50 inference."""
+
+    name: str
+    resnet50_ips: float
+    power_w: float
+    die_area_mm2: float
+    peak_tops: float
+    precision: str
+    batch_size: int
+
+    def __post_init__(self) -> None:
+        if self.resnet50_ips <= 0 or self.power_w <= 0 or self.die_area_mm2 <= 0:
+            raise SimulationError("GPU reference numbers must be > 0")
+
+    @property
+    def ips_per_watt(self) -> float:
+        """ResNet-50 inferences per second per watt."""
+        return self.resnet50_ips / self.power_w
+
+    @property
+    def peak_tops_per_watt(self) -> float:
+        """Peak TOPS per watt."""
+        return self.peak_tops / self.power_w
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for reports and figure series."""
+        return {
+            "name": self.name,
+            "resnet50_ips": self.resnet50_ips,
+            "power_w": self.power_w,
+            "die_area_mm2": self.die_area_mm2,
+            "peak_tops": self.peak_tops,
+            "ips_per_watt": self.ips_per_watt,
+            "peak_tops_per_watt": self.peak_tops_per_watt,
+            "precision": self.precision,
+            "batch_size": self.batch_size,
+        }
+
+
+#: NVIDIA A100 (SXM, INT8, batch 128) — the Table I comparison point.
+NVIDIA_A100 = GPUReference(
+    name="NVIDIA A100",
+    resnet50_ips=29_733.0,
+    power_w=396.0,
+    die_area_mm2=826.0,
+    peak_tops=624.0,
+    precision="INT8",
+    batch_size=128,
+)
+
+#: NVIDIA V100 (SXM2, mixed precision) — Fig. 1 landscape point.
+NVIDIA_V100 = GPUReference(
+    name="NVIDIA V100",
+    resnet50_ips=7_907.0,
+    power_w=300.0,
+    die_area_mm2=815.0,
+    peak_tops=125.0,
+    precision="FP16",
+    batch_size=128,
+)
+
+#: NVIDIA T4 (inference card, INT8) — Fig. 1 landscape point.
+NVIDIA_T4 = GPUReference(
+    name="NVIDIA T4",
+    resnet50_ips=4_306.0,
+    power_w=70.0,
+    die_area_mm2=545.0,
+    peak_tops=130.0,
+    precision="INT8",
+    batch_size=128,
+)
+
+
+def known_gpu_references() -> List[GPUReference]:
+    """All bundled GPU reference points."""
+    return [NVIDIA_A100, NVIDIA_V100, NVIDIA_T4]

@@ -1,0 +1,88 @@
+"""Non-coherent WDM PCM crossbar baseline (the Section II wavelength argument).
+
+Non-coherent PCM crossbars ([7] in the paper) encode each input-vector
+element on its own wavelength and sum in the photocurrent domain, so an N-row
+array needs N distinct wavelengths from a comb source plus per-wavelength
+modulators and filters.  The paper argues this is impractical for large N;
+this model quantifies the argument (comb line count, per-line power, channel
+spacing within the usable band).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class IncoherentWDMCrossbarModel:
+    """Scaling model of a WDM (one wavelength per row) PCM crossbar.
+
+    Parameters
+    ----------
+    usable_band_nm:
+        Usable optical bandwidth of the comb / amplifier (nm).
+    min_channel_spacing_nm:
+        Minimum channel spacing resolvable by the ring filters (nm).
+    comb_line_power_w:
+        Optical power needed per comb line at the chip input (W).
+    comb_efficiency:
+        Wall-plug efficiency of the comb source.
+    per_ring_tuning_power_w:
+        Thermal tuning power per wavelength-selective ring.
+    """
+
+    usable_band_nm: float = 40.0
+    min_channel_spacing_nm: float = 0.4
+    comb_line_power_w: float = 1e-3
+    comb_efficiency: float = 0.05
+    per_ring_tuning_power_w: float = 0.5e-3
+
+    def __post_init__(self) -> None:
+        if self.usable_band_nm <= 0 or self.min_channel_spacing_nm <= 0:
+            raise SimulationError("band and channel spacing must be > 0")
+        if not 0 < self.comb_efficiency <= 1:
+            raise SimulationError("comb_efficiency must be in (0, 1]")
+
+    # ------------------------------------------------------------------ scaling
+    @property
+    def max_rows(self) -> int:
+        """Largest row count supported by the usable optical band."""
+        return int(self.usable_band_nm / self.min_channel_spacing_nm)
+
+    def wavelengths_needed(self, rows: int) -> int:
+        """Distinct wavelengths needed for an array with ``rows`` rows."""
+        if rows < 1:
+            raise SimulationError(f"rows must be >= 1, got {rows}")
+        return rows
+
+    def is_feasible(self, rows: int) -> bool:
+        """True when the required wavelengths fit in the usable band."""
+        return self.wavelengths_needed(rows) <= self.max_rows
+
+    def comb_power_w(self, rows: int) -> float:
+        """Electrical power of the comb source for ``rows`` wavelengths (W)."""
+        return self.wavelengths_needed(rows) * self.comb_line_power_w / self.comb_efficiency
+
+    def ring_tuning_power_w(self, rows: int, columns: int) -> float:
+        """Thermal tuning power of the wavelength-selective rings (W).
+
+        Each unit cell needs a ring resonant at its row's wavelength.
+        """
+        if columns < 1:
+            raise SimulationError(f"columns must be >= 1, got {columns}")
+        return rows * columns * self.per_ring_tuning_power_w
+
+    def summary(self, rows: int, columns: int) -> Dict[str, float]:
+        """Feasibility and power summary for a rows × columns WDM crossbar."""
+        return {
+            "rows": rows,
+            "columns": columns,
+            "wavelengths_needed": self.wavelengths_needed(rows),
+            "max_rows_supported": self.max_rows,
+            "feasible": self.is_feasible(rows),
+            "comb_power_w": self.comb_power_w(rows),
+            "ring_tuning_power_w": self.ring_tuning_power_w(rows, columns),
+        }

@@ -1,0 +1,98 @@
+"""MZI-mesh coherent ONN baseline (the Section II scalability argument).
+
+Coherent ONNs built from Mach-Zehnder interferometer meshes ([2] in the
+paper) implement an N×N unitary with N(N-1)/2 MZIs, each of which is
+hundreds of micrometres to millimetres long and needs one or two thermo-optic
+phase shifters held at a bias.  This model captures the two consequences the
+paper highlights:
+
+* chip area grows quadratically with N and crosses a few cm² around
+  N ≈ 100–200, and
+* static thermal tuning power grows quadratically with N as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class MZIMeshONNModel:
+    """Area/power scaling model of an N×N MZI-mesh photonic processor.
+
+    Parameters
+    ----------
+    mzi_length_m:
+        Physical length of one MZI including its phase shifters.
+    mzi_width_m:
+        Pitch between MZI rows in the mesh.
+    heaters_per_mzi:
+        Number of biased thermo-optic phase shifters per MZI.
+    heater_power_w:
+        Average holding power per heater.
+    insertion_loss_db_per_mzi:
+        Optical loss per MZI stage; light traverses ~N stages.
+    """
+
+    mzi_length_m: float = 300e-6
+    mzi_width_m: float = 60e-6
+    heaters_per_mzi: int = 2
+    heater_power_w: float = 10e-3
+    insertion_loss_db_per_mzi: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.mzi_length_m <= 0 or self.mzi_width_m <= 0:
+            raise SimulationError("MZI dimensions must be > 0")
+        if self.heaters_per_mzi < 1:
+            raise SimulationError("heaters_per_mzi must be >= 1")
+
+    # ------------------------------------------------------------------ counts
+    def num_mzis(self, n: int) -> int:
+        """MZIs needed for an N×N unitary (rectangular Clements mesh)."""
+        if n < 2:
+            raise SimulationError(f"mesh size must be >= 2, got {n}")
+        return n * (n - 1) // 2
+
+    # ------------------------------------------------------------------ scaling
+    def area_mm2(self, n: int) -> float:
+        """Photonic area of one N×N mesh (mm²)."""
+        per_mzi_mm2 = (self.mzi_length_m * 1e3) * (self.mzi_width_m * 1e3)
+        return self.num_mzis(n) * per_mzi_mm2
+
+    def weight_bank_area_mm2(self, n: int) -> float:
+        """Area of the two meshes plus the diagonal line needed for a full N×N matrix.
+
+        A general matrix requires the SVD decomposition U·Σ·V†, i.e. two
+        meshes and one attenuator column.
+        """
+        return 2.0 * self.area_mm2(n) + n * (self.mzi_length_m * 1e3) * (self.mzi_width_m * 1e3)
+
+    def static_power_w(self, n: int) -> float:
+        """Thermal tuning power of the two meshes (W)."""
+        return 2.0 * self.num_mzis(n) * self.heaters_per_mzi * self.heater_power_w
+
+    def optical_depth_loss_db(self, n: int) -> float:
+        """Worst-case insertion loss through the mesh cascade (dB)."""
+        return 2.0 * n * self.insertion_loss_db_per_mzi
+
+    def max_size_within_area(self, area_limit_mm2: float) -> int:
+        """Largest N whose weight bank still fits ``area_limit_mm2``."""
+        if area_limit_mm2 <= 0:
+            raise SimulationError("area_limit_mm2 must be > 0")
+        n = 2
+        while self.weight_bank_area_mm2(n + 1) <= area_limit_mm2:
+            n += 1
+        return n
+
+    def summary(self, n: int) -> Dict[str, float]:
+        """Area/power/loss summary for an N×N mesh processor."""
+        return {
+            "n": n,
+            "num_mzis": self.num_mzis(n),
+            "weight_bank_area_mm2": self.weight_bank_area_mm2(n),
+            "static_power_w": self.static_power_w(n),
+            "optical_depth_loss_db": self.optical_depth_loss_db(n),
+        }

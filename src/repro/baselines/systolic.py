@@ -1,0 +1,127 @@
+"""Electronic systolic-array baseline.
+
+A weight-stationary electronic systolic array (TPU-like) executes the same
+tiled GEMM dataflow as the optical crossbar, so the
+:mod:`repro.scalesim` cycle/traffic model applies directly; only the
+per-MAC energy, clock rate and array cell area differ.  This baseline isolates
+the photonic datapath's contribution from the (shared) memory-system costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config.chip import ChipConfig
+from repro.config.technology import TechnologyConfig
+from repro.errors import SimulationError
+from repro.memory.hierarchy import MemorySystem
+from repro.nn.network import Network
+from repro.scalesim.simulator import CrossbarDataflowSimulator
+
+
+@dataclass(frozen=True)
+class SystolicTechnology:
+    """Electronic PE constants for the systolic baseline (45 nm class).
+
+    Parameters
+    ----------
+    mac_energy_j:
+        Energy of one INT8 MAC including local register movement.
+    pe_area_mm2:
+        Area of one processing element.
+    clock_hz:
+        Array clock; electronic arrays run at ~1 GHz, an order of magnitude
+        below the photonic MAC rate.
+    weight_load_energy_j:
+        Energy to load one weight into a PE register.
+    """
+
+    mac_energy_j: float = 0.25e-12
+    pe_area_mm2: float = 0.0006
+    clock_hz: float = 1e9
+    weight_load_energy_j: float = 0.05e-12
+
+    def __post_init__(self) -> None:
+        if self.mac_energy_j <= 0 or self.pe_area_mm2 <= 0 or self.clock_hz <= 0:
+            raise SimulationError("systolic technology constants must be > 0")
+
+
+class SystolicArrayAccelerator:
+    """An electronic weight-stationary systolic array baseline.
+
+    Parameters
+    ----------
+    config:
+        Reuses the crossbar ChipConfig for array dimensions, batch and SRAM
+        sizing; the MAC clock is overridden by the electronic clock.
+    systolic:
+        Electronic PE constants.
+    """
+
+    def __init__(
+        self,
+        config: ChipConfig,
+        systolic: Optional[SystolicTechnology] = None,
+    ) -> None:
+        self.systolic = systolic or SystolicTechnology()
+        # Electronic arrays have no PCM programming stall: loading weights
+        # into PE registers takes one pass of `rows` cycles, which we model by
+        # zeroing the programming time and clocking the array electronically.
+        technology = config.technology.with_updates(pcm_programming_time_s=1e-12)
+        self.config = config.with_updates(
+            mac_clock_hz=self.systolic.clock_hz, technology=technology, num_cores=1
+        )
+        self.memory = MemorySystem(self.config)
+
+    # ------------------------------------------------------------------ evaluate
+    def evaluate(self, network: Network) -> Dict[str, float]:
+        """IPS, power, IPS/W and area of the systolic baseline on ``network``."""
+        runtime = CrossbarDataflowSimulator(self.config).simulate(network)
+        technology: TechnologyConfig = self.config.technology
+
+        cycles = runtime.total_compute_cycles
+        array_size = self.config.array_size
+        mac_energy = cycles * array_size * self.systolic.mac_energy_j
+        weight_load_energy = (
+            runtime.total_programmed_cells * self.systolic.weight_load_energy_j
+        )
+        traffic = runtime.traffic_record
+        sram_energy = self.memory.sram_energy_for_traffic(traffic)
+        dram_energy = self.memory.dram_energy_for_traffic(traffic)
+        digital_energy = (
+            runtime.total_accumulator_ops * technology.accumulator_energy_per_op_j
+            + runtime.total_activation_ops * technology.activation_energy_per_op_j
+        )
+        static_energy = (
+            technology.control_logic_power_w + self.memory.total_sram_leakage_w
+        ) * runtime.batch_latency_s
+
+        energy_per_batch = (
+            mac_energy
+            + weight_load_energy
+            + sram_energy
+            + dram_energy
+            + digital_energy
+            + static_energy
+        )
+        latency = runtime.batch_latency_s
+        power = energy_per_batch / latency
+        ips = runtime.inferences_per_second
+
+        area = (
+            self.memory.total_sram_area_mm2
+            + array_size * self.systolic.pe_area_mm2
+            + technology.control_logic_area_mm2
+            + technology.activation_area_mm2
+        )
+
+        return {
+            "name": f"systolic_{self.config.rows}x{self.config.columns}",
+            "ips": ips,
+            "power_w": power,
+            "ips_per_watt": ips / power,
+            "area_mm2": area,
+            "energy_per_inference_j": energy_per_batch / runtime.batch_size,
+            "mac_energy_fraction": mac_energy / energy_per_batch,
+        }

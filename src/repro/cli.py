@@ -1,0 +1,231 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the most common workflows without
+writing any Python:
+
+* ``evaluate``  — evaluate a workload on a design point and print the report;
+* ``compare``   — Table I style comparison against the NVIDIA A100;
+* ``optimize``  — run the Section VI-B design-space optimization flow;
+* ``figure``    — regenerate one of the paper's figures/tables and write the
+  series to CSV/JSON;
+* ``workloads`` — list the bundled CNN workload descriptions.
+
+Examples
+--------
+::
+
+    python -m repro evaluate --network resnet50 --rows 128 --columns 128
+    python -m repro compare --network resnet50
+    python -m repro optimize --network resnet50 --area-cap 160
+    python -m repro figure --name fig6 --output fig6.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.analysis import (
+    generate_fig1_landscape,
+    generate_fig6_array_sweep,
+    generate_fig7a_batch_power,
+    generate_fig7b_sram_ipsw,
+    generate_fig7c_dual_core_ips,
+    generate_fig8_breakdown,
+    generate_table1,
+    save_rows,
+)
+from repro.config import ChipConfig, SramConfig, default_sweep_chip
+from repro.core import (
+    DesignOptimizer,
+    SimulationFramework,
+    compare_to_gpu,
+    format_comparison_table,
+    format_metrics_report,
+)
+from repro.nn import (
+    Network,
+    build_alexnet,
+    build_lenet5,
+    build_mlp,
+    build_mobilenet_v1,
+    build_resnet18,
+    build_resnet34,
+    build_resnet50,
+    build_vgg16,
+)
+
+#: Workload name -> builder mapping used by the ``--network`` option.
+WORKLOADS: Dict[str, Callable[[], Network]] = {
+    "resnet50": build_resnet50,
+    "resnet34": build_resnet34,
+    "resnet18": build_resnet18,
+    "vgg16": build_vgg16,
+    "alexnet": build_alexnet,
+    "mobilenet_v1": build_mobilenet_v1,
+    "lenet5": build_lenet5,
+    "mlp": build_mlp,
+}
+
+#: Figure name -> generator mapping used by the ``figure`` command.
+FIGURES = {
+    "fig1": generate_fig1_landscape,
+    "fig6": generate_fig6_array_sweep,
+    "fig7a": generate_fig7a_batch_power,
+    "fig7b": generate_fig7b_sram_ipsw,
+    "fig7c": generate_fig7c_dual_core_ips,
+    "fig8": generate_fig8_breakdown,
+    "table1": generate_table1,
+}
+
+
+def build_network(name: str) -> Network:
+    """Build a bundled workload by name."""
+    try:
+        return WORKLOADS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown network {name!r}; choose from {', '.join(sorted(WORKLOADS))}"
+        )
+
+
+def config_from_args(args: argparse.Namespace) -> ChipConfig:
+    """Build a ChipConfig from the common CLI options."""
+    return ChipConfig(
+        rows=args.rows,
+        columns=args.columns,
+        num_cores=args.cores,
+        batch_size=args.batch,
+        mac_clock_hz=args.clock_ghz * 1e9,
+        dram_kind=args.dram,
+        sram=SramConfig(
+            input_mb=args.input_sram_mb,
+            filter_mb=args.filter_sram_mb,
+            output_mb=args.output_sram_mb,
+            accumulator_mb=args.accumulator_sram_mb,
+        ),
+    )
+
+
+def _add_chip_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rows", type=int, default=128, help="crossbar rows (default 128)")
+    parser.add_argument("--columns", type=int, default=128, help="crossbar columns (default 128)")
+    parser.add_argument("--cores", type=int, default=2, choices=(1, 2), help="crossbar cores")
+    parser.add_argument("--batch", type=int, default=32, help="batch size (default 32)")
+    parser.add_argument("--clock-ghz", type=float, default=10.0, help="MAC clock in GHz")
+    parser.add_argument("--dram", choices=("hbm", "pcie"), default="hbm", help="DRAM attachment")
+    parser.add_argument("--input-sram-mb", type=float, default=26.3)
+    parser.add_argument("--filter-sram-mb", type=float, default=0.75)
+    parser.add_argument("--output-sram-mb", type=float, default=0.75)
+    parser.add_argument("--accumulator-sram-mb", type=float, default=0.75)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optical PCM crossbar accelerator modelling (Sturm & Moazeni, DATE 2023)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate a workload on a design point")
+    evaluate.add_argument("--network", default="resnet50", help="workload name")
+    _add_chip_arguments(evaluate)
+    evaluate.add_argument("--json", action="store_true", help="print a JSON summary instead of text")
+
+    compare = subparsers.add_parser("compare", help="Table I comparison against the NVIDIA A100")
+    compare.add_argument("--network", default="resnet50", help="workload name")
+    _add_chip_arguments(compare)
+
+    optimize = subparsers.add_parser("optimize", help="run the Section VI-B optimization flow")
+    optimize.add_argument("--network", default="resnet50", help="workload name")
+    optimize.add_argument("--area-cap", type=float, default=160.0, help="chip area cap in mm^2")
+
+    figure = subparsers.add_parser("figure", help="regenerate a paper figure/table")
+    figure.add_argument("--name", required=True, choices=sorted(FIGURES), help="figure id")
+    figure.add_argument("--network", default="resnet50", help="workload name")
+    figure.add_argument("--output", default=None, help="write the series to this CSV/JSON file")
+
+    subparsers.add_parser("workloads", help="list the bundled workload descriptions")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# command implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    network = build_network(args.network)
+    config = config_from_args(args)
+    metrics = SimulationFramework(network).evaluate(config)
+    if args.json:
+        print(json.dumps(metrics.summary(), indent=2, default=float))
+    else:
+        print(format_metrics_report(metrics))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    network = build_network(args.network)
+    config = config_from_args(args)
+    metrics = SimulationFramework(network).evaluate(config)
+    print(format_comparison_table(compare_to_gpu(metrics)))
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    network = build_network(args.network)
+    optimizer = DesignOptimizer(network, default_sweep_chip(), area_cap_mm2=args.area_cap)
+    result = optimizer.optimize()
+    print(json.dumps(result.summary(), indent=2, default=float))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    network = build_network(args.network)
+    generator = FIGURES[args.name]
+    data = generator(network=network)
+    if args.output:
+        if isinstance(data, list):
+            save_rows(data, args.output)
+        else:
+            with open(args.output, "w") as handle:
+                json.dump(data, handle, indent=2, default=float)
+        print(f"wrote {args.name} series to {args.output}")
+    else:
+        print(json.dumps(data, indent=2, default=float))
+    return 0
+
+
+def _cmd_workloads(_: argparse.Namespace) -> int:
+    for name in sorted(WORKLOADS):
+        network = WORKLOADS[name]()
+        print(
+            f"{name:<14s} {network.total_macs / 1e9:7.2f} GMAC   "
+            f"{network.total_weights / 1e6:7.2f} M params   "
+            f"{len(network.crossbar_layers):3d} crossbar layers"
+        )
+    return 0
+
+
+COMMANDS = {
+    "evaluate": _cmd_evaluate,
+    "compare": _cmd_compare,
+    "optimize": _cmd_optimize,
+    "figure": _cmd_figure,
+    "workloads": _cmd_workloads,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

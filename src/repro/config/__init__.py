@@ -1,0 +1,49 @@
+"""Configuration objects for the optical crossbar accelerator model.
+
+Two dataclasses describe a design point:
+
+* :class:`~repro.config.technology.TechnologyConfig` — per-device constants of
+  the 45 nm monolithic silicon-photonic platform (losses, energies, areas).
+  These are the numbers in Sections III and IV of the paper and rarely change
+  between experiments.
+* :class:`~repro.config.chip.ChipConfig` — the architectural knobs that the
+  paper sweeps: array rows/columns, SRAM block sizes, batch size, number of
+  crossbar cores, MAC clock rate and arithmetic precision.
+
+:mod:`repro.config.presets` provides the exact configurations used in the
+paper's evaluation (the 32×32 default sweep point and the optimised 128×128
+design of Section VII).
+"""
+
+from repro.config.chip import ChipConfig, SramConfig
+from repro.config.presets import (
+    default_sweep_chip,
+    optimal_chip,
+    paper_technology,
+    small_test_chip,
+)
+from repro.config.serialization import (
+    chip_config_from_dict,
+    chip_config_to_dict,
+    load_chip_config,
+    save_chip_config,
+    technology_from_dict,
+    technology_to_dict,
+)
+from repro.config.technology import TechnologyConfig
+
+__all__ = [
+    "ChipConfig",
+    "SramConfig",
+    "TechnologyConfig",
+    "default_sweep_chip",
+    "optimal_chip",
+    "paper_technology",
+    "small_test_chip",
+    "chip_config_from_dict",
+    "chip_config_to_dict",
+    "technology_from_dict",
+    "technology_to_dict",
+    "load_chip_config",
+    "save_chip_config",
+]

@@ -1,0 +1,69 @@
+"""Pre-built configurations matching the paper's evaluation.
+
+* :func:`paper_technology` — the 45 nm monolithic silicon-photonics constants.
+* :func:`default_sweep_chip` — the "default chip parameters" used for every
+  trend study in Section VI-A (32×32 array, dual core, batch 32,
+  26.3/0.75/0.75/0.75 MB SRAM).
+* :func:`optimal_chip` — the optimised design of Section VII (128×128 array,
+  dual core, batch 32, same SRAM sizing).
+* :func:`small_test_chip` — a tiny configuration for fast unit tests.
+"""
+
+from __future__ import annotations
+
+from repro.config.chip import ChipConfig, SramConfig
+from repro.config.technology import TechnologyConfig
+
+
+def paper_technology(**overrides) -> TechnologyConfig:
+    """Return the paper's 45 nm silicon-photonics technology constants.
+
+    Keyword overrides are forwarded to :class:`TechnologyConfig`, e.g.
+    ``paper_technology(weight_bits=8)``.
+    """
+    return TechnologyConfig(**overrides)
+
+
+def default_sweep_chip(**overrides) -> ChipConfig:
+    """The Section VI-A default design point (32×32, dual core, batch 32)."""
+    config = ChipConfig(
+        rows=32,
+        columns=32,
+        num_cores=2,
+        batch_size=32,
+        mac_clock_hz=10e9,
+        sram=SramConfig(input_mb=26.3, filter_mb=0.75, output_mb=0.75, accumulator_mb=0.75),
+    )
+    if overrides:
+        config = config.with_updates(**overrides)
+    return config
+
+
+def optimal_chip(**overrides) -> ChipConfig:
+    """The Section VII optimised design point (128×128, dual core, batch 32)."""
+    config = ChipConfig(
+        rows=128,
+        columns=128,
+        num_cores=2,
+        batch_size=32,
+        mac_clock_hz=10e9,
+        sram=SramConfig(input_mb=26.3, filter_mb=0.75, output_mb=0.75, accumulator_mb=0.75),
+    )
+    if overrides:
+        config = config.with_updates(**overrides)
+    return config
+
+
+def small_test_chip(**overrides) -> ChipConfig:
+    """A deliberately tiny design point used by the unit-test suite."""
+    config = ChipConfig(
+        rows=8,
+        columns=8,
+        num_cores=1,
+        batch_size=2,
+        mac_clock_hz=10e9,
+        sram=SramConfig(input_mb=0.25, filter_mb=0.125, output_mb=0.125, accumulator_mb=0.125),
+    )
+    if overrides:
+        config = config.with_updates(**overrides)
+    return config

@@ -1,0 +1,103 @@
+"""(De)serialisation of configuration objects to plain dictionaries and JSON.
+
+Sweep scripts and benchmark harnesses store design points as JSON so that a
+run can be reproduced exactly; these helpers round-trip
+:class:`~repro.config.chip.ChipConfig` and
+:class:`~repro.config.technology.TechnologyConfig` without losing any field.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.config.chip import ChipConfig, SramConfig
+from repro.config.technology import TechnologyConfig
+from repro.errors import ConfigurationError
+
+
+def technology_to_dict(technology: TechnologyConfig) -> Dict[str, Any]:
+    """Convert a :class:`TechnologyConfig` to a plain dictionary."""
+    return {f.name: getattr(technology, f.name) for f in fields(technology)}
+
+
+def technology_from_dict(data: Dict[str, Any]) -> TechnologyConfig:
+    """Build a :class:`TechnologyConfig` from a dictionary produced by
+    :func:`technology_to_dict` (unknown keys are rejected)."""
+    valid = {f.name for f in fields(TechnologyConfig)}
+    unknown = set(data) - valid
+    if unknown:
+        raise ConfigurationError(f"unknown TechnologyConfig keys: {sorted(unknown)}")
+    return TechnologyConfig(**data)
+
+
+def chip_config_to_dict(config: ChipConfig) -> Dict[str, Any]:
+    """Convert a :class:`ChipConfig` (including nested objects) to a dictionary."""
+    return {
+        "rows": config.rows,
+        "columns": config.columns,
+        "num_cores": config.num_cores,
+        "batch_size": config.batch_size,
+        "mac_clock_hz": config.mac_clock_hz,
+        "dram_kind": config.dram_kind,
+        "sram": {
+            "input_mb": config.sram.input_mb,
+            "filter_mb": config.sram.filter_mb,
+            "output_mb": config.sram.output_mb,
+            "accumulator_mb": config.sram.accumulator_mb,
+        },
+        "technology": technology_to_dict(config.technology),
+    }
+
+
+def chip_config_from_dict(data: Dict[str, Any]) -> ChipConfig:
+    """Build a :class:`ChipConfig` from a dictionary produced by
+    :func:`chip_config_to_dict`."""
+    known_keys = {
+        "rows",
+        "columns",
+        "num_cores",
+        "batch_size",
+        "mac_clock_hz",
+        "dram_kind",
+        "sram",
+        "technology",
+    }
+    unknown = set(data) - known_keys
+    if unknown:
+        raise ConfigurationError(f"unknown ChipConfig keys: {sorted(unknown)}")
+
+    sram_data = data.get("sram", {})
+    technology_data = data.get("technology", {})
+    return ChipConfig(
+        rows=int(data.get("rows", 32)),
+        columns=int(data.get("columns", 32)),
+        num_cores=int(data.get("num_cores", 2)),
+        batch_size=int(data.get("batch_size", 32)),
+        mac_clock_hz=float(data.get("mac_clock_hz", 10e9)),
+        dram_kind=data.get("dram_kind", "hbm"),
+        sram=SramConfig(**sram_data) if sram_data else SramConfig(),
+        technology=(
+            technology_from_dict(technology_data)
+            if technology_data
+            else TechnologyConfig()
+        ),
+    )
+
+
+def save_chip_config(config: ChipConfig, path: Union[str, Path]) -> None:
+    """Write ``config`` to ``path`` as indented JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(chip_config_to_dict(config), indent=2, sort_keys=True))
+
+
+def load_chip_config(path: Union[str, Path]) -> ChipConfig:
+    """Read a :class:`ChipConfig` previously written by :func:`save_chip_config`."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"could not parse chip config JSON at {path}: {exc}") from exc
+    return chip_config_from_dict(data)

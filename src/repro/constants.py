@@ -1,0 +1,181 @@
+"""Shared physical constants and unit-conversion helpers.
+
+The modelling code in this package uses a single, consistent set of SI-ish
+base units so that numbers can flow between modules without ambiguity:
+
+* energy      -> joules (J)
+* power       -> watts (W)
+* time        -> seconds (s)
+* frequency   -> hertz (Hz)
+* area        -> square millimetres (mm^2)
+* data volume -> bits (b)
+* optical loss / gain -> decibels (dB); a *loss* is a positive dB number
+
+Helper functions below convert between the unit prefixes that the paper
+quotes (fJ/bit, pJ/bit, mW, MB, ...) and these base units.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Physical constants
+# ---------------------------------------------------------------------------
+
+#: Planck constant (J*s).
+PLANCK_CONSTANT_J_S = 6.626_070_15e-34
+
+#: Speed of light in vacuum (m/s).
+SPEED_OF_LIGHT_M_S = 299_792_458.0
+
+#: Elementary charge (C).
+ELEMENTARY_CHARGE_C = 1.602_176_634e-19
+
+#: Boltzmann constant (J/K).
+BOLTZMANN_CONSTANT_J_K = 1.380_649e-23
+
+#: Default operating wavelength for the silicon-photonic platform (m).
+DEFAULT_WAVELENGTH_M = 1.31e-6
+
+#: Room temperature used for thermal-noise estimates (K).
+ROOM_TEMPERATURE_K = 300.0
+
+
+# ---------------------------------------------------------------------------
+# Metric prefixes
+# ---------------------------------------------------------------------------
+
+FEMTO = 1e-15
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+#: Number of bits in one byte.
+BITS_PER_BYTE = 8
+
+#: Number of bytes in one mebibyte (the paper quotes SRAM sizes in "MB",
+#: which we interpret as 2**20 bytes, the convention used by SRAM compilers).
+BYTES_PER_MB = 1 << 20
+
+#: Number of bits in one mebibyte.
+BITS_PER_MB = BYTES_PER_MB * BITS_PER_BYTE
+
+
+# ---------------------------------------------------------------------------
+# Decibel helpers
+# ---------------------------------------------------------------------------
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a power ratio expressed in dB to a linear ratio.
+
+    ``db_to_linear(3.0)`` is approximately ``2.0``.
+    """
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB.
+
+    Raises
+    ------
+    ValueError
+        If ``ratio`` is not strictly positive.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"linear ratio must be > 0, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def loss_db_to_transmission(loss_db: float) -> float:
+    """Convert an optical *loss* in dB to a power transmission factor in [0, 1].
+
+    A loss of 3 dB corresponds to a transmission of ~0.5.  Negative losses
+    (gain) are allowed and return transmissions above one.
+    """
+    return 10.0 ** (-loss_db / 10.0)
+
+
+def transmission_to_loss_db(transmission: float) -> float:
+    """Convert a power transmission factor to a loss in dB."""
+    if transmission <= 0.0:
+        raise ValueError(f"transmission must be > 0, got {transmission}")
+    return -10.0 * math.log10(transmission)
+
+
+def field_transmission_from_loss_db(loss_db: float) -> float:
+    """Electric-field (amplitude) transmission corresponding to a power loss in dB.
+
+    The field transmission is the square root of the power transmission.
+    """
+    return math.sqrt(loss_db_to_transmission(loss_db))
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert optical power in dBm to watts."""
+    return 1e-3 * 10.0 ** (dbm / 10.0)
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert optical power in watts to dBm."""
+    if watts <= 0.0:
+        raise ValueError(f"power must be > 0 W to express in dBm, got {watts}")
+    return 10.0 * math.log10(watts / 1e-3)
+
+
+# ---------------------------------------------------------------------------
+# Energy / data helpers
+# ---------------------------------------------------------------------------
+
+
+def fj(value: float) -> float:
+    """Femtojoules to joules."""
+    return value * FEMTO
+
+
+def pj(value: float) -> float:
+    """Picojoules to joules."""
+    return value * PICO
+
+
+def nj(value: float) -> float:
+    """Nanojoules to joules."""
+    return value * NANO
+
+
+def mw(value: float) -> float:
+    """Milliwatts to watts."""
+    return value * MILLI
+
+
+def ghz(value: float) -> float:
+    """Gigahertz to hertz."""
+    return value * GIGA
+
+
+def ns(value: float) -> float:
+    """Nanoseconds to seconds."""
+    return value * NANO
+
+
+def mb_to_bits(megabytes: float) -> float:
+    """Mebibytes to bits."""
+    return megabytes * BITS_PER_MB
+
+
+def bits_to_mb(bits: float) -> float:
+    """Bits to mebibytes."""
+    return bits / BITS_PER_MB
+
+
+def photon_energy_j(wavelength_m: float = DEFAULT_WAVELENGTH_M) -> float:
+    """Energy of a single photon at ``wavelength_m`` (J)."""
+    if wavelength_m <= 0.0:
+        raise ValueError(f"wavelength must be > 0, got {wavelength_m}")
+    return PLANCK_CONSTANT_J_S * SPEED_OF_LIGHT_M_S / wavelength_m

@@ -1,0 +1,167 @@
+"""User-facing façade: :class:`OpticalCrossbarAccelerator`.
+
+An ``OpticalCrossbarAccelerator`` ties together, for one chip design point:
+
+* the performance path — dataflow simulation plus power/area models
+  (:meth:`evaluate`, :meth:`runtime_specs`), and
+* the functional path — signed GEMMs executed on the INT6 functional crossbar
+  (:meth:`linear`, :meth:`conv2d`), which is what the example applications use
+  to demonstrate that the architecture computes correct results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.config.chip import ChipConfig
+from repro.config.presets import optimal_chip
+from repro.crossbar.noise import CrossbarNoiseModel
+from repro.crossbar.signed import SignedCrossbarEngine
+from repro.errors import SimulationError
+from repro.nn.im2col import conv_weights_matrix, im2col_matrix
+from repro.nn.network import Network
+from repro.perf.metrics import PerformanceMetrics, evaluate_runtime
+from repro.scalesim.runtime import NetworkRuntime
+from repro.scalesim.simulator import CrossbarDataflowSimulator
+
+
+class OpticalCrossbarAccelerator:
+    """A single optical crossbar accelerator chip.
+
+    Parameters
+    ----------
+    config:
+        Chip design point; defaults to the paper's optimised 128×128
+        dual-core configuration.
+    noise_model:
+        Optional impairment model for the functional datapath.
+    seed:
+        Random seed for the functional datapath's noise injection.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ChipConfig] = None,
+        noise_model: Optional[CrossbarNoiseModel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or optimal_chip()
+        self.noise_model = noise_model
+        self._rng = np.random.default_rng(seed)
+        self._simulator = CrossbarDataflowSimulator(self.config)
+
+    # ------------------------------------------------------------------ performance
+    def runtime_specs(self, network: Network) -> NetworkRuntime:
+        """Step-1 runtime specification of ``network`` on this chip."""
+        return self._simulator.simulate(network)
+
+    def evaluate(self, network: Network) -> PerformanceMetrics:
+        """Full performance evaluation (IPS, IPS/W, power, area) of ``network``."""
+        return evaluate_runtime(self.runtime_specs(network))
+
+    def peak_tops(self) -> float:
+        """Peak throughput of the chip in TOPS."""
+        return self.config.peak_tops
+
+    # ------------------------------------------------------------------ functional
+    def _tiled_engine(self, rows: int, columns: int) -> SignedCrossbarEngine:
+        return SignedCrossbarEngine(
+            rows,
+            columns,
+            technology=self.config.technology,
+            noise_model=self.noise_model,
+            rng=self._rng,
+        )
+
+    def linear(self, weights: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Compute ``inputs @ weights`` on the functional crossbar, tile by tile.
+
+        Parameters
+        ----------
+        weights:
+            Signed weight matrix of shape (k, n).
+        inputs:
+            Input matrix of shape (num_vectors, k) or vector of shape (k,).
+
+        Returns
+        -------
+        numpy.ndarray
+            Result of shape (num_vectors, n) (or (n,) for a single vector),
+            computed with INT6 quantisation of weights, inputs and outputs.
+        """
+        weights = np.asarray(weights, dtype=float)
+        inputs = np.asarray(inputs, dtype=float)
+        if weights.ndim != 2:
+            raise SimulationError(f"weights must be 2-D, got shape {weights.shape}")
+        single_vector = inputs.ndim == 1
+        if single_vector:
+            inputs = inputs[None, :]
+        if inputs.ndim != 2 or inputs.shape[1] != weights.shape[0]:
+            raise SimulationError(
+                f"inputs of shape {inputs.shape} are incompatible with weights of "
+                f"shape {weights.shape}"
+            )
+
+        k, n = weights.shape
+        rows, columns = self.config.rows, self.config.columns
+        num_vectors = inputs.shape[0]
+        result = np.zeros((num_vectors, n))
+
+        for k_start in range(0, k, rows):
+            k_end = min(k_start + rows, k)
+            tile_rows = k_end - k_start
+            for n_start in range(0, n, columns):
+                n_end = min(n_start + columns, n)
+                tile_cols = n_end - n_start
+
+                tile = np.zeros((rows, columns))
+                tile[:tile_rows, :tile_cols] = weights[k_start:k_end, n_start:n_end]
+                engine = self._tiled_engine(rows, columns)
+                engine.program(tile)
+
+                padded_inputs = np.zeros((num_vectors, rows))
+                padded_inputs[:, :tile_rows] = inputs[:, k_start:k_end]
+                partial = engine.matmul(padded_inputs)
+                result[:, n_start:n_end] += partial[:, :tile_cols]
+
+        return result[0] if single_vector else result
+
+    def conv2d(
+        self,
+        feature_map: np.ndarray,
+        weights: np.ndarray,
+        stride: int = 1,
+        padding: int = 0,
+    ) -> np.ndarray:
+        """Run a 2-D convolution on the functional crossbar via im2col.
+
+        Parameters
+        ----------
+        feature_map:
+            Input of shape (H, W, C_in).
+        weights:
+            Filters of shape (k, k, C_in, C_out).
+        """
+        unrolled = im2col_matrix(feature_map, np.asarray(weights).shape[0], stride, padding)
+        flat_weights = conv_weights_matrix(weights)
+        product = self.linear(flat_weights, unrolled)
+        feature_map = np.asarray(feature_map, dtype=float)
+        kernel = np.asarray(weights).shape[0]
+        out_h = (feature_map.shape[0] + 2 * padding - kernel) // stride + 1
+        out_w = (feature_map.shape[1] + 2 * padding - kernel) // stride + 1
+        return product.reshape(out_h, out_w, flat_weights.shape[1])
+
+    # ------------------------------------------------------------------ report
+    def describe(self) -> Dict[str, float]:
+        """Key structural parameters of the chip."""
+        return {
+            "rows": self.config.rows,
+            "columns": self.config.columns,
+            "num_cores": self.config.num_cores,
+            "batch_size": self.config.batch_size,
+            "mac_clock_hz": self.config.mac_clock_hz,
+            "sram_total_mb": self.config.sram.total_mb,
+            "peak_tops": self.peak_tops(),
+        }

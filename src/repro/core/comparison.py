@@ -1,0 +1,102 @@
+"""Comparison against GPU baselines (Table I of the paper).
+
+The paper's Table I compares the optimised 128×128 dual-core design against
+the NVIDIA A100 (INT8, batch 128) on ResNet-50: similar IPS at 15.4× lower
+power and 7.24× lower area.  :func:`compare_to_gpu` reproduces that table from
+an evaluated :class:`~repro.perf.metrics.PerformanceMetrics` and any
+:class:`~repro.baselines.gpu.GPUReference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.baselines.gpu import GPUReference, NVIDIA_A100
+from repro.errors import SimulationError
+from repro.perf.metrics import PerformanceMetrics
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One row of the Table I style comparison."""
+
+    system: str
+    ips: float
+    ips_per_watt: float
+    power_w: float
+    area_mm2: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for reports."""
+        return {
+            "system": self.system,
+            "ips": self.ips,
+            "ips_per_watt": self.ips_per_watt,
+            "power_w": self.power_w,
+            "area_mm2": self.area_mm2,
+        }
+
+
+@dataclass(frozen=True)
+class GpuComparison:
+    """The full comparison: both rows plus the headline ratios."""
+
+    this_work: ComparisonRow
+    gpu: ComparisonRow
+
+    @property
+    def ips_ratio(self) -> float:
+        """IPS of this work divided by the GPU's IPS."""
+        return self.this_work.ips / self.gpu.ips
+
+    @property
+    def power_advantage(self) -> float:
+        """GPU power divided by this work's power (paper: 15.4×)."""
+        return self.gpu.power_w / self.this_work.power_w
+
+    @property
+    def area_advantage(self) -> float:
+        """GPU area divided by this work's area (paper: 7.24×)."""
+        return self.gpu.area_mm2 / self.this_work.area_mm2
+
+    @property
+    def efficiency_advantage(self) -> float:
+        """This work's IPS/W divided by the GPU's IPS/W."""
+        return self.this_work.ips_per_watt / self.gpu.ips_per_watt
+
+    def rows(self) -> List[ComparisonRow]:
+        """Both table rows, this work first."""
+        return [self.this_work, self.gpu]
+
+    def summary(self) -> Dict[str, float]:
+        """Headline ratios of the comparison."""
+        return {
+            "ips_ratio": self.ips_ratio,
+            "power_advantage": self.power_advantage,
+            "area_advantage": self.area_advantage,
+            "efficiency_advantage": self.efficiency_advantage,
+        }
+
+
+def compare_to_gpu(
+    metrics: PerformanceMetrics, gpu: GPUReference = NVIDIA_A100
+) -> GpuComparison:
+    """Build the Table I comparison from evaluated metrics and a GPU reference."""
+    if metrics is None:
+        raise SimulationError("metrics are required for the comparison")
+    this_work = ComparisonRow(
+        system="This work",
+        ips=metrics.inferences_per_second,
+        ips_per_watt=metrics.ips_per_watt,
+        power_w=metrics.power_w,
+        area_mm2=metrics.area_mm2,
+    )
+    gpu_row = ComparisonRow(
+        system=gpu.name,
+        ips=gpu.resnet50_ips,
+        ips_per_watt=gpu.ips_per_watt,
+        power_w=gpu.power_w,
+        area_mm2=gpu.die_area_mm2,
+    )
+    return GpuComparison(this_work=this_work, gpu=gpu_row)

@@ -1,0 +1,253 @@
+"""End-to-end functional inference on the optical crossbar.
+
+The performance path answers "how fast / how much power"; this module answers
+"does the architecture actually compute a CNN correctly at INT6?".
+:class:`FunctionalInferenceEngine` executes a whole
+:class:`~repro.nn.network.Network` layer by layer:
+
+* convolutions and dense layers run on the functional INT6 crossbar
+  (differential PCM weights, ODAC-quantised inputs, ADC-quantised outputs,
+  optional analog impairments) through the
+  :class:`~repro.core.accelerator.OpticalCrossbarAccelerator` façade;
+* pooling, batch-norm (folded), activations, residual adds and flattening run
+  digitally in numpy, as they would in the chip's digital backend.
+
+A float numpy reference of the same network
+(:meth:`FunctionalInferenceEngine.run_reference`) allows the INT6 optical
+result to be compared against exact arithmetic; the bundled example runs a
+LeNet-5-class network this way and reports the agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.config.chip import ChipConfig
+from repro.core.accelerator import OpticalCrossbarAccelerator
+from repro.crossbar.noise import CrossbarNoiseModel
+from repro.errors import SimulationError, WorkloadError
+from repro.nn.layers import (
+    ActivationLayer,
+    AddLayer,
+    BatchNormLayer,
+    ConvLayer,
+    DenseLayer,
+    FlattenLayer,
+    PoolLayer,
+)
+from repro.nn.network import Network
+
+
+def generate_random_weights(network: Network, seed: int = 0, scale: float = 0.5) -> Dict[str, np.ndarray]:
+    """Synthetic weights for every crossbar layer of ``network``.
+
+    Convolutions get ``(k, k, C_in, C_out)`` filters, dense layers get
+    ``(in_features, out_features)`` matrices; both are drawn from a normal
+    distribution with the given scale.  Biases are omitted (the bundled
+    topologies use ``bias=False`` for their conv layers and the functional
+    engine treats missing biases as zero).
+    """
+    rng = np.random.default_rng(seed)
+    weights: Dict[str, np.ndarray] = {}
+    for info in network.crossbar_layers:
+        layer = info.layer
+        if isinstance(layer, ConvLayer):
+            shape = (
+                layer.kernel_size,
+                layer.kernel_size,
+                info.input_shape.channels,
+                layer.out_channels,
+            )
+        else:
+            shape = (info.input_shape.num_elements, layer.out_features)
+        weights[layer.name] = rng.normal(0.0, scale, size=shape)
+    return weights
+
+
+def _max_pool(tensor: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    if padding:
+        tensor = np.pad(
+            tensor,
+            ((padding, padding), (padding, padding), (0, 0)),
+            mode="constant",
+            constant_values=-np.inf,
+        )
+    height, width, channels = tensor.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    output = np.empty((out_h, out_w, channels))
+    for y in range(out_h):
+        for x in range(out_w):
+            window = tensor[y * stride : y * stride + kernel, x * stride : x * stride + kernel, :]
+            output[y, x, :] = window.max(axis=(0, 1))
+    return output
+
+
+def _avg_pool(tensor: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    if padding:
+        tensor = np.pad(tensor, ((padding, padding), (padding, padding), (0, 0)), mode="constant")
+    height, width, channels = tensor.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    output = np.empty((out_h, out_w, channels))
+    for y in range(out_h):
+        for x in range(out_w):
+            window = tensor[y * stride : y * stride + kernel, x * stride : x * stride + kernel, :]
+            output[y, x, :] = window.mean(axis=(0, 1))
+    return output
+
+
+def _apply_activation(tensor: np.ndarray, kind: str) -> np.ndarray:
+    if kind == "relu":
+        return np.maximum(tensor, 0.0)
+    if kind == "relu6":
+        return np.clip(tensor, 0.0, 6.0)
+    if kind in ("identity", "linear", ""):
+        return tensor
+    if kind == "sigmoid":
+        return 1.0 / (1.0 + np.exp(-tensor))
+    if kind == "tanh":
+        return np.tanh(tensor)
+    raise WorkloadError(f"unsupported activation {kind!r}")
+
+
+class FunctionalInferenceEngine:
+    """Runs a whole network functionally, optically or as a float reference.
+
+    Parameters
+    ----------
+    network:
+        The workload description (LeNet-class sizes are practical; the
+        functional crossbar is a model, not an optimised kernel).
+    weights:
+        Mapping from crossbar-layer name to its weight tensor; see
+        :func:`generate_random_weights` for the expected shapes.
+    config:
+        Chip configuration for the functional crossbar tiles.
+    noise_model:
+        Optional analog impairments for the optical path.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        weights: Dict[str, np.ndarray],
+        config: Optional[ChipConfig] = None,
+        noise_model: Optional[CrossbarNoiseModel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.network = network
+        self.weights = dict(weights)
+        self.accelerator = OpticalCrossbarAccelerator(config, noise_model=noise_model, seed=seed)
+        missing = [
+            info.name for info in network.crossbar_layers if info.name not in self.weights
+        ]
+        if missing:
+            raise SimulationError(f"missing weights for layers: {missing}")
+
+    # ------------------------------------------------------------------ run
+    def run(self, image: np.ndarray) -> np.ndarray:
+        """Run one sample through the network on the optical crossbar."""
+        return self._execute(image, optical=True)
+
+    def run_reference(self, image: np.ndarray) -> np.ndarray:
+        """Run one sample with exact float arithmetic (numpy reference)."""
+        return self._execute(image, optical=False)
+
+    def agreement(self, image: np.ndarray) -> Dict[str, float]:
+        """Compare optical vs reference outputs for one sample."""
+        optical = self.run(image)
+        reference = self.run_reference(image)
+        denominator = float(np.linalg.norm(reference))
+        relative_error = (
+            float(np.linalg.norm(optical - reference)) / denominator if denominator else 0.0
+        )
+        correlation = (
+            float(np.corrcoef(optical.ravel(), reference.ravel())[0, 1])
+            if optical.size > 1
+            else 1.0
+        )
+        return {
+            "relative_error": relative_error,
+            "correlation": correlation,
+            "top1_match": float(int(np.argmax(optical) == np.argmax(reference))),
+        }
+
+    # ------------------------------------------------------------------ internals
+    def _execute(self, image: np.ndarray, optical: bool) -> np.ndarray:
+        image = np.asarray(image, dtype=float)
+        expected = self.network.input_shape
+        if image.shape != expected.as_tuple():
+            raise SimulationError(
+                f"input image must have shape {expected.as_tuple()}, got {image.shape}"
+            )
+
+        outputs_by_name: Dict[str, np.ndarray] = {}
+        current = image
+        for info in self.network.shape_infos:
+            layer = info.layer
+            layer_input = current
+            if layer.input_from is not None:
+                if layer.input_from not in outputs_by_name:
+                    raise SimulationError(
+                        f"layer {layer.name!r} references unknown input {layer.input_from!r}"
+                    )
+                layer_input = outputs_by_name[layer.input_from]
+
+            if isinstance(layer, ConvLayer):
+                current = self._conv(layer, layer_input, optical)
+                current = _apply_activation(current, layer.activation)
+            elif isinstance(layer, DenseLayer):
+                current = self._dense(layer, layer_input, optical)
+                current = _apply_activation(current, layer.activation)
+            elif isinstance(layer, PoolLayer):
+                current = self._pool(layer, layer_input)
+            elif isinstance(layer, BatchNormLayer):
+                current = layer_input  # folded into the preceding conv at inference
+            elif isinstance(layer, ActivationLayer):
+                current = _apply_activation(layer_input, layer.kind)
+            elif isinstance(layer, AddLayer):
+                skip_from = getattr(layer, "skip_from", None)
+                if skip_from is not None:
+                    if skip_from not in outputs_by_name:
+                        raise SimulationError(
+                            f"add layer {layer.name!r} references unknown skip input {skip_from!r}"
+                        )
+                    second_operand = outputs_by_name[skip_from]
+                else:
+                    second_operand = current
+                current = layer_input + second_operand
+            elif isinstance(layer, FlattenLayer):
+                current = layer_input.reshape(1, 1, -1)
+            else:
+                raise SimulationError(f"unsupported layer type {type(layer).__name__}")
+            outputs_by_name[layer.name] = current
+
+        return current.reshape(-1)
+
+    def _conv(self, layer: ConvLayer, tensor: np.ndarray, optical: bool) -> np.ndarray:
+        weights = self.weights[layer.name]
+        padding = layer.resolved_padding()
+        if optical:
+            return self.accelerator.conv2d(tensor, weights, stride=layer.stride, padding=padding)
+        from repro.nn.im2col import conv2d_reference
+
+        return conv2d_reference(tensor, weights, stride=layer.stride, padding=padding)
+
+    def _dense(self, layer: DenseLayer, tensor: np.ndarray, optical: bool) -> np.ndarray:
+        weights = self.weights[layer.name]
+        vector = tensor.reshape(-1)
+        if optical:
+            result = self.accelerator.linear(weights, vector)
+        else:
+            result = vector @ weights
+        return result.reshape(1, 1, -1)
+
+    def _pool(self, layer: PoolLayer, tensor: np.ndarray) -> np.ndarray:
+        if layer.global_pool:
+            return tensor.mean(axis=(0, 1), keepdims=True)
+        if layer.kind == "max":
+            return _max_pool(tensor, layer.kernel_size, layer.stride, layer.padding)
+        return _avg_pool(tensor, layer.kernel_size, layer.stride, layer.padding)

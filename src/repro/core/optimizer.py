@@ -1,0 +1,238 @@
+"""The Section VI-B design-optimization flow.
+
+The paper optimises a design point in three ordered steps:
+
+1. **Batch size** — find the smallest batch that is large enough for the
+   dual-core scheme to hide the PCM programming latency (larger batches give
+   almost no additional IPS/W but force a bigger input SRAM).
+2. **SRAM size** — grow the input SRAM up to the *critical size* for that
+   batch (the size at which the whole per-layer input working set fits and
+   DRAM re-fetches vanish), bounded by a practical chip-area cap (~1 cm² in
+   the paper).
+3. **Array size** — sweep rows × columns and keep the configuration with the
+   best IPS/W; among near-ties, prefer the largest array because it delivers
+   higher absolute IPS.
+
+:class:`DesignOptimizer` implements exactly this flow on top of the
+:class:`~repro.core.simulation.SimulationFramework`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.config.chip import ChipConfig
+from repro.constants import BITS_PER_MB
+from repro.core.simulation import SimulationFramework
+from repro.errors import OptimizationError
+from repro.nn.network import Network
+from repro.perf.area import AreaModel
+from repro.perf.metrics import PerformanceMetrics
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of the three-step optimization flow."""
+
+    config: ChipConfig
+    metrics: PerformanceMetrics
+    chosen_batch_size: int
+    chosen_input_sram_mb: float
+    chosen_rows: int
+    chosen_columns: int
+    batch_candidates: Dict[int, float] = field(default_factory=dict)
+    array_candidates: List[Dict[str, float]] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary of the chosen design point."""
+        return {
+            "rows": self.chosen_rows,
+            "columns": self.chosen_columns,
+            "batch_size": self.chosen_batch_size,
+            "input_sram_mb": self.chosen_input_sram_mb,
+            "ips": self.metrics.inferences_per_second,
+            "power_w": self.metrics.power_w,
+            "ips_per_watt": self.metrics.ips_per_watt,
+            "area_mm2": self.metrics.area_mm2,
+        }
+
+
+class DesignOptimizer:
+    """Searches the design space with the paper's three-step flow.
+
+    Parameters
+    ----------
+    network:
+        Workload to optimise for (the paper uses ResNet-50 v1.5).
+    base_config:
+        Starting configuration; its technology constants, clock rate and
+        non-input SRAM sizes are kept.
+    area_cap_mm2:
+        Practical chip-size limit used in step 2.
+    ips_hiding_tolerance:
+        A batch size is "large enough" when its dual-core IPS reaches this
+        fraction of the IPS at the largest candidate batch.
+    """
+
+    DEFAULT_BATCH_CANDIDATES = (1, 2, 4, 8, 16, 32, 64, 128)
+    DEFAULT_ARRAY_CANDIDATES = (16, 32, 64, 128, 256)
+    DEFAULT_SRAM_CANDIDATES_MB = (1.0, 2.0, 4.0, 8.0, 16.0, 26.3, 32.0, 48.0, 64.0)
+
+    def __init__(
+        self,
+        network: Network,
+        base_config: ChipConfig,
+        area_cap_mm2: float = 160.0,
+        ips_hiding_tolerance: float = 0.9,
+    ) -> None:
+        if area_cap_mm2 <= 0:
+            raise OptimizationError(f"area_cap_mm2 must be > 0, got {area_cap_mm2}")
+        if not 0 < ips_hiding_tolerance <= 1:
+            raise OptimizationError(
+                f"ips_hiding_tolerance must be in (0, 1], got {ips_hiding_tolerance}"
+            )
+        self.network = network
+        self.base_config = base_config
+        self.area_cap_mm2 = area_cap_mm2
+        self.ips_hiding_tolerance = ips_hiding_tolerance
+        self.framework = SimulationFramework(network)
+
+    # ------------------------------------------------------------------ step 1
+    def choose_batch_size(
+        self, candidates: Sequence[int] = DEFAULT_BATCH_CANDIDATES
+    ) -> Dict[int, float]:
+        """Evaluate candidate batch sizes; return {batch: dual-core IPS}."""
+        if not candidates:
+            raise OptimizationError("batch candidates must be non-empty")
+        results: Dict[int, float] = {}
+        for batch in sorted(candidates):
+            config = self.base_config.with_updates(batch_size=int(batch), num_cores=2)
+            results[int(batch)] = self.framework.evaluate(config).inferences_per_second
+        return results
+
+    def smallest_sufficient_batch(
+        self, candidates: Sequence[int] = DEFAULT_BATCH_CANDIDATES
+    ) -> int:
+        """Smallest batch whose IPS is within tolerance of the largest batch's IPS."""
+        ips_by_batch = self.choose_batch_size(candidates)
+        reference = ips_by_batch[max(ips_by_batch)]
+        for batch in sorted(ips_by_batch):
+            if ips_by_batch[batch] >= self.ips_hiding_tolerance * reference:
+                return batch
+        return max(ips_by_batch)
+
+    # ------------------------------------------------------------------ step 2
+    def critical_input_sram_mb(self, batch_size: int) -> float:
+        """Input SRAM needed to hold the largest per-layer input working set (MB)."""
+        bits = self.network.largest_activation_bits(
+            self.base_config.technology.activation_bits, batch_size
+        )
+        return bits / BITS_PER_MB
+
+    def choose_input_sram_mb(
+        self,
+        batch_size: int,
+        candidates: Sequence[float] = DEFAULT_SRAM_CANDIDATES_MB,
+    ) -> float:
+        """Pick the smallest candidate ≥ the critical size that fits the area cap.
+
+        If no candidate reaches the critical size (or fits the cap), the
+        largest candidate that fits the area cap is returned.
+        """
+        if not candidates:
+            raise OptimizationError("SRAM candidates must be non-empty")
+        critical = self.critical_input_sram_mb(batch_size)
+        fitting: List[float] = []
+        for input_mb in sorted(candidates):
+            config = self.base_config.with_updates(
+                batch_size=batch_size, sram=self.base_config.sram.scaled_input(input_mb)
+            )
+            if not AreaModel(config).exceeds(self.area_cap_mm2):
+                fitting.append(input_mb)
+        if not fitting:
+            raise OptimizationError(
+                f"no candidate input SRAM size fits the {self.area_cap_mm2} mm² area cap"
+            )
+        for input_mb in fitting:
+            if input_mb >= critical:
+                return input_mb
+        return fitting[-1]
+
+    # ------------------------------------------------------------------ step 3
+    def choose_array_size(
+        self,
+        batch_size: int,
+        input_sram_mb: float,
+        rows_candidates: Sequence[int] = DEFAULT_ARRAY_CANDIDATES,
+        columns_candidates: Sequence[int] = DEFAULT_ARRAY_CANDIDATES,
+        tie_tolerance: float = 0.03,
+    ) -> List[Dict[str, float]]:
+        """Evaluate the rows × columns grid; return rows sorted by IPS/W."""
+        evaluations: List[Dict[str, float]] = []
+        for rows in rows_candidates:
+            for columns in columns_candidates:
+                config = self.base_config.with_updates(
+                    rows=int(rows),
+                    columns=int(columns),
+                    batch_size=batch_size,
+                    sram=self.base_config.sram.scaled_input(input_sram_mb),
+                )
+                metrics = self.framework.evaluate(config)
+                evaluations.append(
+                    {
+                        "rows": rows,
+                        "columns": columns,
+                        "ips": metrics.inferences_per_second,
+                        "ips_per_watt": metrics.ips_per_watt,
+                        "area_mm2": metrics.area_mm2,
+                        "feasible": metrics.feasible,
+                    }
+                )
+        evaluations.sort(key=lambda row: row["ips_per_watt"], reverse=True)
+        return evaluations
+
+    # ------------------------------------------------------------------ flow
+    def optimize(
+        self,
+        batch_candidates: Sequence[int] = DEFAULT_BATCH_CANDIDATES,
+        array_candidates: Sequence[int] = DEFAULT_ARRAY_CANDIDATES,
+        sram_candidates_mb: Sequence[float] = DEFAULT_SRAM_CANDIDATES_MB,
+        tie_tolerance: float = 0.03,
+    ) -> OptimizationResult:
+        """Run the full three-step flow and return the chosen design point."""
+        batch_ips = self.choose_batch_size(batch_candidates)
+        batch_size = self.smallest_sufficient_batch(batch_candidates)
+        input_sram_mb = self.choose_input_sram_mb(batch_size, sram_candidates_mb)
+        evaluations = self.choose_array_size(
+            batch_size, input_sram_mb, array_candidates, array_candidates, tie_tolerance
+        )
+
+        feasible = [row for row in evaluations if row["feasible"]]
+        if not feasible:
+            raise OptimizationError("no feasible array size found within the laser budget")
+        best_ipsw = feasible[0]["ips_per_watt"]
+        near_ties = [
+            row for row in feasible if row["ips_per_watt"] >= (1.0 - tie_tolerance) * best_ipsw
+        ]
+        # Among near-ties prefer the largest array (highest IPS), as the paper does.
+        chosen = max(near_ties, key=lambda row: (row["rows"] * row["columns"], row["ips"]))
+
+        final_config = self.base_config.with_updates(
+            rows=int(chosen["rows"]),
+            columns=int(chosen["columns"]),
+            batch_size=batch_size,
+            num_cores=2,
+            sram=self.base_config.sram.scaled_input(input_sram_mb),
+        )
+        metrics = self.framework.evaluate(final_config)
+        return OptimizationResult(
+            config=final_config,
+            metrics=metrics,
+            chosen_batch_size=batch_size,
+            chosen_input_sram_mb=input_sram_mb,
+            chosen_rows=int(chosen["rows"]),
+            chosen_columns=int(chosen["columns"]),
+            batch_candidates=batch_ips,
+            array_candidates=evaluations,
+        )

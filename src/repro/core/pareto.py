@@ -1,0 +1,136 @@
+"""Pareto-frontier extraction over design-space sweep results.
+
+The Section VI-B flow returns a single "best IPS/W" configuration, but a
+system architect usually wants the whole IPS-vs-power (or IPS-vs-area)
+trade-off curve.  :func:`pareto_frontier` filters a list of
+:class:`~repro.core.sweep.SweepResult` points down to the non-dominated set
+for any pair of objectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.sweep import SweepResult
+from repro.errors import SimulationError
+
+#: Objectives where larger values are better.
+MAXIMIZE = {"ips", "ips_per_watt"}
+#: Objectives where smaller values are better.
+MINIMIZE = {"power_w", "area_mm2", "energy_per_inference_j"}
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated design point with its objective values."""
+
+    parameters: Dict[str, float]
+    objectives: Dict[str, float]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat row combining parameters and objectives."""
+        row = dict(self.parameters)
+        row.update(self.objectives)
+        return row
+
+
+def _objective_value(result: SweepResult, objective: str) -> float:
+    row = result.row()
+    if objective not in row:
+        raise SimulationError(f"unknown objective {objective!r}")
+    return float(row[objective])
+
+
+def _dominates(a: Sequence[float], b: Sequence[float], senses: Sequence[bool]) -> bool:
+    """True when point ``a`` dominates ``b`` (senses[i] True = maximise)."""
+    at_least_as_good = True
+    strictly_better = False
+    for value_a, value_b, maximise in zip(a, b, senses):
+        if maximise:
+            if value_a < value_b:
+                at_least_as_good = False
+                break
+            if value_a > value_b:
+                strictly_better = True
+        else:
+            if value_a > value_b:
+                at_least_as_good = False
+                break
+            if value_a < value_b:
+                strictly_better = True
+    return at_least_as_good and strictly_better
+
+
+def pareto_frontier(
+    results: Sequence[SweepResult],
+    objectives: Sequence[str] = ("ips", "power_w"),
+    feasible_only: bool = True,
+) -> List[ParetoPoint]:
+    """Extract the non-dominated points of a sweep.
+
+    Parameters
+    ----------
+    results:
+        Evaluated sweep points.
+    objectives:
+        Metric names to trade off; each must be in :data:`MAXIMIZE` or
+        :data:`MINIMIZE`.
+    feasible_only:
+        Drop points whose optical link budget cannot be closed.
+
+    Returns
+    -------
+    list of ParetoPoint
+        Sorted by the first objective (best first).
+    """
+    if not results:
+        raise SimulationError("cannot compute a Pareto frontier of an empty sweep")
+    if len(objectives) < 2:
+        raise SimulationError("at least two objectives are required")
+    senses = []
+    for objective in objectives:
+        if objective in MAXIMIZE:
+            senses.append(True)
+        elif objective in MINIMIZE:
+            senses.append(False)
+        else:
+            raise SimulationError(
+                f"objective {objective!r} is not registered as maximise or minimise"
+            )
+
+    candidates = [
+        result
+        for result in results
+        if not feasible_only or result.metrics.feasible
+    ]
+    if not candidates:
+        raise SimulationError("no feasible design points in the sweep")
+
+    values = [
+        tuple(_objective_value(result, objective) for objective in objectives)
+        for result in candidates
+    ]
+    frontier: List[ParetoPoint] = []
+    for index, (result, value) in enumerate(zip(candidates, values)):
+        dominated = any(
+            _dominates(other, value, senses)
+            for other_index, other in enumerate(values)
+            if other_index != index
+        )
+        if not dominated:
+            frontier.append(
+                ParetoPoint(
+                    parameters=dict(result.parameters),
+                    objectives=dict(zip(objectives, value)),
+                )
+            )
+
+    reverse = senses[0]
+    frontier.sort(key=lambda point: point.objectives[objectives[0]], reverse=reverse)
+    return frontier
+
+
+def frontier_rows(frontier: Sequence[ParetoPoint]) -> List[Dict[str, float]]:
+    """Flatten a frontier into plain-dict rows for export."""
+    return [point.as_dict() for point in frontier]

@@ -1,0 +1,91 @@
+"""Plain-text report formatting for metrics, comparisons and breakdowns.
+
+The benchmark harness prints these tables so that each benchmark's output can
+be compared side by side with the corresponding table or figure of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.comparison import GpuComparison
+from repro.errors import SimulationError
+from repro.perf.metrics import PerformanceMetrics
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Format a simple fixed-width text table."""
+    rows = [list(map(str, row)) for row in rows]
+    if not headers:
+        raise SimulationError("a table needs at least one column")
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise SimulationError("table row length does not match header length")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+    lines = [fmt(list(headers)), fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_metrics_report(metrics: PerformanceMetrics) -> str:
+    """Human-readable report for one evaluated design point."""
+    config = metrics.config
+    lines = [
+        f"Design point : {config.describe()}",
+        f"Network      : {metrics.network_name}",
+        f"IPS          : {metrics.inferences_per_second:,.0f}",
+        f"Power        : {metrics.power_w:.2f} W",
+        f"IPS/W        : {metrics.ips_per_watt:,.0f}",
+        f"Area         : {metrics.area_mm2:.1f} mm^2",
+        f"Energy/inf   : {metrics.energy_per_inference_j * 1e6:.1f} uJ",
+        f"MAC util.    : {metrics.mac_utilization * 100:.1f} %",
+        f"Laser (elec) : {metrics.laser.electrical_power_w:.3f} W"
+        + ("" if metrics.feasible else "  [INFEASIBLE LINK BUDGET]"),
+        "",
+        "Power breakdown (W):",
+    ]
+    power = metrics.power_breakdown.components_w
+    for name, value in sorted(power.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {name:<18s} {value:8.3f}")
+    lines.append("")
+    lines.append("Area breakdown (mm^2):")
+    for name, value in sorted(metrics.area_breakdown.components_mm2.items(), key=lambda kv: -kv[1]):
+        if value > 0:
+            lines.append(f"  {name:<18s} {value:8.2f}")
+    return "\n".join(lines)
+
+
+def format_comparison_table(comparison: GpuComparison) -> str:
+    """Table I style comparison of this work vs. a GPU reference."""
+    rows: List[List[object]] = []
+    for row in comparison.rows():
+        rows.append(
+            [
+                row.system,
+                f"{row.ips:,.0f}",
+                f"{row.ips_per_watt:,.0f}",
+                f"{row.power_w:.0f} W",
+                f"{row.area_mm2:.0f} mm^2",
+            ]
+        )
+    table = format_table(["System", "IPS", "IPS/W", "Power", "Area"], rows)
+    summary = comparison.summary()
+    footer = (
+        f"power advantage: {summary['power_advantage']:.1f}x   "
+        f"area advantage: {summary['area_advantage']:.2f}x   "
+        f"IPS ratio: {summary['ips_ratio']:.2f}x"
+    )
+    return table + "\n" + footer
+
+
+def format_breakdown(breakdown: Dict[str, float], unit: str) -> str:
+    """Format any named breakdown (power, energy, area) as a text table."""
+    rows = [
+        [name, f"{value:.3f} {unit}"]
+        for name, value in sorted(breakdown.items(), key=lambda kv: -kv[1])
+    ]
+    return format_table(["component", f"value ({unit})"], rows)

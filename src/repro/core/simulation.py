@@ -1,0 +1,90 @@
+"""The two-step simulation framework of Fig. 5.
+
+Step 1 ("runtime specs") runs the dataflow simulator to obtain compute
+cycles, programming passes and memory traffic for a specific network, batch
+size and chip configuration.  Step 2 ("high-level metrics") feeds those specs
+to the power, area and laser models to obtain IPS, IPS/W, power and area.
+
+:class:`SimulationFramework` memoises both steps so that the design-space
+sweeps of Section VI (hundreds of design points over the same network) stay
+fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.config.chip import ChipConfig
+from repro.config.serialization import chip_config_to_dict
+from repro.errors import SimulationError
+from repro.nn.network import Network
+from repro.perf.metrics import PerformanceMetrics, evaluate_runtime
+from repro.scalesim.runtime import NetworkRuntime
+from repro.scalesim.simulator import CrossbarDataflowSimulator
+
+
+def _config_key(config: ChipConfig) -> Tuple:
+    """Hashable key identifying a chip configuration."""
+    data = chip_config_to_dict(config)
+    sram = data.pop("sram")
+    technology = data.pop("technology")
+    return (
+        tuple(sorted(data.items())),
+        tuple(sorted(sram.items())),
+        tuple(sorted(technology.items())),
+    )
+
+
+class SimulationFramework:
+    """End-to-end evaluation of (network, configuration) design points.
+
+    Parameters
+    ----------
+    network:
+        The CNN workload to evaluate (e.g. ResNet-50 v1.5).
+    cache:
+        Keep per-configuration results in memory; disable only when sweeping
+        more configurations than memory can comfortably hold.
+    """
+
+    def __init__(self, network: Network, cache: bool = True) -> None:
+        if network is None:
+            raise SimulationError("a network workload is required")
+        self.network = network
+        self._cache_enabled = cache
+        self._runtime_cache: Dict[Tuple, NetworkRuntime] = {}
+        self._metrics_cache: Dict[Tuple, PerformanceMetrics] = {}
+
+    # ------------------------------------------------------------------ step 1
+    def runtime_specs(self, config: ChipConfig) -> NetworkRuntime:
+        """Step 1: compute cycles, programming passes and memory traffic."""
+        key = _config_key(config) if self._cache_enabled else None
+        if key is not None and key in self._runtime_cache:
+            return self._runtime_cache[key]
+        runtime = CrossbarDataflowSimulator(config).simulate(self.network)
+        if key is not None:
+            self._runtime_cache[key] = runtime
+        return runtime
+
+    # ------------------------------------------------------------------ step 2
+    def evaluate(self, config: ChipConfig) -> PerformanceMetrics:
+        """Step 2: IPS, IPS/W, power and area for one design point."""
+        key = _config_key(config) if self._cache_enabled else None
+        if key is not None and key in self._metrics_cache:
+            return self._metrics_cache[key]
+        runtime = self.runtime_specs(config)
+        metrics = evaluate_runtime(runtime)
+        if key is not None:
+            self._metrics_cache[key] = metrics
+        return metrics
+
+    # ------------------------------------------------------------------ misc
+    def clear_cache(self) -> None:
+        """Drop all memoised results."""
+        self._runtime_cache.clear()
+        self._metrics_cache.clear()
+
+    @property
+    def cache_size(self) -> int:
+        """Number of memoised metric evaluations."""
+        return len(self._metrics_cache)

@@ -1,0 +1,138 @@
+"""Design-space sweep utilities.
+
+These helpers generate the data behind the paper's Section VI trend studies:
+IPS/W over array dimensions (Fig. 6), power and IPS/W over batch and SRAM
+sizes (Fig. 7a/7b), and IPS over batch size for one vs. two cores (Fig. 7c).
+Each sweep returns a list of :class:`SweepResult` rows that the analysis and
+benchmark layers turn into the actual figure series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.config.chip import ChipConfig
+from repro.core.simulation import SimulationFramework
+from repro.errors import SimulationError
+from repro.nn.network import Network
+from repro.perf.metrics import PerformanceMetrics
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One evaluated design point of a sweep."""
+
+    parameters: Dict[str, float]
+    metrics: PerformanceMetrics
+
+    def value(self, name: str) -> float:
+        """Look up a swept parameter by name."""
+        if name not in self.parameters:
+            raise SimulationError(f"sweep parameter {name!r} not recorded")
+        return self.parameters[name]
+
+    def row(self) -> Dict[str, float]:
+        """Flat row combining the swept parameters and the headline metrics."""
+        row = dict(self.parameters)
+        row.update(
+            {
+                "ips": self.metrics.inferences_per_second,
+                "power_w": self.metrics.power_w,
+                "ips_per_watt": self.metrics.ips_per_watt,
+                "area_mm2": self.metrics.area_mm2,
+                "energy_per_inference_j": self.metrics.energy_per_inference_j,
+                "feasible": self.metrics.feasible,
+            }
+        )
+        return row
+
+
+def _evaluate_many(
+    network: Network,
+    configs: Iterable[ChipConfig],
+    parameter_sets: Iterable[Dict[str, float]],
+    framework: Optional[SimulationFramework] = None,
+) -> List[SweepResult]:
+    framework = framework or SimulationFramework(network)
+    results: List[SweepResult] = []
+    for config, parameters in zip(configs, parameter_sets):
+        metrics = framework.evaluate(config)
+        results.append(SweepResult(parameters=parameters, metrics=metrics))
+    return results
+
+
+def sweep_array_sizes(
+    network: Network,
+    base_config: ChipConfig,
+    rows_values: Sequence[int],
+    columns_values: Sequence[int],
+    framework: Optional[SimulationFramework] = None,
+) -> List[SweepResult]:
+    """Sweep the crossbar dimensions over a rows × columns grid (Fig. 6)."""
+    if not rows_values or not columns_values:
+        raise SimulationError("rows_values and columns_values must be non-empty")
+    configs = []
+    parameters = []
+    for rows in rows_values:
+        for columns in columns_values:
+            configs.append(base_config.with_updates(rows=int(rows), columns=int(columns)))
+            parameters.append({"rows": float(rows), "columns": float(columns)})
+    return _evaluate_many(network, configs, parameters, framework)
+
+
+def sweep_batch_sizes(
+    network: Network,
+    base_config: ChipConfig,
+    batch_sizes: Sequence[int],
+    num_cores_values: Sequence[int] = (2,),
+    framework: Optional[SimulationFramework] = None,
+) -> List[SweepResult]:
+    """Sweep the batch size (and optionally the core count) — Fig. 7a / 7c."""
+    if not batch_sizes:
+        raise SimulationError("batch_sizes must be non-empty")
+    configs = []
+    parameters = []
+    for num_cores in num_cores_values:
+        for batch in batch_sizes:
+            configs.append(
+                base_config.with_updates(batch_size=int(batch), num_cores=int(num_cores))
+            )
+            parameters.append({"batch_size": float(batch), "num_cores": float(num_cores)})
+    return _evaluate_many(network, configs, parameters, framework)
+
+
+def sweep_input_sram(
+    network: Network,
+    base_config: ChipConfig,
+    input_sram_mb_values: Sequence[float],
+    batch_sizes: Sequence[int] = (32,),
+    framework: Optional[SimulationFramework] = None,
+) -> List[SweepResult]:
+    """Sweep the input-SRAM capacity for one or more batch sizes — Fig. 7b."""
+    if not input_sram_mb_values:
+        raise SimulationError("input_sram_mb_values must be non-empty")
+    configs = []
+    parameters = []
+    for batch in batch_sizes:
+        for input_mb in input_sram_mb_values:
+            configs.append(
+                base_config.with_updates(
+                    batch_size=int(batch),
+                    sram=base_config.sram.scaled_input(float(input_mb)),
+                )
+            )
+            parameters.append({"batch_size": float(batch), "input_sram_mb": float(input_mb)})
+    return _evaluate_many(network, configs, parameters, framework)
+
+
+def best_by(results: Sequence[SweepResult], metric: str = "ips_per_watt") -> SweepResult:
+    """Return the sweep point with the best value of ``metric`` (higher is better)."""
+    if not results:
+        raise SimulationError("cannot select the best point of an empty sweep")
+    def key(result: SweepResult) -> float:
+        row = result.row()
+        if metric not in row:
+            raise SimulationError(f"unknown metric {metric!r}")
+        return row[metric]
+    return max(results, key=key)

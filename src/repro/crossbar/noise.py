@@ -1,0 +1,131 @@
+"""Noise and impairment models for the functional crossbar.
+
+Analog optical computing is limited by several impairments that the paper
+acknowledges (Section III-A.2) without modelling in detail:
+
+* residual *phase errors* between unit-cell paths reduce the coherent sum;
+* *amplitude noise* (laser RIN, shot noise, TIA noise) perturbs the detected
+  value;
+* *PCM programming variability* perturbs the stored weights.
+
+:class:`CrossbarNoiseModel` injects these impairments into the analytical
+array model so their effect on INT6 accuracy can be studied (see the
+``precision`` ablation benchmark and the noise examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeviceModelError
+
+
+@dataclass(frozen=True)
+class CrossbarNoiseModel:
+    """Impairment magnitudes applied by the functional crossbar.
+
+    Parameters
+    ----------
+    phase_error_std_rad:
+        Standard deviation of the residual per-cell phase error (radians).
+        The coherent sum of N contributions with phase errors φ_i is reduced
+        by the factor ``mean(cos φ_i)`` on average and acquires a relative
+        fluctuation ~ ``phase_error_std / sqrt(N)``.
+    relative_amplitude_noise:
+        RMS multiplicative amplitude noise on each column field.
+    additive_noise_floor:
+        RMS additive noise on each column field, relative to the full-scale
+        field (models receiver/ADC input-referred noise).
+    weight_programming_std:
+        RMS error of a programmed PCM transmission (absolute, in [0, 1] units).
+    """
+
+    phase_error_std_rad: float = 0.0
+    relative_amplitude_noise: float = 0.0
+    additive_noise_floor: float = 0.0
+    weight_programming_std: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "phase_error_std_rad",
+            "relative_amplitude_noise",
+            "additive_noise_floor",
+            "weight_programming_std",
+        ):
+            if getattr(self, name) < 0:
+                raise DeviceModelError(f"{name} must be >= 0")
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def is_ideal(self) -> bool:
+        """True when every impairment is zero."""
+        return (
+            self.phase_error_std_rad == 0.0
+            and self.relative_amplitude_noise == 0.0
+            and self.additive_noise_floor == 0.0
+            and self.weight_programming_std == 0.0
+        )
+
+    def coherence_factor(self) -> float:
+        """Average reduction of the coherent sum due to phase errors.
+
+        For Gaussian phase errors with standard deviation σ the expected value
+        of ``cos(φ)`` is ``exp(-σ²/2)``.
+        """
+        return float(np.exp(-0.5 * self.phase_error_std_rad**2))
+
+    # ------------------------------------------------------------------ apply
+    def apply_to_weights(
+        self, weights: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Perturb a programmed weight matrix with programming variability."""
+        weights = np.asarray(weights, dtype=float)
+        if self.weight_programming_std == 0.0:
+            return weights.copy()
+        noise = rng.normal(0.0, self.weight_programming_std, size=weights.shape)
+        return np.clip(weights + noise, 0.0, 1.0)
+
+    def apply_to_fields(
+        self, fields: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Apply phase-error shrinkage, multiplicative and additive noise to fields."""
+        fields = np.asarray(fields, dtype=float)
+        result = fields * self.coherence_factor()
+        if self.relative_amplitude_noise > 0.0:
+            gain = rng.normal(1.0, self.relative_amplitude_noise, size=fields.shape)
+            result = result * gain
+        if self.additive_noise_floor > 0.0:
+            full_scale = float(np.max(np.abs(fields))) if fields.size else 0.0
+            if full_scale > 0.0:
+                result = result + rng.normal(
+                    0.0, self.additive_noise_floor * full_scale, size=fields.shape
+                )
+        return result
+
+    # ------------------------------------------------------------------ presets
+    @classmethod
+    def ideal(cls) -> "CrossbarNoiseModel":
+        """No impairments."""
+        return cls()
+
+    @classmethod
+    def typical(cls) -> "CrossbarNoiseModel":
+        """A representative impairment set for a calibrated 45 nm array."""
+        return cls(
+            phase_error_std_rad=0.05,
+            relative_amplitude_noise=0.005,
+            additive_noise_floor=0.002,
+            weight_programming_std=0.004,
+        )
+
+    @classmethod
+    def pessimistic(cls) -> "CrossbarNoiseModel":
+        """A poorly calibrated array, useful for robustness studies."""
+        return cls(
+            phase_error_std_rad=0.2,
+            relative_amplitude_noise=0.02,
+            additive_noise_floor=0.01,
+            weight_programming_std=0.015,
+        )

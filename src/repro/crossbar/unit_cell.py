@@ -1,0 +1,184 @@
+"""Device-level unit-cell model.
+
+A unit cell (Fig. 3 of the paper) consists of
+
+* an input directional coupler tapping a column-dependent fraction of the row
+  field into a bended waveguide,
+* the PCM-covered section multiplying the field by the stored weight,
+* an output directional coupler injecting the product into the column
+  waveguide, and
+* an MMI crossing where the remaining row field crosses the column waveguide,
+* a small thermal phase shifter on the column waveguide for calibration.
+
+Composing unit cells device by device is slow but exact; the test-suite uses
+small device-level arrays to validate the analytical
+:class:`~repro.crossbar.array.CrossbarArray` model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.config.technology import TechnologyConfig
+from repro.errors import SimulationError
+from repro.photonics.coupler import DirectionalCoupler
+from repro.photonics.mmi import MMICrossing
+from repro.photonics.pcm import PCMCell
+from repro.photonics.phase_shifter import ThermalPhaseShifter
+
+
+@dataclass
+class UnitCell:
+    """One PCM crossbar unit cell composed of explicit device models.
+
+    Parameters
+    ----------
+    input_coupling:
+        Power cross-coupling ratio of the input DC (column dependent).
+    output_coupling:
+        Power cross-coupling ratio of the output DC (row dependent).
+    technology:
+        Device constants used to build the PCM cell and crossing.
+    lossless:
+        When True (default) the couplers and crossing are treated as lossless,
+        which is the assumption under which Eq. (1) holds exactly; when False
+        the devices' excess losses are included.
+    """
+
+    input_coupling: float
+    output_coupling: float
+    technology: TechnologyConfig = field(default_factory=TechnologyConfig)
+    lossless: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.input_coupling <= 1.0:
+            raise SimulationError(
+                f"input_coupling must be in [0, 1], got {self.input_coupling}"
+            )
+        if not 0.0 <= self.output_coupling <= 1.0:
+            raise SimulationError(
+                f"output_coupling must be in [0, 1], got {self.output_coupling}"
+            )
+        excess = 0.0 if self.lossless else self.technology.directional_coupler_excess_loss_db
+        crossing_loss = 0.0 if self.lossless else self.technology.mmi_crossing_loss_db
+        self.input_dc = DirectionalCoupler(kappa=self.input_coupling, excess_loss_db=excess)
+        self.output_dc = DirectionalCoupler(kappa=self.output_coupling, excess_loss_db=excess)
+        self.crossing = MMICrossing(insertion_loss_db=crossing_loss)
+        self.pcm = PCMCell(
+            levels=self.technology.pcm_levels,
+            min_transmission=self.technology.pcm_min_transmission,
+            max_transmission=self.technology.pcm_max_transmission,
+            programming_energy_j=self.technology.pcm_programming_energy_j,
+            programming_time_s=self.technology.pcm_programming_time_s,
+            insertion_loss_db=0.0 if self.lossless else self.technology.pcm_insertion_loss_db,
+        )
+        self.phase_shifter = ThermalPhaseShifter(
+            insertion_loss_db=0.0 if self.lossless else self.technology.phase_shifter_insertion_loss_db
+        )
+
+    # ------------------------------------------------------------------ program
+    def program(self, weight: float) -> float:
+        """Program the cell's PCM to a weight in [0, 1]; returns the quantised value."""
+        return self.pcm.program(weight)["transmission"]
+
+    @property
+    def weight(self) -> float:
+        """The currently programmed (quantised) weight."""
+        return self.pcm.transmission
+
+    # ------------------------------------------------------------------ propagate
+    def propagate(
+        self, row_field_in: float, column_field_in: float
+    ) -> Tuple[float, float]:
+        """Propagate the row and column fields through the cell (magnitudes).
+
+        Parameters
+        ----------
+        row_field_in:
+            E-field magnitude arriving on the row waveguide from the left.
+        column_field_in:
+            E-field magnitude arriving on the column waveguide from above.
+
+        Returns
+        -------
+        (row_field_out, column_field_out):
+            Fields leaving to the right (next column) and below (next row).
+        """
+        if row_field_in < 0 or column_field_in < 0:
+            raise SimulationError("field magnitudes must be >= 0")
+
+        # Input DC: tap a fraction of the row field into the bended waveguide.
+        tapped = row_field_in * self.input_dc.cross_field * self.input_dc.excess_field
+        row_through = row_field_in * self.input_dc.through_field * self.input_dc.excess_field
+
+        # The through light crosses the column waveguide in the MMI crossing.
+        row_field_out = row_through * self.crossing.field_transmission
+
+        # The tapped light is attenuated by the PCM weight.
+        product = tapped * self.pcm.transmission
+
+        # Output DC: the column field passes through while the product is
+        # injected from the cross port; with matched phases the magnitudes add.
+        dc = self.output_dc
+        column_field_out = (
+            column_field_in * dc.through_field * dc.excess_field
+            + product * dc.cross_field * dc.excess_field
+        )
+        column_field_out *= self.phase_shifter.field_transmission
+        return row_field_out, column_field_out
+
+
+def build_device_level_array(
+    weights: np.ndarray,
+    technology: Optional[TechnologyConfig] = None,
+    lossless: bool = True,
+) -> np.ndarray:
+    """Build an (N, M) grid of :class:`UnitCell` programmed with ``weights``."""
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 2:
+        raise SimulationError(f"weights must be 2-D, got shape {weights.shape}")
+    technology = technology or TechnologyConfig()
+    rows, columns = weights.shape
+
+    from repro.crossbar.array import design_input_coupling, design_output_coupling
+
+    k_in = design_input_coupling(columns)
+    k_out = design_output_coupling(rows)
+    cells = np.empty((rows, columns), dtype=object)
+    for i in range(rows):
+        for j in range(columns):
+            cell = UnitCell(
+                input_coupling=float(k_in[j]),
+                output_coupling=float(k_out[i]),
+                technology=technology,
+                lossless=lossless,
+            )
+            cell.program(float(weights[i, j]))
+            cells[i, j] = cell
+    return cells
+
+
+def device_level_matvec(
+    cells: np.ndarray, row_inputs: np.ndarray
+) -> np.ndarray:
+    """Propagate row input fields through a device-level cell grid.
+
+    ``row_inputs`` are the E-field magnitudes entering each row (already
+    including the splitter tree's ``1/sqrt(N)``).  Returns the column output
+    fields at the bottom of the array.
+    """
+    rows, columns = cells.shape
+    row_inputs = np.asarray(row_inputs, dtype=float)
+    if row_inputs.shape != (rows,):
+        raise SimulationError(
+            f"row_inputs must have shape ({rows},), got {row_inputs.shape}"
+        )
+    column_fields = np.zeros(columns)
+    for i in range(rows):
+        row_field = row_inputs[i]
+        for j in range(columns):
+            row_field, column_fields[j] = cells[i, j].propagate(row_field, column_fields[j])
+    return column_fields

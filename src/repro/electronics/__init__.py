@@ -1,0 +1,38 @@
+"""Peripheral electronic circuit models.
+
+The crossbar's optical MAC only pays off if the electro-optical conversions
+around it are fast and cheap.  This package models the power, energy and area
+of every peripheral block the paper enumerates in Section III-B:
+
+* :class:`~repro.electronics.dac.ODACDriverBank` — per-row optical-DAC drivers
+* :class:`~repro.electronics.adc.ADCBank` — per-column 10 GS/s ADCs
+* :class:`~repro.electronics.tia.TIABank` — per-column trans-impedance amplifiers
+* :class:`~repro.electronics.serdes.SerDesBank` — serializers/deserializers
+* :class:`~repro.electronics.clocking.ClockDistribution` — clock generation/distribution
+* :class:`~repro.electronics.accumulator.DigitalAccumulator` — partial-sum accumulation
+* :class:`~repro.electronics.activation.ActivationUnit` — the non-linear activation block
+
+Every model exposes ``dynamic_energy_per_cycle_j``, ``static_power_w`` and
+``area_mm2`` so the chip-level power/area roll-up in :mod:`repro.perf` can
+treat them uniformly (see :class:`~repro.electronics.components.PeripheralBlock`).
+"""
+
+from repro.electronics.accumulator import DigitalAccumulator
+from repro.electronics.activation import ActivationUnit
+from repro.electronics.adc import ADCBank
+from repro.electronics.clocking import ClockDistribution
+from repro.electronics.components import PeripheralBlock
+from repro.electronics.dac import ODACDriverBank
+from repro.electronics.serdes import SerDesBank
+from repro.electronics.tia import TIABank
+
+__all__ = [
+    "ADCBank",
+    "ActivationUnit",
+    "ClockDistribution",
+    "DigitalAccumulator",
+    "ODACDriverBank",
+    "PeripheralBlock",
+    "SerDesBank",
+    "TIABank",
+]

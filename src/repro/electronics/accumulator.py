@@ -1,0 +1,61 @@
+"""Digital partial-sum accumulator.
+
+When a layer's weight matrix is larger than the crossbar, the matrix is
+processed in tiles and the per-tile dot products must be accumulated
+digitally.  The accumulator sits after the ADC/deserializer, holds partial
+sums in the accumulator SRAM, and adds new partial sums as they arrive
+(paper Section IV).
+"""
+
+from __future__ import annotations
+
+from repro.config.technology import TechnologyConfig
+from repro.electronics.components import PeripheralBlock
+from repro.errors import DeviceModelError
+
+
+class DigitalAccumulator(PeripheralBlock):
+    """Per-column accumulation logic of one crossbar core.
+
+    Parameters
+    ----------
+    columns:
+        Number of accumulation lanes (one per crossbar column).
+    technology:
+        Device constants; ``accumulator_energy_per_op_j`` is the energy of one
+        add at the accumulator precision.
+    """
+
+    def __init__(
+        self,
+        columns: int,
+        technology: TechnologyConfig | None = None,
+    ) -> None:
+        if columns < 1:
+            raise DeviceModelError(f"columns must be >= 1, got {columns}")
+        self.columns = columns
+        self.technology = technology or TechnologyConfig()
+
+    @property
+    def name(self) -> str:
+        return "accumulator"
+
+    @property
+    def dynamic_energy_per_cycle_j(self) -> float:
+        """Energy for one accumulate on every column (J)."""
+        return self.columns * self.technology.accumulator_energy_per_op_j
+
+    @property
+    def static_power_w(self) -> float:
+        return 0.0
+
+    @property
+    def area_mm2(self) -> float:
+        """Total accumulator logic area (mm²)."""
+        return self.columns * self.technology.accumulator_area_per_lane_mm2
+
+    def energy_for_ops(self, num_ops: float) -> float:
+        """Energy for an explicit number of accumulate operations (J)."""
+        if num_ops < 0:
+            raise DeviceModelError(f"num_ops must be >= 0, got {num_ops}")
+        return num_ops * self.technology.accumulator_energy_per_op_j

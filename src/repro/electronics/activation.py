@@ -1,0 +1,70 @@
+"""Activation unit.
+
+After all partial sums of an output element have been accumulated, a digital
+activation unit applies the layer's non-linearity (ReLU for ResNet-50) before
+the result is written to the output SRAM (paper Section IV, Fig. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.technology import TechnologyConfig
+from repro.electronics.components import PeripheralBlock
+from repro.errors import DeviceModelError
+
+
+class ActivationUnit(PeripheralBlock):
+    """Digital activation block shared by all columns.
+
+    The functional ``apply`` method implements the activations needed by the
+    bundled CNN workloads; the energy/area figures feed the chip roll-up.
+    """
+
+    SUPPORTED = ("relu", "relu6", "identity", "sigmoid", "tanh")
+
+    def __init__(self, technology: TechnologyConfig | None = None) -> None:
+        self.technology = technology or TechnologyConfig()
+
+    # ------------------------------------------------------------------ functional
+    def apply(self, values: np.ndarray, kind: str = "relu") -> np.ndarray:
+        """Apply an activation function elementwise."""
+        if kind not in self.SUPPORTED:
+            raise DeviceModelError(
+                f"unsupported activation {kind!r}; expected one of {self.SUPPORTED}"
+            )
+        values = np.asarray(values, dtype=float)
+        if kind == "relu":
+            return np.maximum(values, 0.0)
+        if kind == "relu6":
+            return np.clip(values, 0.0, 6.0)
+        if kind == "sigmoid":
+            return 1.0 / (1.0 + np.exp(-values))
+        if kind == "tanh":
+            return np.tanh(values)
+        return values
+
+    # ------------------------------------------------------------------ interface
+    @property
+    def name(self) -> str:
+        return "activation"
+
+    @property
+    def dynamic_energy_per_cycle_j(self) -> float:
+        """Energy to activate one output element (J)."""
+        return self.technology.activation_energy_per_op_j
+
+    @property
+    def static_power_w(self) -> float:
+        return 0.0
+
+    @property
+    def area_mm2(self) -> float:
+        """Activation block area (mm²)."""
+        return self.technology.activation_area_mm2
+
+    def energy_for_ops(self, num_ops: float) -> float:
+        """Energy for an explicit number of activation operations (J)."""
+        if num_ops < 0:
+            raise DeviceModelError(f"num_ops must be >= 0, got {num_ops}")
+        return num_ops * self.technology.activation_energy_per_op_j

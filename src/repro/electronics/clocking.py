@@ -1,0 +1,57 @@
+"""High-speed clock generation and distribution.
+
+The 10 GHz transmit and receive chains need a clean clock distributed to every
+row and column lane.  The paper budgets ~200 fJ per cycle and 0.005 mm² per
+row/column lane (Section III-B.3, [15]).
+"""
+
+from __future__ import annotations
+
+from repro.config.technology import TechnologyConfig
+from repro.electronics.components import PeripheralBlock
+from repro.errors import DeviceModelError
+
+
+class ClockDistribution(PeripheralBlock):
+    """Clock generation + distribution for all lanes of one crossbar core."""
+
+    def __init__(
+        self,
+        rows: int,
+        columns: int,
+        technology: TechnologyConfig | None = None,
+        mac_clock_hz: float = 10e9,
+    ) -> None:
+        if rows < 1 or columns < 1:
+            raise DeviceModelError(
+                f"array dimensions must be >= 1, got {rows}x{columns}"
+            )
+        if mac_clock_hz <= 0:
+            raise DeviceModelError(f"mac_clock_hz must be > 0, got {mac_clock_hz}")
+        self.rows = rows
+        self.columns = columns
+        self.technology = technology or TechnologyConfig()
+        self.mac_clock_hz = mac_clock_hz
+
+    @property
+    def lanes(self) -> int:
+        """Number of clocked lanes (rows + columns)."""
+        return self.rows + self.columns
+
+    @property
+    def name(self) -> str:
+        return "clocking"
+
+    @property
+    def dynamic_energy_per_cycle_j(self) -> float:
+        """Clock energy per MAC cycle across all lanes (J)."""
+        return self.lanes * self.technology.clock_energy_per_cycle_j
+
+    @property
+    def static_power_w(self) -> float:
+        return 0.0
+
+    @property
+    def area_mm2(self) -> float:
+        """Total clocking area (mm²)."""
+        return self.lanes * self.technology.clock_area_per_lane_mm2

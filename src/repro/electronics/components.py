@@ -1,0 +1,68 @@
+"""Common interface for peripheral electronic blocks.
+
+Each peripheral block reports three quantities that the chip-level roll-up
+needs:
+
+* ``dynamic_energy_per_cycle_j`` — energy consumed per MAC clock cycle while
+  the block is actively processing data;
+* ``static_power_w`` — power drawn whenever the chip is on, independent of
+  activity (bias currents, thermal tuning, clock trees);
+* ``area_mm2`` — silicon area of the block.
+
+Keeping the interface energy-centric (rather than power-centric) is what
+makes IPS/W invariant to the single-/dual-core choice, exactly as the paper
+observes in Section VI-A.1: a dual-core chip finishes an inference in less
+time but spends the same energy on it.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class PeripheralBlock(abc.ABC):
+    """Abstract base class for peripheral electronics power/area models."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short identifier used in power/area breakdowns."""
+
+    @property
+    @abc.abstractmethod
+    def dynamic_energy_per_cycle_j(self) -> float:
+        """Dynamic energy per active MAC clock cycle (J)."""
+
+    @property
+    @abc.abstractmethod
+    def static_power_w(self) -> float:
+        """Always-on static power (W)."""
+
+    @property
+    @abc.abstractmethod
+    def area_mm2(self) -> float:
+        """Block area (mm²)."""
+
+    # ------------------------------------------------------------------ helpers
+    def dynamic_power_w(self, clock_hz: float, activity: float = 1.0) -> float:
+        """Dynamic power at a given clock rate and activity factor (W)."""
+        if clock_hz < 0:
+            raise ValueError(f"clock_hz must be >= 0, got {clock_hz}")
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError(f"activity must be in [0, 1], got {activity}")
+        return self.dynamic_energy_per_cycle_j * clock_hz * activity
+
+    def energy_for_cycles(self, num_cycles: float) -> float:
+        """Dynamic energy consumed over ``num_cycles`` active cycles (J)."""
+        if num_cycles < 0:
+            raise ValueError(f"num_cycles must be >= 0, got {num_cycles}")
+        return self.dynamic_energy_per_cycle_j * num_cycles
+
+    def summary(self) -> dict:
+        """Dictionary summary used by reports and tests."""
+        return {
+            "name": self.name,
+            "dynamic_energy_per_cycle_j": self.dynamic_energy_per_cycle_j,
+            "static_power_w": self.static_power_w,
+            "area_mm2": self.area_mm2,
+        }

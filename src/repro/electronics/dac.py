@@ -1,0 +1,67 @@
+"""ODAC driver bank: the electrical drivers behind the per-row transmitters.
+
+Each crossbar row has one RAMZI transmitter containing
+``rings_per_transmitter`` ring ODACs.  Per the paper (Section III-B.1, [15])
+each ODAC driver consumes 168 fJ per 10 GS/s sample and 0.0012 mm², with an
+additional 0.72 mW of thermal tuning per ring.
+"""
+
+from __future__ import annotations
+
+from repro.config.technology import TechnologyConfig
+from repro.electronics.components import PeripheralBlock
+from repro.errors import DeviceModelError
+
+
+class ODACDriverBank(PeripheralBlock):
+    """Drivers and thermal tuning for all row transmitters of one core.
+
+    Parameters
+    ----------
+    rows:
+        Number of crossbar rows (one transmitter per row).
+    technology:
+        Device constants.
+    mac_clock_hz:
+        MAC (sample) rate; energy figures in the technology config are quoted
+        per sample, so the clock only affects derived power numbers.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        technology: TechnologyConfig | None = None,
+        mac_clock_hz: float = 10e9,
+    ) -> None:
+        if rows < 1:
+            raise DeviceModelError(f"rows must be >= 1, got {rows}")
+        if mac_clock_hz <= 0:
+            raise DeviceModelError(f"mac_clock_hz must be > 0, got {mac_clock_hz}")
+        self.rows = rows
+        self.technology = technology or TechnologyConfig()
+        self.mac_clock_hz = mac_clock_hz
+
+    # ------------------------------------------------------------------ interface
+    @property
+    def name(self) -> str:
+        return "odac_drivers"
+
+    @property
+    def rings_total(self) -> int:
+        """Total number of ring ODACs across all row transmitters."""
+        return self.rows * self.technology.rings_per_transmitter
+
+    @property
+    def dynamic_energy_per_cycle_j(self) -> float:
+        """Driver energy for one new sample on every row (J)."""
+        return self.rings_total * self.technology.odac_driver_energy_per_sample_j
+
+    @property
+    def static_power_w(self) -> float:
+        """Thermal tuning power of all rings (W)."""
+        return self.rings_total * self.technology.ring_thermal_tuning_power_w
+
+    @property
+    def area_mm2(self) -> float:
+        """Driver area of all rings (mm²)."""
+        return self.rings_total * self.technology.odac_driver_area_mm2

@@ -1,0 +1,102 @@
+"""SerDes bank: serializers/deserializers between SRAM and the optical array.
+
+The crossbar runs at 10 GHz while the digital backend (SRAM) runs near 1 GHz,
+so every row needs a serializer and every column a deserializer with a ~10:1
+ratio.  The paper budgets roughly 100 fJ per serialised bit (Section
+III-B.3, [15]).
+"""
+
+from __future__ import annotations
+
+from repro.config.technology import TechnologyConfig
+from repro.electronics.components import PeripheralBlock
+from repro.errors import DeviceModelError
+
+
+class SerDesBank(PeripheralBlock):
+    """Serializers for all rows plus deserializers for all columns of one core.
+
+    Parameters
+    ----------
+    rows, columns:
+        Crossbar dimensions; rows are serialised (input side), columns are
+        deserialised (output side).
+    technology:
+        Device constants (energy per bit, lane area, backend clock rate).
+    mac_clock_hz:
+        MAC rate, used to compute the serialization ratio.
+    bits_per_row_sample, bits_per_column_sample:
+        Word widths moved per MAC cycle on the input and output sides; default
+        to the technology's activation and output precisions.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        columns: int,
+        technology: TechnologyConfig | None = None,
+        mac_clock_hz: float = 10e9,
+        bits_per_row_sample: int | None = None,
+        bits_per_column_sample: int | None = None,
+    ) -> None:
+        if rows < 1 or columns < 1:
+            raise DeviceModelError(
+                f"array dimensions must be >= 1, got {rows}x{columns}"
+            )
+        if mac_clock_hz <= 0:
+            raise DeviceModelError(f"mac_clock_hz must be > 0, got {mac_clock_hz}")
+        self.rows = rows
+        self.columns = columns
+        self.technology = technology or TechnologyConfig()
+        self.mac_clock_hz = mac_clock_hz
+        self.bits_per_row_sample = (
+            bits_per_row_sample
+            if bits_per_row_sample is not None
+            else self.technology.activation_bits
+        )
+        self.bits_per_column_sample = (
+            bits_per_column_sample
+            if bits_per_column_sample is not None
+            else self.technology.output_bits
+        )
+        if self.bits_per_row_sample < 1 or self.bits_per_column_sample < 1:
+            raise DeviceModelError("bits per sample must be >= 1")
+
+    # ------------------------------------------------------------------ derived
+    @property
+    def serialization_ratio(self) -> int:
+        """MAC-clock to backend-clock ratio (e.g. 10:1 for 10 GHz / 1 GHz)."""
+        ratio = self.mac_clock_hz / self.technology.backend_clock_hz
+        return max(1, int(round(ratio)))
+
+    @property
+    def lanes(self) -> int:
+        """Number of SerDes lanes (one per row plus one per column)."""
+        return self.rows + self.columns
+
+    @property
+    def bits_per_cycle(self) -> float:
+        """Bits serialised plus deserialised per MAC cycle."""
+        return (
+            self.rows * self.bits_per_row_sample
+            + self.columns * self.bits_per_column_sample
+        )
+
+    # ------------------------------------------------------------------ interface
+    @property
+    def name(self) -> str:
+        return "serdes"
+
+    @property
+    def dynamic_energy_per_cycle_j(self) -> float:
+        """SerDes energy per MAC cycle (J)."""
+        return self.bits_per_cycle * self.technology.serdes_energy_per_bit_j
+
+    @property
+    def static_power_w(self) -> float:
+        return 0.0
+
+    @property
+    def area_mm2(self) -> float:
+        """Total SerDes area (mm²)."""
+        return self.lanes * self.technology.serdes_area_mm2

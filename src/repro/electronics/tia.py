@@ -1,0 +1,57 @@
+"""TIA bank: per-column trans-impedance amplifiers.
+
+Each balanced-photodiode output is amplified by a TIA before digitisation.
+The paper budgets 2.25 mW per TIA based on a 45 nm coherent receiver
+demonstration (Section III-B.2, [17]).
+"""
+
+from __future__ import annotations
+
+from repro.config.technology import TechnologyConfig
+from repro.electronics.components import PeripheralBlock
+from repro.errors import DeviceModelError
+
+
+class TIABank(PeripheralBlock):
+    """All column TIAs of one crossbar core."""
+
+    def __init__(
+        self,
+        columns: int,
+        technology: TechnologyConfig | None = None,
+        mac_clock_hz: float = 10e9,
+    ) -> None:
+        if columns < 1:
+            raise DeviceModelError(f"columns must be >= 1, got {columns}")
+        if mac_clock_hz <= 0:
+            raise DeviceModelError(f"mac_clock_hz must be > 0, got {mac_clock_hz}")
+        self.columns = columns
+        self.technology = technology or TechnologyConfig()
+        self.mac_clock_hz = mac_clock_hz
+
+    @property
+    def energy_per_sample_j(self) -> float:
+        """Energy per processed sample of a single TIA (J).
+
+        The TIA power is quoted at the reference 10 GS/s MAC rate; expressing
+        it per sample lets the roll-up scale it with the actual activity.
+        """
+        return self.technology.tia_power_w / self.technology.adc_sample_rate_hz
+
+    @property
+    def name(self) -> str:
+        return "tias"
+
+    @property
+    def dynamic_energy_per_cycle_j(self) -> float:
+        """Energy for one sample on every column (J)."""
+        return self.columns * self.energy_per_sample_j
+
+    @property
+    def static_power_w(self) -> float:
+        return 0.0
+
+    @property
+    def area_mm2(self) -> float:
+        """Total TIA area (mm²)."""
+        return self.columns * self.technology.tia_area_mm2

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError` so that callers can catch library errors without
+accidentally swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of its valid range."""
+
+
+class DeviceModelError(ReproError):
+    """A photonic or electronic device model received invalid parameters."""
+
+
+class ProgrammingError(ReproError):
+    """Invalid PCM programming request (value out of range, wrong shape, ...)."""
+
+
+class SimulationError(ReproError):
+    """The dataflow / performance simulation could not be completed."""
+
+
+class WorkloadError(ReproError):
+    """A neural-network workload description is malformed."""
+
+
+class CapacityError(ReproError):
+    """A memory structure was asked to hold more data than it can."""
+
+
+class OptimizationError(ReproError):
+    """The design-space optimizer could not find a feasible design point."""

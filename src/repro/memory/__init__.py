@@ -1,0 +1,24 @@
+"""Memory hierarchy models: on-chip SRAM blocks and off-chip (HBM) DRAM.
+
+The accelerator keeps input activations, filters, outputs and partial sums in
+four dedicated SRAM blocks and spills to a co-packaged HBM stack when a
+working set does not fit (paper Section IV).  These models provide
+
+* capacity bookkeeping (does a layer's working set fit?),
+* access-energy and area accounting,
+* traffic counters used by the dataflow simulator to tally per-inference
+  SRAM/DRAM bits moved.
+"""
+
+from repro.memory.dram import DRAMModel
+from repro.memory.hierarchy import MemorySystem
+from repro.memory.sram import SRAMBlock
+from repro.memory.trace import MemoryTrafficRecord, TrafficCounter
+
+__all__ = [
+    "DRAMModel",
+    "MemorySystem",
+    "MemoryTrafficRecord",
+    "SRAMBlock",
+    "TrafficCounter",
+]

@@ -1,0 +1,85 @@
+"""Off-chip DRAM model.
+
+The paper argues for a co-packaged HBM stack at 3.9 pJ/bit instead of DRAM
+reached through a PCIe switch at ~15 pJ/bit (Section IV, [21]); both variants
+are modelled here so the ablation benchmark can compare them.  DRAM bandwidth
+is also tracked so the simulator can check that memory transfers do not
+become the latency bottleneck.
+"""
+
+from __future__ import annotations
+
+from repro.config.technology import TechnologyConfig
+from repro.errors import SimulationError
+from repro.memory.trace import TrafficCounter
+
+
+class DRAMModel:
+    """Off-chip DRAM characterised by energy per bit and peak bandwidth.
+
+    Parameters
+    ----------
+    kind:
+        ``"hbm"`` (co-packaged, 3.9 pJ/bit) or ``"pcie"`` (switch-attached,
+        15 pJ/bit).
+    technology:
+        Device constants supplying the per-bit energies and HBM bandwidth.
+    """
+
+    VALID_KINDS = ("hbm", "pcie")
+
+    def __init__(self, kind: str = "hbm", technology: TechnologyConfig | None = None) -> None:
+        if kind not in self.VALID_KINDS:
+            raise SimulationError(
+                f"DRAM kind must be one of {self.VALID_KINDS}, got {kind!r}"
+            )
+        self.kind = kind
+        self.technology = technology or TechnologyConfig()
+        self.traffic = TrafficCounter()
+
+    # ------------------------------------------------------------------ costs
+    @property
+    def energy_per_bit_j(self) -> float:
+        """Access energy per bit for the configured DRAM kind (J)."""
+        if self.kind == "hbm":
+            return self.technology.dram_energy_per_bit_j
+        return self.technology.dram_pcie_energy_per_bit_j
+
+    @property
+    def bandwidth_bits_per_s(self) -> float:
+        """Peak DRAM bandwidth (bits/s)."""
+        bandwidth = self.technology.dram_bandwidth_bits_per_s
+        if self.kind == "pcie":
+            # A PCIe 4.0 x16 link tops out near 256 Gb/s of payload, roughly
+            # an order of magnitude below an HBM stack.
+            bandwidth = min(bandwidth, 256e9)
+        return bandwidth
+
+    # ------------------------------------------------------------------ traffic
+    def read(self, bits: float) -> float:
+        """Record a read of ``bits`` and return its energy (J)."""
+        self.traffic.record_read(bits)
+        return bits * self.energy_per_bit_j
+
+    def write(self, bits: float) -> float:
+        """Record a write of ``bits`` and return its energy (J)."""
+        self.traffic.record_write(bits)
+        return bits * self.energy_per_bit_j
+
+    def reset_traffic(self) -> None:
+        """Zero the accumulated traffic counters."""
+        self.traffic.reset()
+
+    def transfer_time_s(self, bits: float) -> float:
+        """Time to move ``bits`` at peak bandwidth (s)."""
+        if bits < 0:
+            raise SimulationError(f"bits must be >= 0, got {bits}")
+        return bits / self.bandwidth_bits_per_s
+
+    @property
+    def total_access_energy_j(self) -> float:
+        """Energy of all traffic recorded so far (J)."""
+        return self.traffic.energy_j(self.energy_per_bit_j)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DRAMModel(kind={self.kind!r}, {self.energy_per_bit_j * 1e12:.1f} pJ/bit)"

@@ -1,0 +1,113 @@
+"""The accelerator's full memory system: four SRAM blocks plus DRAM.
+
+:class:`MemorySystem` instantiates the input/filter/output/accumulator SRAM
+blocks and the off-chip DRAM from a :class:`~repro.config.chip.ChipConfig`
+and exposes capacity queries, aggregate area/leakage, and energy accounting
+for a given traffic record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config.chip import ChipConfig
+from repro.errors import SimulationError
+from repro.memory.dram import DRAMModel
+from repro.memory.sram import SRAMBlock
+from repro.memory.trace import MemoryTrafficRecord
+
+
+class MemorySystem:
+    """The complete memory hierarchy of one accelerator chip."""
+
+    #: Structure names used in traffic records produced by the simulator.
+    INPUT = "input_sram"
+    FILTER = "filter_sram"
+    OUTPUT = "output_sram"
+    ACCUMULATOR = "accumulator_sram"
+    DRAM = "dram"
+
+    def __init__(self, config: ChipConfig) -> None:
+        self.config = config
+        technology = config.technology
+        self.input_sram = SRAMBlock(self.INPUT, config.sram.input_mb, technology)
+        self.filter_sram = SRAMBlock(self.FILTER, config.sram.filter_mb, technology)
+        self.output_sram = SRAMBlock(self.OUTPUT, config.sram.output_mb, technology)
+        self.accumulator_sram = SRAMBlock(
+            self.ACCUMULATOR, config.sram.accumulator_mb, technology
+        )
+        self.dram = DRAMModel(config.dram_kind, technology)
+
+    # ------------------------------------------------------------------ access
+    @property
+    def sram_blocks(self) -> Dict[str, SRAMBlock]:
+        """The four SRAM blocks keyed by structure name."""
+        return {
+            self.INPUT: self.input_sram,
+            self.FILTER: self.filter_sram,
+            self.OUTPUT: self.output_sram,
+            self.ACCUMULATOR: self.accumulator_sram,
+        }
+
+    # ------------------------------------------------------------------ capacity
+    def input_working_set_fits(self, bits: float) -> bool:
+        """True when an input working set fits in the input SRAM."""
+        return self.input_sram.fits(bits)
+
+    def filter_working_set_fits(self, bits: float) -> bool:
+        """True when a filter working set fits in the filter SRAM."""
+        return self.filter_sram.fits(bits)
+
+    # ------------------------------------------------------------------ roll-ups
+    @property
+    def total_sram_area_mm2(self) -> float:
+        """Area of all SRAM blocks (mm²)."""
+        return sum(block.area_mm2 for block in self.sram_blocks.values())
+
+    @property
+    def total_sram_leakage_w(self) -> float:
+        """Leakage power of all SRAM blocks (W)."""
+        return sum(block.leakage_power_w for block in self.sram_blocks.values())
+
+    @property
+    def sram_energy_per_bit_j(self) -> float:
+        """SRAM access energy per bit (J)."""
+        return self.config.technology.sram_energy_per_bit_j
+
+    @property
+    def dram_energy_per_bit_j(self) -> float:
+        """DRAM access energy per bit for the configured DRAM kind (J)."""
+        return self.dram.energy_per_bit_j
+
+    # ------------------------------------------------------------------ energy
+    def energy_for_traffic(self, record: MemoryTrafficRecord) -> Dict[str, float]:
+        """Per-structure energy (J) for a traffic record.
+
+        Unknown structure names in the record raise :class:`SimulationError`
+        so that accounting bugs surface loudly instead of dropping energy.
+        """
+        energies: Dict[str, float] = {}
+        for name, bits in record.traffic_bits.items():
+            if name == self.DRAM:
+                energies[name] = bits * self.dram_energy_per_bit_j
+            elif name in self.sram_blocks:
+                energies[name] = bits * self.sram_energy_per_bit_j
+            else:
+                raise SimulationError(f"unknown memory structure in traffic record: {name!r}")
+        return energies
+
+    def total_energy_for_traffic(self, record: MemoryTrafficRecord) -> float:
+        """Total memory energy (J) for a traffic record."""
+        return sum(self.energy_for_traffic(record).values())
+
+    def sram_energy_for_traffic(self, record: MemoryTrafficRecord) -> float:
+        """SRAM-only energy (J) for a traffic record."""
+        return sum(
+            energy
+            for name, energy in self.energy_for_traffic(record).items()
+            if name != self.DRAM
+        )
+
+    def dram_energy_for_traffic(self, record: MemoryTrafficRecord) -> float:
+        """DRAM-only energy (J) for a traffic record."""
+        return self.energy_for_traffic(record).get(self.DRAM, 0.0)

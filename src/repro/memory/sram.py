@@ -1,0 +1,97 @@
+"""On-chip SRAM block model.
+
+The paper sizes four SRAM blocks (input, filter, output, accumulator) and
+budgets 50 fJ/bit of access energy and 0.45 mm² per MB of area in 45 nm CMOS
+(Section IV, [20]).
+"""
+
+from __future__ import annotations
+
+from repro.config.technology import TechnologyConfig
+from repro.constants import mb_to_bits
+from repro.errors import CapacityError, SimulationError
+from repro.memory.trace import TrafficCounter
+
+
+class SRAMBlock:
+    """A single on-chip SRAM buffer.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in traffic records ("input_sram", "filter_sram", ...).
+    capacity_mb:
+        Capacity in mebibytes.
+    technology:
+        Device constants (access energy per bit, area per MB, leakage).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity_mb: float,
+        technology: TechnologyConfig | None = None,
+    ) -> None:
+        if capacity_mb <= 0:
+            raise CapacityError(f"SRAM capacity must be > 0 MB, got {capacity_mb}")
+        self.name = name
+        self.capacity_mb = capacity_mb
+        self.technology = technology or TechnologyConfig()
+        self.traffic = TrafficCounter()
+
+    # ------------------------------------------------------------------ capacity
+    @property
+    def capacity_bits(self) -> float:
+        """Capacity in bits."""
+        return mb_to_bits(self.capacity_mb)
+
+    def fits(self, data_bits: float) -> bool:
+        """True when a working set of ``data_bits`` fits in the block."""
+        if data_bits < 0:
+            raise SimulationError(f"data_bits must be >= 0, got {data_bits}")
+        return data_bits <= self.capacity_bits
+
+    def occupancy_fraction(self, data_bits: float) -> float:
+        """Fraction of the block occupied by a working set (may exceed 1)."""
+        if data_bits < 0:
+            raise SimulationError(f"data_bits must be >= 0, got {data_bits}")
+        return data_bits / self.capacity_bits
+
+    # ------------------------------------------------------------------ traffic
+    def read(self, bits: float) -> float:
+        """Record a read of ``bits`` and return its energy (J)."""
+        self.traffic.record_read(bits)
+        return bits * self.technology.sram_energy_per_bit_j
+
+    def write(self, bits: float) -> float:
+        """Record a write of ``bits`` and return its energy (J)."""
+        self.traffic.record_write(bits)
+        return bits * self.technology.sram_energy_per_bit_j
+
+    def reset_traffic(self) -> None:
+        """Zero the accumulated traffic counters."""
+        self.traffic.reset()
+
+    # ------------------------------------------------------------------ costs
+    @property
+    def energy_per_bit_j(self) -> float:
+        """Access energy per bit (J)."""
+        return self.technology.sram_energy_per_bit_j
+
+    @property
+    def area_mm2(self) -> float:
+        """Macro area of the block (mm²)."""
+        return self.capacity_mb * self.technology.sram_area_mm2_per_mb
+
+    @property
+    def leakage_power_w(self) -> float:
+        """Static leakage power of the block (W)."""
+        return self.capacity_mb * self.technology.sram_leakage_w_per_mb
+
+    @property
+    def total_access_energy_j(self) -> float:
+        """Energy of all traffic recorded so far (J)."""
+        return self.traffic.energy_j(self.energy_per_bit_j)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SRAMBlock({self.name!r}, {self.capacity_mb} MB)"

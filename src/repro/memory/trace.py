@@ -1,0 +1,100 @@
+"""Traffic accounting primitives shared by the SRAM and DRAM models.
+
+The dataflow simulator does not move real data; it counts *bits read* and
+*bits written* per memory structure.  :class:`TrafficCounter` accumulates
+those counts and converts them to energy, and :class:`MemoryTrafficRecord`
+is the immutable per-layer summary handed to the performance models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class TrafficCounter:
+    """Mutable read/write bit counters for one memory structure."""
+
+    bits_read: float = 0.0
+    bits_written: float = 0.0
+
+    def record_read(self, bits: float) -> None:
+        """Add ``bits`` to the read counter."""
+        if bits < 0:
+            raise SimulationError(f"cannot record a negative read of {bits} bits")
+        self.bits_read += bits
+
+    def record_write(self, bits: float) -> None:
+        """Add ``bits`` to the write counter."""
+        if bits < 0:
+            raise SimulationError(f"cannot record a negative write of {bits} bits")
+        self.bits_written += bits
+
+    @property
+    def total_bits(self) -> float:
+        """Total bits moved (reads + writes)."""
+        return self.bits_read + self.bits_written
+
+    def energy_j(self, energy_per_bit_j: float) -> float:
+        """Energy for all recorded traffic at ``energy_per_bit_j``."""
+        if energy_per_bit_j < 0:
+            raise SimulationError("energy_per_bit_j must be >= 0")
+        return self.total_bits * energy_per_bit_j
+
+    def merge(self, other: "TrafficCounter") -> "TrafficCounter":
+        """Return a new counter with this counter's and ``other``'s traffic."""
+        return TrafficCounter(
+            bits_read=self.bits_read + other.bits_read,
+            bits_written=self.bits_written + other.bits_written,
+        )
+
+    def reset(self) -> None:
+        """Zero both counters."""
+        self.bits_read = 0.0
+        self.bits_written = 0.0
+
+
+@dataclass(frozen=True)
+class MemoryTrafficRecord:
+    """Immutable summary of memory traffic, keyed by structure name.
+
+    The dataflow simulator produces one record per layer and one aggregated
+    record per network; the power model multiplies each structure's bits by
+    its energy-per-bit.
+    """
+
+    traffic_bits: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, bits in self.traffic_bits.items():
+            if bits < 0:
+                raise SimulationError(
+                    f"traffic for {name!r} must be >= 0 bits, got {bits}"
+                )
+
+    def bits(self, name: str) -> float:
+        """Bits moved by the named structure (0 if absent)."""
+        return self.traffic_bits.get(name, 0.0)
+
+    @property
+    def total_bits(self) -> float:
+        """Total bits moved across all structures."""
+        return sum(self.traffic_bits.values())
+
+    def scaled(self, factor: float) -> "MemoryTrafficRecord":
+        """Return a record with every entry multiplied by ``factor``."""
+        if factor < 0:
+            raise SimulationError(f"scale factor must be >= 0, got {factor}")
+        return MemoryTrafficRecord(
+            {name: bits * factor for name, bits in self.traffic_bits.items()}
+        )
+
+    def merged(self, other: "MemoryTrafficRecord") -> "MemoryTrafficRecord":
+        """Return a record combining this record's and ``other``'s traffic."""
+        combined = dict(self.traffic_bits)
+        for name, bits in other.traffic_bits.items():
+            combined[name] = combined.get(name, 0.0) + bits
+        return MemoryTrafficRecord(combined)

@@ -1,0 +1,67 @@
+"""Neural-network workload substrate.
+
+The performance model needs a shape-level description of the CNN being run:
+layer types, tensor dimensions, filter sizes, strides — but not trained
+weights.  This package provides
+
+* layer descriptors and a network container (:mod:`repro.nn.layers`,
+  :mod:`repro.nn.network`),
+* im2col/GEMM lowering of convolutions (:mod:`repro.nn.im2col`), which is how
+  a convolution is mapped onto the crossbar,
+* INT quantisation helpers used by the functional crossbar examples
+  (:mod:`repro.nn.quant`),
+* topology builders for the benchmark networks, most importantly ResNet-50
+  v1.5 (:mod:`repro.nn.resnet`, :mod:`repro.nn.models`).
+"""
+
+from repro.nn.im2col import GemmShape, conv_to_gemm, im2col_matrix, layer_to_gemms
+from repro.nn.layers import (
+    ActivationLayer,
+    AddLayer,
+    BatchNormLayer,
+    ConvLayer,
+    DenseLayer,
+    FlattenLayer,
+    Layer,
+    PoolLayer,
+    TensorShape,
+)
+from repro.nn.models import (
+    build_alexnet,
+    build_lenet5,
+    build_mlp,
+    build_mobilenet_v1,
+    build_vgg16,
+)
+from repro.nn.network import Network
+from repro.nn.quant import QuantizationParams, dequantize, quantize_tensor, quantize_to_unit_range
+from repro.nn.resnet import build_resnet18, build_resnet34, build_resnet50
+
+__all__ = [
+    "ActivationLayer",
+    "AddLayer",
+    "BatchNormLayer",
+    "ConvLayer",
+    "DenseLayer",
+    "FlattenLayer",
+    "GemmShape",
+    "Layer",
+    "Network",
+    "PoolLayer",
+    "QuantizationParams",
+    "TensorShape",
+    "build_alexnet",
+    "build_lenet5",
+    "build_mlp",
+    "build_mobilenet_v1",
+    "build_resnet18",
+    "build_resnet34",
+    "build_resnet50",
+    "build_vgg16",
+    "conv_to_gemm",
+    "dequantize",
+    "im2col_matrix",
+    "layer_to_gemms",
+    "quantize_tensor",
+    "quantize_to_unit_range",
+]

@@ -1,0 +1,331 @@
+"""Layer descriptors for CNN workloads.
+
+These classes describe layer *shapes* and derived operation counts; they do
+not hold trained weights.  Each layer knows
+
+* its output tensor shape given an input shape,
+* its MAC count per inference,
+* its weight (parameter) count,
+* whether it runs on the crossbar (convolutions and dense layers) or on the
+  digital side (pooling, batch-norm, activations, residual adds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """A feature-map shape: height × width × channels (batch excluded)."""
+
+    height: int
+    width: int
+    channels: int
+
+    def __post_init__(self) -> None:
+        for name in ("height", "width", "channels"):
+            value = getattr(self, name)
+            if value < 1:
+                raise WorkloadError(f"TensorShape.{name} must be >= 1, got {value}")
+
+    @property
+    def num_elements(self) -> int:
+        """Number of scalar elements in the tensor."""
+        return self.height * self.width * self.channels
+
+    def bits(self, bits_per_element: int) -> int:
+        """Storage size of the tensor at a given precision (bits)."""
+        if bits_per_element < 1:
+            raise WorkloadError(f"bits_per_element must be >= 1, got {bits_per_element}")
+        return self.num_elements * bits_per_element
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        """(height, width, channels) tuple."""
+        return (self.height, self.width, self.channels)
+
+
+def _conv_output_dim(input_dim: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial dimension of a convolution/pooling window."""
+    out = (input_dim + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise WorkloadError(
+            f"convolution produces an empty output (input={input_dim}, kernel={kernel}, "
+            f"stride={stride}, padding={padding})"
+        )
+    return out
+
+
+class Layer:
+    """Base class for all layer descriptors.
+
+    Parameters
+    ----------
+    name:
+        Unique layer name within its network.
+    """
+
+    #: True for layers whose MACs are executed on the optical crossbar.
+    uses_crossbar: bool = False
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise WorkloadError("layer name must be a non-empty string")
+        self.name = name
+        #: Optional name of an earlier layer whose *output* feeds this layer.
+        #: ``None`` (the default) means the immediately preceding layer.  This
+        #: is how residual-branch layers (projection shortcuts, skip adds)
+        #: receive the correct input shape in an otherwise sequential trace.
+        self.input_from: str | None = None
+
+    # Subclasses override the methods below.
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        """Output tensor shape for a given input shape."""
+        raise NotImplementedError
+
+    def macs(self, input_shape: TensorShape) -> int:
+        """Multiply-accumulate operations per inference (batch size 1)."""
+        return 0
+
+    def weight_count(self, input_shape: TensorShape) -> int:
+        """Number of trainable parameters."""
+        return 0
+
+    def digital_ops(self, input_shape: TensorShape) -> int:
+        """Elementwise digital operations (pooling compares, adds, ...)."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class ConvLayer(Layer):
+    """A 2-D convolution layer.
+
+    Parameters
+    ----------
+    out_channels:
+        Number of output feature maps (filters).
+    kernel_size:
+        Square kernel size (e.g. 3 for 3×3).
+    stride:
+        Spatial stride.
+    padding:
+        Symmetric zero padding.  ``padding="same"`` computes the padding that
+        preserves the spatial size at stride 1 (``(k - 1) // 2``).
+    groups:
+        Grouped convolution factor; ``groups == in_channels`` with
+        ``out_channels == in_channels`` is a depthwise convolution.
+    bias:
+        Whether the layer has a bias vector (adds ``out_channels`` weights).
+    activation:
+        Activation fused after the convolution ("relu", "identity", ...); only
+        used for bookkeeping of digital ops.
+    """
+
+    uses_crossbar = True
+
+    def __init__(
+        self,
+        name: str,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding="same",
+        groups: int = 1,
+        bias: bool = True,
+        activation: str = "relu",
+    ) -> None:
+        super().__init__(name)
+        if out_channels < 1:
+            raise WorkloadError(f"out_channels must be >= 1, got {out_channels}")
+        if kernel_size < 1:
+            raise WorkloadError(f"kernel_size must be >= 1, got {kernel_size}")
+        if stride < 1:
+            raise WorkloadError(f"stride must be >= 1, got {stride}")
+        if groups < 1:
+            raise WorkloadError(f"groups must be >= 1, got {groups}")
+        if padding != "same" and (not isinstance(padding, int) or padding < 0):
+            raise WorkloadError(f"padding must be 'same' or a non-negative int, got {padding}")
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        self.bias = bias
+        self.activation = activation
+
+    def resolved_padding(self) -> int:
+        """Numeric padding implied by the ``padding`` setting."""
+        if self.padding == "same":
+            return (self.kernel_size - 1) // 2
+        return int(self.padding)
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        if input_shape.channels % self.groups != 0:
+            raise WorkloadError(
+                f"layer {self.name!r}: input channels {input_shape.channels} not divisible "
+                f"by groups {self.groups}"
+            )
+        if self.out_channels % self.groups != 0:
+            raise WorkloadError(
+                f"layer {self.name!r}: out_channels {self.out_channels} not divisible "
+                f"by groups {self.groups}"
+            )
+        padding = self.resolved_padding()
+        out_h = _conv_output_dim(input_shape.height, self.kernel_size, self.stride, padding)
+        out_w = _conv_output_dim(input_shape.width, self.kernel_size, self.stride, padding)
+        return TensorShape(out_h, out_w, self.out_channels)
+
+    def macs(self, input_shape: TensorShape) -> int:
+        out = self.output_shape(input_shape)
+        in_channels_per_group = input_shape.channels // self.groups
+        macs_per_output = in_channels_per_group * self.kernel_size * self.kernel_size
+        return out.num_elements * macs_per_output
+
+    def weight_count(self, input_shape: TensorShape) -> int:
+        in_channels_per_group = input_shape.channels // self.groups
+        weights = self.out_channels * in_channels_per_group * self.kernel_size**2
+        if self.bias:
+            weights += self.out_channels
+        return weights
+
+    def digital_ops(self, input_shape: TensorShape) -> int:
+        # The fused activation touches each output element once.
+        return self.output_shape(input_shape).num_elements
+
+
+class DenseLayer(Layer):
+    """A fully-connected layer (expects a flattened input)."""
+
+    uses_crossbar = True
+
+    def __init__(self, name: str, out_features: int, bias: bool = True, activation: str = "identity") -> None:
+        super().__init__(name)
+        if out_features < 1:
+            raise WorkloadError(f"out_features must be >= 1, got {out_features}")
+        self.out_features = out_features
+        self.bias = bias
+        self.activation = activation
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return TensorShape(1, 1, self.out_features)
+
+    def macs(self, input_shape: TensorShape) -> int:
+        return input_shape.num_elements * self.out_features
+
+    def weight_count(self, input_shape: TensorShape) -> int:
+        weights = input_shape.num_elements * self.out_features
+        if self.bias:
+            weights += self.out_features
+        return weights
+
+    def digital_ops(self, input_shape: TensorShape) -> int:
+        return self.out_features
+
+
+class PoolLayer(Layer):
+    """Max or average pooling."""
+
+    def __init__(
+        self,
+        name: str,
+        kernel_size: int,
+        stride: int | None = None,
+        padding: int = 0,
+        kind: str = "max",
+        global_pool: bool = False,
+    ) -> None:
+        super().__init__(name)
+        if kind not in ("max", "avg"):
+            raise WorkloadError(f"pool kind must be 'max' or 'avg', got {kind!r}")
+        if kernel_size < 1:
+            raise WorkloadError(f"kernel_size must be >= 1, got {kernel_size}")
+        if padding < 0:
+            raise WorkloadError(f"padding must be >= 0, got {padding}")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        if self.stride < 1:
+            raise WorkloadError(f"stride must be >= 1, got {self.stride}")
+        self.padding = padding
+        self.kind = kind
+        self.global_pool = global_pool
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        if self.global_pool:
+            return TensorShape(1, 1, input_shape.channels)
+        out_h = _conv_output_dim(input_shape.height, self.kernel_size, self.stride, self.padding)
+        out_w = _conv_output_dim(input_shape.width, self.kernel_size, self.stride, self.padding)
+        return TensorShape(out_h, out_w, input_shape.channels)
+
+    def digital_ops(self, input_shape: TensorShape) -> int:
+        out = self.output_shape(input_shape)
+        if self.global_pool:
+            window = input_shape.height * input_shape.width
+        else:
+            window = self.kernel_size * self.kernel_size
+        return out.num_elements * window
+
+
+class BatchNormLayer(Layer):
+    """Batch normalisation (folded into a per-channel scale and shift at inference)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return input_shape
+
+    def weight_count(self, input_shape: TensorShape) -> int:
+        # Scale and shift per channel.
+        return 2 * input_shape.channels
+
+    def digital_ops(self, input_shape: TensorShape) -> int:
+        return 2 * input_shape.num_elements
+
+
+class ActivationLayer(Layer):
+    """A standalone activation layer (ReLU etc.)."""
+
+    def __init__(self, name: str, kind: str = "relu") -> None:
+        super().__init__(name)
+        self.kind = kind
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return input_shape
+
+    def digital_ops(self, input_shape: TensorShape) -> int:
+        return input_shape.num_elements
+
+
+class AddLayer(Layer):
+    """Elementwise residual addition of two equally-shaped tensors.
+
+    ``input_from`` names the main-path operand (as for any layer);
+    ``skip_from`` optionally names the second (identity/shortcut) operand so
+    functional executors can reproduce the residual sum exactly.  Shape
+    resolution only needs the main path, since both operands are equal-shaped.
+    """
+
+    def __init__(self, name: str, skip_from: str | None = None) -> None:
+        super().__init__(name)
+        self.skip_from = skip_from
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return input_shape
+
+    def digital_ops(self, input_shape: TensorShape) -> int:
+        return input_shape.num_elements
+
+
+class FlattenLayer(Layer):
+    """Flatten a feature map into a vector (no arithmetic)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return TensorShape(1, 1, input_shape.num_elements)

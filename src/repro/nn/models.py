@@ -1,0 +1,158 @@
+"""Additional CNN topology builders.
+
+Beyond ResNet-50 (the paper's benchmark) the library ships several classic
+CNNs so that the accelerator model and the optimizer can be exercised on
+workloads with very different arithmetic-intensity profiles:
+
+* VGG-16 — large, compute-heavy, enormous fully-connected layers;
+* AlexNet — small by modern standards, FC-dominated parameters;
+* MobileNet-V1 — depthwise-separable convolutions, low data reuse;
+* LeNet-5 — tiny network used by fast unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nn.layers import (
+    ConvLayer,
+    DenseLayer,
+    FlattenLayer,
+    Layer,
+    PoolLayer,
+    TensorShape,
+)
+from repro.nn.network import Network
+
+
+def build_vgg16(num_classes: int = 1000, input_size: int = 224) -> Network:
+    """VGG-16 (configuration D): 13 convolutions + 3 dense layers."""
+    layers: List[Layer] = []
+    block_channels = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)]
+    for block_index, (num_convs, channels) in enumerate(block_channels, start=1):
+        for conv_index in range(1, num_convs + 1):
+            layers.append(
+                ConvLayer(
+                    f"conv{block_index}_{conv_index}",
+                    out_channels=channels,
+                    kernel_size=3,
+                    stride=1,
+                    padding=1,
+                )
+            )
+        layers.append(PoolLayer(f"pool{block_index}", kernel_size=2, stride=2, kind="max"))
+    layers.append(FlattenLayer("flatten"))
+    layers.append(DenseLayer("fc6", out_features=4096, activation="relu"))
+    layers.append(DenseLayer("fc7", out_features=4096, activation="relu"))
+    layers.append(DenseLayer("fc8", out_features=num_classes))
+    return Network("vgg16", TensorShape(input_size, input_size, 3), layers)
+
+
+def build_alexnet(num_classes: int = 1000, input_size: int = 227) -> Network:
+    """AlexNet (single-tower variant)."""
+    layers: List[Layer] = [
+        ConvLayer("conv1", out_channels=96, kernel_size=11, stride=4, padding=0),
+        PoolLayer("pool1", kernel_size=3, stride=2, kind="max"),
+        ConvLayer("conv2", out_channels=256, kernel_size=5, stride=1, padding=2),
+        PoolLayer("pool2", kernel_size=3, stride=2, kind="max"),
+        ConvLayer("conv3", out_channels=384, kernel_size=3, stride=1, padding=1),
+        ConvLayer("conv4", out_channels=384, kernel_size=3, stride=1, padding=1),
+        ConvLayer("conv5", out_channels=256, kernel_size=3, stride=1, padding=1),
+        PoolLayer("pool5", kernel_size=3, stride=2, kind="max"),
+        FlattenLayer("flatten"),
+        DenseLayer("fc6", out_features=4096, activation="relu"),
+        DenseLayer("fc7", out_features=4096, activation="relu"),
+        DenseLayer("fc8", out_features=num_classes),
+    ]
+    return Network("alexnet", TensorShape(input_size, input_size, 3), layers)
+
+
+def build_mobilenet_v1(num_classes: int = 1000, input_size: int = 224, width_multiplier: float = 1.0) -> Network:
+    """MobileNet-V1 built from depthwise-separable convolution pairs."""
+
+    def channels(base: int) -> int:
+        return max(8, int(round(base * width_multiplier)))
+
+    layers: List[Layer] = [
+        ConvLayer("conv1", out_channels=channels(32), kernel_size=3, stride=2, padding=1, bias=False)
+    ]
+
+    # (stride of the depthwise conv, output channels of the pointwise conv)
+    separable_plan = [
+        (1, 64),
+        (2, 128),
+        (1, 128),
+        (2, 256),
+        (1, 256),
+        (2, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (2, 1024),
+        (1, 1024),
+    ]
+    in_channels = channels(32)
+    for index, (stride, out_base) in enumerate(separable_plan, start=1):
+        out_channels = channels(out_base)
+        layers.append(
+            ConvLayer(
+                f"dw{index}",
+                out_channels=in_channels,
+                kernel_size=3,
+                stride=stride,
+                padding=1,
+                groups=in_channels,
+                bias=False,
+            )
+        )
+        layers.append(
+            ConvLayer(
+                f"pw{index}", out_channels=out_channels, kernel_size=1, stride=1, bias=False
+            )
+        )
+        in_channels = out_channels
+
+    layers.append(PoolLayer("global_avgpool", kernel_size=1, kind="avg", global_pool=True))
+    layers.append(FlattenLayer("flatten"))
+    layers.append(DenseLayer("fc", out_features=num_classes))
+    return Network("mobilenet_v1", TensorShape(input_size, input_size, 3), layers)
+
+
+def build_mlp(
+    input_features: int = 784,
+    hidden_features: tuple = (4096, 4096, 1024),
+    num_classes: int = 1000,
+) -> Network:
+    """A dense multi-layer perceptron.
+
+    MLPs are the degenerate case of the crossbar mapping — every layer is a
+    single GEMM with one input vector per sample, so there is no convolutional
+    data reuse and the batch size alone determines how well the PCM
+    programming cost is amortised.  Useful for studying recommendation-model
+    style (GEMM-dominated, reuse-poor) workloads on the accelerator.
+    """
+    if input_features < 1 or num_classes < 1:
+        raise ValueError("input_features and num_classes must be >= 1")
+    layers: List[Layer] = [FlattenLayer("flatten")]
+    for index, features in enumerate(hidden_features, start=1):
+        layers.append(DenseLayer(f"fc{index}", out_features=int(features), activation="relu"))
+    layers.append(DenseLayer("fc_out", out_features=num_classes))
+    # Describe the input as a 1x1xC tensor so Dense layers see a flat vector.
+    return Network("mlp", TensorShape(1, 1, input_features), layers)
+
+
+def build_lenet5(num_classes: int = 10, input_size: int = 28) -> Network:
+    """LeNet-5-style small CNN used by the fast unit-test suite."""
+    layers: List[Layer] = [
+        ConvLayer("conv1", out_channels=6, kernel_size=5, stride=1, padding=2),
+        PoolLayer("pool1", kernel_size=2, stride=2, kind="avg"),
+        ConvLayer("conv2", out_channels=16, kernel_size=5, stride=1, padding=0),
+        PoolLayer("pool2", kernel_size=2, stride=2, kind="avg"),
+        FlattenLayer("flatten"),
+        DenseLayer("fc1", out_features=120, activation="relu"),
+        DenseLayer("fc2", out_features=84, activation="relu"),
+        DenseLayer("fc3", out_features=num_classes),
+    ]
+    return Network("lenet5", TensorShape(input_size, input_size, 1), layers)

@@ -1,0 +1,195 @@
+"""Network container: an ordered sequence of layer descriptors.
+
+For performance modelling a sequential shape trace is sufficient even for
+residual networks: a residual branch's convolutions appear as ordinary layers
+and the skip connection appears as an :class:`~repro.nn.layers.AddLayer`
+whose input is the main path's output shape.  What matters for the simulator
+is each crossbar layer's GEMM dimensions and each tensor's size, both of
+which the sequential trace preserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.nn.layers import Layer, TensorShape
+
+
+@dataclass(frozen=True)
+class LayerShapeInfo:
+    """Resolved shape information for one layer of a network."""
+
+    layer: Layer
+    input_shape: TensorShape
+    output_shape: TensorShape
+
+    @property
+    def name(self) -> str:
+        """The layer's name."""
+        return self.layer.name
+
+    @property
+    def macs(self) -> int:
+        """MACs executed by this layer for one inference."""
+        return self.layer.macs(self.input_shape)
+
+    @property
+    def weight_count(self) -> int:
+        """Trainable parameters of this layer."""
+        return self.layer.weight_count(self.input_shape)
+
+    @property
+    def uses_crossbar(self) -> bool:
+        """True when this layer's MACs run on the optical crossbar."""
+        return self.layer.uses_crossbar
+
+
+class Network:
+    """An ordered CNN described by layer shapes.
+
+    Parameters
+    ----------
+    name:
+        Network name ("resnet50_v1.5", ...).
+    input_shape:
+        Shape of one input sample (height, width, channels).
+    layers:
+        Ordered layer descriptors; names must be unique.
+    """
+
+    def __init__(self, name: str, input_shape: TensorShape, layers: Sequence[Layer]) -> None:
+        if not name:
+            raise WorkloadError("network name must be a non-empty string")
+        if not layers:
+            raise WorkloadError("a network must contain at least one layer")
+        names = [layer.name for layer in layers]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise WorkloadError(f"duplicate layer names in network: {sorted(duplicates)}")
+        self.name = name
+        self.input_shape = input_shape
+        self.layers: List[Layer] = list(layers)
+        self._shape_infos = self._resolve_shapes()
+
+    # ------------------------------------------------------------------ shapes
+    def _resolve_shapes(self) -> List[LayerShapeInfo]:
+        infos: List[LayerShapeInfo] = []
+        outputs_by_name: Dict[str, TensorShape] = {}
+        current = self.input_shape
+        for layer in self.layers:
+            input_from = getattr(layer, "input_from", None)
+            if input_from is None:
+                layer_input = current
+            else:
+                if input_from not in outputs_by_name:
+                    raise WorkloadError(
+                        f"network {self.name!r}: layer {layer.name!r} references unknown "
+                        f"or later layer {input_from!r} as its input"
+                    )
+                layer_input = outputs_by_name[input_from]
+            try:
+                output = layer.output_shape(layer_input)
+            except WorkloadError as exc:
+                raise WorkloadError(
+                    f"network {self.name!r}: shape error at layer {layer.name!r}: {exc}"
+                ) from exc
+            infos.append(
+                LayerShapeInfo(layer=layer, input_shape=layer_input, output_shape=output)
+            )
+            outputs_by_name[layer.name] = output
+            current = output
+        return infos
+
+    @property
+    def shape_infos(self) -> List[LayerShapeInfo]:
+        """Resolved per-layer shape information, in execution order."""
+        return list(self._shape_infos)
+
+    @property
+    def output_shape(self) -> TensorShape:
+        """Shape of the network's final output tensor."""
+        return self._shape_infos[-1].output_shape
+
+    def __iter__(self) -> Iterator[LayerShapeInfo]:
+        return iter(self._shape_infos)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def layer_info(self, name: str) -> LayerShapeInfo:
+        """Shape info of the layer called ``name``."""
+        for info in self._shape_infos:
+            if info.name == name:
+                return info
+        raise WorkloadError(f"network {self.name!r} has no layer named {name!r}")
+
+    # ------------------------------------------------------------------ totals
+    @property
+    def crossbar_layers(self) -> List[LayerShapeInfo]:
+        """Layers whose MACs execute on the crossbar (conv + dense)."""
+        return [info for info in self._shape_infos if info.uses_crossbar]
+
+    @property
+    def total_macs(self) -> int:
+        """Total MACs per inference."""
+        return sum(info.macs for info in self._shape_infos)
+
+    @property
+    def total_weights(self) -> int:
+        """Total trainable parameters."""
+        return sum(info.weight_count for info in self._shape_infos)
+
+    @property
+    def total_digital_ops(self) -> int:
+        """Total elementwise digital operations per inference."""
+        return sum(info.layer.digital_ops(info.input_shape) for info in self._shape_infos)
+
+    def total_weight_bits(self, bits_per_weight: int) -> int:
+        """Total parameter storage at a given precision (bits)."""
+        if bits_per_weight < 1:
+            raise WorkloadError(f"bits_per_weight must be >= 1, got {bits_per_weight}")
+        return self.total_weights * bits_per_weight
+
+    def largest_activation_bits(self, bits_per_element: int, batch_size: int = 1) -> int:
+        """Size of the largest inter-layer activation tensor for a batch (bits)."""
+        if batch_size < 1:
+            raise WorkloadError(f"batch_size must be >= 1, got {batch_size}")
+        largest = max(
+            max(info.input_shape.num_elements, info.output_shape.num_elements)
+            for info in self._shape_infos
+        )
+        return largest * bits_per_element * batch_size
+
+    # ------------------------------------------------------------------ report
+    def summary(self) -> Dict[str, float]:
+        """Aggregate statistics used in reports and tests."""
+        return {
+            "name": self.name,
+            "num_layers": len(self.layers),
+            "num_crossbar_layers": len(self.crossbar_layers),
+            "total_macs": self.total_macs,
+            "total_weights": self.total_weights,
+            "input_shape": self.input_shape.as_tuple(),
+            "output_shape": self.output_shape.as_tuple(),
+        }
+
+    def layer_table(self) -> List[Tuple[str, Tuple[int, int, int], Tuple[int, int, int], int, int]]:
+        """Per-layer (name, in-shape, out-shape, MACs, weights) rows."""
+        return [
+            (
+                info.name,
+                info.input_shape.as_tuple(),
+                info.output_shape.as_tuple(),
+                info.macs,
+                info.weight_count,
+            )
+            for info in self._shape_infos
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Network({self.name!r}, layers={len(self.layers)}, "
+            f"macs={self.total_macs / 1e9:.2f}G, params={self.total_weights / 1e6:.1f}M)"
+        )

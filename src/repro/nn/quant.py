@@ -1,0 +1,147 @@
+"""Quantisation helpers for the INT6 analog datapath.
+
+The paper assumes 6-bit precision for weights, activations and converters.
+Because the PCM can only attenuate, crossbar weights live in [0, 1]; signed
+weight matrices are handled with the standard non-negative decomposition
+``W = W_pos - W_neg`` (two crossbar passes or two column groups), which the
+functional model in :mod:`repro.crossbar` uses for its signed matvec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class QuantizationParams:
+    """Affine quantisation parameters ``real = scale * (code - zero_point)``."""
+
+    scale: float
+    zero_point: float
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise WorkloadError(f"scale must be > 0, got {self.scale}")
+        if self.bits < 1:
+            raise WorkloadError(f"bits must be >= 1, got {self.bits}")
+
+    @property
+    def num_levels(self) -> int:
+        """Number of representable codes."""
+        return 1 << self.bits
+
+    @property
+    def max_code(self) -> int:
+        """Largest unsigned code."""
+        return self.num_levels - 1
+
+
+def quantize_tensor(
+    tensor: np.ndarray, bits: int = 6, symmetric: bool = False
+) -> Tuple[np.ndarray, QuantizationParams]:
+    """Quantise a real tensor to unsigned integer codes.
+
+    Parameters
+    ----------
+    tensor:
+        Arbitrary real-valued array.
+    bits:
+        Code width (paper: 6).
+    symmetric:
+        When True the range is symmetric around zero (zero maps to the middle
+        code), otherwise the full [min, max] range is used.
+
+    Returns
+    -------
+    (codes, params):
+        ``codes`` is an integer array in [0, 2**bits - 1] and ``params`` the
+        affine parameters needed to dequantise.
+    """
+    tensor = np.asarray(tensor, dtype=float)
+    if tensor.size == 0:
+        raise WorkloadError("cannot quantise an empty tensor")
+    if bits < 1:
+        raise WorkloadError(f"bits must be >= 1, got {bits}")
+
+    max_code = (1 << bits) - 1
+    if symmetric:
+        bound = float(np.max(np.abs(tensor)))
+        bound = bound if bound > 0 else 1.0
+        scale = 2.0 * bound / max_code
+        zero_point = max_code / 2.0
+    else:
+        low = float(tensor.min())
+        high = float(tensor.max())
+        if high == low:
+            high = low + 1.0
+        scale = (high - low) / max_code
+        # Guard against a range so small (denormal) that the scale underflows
+        # to zero; such a tensor is effectively constant.
+        if not np.isfinite(scale) or scale <= 0.0:
+            scale = 1.0
+        zero_point = -low / scale
+
+    codes = np.clip(np.round(tensor / scale + zero_point), 0, max_code).astype(np.int64)
+    return codes, QuantizationParams(scale=scale, zero_point=zero_point, bits=bits)
+
+
+def dequantize(codes: np.ndarray, params: QuantizationParams) -> np.ndarray:
+    """Invert :func:`quantize_tensor`."""
+    codes = np.asarray(codes, dtype=float)
+    return params.scale * (codes - params.zero_point)
+
+
+def quantize_to_unit_range(tensor: np.ndarray, bits: int = 6) -> Tuple[np.ndarray, float]:
+    """Quantise a *non-negative* tensor into [0, 1] codes for the PCM/ODAC.
+
+    Returns the quantised values (still in [0, 1], snapped to the 2**bits - 1
+    grid) and the scale by which they were normalised, so that
+    ``quantised * scale`` approximates the original tensor.
+    """
+    tensor = np.asarray(tensor, dtype=float)
+    if tensor.size == 0:
+        raise WorkloadError("cannot quantise an empty tensor")
+    if np.any(tensor < 0):
+        raise WorkloadError("quantize_to_unit_range expects a non-negative tensor")
+    scale = float(tensor.max())
+    if scale == 0.0:
+        return np.zeros_like(tensor), 1.0
+    max_code = (1 << bits) - 1
+    codes = np.round(tensor / scale * max_code)
+    return codes / max_code, scale
+
+
+def split_signed_matrix(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Split a signed matrix into its non-negative positive and negative parts.
+
+    ``matrix == positive - negative`` with both parts >= 0.  This is the
+    decomposition used to run signed weight matrices on the absorption-only
+    PCM crossbar.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    positive = np.clip(matrix, 0.0, None)
+    negative = np.clip(-matrix, 0.0, None)
+    return positive, negative
+
+
+def quantization_snr_db(original: np.ndarray, quantised: np.ndarray) -> float:
+    """Signal-to-quantisation-noise ratio between two arrays (dB)."""
+    original = np.asarray(original, dtype=float)
+    quantised = np.asarray(quantised, dtype=float)
+    if original.shape != quantised.shape:
+        raise WorkloadError(
+            f"shape mismatch: {original.shape} vs {quantised.shape}"
+        )
+    noise_power = float(np.mean((original - quantised) ** 2))
+    signal_power = float(np.mean(original**2))
+    if noise_power == 0.0:
+        return float("inf")
+    if signal_power == 0.0:
+        return float("-inf")
+    return 10.0 * np.log10(signal_power / noise_power)

@@ -1,0 +1,203 @@
+"""ResNet topology builders (v1.5 bottleneck variant and basic-block variants).
+
+ResNet-50 v1.5 is the paper's benchmark workload.  The "v1.5" detail matters
+for the MAC count: in the bottleneck blocks that downsample, the stride-2 is
+applied in the 3×3 convolution (v1.5) instead of the first 1×1 convolution
+(v1), which raises the network's total MACs from ~3.8 G to ~4.1 G per image.
+
+Only layer shapes are described — no trained weights — which is all the
+performance model needs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import WorkloadError
+from repro.nn.layers import (
+    AddLayer,
+    BatchNormLayer,
+    ConvLayer,
+    DenseLayer,
+    FlattenLayer,
+    Layer,
+    PoolLayer,
+    TensorShape,
+)
+from repro.nn.network import Network
+
+
+def _stem(layers: List[Layer]) -> None:
+    """Append the ResNet stem: 7×7/2 conv, BN, 3×3/2 max-pool."""
+    layers.append(
+        ConvLayer("conv1", out_channels=64, kernel_size=7, stride=2, padding=3, bias=False)
+    )
+    layers.append(BatchNormLayer("bn1"))
+    layers.append(PoolLayer("maxpool", kernel_size=3, stride=2, padding=1, kind="max"))
+
+
+def _bottleneck_block(
+    layers: List[Layer],
+    stage: int,
+    block: int,
+    mid_channels: int,
+    stride: int,
+    project: bool,
+    block_input: str,
+) -> str:
+    """Append one bottleneck block (1×1 → 3×3 → 1×1 + shortcut).
+
+    Returns the name of the block's output layer (the residual add), which the
+    next block uses as its input reference.
+    """
+    prefix = f"stage{stage}_block{block}"
+    out_channels = 4 * mid_channels
+
+    conv_a = ConvLayer(
+        f"{prefix}_conv1x1a", out_channels=mid_channels, kernel_size=1, stride=1, bias=False
+    )
+    conv_a.input_from = block_input
+    layers.append(conv_a)
+    layers.append(BatchNormLayer(f"{prefix}_bn_a"))
+
+    # v1.5: the stride lives in the 3×3 convolution.
+    layers.append(
+        ConvLayer(
+            f"{prefix}_conv3x3",
+            out_channels=mid_channels,
+            kernel_size=3,
+            stride=stride,
+            padding=1,
+            bias=False,
+        )
+    )
+    layers.append(BatchNormLayer(f"{prefix}_bn_b"))
+
+    layers.append(
+        ConvLayer(
+            f"{prefix}_conv1x1b", out_channels=out_channels, kernel_size=1, stride=1, bias=False
+        )
+    )
+    main_bn = BatchNormLayer(f"{prefix}_bn_c")
+    layers.append(main_bn)
+
+    if project:
+        shortcut = ConvLayer(
+            f"{prefix}_shortcut",
+            out_channels=out_channels,
+            kernel_size=1,
+            stride=stride,
+            bias=False,
+        )
+        shortcut.input_from = block_input
+        layers.append(shortcut)
+        layers.append(BatchNormLayer(f"{prefix}_bn_shortcut"))
+        skip_source = f"{prefix}_bn_shortcut"
+    else:
+        skip_source = block_input
+
+    add = AddLayer(f"{prefix}_add", skip_from=skip_source)
+    # The add's shape follows the main path; reference the main path's BN so
+    # the shape is correct whether or not a projection shortcut was inserted.
+    add.input_from = main_bn.name
+    layers.append(add)
+    return add.name
+
+
+def _basic_block(
+    layers: List[Layer],
+    stage: int,
+    block: int,
+    channels: int,
+    stride: int,
+    project: bool,
+    block_input: str,
+) -> str:
+    """Append one basic block (3×3 → 3×3 + shortcut), used by ResNet-18/34."""
+    prefix = f"stage{stage}_block{block}"
+
+    conv_a = ConvLayer(
+        f"{prefix}_conv3x3a", out_channels=channels, kernel_size=3, stride=stride, padding=1, bias=False
+    )
+    conv_a.input_from = block_input
+    layers.append(conv_a)
+    layers.append(BatchNormLayer(f"{prefix}_bn_a"))
+
+    layers.append(
+        ConvLayer(
+            f"{prefix}_conv3x3b", out_channels=channels, kernel_size=3, stride=1, padding=1, bias=False
+        )
+    )
+    main_bn = BatchNormLayer(f"{prefix}_bn_b")
+    layers.append(main_bn)
+
+    if project:
+        shortcut = ConvLayer(
+            f"{prefix}_shortcut", out_channels=channels, kernel_size=1, stride=stride, bias=False
+        )
+        shortcut.input_from = block_input
+        layers.append(shortcut)
+        layers.append(BatchNormLayer(f"{prefix}_bn_shortcut"))
+        skip_source = f"{prefix}_bn_shortcut"
+    else:
+        skip_source = block_input
+
+    add = AddLayer(f"{prefix}_add", skip_from=skip_source)
+    add.input_from = main_bn.name
+    layers.append(add)
+    return add.name
+
+
+def _build_resnet(
+    name: str,
+    blocks_per_stage: Sequence[int],
+    bottleneck: bool,
+    num_classes: int,
+    input_size: int,
+) -> Network:
+    """Common ResNet constructor for both block variants."""
+    if len(blocks_per_stage) != 4:
+        raise WorkloadError(
+            f"ResNet requires 4 stages, got {len(blocks_per_stage)}"
+        )
+    layers: List[Layer] = []
+    _stem(layers)
+    block_input = "maxpool"
+
+    stage_channels = (64, 128, 256, 512)
+    for stage_index, (num_blocks, channels) in enumerate(
+        zip(blocks_per_stage, stage_channels), start=1
+    ):
+        for block_index in range(num_blocks):
+            first = block_index == 0
+            stride = 2 if (first and stage_index > 1) else 1
+            project = first  # Every stage's first block changes channel count.
+            if bottleneck:
+                block_input = _bottleneck_block(
+                    layers, stage_index, block_index, channels, stride, project, block_input
+                )
+            else:
+                block_input = _basic_block(
+                    layers, stage_index, block_index, channels, stride, project, block_input
+                )
+
+    layers.append(PoolLayer("global_avgpool", kernel_size=1, kind="avg", global_pool=True))
+    layers.append(FlattenLayer("flatten"))
+    layers.append(DenseLayer("fc", out_features=num_classes, bias=True))
+
+    return Network(name, TensorShape(input_size, input_size, 3), layers)
+
+
+def build_resnet50(num_classes: int = 1000, input_size: int = 224) -> Network:
+    """ResNet-50 v1.5 (bottleneck blocks, [3, 4, 6, 3]), ~4.1 GMAC per image."""
+    return _build_resnet("resnet50_v1.5", (3, 4, 6, 3), True, num_classes, input_size)
+
+
+def build_resnet34(num_classes: int = 1000, input_size: int = 224) -> Network:
+    """ResNet-34 (basic blocks, [3, 4, 6, 3])."""
+    return _build_resnet("resnet34", (3, 4, 6, 3), False, num_classes, input_size)
+
+
+def build_resnet18(num_classes: int = 1000, input_size: int = 224) -> Network:
+    """ResNet-18 (basic blocks, [2, 2, 2, 2])."""
+    return _build_resnet("resnet18", (2, 2, 2, 2), False, num_classes, input_size)

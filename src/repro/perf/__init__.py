@@ -1,0 +1,34 @@
+"""Step 2 of the paper's framework: high-level performance metrics.
+
+Given the runtime specification produced by :mod:`repro.scalesim` (cycles,
+programming passes, memory traffic) and the device constants in
+:class:`~repro.config.TechnologyConfig`, this package computes
+
+* the laser power required to close the optical link budget
+  (:mod:`repro.perf.laser_power`),
+* per-inference energy and average chip power, itemised by component
+  (:mod:`repro.perf.power`),
+* chip area, itemised by component (:mod:`repro.perf.area`),
+* the headline metrics IPS, IPS/W, TOPS and TOPS/W
+  (:mod:`repro.perf.metrics`).
+"""
+
+from repro.perf.area import AreaBreakdown, AreaModel
+from repro.perf.laser_power import LaserPowerModel, LaserPowerResult
+from repro.perf.metrics import PerformanceMetrics, evaluate_runtime
+from repro.perf.power import EnergyBreakdown, PowerBreakdown, PowerModel
+from repro.perf.roofline import RooflineModel, RooflinePoint
+
+__all__ = [
+    "AreaBreakdown",
+    "AreaModel",
+    "EnergyBreakdown",
+    "LaserPowerModel",
+    "LaserPowerResult",
+    "PerformanceMetrics",
+    "PowerBreakdown",
+    "PowerModel",
+    "RooflineModel",
+    "RooflinePoint",
+    "evaluate_runtime",
+]

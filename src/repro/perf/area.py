@@ -1,0 +1,140 @@
+"""Chip area model.
+
+Area is rolled up from the SRAM macros, the photonic crossbar cores (unit
+cells, splitter tree, transmitters), the per-column/row mixed-signal
+electronics (ADCs, TIAs, ODAC drivers, SerDes, clocking), and the digital
+blocks (accumulator, activation, control).  Photonic and per-lane electronic
+area is multiplied by the number of cores — the price of the dual-core
+programming-hiding scheme — while the SRAM blocks and digital control are
+shared between cores (paper Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.config.chip import ChipConfig
+from repro.electronics.accumulator import DigitalAccumulator
+from repro.electronics.activation import ActivationUnit
+from repro.electronics.adc import ADCBank
+from repro.electronics.clocking import ClockDistribution
+from repro.electronics.dac import ODACDriverBank
+from repro.electronics.serdes import SerDesBank
+from repro.electronics.tia import TIABank
+from repro.errors import SimulationError
+from repro.memory.hierarchy import MemorySystem
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Chip area itemised by component (mm²)."""
+
+    components_mm2: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, value in self.components_mm2.items():
+            if value < 0:
+                raise SimulationError(f"area for {name!r} must be >= 0, got {value}")
+
+    @property
+    def total_mm2(self) -> float:
+        """Total chip area (mm²)."""
+        return sum(self.components_mm2.values())
+
+    def component(self, name: str) -> float:
+        """Area of one component (mm²); 0 if absent."""
+        return self.components_mm2.get(name, 0.0)
+
+    def fraction(self, name: str) -> float:
+        """Fraction of the total area taken by one component."""
+        total = self.total_mm2
+        if total <= 0:
+            return 0.0
+        return self.component(name) / total
+
+    def dominant_component(self) -> str:
+        """Name of the largest component."""
+        if not self.components_mm2:
+            raise SimulationError("empty area breakdown")
+        return max(self.components_mm2, key=self.components_mm2.get)
+
+    def grouped(self) -> Dict[str, float]:
+        """Coarse grouping used by the Fig. 8 area-breakdown benchmark."""
+        groups = {
+            "sram": ["sram"],
+            "photonics": ["photonic_array", "splitter_tree", "transmitters"],
+            "adc_tia": ["adc", "tia"],
+            "odac_serdes_clock": ["odac_drivers", "serdes", "clocking"],
+            "digital": ["accumulator", "activation", "control"],
+        }
+        result: Dict[str, float] = {}
+        for group, names in groups.items():
+            result[group] = sum(self.component(name) for name in names)
+        return result
+
+
+class AreaModel:
+    """Computes the chip area of a design point."""
+
+    def __init__(self, config: ChipConfig) -> None:
+        self.config = config
+        technology = config.technology
+        mac_clock = config.mac_clock_hz
+        self.memory = MemorySystem(config)
+        self.odac_bank = ODACDriverBank(config.rows, technology, mac_clock)
+        self.adc_bank = ADCBank(config.columns, technology, mac_clock)
+        self.tia_bank = TIABank(config.columns, technology, mac_clock)
+        self.serdes_bank = SerDesBank(config.rows, config.columns, technology, mac_clock)
+        self.clocking = ClockDistribution(config.rows, config.columns, technology, mac_clock)
+        self.accumulator = DigitalAccumulator(config.columns, technology)
+        self.activation = ActivationUnit(technology)
+
+    # ------------------------------------------------------------------ pieces
+    @property
+    def photonic_array_area_mm2(self) -> float:
+        """Area of the PCM unit-cell array of one core (mm²)."""
+        technology = self.config.technology
+        return self.config.array_size * (
+            technology.unit_cell_area_mm2 + technology.phase_shifter_area_mm2
+        )
+
+    @property
+    def splitter_tree_area_mm2(self) -> float:
+        """Area of the input splitter tree of one core (mm²).
+
+        Approximated as one unit-cell pitch worth of routing per row.
+        """
+        technology = self.config.technology
+        pitch_mm = technology.unit_cell_pitch_m * 1e3
+        return self.config.rows * pitch_mm * pitch_mm
+
+    # ------------------------------------------------------------------ roll-up
+    def breakdown(self) -> AreaBreakdown:
+        """Itemised chip area (mm²)."""
+        cores = self.config.num_cores
+        components: Dict[str, float] = {
+            "sram": self.memory.total_sram_area_mm2,
+            "photonic_array": cores * self.photonic_array_area_mm2,
+            "splitter_tree": cores * self.splitter_tree_area_mm2,
+            "transmitters": 0.0,  # Transmitter ring area is in odac_drivers.
+            "adc": cores * self.adc_bank.area_mm2,
+            "tia": cores * self.tia_bank.area_mm2,
+            "odac_drivers": cores * self.odac_bank.area_mm2,
+            "serdes": cores * self.serdes_bank.area_mm2,
+            "clocking": cores * self.clocking.area_mm2,
+            "accumulator": cores * self.accumulator.area_mm2,
+            "activation": self.activation.area_mm2,
+            "control": self.config.technology.control_logic_area_mm2,
+        }
+        return AreaBreakdown(components)
+
+    def total_area_mm2(self) -> float:
+        """Total chip area (mm²)."""
+        return self.breakdown().total_mm2
+
+    def exceeds(self, limit_mm2: float) -> bool:
+        """True when the design point exceeds an area cap (e.g. 100 mm² ~ 1 cm²)."""
+        if limit_mm2 <= 0:
+            raise SimulationError(f"area limit must be > 0, got {limit_mm2}")
+        return self.total_area_mm2() > limit_mm2

@@ -1,0 +1,115 @@
+"""Laser power solver.
+
+The laser must be strong enough that, after the intrinsic 1/M distribution
+across the column outputs and all excess losses of the optical path, each
+balanced photodiode still receives enough power to resolve the target
+precision at the MAC rate.  Because the excess loss grows linearly in dB with
+the array dimensions, the required laser power grows *exponentially* with
+array size — the effect that ultimately caps the energy-efficient array size
+in Fig. 6 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config.chip import ChipConfig
+from repro.config.technology import TechnologyConfig
+from repro.errors import DeviceModelError
+from repro.photonics.laser import LaserSource
+from repro.photonics.loss_budget import CrossbarLossBudget
+
+
+@dataclass(frozen=True)
+class LaserPowerResult:
+    """Output of the laser power solver for one design point."""
+
+    required_optical_power_w: float
+    clamped_optical_power_w: float
+    electrical_power_w: float
+    receiver_power_w: float
+    excess_loss_db: float
+    total_loss_db: float
+    feasible: bool
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for reports."""
+        return {
+            "required_optical_power_w": self.required_optical_power_w,
+            "clamped_optical_power_w": self.clamped_optical_power_w,
+            "electrical_power_w": self.electrical_power_w,
+            "receiver_power_w": self.receiver_power_w,
+            "excess_loss_db": self.excess_loss_db,
+            "total_loss_db": self.total_loss_db,
+            "feasible": self.feasible,
+        }
+
+
+class LaserPowerModel:
+    """Computes the laser power needed by one crossbar core.
+
+    Parameters
+    ----------
+    config:
+        The chip design point (array size, technology constants).
+    worst_case:
+        Budget the longest optical path (default) or the average path.
+    """
+
+    def __init__(self, config: ChipConfig, worst_case: bool = True) -> None:
+        self.config = config
+        self.technology: TechnologyConfig = config.technology
+        self.budget = CrossbarLossBudget(
+            rows=config.rows,
+            columns=config.columns,
+            technology=config.technology,
+            worst_case=worst_case,
+        )
+        self.laser = LaserSource(
+            wall_plug_efficiency=self.technology.laser_wall_plug_efficiency,
+            wavelength_m=self.technology.laser_wavelength_m,
+            max_output_power_w=self.technology.laser_max_output_power_w,
+            min_output_power_w=self.technology.laser_min_output_power_w,
+        )
+
+    # ------------------------------------------------------------------ solve
+    def required_optical_power_w(self) -> float:
+        """Laser optical output power needed to hit the receiver sensitivity (W).
+
+        The full-scale optical power reaching one column photodiode is
+        ``P_laser * T_total`` where ``T_total`` combines the intrinsic 1/M
+        distribution loss and all excess losses; inverting gives the required
+        laser power.
+        """
+        sensitivity = self.technology.receiver_sensitivity_w
+        transmission = self.budget.total_transmission
+        if transmission <= 0:
+            raise DeviceModelError("optical transmission must be > 0")
+        return sensitivity / transmission
+
+    def solve(self) -> LaserPowerResult:
+        """Solve the link budget and return the laser power requirement.
+
+        If the required power exceeds the laser's maximum the design point is
+        flagged infeasible and the power is clamped to the maximum (so sweeps
+        can still chart the trend instead of crashing).
+        """
+        required = self.required_optical_power_w()
+        feasible = required <= self.laser.max_output_power_w
+        clamped = min(max(required, self.laser.min_output_power_w), self.laser.max_output_power_w)
+        electrical = clamped / self.laser.wall_plug_efficiency
+        receiver_power = clamped * self.budget.total_transmission
+        return LaserPowerResult(
+            required_optical_power_w=required,
+            clamped_optical_power_w=clamped,
+            electrical_power_w=electrical,
+            receiver_power_w=receiver_power,
+            excess_loss_db=self.budget.excess_loss_db,
+            total_loss_db=self.budget.total_loss_db,
+            feasible=feasible,
+        )
+
+    def electrical_power_w(self) -> float:
+        """Electrical (wall-plug) laser power of the design point (W)."""
+        return self.solve().electrical_power_w

@@ -1,0 +1,137 @@
+"""Headline performance metrics: IPS, IPS/W, power, area, TOPS, TOPS/W.
+
+:func:`evaluate_runtime` bundles the power and area models into the single
+:class:`PerformanceMetrics` record that the sweeps, optimizer, benchmarks and
+the Table I comparison all consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config.chip import ChipConfig
+from repro.errors import SimulationError
+from repro.perf.area import AreaBreakdown, AreaModel
+from repro.perf.laser_power import LaserPowerResult
+from repro.perf.power import EnergyBreakdown, PowerBreakdown, PowerModel
+from repro.scalesim.runtime import NetworkRuntime
+
+
+@dataclass(frozen=True)
+class PerformanceMetrics:
+    """Evaluated metrics of one (network, chip-configuration) pair."""
+
+    network_name: str
+    config: ChipConfig
+    inferences_per_second: float
+    power_w: float
+    area_mm2: float
+    energy_per_inference_j: float
+    mac_utilization: float
+    effective_tops: float
+    laser: LaserPowerResult
+    energy_breakdown: EnergyBreakdown
+    power_breakdown: PowerBreakdown
+    area_breakdown: AreaBreakdown
+
+    def __post_init__(self) -> None:
+        if self.inferences_per_second <= 0:
+            raise SimulationError("IPS must be > 0")
+        if self.power_w <= 0:
+            raise SimulationError("power must be > 0")
+        if self.area_mm2 <= 0:
+            raise SimulationError("area must be > 0")
+
+    # ------------------------------------------------------------------ derived
+    @property
+    def ips(self) -> float:
+        """Alias for :attr:`inferences_per_second`."""
+        return self.inferences_per_second
+
+    @property
+    def ips_per_watt(self) -> float:
+        """Inferences per second per watt."""
+        return self.inferences_per_second / self.power_w
+
+    @property
+    def effective_tops_per_watt(self) -> float:
+        """Achieved TOPS per watt (2 ops per MAC, real MACs only)."""
+        return self.effective_tops / self.power_w
+
+    @property
+    def ips_per_mm2(self) -> float:
+        """Inferences per second per mm² of chip area."""
+        return self.inferences_per_second / self.area_mm2
+
+    @property
+    def feasible(self) -> bool:
+        """False when the optical link budget cannot be closed."""
+        return self.laser.feasible
+
+    # ------------------------------------------------------------------ report
+    def summary(self) -> Dict[str, float]:
+        """Flat summary used in reports, CSV export and tests."""
+        return {
+            "network": self.network_name,
+            "rows": self.config.rows,
+            "columns": self.config.columns,
+            "num_cores": self.config.num_cores,
+            "batch_size": self.config.batch_size,
+            "input_sram_mb": self.config.sram.input_mb,
+            "ips": self.inferences_per_second,
+            "power_w": self.power_w,
+            "ips_per_watt": self.ips_per_watt,
+            "area_mm2": self.area_mm2,
+            "energy_per_inference_j": self.energy_per_inference_j,
+            "mac_utilization": self.mac_utilization,
+            "effective_tops": self.effective_tops,
+            "effective_tops_per_watt": self.effective_tops_per_watt,
+            "laser_electrical_w": self.laser.electrical_power_w,
+            "feasible": self.feasible,
+        }
+
+
+def evaluate_runtime(runtime: NetworkRuntime, config: Optional[ChipConfig] = None) -> PerformanceMetrics:
+    """Evaluate power, area and headline metrics for a runtime specification.
+
+    Parameters
+    ----------
+    runtime:
+        Output of the dataflow simulator.
+    config:
+        Defaults to the configuration stored in the runtime; passing a
+        different configuration is an error guard for mismatched evaluations.
+    """
+    config = config or runtime.config
+    if config is not runtime.config and config != runtime.config:
+        raise SimulationError(
+            "the configuration passed to evaluate_runtime differs from the one the "
+            "runtime was simulated with"
+        )
+
+    power_model = PowerModel(config)
+    area_model = AreaModel(config)
+
+    energy = power_model.energy_breakdown(runtime)
+    power = power_model.power_breakdown(runtime)
+    area = area_model.breakdown()
+
+    ips = runtime.inferences_per_second
+    total_power = power.total_w
+    effective_tops = 2.0 * runtime.total_macs / runtime.batch_latency_s / 1e12
+
+    return PerformanceMetrics(
+        network_name=runtime.network_name,
+        config=config,
+        inferences_per_second=ips,
+        power_w=total_power,
+        area_mm2=area.total_mm2,
+        energy_per_inference_j=energy.total_j / runtime.batch_size,
+        mac_utilization=runtime.mac_utilization,
+        effective_tops=effective_tops,
+        laser=power_model.laser_model.solve(),
+        energy_breakdown=energy,
+        power_breakdown=power,
+        area_breakdown=area,
+    )

@@ -1,0 +1,196 @@
+"""Chip energy and power model.
+
+The model is energy-centric: every activity of the runtime specification
+(MAC cycles, programming passes, memory bits moved, digital ops) is priced in
+joules per batch, then divided by the batch latency to obtain average power.
+Always-on contributions (ring thermal tuning, phase-shifter trimming, SRAM
+leakage, control logic) are added as static power.
+
+Pricing energy rather than power is what reproduces the paper's observation
+that IPS/W is independent of the core count (Section VI-A.1): a dual-core
+chip finishes the batch sooner but spends the same energy on it, so its power
+is proportionally higher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.config.chip import ChipConfig
+from repro.electronics.accumulator import DigitalAccumulator
+from repro.electronics.activation import ActivationUnit
+from repro.electronics.adc import ADCBank
+from repro.electronics.clocking import ClockDistribution
+from repro.electronics.dac import ODACDriverBank
+from repro.electronics.serdes import SerDesBank
+from repro.electronics.tia import TIABank
+from repro.errors import SimulationError
+from repro.memory.hierarchy import MemorySystem
+from repro.perf.laser_power import LaserPowerModel
+from repro.scalesim.runtime import NetworkRuntime
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-batch energy itemised by component (J)."""
+
+    components_j: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, value in self.components_j.items():
+            if value < 0:
+                raise SimulationError(f"energy for {name!r} must be >= 0, got {value}")
+
+    @property
+    def total_j(self) -> float:
+        """Total energy per batch (J)."""
+        return sum(self.components_j.values())
+
+    def component(self, name: str) -> float:
+        """Energy of one component (J); 0 if absent."""
+        return self.components_j.get(name, 0.0)
+
+    def fraction(self, name: str) -> float:
+        """Fraction of the total energy attributed to one component."""
+        total = self.total_j
+        if total <= 0:
+            return 0.0
+        return self.component(name) / total
+
+    def grouped(self) -> Dict[str, float]:
+        """Coarse grouping used by the Fig. 8 power-breakdown benchmark."""
+        groups = {
+            "dram": ["dram"],
+            "sram": ["sram", "sram_leakage"],
+            "adc_tia": ["adc", "tia"],
+            "odac_serdes_clock": ["odac", "serdes", "clocking"],
+            "laser_photonics": ["laser", "thermal_tuning", "phase_shifters"],
+            "digital": ["accumulator", "activation", "control"],
+            "pcm_programming": ["pcm_programming"],
+        }
+        result: Dict[str, float] = {}
+        for group, names in groups.items():
+            result[group] = sum(self.component(name) for name in names)
+        return result
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Average power itemised by component (W)."""
+
+    components_w: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_w(self) -> float:
+        """Total average chip power (W)."""
+        return sum(self.components_w.values())
+
+    def component(self, name: str) -> float:
+        """Power of one component (W); 0 if absent."""
+        return self.components_w.get(name, 0.0)
+
+    def dominant_component(self) -> str:
+        """Name of the component drawing the most power."""
+        if not self.components_w:
+            raise SimulationError("empty power breakdown")
+        return max(self.components_w, key=self.components_w.get)
+
+    def grouped(self) -> Dict[str, float]:
+        """Coarse grouping matching :meth:`EnergyBreakdown.grouped`."""
+        energy_like = EnergyBreakdown(dict(self.components_w))
+        return energy_like.grouped()
+
+
+class PowerModel:
+    """Computes per-batch energy and average power for a runtime specification."""
+
+    def __init__(self, config: ChipConfig) -> None:
+        self.config = config
+        technology = config.technology
+        mac_clock = config.mac_clock_hz
+        self.odac_bank = ODACDriverBank(config.rows, technology, mac_clock)
+        self.adc_bank = ADCBank(config.columns, technology, mac_clock)
+        self.tia_bank = TIABank(config.columns, technology, mac_clock)
+        self.serdes_bank = SerDesBank(config.rows, config.columns, technology, mac_clock)
+        self.clocking = ClockDistribution(config.rows, config.columns, technology, mac_clock)
+        self.accumulator = DigitalAccumulator(config.columns, technology)
+        self.activation = ActivationUnit(technology)
+        self.memory = MemorySystem(config)
+        self.laser_model = LaserPowerModel(config)
+
+    # ------------------------------------------------------------------ energy
+    def energy_breakdown(self, runtime: NetworkRuntime) -> EnergyBreakdown:
+        """Itemised energy of one batch (J)."""
+        config = self.config
+        technology = config.technology
+        cycles = runtime.total_compute_cycles
+        compute_time = runtime.compute_time_s
+        batch_latency = runtime.batch_latency_s
+
+        components: Dict[str, float] = {}
+
+        # -- electro-optical datapath (active only during compute cycles)
+        components["odac"] = self.odac_bank.energy_for_cycles(cycles)
+        components["adc"] = self.adc_bank.energy_for_cycles(cycles)
+        components["tia"] = self.tia_bank.energy_for_cycles(cycles)
+        components["serdes"] = self.serdes_bank.energy_for_cycles(cycles)
+        components["clocking"] = self.clocking.energy_for_cycles(cycles)
+
+        # -- laser (on while the array computes)
+        laser_power_w = self.laser_model.electrical_power_w()
+        components["laser"] = laser_power_w * compute_time
+
+        # -- digital post-processing
+        components["accumulator"] = self.accumulator.energy_for_ops(
+            runtime.total_accumulator_ops
+        )
+        components["activation"] = self.activation.energy_for_ops(
+            runtime.total_activation_ops
+        )
+
+        # -- memory traffic
+        traffic = runtime.traffic_record
+        components["sram"] = self.memory.sram_energy_for_traffic(traffic)
+        components["dram"] = self.memory.dram_energy_for_traffic(traffic)
+
+        # -- PCM programming
+        components["pcm_programming"] = (
+            runtime.total_programmed_cells * technology.pcm_programming_energy_j
+        )
+
+        # -- always-on contributions, for the whole batch duration; photonic
+        #    thermal tuning is paid per core (both cores stay tuned).
+        num_cores = config.num_cores
+        components["thermal_tuning"] = (
+            self.odac_bank.static_power_w * num_cores * batch_latency
+        )
+        components["phase_shifters"] = (
+            config.array_size
+            * technology.phase_shifter_power_w
+            * num_cores
+            * batch_latency
+        )
+        components["sram_leakage"] = self.memory.total_sram_leakage_w * batch_latency
+        components["control"] = technology.control_logic_power_w * batch_latency
+
+        return EnergyBreakdown(components)
+
+    # ------------------------------------------------------------------ power
+    def power_breakdown(self, runtime: NetworkRuntime) -> PowerBreakdown:
+        """Itemised average power over one batch (W)."""
+        energy = self.energy_breakdown(runtime)
+        latency = runtime.batch_latency_s
+        if latency <= 0:
+            raise SimulationError("batch latency must be > 0 to compute power")
+        return PowerBreakdown(
+            {name: value / latency for name, value in energy.components_j.items()}
+        )
+
+    def total_power_w(self, runtime: NetworkRuntime) -> float:
+        """Total average chip power over one batch (W)."""
+        return self.power_breakdown(runtime).total_w
+
+    def energy_per_inference_j(self, runtime: NetworkRuntime) -> float:
+        """Average energy per inference (J)."""
+        return self.energy_breakdown(runtime).total_j / runtime.batch_size

@@ -1,0 +1,117 @@
+"""Roofline analysis of the accelerator.
+
+The optical crossbar has an enormous peak MAC rate (N·M · 10 GHz), so for
+many layers the binding constraint is not compute but the DRAM bandwidth of
+the co-packaged HBM.  The classical roofline model makes that visible:
+
+* machine balance  = peak MACs/s ÷ DRAM bandwidth (MACs per DRAM bit);
+* a layer's arithmetic intensity = its MACs ÷ the DRAM bits it moves;
+* layers below the balance point are memory-bound, layers above it are
+  compute-bound.
+
+The per-layer numbers come straight from the dataflow simulator's runtime
+specification, so the roofline reflects the actual tiling and spill
+behaviour, not idealised reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.config.chip import ChipConfig
+from repro.errors import SimulationError
+from repro.scalesim.runtime import NetworkRuntime
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One layer's position on the roofline plot."""
+
+    layer_name: str
+    arithmetic_intensity_macs_per_bit: float
+    achieved_macs_per_second: float
+    bound: str  # "compute" or "memory"
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat row for export."""
+        return {
+            "layer": self.layer_name,
+            "arithmetic_intensity_macs_per_bit": self.arithmetic_intensity_macs_per_bit,
+            "achieved_macs_per_second": self.achieved_macs_per_second,
+            "bound": self.bound,
+        }
+
+
+class RooflineModel:
+    """Roofline of one chip configuration, populated from a runtime spec."""
+
+    def __init__(self, config: ChipConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------ machine
+    @property
+    def peak_macs_per_second(self) -> float:
+        """Peak MAC rate of the compute core (MACs/s)."""
+        return self.config.peak_macs_per_second
+
+    @property
+    def dram_bandwidth_bits_per_s(self) -> float:
+        """Peak DRAM bandwidth (bits/s)."""
+        return self.config.technology.dram_bandwidth_bits_per_s
+
+    @property
+    def machine_balance_macs_per_bit(self) -> float:
+        """Arithmetic intensity at which compute and memory roofs intersect."""
+        return self.peak_macs_per_second / self.dram_bandwidth_bits_per_s
+
+    def attainable_macs_per_second(self, arithmetic_intensity: float) -> float:
+        """The roofline itself: min(peak, intensity × bandwidth)."""
+        if arithmetic_intensity < 0:
+            raise SimulationError("arithmetic intensity must be >= 0")
+        return min(
+            self.peak_macs_per_second,
+            arithmetic_intensity * self.dram_bandwidth_bits_per_s,
+        )
+
+    # ------------------------------------------------------------------ layers
+    def layer_points(self, runtime: NetworkRuntime) -> List[RooflinePoint]:
+        """Per-layer roofline points from a runtime specification."""
+        if runtime.config != self.config:
+            raise SimulationError("runtime was simulated with a different configuration")
+        points: List[RooflinePoint] = []
+        batch = runtime.batch_size
+        for layer in runtime.layers:
+            macs = layer.macs * batch
+            dram_bits = layer.traffic.dram_bits
+            intensity = macs / dram_bits if dram_bits > 0 else float("inf")
+            achieved = macs / layer.latency.latency_s
+            bound = "memory" if intensity < self.machine_balance_macs_per_bit else "compute"
+            points.append(
+                RooflinePoint(
+                    layer_name=layer.layer_name,
+                    arithmetic_intensity_macs_per_bit=intensity,
+                    achieved_macs_per_second=achieved,
+                    bound=bound,
+                )
+            )
+        return points
+
+    def summary(self, runtime: NetworkRuntime) -> Dict[str, float]:
+        """Aggregate roofline statistics for a network."""
+        points = self.layer_points(runtime)
+        memory_bound = [p for p in points if p.bound == "memory"]
+        network_intensity = (
+            runtime.total_macs / runtime.total_dram_bits
+            if runtime.total_dram_bits > 0
+            else float("inf")
+        )
+        return {
+            "machine_balance_macs_per_bit": self.machine_balance_macs_per_bit,
+            "network_arithmetic_intensity": network_intensity,
+            "num_layers": float(len(points)),
+            "num_memory_bound_layers": float(len(memory_bound)),
+            "memory_bound_fraction": len(memory_bound) / len(points),
+            "achieved_macs_per_second": runtime.total_macs / runtime.batch_latency_s,
+            "peak_macs_per_second": self.peak_macs_per_second,
+        }

@@ -1,0 +1,44 @@
+"""Photonic device models of the 45 nm monolithic silicon-photonic platform.
+
+Each device is a small class exposing
+
+* its optical behaviour (power/field transmission, transfer functions), used
+  by the functional crossbar model in :mod:`repro.crossbar`, and
+* its electrical overheads (static power, energy per operation, area), used
+  by the chip power/area models in :mod:`repro.perf`.
+
+The numeric defaults come from the paper's Section III loss/energy table and
+are centralised in :class:`repro.config.TechnologyConfig`.
+"""
+
+from repro.photonics.coupler import DirectionalCoupler
+from repro.photonics.grating import GratingCoupler
+from repro.photonics.laser import LaserSource
+from repro.photonics.loss_budget import CrossbarLossBudget, LossContribution
+from repro.photonics.mmi import MMICrossing, MMISplitter
+from repro.photonics.pcm import PCMCell, PCMState
+from repro.photonics.phase_shifter import ThermalPhaseShifter
+from repro.photonics.photodiode import BalancedPhotodiode, CoherentReceiverFrontEnd
+from repro.photonics.ramzi import RAMZIModulator
+from repro.photonics.ring import RingResonatorODAC
+from repro.photonics.splitter import SplitterTree
+from repro.photonics.waveguide import Waveguide
+
+__all__ = [
+    "BalancedPhotodiode",
+    "CoherentReceiverFrontEnd",
+    "CrossbarLossBudget",
+    "DirectionalCoupler",
+    "GratingCoupler",
+    "LaserSource",
+    "LossContribution",
+    "MMICrossing",
+    "MMISplitter",
+    "PCMCell",
+    "PCMState",
+    "RAMZIModulator",
+    "RingResonatorODAC",
+    "SplitterTree",
+    "ThermalPhaseShifter",
+    "Waveguide",
+]

@@ -1,0 +1,101 @@
+"""Directional-coupler model.
+
+The crossbar uses directional couplers (DCs) twice per unit cell: one taps a
+column-dependent fraction ``k_in[j]`` of the row E-field into the cell's
+bended waveguide, the other couples the PCM-weighted product into the column
+waveguide with a row-dependent strength ``k_out[i]``.  Designing these
+coupling coefficients correctly is what makes the single-wavelength coherent
+summation of Eq. (1) possible (see
+:func:`repro.crossbar.array.design_input_coupling` /
+:func:`design_output_coupling`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.constants import loss_db_to_transmission
+from repro.errors import DeviceModelError
+
+
+@dataclass(frozen=True)
+class DirectionalCoupler:
+    """A 2×2 directional coupler with power cross-coupling ratio ``kappa``.
+
+    Parameters
+    ----------
+    kappa:
+        Fraction of optical *power* transferred from the through port to the
+        cross port, in [0, 1].
+    excess_loss_db:
+        Additional insertion loss applied to both outputs (dB).
+    """
+
+    kappa: float
+    excess_loss_db: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.kappa <= 1.0:
+            raise DeviceModelError(f"kappa must be in [0, 1], got {self.kappa}")
+        if self.excess_loss_db < 0.0:
+            raise DeviceModelError(
+                f"excess_loss_db must be >= 0, got {self.excess_loss_db}"
+            )
+
+    # ---------------------------------------------------------------- field
+    @property
+    def through_field(self) -> float:
+        """E-field transmission to the through port (no excess loss)."""
+        return math.sqrt(1.0 - self.kappa)
+
+    @property
+    def cross_field(self) -> float:
+        """E-field transmission to the cross port (no excess loss)."""
+        return math.sqrt(self.kappa)
+
+    @property
+    def excess_field(self) -> float:
+        """E-field factor for the excess insertion loss."""
+        return math.sqrt(loss_db_to_transmission(self.excess_loss_db))
+
+    def split(self, field_in: complex) -> Tuple[complex, complex]:
+        """Split an input E-field into (through, cross) output fields.
+
+        The cross port picks up the conventional 90° coupling phase
+        (multiplication by ``1j``); the coherent crossbar model compensates
+        this with its path-length calibration, so the functional array model
+        works with magnitudes and uses this method only in device-level
+        tests.
+        """
+        through = field_in * self.through_field * self.excess_field
+        cross = field_in * self.cross_field * self.excess_field * 1j
+        return through, cross
+
+    def combine(self, field_through_in: complex, field_cross_in: complex) -> complex:
+        """Coherently combine a through-port field and a cross-port field.
+
+        This is the operation used along each column waveguide: the
+        accumulated column field passes straight through while the unit-cell
+        product field is injected via the cross port.
+        """
+        through, _ = self.split(field_through_in)
+        injected = field_cross_in * self.cross_field * self.excess_field * 1j
+        return through + injected
+
+    # ---------------------------------------------------------------- power
+    @property
+    def through_power(self) -> float:
+        """Power transmission to the through port including excess loss."""
+        return (1.0 - self.kappa) * loss_db_to_transmission(self.excess_loss_db)
+
+    @property
+    def cross_power(self) -> float:
+        """Power transmission to the cross port including excess loss."""
+        return self.kappa * loss_db_to_transmission(self.excess_loss_db)
+
+    def is_power_conserving(self, tolerance: float = 1e-12) -> bool:
+        """True when the coupler conserves power apart from its excess loss."""
+        total = self.through_power + self.cross_power
+        return abs(total - loss_db_to_transmission(self.excess_loss_db)) <= tolerance

@@ -1,0 +1,51 @@
+"""Grating-coupler model for fibre-to-chip coupling.
+
+The laser is assumed to be an external (or co-packaged) source whose light
+enters the chip through a grating coupler with 2 dB insertion loss
+(paper Section III-A, [10], [12]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import loss_db_to_transmission
+from repro.errors import DeviceModelError
+
+
+@dataclass(frozen=True)
+class GratingCoupler:
+    """A surface grating coupler.
+
+    Parameters
+    ----------
+    insertion_loss_db:
+        Fibre-to-waveguide coupling loss (dB).
+    bandwidth_1db_nm:
+        1-dB optical bandwidth (nm), used only for sanity checks in
+        multi-wavelength what-if studies.
+    """
+
+    insertion_loss_db: float = 2.0
+    bandwidth_1db_nm: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.insertion_loss_db < 0:
+            raise DeviceModelError(
+                f"insertion_loss_db must be >= 0, got {self.insertion_loss_db}"
+            )
+        if self.bandwidth_1db_nm <= 0:
+            raise DeviceModelError(
+                f"bandwidth_1db_nm must be > 0, got {self.bandwidth_1db_nm}"
+            )
+
+    @property
+    def power_transmission(self) -> float:
+        """Power transmission through the coupler, in [0, 1]."""
+        return loss_db_to_transmission(self.insertion_loss_db)
+
+    def couple(self, power_in_w: float) -> float:
+        """Optical power delivered on chip for ``power_in_w`` in the fibre (W)."""
+        if power_in_w < 0:
+            raise DeviceModelError(f"power_in_w must be >= 0, got {power_in_w}")
+        return power_in_w * self.power_transmission

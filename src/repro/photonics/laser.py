@@ -1,0 +1,88 @@
+"""Laser source model.
+
+The crossbar operates on a single wavelength from a single laser shared by
+both cores.  Only the wall-plug efficiency matters for system power: the
+paper assumes 15 %, so the electrical laser power is the required optical
+power divided by 0.15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceModelError
+
+
+@dataclass(frozen=True)
+class LaserSource:
+    """A continuous-wave laser characterised by its wall-plug efficiency.
+
+    Parameters
+    ----------
+    wall_plug_efficiency:
+        Optical output power divided by electrical input power, in (0, 1].
+    wavelength_m:
+        Emission wavelength (m).
+    max_output_power_w:
+        Maximum optical output power the device can emit (W).
+    min_output_power_w:
+        Minimum practical optical output power (W); requests below this are
+        rounded up, modelling the laser's threshold/bias floor.
+    rin_db_per_hz:
+        Relative intensity noise (dB/Hz), used by the noise model.
+    """
+
+    wall_plug_efficiency: float = 0.15
+    wavelength_m: float = 1.31e-6
+    max_output_power_w: float = 10.0
+    min_output_power_w: float = 1e-3
+    rin_db_per_hz: float = -150.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.wall_plug_efficiency <= 1.0:
+            raise DeviceModelError(
+                f"wall_plug_efficiency must be in (0, 1], got {self.wall_plug_efficiency}"
+            )
+        if self.wavelength_m <= 0:
+            raise DeviceModelError(f"wavelength must be > 0, got {self.wavelength_m}")
+        if self.min_output_power_w < 0 or self.max_output_power_w <= 0:
+            raise DeviceModelError("laser power limits must be positive")
+        if self.min_output_power_w > self.max_output_power_w:
+            raise DeviceModelError(
+                "min_output_power_w must not exceed max_output_power_w "
+                f"({self.min_output_power_w} > {self.max_output_power_w})"
+            )
+
+    def clamp_output_power(self, requested_w: float) -> float:
+        """Clamp a requested optical output power to the laser's capabilities.
+
+        Raises :class:`DeviceModelError` if the request exceeds the maximum;
+        requests below the minimum are rounded up to the minimum.
+        """
+        if requested_w < 0:
+            raise DeviceModelError(f"requested power must be >= 0, got {requested_w}")
+        if requested_w > self.max_output_power_w:
+            raise DeviceModelError(
+                f"required laser power {requested_w:.3f} W exceeds the device maximum "
+                f"{self.max_output_power_w:.3f} W — the design point is infeasible"
+            )
+        return max(requested_w, self.min_output_power_w)
+
+    def electrical_power_w(self, optical_output_w: float) -> float:
+        """Electrical (wall-plug) power for a given optical output power (W)."""
+        clamped = self.clamp_output_power(optical_output_w)
+        return clamped / self.wall_plug_efficiency
+
+    def optical_power_w(self, electrical_input_w: float) -> float:
+        """Optical output power produced from a given electrical power (W)."""
+        if electrical_input_w < 0:
+            raise DeviceModelError(
+                f"electrical_input_w must be >= 0, got {electrical_input_w}"
+            )
+        return electrical_input_w * self.wall_plug_efficiency
+
+    def rin_power_fraction(self, bandwidth_hz: float) -> float:
+        """Integrated relative-intensity-noise power fraction over a bandwidth."""
+        if bandwidth_hz <= 0:
+            raise DeviceModelError(f"bandwidth_hz must be > 0, got {bandwidth_hz}")
+        return 10.0 ** (self.rin_db_per_hz / 10.0) * bandwidth_hz

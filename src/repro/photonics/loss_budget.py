@@ -1,0 +1,178 @@
+"""Optical link budget of an N×M coherent crossbar.
+
+The laser light traverses, in order: the grating coupler, the splitter tree,
+the row transmitter (RAMZI with its OMA penalty), the row waveguide with its
+MMI crossings and input directional couplers, one unit cell (PCM section),
+and finally the column waveguide with its output couplers and per-cell phase
+shifters, before reaching the balanced photodiode.
+
+Two kinds of loss are distinguished:
+
+* *intrinsic distribution loss* — the unavoidable 1/M power split of the
+  laser across the M column outputs implied by Eq. (1) of the paper (in the
+  full-scale case the architecture is otherwise energy-conserving);
+* *excess loss* — every non-ideality listed in the paper's Section III-A loss
+  table.  Excess loss grows linearly in dB with the array dimensions
+  (exponentially in power), which is what eventually caps the
+  energy-efficient array size (Section VI-A.2).
+
+:class:`CrossbarLossBudget` itemises both so the laser-power solver in
+:mod:`repro.perf.laser_power` and the benchmarks can report a breakdown.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.config.technology import TechnologyConfig
+from repro.constants import loss_db_to_transmission
+from repro.errors import DeviceModelError
+
+
+@dataclass(frozen=True)
+class LossContribution:
+    """A single named contribution to the optical link budget."""
+
+    name: str
+    loss_db: float
+    scales_with_array: bool
+
+    def __post_init__(self) -> None:
+        if self.loss_db < 0:
+            raise DeviceModelError(
+                f"loss contribution {self.name!r} must be >= 0 dB, got {self.loss_db}"
+            )
+
+
+class CrossbarLossBudget:
+    """Worst-case optical link budget of an N×M crossbar core.
+
+    Parameters
+    ----------
+    rows, columns:
+        Array dimensions.
+    technology:
+        Device constants; defaults to the paper's 45 nm platform.
+    worst_case:
+        When True (default) the longest optical path (first row, last column)
+        is budgeted; when False the average path is used.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        columns: int,
+        technology: TechnologyConfig | None = None,
+        worst_case: bool = True,
+    ) -> None:
+        if rows < 1 or columns < 1:
+            raise DeviceModelError(
+                f"array dimensions must be >= 1, got {rows}x{columns}"
+            )
+        self.rows = rows
+        self.columns = columns
+        self.technology = technology or TechnologyConfig()
+        self.worst_case = worst_case
+
+    # ------------------------------------------------------------------ paths
+    @property
+    def row_cells_traversed(self) -> float:
+        """Number of unit cells the light passes along the row waveguide."""
+        span = self.columns - 1
+        return float(span if self.worst_case else span / 2.0)
+
+    @property
+    def column_cells_traversed(self) -> float:
+        """Number of unit cells the light passes along the column waveguide."""
+        span = self.rows - 1
+        return float(span if self.worst_case else span / 2.0)
+
+    @property
+    def path_length_m(self) -> float:
+        """Physical length of the budgeted optical path inside the array (m)."""
+        cells = self.row_cells_traversed + self.column_cells_traversed + 1
+        return cells * self.technology.unit_cell_pitch_m
+
+    @property
+    def crossings_traversed(self) -> float:
+        """Number of MMI crossings on the budgeted path."""
+        return self.row_cells_traversed + self.column_cells_traversed
+
+    # ------------------------------------------------------------------ budget
+    def contributions(self) -> List[LossContribution]:
+        """Itemised excess-loss contributions along the budgeted path."""
+        tech = self.technology
+        waveguide_loss_db = tech.waveguide_loss_db_per_cm * self.path_length_m * 100.0
+        crossing_loss_db = tech.mmi_crossing_loss_db * self.crossings_traversed
+        coupler_loss_db = (
+            tech.directional_coupler_excess_loss_db * self.crossings_traversed
+        )
+        phase_shifter_loss_db = (
+            tech.phase_shifter_insertion_loss_db * self.column_cells_traversed
+        )
+        return [
+            LossContribution("grating_coupler", tech.grating_coupler_loss_db, False),
+            LossContribution("splitter_tree_excess", tech.splitter_tree_loss_db, False),
+            LossContribution("odac_oma_penalty", tech.odac_oma_penalty_db, False),
+            LossContribution("waveguide_propagation", waveguide_loss_db, True),
+            LossContribution("mmi_crossings", crossing_loss_db, True),
+            LossContribution("directional_coupler_excess", coupler_loss_db, True),
+            LossContribution("phase_shifters", phase_shifter_loss_db, True),
+            LossContribution("pcm_insertion", tech.pcm_insertion_loss_db, False),
+        ]
+
+    @property
+    def excess_loss_db(self) -> float:
+        """Total excess loss along the budgeted path (dB)."""
+        return sum(contribution.loss_db for contribution in self.contributions())
+
+    @property
+    def array_scaling_loss_db(self) -> float:
+        """The part of the excess loss that grows with the array dimensions (dB)."""
+        return sum(
+            contribution.loss_db
+            for contribution in self.contributions()
+            if contribution.scales_with_array
+        )
+
+    @property
+    def fixed_loss_db(self) -> float:
+        """The part of the excess loss that is independent of array size (dB)."""
+        return self.excess_loss_db - self.array_scaling_loss_db
+
+    @property
+    def distribution_loss_db(self) -> float:
+        """Intrinsic 1/M power-distribution loss per column output (dB)."""
+        return 10.0 * math.log10(self.columns)
+
+    @property
+    def total_loss_db(self) -> float:
+        """Excess plus intrinsic distribution loss per column output (dB)."""
+        return self.excess_loss_db + self.distribution_loss_db
+
+    @property
+    def excess_transmission(self) -> float:
+        """Power transmission corresponding to the excess loss, in [0, 1]."""
+        return loss_db_to_transmission(self.excess_loss_db)
+
+    @property
+    def total_transmission(self) -> float:
+        """Power transmission from laser to one column output at full scale."""
+        return loss_db_to_transmission(self.total_loss_db)
+
+    # ------------------------------------------------------------------ reports
+    def as_dict(self) -> Dict[str, float]:
+        """Budget summary keyed by contribution name, plus totals (dB)."""
+        summary = {c.name: c.loss_db for c in self.contributions()}
+        summary["distribution_1_over_M"] = self.distribution_loss_db
+        summary["total_excess_db"] = self.excess_loss_db
+        summary["total_db"] = self.total_loss_db
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"CrossbarLossBudget({self.rows}x{self.columns}, "
+            f"excess={self.excess_loss_db:.2f} dB, total={self.total_loss_db:.2f} dB)"
+        )

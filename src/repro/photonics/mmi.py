@@ -1,0 +1,117 @@
+"""Multi-mode interference (MMI) devices: waveguide crossings and splitters.
+
+Every unit cell of the crossbar contains an MMI crossing where the row
+waveguide crosses the column waveguide; the light that stays on the row
+therefore traverses one crossing per column it passes.  Crossing loss is one
+of the terms that grows linearly in dB (exponentially in power) with array
+size and ultimately caps the energy-efficient array dimensions (paper Section
+VI-A.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import loss_db_to_transmission
+from repro.errors import DeviceModelError
+
+
+@dataclass(frozen=True)
+class MMICrossing:
+    """A multi-mode-interference waveguide crossing junction.
+
+    Parameters
+    ----------
+    insertion_loss_db:
+        Loss seen by light passing straight through the junction (dB).
+    crosstalk_db:
+        Power leaking into the crossing waveguide, expressed as a negative
+        number of dB relative to the input (e.g. -40 dB).
+    """
+
+    insertion_loss_db: float = 0.018
+    crosstalk_db: float = -40.0
+
+    def __post_init__(self) -> None:
+        if self.insertion_loss_db < 0:
+            raise DeviceModelError(
+                f"insertion_loss_db must be >= 0, got {self.insertion_loss_db}"
+            )
+        if self.crosstalk_db > 0:
+            raise DeviceModelError(
+                f"crosstalk_db must be <= 0 dB, got {self.crosstalk_db}"
+            )
+
+    @property
+    def power_transmission(self) -> float:
+        """Power transmission of the straight-through path, in [0, 1]."""
+        return loss_db_to_transmission(self.insertion_loss_db)
+
+    @property
+    def field_transmission(self) -> float:
+        """E-field transmission of the straight-through path."""
+        return math.sqrt(self.power_transmission)
+
+    @property
+    def crosstalk_power_fraction(self) -> float:
+        """Fraction of input power leaking into the orthogonal waveguide."""
+        return 10.0 ** (self.crosstalk_db / 10.0)
+
+    def cascade_loss_db(self, num_crossings: int) -> float:
+        """Total loss of ``num_crossings`` crossings traversed in series (dB)."""
+        if num_crossings < 0:
+            raise DeviceModelError(f"num_crossings must be >= 0, got {num_crossings}")
+        return self.insertion_loss_db * num_crossings
+
+    def cascade_transmission(self, num_crossings: int) -> float:
+        """Power transmission of ``num_crossings`` crossings in series."""
+        return loss_db_to_transmission(self.cascade_loss_db(num_crossings))
+
+
+@dataclass(frozen=True)
+class MMISplitter:
+    """A 1×2 MMI power splitter used to build the input splitter tree.
+
+    Parameters
+    ----------
+    excess_loss_db:
+        Loss beyond the ideal 3 dB split (dB).
+    imbalance_db:
+        Power imbalance between the two output arms (dB); 0 means a perfect
+        50/50 split.
+    """
+
+    excess_loss_db: float = 0.1
+    imbalance_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.excess_loss_db < 0:
+            raise DeviceModelError(
+                f"excess_loss_db must be >= 0, got {self.excess_loss_db}"
+            )
+        if self.imbalance_db < 0:
+            raise DeviceModelError(
+                f"imbalance_db must be >= 0, got {self.imbalance_db}"
+            )
+
+    @property
+    def split_fractions(self) -> tuple:
+        """Power fractions routed to (arm A, arm B), excluding excess loss.
+
+        Arm A is the stronger arm: ``arm_a / arm_b`` equals the linear power
+        ratio corresponding to ``imbalance_db``.
+        """
+        ratio = 10.0 ** (self.imbalance_db / 10.0)
+        # arm_a / arm_b == ratio and arm_a + arm_b == 1
+        arm_b = 1.0 / (1.0 + ratio)
+        arm_a = 1.0 - arm_b
+        return (arm_a, arm_b)
+
+    def output_powers(self, power_in: float) -> tuple:
+        """Optical powers at the two output arms for ``power_in`` at the input."""
+        if power_in < 0:
+            raise DeviceModelError(f"power_in must be >= 0, got {power_in}")
+        transmission = loss_db_to_transmission(self.excess_loss_db)
+        arm_a, arm_b = self.split_fractions
+        return (power_in * transmission * arm_a, power_in * transmission * arm_b)

@@ -1,0 +1,78 @@
+"""Thermal phase-shifter model.
+
+Coherent summation along each column requires the optical path lengths of all
+contributing unit cells to be phase-matched.  The paper proposes a small
+thermo-optic phase shifter in each unit cell (across the column waveguide) to
+trim out fabrication-induced phase errors.  The shifter adds a small static
+tuning power and insertion loss but is *not* in the data path's modulation
+loop — this is the design's key difference from MZI meshes.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+
+from repro.constants import loss_db_to_transmission
+from repro.errors import DeviceModelError
+
+
+@dataclass(frozen=True)
+class ThermalPhaseShifter:
+    """A thermo-optic phase shifter.
+
+    Parameters
+    ----------
+    power_per_pi_w:
+        Electrical power to produce a π phase shift (W).
+    insertion_loss_db:
+        Optical insertion loss (dB).
+    response_time_s:
+        Thermal time constant (s); calibration happens at this timescale, far
+        slower than the 10 GHz data path, which is acceptable because phase
+        errors drift slowly.
+    max_phase_rad:
+        Largest phase shift the heater can produce (radians).
+    """
+
+    power_per_pi_w: float = 20e-3
+    insertion_loss_db: float = 0.05
+    response_time_s: float = 10e-6
+    max_phase_rad: float = 2.0 * math.pi
+
+    def __post_init__(self) -> None:
+        if self.power_per_pi_w <= 0:
+            raise DeviceModelError(f"power_per_pi_w must be > 0, got {self.power_per_pi_w}")
+        if self.insertion_loss_db < 0:
+            raise DeviceModelError(
+                f"insertion_loss_db must be >= 0, got {self.insertion_loss_db}"
+            )
+        if self.response_time_s <= 0:
+            raise DeviceModelError(
+                f"response_time_s must be > 0, got {self.response_time_s}"
+            )
+        if self.max_phase_rad <= 0:
+            raise DeviceModelError(f"max_phase_rad must be > 0, got {self.max_phase_rad}")
+
+    @property
+    def field_transmission(self) -> float:
+        """E-field transmission through the shifter."""
+        return math.sqrt(loss_db_to_transmission(self.insertion_loss_db))
+
+    def power_for_phase(self, phase_rad: float) -> float:
+        """Electrical power needed to hold a given phase shift (W)."""
+        phase = phase_rad % self.max_phase_rad
+        return self.power_per_pi_w * phase / math.pi
+
+    def apply(self, field_in: complex, phase_rad: float) -> complex:
+        """Apply the phase shift (and insertion loss) to an E-field amplitude."""
+        if not 0.0 <= phase_rad <= self.max_phase_rad:
+            raise DeviceModelError(
+                f"phase_rad must be in [0, {self.max_phase_rad}], got {phase_rad}"
+            )
+        return field_in * self.field_transmission * cmath.exp(1j * phase_rad)
+
+    def correction_phase(self, phase_error_rad: float) -> float:
+        """Heater phase setting that cancels a given path phase error."""
+        return (-phase_error_rad) % self.max_phase_rad

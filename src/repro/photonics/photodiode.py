@@ -1,0 +1,164 @@
+"""Balanced photodiode and coherent receiver front-end models.
+
+Each crossbar column terminates in a coherent receiver: the column field is
+mixed with a local-oscillator tap of the laser in a directional coupler and
+detected by a balanced photodiode pair, producing a photocurrent proportional
+to ``|E_laser| * |E_column|`` (paper Section III-A.2).  The photocurrent is
+amplified by a TIA and digitised by an ADC (modelled in
+:mod:`repro.electronics`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    BOLTZMANN_CONSTANT_J_K,
+    ELEMENTARY_CHARGE_C,
+    ROOM_TEMPERATURE_K,
+    photon_energy_j,
+)
+from repro.errors import DeviceModelError
+
+
+@dataclass(frozen=True)
+class BalancedPhotodiode:
+    """A balanced photodiode pair for coherent detection.
+
+    Parameters
+    ----------
+    responsivity_a_per_w:
+        Photodiode responsivity (A/W).
+    dark_current_a:
+        Dark current per diode (A).
+    bandwidth_hz:
+        Detection bandwidth (Hz).
+    """
+
+    responsivity_a_per_w: float = 1.0
+    dark_current_a: float = 10e-9
+    bandwidth_hz: float = 10e9
+
+    def __post_init__(self) -> None:
+        if self.responsivity_a_per_w <= 0:
+            raise DeviceModelError(
+                f"responsivity must be > 0, got {self.responsivity_a_per_w}"
+            )
+        if self.dark_current_a < 0:
+            raise DeviceModelError(f"dark current must be >= 0, got {self.dark_current_a}")
+        if self.bandwidth_hz <= 0:
+            raise DeviceModelError(f"bandwidth must be > 0, got {self.bandwidth_hz}")
+
+    def balanced_current(self, lo_power_w: float, signal_power_w: float) -> float:
+        """Balanced (difference) photocurrent for LO and signal powers (A).
+
+        For a 50/50 mixing coupler the balanced output is
+        ``2 R sqrt(P_lo P_sig)``; common-mode terms cancel.
+        """
+        if lo_power_w < 0 or signal_power_w < 0:
+            raise DeviceModelError("optical powers must be >= 0")
+        return 2.0 * self.responsivity_a_per_w * math.sqrt(lo_power_w * signal_power_w)
+
+    def shot_noise_current_a(self, average_power_w: float) -> float:
+        """RMS shot-noise current for a given average detected power (A)."""
+        if average_power_w < 0:
+            raise DeviceModelError("average_power_w must be >= 0")
+        photocurrent = self.responsivity_a_per_w * average_power_w + self.dark_current_a
+        return math.sqrt(2.0 * ELEMENTARY_CHARGE_C * photocurrent * self.bandwidth_hz)
+
+
+@dataclass(frozen=True)
+class CoherentReceiverFrontEnd:
+    """Coherent receiver front-end: balanced PD + TIA input-referred noise.
+
+    Used by the laser-power solver to determine how much optical power must
+    reach each column output so that the signal-to-noise ratio supports the
+    target bit precision at the MAC rate.
+    """
+
+    photodiode: BalancedPhotodiode = BalancedPhotodiode()
+    tia_input_noise_a_rms: float = 1.2e-6
+    tia_transimpedance_ohm: float = 5e3
+    wavelength_m: float = 1.31e-6
+
+    def __post_init__(self) -> None:
+        if self.tia_input_noise_a_rms < 0:
+            raise DeviceModelError("tia_input_noise_a_rms must be >= 0")
+        if self.tia_transimpedance_ohm <= 0:
+            raise DeviceModelError("tia_transimpedance_ohm must be > 0")
+
+    def output_voltage(self, lo_power_w: float, signal_power_w: float) -> float:
+        """TIA output voltage for given LO / signal powers (V)."""
+        current = self.photodiode.balanced_current(lo_power_w, signal_power_w)
+        return current * self.tia_transimpedance_ohm
+
+    def thermal_noise_current_a(self) -> float:
+        """Equivalent thermal (Johnson) noise current of the TIA input (A rms)."""
+        return math.sqrt(
+            4.0
+            * BOLTZMANN_CONSTANT_J_K
+            * ROOM_TEMPERATURE_K
+            * self.photodiode.bandwidth_hz
+            / self.tia_transimpedance_ohm
+        )
+
+    def total_noise_current_a(self, lo_power_w: float, signal_power_w: float) -> float:
+        """Total RMS noise current: shot + thermal + TIA input noise (A)."""
+        average = 0.5 * (lo_power_w + signal_power_w)
+        shot = self.photodiode.shot_noise_current_a(average)
+        thermal = self.thermal_noise_current_a()
+        return math.sqrt(shot**2 + thermal**2 + self.tia_input_noise_a_rms**2)
+
+    def snr(self, lo_power_w: float, signal_power_w: float) -> float:
+        """Electrical signal-to-noise power ratio of the detected output."""
+        signal = self.photodiode.balanced_current(lo_power_w, signal_power_w)
+        noise = self.total_noise_current_a(lo_power_w, signal_power_w)
+        if noise == 0.0:
+            return math.inf
+        return (signal / noise) ** 2
+
+    def effective_bits(self, lo_power_w: float, signal_power_w: float) -> float:
+        """Effective number of bits implied by the receiver SNR (ENOB)."""
+        snr = self.snr(lo_power_w, signal_power_w)
+        if snr <= 0:
+            return 0.0
+        snr_db = 10.0 * math.log10(snr)
+        return max(0.0, (snr_db - 1.76) / 6.02)
+
+    def minimum_signal_power_for_bits(
+        self, target_bits: float, lo_power_w: float = 1e-3
+    ) -> float:
+        """Signal power needed at the column output for ``target_bits`` ENOB (W).
+
+        A simple bisection over signal power; used as a cross-check for the
+        fixed receiver-sensitivity number in :class:`TechnologyConfig`.
+        """
+        if target_bits <= 0:
+            return 0.0
+        low, high = 1e-15, 1e-1
+        if self.effective_bits(lo_power_w, high) < target_bits:
+            raise DeviceModelError(
+                f"receiver cannot reach {target_bits} bits even at {high} W signal power"
+            )
+        for _ in range(200):
+            mid = math.sqrt(low * high)
+            if self.effective_bits(lo_power_w, mid) >= target_bits:
+                high = mid
+            else:
+                low = mid
+        return high
+
+    def shot_noise_limited_photons_per_symbol(self, target_bits: float) -> float:
+        """Photons per symbol needed at the shot-noise limit for ``target_bits``."""
+        if target_bits <= 0:
+            return 0.0
+        snr_required = 10.0 ** ((6.02 * target_bits + 1.76) / 10.0)
+        # For coherent detection, SNR ~= 4 * N_photons (LO-limited); invert.
+        return snr_required / 4.0
+
+    def photon_energy(self) -> float:
+        """Energy of one photon at the configured wavelength (J)."""
+        return photon_energy_j(self.wavelength_m)

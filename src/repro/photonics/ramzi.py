@@ -1,0 +1,93 @@
+"""Ring-assisted Mach-Zehnder (RAMZI) transmitter model.
+
+Coherent operation requires the *phase* of each row's E-field to stay constant
+while its *amplitude* carries the data.  A bare ring modulator changes both;
+the paper therefore proposes a ring-assisted MZI with one ring ODAC per arm,
+operated push-pull so the output amplitude follows the data while the phase
+stays fixed (Section III-B.1, [16]).
+
+For system modelling the RAMZI is characterised by its constant-phase
+amplitude transfer function and by the power/area of its two ring ODACs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DeviceModelError
+from repro.photonics.ring import RingResonatorODAC
+
+
+@dataclass(frozen=True)
+class RAMZIModulator:
+    """A ring-assisted MZI amplitude modulator with constant output phase.
+
+    Parameters
+    ----------
+    odac:
+        The ring-resonator ODAC placed in each arm.
+    num_rings:
+        Number of rings (ODACs) in the modulator; the push-pull RAMZI uses 2.
+    excess_loss_db:
+        MZI splitter/combiner excess loss (dB).
+    """
+
+    odac: RingResonatorODAC = field(default_factory=RingResonatorODAC)
+    num_rings: int = 2
+    excess_loss_db: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.num_rings < 1:
+            raise DeviceModelError(f"num_rings must be >= 1, got {self.num_rings}")
+        if self.excess_loss_db < 0:
+            raise DeviceModelError(
+                f"excess_loss_db must be >= 0, got {self.excess_loss_db}"
+            )
+
+    # ------------------------------------------------------------------ optics
+    @property
+    def excess_field_transmission(self) -> float:
+        """E-field transmission factor from the MZI excess loss."""
+        return float(10.0 ** (-self.excess_loss_db / 20.0))
+
+    def modulate(self, values: np.ndarray) -> np.ndarray:
+        """Produce constant-phase output field amplitudes for normalised values.
+
+        The returned amplitudes are real and non-negative: the RAMZI's defining
+        property is that the data does not modulate the optical phase.
+        """
+        amplitudes = self.odac.modulate(values)
+        return amplitudes * self.excess_field_transmission
+
+    def phase_is_constant(self, values: np.ndarray) -> bool:
+        """Check the constant-phase property over a set of drive values."""
+        modulated = self.modulate(values)
+        return bool(np.all(np.isreal(modulated)) and np.all(modulated >= 0.0))
+
+    # ------------------------------------------------------------------ costs
+    @property
+    def dynamic_power_w(self) -> float:
+        """Total driver dynamic power of all rings (W)."""
+        return self.num_rings * self.odac.dynamic_power_w
+
+    @property
+    def thermal_tuning_power_w(self) -> float:
+        """Total static thermal tuning power of all rings (W)."""
+        return self.num_rings * self.odac.thermal_tuning_power_w
+
+    @property
+    def total_power_w(self) -> float:
+        """Dynamic plus tuning power of the whole transmitter (W)."""
+        return self.dynamic_power_w + self.thermal_tuning_power_w
+
+    @property
+    def area_mm2(self) -> float:
+        """Total transmitter area (mm²)."""
+        return self.num_rings * self.odac.area_mm2
+
+    @property
+    def insertion_loss_db(self) -> float:
+        """Static insertion loss of the transmitter excluding the OMA penalty (dB)."""
+        return self.excess_loss_db

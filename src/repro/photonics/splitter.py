@@ -1,0 +1,91 @@
+"""Splitter-tree model.
+
+A binary tree of 1×2 splitters distributes the laser light to the N crossbar
+rows, giving each row ``E_laser / sqrt(N)`` (ideal case) plus the tree's
+excess loss of 0.8 dB (paper Section III-A, [13]).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import loss_db_to_transmission
+from repro.errors import DeviceModelError
+from repro.photonics.mmi import MMISplitter
+
+
+@dataclass(frozen=True)
+class SplitterTree:
+    """A 1-to-N binary splitter tree.
+
+    Parameters
+    ----------
+    num_outputs:
+        Number of leaves (crossbar rows) fed by the tree.
+    excess_loss_db:
+        Total excess loss of the whole tree (dB); the paper's budget of
+        0.8 dB is interpreted as a tree-level number.
+    """
+
+    num_outputs: int
+    excess_loss_db: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.num_outputs < 1:
+            raise DeviceModelError(f"num_outputs must be >= 1, got {self.num_outputs}")
+        if self.excess_loss_db < 0:
+            raise DeviceModelError(
+                f"excess_loss_db must be >= 0, got {self.excess_loss_db}"
+            )
+
+    @property
+    def num_stages(self) -> int:
+        """Number of binary splitting stages (ceil(log2(num_outputs)))."""
+        if self.num_outputs == 1:
+            return 0
+        return math.ceil(math.log2(self.num_outputs))
+
+    @property
+    def num_splitters(self) -> int:
+        """Number of 1×2 splitter devices needed to build the tree."""
+        return max(0, self.num_outputs - 1)
+
+    @property
+    def splitting_loss_db(self) -> float:
+        """Intrinsic (ideal) splitting loss per output, in dB."""
+        if self.num_outputs == 1:
+            return 0.0
+        return 10.0 * math.log10(self.num_outputs)
+
+    @property
+    def total_loss_db(self) -> float:
+        """Total per-output loss: intrinsic splitting plus excess loss (dB)."""
+        return self.splitting_loss_db + self.excess_loss_db
+
+    @property
+    def per_output_power_fraction(self) -> float:
+        """Fraction of input power delivered to each output, in [0, 1]."""
+        return loss_db_to_transmission(self.total_loss_db)
+
+    @property
+    def per_output_field_fraction(self) -> float:
+        """E-field fraction delivered to each output (≈ 1/sqrt(N) ideal)."""
+        return math.sqrt(self.per_output_power_fraction)
+
+    def output_power_w(self, input_power_w: float) -> float:
+        """Optical power at each output for ``input_power_w`` at the root (W)."""
+        if input_power_w < 0:
+            raise DeviceModelError(f"input_power_w must be >= 0, got {input_power_w}")
+        return input_power_w * self.per_output_power_fraction
+
+    def build_stage_splitters(self) -> list:
+        """Return one :class:`MMISplitter` per stage with evenly divided excess loss.
+
+        This is used by device-level tests to check that the tree-level loss
+        equals the cascade of per-stage losses.
+        """
+        if self.num_stages == 0:
+            return []
+        per_stage = self.excess_loss_db / self.num_stages
+        return [MMISplitter(excess_loss_db=per_stage) for _ in range(self.num_stages)]

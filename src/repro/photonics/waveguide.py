@@ -1,0 +1,88 @@
+"""Silicon waveguide propagation model.
+
+The platform's routing waveguides lose 3 dB/cm (paper Section III-A, [10]).
+The crossbar's row and column waveguides are long enough — a 128-cell row at a
+30 µm pitch is ~4 mm — that propagation loss is one of the terms that makes
+array power grow super-linearly with array size.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+
+from repro.constants import (
+    field_transmission_from_loss_db,
+    loss_db_to_transmission,
+)
+from repro.errors import DeviceModelError
+
+
+@dataclass(frozen=True)
+class Waveguide:
+    """A straight silicon waveguide segment.
+
+    Parameters
+    ----------
+    length_m:
+        Physical length of the segment in metres.
+    loss_db_per_cm:
+        Propagation loss in dB per centimetre.
+    group_index:
+        Group index used for propagation-delay estimates.
+    effective_index:
+        Effective index used for the propagation phase.
+    wavelength_m:
+        Operating wavelength (m).
+    """
+
+    length_m: float
+    loss_db_per_cm: float = 3.0
+    group_index: float = 4.2
+    effective_index: float = 2.4
+    wavelength_m: float = 1.31e-6
+
+    def __post_init__(self) -> None:
+        if self.length_m < 0:
+            raise DeviceModelError(f"waveguide length must be >= 0, got {self.length_m}")
+        if self.loss_db_per_cm < 0:
+            raise DeviceModelError(
+                f"waveguide loss must be >= 0 dB/cm, got {self.loss_db_per_cm}"
+            )
+        if self.wavelength_m <= 0:
+            raise DeviceModelError(f"wavelength must be > 0, got {self.wavelength_m}")
+
+    # ------------------------------------------------------------------ losses
+    @property
+    def loss_db(self) -> float:
+        """Total propagation loss of the segment (dB)."""
+        return self.loss_db_per_cm * self.length_m * 100.0
+
+    @property
+    def power_transmission(self) -> float:
+        """Optical power transmission of the segment, in [0, 1]."""
+        return loss_db_to_transmission(self.loss_db)
+
+    @property
+    def field_transmission(self) -> float:
+        """Electric-field (amplitude) transmission of the segment."""
+        return field_transmission_from_loss_db(self.loss_db)
+
+    # ------------------------------------------------------------------ phase
+    @property
+    def phase_rad(self) -> float:
+        """Propagation phase accumulated along the segment (radians)."""
+        return 2.0 * math.pi * self.effective_index * self.length_m / self.wavelength_m
+
+    @property
+    def group_delay_s(self) -> float:
+        """Group delay of the segment (s)."""
+        return self.group_index * self.length_m / 299_792_458.0
+
+    def propagate(self, field_in: complex) -> complex:
+        """Propagate a complex E-field amplitude through the segment.
+
+        Both the amplitude attenuation and the propagation phase are applied.
+        """
+        return field_in * self.field_transmission * cmath.exp(-1j * self.phase_rad)

@@ -1,0 +1,138 @@
+"""Per-layer cycle and latency accounting for single- and dual-core chips.
+
+The crossbar processes a layer tile by tile: program the PCM cells of a tile,
+stream the whole batch through it, move to the next tile.
+
+* **Single core** — programming and compute strictly alternate, so the layer
+  latency is the sum of every tile's programming time and compute time.
+* **Dual core** (the paper's scheme) — while one core computes on tile *t*,
+  the other core is programmed with tile *t+1*.  Tiles alternate between the
+  two cores, so each core has a full compute-time window *plus* the other
+  core's compute window to finish its next programming pass.  When compute
+  dominates, only the first programming pass is exposed; when programming
+  dominates, the two cores' programming passes overlap and the layer runs at
+  roughly half the single-core programming time.  The closed form below is
+  exact for identical tiles and matches the event-driven scheduler in
+  :class:`repro.crossbar.dual_core.DualCoreCrossbar`.
+
+DRAM transfers are assumed to overlap with compute (double buffering), but a
+layer can never run faster than its DRAM traffic allows, so the layer latency
+is lower-bounded by the DRAM transfer time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.chip import ChipConfig
+from repro.errors import SimulationError
+from repro.scalesim.tiling import GemmTiling
+
+
+@dataclass(frozen=True)
+class LayerLatency:
+    """Cycle/latency summary of one layer for one full batch."""
+
+    layer_name: str
+    compute_cycles: float
+    programming_passes: int
+    programming_time_s: float
+    compute_time_s: float
+    latency_s: float
+    dram_bound: bool
+
+    def __post_init__(self) -> None:
+        if self.compute_cycles < 0 or self.programming_passes < 0:
+            raise SimulationError("cycle counts must be >= 0")
+        if self.latency_s < 0:
+            raise SimulationError("latency must be >= 0")
+
+
+def _dual_core_layer_latency(
+    tiles: int, programming_pass_time: float, compute_per_tile_time: float
+) -> float:
+    """Makespan of ``tiles`` identical (program, compute) jobs on two cores.
+
+    Tiles alternate between the cores; a core may be reprogrammed as soon as
+    its previous compute finishes, and computes run one at a time in tile
+    order (they share the input-streaming datapath and the accumulator).
+
+    * compute ≥ programming: only the first programming pass is exposed,
+      ``P + T·C``;
+    * compute < programming: each core's program+compute cycles dominate and
+      interleave, ``ceil(T/2)·(P + C)`` plus the final compute when ``T`` is
+      even.
+    """
+    programming = programming_pass_time
+    compute = compute_per_tile_time
+    if compute >= programming:
+        return programming + tiles * compute
+    full_core_cycles = (tiles + 1) // 2
+    tail_compute = compute if tiles % 2 == 0 else 0.0
+    return full_core_cycles * (programming + compute) + tail_compute
+
+
+def compute_layer_latency(
+    layer_name: str,
+    tiling: GemmTiling,
+    config: ChipConfig,
+    dram_bits: float = 0.0,
+    dram_bandwidth_bits_per_s: float | None = None,
+) -> LayerLatency:
+    """Latency of one crossbar layer for a full batch.
+
+    Parameters
+    ----------
+    layer_name:
+        Name used in reports.
+    tiling:
+        The layer's mapping onto the array.
+    config:
+        Chip configuration (batch size, clock, core count, PCM timing).
+    dram_bits:
+        Total DRAM traffic of the layer for the batch; used for the
+        bandwidth bound.
+    dram_bandwidth_bits_per_s:
+        Peak DRAM bandwidth; defaults to the technology's HBM bandwidth.
+    """
+    if dram_bits < 0:
+        raise SimulationError(f"dram_bits must be >= 0, got {dram_bits}")
+
+    batch = config.batch_size
+    cycle_time = config.mac_cycle_time_s
+    programming_pass_time = config.programming_time_per_array_s
+
+    compute_cycles = float(tiling.compute_cycles(batch))
+    compute_time = compute_cycles * cycle_time
+    tiles = tiling.num_tiles
+    programming_time_total = tiles * programming_pass_time
+
+    compute_per_tile_time = tiling.compute_cycles_per_tile(batch) * cycle_time
+
+    if config.is_dual_core:
+        latency = _dual_core_layer_latency(
+            tiles, programming_pass_time, compute_per_tile_time
+        )
+    else:
+        latency = programming_time_total + compute_time
+
+    bandwidth = (
+        dram_bandwidth_bits_per_s
+        if dram_bandwidth_bits_per_s is not None
+        else config.technology.dram_bandwidth_bits_per_s
+    )
+    if bandwidth <= 0:
+        raise SimulationError(f"DRAM bandwidth must be > 0, got {bandwidth}")
+    dram_time = dram_bits / bandwidth
+    dram_bound = dram_time > latency
+    latency = max(latency, dram_time)
+
+    return LayerLatency(
+        layer_name=layer_name,
+        compute_cycles=compute_cycles,
+        programming_passes=tiles,
+        programming_time_s=programming_time_total,
+        compute_time_s=compute_time,
+        latency_s=latency,
+        dram_bound=dram_bound,
+    )

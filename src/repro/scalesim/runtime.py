@@ -1,0 +1,193 @@
+"""Runtime-specification data structures produced by the dataflow simulator.
+
+A :class:`LayerRuntime` bundles one crossbar layer's tiling, traffic and
+latency; a :class:`NetworkRuntime` aggregates a whole network and is the
+"runtime specs" object that step (2) of the paper's framework (the power /
+area / IPS models in :mod:`repro.perf`) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.config.chip import ChipConfig
+from repro.errors import SimulationError
+from repro.memory.trace import MemoryTrafficRecord
+from repro.nn.im2col import GemmShape
+from repro.scalesim.latency import LayerLatency
+from repro.scalesim.tiling import GemmTiling
+from repro.scalesim.traffic import LayerTraffic
+
+
+@dataclass(frozen=True)
+class LayerRuntime:
+    """Complete runtime specification of one crossbar layer for one batch."""
+
+    gemm: GemmShape
+    tiling: GemmTiling
+    traffic: LayerTraffic
+    latency: LayerLatency
+    activation_ops: float
+    accumulator_ops: float
+    programmed_cells: float
+
+    @property
+    def layer_name(self) -> str:
+        """The layer's name."""
+        return self.gemm.layer_name
+
+    @property
+    def compute_cycles(self) -> float:
+        """MAC cycles spent on this layer for the whole batch."""
+        return self.latency.compute_cycles
+
+    @property
+    def programming_passes(self) -> int:
+        """Array programming passes needed for this layer per batch."""
+        return self.latency.programming_passes
+
+    @property
+    def macs(self) -> float:
+        """Real MACs executed for the whole batch."""
+        return float(self.gemm.macs)
+
+
+@dataclass(frozen=True)
+class NetworkRuntime:
+    """Aggregated runtime specification of a network for one batch."""
+
+    network_name: str
+    config: ChipConfig
+    layers: List[LayerRuntime] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise SimulationError(
+                f"network {self.network_name!r} produced no crossbar layers to simulate"
+            )
+
+    # ------------------------------------------------------------------ cycles
+    @property
+    def batch_size(self) -> int:
+        """Batch size the runtime was computed for."""
+        return self.config.batch_size
+
+    @property
+    def total_compute_cycles(self) -> float:
+        """MAC cycles for the whole batch across all layers."""
+        return sum(layer.compute_cycles for layer in self.layers)
+
+    @property
+    def total_programming_passes(self) -> int:
+        """Array programming passes for the whole batch."""
+        return sum(layer.programming_passes for layer in self.layers)
+
+    @property
+    def total_programmed_cells(self) -> float:
+        """PCM cell writes for the whole batch."""
+        return sum(layer.programmed_cells for layer in self.layers)
+
+    @property
+    def total_activation_ops(self) -> float:
+        """Digital activation operations for the whole batch."""
+        return sum(layer.activation_ops for layer in self.layers)
+
+    @property
+    def total_accumulator_ops(self) -> float:
+        """Digital accumulate operations for the whole batch."""
+        return sum(layer.accumulator_ops for layer in self.layers)
+
+    @property
+    def total_macs(self) -> float:
+        """Real MACs executed for the whole batch."""
+        return sum(layer.macs for layer in self.layers) * self.batch_size
+
+    # ------------------------------------------------------------------ latency
+    @property
+    def batch_latency_s(self) -> float:
+        """End-to-end latency of one batch (s)."""
+        return sum(layer.latency.latency_s for layer in self.layers)
+
+    @property
+    def inference_latency_s(self) -> float:
+        """Average latency per inference (s)."""
+        return self.batch_latency_s / self.batch_size
+
+    @property
+    def inferences_per_second(self) -> float:
+        """Throughput in inferences per second (IPS)."""
+        if self.batch_latency_s <= 0:
+            raise SimulationError("batch latency must be > 0 to compute IPS")
+        return self.batch_size / self.batch_latency_s
+
+    @property
+    def compute_time_s(self) -> float:
+        """Total time the array spends computing per batch (s)."""
+        return self.total_compute_cycles * self.config.mac_cycle_time_s
+
+    @property
+    def mac_utilization(self) -> float:
+        """Achieved fraction of the array's peak MAC throughput during compute."""
+        peak = self.total_compute_cycles * self.config.array_size
+        if peak <= 0:
+            return 0.0
+        return self.total_macs / peak
+
+    # ------------------------------------------------------------------ traffic
+    @property
+    def traffic_record(self) -> MemoryTrafficRecord:
+        """Aggregated per-structure traffic for the whole batch."""
+        record = MemoryTrafficRecord({})
+        for layer in self.layers:
+            record = record.merged(layer.traffic.to_record())
+        return record
+
+    @property
+    def total_dram_bits(self) -> float:
+        """Total DRAM bits moved per batch."""
+        return sum(layer.traffic.dram_bits for layer in self.layers)
+
+    @property
+    def total_sram_bits(self) -> float:
+        """Total SRAM bits moved per batch."""
+        return sum(layer.traffic.sram_bits for layer in self.layers)
+
+    @property
+    def dram_bits_per_inference(self) -> float:
+        """DRAM bits moved per inference."""
+        return self.total_dram_bits / self.batch_size
+
+    # ------------------------------------------------------------------ reports
+    def layer_summaries(self) -> List[Dict[str, float]]:
+        """Per-layer summary rows for reports and debugging."""
+        return [
+            {
+                "layer": layer.layer_name,
+                "m": layer.gemm.m,
+                "k": layer.gemm.k,
+                "n": layer.gemm.n,
+                "tiles": layer.tiling.num_tiles,
+                "compute_cycles": layer.compute_cycles,
+                "programming_passes": layer.programming_passes,
+                "dram_bits": layer.traffic.dram_bits,
+                "sram_bits": layer.traffic.sram_bits,
+                "latency_s": layer.latency.latency_s,
+                "dram_bound": layer.latency.dram_bound,
+            }
+            for layer in self.layers
+        ]
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate summary used in reports and tests."""
+        return {
+            "network": self.network_name,
+            "batch_size": self.batch_size,
+            "total_compute_cycles": self.total_compute_cycles,
+            "total_programming_passes": self.total_programming_passes,
+            "batch_latency_s": self.batch_latency_s,
+            "inferences_per_second": self.inferences_per_second,
+            "mac_utilization": self.mac_utilization,
+            "dram_bits_per_inference": self.dram_bits_per_inference,
+            "sram_bits_per_inference": self.total_sram_bits / self.batch_size,
+        }

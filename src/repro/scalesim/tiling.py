@@ -1,0 +1,117 @@
+"""Tiling of a GEMM onto the N×M crossbar array.
+
+A layer's weight matrix (k × n) rarely fits the physical array (N rows ×
+M columns), so it is cut into ceil(k/N) × ceil(n/M) tiles.  Each tile is
+programmed into the PCM array once per batch and then all of the layer's
+input vectors are streamed through it; partial sums across the k-dimension
+tiles are accumulated digitally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.nn.im2col import GemmShape
+
+
+@dataclass(frozen=True)
+class GemmTiling:
+    """How one GEMM maps onto the crossbar array.
+
+    Parameters
+    ----------
+    gemm:
+        The layer's GEMM dimensions (m input vectors, k contraction, n outputs).
+    rows, columns:
+        Physical crossbar dimensions (N × M).
+    """
+
+    gemm: GemmShape
+    rows: int
+    columns: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.columns < 1:
+            raise SimulationError(
+                f"array dimensions must be >= 1, got {self.rows}x{self.columns}"
+            )
+
+    # ------------------------------------------------------------------ tiles
+    @property
+    def k_tiles(self) -> int:
+        """Number of tiles along the contraction (row) dimension."""
+        return math.ceil(self.gemm.k / self.rows)
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of tiles along the output (column) dimension."""
+        return math.ceil(self.gemm.n / self.columns)
+
+    @property
+    def num_tiles(self) -> int:
+        """Total number of programming passes needed for the layer."""
+        return self.k_tiles * self.n_tiles
+
+    @property
+    def last_tile_rows(self) -> int:
+        """Rows occupied by the final k-dimension tile."""
+        remainder = self.gemm.k % self.rows
+        return remainder if remainder else self.rows
+
+    @property
+    def last_tile_columns(self) -> int:
+        """Columns occupied by the final n-dimension tile."""
+        remainder = self.gemm.n % self.columns
+        return remainder if remainder else self.columns
+
+    # ------------------------------------------------------------------ cells
+    @property
+    def programmed_cells(self) -> int:
+        """PCM cells that actually hold weights, summed over all tiles (k × n)."""
+        return self.gemm.k * self.gemm.n
+
+    @property
+    def allocated_cells(self) -> int:
+        """PCM cells occupied if every tile is padded to the full array."""
+        return self.num_tiles * self.rows * self.columns
+
+    @property
+    def cell_utilization(self) -> float:
+        """Fraction of allocated cells that hold real weights."""
+        return self.programmed_cells / self.allocated_cells
+
+    # ------------------------------------------------------------------ cycles
+    def compute_cycles(self, batch_size: int) -> int:
+        """MAC cycles to stream the whole batch through every tile.
+
+        Each (k-tile, n-tile) pass consumes one cycle per input vector, and
+        there are ``m`` vectors per image.
+        """
+        if batch_size < 1:
+            raise SimulationError(f"batch_size must be >= 1, got {batch_size}")
+        return self.num_tiles * self.gemm.m * batch_size
+
+    def compute_cycles_per_tile(self, batch_size: int) -> int:
+        """MAC cycles spent on a single tile for the whole batch."""
+        if batch_size < 1:
+            raise SimulationError(f"batch_size must be >= 1, got {batch_size}")
+        return self.gemm.m * batch_size
+
+    @property
+    def ideal_cycles_per_image(self) -> float:
+        """Lower-bound cycles per image if the array were perfectly utilised."""
+        return self.gemm.macs / (self.rows * self.columns)
+
+    def mac_utilization(self, batch_size: int) -> float:
+        """Achieved MAC utilisation of the array for this layer."""
+        cycles = self.compute_cycles(batch_size)
+        peak = cycles * self.rows * self.columns
+        return self.gemm.macs * batch_size / peak
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"GemmTiling({self.gemm.layer_name!r}, {self.k_tiles}x{self.n_tiles} tiles "
+            f"on {self.rows}x{self.columns})"
+        )

@@ -1,0 +1,198 @@
+"""Per-layer SRAM and DRAM traffic accounting.
+
+The traffic model follows the paper's dataflow description (Section IV):
+
+* weights travel DRAM → filter SRAM → PCM array once per batch;
+* a layer's input activations live in the input SRAM; the im2col expansion
+  re-reads each element once per output-column tile;
+* outputs are staged in the output SRAM and forwarded on-chip to the input
+  SRAM for the next layer whenever they fit ("data can be sent directly from
+  output SRAM to input SRAM at the end of a full layer computation"); the
+  portion that does not fit spills to DRAM and is read back by the next layer;
+* if a layer's input working set (whole batch) exceeds the input SRAM, the
+  overflow must be re-fetched from DRAM every time the array is reprogrammed
+  with a new output-column tile — this is the mechanism behind the steep DRAM
+  rise between batch 32 and 64 in Fig. 7a;
+* partial sums bounce between the accumulator SRAM and the adder once per
+  k-dimension tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.chip import ChipConfig
+from repro.errors import SimulationError
+from repro.memory.hierarchy import MemorySystem
+from repro.memory.trace import MemoryTrafficRecord
+from repro.nn.im2col import GemmShape
+from repro.nn.network import LayerShapeInfo
+from repro.scalesim.tiling import GemmTiling
+
+
+@dataclass(frozen=True)
+class LayerTraffic:
+    """Bit-level traffic of one layer for one full batch."""
+
+    layer_name: str
+    input_sram_read_bits: float
+    input_sram_write_bits: float
+    filter_sram_read_bits: float
+    filter_sram_write_bits: float
+    output_sram_read_bits: float
+    output_sram_write_bits: float
+    accumulator_sram_read_bits: float
+    accumulator_sram_write_bits: float
+    dram_read_bits: float
+    dram_write_bits: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "input_sram_read_bits",
+            "input_sram_write_bits",
+            "filter_sram_read_bits",
+            "filter_sram_write_bits",
+            "output_sram_read_bits",
+            "output_sram_write_bits",
+            "accumulator_sram_read_bits",
+            "accumulator_sram_write_bits",
+            "dram_read_bits",
+            "dram_write_bits",
+        ):
+            if getattr(self, name) < 0:
+                raise SimulationError(f"{name} must be >= 0")
+
+    # ------------------------------------------------------------------ totals
+    @property
+    def sram_bits(self) -> float:
+        """Total SRAM bits moved (all four blocks, reads + writes)."""
+        return (
+            self.input_sram_read_bits
+            + self.input_sram_write_bits
+            + self.filter_sram_read_bits
+            + self.filter_sram_write_bits
+            + self.output_sram_read_bits
+            + self.output_sram_write_bits
+            + self.accumulator_sram_read_bits
+            + self.accumulator_sram_write_bits
+        )
+
+    @property
+    def dram_bits(self) -> float:
+        """Total DRAM bits moved (reads + writes)."""
+        return self.dram_read_bits + self.dram_write_bits
+
+    def to_record(self) -> MemoryTrafficRecord:
+        """Convert to the generic traffic record consumed by the power model."""
+        return MemoryTrafficRecord(
+            {
+                MemorySystem.INPUT: self.input_sram_read_bits + self.input_sram_write_bits,
+                MemorySystem.FILTER: self.filter_sram_read_bits + self.filter_sram_write_bits,
+                MemorySystem.OUTPUT: self.output_sram_read_bits + self.output_sram_write_bits,
+                MemorySystem.ACCUMULATOR: (
+                    self.accumulator_sram_read_bits + self.accumulator_sram_write_bits
+                ),
+                MemorySystem.DRAM: self.dram_bits,
+            }
+        )
+
+
+def compute_layer_traffic(
+    info: LayerShapeInfo,
+    gemm: GemmShape,
+    tiling: GemmTiling,
+    config: ChipConfig,
+    is_first_crossbar_layer: bool,
+) -> LayerTraffic:
+    """Traffic of one crossbar layer for a full batch of ``config.batch_size``.
+
+    Parameters
+    ----------
+    info:
+        The layer's resolved shape information (for feature-map sizes).
+    gemm, tiling:
+        The layer's GEMM lowering and its mapping onto the array.
+    config:
+        Chip configuration (batch size, SRAM capacities, precisions).
+    is_first_crossbar_layer:
+        True for the network's first crossbar layer, whose input (the images)
+        must always be fetched from DRAM.
+    """
+    tech = config.technology
+    batch = config.batch_size
+    activation_bits = tech.activation_bits
+    weight_bits = tech.weight_bits
+    output_bits = tech.output_bits
+    accumulator_bits = tech.accumulator_bits
+
+    # ---------------------------------------------------------------- volumes
+    # Working sets for the whole batch, using feature-map (not im2col) sizes.
+    input_bits_batch = info.input_shape.num_elements * activation_bits * batch
+    output_bits_batch = gemm.output_elements * output_bits * batch
+    weight_bits_layer = gemm.weight_elements * weight_bits
+
+    input_sram_bits = config.sram.input_bits
+    output_sram_bits = config.sram.output_bits
+
+    # ---------------------------------------------------------------- filter
+    # Weights: DRAM -> filter SRAM -> PCM programming DACs, once per batch.
+    filter_sram_write_bits = float(weight_bits_layer)
+    filter_sram_read_bits = float(weight_bits_layer)
+    dram_weight_read_bits = float(weight_bits_layer)
+
+    # ---------------------------------------------------------------- input
+    # The im2col expansion re-reads every input element once per column tile.
+    input_sram_read_bits = float(gemm.input_elements * activation_bits * batch * tiling.n_tiles)
+
+    # How the input arrives on chip:
+    if is_first_crossbar_layer:
+        dram_input_once_bits = float(input_bits_batch)
+        onchip_forward_bits = 0.0
+    else:
+        # The previous layer forwarded what fitted in its output SRAM;
+        # the remainder was spilled to DRAM and must be read back once.
+        onchip_forward_bits = float(min(input_bits_batch, output_sram_bits))
+        dram_input_once_bits = float(max(0.0, input_bits_batch - output_sram_bits))
+
+    # Re-fetch penalty: the slice of the input working set that exceeds the
+    # input SRAM has to be reloaded from DRAM for every additional column tile.
+    input_excess_bits = max(0.0, input_bits_batch - input_sram_bits)
+    dram_input_refetch_bits = input_excess_bits * max(0, tiling.n_tiles - 1)
+
+    # Every bit that arrives (once or re-fetched) is written into the input SRAM.
+    input_sram_write_bits = float(
+        onchip_forward_bits + dram_input_once_bits + dram_input_refetch_bits
+    )
+
+    # ---------------------------------------------------------------- output
+    # Outputs are staged in the output SRAM (written once, read once when
+    # forwarded to the next layer's input SRAM or spilled to DRAM).
+    output_sram_write_bits = float(output_bits_batch)
+    output_sram_read_bits = float(output_bits_batch)
+    dram_output_spill_bits = float(max(0.0, output_bits_batch - output_sram_bits))
+
+    # ---------------------------------------------------------------- psums
+    # Partial sums: one write per k-tile pass, one read per pass except the first.
+    psum_elements = gemm.output_elements * batch
+    accumulator_sram_write_bits = float(psum_elements * tiling.k_tiles * accumulator_bits)
+    accumulator_sram_read_bits = float(
+        psum_elements * max(0, tiling.k_tiles - 1) * accumulator_bits
+    )
+
+    # ---------------------------------------------------------------- DRAM
+    dram_read_bits = dram_weight_read_bits + dram_input_once_bits + dram_input_refetch_bits
+    dram_write_bits = dram_output_spill_bits
+
+    return LayerTraffic(
+        layer_name=info.name,
+        input_sram_read_bits=input_sram_read_bits,
+        input_sram_write_bits=input_sram_write_bits,
+        filter_sram_read_bits=filter_sram_read_bits,
+        filter_sram_write_bits=filter_sram_write_bits,
+        output_sram_read_bits=output_sram_read_bits,
+        output_sram_write_bits=output_sram_write_bits,
+        accumulator_sram_read_bits=accumulator_sram_read_bits,
+        accumulator_sram_write_bits=accumulator_sram_write_bits,
+        dram_read_bits=dram_read_bits,
+        dram_write_bits=dram_write_bits,
+    )

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (ResNet-50 topology, its runtime/metrics on the paper's design
+points) are session-scoped so the many tests that inspect them do not repeat
+the simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import default_sweep_chip, optimal_chip, small_test_chip
+from repro.core.simulation import SimulationFramework
+from repro.nn import build_lenet5, build_resnet50
+from repro.scalesim.simulator import simulate_network
+
+
+@pytest.fixture(scope="session")
+def resnet50():
+    """The paper's benchmark workload (ResNet-50 v1.5 shapes)."""
+    return build_resnet50()
+
+
+@pytest.fixture(scope="session")
+def lenet():
+    """A tiny CNN used where the workload content does not matter."""
+    return build_lenet5()
+
+
+@pytest.fixture(scope="session")
+def optimal_config():
+    """The Section VII optimised design point (128×128, dual core, batch 32)."""
+    return optimal_chip()
+
+
+@pytest.fixture(scope="session")
+def sweep_config():
+    """The Section VI-A default design point (32×32, dual core, batch 32)."""
+    return default_sweep_chip()
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    """A deliberately small chip for fast unit tests."""
+    return small_test_chip()
+
+
+@pytest.fixture(scope="session")
+def resnet_framework(resnet50):
+    """A cached simulation framework over ResNet-50."""
+    return SimulationFramework(resnet50)
+
+
+@pytest.fixture(scope="session")
+def optimal_runtime(resnet50, optimal_config):
+    """ResNet-50 runtime specification on the optimal design point."""
+    return simulate_network(resnet50, optimal_config)
+
+
+@pytest.fixture(scope="session")
+def optimal_metrics(resnet_framework, optimal_config):
+    """Full metrics of ResNet-50 on the optimal design point."""
+    return resnet_framework.evaluate(optimal_config)

@@ -1,0 +1,154 @@
+"""Tests for the per-figure analysis generators (on reduced grids for speed)."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    generate_fig1_landscape,
+    generate_fig6_array_sweep,
+    generate_fig7a_batch_power,
+    generate_fig7b_sram_ipsw,
+    generate_fig7c_dual_core_ips,
+    generate_fig8_breakdown,
+    generate_table1,
+    rows_to_csv,
+    rows_to_json,
+    save_rows,
+)
+from repro.analysis.fig6_array_sweep import peak_point
+from repro.analysis.fig7_sram_batch import critical_sram_size_mb
+from repro.analysis.trends import array_size_trend, dual_vs_single_core_trend
+from repro.core.simulation import SimulationFramework
+from repro.errors import SimulationError
+from repro.nn import build_lenet5
+
+
+@pytest.fixture(scope="module")
+def lenet():
+    return build_lenet5()
+
+
+@pytest.fixture(scope="module")
+def lenet_framework(lenet):
+    return SimulationFramework(lenet)
+
+
+class TestFig1:
+    def test_landscape_contains_gpus_and_this_work(self, lenet, tiny_config):
+        rows = generate_fig1_landscape(network=lenet, config=tiny_config)
+        names = {row["name"] for row in rows}
+        assert "NVIDIA A100" in names
+        assert any("This work" in name for name in names)
+        assert all(row["tops_per_watt"] > 0 for row in rows)
+
+
+class TestFig6:
+    def test_sweep_rows_cover_grid(self, lenet, tiny_config, lenet_framework):
+        rows = generate_fig6_array_sweep(
+            network=lenet,
+            base_config=tiny_config,
+            rows_values=(8, 16),
+            columns_values=(8, 16),
+            framework=lenet_framework,
+        )
+        assert len(rows) == 4
+        assert {"rows", "columns", "ips", "ips_per_watt"} <= set(rows[0])
+
+    def test_peak_point_selected_from_feasible(self, lenet, tiny_config, lenet_framework):
+        rows = generate_fig6_array_sweep(
+            network=lenet,
+            base_config=tiny_config,
+            rows_values=(8, 16),
+            columns_values=(8,),
+            framework=lenet_framework,
+        )
+        best = peak_point(rows)
+        assert best["ips_per_watt"] == max(r["ips_per_watt"] for r in rows)
+
+
+class TestFig7:
+    def test_fig7a_rows_have_group_columns(self, lenet, tiny_config, lenet_framework):
+        rows = generate_fig7a_batch_power(
+            network=lenet, base_config=tiny_config, batch_sizes=(1, 4), framework=lenet_framework
+        )
+        assert len(rows) == 2
+        assert any(key.startswith("group_") for key in rows[0])
+        assert all(row["power_w"] > 0 for row in rows)
+
+    def test_fig7b_and_critical_sram(self, lenet, tiny_config, lenet_framework):
+        rows = generate_fig7b_sram_ipsw(
+            network=lenet,
+            base_config=tiny_config,
+            input_sram_mb_values=(0.125, 0.5, 2.0),
+            batch_sizes=(2, 8),
+            framework=lenet_framework,
+        )
+        assert len(rows) == 6
+        critical_small = critical_sram_size_mb(rows, batch_size=2)
+        critical_large = critical_sram_size_mb(rows, batch_size=8)
+        assert critical_small <= critical_large
+        with pytest.raises(ValueError):
+            critical_sram_size_mb(rows, batch_size=999)
+
+    def test_fig7c_has_both_core_counts(self, lenet, tiny_config, lenet_framework):
+        rows = generate_fig7c_dual_core_ips(
+            network=lenet, base_config=tiny_config, batch_sizes=(1, 4), framework=lenet_framework
+        )
+        assert {row["num_cores"] for row in rows} == {1.0, 2.0}
+        assert len(rows) == 4
+
+
+class TestFig8AndTable1:
+    def test_fig8_breakdown_structure(self, lenet, tiny_config, lenet_framework):
+        data = generate_fig8_breakdown(network=lenet, config=tiny_config, framework=lenet_framework)
+        assert set(data) == {"power_w", "power_grouped_w", "area_mm2", "area_grouped_mm2", "totals"}
+        assert sum(data["power_w"].values()) == pytest.approx(data["totals"]["power_w"])
+
+    def test_table1_rows_and_paper_reference(self, lenet, tiny_config, lenet_framework):
+        table = generate_table1(network=lenet, config=tiny_config, framework=lenet_framework)
+        assert len(table["rows"]) == 2
+        assert table["paper"]["this_work"]["ips"] == pytest.approx(36_382)
+        assert table["ratios"]["power_advantage"] > 0
+
+
+class TestTrends:
+    def test_dual_vs_single_core_trend_keys(self, lenet, tiny_config, lenet_framework):
+        trend = dual_vs_single_core_trend(network=lenet, config=tiny_config, framework=lenet_framework)
+        assert trend["ips_gain"] >= 1.0
+        assert trend["power_increase"] >= 1.0
+
+    def test_array_size_trend_rows(self, lenet, tiny_config, lenet_framework):
+        rows = array_size_trend(
+            network=lenet, base_config=tiny_config, sizes=(8, 16), framework=lenet_framework
+        )
+        assert len(rows) == 2
+        assert rows[1]["ips"] > rows[0]["ips"]
+
+
+class TestExport:
+    def test_csv_export_includes_all_columns(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3, "c": 4}]
+        csv_text = rows_to_csv(rows)
+        header = csv_text.splitlines()[0]
+        assert header == "a,b,c"
+        assert "3" in csv_text
+
+    def test_json_export_round_trips(self):
+        rows = [{"a": 1.5}, {"a": 2.5}]
+        assert json.loads(rows_to_json(rows)) == rows
+
+    def test_save_rows_by_extension(self, tmp_path):
+        rows = [{"x": 1}]
+        csv_path = save_rows(rows, tmp_path / "out.csv")
+        json_path = save_rows(rows, tmp_path / "out.json")
+        assert csv_path.read_text().startswith("x")
+        assert json.loads(json_path.read_text()) == rows
+        with pytest.raises(SimulationError):
+            save_rows(rows, tmp_path / "out.xlsx")
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(SimulationError):
+            rows_to_csv([])
+        with pytest.raises(SimulationError):
+            rows_to_json([])

@@ -1,0 +1,124 @@
+"""Tests for the GPU, systolic, MZI-mesh and WDM baselines."""
+
+import pytest
+
+from repro.baselines import (
+    IncoherentWDMCrossbarModel,
+    MZIMeshONNModel,
+    NVIDIA_A100,
+    NVIDIA_T4,
+    NVIDIA_V100,
+    SystolicArrayAccelerator,
+    known_gpu_references,
+)
+from repro.config import ChipConfig
+from repro.errors import SimulationError
+from repro.nn import build_lenet5
+
+
+class TestGPUReferences:
+    def test_a100_table1_values(self):
+        assert NVIDIA_A100.resnet50_ips == pytest.approx(29_733)
+        assert NVIDIA_A100.power_w == pytest.approx(396)
+        assert NVIDIA_A100.die_area_mm2 == pytest.approx(826)
+        assert NVIDIA_A100.ips_per_watt == pytest.approx(29_733 / 396)
+
+    def test_reference_catalogue(self):
+        refs = known_gpu_references()
+        assert NVIDIA_A100 in refs and NVIDIA_V100 in refs and NVIDIA_T4 in refs
+        assert all(ref.ips_per_watt > 0 for ref in refs)
+
+    def test_as_dict(self):
+        data = NVIDIA_A100.as_dict()
+        assert data["name"] == "NVIDIA A100"
+        assert data["peak_tops_per_watt"] > 1.0
+
+
+class TestSystolicBaseline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = ChipConfig(rows=32, columns=32, batch_size=4)
+        return SystolicArrayAccelerator(config).evaluate(build_lenet5())
+
+    def test_metrics_present_and_positive(self, result):
+        for key in ("ips", "power_w", "ips_per_watt", "area_mm2", "energy_per_inference_j"):
+            assert result[key] > 0
+
+    def test_mac_energy_is_a_visible_fraction(self, result):
+        assert 0 < result["mac_energy_fraction"] < 1
+
+    def test_systolic_runs_at_electronic_clock(self):
+        config = ChipConfig(rows=32, columns=32, batch_size=4, mac_clock_hz=10e9)
+        baseline = SystolicArrayAccelerator(config)
+        assert baseline.config.mac_clock_hz == pytest.approx(1e9)
+        assert baseline.config.num_cores == 1
+
+    def test_optical_crossbar_has_higher_throughput_than_systolic(
+        self, resnet_framework, optimal_config, resnet50
+    ):
+        optical = resnet_framework.evaluate(optimal_config)
+        systolic = SystolicArrayAccelerator(optimal_config).evaluate(resnet50)
+        # Same array dimensions, but the optical MAC runs 10x faster.
+        assert optical.inferences_per_second > 3 * systolic["ips"]
+
+
+class TestMZIMeshBaseline:
+    def test_mzi_count_quadratic(self):
+        model = MZIMeshONNModel()
+        assert model.num_mzis(64) == 64 * 63 // 2
+        assert model.num_mzis(128) / model.num_mzis(64) == pytest.approx(4.0, rel=0.05)
+
+    def test_area_exceeds_a_few_cm2_for_large_meshes(self):
+        model = MZIMeshONNModel()
+        # The paper's scalability argument: large MZI meshes exceed a few cm^2.
+        assert model.weight_bank_area_mm2(256) > 300.0
+
+    def test_pcm_crossbar_is_denser_than_mzi_mesh(self, optimal_config):
+        from repro.perf.area import AreaModel
+
+        mzi = MZIMeshONNModel()
+        crossbar_photonics = AreaModel(optimal_config).photonic_array_area_mm2
+        assert mzi.weight_bank_area_mm2(128) > 3 * crossbar_photonics
+
+    def test_max_size_within_area(self):
+        model = MZIMeshONNModel()
+        n = model.max_size_within_area(100.0)
+        assert model.weight_bank_area_mm2(n) <= 100.0
+        assert model.weight_bank_area_mm2(n + 1) > 100.0
+
+    def test_static_power_grows_quadratically(self):
+        model = MZIMeshONNModel()
+        assert model.static_power_w(128) / model.static_power_w(64) == pytest.approx(4.0, rel=0.05)
+
+    def test_summary_and_validation(self):
+        summary = MZIMeshONNModel().summary(64)
+        assert summary["num_mzis"] == 2016
+        with pytest.raises(SimulationError):
+            MZIMeshONNModel().num_mzis(1)
+
+
+class TestWDMBaseline:
+    def test_wavelength_count_equals_rows(self):
+        model = IncoherentWDMCrossbarModel()
+        assert model.wavelengths_needed(128) == 128
+
+    def test_large_arrays_are_infeasible(self):
+        model = IncoherentWDMCrossbarModel(usable_band_nm=40, min_channel_spacing_nm=0.4)
+        assert model.max_rows == 100
+        assert model.is_feasible(64)
+        assert not model.is_feasible(128)
+
+    def test_comb_power_scales_with_rows(self):
+        model = IncoherentWDMCrossbarModel()
+        assert model.comb_power_w(128) == pytest.approx(2 * model.comb_power_w(64))
+
+    def test_summary_flags_feasibility(self):
+        summary = IncoherentWDMCrossbarModel().summary(256, 64)
+        assert summary["feasible"] is False
+        assert summary["ring_tuning_power_w"] > 0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            IncoherentWDMCrossbarModel().wavelengths_needed(0)
+        with pytest.raises(SimulationError):
+            IncoherentWDMCrossbarModel(comb_efficiency=0.0)

@@ -1,0 +1,109 @@
+"""Unit tests for ChipConfig and SramConfig."""
+
+import pytest
+
+from repro.config import ChipConfig, SramConfig, default_sweep_chip, optimal_chip, small_test_chip
+from repro.errors import ConfigurationError
+
+
+class TestSramConfig:
+    def test_paper_default_sizes(self):
+        sram = SramConfig()
+        assert sram.input_mb == pytest.approx(26.3)
+        assert sram.filter_mb == pytest.approx(0.75)
+        assert sram.output_mb == pytest.approx(0.75)
+        assert sram.accumulator_mb == pytest.approx(0.75)
+        assert sram.total_mb == pytest.approx(28.55)
+
+    def test_bits_properties(self):
+        sram = SramConfig(input_mb=1.0, filter_mb=1.0, output_mb=1.0, accumulator_mb=1.0)
+        assert sram.input_bits == pytest.approx(8 * 1024 * 1024)
+
+    def test_scaled_input_changes_only_input(self):
+        sram = SramConfig().scaled_input(4.0)
+        assert sram.input_mb == pytest.approx(4.0)
+        assert sram.filter_mb == pytest.approx(0.75)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            SramConfig(input_mb=0.0)
+
+
+class TestChipConfig:
+    def test_presets_match_paper(self):
+        default = default_sweep_chip()
+        assert (default.rows, default.columns) == (32, 32)
+        assert default.num_cores == 2
+        assert default.batch_size == 32
+        optimum = optimal_chip()
+        assert (optimum.rows, optimum.columns) == (128, 128)
+        assert optimum.mac_clock_hz == pytest.approx(10e9)
+
+    def test_small_test_chip_is_small(self):
+        tiny = small_test_chip()
+        assert tiny.array_size <= 256
+
+    def test_array_size_and_peak_throughput(self):
+        config = ChipConfig(rows=128, columns=128)
+        assert config.array_size == 16384
+        assert config.macs_per_cycle == 16384
+        assert config.peak_macs_per_second == pytest.approx(16384 * 10e9)
+        assert config.peak_tops == pytest.approx(2 * 16384 * 10e9 / 1e12)
+
+    def test_serialization_ratio_default_is_ten(self):
+        assert ChipConfig().serialization_ratio == 10
+
+    def test_mac_cycle_time(self):
+        assert ChipConfig(mac_clock_hz=10e9).mac_cycle_time_s == pytest.approx(0.1e-9)
+
+    def test_dram_energy_depends_on_kind(self):
+        hbm = ChipConfig(dram_kind="hbm")
+        pcie = ChipConfig(dram_kind="pcie")
+        assert hbm.dram_energy_per_bit_j == pytest.approx(3.9e-12)
+        assert pcie.dram_energy_per_bit_j == pytest.approx(15e-12)
+        assert pcie.dram_energy_per_bit_j > hbm.dram_energy_per_bit_j
+
+    def test_programming_time_parallelism_modes(self):
+        array_parallel = ChipConfig(rows=32, columns=32)
+        assert array_parallel.programming_time_per_array_s == pytest.approx(100e-9)
+        row_parallel = ChipConfig(
+            rows=32,
+            columns=32,
+            technology=array_parallel.technology.with_updates(pcm_program_parallelism="row"),
+        )
+        assert row_parallel.programming_time_per_array_s == pytest.approx(32 * 100e-9)
+        cell_serial = ChipConfig(
+            rows=32,
+            columns=32,
+            technology=array_parallel.technology.with_updates(pcm_program_parallelism="cell"),
+        )
+        assert cell_serial.programming_time_per_array_s == pytest.approx(32 * 32 * 100e-9)
+
+    def test_with_updates(self):
+        config = ChipConfig().with_updates(rows=64, batch_size=8)
+        assert config.rows == 64
+        assert config.batch_size == 8
+
+    def test_with_updates_rejects_unknown_field(self):
+        with pytest.raises(ConfigurationError):
+            ChipConfig().with_updates(frequency=1.0)
+
+    def test_describe_mentions_key_parameters(self):
+        text = optimal_chip().describe()
+        assert "128x128" in text
+        assert "dual-core" in text
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rows": 0},
+            {"columns": -1},
+            {"num_cores": 3},
+            {"batch_size": 0},
+            {"mac_clock_hz": 0.0},
+            {"dram_kind": "ddr4"},
+        ],
+    )
+    def test_validation_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ChipConfig(**kwargs)

@@ -1,0 +1,68 @@
+"""Round-trip tests for configuration (de)serialisation."""
+
+import pytest
+
+from repro.config import (
+    ChipConfig,
+    SramConfig,
+    chip_config_from_dict,
+    chip_config_to_dict,
+    load_chip_config,
+    optimal_chip,
+    save_chip_config,
+    technology_from_dict,
+    technology_to_dict,
+)
+from repro.config.technology import TechnologyConfig
+from repro.errors import ConfigurationError
+
+
+class TestTechnologySerialization:
+    def test_round_trip_preserves_all_fields(self):
+        original = TechnologyConfig(weight_bits=8, adc_power_w=30e-3)
+        restored = technology_from_dict(technology_to_dict(original))
+        assert restored == original
+
+    def test_unknown_key_is_rejected(self):
+        data = technology_to_dict(TechnologyConfig())
+        data["flux_capacitor"] = 1.21
+        with pytest.raises(ConfigurationError):
+            technology_from_dict(data)
+
+
+class TestChipSerialization:
+    def test_round_trip_preserves_configuration(self):
+        original = optimal_chip(batch_size=16, dram_kind="pcie")
+        restored = chip_config_from_dict(chip_config_to_dict(original))
+        assert restored == original
+
+    def test_round_trip_with_custom_sram_and_technology(self):
+        original = ChipConfig(
+            rows=64,
+            columns=48,
+            sram=SramConfig(input_mb=4.0, filter_mb=0.5, output_mb=0.5, accumulator_mb=0.5),
+            technology=TechnologyConfig(weight_bits=4),
+        )
+        restored = chip_config_from_dict(chip_config_to_dict(original))
+        assert restored == original
+
+    def test_missing_sections_use_defaults(self):
+        restored = chip_config_from_dict({"rows": 16, "columns": 16})
+        assert restored.rows == 16
+        assert restored.sram.input_mb == pytest.approx(26.3)
+
+    def test_unknown_key_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            chip_config_from_dict({"rows": 16, "warp_factor": 9})
+
+    def test_save_and_load_file(self, tmp_path):
+        original = optimal_chip()
+        path = tmp_path / "config.json"
+        save_chip_config(original, path)
+        assert load_chip_config(path) == original
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_chip_config(path)

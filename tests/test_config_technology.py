@@ -1,0 +1,107 @@
+"""Unit tests for TechnologyConfig validation and derived quantities."""
+
+import pytest
+
+from repro.config.technology import (
+    MMI_CROSSING_LOSS_DB_AS_PRINTED,
+    SRAM_AREA_MM2_PER_MB_AS_PRINTED,
+    TechnologyConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_loss_constants(self):
+        tech = TechnologyConfig()
+        assert tech.grating_coupler_loss_db == pytest.approx(2.0)
+        assert tech.splitter_tree_loss_db == pytest.approx(0.8)
+        assert tech.waveguide_loss_db_per_cm == pytest.approx(3.0)
+        assert tech.odac_oma_penalty_db == pytest.approx(4.0)
+        assert tech.laser_wall_plug_efficiency == pytest.approx(0.15)
+
+    def test_paper_energy_constants(self):
+        tech = TechnologyConfig()
+        assert tech.odac_driver_energy_per_sample_j == pytest.approx(168e-15)
+        assert tech.tia_power_w == pytest.approx(2.25e-3)
+        assert tech.adc_power_w == pytest.approx(25e-3)
+        assert tech.serdes_energy_per_bit_j == pytest.approx(100e-15)
+        assert tech.sram_energy_per_bit_j == pytest.approx(50e-15)
+        assert tech.dram_energy_per_bit_j == pytest.approx(3.9e-12)
+        assert tech.dram_pcie_energy_per_bit_j == pytest.approx(15e-12)
+        assert tech.pcm_programming_energy_j == pytest.approx(100e-12)
+        assert tech.pcm_programming_time_s == pytest.approx(100e-9)
+
+    def test_mmi_crossing_default_uses_cited_device_not_printed_value(self):
+        tech = TechnologyConfig()
+        assert tech.mmi_crossing_loss_db < MMI_CROSSING_LOSS_DB_AS_PRINTED
+        assert tech.mmi_crossing_loss_db == pytest.approx(0.018)
+
+    def test_printed_constants_are_available_for_sensitivity_studies(self):
+        assert MMI_CROSSING_LOSS_DB_AS_PRINTED == pytest.approx(1.8)
+        assert SRAM_AREA_MM2_PER_MB_AS_PRINTED == pytest.approx(0.45)
+
+    def test_int6_precision_defaults(self):
+        tech = TechnologyConfig()
+        assert tech.weight_bits == 6
+        assert tech.activation_bits == 6
+        assert tech.weight_levels == 64
+        assert tech.pcm_levels == 64
+
+
+class TestDerived:
+    def test_unit_cell_area(self):
+        tech = TechnologyConfig(unit_cell_pitch_m=30e-6)
+        assert tech.unit_cell_area_mm2 == pytest.approx(0.0009)
+
+    def test_odac_driver_power_at_reference_rate(self):
+        tech = TechnologyConfig()
+        assert tech.odac_driver_power_w_at == pytest.approx(1.68e-3)
+
+    def test_with_updates_creates_modified_copy(self):
+        base = TechnologyConfig()
+        changed = base.with_updates(weight_bits=8, adc_power_w=10e-3)
+        assert changed.weight_bits == 8
+        assert changed.adc_power_w == pytest.approx(10e-3)
+        assert base.weight_bits == 6  # original untouched
+
+    def test_with_updates_rejects_unknown_field(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyConfig().with_updates(not_a_field=1.0)
+
+
+class TestValidation:
+    def test_rejects_zero_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyConfig(laser_wall_plug_efficiency=0.0)
+
+    def test_rejects_efficiency_above_one(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyConfig(laser_wall_plug_efficiency=1.5)
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyConfig(grating_coupler_loss_db=-1.0)
+
+    def test_rejects_bad_pcm_levels(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyConfig(pcm_levels=1)
+
+    def test_rejects_bad_pcm_transmission_range(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyConfig(pcm_min_transmission=0.9, pcm_max_transmission=0.5)
+
+    def test_rejects_bad_precision(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyConfig(weight_bits=0)
+
+    def test_rejects_accumulator_narrower_than_output(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyConfig(accumulator_bits=4, output_bits=6)
+
+    def test_rejects_bad_parallelism(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyConfig(pcm_program_parallelism="diagonal")
+
+    def test_rejects_inverted_laser_limits(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyConfig(laser_min_output_power_w=2.0, laser_max_output_power_w=1.0)

@@ -1,0 +1,75 @@
+"""Unit tests for unit conversions and physical constants."""
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+class TestDecibelHelpers:
+    def test_db_to_linear_of_zero_is_one(self):
+        assert constants.db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_db_to_linear_of_3db_is_about_two(self):
+        assert constants.db_to_linear(3.0) == pytest.approx(2.0, rel=5e-3)
+
+    def test_linear_to_db_round_trip(self):
+        for value in (0.01, 0.5, 1.0, 7.3, 1234.5):
+            assert constants.db_to_linear(constants.linear_to_db(value)) == pytest.approx(value)
+
+    def test_linear_to_db_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            constants.linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            constants.linear_to_db(-1.0)
+
+    def test_loss_db_to_transmission_is_below_one_for_positive_loss(self):
+        assert constants.loss_db_to_transmission(3.0) == pytest.approx(0.5, rel=5e-3)
+        assert constants.loss_db_to_transmission(10.0) == pytest.approx(0.1)
+
+    def test_transmission_to_loss_db_round_trip(self):
+        for loss in (0.0, 0.5, 2.0, 30.0):
+            transmission = constants.loss_db_to_transmission(loss)
+            assert constants.transmission_to_loss_db(transmission) == pytest.approx(loss, abs=1e-9)
+
+    def test_field_transmission_is_sqrt_of_power_transmission(self):
+        loss = 6.0
+        assert constants.field_transmission_from_loss_db(loss) == pytest.approx(
+            math.sqrt(constants.loss_db_to_transmission(loss))
+        )
+
+    def test_dbm_watt_round_trip(self):
+        assert constants.dbm_to_watts(0.0) == pytest.approx(1e-3)
+        assert constants.watts_to_dbm(1e-3) == pytest.approx(0.0)
+        assert constants.watts_to_dbm(constants.dbm_to_watts(-17.3)) == pytest.approx(-17.3)
+
+    def test_watts_to_dbm_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            constants.watts_to_dbm(0.0)
+
+
+class TestEnergyAndDataHelpers:
+    def test_metric_prefix_helpers(self):
+        assert constants.fj(1.0) == pytest.approx(1e-15)
+        assert constants.pj(2.0) == pytest.approx(2e-12)
+        assert constants.nj(3.0) == pytest.approx(3e-9)
+        assert constants.mw(4.0) == pytest.approx(4e-3)
+        assert constants.ghz(5.0) == pytest.approx(5e9)
+        assert constants.ns(6.0) == pytest.approx(6e-9)
+
+    def test_mb_bits_round_trip(self):
+        assert constants.mb_to_bits(1.0) == pytest.approx(8 * 1024 * 1024)
+        assert constants.bits_to_mb(constants.mb_to_bits(26.3)) == pytest.approx(26.3)
+
+    def test_photon_energy_at_default_wavelength(self):
+        energy = constants.photon_energy_j()
+        # ~0.95 eV at 1310 nm.
+        assert energy == pytest.approx(1.52e-19, rel=0.02)
+
+    def test_photon_energy_rejects_bad_wavelength(self):
+        with pytest.raises(ValueError):
+            constants.photon_energy_j(0.0)
+
+    def test_photon_energy_scales_inversely_with_wavelength(self):
+        assert constants.photon_energy_j(1.0e-6) > constants.photon_energy_j(1.5e-6)

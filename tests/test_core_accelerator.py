@@ -1,0 +1,79 @@
+"""Tests for the OpticalCrossbarAccelerator façade (performance + functional paths)."""
+
+import numpy as np
+import pytest
+
+from repro import OpticalCrossbarAccelerator, small_test_chip
+from repro.errors import SimulationError
+from repro.nn import build_lenet5
+from repro.nn.im2col import conv2d_reference
+
+
+class TestPerformancePath:
+    def test_default_configuration_is_the_paper_optimum(self):
+        accelerator = OpticalCrossbarAccelerator()
+        assert accelerator.config.rows == 128
+        assert accelerator.config.columns == 128
+        assert accelerator.config.is_dual_core
+
+    def test_evaluate_returns_full_metrics(self, resnet50, optimal_config):
+        accelerator = OpticalCrossbarAccelerator(optimal_config)
+        metrics = accelerator.evaluate(resnet50)
+        assert metrics.inferences_per_second > 0
+        assert metrics.power_w > 0
+        assert metrics.area_mm2 > 0
+
+    def test_runtime_specs_accessible(self, optimal_config):
+        accelerator = OpticalCrossbarAccelerator(optimal_config)
+        runtime = accelerator.runtime_specs(build_lenet5())
+        assert runtime.total_compute_cycles > 0
+
+    def test_peak_tops_and_describe(self, optimal_config):
+        accelerator = OpticalCrossbarAccelerator(optimal_config)
+        description = accelerator.describe()
+        assert description["peak_tops"] == pytest.approx(optimal_config.peak_tops)
+        assert description["rows"] == 128
+
+
+class TestFunctionalPath:
+    @pytest.fixture()
+    def accelerator(self):
+        return OpticalCrossbarAccelerator(small_test_chip())
+
+    def test_linear_single_vector(self, accelerator):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(size=(12, 5))
+        vector = rng.uniform(0, 1, 12)
+        result = accelerator.linear(weights, vector)
+        reference = vector @ weights
+        assert result.shape == (5,)
+        # INT6 quantisation of weights/inputs/outputs on a tiny 8x8 tile leaves
+        # a few percent of error; correlation with the exact result stays high.
+        assert np.corrcoef(result, reference)[0, 1] > 0.95
+
+    def test_linear_matrix_input_tiles_over_large_weights(self, accelerator):
+        rng = np.random.default_rng(1)
+        # 20x11 weights force tiling on the 8x8 test chip.
+        weights = rng.normal(size=(20, 11))
+        inputs = rng.uniform(0, 1, (6, 20))
+        result = accelerator.linear(weights, inputs)
+        reference = inputs @ weights
+        assert result.shape == (6, 11)
+        relative_error = np.linalg.norm(result - reference) / np.linalg.norm(reference)
+        assert relative_error < 0.15
+
+    def test_conv2d_matches_reference_convolution(self, accelerator):
+        rng = np.random.default_rng(2)
+        fmap = rng.uniform(0, 1, (6, 6, 3))
+        weights = rng.normal(size=(3, 3, 3, 4))
+        optical = accelerator.conv2d(fmap, weights, stride=1, padding=1)
+        reference = conv2d_reference(fmap, weights, stride=1, padding=1)
+        assert optical.shape == reference.shape
+        correlation = np.corrcoef(optical.ravel(), reference.ravel())[0, 1]
+        assert correlation > 0.98
+
+    def test_linear_shape_validation(self, accelerator):
+        with pytest.raises(SimulationError):
+            accelerator.linear(np.zeros((4, 4)), np.zeros(5))
+        with pytest.raises(SimulationError):
+            accelerator.linear(np.zeros(4), np.zeros(4))

@@ -1,0 +1,78 @@
+"""Tests for the GPU comparison (Table I) and report formatting."""
+
+import pytest
+
+from repro.baselines import NVIDIA_A100, NVIDIA_T4
+from repro.core.comparison import compare_to_gpu
+from repro.core.report import (
+    format_breakdown,
+    format_comparison_table,
+    format_metrics_report,
+    format_table,
+)
+from repro.errors import SimulationError
+
+
+class TestComparison:
+    def test_rows_and_ratios(self, optimal_metrics):
+        comparison = compare_to_gpu(optimal_metrics, NVIDIA_A100)
+        rows = comparison.rows()
+        assert rows[0].system == "This work"
+        assert rows[1].system == "NVIDIA A100"
+        assert comparison.power_advantage == pytest.approx(
+            NVIDIA_A100.power_w / optimal_metrics.power_w
+        )
+        assert comparison.area_advantage == pytest.approx(
+            NVIDIA_A100.die_area_mm2 / optimal_metrics.area_mm2
+        )
+
+    def test_headline_claims_hold(self, optimal_metrics):
+        """The Table I shape: comparable IPS, >10x power advantage, >3x area advantage."""
+        comparison = compare_to_gpu(optimal_metrics)
+        assert 0.5 < comparison.ips_ratio < 2.0
+        assert comparison.power_advantage > 10.0
+        assert comparison.area_advantage > 3.0
+        assert comparison.efficiency_advantage > 10.0
+
+    def test_comparison_against_other_gpu(self, optimal_metrics):
+        comparison = compare_to_gpu(optimal_metrics, NVIDIA_T4)
+        assert comparison.gpu.system == "NVIDIA T4"
+
+    def test_comparison_requires_metrics(self):
+        with pytest.raises(SimulationError):
+            compare_to_gpu(None)
+
+    def test_row_as_dict(self, optimal_metrics):
+        row = compare_to_gpu(optimal_metrics).this_work.as_dict()
+        assert {"system", "ips", "ips_per_watt", "power_w", "area_mm2"} == set(row)
+
+
+class TestReportFormatting:
+    def test_format_table_alignment_and_content(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "333" in lines[3]
+
+    def test_format_table_validates_rows(self):
+        with pytest.raises(SimulationError):
+            format_table(["a"], [["1", "2"]])
+        with pytest.raises(SimulationError):
+            format_table([], [])
+
+    def test_metrics_report_mentions_key_numbers(self, optimal_metrics):
+        report = format_metrics_report(optimal_metrics)
+        assert "IPS" in report
+        assert "Power breakdown" in report
+        assert "Area breakdown" in report
+        assert "128x128" in report
+
+    def test_comparison_table_mentions_both_systems(self, optimal_metrics):
+        text = format_comparison_table(compare_to_gpu(optimal_metrics))
+        assert "This work" in text
+        assert "NVIDIA A100" in text
+        assert "power advantage" in text
+
+    def test_format_breakdown(self):
+        text = format_breakdown({"dram": 10.0, "sram": 1.0}, "W")
+        assert text.splitlines()[2].startswith("dram")

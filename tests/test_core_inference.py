@@ -1,0 +1,130 @@
+"""Tests for end-to-end functional inference on the optical crossbar."""
+
+import numpy as np
+import pytest
+
+from repro.config import small_test_chip
+from repro.core.inference import FunctionalInferenceEngine, generate_random_weights
+from repro.crossbar import CrossbarNoiseModel
+from repro.errors import SimulationError
+from repro.nn import (
+    ActivationLayer,
+    ConvLayer,
+    DenseLayer,
+    FlattenLayer,
+    Network,
+    PoolLayer,
+    TensorShape,
+    build_lenet5,
+    build_mlp,
+)
+from repro.nn.layers import AddLayer, BatchNormLayer
+
+
+def tiny_cnn() -> Network:
+    """A minimal conv -> pool -> dense network for fast functional tests."""
+    layers = [
+        ConvLayer("conv1", out_channels=4, kernel_size=3, padding=1, bias=False),
+        PoolLayer("pool1", kernel_size=2, stride=2, kind="max"),
+        FlattenLayer("flatten"),
+        DenseLayer("fc", out_features=5, bias=False),
+    ]
+    return Network("tiny_cnn", TensorShape(8, 8, 2), layers)
+
+
+class TestReferenceExecution:
+    def test_reference_output_shape(self):
+        network = tiny_cnn()
+        engine = FunctionalInferenceEngine(
+            network, generate_random_weights(network), small_test_chip(rows=32, columns=32)
+        )
+        image = np.random.default_rng(0).uniform(0, 1, (8, 8, 2))
+        output = engine.run_reference(image)
+        assert output.shape == (5,)
+
+    def test_reference_matches_manual_computation_for_dense_only_network(self):
+        network = build_mlp(input_features=6, hidden_features=(4,), num_classes=3)
+        weights = generate_random_weights(network, seed=1)
+        engine = FunctionalInferenceEngine(network, weights, small_test_chip())
+        image = np.arange(6, dtype=float).reshape(1, 1, 6) / 6.0
+        output = engine.run_reference(image)
+        hidden = np.maximum(image.reshape(-1) @ weights["fc1"], 0.0)
+        expected = hidden @ weights["fc_out"]
+        assert np.allclose(output, expected)
+
+    def test_residual_add_uses_skip_connection(self):
+        main = ConvLayer("main", out_channels=2, kernel_size=3, padding=1, bias=False, activation="identity")
+        bn = BatchNormLayer("bn")
+        add = AddLayer("add", skip_from=None)
+        add.input_from = "bn"
+        relu = ActivationLayer("relu")
+        network = Network("residual", TensorShape(4, 4, 2), [main, bn, add, relu])
+        weights = generate_random_weights(network, seed=2)
+        engine = FunctionalInferenceEngine(network, weights, small_test_chip())
+        image = np.random.default_rng(3).uniform(0, 1, (4, 4, 2))
+        # skip_from=None falls back to the previous output (= bn output), so the
+        # residual sum degenerates to 2x the main path here.
+        output = engine.run_reference(image)
+        assert output.shape == (4 * 4 * 2,)
+
+
+class TestOpticalExecution:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        network = tiny_cnn()
+        return FunctionalInferenceEngine(
+            network, generate_random_weights(network, seed=5), small_test_chip(rows=32, columns=32)
+        )
+
+    def test_optical_output_correlates_with_reference(self, engine):
+        image = np.random.default_rng(4).uniform(0, 1, (8, 8, 2))
+        report = engine.agreement(image)
+        assert report["correlation"] > 0.97
+        assert report["relative_error"] < 0.25
+
+    def test_noise_degrades_agreement(self):
+        network = tiny_cnn()
+        weights = generate_random_weights(network, seed=5)
+        image = np.random.default_rng(4).uniform(0, 1, (8, 8, 2))
+        clean = FunctionalInferenceEngine(
+            network, weights, small_test_chip(rows=32, columns=32)
+        ).agreement(image)
+        noisy = FunctionalInferenceEngine(
+            network,
+            weights,
+            small_test_chip(rows=32, columns=32),
+            noise_model=CrossbarNoiseModel.pessimistic(),
+        ).agreement(image)
+        assert noisy["relative_error"] >= clean["relative_error"]
+
+    def test_lenet_optical_inference_preserves_argmax(self):
+        network = build_lenet5(input_size=12)
+        weights = generate_random_weights(network, seed=6, scale=0.3)
+        engine = FunctionalInferenceEngine(
+            network, weights, small_test_chip(rows=64, columns=64)
+        )
+        image = np.random.default_rng(7).uniform(0, 1, (12, 12, 1))
+        report = engine.agreement(image)
+        assert report["correlation"] > 0.95
+        assert report["top1_match"] == 1.0
+
+
+class TestValidation:
+    def test_missing_weights_rejected(self):
+        network = tiny_cnn()
+        with pytest.raises(SimulationError):
+            FunctionalInferenceEngine(network, {}, small_test_chip())
+
+    def test_wrong_input_shape_rejected(self):
+        network = tiny_cnn()
+        engine = FunctionalInferenceEngine(
+            network, generate_random_weights(network), small_test_chip()
+        )
+        with pytest.raises(SimulationError):
+            engine.run_reference(np.zeros((4, 4, 2)))
+
+    def test_generate_random_weights_shapes(self):
+        network = tiny_cnn()
+        weights = generate_random_weights(network)
+        assert weights["conv1"].shape == (3, 3, 2, 4)
+        assert weights["fc"].shape == (4 * 4 * 4, 5)

@@ -1,0 +1,90 @@
+"""Tests for the Section VI-B design optimizer."""
+
+import pytest
+
+from repro.core.optimizer import DesignOptimizer
+from repro.errors import OptimizationError
+from repro.nn import build_lenet5, build_resnet18
+
+
+@pytest.fixture(scope="module")
+def small_optimizer(sweep_config=None):
+    from repro.config import default_sweep_chip
+
+    return DesignOptimizer(
+        build_lenet5(), default_sweep_chip(), area_cap_mm2=200.0, ips_hiding_tolerance=0.9
+    )
+
+
+class TestOptimizerSteps:
+    def test_batch_evaluation_returns_increasing_candidates(self, small_optimizer):
+        ips_by_batch = small_optimizer.choose_batch_size(candidates=(1, 4, 16))
+        assert set(ips_by_batch) == {1, 4, 16}
+        assert all(value > 0 for value in ips_by_batch.values())
+
+    def test_smallest_sufficient_batch_is_a_candidate(self, small_optimizer):
+        batch = small_optimizer.smallest_sufficient_batch(candidates=(1, 4, 16))
+        assert batch in (1, 4, 16)
+
+    def test_critical_sram_grows_with_batch(self, small_optimizer):
+        assert small_optimizer.critical_input_sram_mb(16) == pytest.approx(
+            16 * small_optimizer.critical_input_sram_mb(1)
+        )
+
+    def test_choose_input_sram_respects_area_cap(self, small_optimizer):
+        chosen = small_optimizer.choose_input_sram_mb(4, candidates=(0.5, 1.0, 2.0))
+        assert chosen in (0.5, 1.0, 2.0)
+
+    def test_choose_input_sram_raises_when_nothing_fits(self):
+        from repro.config import default_sweep_chip
+
+        optimizer = DesignOptimizer(build_lenet5(), default_sweep_chip(), area_cap_mm2=1.0)
+        with pytest.raises(OptimizationError):
+            optimizer.choose_input_sram_mb(4, candidates=(16.0, 32.0))
+
+    def test_array_evaluations_sorted_by_ips_per_watt(self, small_optimizer):
+        rows = small_optimizer.choose_array_size(
+            batch_size=2, input_sram_mb=1.0, rows_candidates=(8, 16), columns_candidates=(8, 16)
+        )
+        values = [row["ips_per_watt"] for row in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation_of_constructor_arguments(self):
+        from repro.config import default_sweep_chip
+
+        with pytest.raises(OptimizationError):
+            DesignOptimizer(build_lenet5(), default_sweep_chip(), area_cap_mm2=-1.0)
+        with pytest.raises(OptimizationError):
+            DesignOptimizer(build_lenet5(), default_sweep_chip(), ips_hiding_tolerance=1.5)
+
+
+class TestFullFlow:
+    def test_optimize_small_network_end_to_end(self, small_optimizer):
+        result = small_optimizer.optimize(
+            batch_candidates=(1, 2, 4),
+            array_candidates=(8, 16, 32),
+            sram_candidates_mb=(0.5, 1.0, 2.0),
+        )
+        assert result.chosen_rows in (8, 16, 32)
+        assert result.chosen_columns in (8, 16, 32)
+        assert result.chosen_batch_size in (1, 2, 4)
+        assert result.metrics.feasible
+        assert result.config.num_cores == 2
+        summary = result.summary()
+        assert summary["ips"] > 0 and summary["ips_per_watt"] > 0
+
+    def test_optimizer_on_resnet18_prefers_large_arrays(self, resnet_framework):
+        from repro.config import default_sweep_chip
+
+        optimizer = DesignOptimizer(
+            build_resnet18(), default_sweep_chip(), area_cap_mm2=200.0
+        )
+        result = optimizer.optimize(
+            batch_candidates=(8, 32),
+            array_candidates=(32, 64, 128),
+            sram_candidates_mb=(16.0, 26.3),
+        )
+        # The paper's flow lands on large arrays (>= 64) for CNN workloads.
+        assert result.chosen_rows >= 64
+        assert result.chosen_columns >= 64
+        assert result.array_candidates  # evaluations recorded for inspection

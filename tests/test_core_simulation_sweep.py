@@ -1,0 +1,98 @@
+"""Tests for the simulation framework cache and the sweep utilities."""
+
+import pytest
+
+from repro.core.simulation import SimulationFramework
+from repro.core.sweep import best_by, sweep_array_sizes, sweep_batch_sizes, sweep_input_sram
+from repro.errors import SimulationError
+from repro.nn import build_lenet5
+
+
+@pytest.fixture(scope="module")
+def lenet_framework():
+    return SimulationFramework(build_lenet5())
+
+
+class TestSimulationFramework:
+    def test_evaluate_caches_results(self, lenet_framework, tiny_config):
+        lenet_framework.clear_cache()
+        first = lenet_framework.evaluate(tiny_config)
+        assert lenet_framework.cache_size == 1
+        second = lenet_framework.evaluate(tiny_config)
+        assert first is second
+
+    def test_equal_configs_share_cache_entries(self, lenet_framework, tiny_config):
+        lenet_framework.clear_cache()
+        lenet_framework.evaluate(tiny_config)
+        lenet_framework.evaluate(tiny_config.with_updates())  # equal copy
+        assert lenet_framework.cache_size == 1
+
+    def test_different_configs_get_distinct_entries(self, lenet_framework, tiny_config):
+        lenet_framework.clear_cache()
+        lenet_framework.evaluate(tiny_config)
+        lenet_framework.evaluate(tiny_config.with_updates(batch_size=4))
+        assert lenet_framework.cache_size == 2
+
+    def test_cache_can_be_disabled(self, tiny_config):
+        framework = SimulationFramework(build_lenet5(), cache=False)
+        framework.evaluate(tiny_config)
+        assert framework.cache_size == 0
+
+    def test_requires_a_network(self):
+        with pytest.raises(SimulationError):
+            SimulationFramework(None)
+
+
+class TestSweeps:
+    def test_array_sweep_covers_grid(self, lenet_framework, tiny_config):
+        results = sweep_array_sizes(
+            build_lenet5(), tiny_config, rows_values=(8, 16), columns_values=(8, 16),
+            framework=lenet_framework,
+        )
+        assert len(results) == 4
+        assert {(r.value("rows"), r.value("columns")) for r in results} == {
+            (8.0, 8.0), (8.0, 16.0), (16.0, 8.0), (16.0, 16.0)
+        }
+
+    def test_batch_sweep_with_core_counts(self, lenet_framework, tiny_config):
+        results = sweep_batch_sizes(
+            build_lenet5(), tiny_config, batch_sizes=(1, 4), num_cores_values=(1, 2),
+            framework=lenet_framework,
+        )
+        assert len(results) == 4
+        row = results[0].row()
+        assert {"batch_size", "num_cores", "ips", "power_w"} <= set(row)
+
+    def test_sram_sweep(self, lenet_framework, tiny_config):
+        results = sweep_input_sram(
+            build_lenet5(), tiny_config, input_sram_mb_values=(0.25, 1.0), batch_sizes=(2,),
+            framework=lenet_framework,
+        )
+        assert len(results) == 2
+        assert results[0].value("input_sram_mb") == pytest.approx(0.25)
+
+    def test_best_by_selects_maximum(self, lenet_framework, tiny_config):
+        results = sweep_array_sizes(
+            build_lenet5(), tiny_config, rows_values=(8, 16), columns_values=(8,),
+            framework=lenet_framework,
+        )
+        best = best_by(results, "ips")
+        assert best.row()["ips"] == max(r.row()["ips"] for r in results)
+
+    def test_best_by_rejects_unknown_metric_and_empty(self, lenet_framework, tiny_config):
+        results = sweep_array_sizes(
+            build_lenet5(), tiny_config, rows_values=(8,), columns_values=(8,),
+            framework=lenet_framework,
+        )
+        with pytest.raises(SimulationError):
+            best_by(results, "nonsense")
+        with pytest.raises(SimulationError):
+            best_by([], "ips")
+
+    def test_empty_sweep_values_rejected(self, tiny_config):
+        with pytest.raises(SimulationError):
+            sweep_array_sizes(build_lenet5(), tiny_config, rows_values=(), columns_values=(8,))
+        with pytest.raises(SimulationError):
+            sweep_batch_sizes(build_lenet5(), tiny_config, batch_sizes=())
+        with pytest.raises(SimulationError):
+            sweep_input_sram(build_lenet5(), tiny_config, input_sram_mb_values=())

@@ -1,0 +1,66 @@
+"""Tests for the per-tile ADC full-scale calibration of the functional crossbar.
+
+When a weight tile is programmed, the receiver's programmable gain is
+recalibrated so that the 6-bit ADC's full scale matches the largest dot
+product the tile can produce, instead of the worst-case value N.  These tests
+pin that behaviour and its effect on accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import CrossbarArray
+
+
+class TestAdcFullScale:
+    def test_default_full_scale_is_row_count(self):
+        array = CrossbarArray(16, 8)
+        assert array.adc_full_scale == pytest.approx(16.0)
+
+    def test_full_scale_tracks_largest_column_weight_sum(self):
+        array = CrossbarArray(16, 8)
+        weights = np.zeros((16, 8))
+        weights[:, 3] = 0.5  # column 3 sums to 8.0, every other column to 0
+        array.program_weights(weights)
+        assert array.adc_full_scale == pytest.approx(np.max(array.weights.sum(axis=0)))
+        assert array.adc_full_scale < 16.0
+
+    def test_full_scale_never_zero_even_for_all_dark_weights(self):
+        array = CrossbarArray(8, 8)
+        array.program_weights(np.zeros((8, 8)))
+        assert array.adc_full_scale > 0.0
+        # And a matvec still returns exactly zero.
+        assert np.allclose(array.matvec(np.ones(8)), 0.0)
+
+    def test_reprogramming_updates_the_full_scale(self):
+        array = CrossbarArray(8, 4)
+        array.program_weights(np.full((8, 4), 0.25))
+        small = array.adc_full_scale
+        array.program_weights(np.ones((8, 4)))
+        assert array.adc_full_scale > small
+
+    def test_sparse_tiles_quantise_more_accurately_than_fixed_full_scale(self):
+        """With the per-tile gain, a sparse tile's quantisation error is set by
+        its own signal range, far below the worst-case N/2^B step."""
+        rng = np.random.default_rng(0)
+        rows, columns = 64, 16
+        weights = np.zeros((rows, columns))
+        weights[:8, :] = rng.uniform(0, 1, (8, columns))  # only 8 active rows
+        inputs = rng.uniform(0, 1, rows)
+
+        array = CrossbarArray(rows, columns)
+        array.program_weights(weights)
+        quantised = array.matvec(inputs, quantize_output=True)
+        analog = array.matvec(inputs, quantize_output=False)
+        achieved_error = float(np.max(np.abs(quantised - analog)))
+
+        worst_case_lsb = rows / ((1 << array.technology.output_bits) - 1)
+        assert achieved_error < worst_case_lsb / 4
+
+    def test_quantised_outputs_never_exceed_full_scale(self):
+        rng = np.random.default_rng(1)
+        array = CrossbarArray(32, 8)
+        array.program_weights(rng.uniform(0, 1, (32, 8)))
+        outputs = array.matvec(rng.uniform(0, 1, 32), quantize_output=True)
+        assert np.all(outputs <= array.adc_full_scale + 1e-9)
+        assert np.all(outputs >= 0.0)

@@ -1,0 +1,111 @@
+"""Unit tests for the noise model and phase calibration."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import CrossbarArray, CrossbarNoiseModel, PhaseCalibrator
+from repro.errors import DeviceModelError
+
+
+class TestNoiseModel:
+    def test_ideal_model_changes_nothing(self):
+        model = CrossbarNoiseModel.ideal()
+        assert model.is_ideal
+        rng = np.random.default_rng(0)
+        fields = np.array([0.1, 0.5, 1.0])
+        assert np.allclose(model.apply_to_fields(fields, rng), fields)
+        weights = np.array([[0.2, 0.8]])
+        assert np.allclose(model.apply_to_weights(weights, rng), weights)
+
+    def test_coherence_factor_decreases_with_phase_error(self):
+        low = CrossbarNoiseModel(phase_error_std_rad=0.05)
+        high = CrossbarNoiseModel(phase_error_std_rad=0.5)
+        assert 0 < high.coherence_factor() < low.coherence_factor() < 1.0
+
+    def test_phase_error_shrinks_fields_deterministically(self):
+        model = CrossbarNoiseModel(phase_error_std_rad=0.3)
+        rng = np.random.default_rng(0)
+        fields = np.array([1.0, 2.0])
+        shrunk = model.apply_to_fields(fields, rng)
+        assert np.allclose(shrunk, fields * model.coherence_factor())
+
+    def test_amplitude_noise_perturbs_fields(self):
+        model = CrossbarNoiseModel(relative_amplitude_noise=0.05)
+        rng = np.random.default_rng(0)
+        fields = np.ones(1000)
+        noisy = model.apply_to_fields(fields, rng)
+        assert not np.allclose(noisy, fields)
+        assert np.std(noisy) == pytest.approx(0.05, rel=0.2)
+
+    def test_weight_programming_noise_stays_in_unit_interval(self):
+        model = CrossbarNoiseModel(weight_programming_std=0.1)
+        rng = np.random.default_rng(0)
+        weights = rng.uniform(0, 1, (32, 32))
+        noisy = model.apply_to_weights(weights, rng)
+        assert np.all(noisy >= 0) and np.all(noisy <= 1)
+
+    def test_presets_ordering(self):
+        typical = CrossbarNoiseModel.typical()
+        pessimistic = CrossbarNoiseModel.pessimistic()
+        assert typical.phase_error_std_rad < pessimistic.phase_error_std_rad
+        assert not typical.is_ideal
+
+    def test_noisy_array_matvec_error_grows_with_noise(self):
+        rng = np.random.default_rng(5)
+        weights = rng.uniform(0, 1, (32, 16))
+        inputs = rng.uniform(0, 1, 32)
+        errors = []
+        for model in (CrossbarNoiseModel.ideal(), CrossbarNoiseModel.typical(), CrossbarNoiseModel.pessimistic()):
+            array = CrossbarArray(32, 16, noise_model=model, rng=np.random.default_rng(7))
+            array.program_weights(weights)
+            reference = array.weights.T @ array.odac.modulate(inputs)
+            result = array.matvec(inputs, quantize_output=False)
+            errors.append(float(np.mean(np.abs(result - reference))))
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(DeviceModelError):
+            CrossbarNoiseModel(phase_error_std_rad=-0.1)
+
+
+class TestPhaseCalibrator:
+    def test_calibration_reduces_phase_error(self):
+        calibrator = PhaseCalibrator(16, 16, heater_resolution_bits=8)
+        errors = calibrator.sample_phase_errors(0.3, np.random.default_rng(0))
+        result = calibrator.calibrate(errors)
+        assert result.residual_phase_std_rad < np.std(errors)
+        assert result.residual_coherence > result.initial_coherence
+        assert result.residual_coherence > 0.999
+
+    def test_finer_heater_dac_leaves_smaller_residual(self):
+        coarse = PhaseCalibrator(8, 8, heater_resolution_bits=4)
+        fine = PhaseCalibrator(8, 8, heater_resolution_bits=10)
+        errors = coarse.sample_phase_errors(0.4, np.random.default_rng(1))
+        assert fine.calibrate(errors).residual_phase_std_rad < coarse.calibrate(
+            errors
+        ).residual_phase_std_rad
+
+    def test_heater_power_positive_and_bounded(self):
+        calibrator = PhaseCalibrator(8, 8)
+        errors = calibrator.sample_phase_errors(0.2, np.random.default_rng(2))
+        result = calibrator.calibrate(errors)
+        max_power = 8 * 8 * calibrator.phase_shifter.power_per_pi_w * 2
+        assert 0 <= result.heater_power_w <= max_power
+
+    def test_calibration_report_keys(self):
+        report = PhaseCalibrator(4, 4).calibration_report(0.2)
+        assert set(report) == {
+            "initial_coherence",
+            "residual_coherence",
+            "residual_phase_std_rad",
+            "heater_power_w",
+        }
+
+    def test_shape_mismatch_rejected(self):
+        calibrator = PhaseCalibrator(4, 4)
+        with pytest.raises(DeviceModelError):
+            calibrator.calibrate(np.zeros((3, 4)))
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(DeviceModelError):
+            PhaseCalibrator(0, 4)

@@ -1,0 +1,136 @@
+"""Unit tests for signed GEMM execution and the dual-core scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import DualCoreCrossbar, ProgrammingJob, SignedCrossbarEngine
+from repro.errors import SimulationError
+
+
+class TestSignedCrossbarEngine:
+    def test_signed_matvec_approximates_reference(self):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(0, 1, (32, 16))
+        inputs = rng.uniform(0, 1, 32)  # ReLU-style non-negative inputs
+        engine = SignedCrossbarEngine(32, 16)
+        engine.program(weights)
+        result = engine.matvec(inputs)
+        reference = weights.T @ inputs
+        scale = np.max(np.abs(reference))
+        assert np.max(np.abs(result - reference)) / scale < 0.2
+
+    def test_signed_inputs_are_supported(self):
+        rng = np.random.default_rng(1)
+        weights = rng.normal(0, 1, (16, 8))
+        inputs = rng.normal(0, 1, 16)
+        engine = SignedCrossbarEngine(16, 8)
+        engine.program(weights)
+        result = engine.matvec(inputs)
+        reference = weights.T @ inputs
+        correlation = np.corrcoef(result, reference)[0, 1]
+        assert correlation > 0.98
+
+    def test_zero_input_returns_zero(self):
+        engine = SignedCrossbarEngine(8, 4)
+        engine.program(np.ones((8, 4)))
+        assert np.allclose(engine.matvec(np.zeros(8)), 0.0)
+
+    def test_matmul_shape(self):
+        rng = np.random.default_rng(2)
+        engine = SignedCrossbarEngine(8, 4)
+        engine.program(rng.normal(size=(8, 4)))
+        outputs = engine.matmul(rng.uniform(0, 1, (5, 8)))
+        assert outputs.shape == (5, 4)
+
+    def test_statistics_count_both_arrays(self):
+        engine = SignedCrossbarEngine(4, 4)
+        engine.program(np.zeros((4, 4)))
+        stats = engine.statistics()
+        assert stats["programming_events"] == 2
+
+    def test_requires_programming_before_matvec(self):
+        engine = SignedCrossbarEngine(4, 4)
+        with pytest.raises(SimulationError):
+            engine.matvec(np.zeros(4))
+
+    def test_shape_validation(self):
+        engine = SignedCrossbarEngine(4, 4)
+        with pytest.raises(SimulationError):
+            engine.program(np.zeros((3, 4)))
+        engine.program(np.zeros((4, 4)))
+        with pytest.raises(SimulationError):
+            engine.matvec(np.zeros(5))
+
+
+class TestDualCoreScheduler:
+    def make_jobs(self, count=8, programming=100e-9, compute=300e-9):
+        return [
+            ProgrammingJob(f"tile{i}", programming_time_s=programming, compute_time_s=compute)
+            for i in range(count)
+        ]
+
+    def test_single_core_makespan_is_sum_of_all_phases(self):
+        jobs = self.make_jobs(4)
+        scheduler = DualCoreCrossbar(1)
+        assert scheduler.makespan_s(jobs) == pytest.approx(4 * (100e-9 + 300e-9))
+
+    def test_dual_core_hides_programming_when_compute_dominates(self):
+        jobs = self.make_jobs(8, programming=100e-9, compute=400e-9)
+        makespan = DualCoreCrossbar(2).makespan_s(jobs)
+        # Only the first programming pass is exposed.
+        assert makespan == pytest.approx(100e-9 + 8 * 400e-9)
+
+    def test_dual_core_bound_by_programming_when_it_dominates(self):
+        jobs = self.make_jobs(8, programming=500e-9, compute=100e-9)
+        makespan = DualCoreCrossbar(2).makespan_s(jobs)
+        single = DualCoreCrossbar(1).makespan_s(jobs)
+        assert makespan < single
+        # Each core programs every other tile, so programming of consecutive
+        # tiles overlaps and the makespan approaches half the programming sum.
+        assert makespan >= 8 / 2 * 500e-9
+
+    def test_speedup_between_one_and_two(self):
+        jobs = self.make_jobs(16, programming=200e-9, compute=200e-9)
+        speedup = DualCoreCrossbar.speedup(jobs)
+        assert 1.0 <= speedup <= 2.0 + 1e-9
+
+    def test_dual_core_never_slower(self):
+        rng = np.random.default_rng(3)
+        jobs = [
+            ProgrammingJob(f"t{i}", float(rng.uniform(0, 1e-6)), float(rng.uniform(0, 1e-6)))
+            for i in range(20)
+        ]
+        assert DualCoreCrossbar(2).makespan_s(jobs) <= DualCoreCrossbar(1).makespan_s(jobs) + 1e-15
+
+    def test_utilisation_higher_for_dual_core_when_programming_matters(self):
+        jobs = self.make_jobs(8, programming=300e-9, compute=300e-9)
+        summary = DualCoreCrossbar.summarize(jobs)
+        assert summary["dual_core_utilisation"] >= summary["single_core_utilisation"]
+        assert summary["speedup"] > 1.5
+
+    def test_schedule_entries_are_ordered_and_non_overlapping_per_core(self):
+        jobs = self.make_jobs(6)
+        entries = DualCoreCrossbar(2).schedule(jobs)
+        for core in (0, 1):
+            core_entries = sorted(
+                (e for e in entries if e.core == core), key=lambda e: e.start_s
+            )
+            for earlier, later in zip(core_entries, core_entries[1:]):
+                assert later.start_s >= earlier.end_s - 1e-15
+
+    def test_compute_follows_programming_for_each_job(self):
+        jobs = self.make_jobs(5)
+        entries = DualCoreCrossbar(2).schedule(jobs)
+        by_job = {}
+        for entry in entries:
+            by_job.setdefault(entry.job_name, {})[entry.kind] = entry
+        for phases in by_job.values():
+            assert phases["compute"].start_s >= phases["program"].end_s - 1e-15
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            DualCoreCrossbar(3)
+        with pytest.raises(SimulationError):
+            DualCoreCrossbar(2).schedule([])
+        with pytest.raises(SimulationError):
+            ProgrammingJob("bad", -1.0, 1.0)

@@ -1,0 +1,83 @@
+"""Device-level unit-cell tests: the analytical array model must match a
+device-by-device composition of couplers, PCM cells and phase shifters."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import CrossbarArray, UnitCell
+from repro.crossbar.unit_cell import build_device_level_array, device_level_matvec
+from repro.errors import SimulationError
+
+
+class TestUnitCell:
+    def test_programming_quantises_weight(self):
+        cell = UnitCell(input_coupling=0.5, output_coupling=0.5)
+        realised = cell.program(0.3)
+        assert abs(realised - 0.3) <= 0.5 / 63
+        assert cell.weight == pytest.approx(realised)
+
+    def test_propagate_taps_and_injects(self):
+        cell = UnitCell(input_coupling=0.25, output_coupling=1.0)
+        cell.program(1.0)
+        row_out, column_out = cell.propagate(1.0, 0.0)
+        assert row_out == pytest.approx((0.75) ** 0.5)
+        assert column_out == pytest.approx((0.25) ** 0.5)
+
+    def test_pcm_weight_scales_injected_field(self):
+        cell = UnitCell(input_coupling=0.25, output_coupling=1.0)
+        cell.program(63 / 63 * 0.5)
+        _, column_full = UnitCell(0.25, 1.0).propagate(1.0, 0.0)
+        _, column_half = cell.propagate(1.0, 0.0)
+        # The default-constructed comparison cell starts fully crystalline (w=0).
+        assert column_full == pytest.approx(0.0)
+        assert column_half == pytest.approx(0.5 * (0.25) ** 0.5, rel=2e-2)
+
+    def test_rejects_bad_coupling_and_fields(self):
+        with pytest.raises(SimulationError):
+            UnitCell(input_coupling=1.5, output_coupling=0.5)
+        cell = UnitCell(0.5, 0.5)
+        with pytest.raises(SimulationError):
+            cell.propagate(-1.0, 0.0)
+
+
+class TestDeviceLevelArrayAgreement:
+    @pytest.mark.parametrize("rows,columns", [(2, 2), (4, 3), (8, 8)])
+    def test_device_level_matches_analytical_model(self, rows, columns):
+        rng = np.random.default_rng(rows * 10 + columns)
+        weights = rng.uniform(0, 1, (rows, columns))
+        inputs = rng.uniform(0, 1, rows)
+
+        analytical = CrossbarArray(rows, columns)
+        analytical.program_weights(weights)
+        analytical_fields = analytical.column_fields(inputs)
+
+        cells = build_device_level_array(analytical.weights)
+        row_fields = analytical.odac.modulate(inputs) * (
+            analytical.laser_field / np.sqrt(rows)
+        )
+        device_fields = device_level_matvec(cells, row_fields)
+
+        assert np.allclose(device_fields, analytical_fields, atol=1e-12)
+
+    def test_device_level_with_losses_is_strictly_weaker(self):
+        rng = np.random.default_rng(0)
+        weights = rng.uniform(0.2, 1, (4, 4))
+        inputs = rng.uniform(0.2, 1, 4)
+
+        analytical = CrossbarArray(4, 4)
+        analytical.program_weights(weights)
+        lossless_fields = analytical.column_fields(inputs)
+
+        lossy_cells = build_device_level_array(analytical.weights, lossless=False)
+        row_fields = analytical.odac.modulate(inputs) / 2.0
+        lossy_fields = device_level_matvec(lossy_cells, row_fields)
+        assert np.all(lossy_fields < lossless_fields)
+
+    def test_mismatched_inputs_rejected(self):
+        cells = build_device_level_array(np.zeros((2, 2)))
+        with pytest.raises(SimulationError):
+            device_level_matvec(cells, np.zeros(3))
+
+    def test_build_rejects_non_2d_weights(self):
+        with pytest.raises(SimulationError):
+            build_device_level_array(np.zeros(4))

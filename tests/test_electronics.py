@@ -1,0 +1,136 @@
+"""Unit tests for the peripheral electronics power/area models."""
+
+import numpy as np
+import pytest
+
+from repro.config import TechnologyConfig
+from repro.electronics import (
+    ADCBank,
+    ActivationUnit,
+    ClockDistribution,
+    DigitalAccumulator,
+    ODACDriverBank,
+    SerDesBank,
+    TIABank,
+)
+from repro.errors import DeviceModelError
+
+
+@pytest.fixture()
+def tech():
+    return TechnologyConfig()
+
+
+class TestODACDriverBank:
+    def test_energy_scales_with_rows_and_rings(self, tech):
+        bank_32 = ODACDriverBank(32, tech)
+        bank_64 = ODACDriverBank(64, tech)
+        assert bank_64.dynamic_energy_per_cycle_j == pytest.approx(
+            2 * bank_32.dynamic_energy_per_cycle_j
+        )
+        assert bank_32.rings_total == 64  # 2 rings per RAMZI transmitter
+
+    def test_static_power_is_thermal_tuning(self, tech):
+        bank = ODACDriverBank(16, tech)
+        assert bank.static_power_w == pytest.approx(16 * 2 * 0.72e-3)
+
+    def test_rejects_bad_rows(self, tech):
+        with pytest.raises(DeviceModelError):
+            ODACDriverBank(0, tech)
+
+
+class TestADCAndTIA:
+    def test_adc_energy_per_sample_from_power(self, tech):
+        bank = ADCBank(1, tech)
+        assert bank.energy_per_sample_j == pytest.approx(25e-3 / 10e9)
+
+    def test_adc_bank_scales_with_columns(self, tech):
+        assert ADCBank(128, tech).dynamic_energy_per_cycle_j == pytest.approx(
+            128 * ADCBank(1, tech).dynamic_energy_per_cycle_j
+        )
+
+    def test_adc_area_matches_paper(self, tech):
+        assert ADCBank(128, tech).area_mm2 == pytest.approx(128 * 0.0475)
+
+    def test_tia_energy_and_area(self, tech):
+        bank = TIABank(64, tech)
+        assert bank.energy_per_sample_j == pytest.approx(2.25e-3 / 10e9)
+        assert bank.area_mm2 == pytest.approx(64 * tech.tia_area_mm2)
+
+    def test_dynamic_power_helper(self, tech):
+        bank = ADCBank(8, tech)
+        assert bank.dynamic_power_w(10e9) == pytest.approx(8 * 25e-3, rel=1e-6)
+        assert bank.dynamic_power_w(10e9, activity=0.5) == pytest.approx(4 * 25e-3, rel=1e-6)
+
+    def test_dynamic_power_rejects_bad_activity(self, tech):
+        with pytest.raises(ValueError):
+            ADCBank(8, tech).dynamic_power_w(1e9, activity=1.5)
+
+
+class TestSerDesAndClocking:
+    def test_serialization_ratio_is_ten_to_one(self, tech):
+        bank = SerDesBank(32, 32, tech, mac_clock_hz=10e9)
+        assert bank.serialization_ratio == 10
+
+    def test_bits_per_cycle_uses_precisions(self, tech):
+        bank = SerDesBank(32, 16, tech)
+        assert bank.bits_per_cycle == pytest.approx(32 * 6 + 16 * 6)
+
+    def test_serdes_energy_per_cycle(self, tech):
+        bank = SerDesBank(32, 32, tech)
+        assert bank.dynamic_energy_per_cycle_j == pytest.approx(64 * 6 * 100e-15)
+
+    def test_clocking_lane_count_and_energy(self, tech):
+        clock = ClockDistribution(128, 128, tech)
+        assert clock.lanes == 256
+        assert clock.dynamic_energy_per_cycle_j == pytest.approx(256 * 200e-15)
+        assert clock.area_mm2 == pytest.approx(256 * 0.005)
+
+    def test_rejects_bad_dimensions(self, tech):
+        with pytest.raises(DeviceModelError):
+            SerDesBank(0, 8, tech)
+        with pytest.raises(DeviceModelError):
+            ClockDistribution(8, 0, tech)
+
+
+class TestDigitalBlocks:
+    def test_accumulator_energy_for_ops(self, tech):
+        acc = DigitalAccumulator(64, tech)
+        assert acc.energy_for_ops(1000) == pytest.approx(1000 * tech.accumulator_energy_per_op_j)
+        with pytest.raises(DeviceModelError):
+            acc.energy_for_ops(-1)
+
+    def test_activation_relu(self, tech):
+        act = ActivationUnit(tech)
+        values = np.array([-1.0, 0.0, 2.5])
+        assert np.allclose(act.apply(values, "relu"), [0.0, 0.0, 2.5])
+
+    def test_activation_relu6_and_sigmoid_and_tanh(self, tech):
+        act = ActivationUnit(tech)
+        assert np.allclose(act.apply(np.array([10.0]), "relu6"), [6.0])
+        assert act.apply(np.array([0.0]), "sigmoid")[0] == pytest.approx(0.5)
+        assert act.apply(np.array([0.0]), "tanh")[0] == pytest.approx(0.0)
+
+    def test_activation_identity_passthrough(self, tech):
+        act = ActivationUnit(tech)
+        values = np.array([-3.0, 4.0])
+        assert np.allclose(act.apply(values, "identity"), values)
+
+    def test_activation_rejects_unknown_kind(self, tech):
+        with pytest.raises(DeviceModelError):
+            ActivationUnit(tech).apply(np.array([1.0]), "swish")
+
+    def test_summary_interface(self, tech):
+        for block in (
+            ODACDriverBank(8, tech),
+            ADCBank(8, tech),
+            TIABank(8, tech),
+            SerDesBank(8, 8, tech),
+            ClockDistribution(8, 8, tech),
+            DigitalAccumulator(8, tech),
+            ActivationUnit(tech),
+        ):
+            summary = block.summary()
+            assert summary["name"] == block.name
+            assert summary["dynamic_energy_per_cycle_j"] >= 0
+            assert summary["area_mm2"] >= 0

@@ -1,0 +1,27 @@
+"""The exception hierarchy must allow catching all library errors at once."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exception_type",
+    [
+        errors.ConfigurationError,
+        errors.DeviceModelError,
+        errors.ProgrammingError,
+        errors.SimulationError,
+        errors.WorkloadError,
+        errors.CapacityError,
+        errors.OptimizationError,
+    ],
+)
+def test_all_errors_derive_from_repro_error(exception_type):
+    assert issubclass(exception_type, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise exception_type("boom")
+
+
+def test_repro_error_is_an_exception():
+    assert issubclass(errors.ReproError, Exception)

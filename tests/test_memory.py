@@ -1,0 +1,148 @@
+"""Unit tests for the SRAM/DRAM models, traffic counters and memory system."""
+
+import pytest
+
+from repro.config import ChipConfig, SramConfig
+from repro.errors import CapacityError, SimulationError
+from repro.memory import DRAMModel, MemorySystem, MemoryTrafficRecord, SRAMBlock, TrafficCounter
+
+
+class TestTrafficCounter:
+    def test_record_and_total(self):
+        counter = TrafficCounter()
+        counter.record_read(100)
+        counter.record_write(50)
+        assert counter.total_bits == pytest.approx(150)
+
+    def test_energy(self):
+        counter = TrafficCounter(bits_read=1000, bits_written=0)
+        assert counter.energy_j(50e-15) == pytest.approx(5e-11)
+
+    def test_merge_and_reset(self):
+        a = TrafficCounter(bits_read=10)
+        b = TrafficCounter(bits_written=20)
+        merged = a.merge(b)
+        assert merged.total_bits == pytest.approx(30)
+        a.reset()
+        assert a.total_bits == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            TrafficCounter().record_read(-1)
+
+
+class TestMemoryTrafficRecord:
+    def test_bits_and_total(self):
+        record = MemoryTrafficRecord({"dram": 100.0, "input_sram": 50.0})
+        assert record.bits("dram") == pytest.approx(100.0)
+        assert record.bits("missing") == 0.0
+        assert record.total_bits == pytest.approx(150.0)
+
+    def test_scaled_and_merged(self):
+        record = MemoryTrafficRecord({"dram": 100.0})
+        assert record.scaled(0.5).bits("dram") == pytest.approx(50.0)
+        merged = record.merged(MemoryTrafficRecord({"dram": 1.0, "input_sram": 2.0}))
+        assert merged.bits("dram") == pytest.approx(101.0)
+        assert merged.bits("input_sram") == pytest.approx(2.0)
+
+    def test_rejects_negative_traffic(self):
+        with pytest.raises(SimulationError):
+            MemoryTrafficRecord({"dram": -1.0})
+
+
+class TestSRAMBlock:
+    def test_capacity_and_fits(self):
+        block = SRAMBlock("input_sram", capacity_mb=1.0)
+        assert block.capacity_bits == pytest.approx(8 * 1024 * 1024)
+        assert block.fits(1024)
+        assert not block.fits(block.capacity_bits + 1)
+
+    def test_read_write_energy_and_traffic(self):
+        block = SRAMBlock("input_sram", capacity_mb=1.0)
+        energy = block.read(1000) + block.write(500)
+        assert energy == pytest.approx(1500 * 50e-15)
+        assert block.traffic.total_bits == pytest.approx(1500)
+        assert block.total_access_energy_j == pytest.approx(energy)
+
+    def test_area_and_leakage_scale_with_capacity(self):
+        small = SRAMBlock("x", 1.0)
+        large = SRAMBlock("x", 4.0)
+        assert large.area_mm2 == pytest.approx(4 * small.area_mm2)
+        assert large.leakage_power_w == pytest.approx(4 * small.leakage_power_w)
+
+    def test_occupancy_fraction(self):
+        block = SRAMBlock("x", 1.0)
+        assert block.occupancy_fraction(block.capacity_bits / 2) == pytest.approx(0.5)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(CapacityError):
+            SRAMBlock("x", 0.0)
+
+
+class TestDRAMModel:
+    def test_hbm_vs_pcie_energy(self):
+        hbm = DRAMModel("hbm")
+        pcie = DRAMModel("pcie")
+        assert hbm.energy_per_bit_j == pytest.approx(3.9e-12)
+        assert pcie.energy_per_bit_j == pytest.approx(15e-12)
+
+    def test_pcie_bandwidth_is_capped(self):
+        assert DRAMModel("pcie").bandwidth_bits_per_s <= 256e9
+        assert DRAMModel("hbm").bandwidth_bits_per_s > 1e12
+
+    def test_transfer_time(self):
+        dram = DRAMModel("hbm")
+        assert dram.transfer_time_s(dram.bandwidth_bits_per_s) == pytest.approx(1.0)
+
+    def test_traffic_and_energy_accounting(self):
+        dram = DRAMModel("hbm")
+        energy = dram.read(1e9) + dram.write(1e9)
+        assert energy == pytest.approx(2e9 * 3.9e-12)
+        assert dram.total_access_energy_j == pytest.approx(energy)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(SimulationError):
+            DRAMModel("optane")
+
+
+class TestMemorySystem:
+    @pytest.fixture()
+    def system(self):
+        config = ChipConfig(
+            sram=SramConfig(input_mb=2.0, filter_mb=1.0, output_mb=0.5, accumulator_mb=0.5)
+        )
+        return MemorySystem(config)
+
+    def test_block_capacities_follow_config(self, system):
+        assert system.input_sram.capacity_mb == pytest.approx(2.0)
+        assert system.filter_sram.capacity_mb == pytest.approx(1.0)
+        assert set(system.sram_blocks) == {
+            "input_sram",
+            "filter_sram",
+            "output_sram",
+            "accumulator_sram",
+        }
+
+    def test_total_area_is_sum_of_blocks(self, system):
+        assert system.total_sram_area_mm2 == pytest.approx(
+            sum(block.area_mm2 for block in system.sram_blocks.values())
+        )
+
+    def test_energy_for_traffic_distinguishes_sram_and_dram(self, system):
+        record = MemoryTrafficRecord({"dram": 1e6, "input_sram": 1e6})
+        energies = system.energy_for_traffic(record)
+        assert energies["dram"] == pytest.approx(1e6 * 3.9e-12)
+        assert energies["input_sram"] == pytest.approx(1e6 * 50e-15)
+        assert system.total_energy_for_traffic(record) == pytest.approx(
+            energies["dram"] + energies["input_sram"]
+        )
+        assert system.dram_energy_for_traffic(record) == pytest.approx(energies["dram"])
+        assert system.sram_energy_for_traffic(record) == pytest.approx(energies["input_sram"])
+
+    def test_energy_for_traffic_rejects_unknown_structure(self, system):
+        with pytest.raises(SimulationError):
+            system.energy_for_traffic(MemoryTrafficRecord({"l3_cache": 1.0}))
+
+    def test_working_set_queries(self, system):
+        assert system.input_working_set_fits(1024)
+        assert not system.filter_working_set_fits(system.filter_sram.capacity_bits * 2)

@@ -1,0 +1,101 @@
+"""Unit tests for im2col/GEMM lowering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.nn import ConvLayer, DenseLayer, TensorShape, build_resnet50, conv_to_gemm, layer_to_gemms
+from repro.nn.im2col import GemmShape, conv2d_reference, conv_weights_matrix, dense_to_gemm, im2col_matrix
+
+
+class TestGemmShape:
+    def test_counts(self):
+        gemm = GemmShape("layer", m=10, k=20, n=30)
+        assert gemm.macs == 6000
+        assert gemm.weight_elements == 600
+        assert gemm.input_elements == 200
+        assert gemm.output_elements == 300
+
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(WorkloadError):
+            GemmShape("layer", m=0, k=1, n=1)
+
+
+class TestConvLowering:
+    def test_conv_to_gemm_dimensions(self):
+        layer = ConvLayer("c", out_channels=64, kernel_size=3, stride=1, padding=1, bias=False)
+        gemm = conv_to_gemm(layer, TensorShape(56, 56, 32))
+        assert gemm.k == 32 * 9
+        assert gemm.n == 64
+        assert gemm.m == 56 * 56
+
+    def test_gemm_macs_equal_layer_macs(self):
+        layer = ConvLayer("c", out_channels=16, kernel_size=3, stride=2, padding=1, bias=False)
+        shape = TensorShape(32, 32, 8)
+        assert conv_to_gemm(layer, shape).macs == layer.macs(shape)
+
+    def test_grouped_conv_macs_preserved(self):
+        layer = ConvLayer("dw", out_channels=8, kernel_size=3, padding=1, groups=8, bias=False)
+        shape = TensorShape(16, 16, 8)
+        assert conv_to_gemm(layer, shape).macs == layer.macs(shape)
+
+    def test_dense_to_gemm(self):
+        layer = DenseLayer("fc", out_features=100, bias=False)
+        gemm = dense_to_gemm(layer, TensorShape(1, 1, 512))
+        assert (gemm.m, gemm.k, gemm.n) == (1, 512, 100)
+
+    def test_layer_to_gemms_skips_non_crossbar_layers(self, resnet50):
+        for info in resnet50.shape_infos:
+            gemms = layer_to_gemms(info)
+            if info.uses_crossbar:
+                assert len(gemms) == 1
+            else:
+                assert gemms == []
+
+    def test_network_gemm_macs_equal_network_macs(self, resnet50):
+        gemm_macs = sum(
+            gemm.macs for info in resnet50.shape_infos for gemm in layer_to_gemms(info)
+        )
+        assert gemm_macs == resnet50.total_macs
+
+
+class TestIm2colData:
+    def test_im2col_shape(self):
+        fmap = np.arange(4 * 4 * 2, dtype=float).reshape(4, 4, 2)
+        unrolled = im2col_matrix(fmap, kernel_size=3, stride=1, padding=0)
+        assert unrolled.shape == (4, 18)
+
+    def test_conv2d_reference_matches_direct_convolution(self):
+        rng = np.random.default_rng(0)
+        fmap = rng.normal(size=(6, 6, 3))
+        weights = rng.normal(size=(3, 3, 3, 4))
+        out = conv2d_reference(fmap, weights, stride=1, padding=1)
+        assert out.shape == (6, 6, 4)
+
+        # Direct (naive) convolution for one output position and channel: the
+        # receptive field of output (3, 3) starts at padded row/col 3.
+        padded = np.pad(fmap, ((1, 1), (1, 1), (0, 0)))
+        expected = np.sum(padded[3:6, 3:6, :] * weights[:, :, :, 1])
+        assert out[3, 3, 1] == pytest.approx(expected)
+
+    def test_conv2d_reference_stride_two_shape(self):
+        fmap = np.zeros((8, 8, 1))
+        weights = np.zeros((3, 3, 1, 2))
+        out = conv2d_reference(fmap, weights, stride=2, padding=1)
+        assert out.shape == (4, 4, 2)
+
+    def test_weights_matrix_shape(self):
+        weights = np.zeros((3, 3, 8, 16))
+        assert conv_weights_matrix(weights).shape == (72, 16)
+
+    def test_im2col_rejects_bad_inputs(self):
+        with pytest.raises(WorkloadError):
+            im2col_matrix(np.zeros((4, 4)), 3)
+        with pytest.raises(WorkloadError):
+            im2col_matrix(np.zeros((4, 4, 1)), kernel_size=0)
+        with pytest.raises(WorkloadError):
+            im2col_matrix(np.zeros((2, 2, 1)), kernel_size=5)
+
+    def test_weights_matrix_rejects_non_square_kernel(self):
+        with pytest.raises(WorkloadError):
+            conv_weights_matrix(np.zeros((3, 5, 1, 1)))

@@ -1,0 +1,136 @@
+"""Unit tests for layer descriptors: shapes, MACs and weight counts."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.nn import (
+    ActivationLayer,
+    AddLayer,
+    BatchNormLayer,
+    ConvLayer,
+    DenseLayer,
+    FlattenLayer,
+    PoolLayer,
+    TensorShape,
+)
+
+
+class TestTensorShape:
+    def test_num_elements_and_bits(self):
+        shape = TensorShape(56, 56, 64)
+        assert shape.num_elements == 56 * 56 * 64
+        assert shape.bits(6) == 6 * shape.num_elements
+
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(WorkloadError):
+            TensorShape(0, 1, 1)
+
+    def test_as_tuple(self):
+        assert TensorShape(2, 3, 4).as_tuple() == (2, 3, 4)
+
+
+class TestConvLayer:
+    def test_same_padding_preserves_spatial_size_at_stride_one(self):
+        layer = ConvLayer("c", out_channels=16, kernel_size=3, stride=1, padding="same")
+        out = layer.output_shape(TensorShape(32, 32, 8))
+        assert (out.height, out.width) == (32, 32)
+        assert out.channels == 16
+
+    def test_stride_two_halves_spatial_size(self):
+        layer = ConvLayer("c", out_channels=16, kernel_size=3, stride=2, padding=1)
+        out = layer.output_shape(TensorShape(56, 56, 8))
+        assert (out.height, out.width) == (28, 28)
+
+    def test_resnet_stem_shape(self):
+        layer = ConvLayer("conv1", out_channels=64, kernel_size=7, stride=2, padding=3)
+        out = layer.output_shape(TensorShape(224, 224, 3))
+        assert (out.height, out.width, out.channels) == (112, 112, 64)
+
+    def test_mac_count_formula(self):
+        layer = ConvLayer("c", out_channels=4, kernel_size=3, stride=1, padding=1, bias=False)
+        shape = TensorShape(8, 8, 2)
+        assert layer.macs(shape) == 8 * 8 * 4 * 3 * 3 * 2
+
+    def test_weight_count_with_and_without_bias(self):
+        shape = TensorShape(8, 8, 2)
+        with_bias = ConvLayer("c", out_channels=4, kernel_size=3, bias=True)
+        without_bias = ConvLayer("c", out_channels=4, kernel_size=3, bias=False)
+        assert with_bias.weight_count(shape) == 4 * 2 * 9 + 4
+        assert without_bias.weight_count(shape) == 4 * 2 * 9
+
+    def test_depthwise_convolution_macs(self):
+        shape = TensorShape(16, 16, 8)
+        depthwise = ConvLayer("dw", out_channels=8, kernel_size=3, groups=8, bias=False)
+        dense = ConvLayer("c", out_channels=8, kernel_size=3, groups=1, bias=False)
+        assert depthwise.macs(shape) == dense.macs(shape) // 8
+
+    def test_group_mismatch_raises(self):
+        layer = ConvLayer("c", out_channels=4, kernel_size=3, groups=3)
+        with pytest.raises(WorkloadError):
+            layer.output_shape(TensorShape(8, 8, 4))
+
+    def test_uses_crossbar_flag(self):
+        assert ConvLayer("c", 4, 3).uses_crossbar
+        assert DenseLayer("d", 4).uses_crossbar
+        assert not PoolLayer("p", 2).uses_crossbar
+
+    def test_too_large_kernel_raises(self):
+        layer = ConvLayer("c", out_channels=4, kernel_size=9, padding=0)
+        with pytest.raises(WorkloadError):
+            layer.output_shape(TensorShape(4, 4, 1))
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(WorkloadError):
+            ConvLayer("c", out_channels=0, kernel_size=3)
+        with pytest.raises(WorkloadError):
+            ConvLayer("c", out_channels=4, kernel_size=3, stride=0)
+        with pytest.raises(WorkloadError):
+            ConvLayer("c", out_channels=4, kernel_size=3, padding=-1)
+
+
+class TestDenseLayer:
+    def test_output_shape_and_macs(self):
+        layer = DenseLayer("fc", out_features=10, bias=False)
+        shape = TensorShape(1, 1, 128)
+        assert layer.output_shape(shape).channels == 10
+        assert layer.macs(shape) == 1280
+        assert layer.weight_count(shape) == 1280
+
+    def test_bias_adds_parameters(self):
+        layer = DenseLayer("fc", out_features=10, bias=True)
+        assert layer.weight_count(TensorShape(1, 1, 128)) == 1290
+
+
+class TestOtherLayers:
+    def test_pool_layer_shapes(self):
+        pool = PoolLayer("p", kernel_size=2, stride=2)
+        out = pool.output_shape(TensorShape(32, 32, 16))
+        assert (out.height, out.width, out.channels) == (16, 16, 16)
+
+    def test_global_pool_collapses_spatial_dims(self):
+        pool = PoolLayer("gap", kernel_size=1, kind="avg", global_pool=True)
+        out = pool.output_shape(TensorShape(7, 7, 2048))
+        assert (out.height, out.width, out.channels) == (1, 1, 2048)
+
+    def test_pool_rejects_unknown_kind(self):
+        with pytest.raises(WorkloadError):
+            PoolLayer("p", kernel_size=2, kind="median")
+
+    def test_batchnorm_preserves_shape_and_counts_params(self):
+        bn = BatchNormLayer("bn")
+        shape = TensorShape(8, 8, 32)
+        assert bn.output_shape(shape) == shape
+        assert bn.weight_count(shape) == 64
+
+    def test_activation_and_add_preserve_shape(self):
+        shape = TensorShape(8, 8, 32)
+        assert ActivationLayer("relu").output_shape(shape) == shape
+        assert AddLayer("add").output_shape(shape) == shape
+
+    def test_flatten(self):
+        out = FlattenLayer("flat").output_shape(TensorShape(7, 7, 512))
+        assert (out.height, out.width, out.channels) == (1, 1, 7 * 7 * 512)
+
+    def test_layer_requires_name(self):
+        with pytest.raises(WorkloadError):
+            ConvLayer("", 4, 3)

@@ -1,0 +1,86 @@
+"""Tests for the bundled CNN topologies, especially ResNet-50 v1.5."""
+
+import pytest
+
+from repro.nn import (
+    build_alexnet,
+    build_lenet5,
+    build_mobilenet_v1,
+    build_resnet18,
+    build_resnet34,
+    build_resnet50,
+    build_vgg16,
+)
+
+
+class TestResNet50:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return build_resnet50()
+
+    def test_total_macs_match_published_value(self, net):
+        # ResNet-50 v1.5 is ~4.1 GMAC per 224x224 image.
+        assert 3.9e9 < net.total_macs < 4.3e9
+
+    def test_total_parameters_match_published_value(self, net):
+        assert 25.0e6 < net.total_weights < 26.2e6
+
+    def test_output_is_1000_classes(self, net):
+        assert net.output_shape.as_tuple() == (1, 1, 1000)
+
+    def test_has_53_crossbar_layers(self, net):
+        # 53 = 49 convs in blocks + stem conv + 16 projection shortcuts... in
+        # fact ResNet-50 has 53 conv layers plus the final FC = 54 GEMM layers.
+        assert len(net.crossbar_layers) == 54
+
+    def test_v15_downsample_happens_in_3x3_conv(self, net):
+        # In v1.5 the stride-2 3x3 conv of stage 2's first block sees 56x56 input.
+        info = net.layer_info("stage2_block0_conv3x3")
+        assert info.input_shape.height == 56
+        assert info.output_shape.height == 28
+
+    def test_stem_and_final_shapes(self, net):
+        assert net.layer_info("conv1").output_shape.as_tuple() == (112, 112, 64)
+        assert net.layer_info("maxpool").output_shape.as_tuple() == (56, 56, 64)
+        assert net.layer_info("global_avgpool").output_shape.as_tuple() == (1, 1, 2048)
+
+    def test_custom_class_count(self):
+        net = build_resnet50(num_classes=10)
+        assert net.output_shape.channels == 10
+
+
+class TestOtherResNets:
+    def test_resnet18_and_34_mac_ordering(self):
+        r18 = build_resnet18()
+        r34 = build_resnet34()
+        r50 = build_resnet50()
+        assert r18.total_macs < r34.total_macs < r50.total_macs
+
+    def test_resnet18_macs_plausible(self):
+        assert 1.6e9 < build_resnet18().total_macs < 2.0e9
+
+
+class TestOtherNetworks:
+    def test_vgg16_macs_and_params(self):
+        net = build_vgg16()
+        assert 15.0e9 < net.total_macs < 16.0e9
+        assert 135e6 < net.total_weights < 140e6
+
+    def test_alexnet_params_dominated_by_fc(self):
+        net = build_alexnet()
+        assert 55e6 < net.total_weights < 65e6
+
+    def test_mobilenet_is_light(self):
+        net = build_mobilenet_v1()
+        assert net.total_macs < 0.7e9
+        assert net.total_weights < 5e6
+
+    def test_mobilenet_width_multiplier_reduces_cost(self):
+        full = build_mobilenet_v1(width_multiplier=1.0)
+        half = build_mobilenet_v1(width_multiplier=0.5)
+        assert half.total_macs < full.total_macs
+
+    def test_lenet_is_tiny_and_valid(self):
+        net = build_lenet5()
+        assert net.total_macs < 1e7
+        assert net.output_shape.channels == 10

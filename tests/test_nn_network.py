@@ -1,0 +1,102 @@
+"""Unit tests for the Network container and shape resolution."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.nn import ConvLayer, DenseLayer, FlattenLayer, Network, PoolLayer, TensorShape
+from repro.nn.layers import AddLayer
+
+
+def small_network() -> Network:
+    layers = [
+        ConvLayer("conv1", out_channels=8, kernel_size=3, stride=1, padding=1, bias=False),
+        PoolLayer("pool1", kernel_size=2, stride=2),
+        ConvLayer("conv2", out_channels=16, kernel_size=3, stride=1, padding=1, bias=False),
+        FlattenLayer("flatten"),
+        DenseLayer("fc", out_features=10, bias=False),
+    ]
+    return Network("small", TensorShape(8, 8, 3), layers)
+
+
+class TestNetworkShapes:
+    def test_shapes_chain_through_layers(self):
+        net = small_network()
+        infos = net.shape_infos
+        assert infos[0].output_shape.as_tuple() == (8, 8, 8)
+        assert infos[1].output_shape.as_tuple() == (4, 4, 8)
+        assert infos[2].output_shape.as_tuple() == (4, 4, 16)
+        assert net.output_shape.as_tuple() == (1, 1, 10)
+
+    def test_total_macs_is_sum_of_layer_macs(self):
+        net = small_network()
+        assert net.total_macs == sum(info.macs for info in net.shape_infos)
+        assert net.total_macs > 0
+
+    def test_crossbar_layers_excludes_pool_and_flatten(self):
+        net = small_network()
+        names = [info.name for info in net.crossbar_layers]
+        assert names == ["conv1", "conv2", "fc"]
+
+    def test_layer_info_lookup(self):
+        net = small_network()
+        assert net.layer_info("conv2").input_shape.as_tuple() == (4, 4, 8)
+        with pytest.raises(WorkloadError):
+            net.layer_info("missing")
+
+    def test_len_and_iteration(self):
+        net = small_network()
+        assert len(net) == 5
+        assert len(list(net)) == 5
+
+    def test_summary_and_layer_table(self):
+        net = small_network()
+        summary = net.summary()
+        assert summary["num_crossbar_layers"] == 3
+        table = net.layer_table()
+        assert len(table) == 5
+        assert table[0][0] == "conv1"
+
+    def test_largest_activation_scales_with_batch(self):
+        net = small_network()
+        assert net.largest_activation_bits(6, batch_size=4) == 4 * net.largest_activation_bits(6, 1)
+
+    def test_total_weight_bits(self):
+        net = small_network()
+        assert net.total_weight_bits(6) == 6 * net.total_weights
+
+
+class TestBranchInputs:
+    def test_input_from_references_earlier_layer(self):
+        main = ConvLayer("main", out_channels=8, kernel_size=3, padding=1, bias=False)
+        branch = ConvLayer("branch", out_channels=8, kernel_size=1, bias=False)
+        branch.input_from = "main"
+        add = AddLayer("add")
+        add.input_from = "branch"
+        net = Network("branched", TensorShape(8, 8, 4), [main, branch, add])
+        assert net.layer_info("branch").input_shape.channels == 8
+
+    def test_forward_reference_is_rejected(self):
+        first = ConvLayer("first", out_channels=8, kernel_size=3, padding=1)
+        first.input_from = "later"
+        later = ConvLayer("later", out_channels=8, kernel_size=3, padding=1)
+        with pytest.raises(WorkloadError):
+            Network("bad", TensorShape(8, 8, 3), [first, later])
+
+
+class TestNetworkValidation:
+    def test_duplicate_names_rejected(self):
+        layers = [
+            ConvLayer("conv", out_channels=8, kernel_size=3),
+            ConvLayer("conv", out_channels=8, kernel_size=3),
+        ]
+        with pytest.raises(WorkloadError):
+            Network("dup", TensorShape(8, 8, 3), layers)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(WorkloadError):
+            Network("empty", TensorShape(8, 8, 3), [])
+
+    def test_shape_error_mentions_layer_name(self):
+        layers = [ConvLayer("too_big", out_channels=8, kernel_size=11, padding=0)]
+        with pytest.raises(WorkloadError, match="too_big"):
+            Network("bad", TensorShape(4, 4, 3), layers)

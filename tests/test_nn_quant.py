@@ -1,0 +1,107 @@
+"""Unit tests for INT quantisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.nn.quant import (
+    QuantizationParams,
+    dequantize,
+    quantization_snr_db,
+    quantize_tensor,
+    quantize_to_unit_range,
+    split_signed_matrix,
+)
+
+
+class TestQuantizeTensor:
+    def test_codes_within_range(self):
+        rng = np.random.default_rng(0)
+        tensor = rng.normal(size=(32, 32))
+        codes, params = quantize_tensor(tensor, bits=6)
+        assert codes.min() >= 0
+        assert codes.max() <= 63
+        assert params.num_levels == 64
+
+    def test_round_trip_error_bounded_by_half_lsb(self):
+        rng = np.random.default_rng(1)
+        tensor = rng.uniform(-3, 5, size=(100,))
+        codes, params = quantize_tensor(tensor, bits=8)
+        restored = dequantize(codes, params)
+        assert np.max(np.abs(restored - tensor)) <= params.scale / 2 + 1e-12
+
+    def test_symmetric_maps_zero_to_middle_code(self):
+        tensor = np.array([-1.0, 0.0, 1.0])
+        codes, params = quantize_tensor(tensor, bits=6, symmetric=True)
+        assert codes[1] == pytest.approx(round(params.zero_point))
+
+    def test_constant_tensor_does_not_crash(self):
+        codes, params = quantize_tensor(np.full((4,), 2.5), bits=6)
+        restored = dequantize(codes, params)
+        assert np.allclose(restored, 2.5, atol=params.scale)
+
+    def test_higher_bits_give_higher_snr(self):
+        rng = np.random.default_rng(2)
+        tensor = rng.normal(size=(1000,))
+        snrs = []
+        for bits in (2, 4, 6, 8):
+            codes, params = quantize_tensor(tensor, bits=bits)
+            snrs.append(quantization_snr_db(tensor, dequantize(codes, params)))
+        assert snrs == sorted(snrs)
+
+    def test_rejects_empty_and_bad_bits(self):
+        with pytest.raises(WorkloadError):
+            quantize_tensor(np.array([]))
+        with pytest.raises(WorkloadError):
+            quantize_tensor(np.array([1.0]), bits=0)
+
+
+class TestUnitRangeQuantisation:
+    def test_values_snap_to_grid(self):
+        rng = np.random.default_rng(3)
+        tensor = rng.uniform(0, 7, size=(50,))
+        quantised, scale = quantize_to_unit_range(tensor, bits=6)
+        assert np.all(quantised >= 0) and np.all(quantised <= 1)
+        codes = quantised * 63
+        assert np.allclose(codes, np.round(codes), atol=1e-9)
+        assert np.max(np.abs(quantised * scale - tensor)) <= scale / 63 / 2 + 1e-9
+
+    def test_zero_tensor(self):
+        quantised, scale = quantize_to_unit_range(np.zeros(5))
+        assert np.all(quantised == 0)
+        assert scale == 1.0
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(WorkloadError):
+            quantize_to_unit_range(np.array([-0.1, 0.5]))
+
+
+class TestSignedSplit:
+    def test_split_reconstructs_original(self):
+        rng = np.random.default_rng(4)
+        matrix = rng.normal(size=(16, 8))
+        positive, negative = split_signed_matrix(matrix)
+        assert np.allclose(positive - negative, matrix)
+        assert np.all(positive >= 0)
+        assert np.all(negative >= 0)
+
+    def test_split_parts_are_disjoint(self):
+        matrix = np.array([[1.0, -2.0], [0.0, 3.0]])
+        positive, negative = split_signed_matrix(matrix)
+        assert np.all(positive * negative == 0)
+
+
+class TestQuantizationParams:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            QuantizationParams(scale=0.0, zero_point=0.0, bits=6)
+        with pytest.raises(WorkloadError):
+            QuantizationParams(scale=1.0, zero_point=0.0, bits=0)
+
+    def test_snr_handles_identical_arrays(self):
+        data = np.ones(10)
+        assert quantization_snr_db(data, data) == float("inf")
+
+    def test_snr_shape_mismatch(self):
+        with pytest.raises(WorkloadError):
+            quantization_snr_db(np.ones(3), np.ones(4))

@@ -1,0 +1,83 @@
+"""Unit tests for the area model and the metrics roll-up."""
+
+import pytest
+
+from repro.config import ChipConfig, optimal_chip
+from repro.errors import SimulationError
+from repro.perf import AreaModel, evaluate_runtime
+from repro.scalesim.simulator import simulate_network
+
+
+class TestAreaModel:
+    def test_sram_dominates_area_at_the_optimal_point(self, optimal_config):
+        breakdown = AreaModel(optimal_config).breakdown()
+        assert breakdown.dominant_component() == "sram"
+        assert breakdown.fraction("sram") > 0.5
+
+    def test_total_area_in_paper_ballpark(self, optimal_config):
+        # Paper: 121 mm^2; the reproduction should be within ~2x.
+        total = AreaModel(optimal_config).total_area_mm2()
+        assert 60.0 < total < 250.0
+
+    def test_dual_core_duplicates_photonics_but_not_sram(self):
+        single = AreaModel(optimal_chip(num_cores=1)).breakdown()
+        dual = AreaModel(optimal_chip(num_cores=2)).breakdown()
+        assert dual.component("photonic_array") == pytest.approx(
+            2 * single.component("photonic_array")
+        )
+        assert dual.component("adc") == pytest.approx(2 * single.component("adc"))
+        assert dual.component("sram") == pytest.approx(single.component("sram"))
+
+    def test_area_grows_with_array_size(self):
+        small = AreaModel(ChipConfig(rows=32, columns=32)).total_area_mm2()
+        large = AreaModel(ChipConfig(rows=256, columns=256)).total_area_mm2()
+        assert large > small
+
+    def test_exceeds_cap(self, optimal_config):
+        model = AreaModel(optimal_config)
+        assert model.exceeds(10.0)
+        assert not model.exceeds(10_000.0)
+        with pytest.raises(SimulationError):
+            model.exceeds(0.0)
+
+    def test_grouped_area_covers_total(self, optimal_config):
+        breakdown = AreaModel(optimal_config).breakdown()
+        assert sum(breakdown.grouped().values()) == pytest.approx(breakdown.total_mm2)
+
+
+class TestMetricsRollup:
+    def test_metrics_fields_consistent(self, optimal_metrics, optimal_runtime):
+        assert optimal_metrics.inferences_per_second == pytest.approx(
+            optimal_runtime.inferences_per_second
+        )
+        assert optimal_metrics.ips_per_watt == pytest.approx(
+            optimal_metrics.inferences_per_second / optimal_metrics.power_w
+        )
+        assert optimal_metrics.effective_tops_per_watt == pytest.approx(
+            optimal_metrics.effective_tops / optimal_metrics.power_w
+        )
+        assert optimal_metrics.ips_per_mm2 == pytest.approx(
+            optimal_metrics.inferences_per_second / optimal_metrics.area_mm2
+        )
+
+    def test_effective_tops_below_peak(self, optimal_metrics, optimal_config):
+        assert optimal_metrics.effective_tops < optimal_config.peak_tops * optimal_config.num_cores
+
+    def test_summary_contains_headline_metrics(self, optimal_metrics):
+        summary = optimal_metrics.summary()
+        for key in ("ips", "power_w", "ips_per_watt", "area_mm2", "feasible"):
+            assert key in summary
+
+    def test_evaluate_runtime_guards_config_mismatch(self, optimal_runtime):
+        with pytest.raises(SimulationError):
+            evaluate_runtime(optimal_runtime, ChipConfig(rows=16, columns=16))
+
+    def test_evaluate_runtime_accepts_equal_config(self, optimal_runtime, optimal_config):
+        metrics = evaluate_runtime(optimal_runtime, optimal_chip())
+        assert metrics.config == optimal_config
+
+    def test_feasibility_reflects_laser_budget(self, resnet50):
+        huge = ChipConfig(rows=512, columns=512, batch_size=4)
+        runtime = simulate_network(resnet50, huge)
+        metrics = evaluate_runtime(runtime)
+        assert not metrics.feasible

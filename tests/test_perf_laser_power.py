@@ -1,0 +1,61 @@
+"""Unit tests for the laser-power solver."""
+
+import pytest
+
+from repro.config import ChipConfig
+from repro.perf import LaserPowerModel
+
+
+class TestLaserPowerSolver:
+    def test_required_power_grows_with_array_size(self):
+        small = LaserPowerModel(ChipConfig(rows=32, columns=32)).required_optical_power_w()
+        medium = LaserPowerModel(ChipConfig(rows=128, columns=128)).required_optical_power_w()
+        large = LaserPowerModel(ChipConfig(rows=256, columns=256)).required_optical_power_w()
+        assert small < medium < large
+
+    def test_growth_is_superlinear_in_array_cells(self):
+        p64 = LaserPowerModel(ChipConfig(rows=64, columns=64)).required_optical_power_w()
+        p256 = LaserPowerModel(ChipConfig(rows=256, columns=256)).required_optical_power_w()
+        cells_ratio = (256 * 256) / (64 * 64)
+        assert p256 / p64 > cells_ratio
+
+    def test_electrical_power_uses_wall_plug_efficiency(self):
+        model = LaserPowerModel(ChipConfig(rows=64, columns=64))
+        result = model.solve()
+        assert result.electrical_power_w == pytest.approx(
+            result.clamped_optical_power_w / 0.15
+        )
+
+    def test_receiver_power_meets_sensitivity_when_feasible(self):
+        model = LaserPowerModel(ChipConfig(rows=128, columns=128))
+        result = model.solve()
+        assert result.feasible
+        assert result.receiver_power_w >= model.technology.receiver_sensitivity_w * 0.999
+
+    def test_minimum_laser_power_floor_applies_to_tiny_arrays(self):
+        model = LaserPowerModel(ChipConfig(rows=2, columns=2))
+        result = model.solve()
+        assert result.clamped_optical_power_w >= model.technology.laser_min_output_power_w
+
+    def test_huge_arrays_are_flagged_infeasible(self):
+        model = LaserPowerModel(ChipConfig(rows=1024, columns=1024))
+        result = model.solve()
+        assert not result.feasible
+        assert result.clamped_optical_power_w == pytest.approx(
+            model.technology.laser_max_output_power_w
+        )
+
+    def test_optimal_config_laser_power_is_small_fraction_of_chip_power(self, optimal_metrics):
+        # At the 128x128 point the paper's power is dominated by DRAM, not the laser.
+        assert optimal_metrics.laser.electrical_power_w < 0.1 * optimal_metrics.power_w
+
+    def test_as_dict_contains_budget_terms(self):
+        result = LaserPowerModel(ChipConfig(rows=32, columns=32)).solve()
+        data = result.as_dict()
+        assert {"excess_loss_db", "total_loss_db", "electrical_power_w"} <= set(data)
+
+    def test_average_case_budget_needs_less_power(self):
+        config = ChipConfig(rows=128, columns=128)
+        worst = LaserPowerModel(config, worst_case=True).required_optical_power_w()
+        average = LaserPowerModel(config, worst_case=False).required_optical_power_w()
+        assert average < worst

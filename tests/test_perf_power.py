@@ -1,0 +1,103 @@
+"""Unit tests for the chip energy/power model."""
+
+import pytest
+
+from repro.config import ChipConfig, optimal_chip
+from repro.perf.power import PowerModel
+from repro.scalesim.simulator import simulate_network
+
+
+class TestEnergyBreakdown:
+    def test_all_expected_components_present(self, optimal_runtime, optimal_config):
+        energy = PowerModel(optimal_config).energy_breakdown(optimal_runtime)
+        expected = {
+            "odac",
+            "adc",
+            "tia",
+            "serdes",
+            "clocking",
+            "laser",
+            "accumulator",
+            "activation",
+            "sram",
+            "dram",
+            "pcm_programming",
+            "thermal_tuning",
+            "phase_shifters",
+            "sram_leakage",
+            "control",
+        }
+        assert expected <= set(energy.components_j)
+        assert all(value >= 0 for value in energy.components_j.values())
+
+    def test_total_is_sum_of_components(self, optimal_runtime, optimal_config):
+        energy = PowerModel(optimal_config).energy_breakdown(optimal_runtime)
+        assert energy.total_j == pytest.approx(sum(energy.components_j.values()))
+
+    def test_fraction_and_component_lookup(self, optimal_runtime, optimal_config):
+        energy = PowerModel(optimal_config).energy_breakdown(optimal_runtime)
+        assert 0 < energy.fraction("dram") < 1
+        assert energy.component("unknown") == 0.0
+        grouped = energy.grouped()
+        assert grouped["dram"] == pytest.approx(energy.component("dram"))
+
+    def test_dram_energy_matches_traffic_times_energy_per_bit(
+        self, optimal_runtime, optimal_config
+    ):
+        energy = PowerModel(optimal_config).energy_breakdown(optimal_runtime)
+        expected = optimal_runtime.total_dram_bits * optimal_config.dram_energy_per_bit_j
+        assert energy.component("dram") == pytest.approx(expected)
+
+    def test_adc_energy_scales_with_columns(self, resnet50):
+        narrow_cfg = ChipConfig(rows=64, columns=32, batch_size=4)
+        wide_cfg = ChipConfig(rows=64, columns=64, batch_size=4)
+        narrow_rt = simulate_network(resnet50, narrow_cfg)
+        wide_rt = simulate_network(resnet50, wide_cfg)
+        narrow_adc_per_cycle = (
+            PowerModel(narrow_cfg).energy_breakdown(narrow_rt).component("adc")
+            / narrow_rt.total_compute_cycles
+        )
+        wide_adc_per_cycle = (
+            PowerModel(wide_cfg).energy_breakdown(wide_rt).component("adc")
+            / wide_rt.total_compute_cycles
+        )
+        assert wide_adc_per_cycle == pytest.approx(2 * narrow_adc_per_cycle, rel=1e-6)
+
+
+class TestPowerBreakdown:
+    def test_power_is_energy_divided_by_latency(self, optimal_runtime, optimal_config):
+        model = PowerModel(optimal_config)
+        energy = model.energy_breakdown(optimal_runtime)
+        power = model.power_breakdown(optimal_runtime)
+        assert power.total_w == pytest.approx(energy.total_j / optimal_runtime.batch_latency_s)
+
+    def test_dram_is_the_dominant_power_component_at_the_optimum(
+        self, optimal_runtime, optimal_config
+    ):
+        power = PowerModel(optimal_config).power_breakdown(optimal_runtime)
+        assert power.dominant_component() == "dram"
+
+    def test_total_power_in_paper_ballpark(self, optimal_runtime, optimal_config):
+        # Paper: ~30 W for the optimal design point.
+        total = PowerModel(optimal_config).total_power_w(optimal_runtime)
+        assert 10.0 < total < 60.0
+
+    def test_energy_per_inference_consistency(self, optimal_runtime, optimal_config):
+        model = PowerModel(optimal_config)
+        per_inference = model.energy_per_inference_j(optimal_runtime)
+        assert per_inference == pytest.approx(
+            model.energy_breakdown(optimal_runtime).total_j / optimal_runtime.batch_size
+        )
+
+    def test_pcie_dram_costs_more_power_than_hbm(self, resnet50):
+        hbm_cfg = optimal_chip(dram_kind="hbm")
+        pcie_cfg = optimal_chip(dram_kind="pcie")
+        hbm_rt = simulate_network(resnet50, hbm_cfg)
+        pcie_rt = simulate_network(resnet50, pcie_cfg)
+        hbm_dram = PowerModel(hbm_cfg).power_breakdown(hbm_rt).component("dram")
+        pcie_dram = PowerModel(pcie_cfg).power_breakdown(pcie_rt).component("dram")
+        assert pcie_dram > 2 * hbm_dram
+
+    def test_grouped_power_covers_total(self, optimal_runtime, optimal_config):
+        power = PowerModel(optimal_config).power_breakdown(optimal_runtime)
+        assert sum(power.grouped().values()) == pytest.approx(power.total_w)

@@ -1,0 +1,60 @@
+"""Unit tests for the directional-coupler model."""
+
+import pytest
+
+from repro.errors import DeviceModelError
+from repro.photonics import DirectionalCoupler
+
+
+class TestCouplerSplitting:
+    def test_fifty_fifty_coupler_splits_field_equally(self):
+        dc = DirectionalCoupler(kappa=0.5, excess_loss_db=0.0)
+        through, cross = dc.split(1.0 + 0j)
+        assert abs(through) == pytest.approx(abs(cross))
+        assert abs(through) == pytest.approx(0.5**0.5)
+
+    def test_power_conservation_without_excess_loss(self):
+        for kappa in (0.0, 0.1, 0.37, 0.5, 0.9, 1.0):
+            dc = DirectionalCoupler(kappa=kappa, excess_loss_db=0.0)
+            assert dc.through_power + dc.cross_power == pytest.approx(1.0)
+            assert dc.is_power_conserving()
+
+    def test_excess_loss_reduces_both_outputs(self):
+        lossless = DirectionalCoupler(kappa=0.3, excess_loss_db=0.0)
+        lossy = DirectionalCoupler(kappa=0.3, excess_loss_db=0.5)
+        assert lossy.through_power < lossless.through_power
+        assert lossy.cross_power < lossless.cross_power
+        assert lossy.is_power_conserving()
+
+    def test_cross_port_has_quadrature_phase(self):
+        dc = DirectionalCoupler(kappa=0.5, excess_loss_db=0.0)
+        _, cross = dc.split(1.0 + 0j)
+        assert cross.real == pytest.approx(0.0, abs=1e-12)
+        assert cross.imag > 0
+
+    def test_full_coupling_routes_everything_to_cross_port(self):
+        dc = DirectionalCoupler(kappa=1.0, excess_loss_db=0.0)
+        through, cross = dc.split(1.0)
+        assert abs(through) == pytest.approx(0.0)
+        assert abs(cross) == pytest.approx(1.0)
+
+
+class TestCouplerCombining:
+    def test_combine_adds_injected_field(self):
+        dc = DirectionalCoupler(kappa=0.25, excess_loss_db=0.0)
+        combined = dc.combine(1.0 + 0j, 0.0 + 0j)
+        only_injection = dc.combine(0.0 + 0j, 1.0 + 0j)
+        assert abs(combined) == pytest.approx((1 - 0.25) ** 0.5)
+        assert abs(only_injection) == pytest.approx(0.25**0.5)
+
+
+class TestCouplerValidation:
+    def test_rejects_kappa_outside_unit_interval(self):
+        with pytest.raises(DeviceModelError):
+            DirectionalCoupler(kappa=-0.1)
+        with pytest.raises(DeviceModelError):
+            DirectionalCoupler(kappa=1.1)
+
+    def test_rejects_negative_excess_loss(self):
+        with pytest.raises(DeviceModelError):
+            DirectionalCoupler(kappa=0.5, excess_loss_db=-0.1)

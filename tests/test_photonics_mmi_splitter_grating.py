@@ -1,0 +1,114 @@
+"""Unit tests for MMI crossings/splitters, the splitter tree and grating couplers."""
+
+import math
+
+import pytest
+
+from repro.errors import DeviceModelError
+from repro.photonics import GratingCoupler, MMICrossing, MMISplitter, SplitterTree
+
+
+class TestMMICrossing:
+    def test_cascade_loss_is_linear_in_crossings(self):
+        crossing = MMICrossing(insertion_loss_db=0.018)
+        assert crossing.cascade_loss_db(0) == pytest.approx(0.0)
+        assert crossing.cascade_loss_db(127) == pytest.approx(127 * 0.018)
+
+    def test_cascade_transmission_decays_exponentially(self):
+        crossing = MMICrossing(insertion_loss_db=0.1)
+        t10 = crossing.cascade_transmission(10)
+        t20 = crossing.cascade_transmission(20)
+        assert t20 == pytest.approx(t10**2)
+
+    def test_field_transmission_is_sqrt_of_power(self):
+        crossing = MMICrossing(insertion_loss_db=0.5)
+        assert crossing.field_transmission == pytest.approx(math.sqrt(crossing.power_transmission))
+
+    def test_crosstalk_fraction_small(self):
+        crossing = MMICrossing(crosstalk_db=-40.0)
+        assert crossing.crosstalk_power_fraction == pytest.approx(1e-4)
+
+    def test_rejects_negative_crossing_count(self):
+        with pytest.raises(DeviceModelError):
+            MMICrossing().cascade_loss_db(-1)
+
+    def test_rejects_positive_crosstalk(self):
+        with pytest.raises(DeviceModelError):
+            MMICrossing(crosstalk_db=3.0)
+
+
+class TestMMISplitter:
+    def test_balanced_splitter_halves_power(self):
+        splitter = MMISplitter(excess_loss_db=0.0, imbalance_db=0.0)
+        a, b = splitter.output_powers(1.0)
+        assert a == pytest.approx(0.5)
+        assert b == pytest.approx(0.5)
+
+    def test_imbalance_shifts_power_between_arms(self):
+        splitter = MMISplitter(excess_loss_db=0.0, imbalance_db=3.0)
+        a, b = splitter.output_powers(1.0)
+        assert a > b
+        assert a + b == pytest.approx(1.0)
+        assert a / b == pytest.approx(10 ** 0.3, rel=5e-3)
+
+    def test_excess_loss_reduces_total_output(self):
+        splitter = MMISplitter(excess_loss_db=0.1)
+        a, b = splitter.output_powers(1.0)
+        assert a + b < 1.0
+
+    def test_rejects_negative_input_power(self):
+        with pytest.raises(DeviceModelError):
+            MMISplitter().output_powers(-1.0)
+
+
+class TestSplitterTree:
+    def test_single_output_tree_has_no_splitting_loss(self):
+        tree = SplitterTree(num_outputs=1, excess_loss_db=0.0)
+        assert tree.num_stages == 0
+        assert tree.total_loss_db == pytest.approx(0.0)
+
+    def test_stage_and_splitter_counts(self):
+        tree = SplitterTree(num_outputs=128)
+        assert tree.num_stages == 7
+        assert tree.num_splitters == 127
+
+    def test_per_output_field_is_one_over_sqrt_n_ideal(self):
+        tree = SplitterTree(num_outputs=64, excess_loss_db=0.0)
+        assert tree.per_output_field_fraction == pytest.approx(1.0 / math.sqrt(64))
+
+    def test_output_power_conserved_over_all_leaves_without_excess(self):
+        tree = SplitterTree(num_outputs=32, excess_loss_db=0.0)
+        assert 32 * tree.output_power_w(1.0) == pytest.approx(1.0)
+
+    def test_excess_loss_adds_to_splitting_loss(self):
+        tree = SplitterTree(num_outputs=8, excess_loss_db=0.8)
+        assert tree.total_loss_db == pytest.approx(10 * math.log10(8) + 0.8)
+
+    def test_stage_splitters_cover_total_excess_loss(self):
+        tree = SplitterTree(num_outputs=16, excess_loss_db=0.8)
+        stages = tree.build_stage_splitters()
+        assert len(stages) == tree.num_stages
+        assert sum(s.excess_loss_db for s in stages) == pytest.approx(0.8)
+
+    def test_rejects_bad_output_count(self):
+        with pytest.raises(DeviceModelError):
+            SplitterTree(num_outputs=0)
+
+
+class TestGratingCoupler:
+    def test_default_two_db_loss(self):
+        gc = GratingCoupler()
+        assert gc.insertion_loss_db == pytest.approx(2.0)
+        assert gc.power_transmission == pytest.approx(10 ** -0.2)
+
+    def test_couple_scales_power(self):
+        gc = GratingCoupler(insertion_loss_db=3.0)
+        assert gc.couple(2.0) == pytest.approx(1.0, rel=5e-3)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(DeviceModelError):
+            GratingCoupler().couple(-1.0)
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(DeviceModelError):
+            GratingCoupler(insertion_loss_db=-2.0)

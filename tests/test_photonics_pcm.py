@@ -1,0 +1,106 @@
+"""Unit tests for the PCM cell model and weight-matrix quantisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProgrammingError
+from repro.photonics import PCMCell, PCMState
+from repro.photonics.pcm import quantize_weight_matrix
+
+
+class TestPCMCellProgramming:
+    def test_default_cell_has_64_levels(self):
+        cell = PCMCell()
+        assert cell.levels == 64
+
+    def test_level_to_transmission_endpoints(self):
+        cell = PCMCell()
+        assert cell.level_to_transmission(0) == pytest.approx(0.0)
+        assert cell.level_to_transmission(63) == pytest.approx(1.0)
+
+    def test_program_quantises_to_nearest_level(self):
+        cell = PCMCell()
+        result = cell.program(0.5)
+        assert abs(result["transmission"] - 0.5) <= 0.5 / 63
+        assert cell.transmission == pytest.approx(result["transmission"])
+
+    def test_program_returns_energy_and_time(self):
+        cell = PCMCell()
+        result = cell.program(0.25)
+        assert result["energy_j"] == pytest.approx(100e-12)
+        assert result["time_s"] == pytest.approx(100e-9)
+
+    def test_write_count_increments(self):
+        cell = PCMCell()
+        assert cell.write_count == 0
+        cell.program(0.1)
+        cell.program(0.9)
+        assert cell.write_count == 2
+
+    def test_state_classification(self):
+        cell = PCMCell()
+        cell.program(1.0)
+        assert cell.state is PCMState.AMORPHOUS
+        cell.program(0.0)
+        assert cell.state is PCMState.CRYSTALLINE
+        cell.program(0.5)
+        assert cell.state is PCMState.INTERMEDIATE
+
+    def test_apply_attenuates_field(self):
+        cell = PCMCell()
+        cell.program(0.5)
+        assert abs(cell.apply(1.0 + 0j)) == pytest.approx(cell.transmission)
+
+    def test_quantization_error_bounded_by_half_lsb(self):
+        cell = PCMCell()
+        lsb = 1.0 / 63
+        for target in np.linspace(0, 1, 101):
+            assert cell.quantization_error(float(target)) <= lsb / 2 + 1e-12
+
+    def test_transmission_to_level_round_trip(self):
+        cell = PCMCell()
+        for level in (0, 1, 31, 62, 63):
+            assert cell.transmission_to_level(cell.level_to_transmission(level)) == level
+
+    def test_rejects_out_of_range_target(self):
+        cell = PCMCell()
+        with pytest.raises(ProgrammingError):
+            cell.program(1.5)
+        with pytest.raises(ProgrammingError):
+            cell.program(-0.1)
+
+    def test_rejects_out_of_range_level(self):
+        with pytest.raises(ProgrammingError):
+            PCMCell().program_level(64)
+
+    def test_rejects_invalid_construction(self):
+        with pytest.raises(ProgrammingError):
+            PCMCell(levels=1)
+        with pytest.raises(ProgrammingError):
+            PCMCell(min_transmission=0.8, max_transmission=0.2)
+
+
+class TestWeightMatrixQuantisation:
+    def test_quantised_values_lie_on_grid(self):
+        rng = np.random.default_rng(0)
+        weights = rng.uniform(0, 1, (16, 16))
+        quantised = quantize_weight_matrix(weights, levels=64)
+        codes = quantised * 63
+        assert np.allclose(codes, np.round(codes), atol=1e-9)
+
+    def test_quantisation_error_bounded(self):
+        rng = np.random.default_rng(1)
+        weights = rng.uniform(0, 1, (32, 8))
+        quantised = quantize_weight_matrix(weights, levels=64)
+        assert np.max(np.abs(quantised - weights)) <= 0.5 / 63 + 1e-12
+
+    def test_idempotent_on_grid_values(self):
+        weights = np.linspace(0, 1, 64).reshape(8, 8)
+        quantised = quantize_weight_matrix(weights, levels=64)
+        assert np.allclose(quantised, weights)
+
+    def test_rejects_out_of_range_weights(self):
+        with pytest.raises(ProgrammingError):
+            quantize_weight_matrix(np.array([[1.2]]))
+        with pytest.raises(ProgrammingError):
+            quantize_weight_matrix(np.array([[-0.2]]))

@@ -1,0 +1,114 @@
+"""Unit tests for the coherent receiver, phase shifter and laser models."""
+
+import math
+
+import pytest
+
+from repro.errors import DeviceModelError
+from repro.photonics import (
+    BalancedPhotodiode,
+    CoherentReceiverFrontEnd,
+    LaserSource,
+    ThermalPhaseShifter,
+)
+
+
+class TestBalancedPhotodiode:
+    def test_balanced_current_formula(self):
+        pd = BalancedPhotodiode(responsivity_a_per_w=1.0)
+        current = pd.balanced_current(1e-3, 1e-6)
+        assert current == pytest.approx(2.0 * math.sqrt(1e-3 * 1e-6))
+
+    def test_balanced_current_grows_with_both_powers(self):
+        pd = BalancedPhotodiode()
+        assert pd.balanced_current(1e-3, 4e-6) > pd.balanced_current(1e-3, 1e-6)
+        assert pd.balanced_current(4e-3, 1e-6) > pd.balanced_current(1e-3, 1e-6)
+
+    def test_shot_noise_grows_with_power(self):
+        pd = BalancedPhotodiode()
+        assert pd.shot_noise_current_a(1e-3) > pd.shot_noise_current_a(1e-6)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(DeviceModelError):
+            BalancedPhotodiode().balanced_current(-1.0, 1e-6)
+
+
+class TestCoherentReceiverFrontEnd:
+    def test_snr_improves_with_signal_power(self):
+        rx = CoherentReceiverFrontEnd()
+        assert rx.snr(1e-3, 1e-5) > rx.snr(1e-3, 1e-7)
+
+    def test_effective_bits_monotonic_in_signal(self):
+        rx = CoherentReceiverFrontEnd()
+        assert rx.effective_bits(1e-3, 1e-5) >= rx.effective_bits(1e-3, 1e-7)
+
+    def test_minimum_signal_power_achieves_target_bits(self):
+        rx = CoherentReceiverFrontEnd()
+        target = 6.0
+        power = rx.minimum_signal_power_for_bits(target, lo_power_w=1e-3)
+        assert rx.effective_bits(1e-3, power) >= target - 0.05
+
+    def test_minimum_signal_power_zero_for_zero_bits(self):
+        assert CoherentReceiverFrontEnd().minimum_signal_power_for_bits(0.0) == 0.0
+
+    def test_shot_noise_limited_photon_count_reasonable(self):
+        rx = CoherentReceiverFrontEnd()
+        photons = rx.shot_noise_limited_photons_per_symbol(6.0)
+        assert 100 < photons < 1e6
+
+    def test_output_voltage_scales_with_transimpedance(self):
+        small = CoherentReceiverFrontEnd(tia_transimpedance_ohm=1e3)
+        large = CoherentReceiverFrontEnd(tia_transimpedance_ohm=10e3)
+        assert large.output_voltage(1e-3, 1e-6) == pytest.approx(
+            10 * small.output_voltage(1e-3, 1e-6)
+        )
+
+
+class TestThermalPhaseShifter:
+    def test_power_for_pi_phase(self):
+        ps = ThermalPhaseShifter(power_per_pi_w=20e-3)
+        assert ps.power_for_phase(math.pi) == pytest.approx(20e-3)
+        assert ps.power_for_phase(math.pi / 2) == pytest.approx(10e-3)
+
+    def test_apply_rotates_phase(self):
+        ps = ThermalPhaseShifter(insertion_loss_db=0.0)
+        out = ps.apply(1.0 + 0j, math.pi / 2)
+        assert out.real == pytest.approx(0.0, abs=1e-12)
+        assert out.imag == pytest.approx(1.0)
+
+    def test_correction_phase_cancels_error(self):
+        ps = ThermalPhaseShifter()
+        error = 0.7
+        correction = ps.correction_phase(error)
+        assert (error + correction) % (2 * math.pi) == pytest.approx(0.0, abs=1e-12)
+
+    def test_apply_rejects_out_of_range_phase(self):
+        with pytest.raises(DeviceModelError):
+            ThermalPhaseShifter().apply(1.0, 100.0)
+
+
+class TestLaserSource:
+    def test_electrical_power_uses_wall_plug_efficiency(self):
+        laser = LaserSource(wall_plug_efficiency=0.15)
+        assert laser.electrical_power_w(0.15) == pytest.approx(1.0)
+
+    def test_optical_power_round_trip(self):
+        laser = LaserSource(wall_plug_efficiency=0.25)
+        assert laser.optical_power_w(laser.electrical_power_w(0.1)) == pytest.approx(0.1)
+
+    def test_clamp_raises_below_minimum_to_minimum(self):
+        laser = LaserSource(min_output_power_w=1e-3)
+        assert laser.clamp_output_power(1e-6) == pytest.approx(1e-3)
+
+    def test_clamp_rejects_requests_above_maximum(self):
+        laser = LaserSource(max_output_power_w=1.0)
+        with pytest.raises(DeviceModelError):
+            laser.clamp_output_power(2.0)
+
+    def test_rin_fraction_scales_with_bandwidth(self):
+        laser = LaserSource()
+        assert laser.rin_power_fraction(10e9) == pytest.approx(10 * laser.rin_power_fraction(1e9))
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(DeviceModelError):
+            LaserSource(wall_plug_efficiency=0.0)

@@ -1,0 +1,57 @@
+"""Unit tests for the waveguide propagation model."""
+
+import cmath
+
+import pytest
+
+from repro.errors import DeviceModelError
+from repro.photonics import Waveguide
+
+
+class TestWaveguideLoss:
+    def test_loss_scales_linearly_with_length(self):
+        one_cm = Waveguide(length_m=0.01, loss_db_per_cm=3.0)
+        two_cm = Waveguide(length_m=0.02, loss_db_per_cm=3.0)
+        assert one_cm.loss_db == pytest.approx(3.0)
+        assert two_cm.loss_db == pytest.approx(6.0)
+
+    def test_power_transmission_of_3db_segment(self):
+        wg = Waveguide(length_m=0.01, loss_db_per_cm=3.0)
+        assert wg.power_transmission == pytest.approx(0.5, rel=5e-3)
+
+    def test_field_transmission_is_sqrt_of_power(self):
+        wg = Waveguide(length_m=0.005)
+        assert wg.field_transmission == pytest.approx(wg.power_transmission**0.5)
+
+    def test_zero_length_is_lossless(self):
+        wg = Waveguide(length_m=0.0)
+        assert wg.power_transmission == pytest.approx(1.0)
+        assert wg.phase_rad == pytest.approx(0.0)
+
+
+class TestWaveguidePropagation:
+    def test_propagate_applies_loss_and_phase(self):
+        wg = Waveguide(length_m=100e-6)
+        out = wg.propagate(1.0 + 0j)
+        assert abs(out) == pytest.approx(wg.field_transmission)
+        assert cmath.phase(out) == pytest.approx(
+            cmath.phase(cmath.exp(-1j * wg.phase_rad))
+        )
+
+    def test_group_delay_positive_and_plausible(self):
+        wg = Waveguide(length_m=3.84e-3)  # a 128-cell row at 30 um pitch
+        assert 1e-12 < wg.group_delay_s < 1e-9
+
+
+class TestWaveguideValidation:
+    def test_rejects_negative_length(self):
+        with pytest.raises(DeviceModelError):
+            Waveguide(length_m=-1e-6)
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(DeviceModelError):
+            Waveguide(length_m=1e-6, loss_db_per_cm=-3.0)
+
+    def test_rejects_bad_wavelength(self):
+        with pytest.raises(DeviceModelError):
+            Waveguide(length_m=1e-6, wavelength_m=0.0)

@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for unit conversions and quantisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import constants
+from repro.nn.quant import dequantize, quantize_tensor, quantize_to_unit_range, split_signed_matrix
+from repro.photonics.pcm import quantize_weight_matrix
+
+
+class TestDecibelProperties:
+    @given(st.floats(min_value=-80.0, max_value=80.0))
+    def test_db_linear_round_trip(self, db):
+        assert constants.linear_to_db(constants.db_to_linear(db)) == pytest.approx(db, abs=1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=200.0))
+    def test_loss_transmission_round_trip(self, loss_db):
+        transmission = constants.loss_db_to_transmission(loss_db)
+        assert 0.0 < transmission <= 1.0
+        assert constants.transmission_to_loss_db(transmission) == pytest.approx(loss_db, abs=1e-6)
+
+    @given(st.floats(min_value=0.0, max_value=100.0), st.floats(min_value=0.0, max_value=100.0))
+    def test_losses_compose_additively_in_db(self, loss_a, loss_b):
+        combined = constants.loss_db_to_transmission(loss_a + loss_b)
+        separate = constants.loss_db_to_transmission(loss_a) * constants.loss_db_to_transmission(loss_b)
+        assert combined == pytest.approx(separate, rel=1e-9)
+
+    @given(st.floats(min_value=1e-9, max_value=1e3))
+    def test_dbm_watt_round_trip(self, watts):
+        assert constants.dbm_to_watts(constants.watts_to_dbm(watts)) == pytest.approx(watts, rel=1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=120.0))
+    def test_field_transmission_squares_to_power_transmission(self, loss_db):
+        field = constants.field_transmission_from_loss_db(loss_db)
+        assert field**2 == pytest.approx(constants.loss_db_to_transmission(loss_db), rel=1e-9)
+
+
+class TestQuantisationProperties:
+    @given(
+        arrays(
+            dtype=float,
+            shape=st.tuples(st.integers(1, 20), st.integers(1, 20)),
+            elements=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+        ),
+        st.integers(min_value=2, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quantize_dequantize_error_bounded_by_half_lsb(self, tensor, bits):
+        codes, params = quantize_tensor(tensor, bits=bits)
+        restored = dequantize(codes, params)
+        assert np.all(codes >= 0) and np.all(codes <= params.max_code)
+        assert np.max(np.abs(restored - tensor)) <= params.scale / 2 + 1e-9
+
+    @given(
+        arrays(
+            dtype=float,
+            shape=st.tuples(st.integers(1, 16), st.integers(1, 16)),
+            elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pcm_weight_quantisation_is_idempotent_and_bounded(self, weights):
+        quantised = quantize_weight_matrix(weights, levels=64)
+        again = quantize_weight_matrix(quantised, levels=64)
+        assert np.allclose(quantised, again)
+        assert np.all(quantised >= 0.0) and np.all(quantised <= 1.0)
+        assert np.max(np.abs(quantised - weights)) <= 0.5 / 63 + 1e-9
+
+    @given(
+        arrays(
+            dtype=float,
+            shape=st.integers(1, 200),
+            elements=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_unit_range_quantisation_reconstruction(self, tensor):
+        quantised, scale = quantize_to_unit_range(tensor, bits=6)
+        assert np.all(quantised >= 0.0) and np.all(quantised <= 1.0)
+        assert np.max(np.abs(quantised * scale - tensor)) <= scale / 63 / 2 + 1e-6
+
+    @given(
+        arrays(
+            dtype=float,
+            shape=st.tuples(st.integers(1, 10), st.integers(1, 10)),
+            elements=st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_signed_split_invariants(self, matrix):
+        positive, negative = split_signed_matrix(matrix)
+        assert np.allclose(positive - negative, matrix)
+        assert np.all(positive >= 0) and np.all(negative >= 0)
+        assert np.all(positive * negative == 0)

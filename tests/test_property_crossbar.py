@@ -1,0 +1,120 @@
+"""Property-based tests for the functional crossbar and its coupling design."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.crossbar import CrossbarArray, design_input_coupling, design_output_coupling
+from repro.crossbar.dual_core import DualCoreCrossbar, ProgrammingJob
+
+
+class TestCouplingDesignProperties:
+    @given(st.integers(1, 512))
+    @settings(max_examples=60, deadline=None)
+    def test_input_coupling_distributes_power_equally(self, columns):
+        k_in = design_input_coupling(columns)
+        remaining = 1.0
+        for kappa in k_in:
+            tapped = remaining * kappa
+            assert tapped == pytest.approx(1.0 / columns, rel=1e-9)
+            remaining *= 1.0 - kappa
+        assert remaining == pytest.approx(0.0, abs=1e-9)
+
+    @given(st.integers(1, 512))
+    @settings(max_examples=60, deadline=None)
+    def test_output_coupling_weighs_all_rows_equally(self, rows):
+        k_out = design_output_coupling(rows)
+        # Work in log-space to stay accurate for large N.  Walking from the
+        # bottom row upwards, `log_tail` accumulates the through-transmissions
+        # a row's contribution must still traverse on its way to the detector.
+        log_tail = 0.0
+        contributions = []
+        for i in reversed(range(rows)):
+            contributions.append(0.5 * math.log(k_out[i]) + log_tail)
+            if k_out[i] < 1.0:
+                log_tail += 0.5 * math.log1p(-k_out[i])
+        expected = -0.5 * math.log(rows)
+        assert np.allclose(contributions, expected, atol=1e-9)
+
+
+class TestCrossbarMatvecProperties:
+    @given(
+        st.integers(2, 24),
+        st.integers(1, 16),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matvec_matches_quantised_linear_algebra(self, rows, columns, data):
+        weights = data.draw(
+            arrays(float, (rows, columns), elements=st.floats(0.0, 1.0, allow_nan=False))
+        )
+        inputs = data.draw(
+            arrays(float, (rows,), elements=st.floats(0.0, 1.0, allow_nan=False))
+        )
+        array = CrossbarArray(rows, columns)
+        array.program_weights(weights)
+        analog = array.matvec(inputs, quantize_output=False)
+        reference = array.weights.T @ array.odac.modulate(inputs)
+        assert np.allclose(analog, reference, atol=1e-9)
+        # Outputs are bounded by the array's physical full scale.
+        quantised = array.matvec(inputs, quantize_output=True)
+        assert np.all(quantised >= 0.0) and np.all(quantised <= rows + 1e-9)
+
+    @given(st.integers(2, 16), st.integers(2, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_weights_or_inputs_give_zero_output(self, rows, columns):
+        array = CrossbarArray(rows, columns)
+        array.program_weights(np.zeros((rows, columns)))
+        assert np.allclose(array.matvec(np.ones(rows), quantize_output=False), 0.0)
+        array.program_weights(np.ones((rows, columns)))
+        assert np.allclose(array.matvec(np.zeros(rows), quantize_output=False), 0.0)
+
+    @given(st.integers(2, 12), st.integers(1, 12), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_monotonicity_in_inputs(self, rows, columns, data):
+        """Increasing any non-negative input never decreases any output."""
+        weights = data.draw(
+            arrays(float, (rows, columns), elements=st.floats(0.0, 1.0, allow_nan=False))
+        )
+        inputs = data.draw(
+            arrays(float, (rows,), elements=st.floats(0.0, 0.9, allow_nan=False))
+        )
+        index = data.draw(st.integers(0, rows - 1))
+        array = CrossbarArray(rows, columns)
+        array.program_weights(weights)
+        base = array.matvec(inputs, quantize_output=False)
+        bumped_inputs = inputs.copy()
+        bumped_inputs[index] = min(1.0, bumped_inputs[index] + 0.1)
+        bumped = array.matvec(bumped_inputs, quantize_output=False)
+        assert np.all(bumped >= base - 1e-12)
+
+
+class TestDualCoreScheduleProperties:
+    job_list = st.lists(
+        st.builds(
+            ProgrammingJob,
+            name=st.just("job"),
+            programming_time_s=st.floats(0.0, 1e-5),
+            compute_time_s=st.floats(0.0, 1e-5),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+
+    @given(job_list)
+    @settings(max_examples=60, deadline=None)
+    def test_dual_core_between_half_and_full_single_core_time(self, jobs):
+        jobs = [
+            ProgrammingJob(f"job{i}", job.programming_time_s, job.compute_time_s)
+            for i, job in enumerate(jobs)
+        ]
+        single = DualCoreCrossbar(1).makespan_s(jobs)
+        dual = DualCoreCrossbar(2).makespan_s(jobs)
+        assert dual <= single + 1e-15
+        assert dual >= 0.5 * single - 1e-15
+        total_compute = sum(job.compute_time_s for job in jobs)
+        assert dual >= total_compute - 1e-15

@@ -1,0 +1,128 @@
+"""Property-based tests for the tiling, traffic and latency models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ChipConfig, SramConfig
+from repro.nn import ConvLayer, Network, TensorShape
+from repro.nn.im2col import GemmShape, conv_to_gemm
+from repro.scalesim.latency import compute_layer_latency
+from repro.scalesim.tiling import GemmTiling
+from repro.scalesim.traffic import compute_layer_traffic
+
+gemm_strategy = st.builds(
+    GemmShape,
+    layer_name=st.just("layer"),
+    m=st.integers(1, 5000),
+    k=st.integers(1, 3000),
+    n=st.integers(1, 3000),
+)
+
+array_dim = st.sampled_from([8, 16, 32, 64, 128, 256])
+
+
+class TestTilingProperties:
+    @given(gemm_strategy, array_dim, array_dim)
+    @settings(max_examples=100, deadline=None)
+    def test_tiles_cover_the_weight_matrix(self, gemm, rows, columns):
+        tiling = GemmTiling(gemm=gemm, rows=rows, columns=columns)
+        assert tiling.k_tiles * rows >= gemm.k
+        assert tiling.n_tiles * columns >= gemm.n
+        assert (tiling.k_tiles - 1) * rows < gemm.k
+        assert (tiling.n_tiles - 1) * columns < gemm.n
+
+    @given(gemm_strategy, array_dim, array_dim, st.integers(1, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_utilisation_and_cycles_invariants(self, gemm, rows, columns, batch):
+        tiling = GemmTiling(gemm=gemm, rows=rows, columns=columns)
+        assert 0.0 < tiling.cell_utilization <= 1.0
+        assert 0.0 < tiling.mac_utilization(batch) <= 1.0
+        assert tiling.compute_cycles(batch) == batch * tiling.compute_cycles(1)
+        # Real MACs never exceed what the array could do in those cycles.
+        assert gemm.macs * batch <= tiling.compute_cycles(batch) * rows * columns
+
+    @given(gemm_strategy, array_dim, array_dim)
+    @settings(max_examples=100, deadline=None)
+    def test_programmed_cells_never_exceed_allocated(self, gemm, rows, columns):
+        tiling = GemmTiling(gemm=gemm, rows=rows, columns=columns)
+        assert tiling.programmed_cells <= tiling.allocated_cells
+
+
+class TestLatencyProperties:
+    @given(gemm_strategy, array_dim, array_dim, st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_dual_core_never_slower_and_both_exceed_compute_time(
+        self, gemm, rows, columns, batch
+    ):
+        tiling = GemmTiling(gemm=gemm, rows=rows, columns=columns)
+        single_cfg = ChipConfig(rows=rows, columns=columns, batch_size=batch, num_cores=1)
+        dual_cfg = ChipConfig(rows=rows, columns=columns, batch_size=batch, num_cores=2)
+        single = compute_layer_latency("l", tiling, single_cfg)
+        dual = compute_layer_latency("l", tiling, dual_cfg)
+        assert dual.latency_s <= single.latency_s * (1 + 1e-12)
+        assert single.latency_s >= single.compute_time_s
+        assert dual.latency_s >= dual.compute_time_s
+        # Dual core can at best halve the latency.
+        assert dual.latency_s >= 0.5 * single.latency_s * (1 - 1e-12)
+
+
+class TestTrafficProperties:
+    @given(
+        st.integers(4, 64),   # feature map size
+        st.integers(1, 32),   # input channels
+        st.integers(1, 64),   # output channels
+        array_dim,
+        array_dim,
+        st.integers(1, 32),   # batch
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_traffic_is_non_negative_and_scales_sensibly(
+        self, size, in_channels, out_channels, rows, columns, batch, first_layer
+    ):
+        layer = ConvLayer("conv", out_channels=out_channels, kernel_size=3, padding=1, bias=False)
+        network = Network("n", TensorShape(size, size, in_channels), [layer])
+        info = network.shape_infos[0]
+        gemm = conv_to_gemm(layer, info.input_shape)
+        config = ChipConfig(
+            rows=rows,
+            columns=columns,
+            batch_size=batch,
+            sram=SramConfig(input_mb=1.0, filter_mb=0.5, output_mb=0.25, accumulator_mb=0.25),
+        )
+        tiling = GemmTiling(gemm=gemm, rows=rows, columns=columns)
+        traffic = compute_layer_traffic(info, gemm, tiling, config, first_layer)
+
+        assert traffic.sram_bits >= 0 and traffic.dram_bits >= 0
+        # Weights must be read from DRAM at least once per batch.
+        assert traffic.dram_read_bits >= gemm.weight_elements * 6
+        # Input SRAM is read at least as much as the im2col stream of one pass.
+        assert traffic.input_sram_read_bits >= gemm.input_elements * 6 * batch
+        # Accumulator writes cover every partial sum.
+        assert traffic.accumulator_sram_write_bits == pytest.approx(
+            gemm.output_elements * batch * tiling.k_tiles * 24
+        )
+
+    @given(st.integers(1, 16), st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_bigger_input_sram_never_increases_dram_traffic(self, batch, columns_factor):
+        layer = ConvLayer("conv", out_channels=64, kernel_size=3, padding=1, bias=False)
+        network = Network("n", TensorShape(32, 32, 16), [layer])
+        info = network.shape_infos[0]
+        gemm = conv_to_gemm(layer, info.input_shape)
+        columns = 8 * columns_factor
+        tiling = GemmTiling(gemm=gemm, rows=64, columns=columns)
+
+        def dram_bits(input_mb):
+            config = ChipConfig(
+                rows=64,
+                columns=columns,
+                batch_size=batch,
+                sram=SramConfig(
+                    input_mb=input_mb, filter_mb=0.5, output_mb=0.25, accumulator_mb=0.25
+                ),
+            )
+            return compute_layer_traffic(info, gemm, tiling, config, False).dram_bits
+
+        assert dram_bits(8.0) <= dram_bits(0.05) + 1e-6

@@ -1,0 +1,106 @@
+"""Property-based tests on the end-to-end system model (cheap LeNet workload)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ChipConfig, SramConfig
+from repro.nn import build_lenet5
+from repro.perf.metrics import evaluate_runtime
+from repro.scalesim.simulator import simulate_network
+
+NETWORK = build_lenet5()
+
+array_dim = st.sampled_from([8, 16, 32, 64])
+batch = st.sampled_from([1, 2, 4, 8, 16])
+cores = st.sampled_from([1, 2])
+
+
+def make_config(rows, columns, batch_size, num_cores, input_mb=0.5):
+    return ChipConfig(
+        rows=rows,
+        columns=columns,
+        batch_size=batch_size,
+        num_cores=num_cores,
+        sram=SramConfig(input_mb=input_mb, filter_mb=0.25, output_mb=0.25, accumulator_mb=0.25),
+    )
+
+
+class TestSystemInvariants:
+    @given(array_dim, array_dim, batch, cores)
+    @settings(max_examples=30, deadline=None)
+    def test_metrics_are_positive_and_consistent(self, rows, columns, batch_size, num_cores):
+        config = make_config(rows, columns, batch_size, num_cores)
+        runtime = simulate_network(NETWORK, config)
+        metrics = evaluate_runtime(runtime)
+        assert metrics.inferences_per_second > 0
+        assert metrics.power_w > 0
+        assert metrics.area_mm2 > 0
+        assert metrics.energy_per_inference_j > 0
+        assert 0 < metrics.mac_utilization <= 1.0
+        assert metrics.ips_per_watt == pytest.approx(
+            metrics.inferences_per_second / metrics.power_w
+        )
+        # Energy conservation: average power times latency equals batch energy.
+        assert metrics.power_w * runtime.batch_latency_s == pytest.approx(
+            metrics.energy_per_inference_j * runtime.batch_size, rel=1e-9
+        )
+
+    @given(array_dim, array_dim, batch)
+    @settings(max_examples=20, deadline=None)
+    def test_dual_core_never_reduces_ips_and_keeps_ips_per_watt(self, rows, columns, batch_size):
+        single = evaluate_runtime(
+            simulate_network(NETWORK, make_config(rows, columns, batch_size, 1))
+        )
+        dual = evaluate_runtime(
+            simulate_network(NETWORK, make_config(rows, columns, batch_size, 2))
+        )
+        assert dual.inferences_per_second >= single.inferences_per_second * (1 - 1e-9)
+        # Energy-centric power model: efficiency stays within a modest band.
+        # (It can legitimately drift upwards on tiny programming-bound configs,
+        # where halving the runtime also halves the static-energy share.)
+        assert 0.7 < dual.ips_per_watt / single.ips_per_watt < 1.5
+
+    @given(array_dim, batch)
+    @settings(max_examples=20, deadline=None)
+    def test_throughput_never_decreases_with_array_size(self, columns, batch_size):
+        small = simulate_network(NETWORK, make_config(16, columns, batch_size, 2))
+        large = simulate_network(NETWORK, make_config(64, columns, batch_size, 2))
+        assert large.inferences_per_second >= small.inferences_per_second * (1 - 1e-9)
+        assert large.total_compute_cycles <= small.total_compute_cycles
+
+    @given(array_dim, array_dim, st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=20, deadline=None)
+    def test_batch_does_not_change_per_inference_compute(self, rows, columns, batch_size):
+        one = simulate_network(NETWORK, make_config(rows, columns, 1, 1))
+        many = simulate_network(NETWORK, make_config(rows, columns, batch_size, 1))
+        assert many.total_compute_cycles == pytest.approx(
+            one.total_compute_cycles * batch_size, rel=1e-12
+        )
+        # Programming passes per *batch* are batch-independent, so per-inference
+        # programming work strictly shrinks with batching.
+        assert many.total_programming_passes == one.total_programming_passes
+
+    @given(array_dim, array_dim, batch)
+    @settings(max_examples=20, deadline=None)
+    def test_bigger_input_sram_never_increases_dram_traffic_or_power(
+        self, rows, columns, batch_size
+    ):
+        starved = simulate_network(
+            NETWORK, make_config(rows, columns, batch_size, 2, input_mb=0.03125)
+        )
+        roomy = simulate_network(
+            NETWORK, make_config(rows, columns, batch_size, 2, input_mb=4.0)
+        )
+        assert roomy.total_dram_bits <= starved.total_dram_bits + 1e-6
+
+    @given(array_dim, array_dim, batch)
+    @settings(max_examples=15, deadline=None)
+    def test_pcie_dram_only_changes_power_not_throughput(self, rows, columns, batch_size):
+        hbm_cfg = make_config(rows, columns, batch_size, 2)
+        pcie_cfg = hbm_cfg.with_updates(dram_kind="pcie")
+        hbm = evaluate_runtime(simulate_network(NETWORK, hbm_cfg))
+        pcie = evaluate_runtime(simulate_network(NETWORK, pcie_cfg))
+        assert pcie.power_w >= hbm.power_w
+        # Throughput may only change if the PCIe bandwidth bound bites.
+        assert pcie.inferences_per_second <= hbm.inferences_per_second * (1 + 1e-9)

@@ -1,0 +1,100 @@
+"""Integration-level tests of the dataflow simulator on real networks."""
+
+import pytest
+
+from repro.config import ChipConfig, optimal_chip, small_test_chip
+from repro.errors import SimulationError
+from repro.nn import build_lenet5, build_resnet50
+from repro.scalesim import CrossbarDataflowSimulator
+from repro.scalesim.simulator import simulate_network
+
+
+class TestSimulatorOnLeNet:
+    @pytest.fixture(scope="class")
+    def runtime(self, ):
+        return simulate_network(build_lenet5(), small_test_chip())
+
+    def test_one_runtime_entry_per_crossbar_layer(self, runtime):
+        assert len(runtime.layers) == len(build_lenet5().crossbar_layers)
+
+    def test_total_macs_match_network(self, runtime):
+        network = build_lenet5()
+        assert runtime.total_macs == pytest.approx(
+            network.total_macs * runtime.batch_size
+        )
+
+    def test_ips_positive_and_consistent_with_latency(self, runtime):
+        assert runtime.inferences_per_second > 0
+        assert runtime.inferences_per_second == pytest.approx(
+            runtime.batch_size / runtime.batch_latency_s
+        )
+
+    def test_utilisation_in_unit_interval(self, runtime):
+        assert 0 < runtime.mac_utilization <= 1.0
+
+    def test_traffic_record_contains_all_structures(self, runtime):
+        record = runtime.traffic_record
+        for name in ("input_sram", "filter_sram", "output_sram", "accumulator_sram", "dram"):
+            assert record.bits(name) >= 0
+        assert record.total_bits > 0
+
+    def test_layer_summaries_and_summary(self, runtime):
+        summaries = runtime.layer_summaries()
+        assert len(summaries) == len(runtime.layers)
+        assert all(row["compute_cycles"] > 0 for row in summaries)
+        top = runtime.summary()
+        assert top["inferences_per_second"] == pytest.approx(runtime.inferences_per_second)
+
+
+class TestSimulatorOnResNet(object):
+    def test_resnet_runtime_has_54_crossbar_layers(self, optimal_runtime):
+        assert len(optimal_runtime.layers) == 54
+
+    def test_compute_cycles_exceed_ideal_bound(self, optimal_runtime, resnet50, optimal_config):
+        ideal = resnet50.total_macs * optimal_config.batch_size / optimal_config.array_size
+        assert optimal_runtime.total_compute_cycles >= ideal
+
+    def test_ips_in_paper_ballpark(self, optimal_runtime):
+        # Paper reports 36,382 IPS for this configuration; the reproduction
+        # should land in the same ballpark (tens of thousands).
+        assert 15_000 < optimal_runtime.inferences_per_second < 60_000
+
+    def test_dram_traffic_dominated_by_activation_spills(self, optimal_runtime, resnet50):
+        weight_bits = resnet50.total_weights * 6
+        per_batch_weight_bits = weight_bits  # weights fetched once per batch
+        assert optimal_runtime.total_dram_bits > 2 * per_batch_weight_bits
+
+    def test_programming_passes_positive(self, optimal_runtime):
+        assert optimal_runtime.total_programming_passes > 54  # at least one per layer
+
+    def test_simulate_layer_by_name(self, resnet50, optimal_config):
+        simulator = CrossbarDataflowSimulator(optimal_config)
+        layer_runtime = simulator.simulate_layer(resnet50, "conv1")
+        assert layer_runtime.layer_name == "conv1"
+        assert layer_runtime.compute_cycles > 0
+
+    def test_simulate_layer_rejects_non_crossbar_layer(self, resnet50, optimal_config):
+        simulator = CrossbarDataflowSimulator(optimal_config)
+        with pytest.raises(SimulationError):
+            simulator.simulate_layer(resnet50, "maxpool")
+
+
+class TestArchitecturalTrends:
+    def test_larger_array_needs_fewer_cycles(self, resnet50):
+        small = simulate_network(resnet50, ChipConfig(rows=32, columns=32, batch_size=4))
+        large = simulate_network(resnet50, ChipConfig(rows=128, columns=128, batch_size=4))
+        assert large.total_compute_cycles < small.total_compute_cycles
+
+    def test_dual_core_ips_at_least_single_core(self, resnet50):
+        single = simulate_network(resnet50, optimal_chip(num_cores=1, batch_size=4))
+        dual = simulate_network(resnet50, optimal_chip(num_cores=2, batch_size=4))
+        assert dual.inferences_per_second >= single.inferences_per_second
+
+    def test_batch_amortises_programming_for_single_core(self, resnet50):
+        small_batch = simulate_network(resnet50, optimal_chip(num_cores=1, batch_size=1))
+        big_batch = simulate_network(resnet50, optimal_chip(num_cores=1, batch_size=32))
+        assert big_batch.inferences_per_second > small_batch.inferences_per_second
+
+    def test_lenet_fc_dominated_network_still_simulates(self):
+        runtime = simulate_network(build_lenet5(), ChipConfig(rows=64, columns=64, batch_size=8))
+        assert runtime.inferences_per_second > 0

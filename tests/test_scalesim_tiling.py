@@ -1,0 +1,74 @@
+"""Unit tests for GEMM tiling onto the crossbar array."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.nn.im2col import GemmShape
+from repro.scalesim import GemmTiling
+
+
+def make_tiling(m=100, k=300, n=200, rows=128, columns=128) -> GemmTiling:
+    return GemmTiling(gemm=GemmShape("layer", m=m, k=k, n=n), rows=rows, columns=columns)
+
+
+class TestTileCounts:
+    def test_tile_counts_use_ceiling_division(self):
+        tiling = make_tiling(k=300, n=200, rows=128, columns=128)
+        assert tiling.k_tiles == 3
+        assert tiling.n_tiles == 2
+        assert tiling.num_tiles == 6
+
+    def test_exact_fit_needs_single_tile(self):
+        tiling = make_tiling(k=128, n=128)
+        assert tiling.num_tiles == 1
+
+    def test_last_tile_dimensions(self):
+        tiling = make_tiling(k=300, n=200, rows=128, columns=128)
+        assert tiling.last_tile_rows == 300 - 2 * 128
+        assert tiling.last_tile_columns == 200 - 128
+
+    def test_last_tile_full_when_divisible(self):
+        tiling = make_tiling(k=256, n=256)
+        assert tiling.last_tile_rows == 128
+        assert tiling.last_tile_columns == 128
+
+
+class TestCellsAndUtilisation:
+    def test_programmed_cells_equal_weight_elements(self):
+        tiling = make_tiling(k=300, n=200)
+        assert tiling.programmed_cells == 300 * 200
+
+    def test_allocated_cells_cover_padding(self):
+        tiling = make_tiling(k=300, n=200)
+        assert tiling.allocated_cells == 6 * 128 * 128
+        assert 0 < tiling.cell_utilization <= 1.0
+
+    def test_full_tile_has_unity_utilisation(self):
+        tiling = make_tiling(k=128, n=128)
+        assert tiling.cell_utilization == pytest.approx(1.0)
+        assert tiling.mac_utilization(batch_size=8) == pytest.approx(1.0)
+
+
+class TestComputeCycles:
+    def test_cycles_scale_with_batch_and_tiles(self):
+        tiling = make_tiling(m=100, k=300, n=200)
+        assert tiling.compute_cycles(1) == 6 * 100
+        assert tiling.compute_cycles(32) == 32 * 6 * 100
+        assert tiling.compute_cycles_per_tile(32) == 3200
+
+    def test_mac_utilisation_bounded(self):
+        tiling = make_tiling(m=49, k=100, n=60, rows=128, columns=128)
+        utilisation = tiling.mac_utilization(batch_size=4)
+        assert 0 < utilisation <= 1.0
+
+    def test_ideal_cycles_lower_bound(self):
+        tiling = make_tiling()
+        assert tiling.ideal_cycles_per_image <= tiling.compute_cycles(1)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(SimulationError):
+            make_tiling().compute_cycles(0)
+
+    def test_rejects_bad_array(self):
+        with pytest.raises(SimulationError):
+            GemmTiling(gemm=GemmShape("l", 1, 1, 1), rows=0, columns=1)

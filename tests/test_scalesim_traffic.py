@@ -1,0 +1,125 @@
+"""Unit tests for the per-layer SRAM/DRAM traffic model."""
+
+import pytest
+
+from repro.config import ChipConfig, SramConfig
+from repro.memory.hierarchy import MemorySystem
+from repro.nn import ConvLayer, Network, TensorShape
+from repro.nn.im2col import conv_to_gemm
+from repro.scalesim.tiling import GemmTiling
+from repro.scalesim.traffic import compute_layer_traffic
+
+
+def build_single_conv_network(height=16, width=16, channels=8, out_channels=16):
+    layer = ConvLayer("conv", out_channels=out_channels, kernel_size=3, padding=1, bias=False)
+    return Network("single_conv", TensorShape(height, width, channels), [layer])
+
+
+def traffic_for(config: ChipConfig, is_first=True, network=None):
+    network = network or build_single_conv_network()
+    info = network.shape_infos[0]
+    gemm = conv_to_gemm(info.layer, info.input_shape)
+    tiling = GemmTiling(gemm=gemm, rows=config.rows, columns=config.columns)
+    return (
+        compute_layer_traffic(info, gemm, tiling, config, is_first_crossbar_layer=is_first),
+        gemm,
+        tiling,
+        info,
+    )
+
+
+class TestWeightsTraffic:
+    def test_weights_fetched_once_per_batch(self):
+        config = ChipConfig(rows=16, columns=16, batch_size=4)
+        traffic, gemm, _, _ = traffic_for(config)
+        weight_bits = gemm.weight_elements * config.technology.weight_bits
+        assert traffic.filter_sram_write_bits == pytest.approx(weight_bits)
+        assert traffic.filter_sram_read_bits == pytest.approx(weight_bits)
+        # DRAM reads include weights + first-layer inputs.
+        assert traffic.dram_read_bits >= weight_bits
+
+
+class TestInputTraffic:
+    def test_first_layer_input_always_comes_from_dram(self):
+        config = ChipConfig(rows=16, columns=16, batch_size=2)
+        traffic, gemm, _, info = traffic_for(config, is_first=True)
+        input_bits = info.input_shape.num_elements * 6 * 2
+        weight_bits = gemm.weight_elements * 6
+        assert traffic.dram_read_bits == pytest.approx(input_bits + weight_bits)
+
+    def test_interior_layer_input_forwarded_on_chip_when_it_fits(self):
+        config = ChipConfig(
+            rows=16,
+            columns=16,
+            batch_size=2,
+            sram=SramConfig(input_mb=8.0, filter_mb=1.0, output_mb=8.0, accumulator_mb=1.0),
+        )
+        traffic, gemm, _, _ = traffic_for(config, is_first=False)
+        weight_bits = gemm.weight_elements * 6
+        # Output SRAM (8 MB) holds the entire small input: no activation DRAM traffic.
+        assert traffic.dram_read_bits == pytest.approx(weight_bits)
+
+    def test_input_sram_reads_scale_with_column_tiles(self):
+        small_cols = ChipConfig(rows=16, columns=4, batch_size=1)
+        large_cols = ChipConfig(rows=16, columns=16, batch_size=1)
+        traffic_small, gemm, tiling_small, _ = traffic_for(small_cols)
+        traffic_large, _, tiling_large, _ = traffic_for(large_cols)
+        assert tiling_small.n_tiles > tiling_large.n_tiles
+        assert traffic_small.input_sram_read_bits > traffic_large.input_sram_read_bits
+
+    def test_refetch_penalty_when_input_exceeds_input_sram(self):
+        # Tiny input SRAM forces re-fetches for every extra column tile.
+        tiny_sram = SramConfig(input_mb=0.01, filter_mb=0.5, output_mb=0.01, accumulator_mb=0.5)
+        roomy_sram = SramConfig(input_mb=8.0, filter_mb=0.5, output_mb=0.01, accumulator_mb=0.5)
+        network = build_single_conv_network(32, 32, 16, out_channels=64)
+        starved = ChipConfig(rows=16, columns=8, batch_size=8, sram=tiny_sram)
+        roomy = ChipConfig(rows=16, columns=8, batch_size=8, sram=roomy_sram)
+        traffic_starved, *_ = traffic_for(starved, is_first=False, network=network)
+        traffic_roomy, *_ = traffic_for(roomy, is_first=False, network=network)
+        assert traffic_starved.dram_read_bits > traffic_roomy.dram_read_bits
+
+
+class TestOutputAndPsumTraffic:
+    def test_output_spills_when_output_sram_too_small(self):
+        small_out = ChipConfig(
+            rows=16,
+            columns=16,
+            batch_size=8,
+            sram=SramConfig(input_mb=8.0, filter_mb=1.0, output_mb=0.01, accumulator_mb=1.0),
+        )
+        big_out = ChipConfig(
+            rows=16,
+            columns=16,
+            batch_size=8,
+            sram=SramConfig(input_mb=8.0, filter_mb=1.0, output_mb=8.0, accumulator_mb=1.0),
+        )
+        spill, *_ = traffic_for(small_out)
+        no_spill, *_ = traffic_for(big_out)
+        assert spill.dram_write_bits > 0
+        assert no_spill.dram_write_bits == pytest.approx(0.0)
+
+    def test_accumulator_traffic_scales_with_k_tiles(self):
+        one_k_tile = ChipConfig(rows=128, columns=16, batch_size=1)
+        many_k_tiles = ChipConfig(rows=16, columns=16, batch_size=1)
+        traffic_one, _, tiling_one, _ = traffic_for(one_k_tile)
+        traffic_many, _, tiling_many, _ = traffic_for(many_k_tiles)
+        assert tiling_one.k_tiles == 1
+        assert tiling_many.k_tiles > 1
+        assert traffic_one.accumulator_sram_read_bits == pytest.approx(0.0)
+        assert traffic_many.accumulator_sram_read_bits > 0
+        assert traffic_many.accumulator_sram_write_bits > traffic_one.accumulator_sram_write_bits
+
+
+class TestRecordConversion:
+    def test_record_totals_match_traffic(self):
+        config = ChipConfig(rows=16, columns=16, batch_size=2)
+        traffic, *_ = traffic_for(config)
+        record = traffic.to_record()
+        assert record.bits(MemorySystem.DRAM) == pytest.approx(traffic.dram_bits)
+        assert record.total_bits == pytest.approx(traffic.sram_bits + traffic.dram_bits)
+
+    def test_all_traffic_is_non_negative(self):
+        config = ChipConfig(rows=8, columns=8, batch_size=1)
+        traffic, *_ = traffic_for(config)
+        assert traffic.sram_bits >= 0
+        assert traffic.dram_bits >= 0
