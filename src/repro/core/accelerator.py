@@ -7,11 +7,29 @@ An ``OpticalCrossbarAccelerator`` ties together, for one chip design point:
 * the functional path — signed GEMMs executed on the INT6 functional crossbar
   (:meth:`linear`, :meth:`conv2d`), which is what the example applications use
   to demonstrate that the architecture computes correct results.
+
+Programmed-tile caching
+-----------------------
+PCM programming is the expensive, non-volatile step of the functional path:
+each weight tile costs a quantisation pass plus per-cell programming energy
+and time.  ``linear`` therefore keeps an LRU cache of *programmed tile
+plans*, keyed by the weight matrix's content (shape + byte digest).  The
+first call with a given weight matrix derives the tile grid, pads and
+programs one :class:`~repro.crossbar.signed.SignedCrossbarEngine` per tile,
+and every later call with the same weights — every image of a batch, every
+repeated inference — reuses the programmed engines without touching the PCM
+again.  Programming statistics survive cache eviction and are reported by
+:meth:`functional_statistics`.  Inputs stream through the cached tiles as
+batched GEMMs (:meth:`SignedCrossbarEngine.matmul`), so a whole batch of
+vectors per tile costs one BLAS call instead of a Python loop.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -27,6 +45,34 @@ from repro.scalesim.runtime import NetworkRuntime
 from repro.scalesim.simulator import CrossbarDataflowSimulator
 
 
+@dataclass
+class _ProgrammedTile:
+    """One programmed crossbar tile of a larger weight matrix."""
+
+    engine: SignedCrossbarEngine
+    k_start: int
+    k_end: int
+    n_start: int
+    n_end: int
+
+    @property
+    def tile_rows(self) -> int:
+        return self.k_end - self.k_start
+
+    @property
+    def tile_cols(self) -> int:
+        return self.n_end - self.n_start
+
+
+@dataclass
+class _TilePlan:
+    """The full programmed tiling of one weight matrix."""
+
+    k: int
+    n: int
+    tiles: List[_ProgrammedTile]
+
+
 class OpticalCrossbarAccelerator:
     """A single optical crossbar accelerator chip.
 
@@ -39,6 +85,9 @@ class OpticalCrossbarAccelerator:
         Optional impairment model for the functional datapath.
     seed:
         Random seed for the functional datapath's noise injection.
+    max_cached_weight_plans:
+        Upper bound on the number of distinct weight matrices whose
+        programmed tile plans are kept alive (LRU eviction beyond it).
     """
 
     def __init__(
@@ -46,11 +95,26 @@ class OpticalCrossbarAccelerator:
         config: Optional[ChipConfig] = None,
         noise_model: Optional[CrossbarNoiseModel] = None,
         seed: int = 0,
+        max_cached_weight_plans: int = 64,
     ) -> None:
         self.config = config or optimal_chip()
         self.noise_model = noise_model
         self._rng = np.random.default_rng(seed)
         self._simulator = CrossbarDataflowSimulator(self.config)
+        if max_cached_weight_plans < 1:
+            raise SimulationError(
+                f"max_cached_weight_plans must be >= 1, got {max_cached_weight_plans}"
+            )
+        self._max_cached_weight_plans = max_cached_weight_plans
+        self._tile_plans: "OrderedDict[Tuple, _TilePlan]" = OrderedDict()
+        self._functional_stats = {
+            "programming_events": 0,
+            "programming_energy_j": 0.0,
+            "programming_time_s": 0.0,
+            "tile_cache_hits": 0,
+            "tile_cache_misses": 0,
+            "tile_cache_evictions": 0,
+        }
 
     # ------------------------------------------------------------------ performance
     def runtime_specs(self, network: Network) -> NetworkRuntime:
@@ -66,14 +130,75 @@ class OpticalCrossbarAccelerator:
         return self.config.peak_tops
 
     # ------------------------------------------------------------------ functional
-    def _tiled_engine(self, rows: int, columns: int) -> SignedCrossbarEngine:
-        return SignedCrossbarEngine(
-            rows,
-            columns,
-            technology=self.config.technology,
-            noise_model=self.noise_model,
-            rng=self._rng,
-        )
+    def _weight_key(self, weights: np.ndarray) -> Tuple:
+        """Content-identity key of a weight matrix (shape + byte digest)."""
+        contiguous = np.ascontiguousarray(weights)
+        digest = hashlib.sha1(contiguous.tobytes()).digest()
+        return (weights.shape, digest)
+
+    def _build_tile_plan(self, weights: np.ndarray) -> _TilePlan:
+        """Derive the tile grid for ``weights`` and program every tile once."""
+        k, n = weights.shape
+        rows, columns = self.config.rows, self.config.columns
+        tiles: List[_ProgrammedTile] = []
+        for k_start in range(0, k, rows):
+            k_end = min(k_start + rows, k)
+            for n_start in range(0, n, columns):
+                n_end = min(n_start + columns, n)
+                tile = np.zeros((rows, columns))
+                tile[: k_end - k_start, : n_end - n_start] = weights[
+                    k_start:k_end, n_start:n_end
+                ]
+                engine = SignedCrossbarEngine(
+                    rows,
+                    columns,
+                    technology=self.config.technology,
+                    noise_model=self.noise_model,
+                    rng=self._rng,
+                )
+                engine.program(tile)
+                stats = engine.statistics()
+                self._functional_stats["programming_events"] += int(
+                    stats["programming_events"]
+                )
+                self._functional_stats["programming_energy_j"] += stats[
+                    "programming_energy_j"
+                ]
+                self._functional_stats["programming_time_s"] += stats[
+                    "programming_time_s"
+                ]
+                tiles.append(_ProgrammedTile(engine, k_start, k_end, n_start, n_end))
+        return _TilePlan(k=k, n=n, tiles=tiles)
+
+    def _programmed_tile_plan(self, weights: np.ndarray) -> _TilePlan:
+        """Fetch (or build and cache) the programmed tile plan for ``weights``."""
+        key = self._weight_key(weights)
+        plan = self._tile_plans.get(key)
+        if plan is not None:
+            self._tile_plans.move_to_end(key)
+            self._functional_stats["tile_cache_hits"] += 1
+            return plan
+        self._functional_stats["tile_cache_misses"] += 1
+        plan = self._build_tile_plan(weights)
+        self._tile_plans[key] = plan
+        while len(self._tile_plans) > self._max_cached_weight_plans:
+            self._tile_plans.popitem(last=False)
+            self._functional_stats["tile_cache_evictions"] += 1
+        return plan
+
+    def clear_functional_cache(self) -> None:
+        """Drop every cached programmed tile plan (statistics are kept)."""
+        self._tile_plans.clear()
+
+    def functional_statistics(self) -> Dict[str, float]:
+        """Aggregate PCM programming and tile-cache statistics.
+
+        ``programming_events`` counts full-array programming passes across
+        every engine ever created by :meth:`linear` (eviction does not erase
+        history), so repeated inference with the same weights leaves the
+        count unchanged.
+        """
+        return dict(self._functional_stats)
 
     def linear(self, weights: np.ndarray, inputs: np.ndarray) -> np.ndarray:
         """Compute ``inputs @ weights`` on the functional crossbar, tile by tile.
@@ -90,6 +215,9 @@ class OpticalCrossbarAccelerator:
         numpy.ndarray
             Result of shape (num_vectors, n) (or (n,) for a single vector),
             computed with INT6 quantisation of weights, inputs and outputs.
+
+        The weight matrix is programmed at most once (see module docstring);
+        the input batch streams through the cached tiles as GEMMs.
         """
         weights = np.asarray(weights, dtype=float)
         inputs = np.asarray(inputs, dtype=float)
@@ -104,27 +232,15 @@ class OpticalCrossbarAccelerator:
                 f"shape {weights.shape}"
             )
 
-        k, n = weights.shape
-        rows, columns = self.config.rows, self.config.columns
+        plan = self._programmed_tile_plan(weights)
+        rows = self.config.rows
         num_vectors = inputs.shape[0]
-        result = np.zeros((num_vectors, n))
-
-        for k_start in range(0, k, rows):
-            k_end = min(k_start + rows, k)
-            tile_rows = k_end - k_start
-            for n_start in range(0, n, columns):
-                n_end = min(n_start + columns, n)
-                tile_cols = n_end - n_start
-
-                tile = np.zeros((rows, columns))
-                tile[:tile_rows, :tile_cols] = weights[k_start:k_end, n_start:n_end]
-                engine = self._tiled_engine(rows, columns)
-                engine.program(tile)
-
-                padded_inputs = np.zeros((num_vectors, rows))
-                padded_inputs[:, :tile_rows] = inputs[:, k_start:k_end]
-                partial = engine.matmul(padded_inputs)
-                result[:, n_start:n_end] += partial[:, :tile_cols]
+        result = np.zeros((num_vectors, plan.n))
+        for tile in plan.tiles:
+            padded_inputs = np.zeros((num_vectors, rows))
+            padded_inputs[:, : tile.tile_rows] = inputs[:, tile.k_start : tile.k_end]
+            partial = tile.engine.matmul(padded_inputs)
+            result[:, tile.n_start : tile.n_end] += partial[:, : tile.tile_cols]
 
         return result[0] if single_vector else result
 
@@ -140,17 +256,29 @@ class OpticalCrossbarAccelerator:
         Parameters
         ----------
         feature_map:
-            Input of shape (H, W, C_in).
+            Input of shape (H, W, C_in), or a batch of shape (B, H, W, C_in).
         weights:
             Filters of shape (k, k, C_in, C_out).
+
+        A batched input unrolls every image's receptive fields into one
+        im2col matrix and runs them through :meth:`linear` in a single pass,
+        programming the filter tiles exactly once for the whole batch.
         """
-        unrolled = im2col_matrix(feature_map, np.asarray(weights).shape[0], stride, padding)
-        flat_weights = conv_weights_matrix(weights)
-        product = self.linear(flat_weights, unrolled)
         feature_map = np.asarray(feature_map, dtype=float)
         kernel = np.asarray(weights).shape[0]
-        out_h = (feature_map.shape[0] + 2 * padding - kernel) // stride + 1
-        out_w = (feature_map.shape[1] + 2 * padding - kernel) // stride + 1
+        unrolled = im2col_matrix(feature_map, kernel, stride, padding)
+        flat_weights = conv_weights_matrix(weights)
+        batched = feature_map.ndim == 4
+        height, width = feature_map.shape[1:3] if batched else feature_map.shape[:2]
+        out_h = (height + 2 * padding - kernel) // stride + 1
+        out_w = (width + 2 * padding - kernel) // stride + 1
+        if batched:
+            num_images, patches, patch_len = unrolled.shape
+            product = self.linear(
+                flat_weights, unrolled.reshape(num_images * patches, patch_len)
+            )
+            return product.reshape(num_images, out_h, out_w, flat_weights.shape[1])
+        product = self.linear(flat_weights, unrolled)
         return product.reshape(out_h, out_w, flat_weights.shape[1])
 
     # ------------------------------------------------------------------ report

@@ -12,6 +12,14 @@ The performance path answers "how fast / how much power"; this module answers
 * pooling, batch-norm (folded), activations, residual adds and flattening run
   digitally in numpy, as they would in the chip's digital backend.
 
+Execution is *batched end-to-end*: :meth:`FunctionalInferenceEngine.run_batch`
+carries a whole stack of images through every layer at once — convolutions
+unroll the full batch into one im2col GEMM, dense layers run the batch as one
+tiled crossbar GEMM (weights are programmed once per layer thanks to the
+accelerator's tile cache), and pooling/activations are whole-tensor numpy
+operations.  :meth:`run` is the single-image wrapper.  In noiseless mode the
+batched outputs are bitwise-identical to running the images one at a time.
+
 A float numpy reference of the same network
 (:meth:`FunctionalInferenceEngine.run_reference`) allows the INT6 optical
 result to be compared against exact arithmetic; the bundled example runs a
@@ -23,6 +31,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.config.chip import ChipConfig
 from repro.core.accelerator import OpticalCrossbarAccelerator
@@ -66,37 +75,55 @@ def generate_random_weights(network: Network, seed: int = 0, scale: float = 0.5)
     return weights
 
 
+def agreement_metrics(optical: np.ndarray, reference: np.ndarray) -> Dict[str, float]:
+    """Aggregate agreement metrics between batched optical and reference outputs.
+
+    Both arrays must have shape (batch, num_outputs).  Shared by
+    :meth:`FunctionalInferenceEngine.batch_agreement` and the CLI ``infer``
+    command so the relative-error / top-1 definitions cannot drift apart.
+    """
+    norms = np.linalg.norm(reference, axis=1)
+    errors = np.linalg.norm(optical - reference, axis=1)
+    relative_errors = np.where(norms > 0, errors / np.where(norms > 0, norms, 1.0), 0.0)
+    top1 = np.argmax(optical, axis=1) == np.argmax(reference, axis=1)
+    return {
+        "batch": float(optical.shape[0]),
+        "mean_relative_error": float(np.mean(relative_errors)),
+        "max_relative_error": float(np.max(relative_errors)),
+        "top1_match_rate": float(np.mean(top1)),
+    }
+
+
+def _pool_windows(tensor: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """(B, out_h, out_w, ky, kx, C) window view of a (B, H, W, C) tensor.
+
+    The window axes are ordered (ky, kx) ahead of the channel axis so that
+    reductions over them accumulate in the same element order as the
+    per-window reference loop.
+    """
+    windows = sliding_window_view(tensor, (kernel, kernel), axis=(1, 2))
+    return windows[:, ::stride, ::stride].transpose(0, 1, 2, 4, 5, 3)
+
+
 def _max_pool(tensor: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Batched max pooling over a (B, H, W, C) tensor via a strided gather."""
     if padding:
         tensor = np.pad(
             tensor,
-            ((padding, padding), (padding, padding), (0, 0)),
+            ((0, 0), (padding, padding), (padding, padding), (0, 0)),
             mode="constant",
             constant_values=-np.inf,
         )
-    height, width, channels = tensor.shape
-    out_h = (height - kernel) // stride + 1
-    out_w = (width - kernel) // stride + 1
-    output = np.empty((out_h, out_w, channels))
-    for y in range(out_h):
-        for x in range(out_w):
-            window = tensor[y * stride : y * stride + kernel, x * stride : x * stride + kernel, :]
-            output[y, x, :] = window.max(axis=(0, 1))
-    return output
+    return _pool_windows(tensor, kernel, stride).max(axis=(3, 4))
 
 
 def _avg_pool(tensor: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Batched average pooling over a (B, H, W, C) tensor via a strided gather."""
     if padding:
-        tensor = np.pad(tensor, ((padding, padding), (padding, padding), (0, 0)), mode="constant")
-    height, width, channels = tensor.shape
-    out_h = (height - kernel) // stride + 1
-    out_w = (width - kernel) // stride + 1
-    output = np.empty((out_h, out_w, channels))
-    for y in range(out_h):
-        for x in range(out_w):
-            window = tensor[y * stride : y * stride + kernel, x * stride : x * stride + kernel, :]
-            output[y, x, :] = window.mean(axis=(0, 1))
-    return output
+        tensor = np.pad(
+            tensor, ((0, 0), (padding, padding), (padding, padding), (0, 0)), mode="constant"
+        )
+    return _pool_windows(tensor, kernel, stride).mean(axis=(3, 4))
 
 
 def _apply_activation(tensor: np.ndarray, kind: str) -> np.ndarray:
@@ -119,8 +146,9 @@ class FunctionalInferenceEngine:
     Parameters
     ----------
     network:
-        The workload description (LeNet-class sizes are practical; the
-        functional crossbar is a model, not an optimised kernel).
+        The workload description; batched execution plus the accelerator's
+        programmed-tile cache make multi-image functional runs practical well
+        beyond LeNet scale.
     weights:
         Mapping from crossbar-layer name to its weight tensor; see
         :func:`generate_random_weights` for the expected shapes.
@@ -150,11 +178,35 @@ class FunctionalInferenceEngine:
     # ------------------------------------------------------------------ run
     def run(self, image: np.ndarray) -> np.ndarray:
         """Run one sample through the network on the optical crossbar."""
-        return self._execute(image, optical=True)
+        return self._execute(np.asarray(image, dtype=float)[None], optical=True)[0]
 
     def run_reference(self, image: np.ndarray) -> np.ndarray:
         """Run one sample with exact float arithmetic (numpy reference)."""
-        return self._execute(image, optical=False)
+        return self._execute(np.asarray(image, dtype=float)[None], optical=False)[0]
+
+    def run_batch(self, images: np.ndarray) -> np.ndarray:
+        """Run a batch of samples on the optical crossbar in one pass.
+
+        Parameters
+        ----------
+        images:
+            Array of shape (batch, H, W, C) — or any sequence that stacks to
+            it.
+
+        Returns
+        -------
+        numpy.ndarray
+            Flattened network outputs, shape (batch, num_outputs).
+
+        Every crossbar layer processes the whole batch as one tiled GEMM and
+        programs its weights at most once, so per-image cost drops sharply
+        compared with looping :meth:`run`.
+        """
+        return self._execute(self._as_batch(images), optical=True)
+
+    def run_batch_reference(self, images: np.ndarray) -> np.ndarray:
+        """Float-reference counterpart of :meth:`run_batch`."""
+        return self._execute(self._as_batch(images), optical=False)
 
     def agreement(self, image: np.ndarray) -> Dict[str, float]:
         """Compare optical vs reference outputs for one sample."""
@@ -175,17 +227,34 @@ class FunctionalInferenceEngine:
             "top1_match": float(int(np.argmax(optical) == np.argmax(reference))),
         }
 
+    def batch_agreement(self, images: np.ndarray) -> Dict[str, float]:
+        """Aggregate optical-vs-reference agreement over a batch of samples."""
+        images = self._as_batch(images)
+        optical = self.run_batch(images)
+        reference = self.run_batch_reference(images)
+        return agreement_metrics(optical, reference)
+
     # ------------------------------------------------------------------ internals
-    def _execute(self, image: np.ndarray, optical: bool) -> np.ndarray:
-        image = np.asarray(image, dtype=float)
-        expected = self.network.input_shape
-        if image.shape != expected.as_tuple():
+    def _as_batch(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=float)
+        expected = self.network.input_shape.as_tuple()
+        if images.ndim != 4 or images.shape[1:] != expected:
             raise SimulationError(
-                f"input image must have shape {expected.as_tuple()}, got {image.shape}"
+                f"input batch must have shape (batch, {', '.join(map(str, expected))}), "
+                f"got {images.shape}"
+            )
+        return images
+
+    def _execute(self, images: np.ndarray, optical: bool) -> np.ndarray:
+        expected = self.network.input_shape
+        if images.shape[1:] != expected.as_tuple():
+            raise SimulationError(
+                f"input image must have shape {expected.as_tuple()}, got {images.shape[1:]}"
             )
 
         outputs_by_name: Dict[str, np.ndarray] = {}
-        current = image
+        batch = images.shape[0]
+        current = images
         for info in self.network.shape_infos:
             layer = info.layer
             layer_input = current
@@ -220,12 +289,12 @@ class FunctionalInferenceEngine:
                     second_operand = current
                 current = layer_input + second_operand
             elif isinstance(layer, FlattenLayer):
-                current = layer_input.reshape(1, 1, -1)
+                current = layer_input.reshape(batch, 1, 1, -1)
             else:
                 raise SimulationError(f"unsupported layer type {type(layer).__name__}")
             outputs_by_name[layer.name] = current
 
-        return current.reshape(-1)
+        return current.reshape(batch, -1)
 
     def _conv(self, layer: ConvLayer, tensor: np.ndarray, optical: bool) -> np.ndarray:
         weights = self.weights[layer.name]
@@ -238,16 +307,19 @@ class FunctionalInferenceEngine:
 
     def _dense(self, layer: DenseLayer, tensor: np.ndarray, optical: bool) -> np.ndarray:
         weights = self.weights[layer.name]
-        vector = tensor.reshape(-1)
+        matrix = tensor.reshape(tensor.shape[0], -1)
         if optical:
-            result = self.accelerator.linear(weights, vector)
+            result = self.accelerator.linear(weights, matrix)
         else:
-            result = vector @ weights
-        return result.reshape(1, 1, -1)
+            # One GEMV per sample keeps the float reference bitwise identical
+            # to single-image execution; the batch here is images, not patches,
+            # so this stays cheap.
+            result = np.stack([vector @ weights for vector in matrix])
+        return result.reshape(tensor.shape[0], 1, 1, -1)
 
     def _pool(self, layer: PoolLayer, tensor: np.ndarray) -> np.ndarray:
         if layer.global_pool:
-            return tensor.mean(axis=(0, 1), keepdims=True)
+            return tensor.mean(axis=(1, 2), keepdims=True)
         if layer.kind == "max":
             return _max_pool(tensor, layer.kernel_size, layer.stride, layer.padding)
         return _avg_pool(tensor, layer.kernel_size, layer.stride, layer.padding)

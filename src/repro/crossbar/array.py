@@ -15,6 +15,23 @@ single-wavelength operation.
 ``CrossbarArray`` works with field *magnitudes* (the calibrated, phase-matched
 array); phase errors and their calibration are modelled separately in
 :mod:`repro.crossbar.noise` and :mod:`repro.crossbar.calibration`.
+
+Batched execution model
+-----------------------
+:meth:`CrossbarArray.matmul` is the compute primitive: a whole batch of input
+vectors is ODAC-modulated, multiplied against the programmed weight matrix in
+a single BLAS GEMM (``modulated @ weights``), and detected/quantised as one
+2-D field matrix.  :meth:`matvec` is a thin single-row wrapper around it.
+
+In noiseless (deterministic) operation the batched path is guaranteed to
+produce ADC output codes bitwise-identical to streaming the vectors one at a
+time: BLAS GEMM and GEMV kernels can disagree in the last ulp, so after the
+batched detection any output whose quantiser argument lands within ``1e-6``
+LSB of a rounding boundary has its row recomputed with the per-vector GEMV
+kernel before the ADC code is emitted (see ``_detect_codes``).  The analog
+(``quantize_output=False``) results may still differ from the per-vector path
+at the last-ulp level — only the quantised datapath carries the bitwise
+guarantee, which is what the functional INT6 network execution uses.
 """
 
 from __future__ import annotations
@@ -28,6 +45,11 @@ from repro.config.technology import TechnologyConfig
 from repro.errors import ProgrammingError, SimulationError
 from repro.photonics.pcm import quantize_weight_matrix
 from repro.photonics.ring import RingResonatorODAC
+
+#: Half-LSB window (in ADC-code units) around a rounding boundary inside
+#: which a batched GEMM result is re-derived with the per-vector GEMV kernel.
+#: BLAS GEMM-vs-GEMV discrepancies are ~1e-11 code units, far below this.
+_ADC_BOUNDARY_WINDOW = 1e-6
 
 
 def design_input_coupling(columns: int) -> np.ndarray:
@@ -92,7 +114,8 @@ class CrossbarArray:
         self.rows = rows
         self.columns = columns
         self.technology = technology or TechnologyConfig()
-        self.laser_field = laser_field
+        self._laser_field = float(laser_field)
+        self._field_scale: Optional[float] = None
         self.noise_model = noise_model
         self.rng = rng if rng is not None else np.random.default_rng(0)
 
@@ -109,6 +132,29 @@ class CrossbarArray:
         self._programming_energy_j = 0.0
         self._programming_time_s = 0.0
         self._adc_full_scale = float(rows)
+
+    # ------------------------------------------------------------------ laser
+    @property
+    def laser_field(self) -> float:
+        """Magnitude of the laser E-field entering the splitter tree."""
+        return self._laser_field
+
+    @laser_field.setter
+    def laser_field(self, value: float) -> None:
+        if value <= 0:
+            raise SimulationError(f"laser_field must be > 0, got {value}")
+        self._laser_field = float(value)
+        self._field_scale = None
+
+    @property
+    def field_scale(self) -> float:
+        """Architectural field scale ``E_laser / (N * sqrt(M))`` of Eq. (1).
+
+        Cached; invalidated when :attr:`laser_field` is reassigned.
+        """
+        if self._field_scale is None:
+            self._field_scale = self._laser_field / (self.rows * math.sqrt(self.columns))
+        return self._field_scale
 
     # ------------------------------------------------------------------ weights
     @property
@@ -186,22 +232,41 @@ class CrossbarArray:
         return self.rows * self.columns * write
 
     # ------------------------------------------------------------------ compute
+    def _products(self, modulated: np.ndarray) -> np.ndarray:
+        """``modulated @ weights`` for a (num_vectors, rows) batch.
+
+        A single-row batch uses the 1-D GEMV kernel so that per-vector results
+        are reproduced exactly; larger batches use one GEMM call.
+        """
+        if modulated.shape[0] == 1:
+            return (modulated[0] @ self._weights)[None, :]
+        return modulated @ self._weights
+
     def column_fields(self, inputs: np.ndarray) -> np.ndarray:
         """Column output E-fields for normalised ``inputs`` (Eq. (1)).
 
-        ``inputs`` must have length ``rows`` with entries in [0, 1]; each is
+        ``inputs`` may be a single vector of length ``rows`` or a batch of
+        shape (num_vectors, rows), with entries in [0, 1]; each element is
         quantised by the ODAC before modulation.
         """
         if not self._programmed:
             raise SimulationError("the array must be programmed before computing")
         inputs = np.asarray(inputs, dtype=float)
-        if inputs.shape != (self.rows,):
+        if inputs.ndim == 1:
+            if inputs.shape != (self.rows,):
+                raise SimulationError(
+                    f"input vector must have shape ({self.rows},), got {inputs.shape}"
+                )
+            modulated = self.odac.modulate(inputs)
+            fields = self.field_scale * (modulated @ self._weights)
+        elif inputs.ndim == 2 and inputs.shape[1] == self.rows:
+            modulated = self.odac.modulate(inputs)
+            fields = self.field_scale * self._products(modulated)
+        else:
             raise SimulationError(
-                f"input vector must have shape ({self.rows},), got {inputs.shape}"
+                f"inputs must have shape ({self.rows},) or (num_vectors, {self.rows}), "
+                f"got {inputs.shape}"
             )
-        modulated = self.odac.modulate(inputs)
-        scale = self.laser_field / (self.rows * math.sqrt(self.columns))
-        fields = scale * (modulated @ self._weights)
         if self.noise_model is not None:
             fields = self.noise_model.apply_to_fields(fields, self.rng)
         return fields
@@ -214,17 +279,19 @@ class CrossbarArray:
         ``sum_i v[i] * w[i, j]`` up to quantisation/noise, and the result is
         then quantised to the ADC resolution (``output_bits``) relative to the
         per-tile full scale established when the weights were programmed.
+        ``fields`` may be 1-D (one vector's columns) or a 2-D batch.
         """
         fields = np.asarray(fields, dtype=float)
-        scale = self.laser_field / (self.rows * math.sqrt(self.columns))
-        raw = fields / scale
+        raw = fields / self.field_scale
         full_scale = self._adc_full_scale
         levels = (1 << self.technology.output_bits) - 1
         codes = np.clip(np.round(raw / full_scale * levels), 0, levels)
         return codes / levels * full_scale
 
     def matvec(self, inputs: np.ndarray, quantize_output: bool = True) -> np.ndarray:
-        """Compute ``weights.T @ inputs`` optically.
+        """Compute ``weights.T @ inputs`` optically for one input vector.
+
+        Thin wrapper around :meth:`matmul` with a single-row batch.
 
         Parameters
         ----------
@@ -234,22 +301,78 @@ class CrossbarArray:
             Apply the ADC quantisation (default).  Disable to inspect the
             analog result.
         """
-        fields = self.column_fields(inputs)
-        if quantize_output:
-            return self.detect(fields)
-        scale = self.laser_field / (self.rows * math.sqrt(self.columns))
-        return fields / scale
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.shape != (self.rows,):
+            if not self._programmed:
+                raise SimulationError("the array must be programmed before computing")
+            raise SimulationError(
+                f"input vector must have shape ({self.rows},), got {inputs.shape}"
+            )
+        return self.matmul(inputs[None, :], quantize_output=quantize_output)[0]
 
     def matmul(self, inputs: np.ndarray, quantize_output: bool = True) -> np.ndarray:
-        """Stream a matrix of input vectors (shape (num_vectors, rows)) through the array."""
+        """Stream a batch of input vectors through the array in one GEMM.
+
+        Parameters
+        ----------
+        inputs:
+            Normalised input vectors in [0, 1], shape (num_vectors, rows).
+        quantize_output:
+            Apply the ADC quantisation (default).  Disable to inspect the
+            analog result.
+
+        The whole batch is modulated, multiplied and detected with whole-array
+        numpy operations; in noiseless mode the quantised outputs are bitwise
+        identical to streaming the vectors one at a time (see module
+        docstring).
+        """
+        if not self._programmed:
+            raise SimulationError("the array must be programmed before computing")
         inputs = np.asarray(inputs, dtype=float)
         if inputs.ndim != 2 or inputs.shape[1] != self.rows:
             raise SimulationError(
                 f"inputs must have shape (num_vectors, {self.rows}), got {inputs.shape}"
             )
-        return np.stack(
-            [self.matvec(vector, quantize_output=quantize_output) for vector in inputs]
+        modulated = self.odac.modulate(inputs)
+        fields = self.field_scale * self._products(modulated)
+        if self.noise_model is not None:
+            fields = self.noise_model.apply_to_fields(fields, self.rng)
+        if not quantize_output:
+            return fields / self.field_scale
+        return self._detect_codes(fields, modulated)
+
+    def _detect_codes(self, fields: np.ndarray, modulated: np.ndarray) -> np.ndarray:
+        """Batched ADC detection with per-vector boundary repair.
+
+        When the field datapath is deterministic (no noise model, or one whose
+        field impairments are all zero), any element whose quantiser argument falls within
+        ``_ADC_BOUNDARY_WINDOW`` of a rounding boundary has its whole row
+        recomputed with the per-vector GEMV kernel, guaranteeing the emitted
+        ADC codes match the per-vector path bitwise.
+        """
+        scale = self.field_scale
+        raw = fields / scale
+        full_scale = self._adc_full_scale
+        levels = (1 << self.technology.output_bits) - 1
+        quantiser_arg = raw / full_scale * levels
+        codes = np.clip(np.round(quantiser_arg), 0, levels)
+        deterministic = (
+            self.noise_model is None or self.noise_model.is_field_deterministic
         )
+        if deterministic and fields.shape[0] > 1:
+            boundary_distance = np.abs(
+                quantiser_arg - np.floor(quantiser_arg) - 0.5
+            )
+            risky_rows = np.unique(
+                np.nonzero(boundary_distance < _ADC_BOUNDARY_WINDOW)[0]
+            )
+            for i in risky_rows:
+                row_fields = scale * (modulated[i] @ self._weights)
+                if self.noise_model is not None:
+                    row_fields = self.noise_model.apply_to_fields(row_fields, self.rng)
+                row_raw = row_fields / scale
+                codes[i] = np.clip(np.round(row_raw / full_scale * levels), 0, levels)
+        return codes / levels * full_scale
 
     # ------------------------------------------------------------------ report
     def statistics(self) -> Dict[str, float]:

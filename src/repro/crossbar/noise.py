@@ -68,6 +68,19 @@ class CrossbarNoiseModel:
             and self.weight_programming_std == 0.0
         )
 
+    @property
+    def is_field_deterministic(self) -> bool:
+        """True when :meth:`apply_to_fields` is the identity (no random draws).
+
+        Weight programming noise does not enter the field datapath, so a
+        weights-only model still leaves the compute path fully deterministic.
+        """
+        return (
+            self.phase_error_std_rad == 0.0
+            and self.relative_amplitude_noise == 0.0
+            and self.additive_noise_floor == 0.0
+        )
+
     def coherence_factor(self) -> float:
         """Average reduction of the coherent sum due to phase errors.
 
@@ -80,28 +93,41 @@ class CrossbarNoiseModel:
     def apply_to_weights(
         self, weights: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
-        """Perturb a programmed weight matrix with programming variability."""
+        """Perturb a programmed weight matrix with programming variability.
+
+        With ``weight_programming_std == 0`` the input array is returned
+        unchanged (no copy); callers must treat the result as read-only.
+        """
         weights = np.asarray(weights, dtype=float)
         if self.weight_programming_std == 0.0:
-            return weights.copy()
+            return weights
         noise = rng.normal(0.0, self.weight_programming_std, size=weights.shape)
         return np.clip(weights + noise, 0.0, 1.0)
 
     def apply_to_fields(
         self, fields: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
-        """Apply phase-error shrinkage, multiplicative and additive noise to fields."""
+        """Apply phase-error shrinkage, multiplicative and additive noise to fields.
+
+        ``fields`` may be a 1-D column-field vector or a 2-D batch of shape
+        (num_vectors, columns).  For a batch, the additive noise floor is
+        referenced to each vector's own full-scale field (matching the
+        per-vector semantics of streaming the batch one vector at a time).
+        """
         fields = np.asarray(fields, dtype=float)
         result = fields * self.coherence_factor()
         if self.relative_amplitude_noise > 0.0:
             gain = rng.normal(1.0, self.relative_amplitude_noise, size=fields.shape)
             result = result * gain
-        if self.additive_noise_floor > 0.0:
-            full_scale = float(np.max(np.abs(fields))) if fields.size else 0.0
-            if full_scale > 0.0:
-                result = result + rng.normal(
-                    0.0, self.additive_noise_floor * full_scale, size=fields.shape
-                )
+        if self.additive_noise_floor > 0.0 and fields.size:
+            if fields.ndim == 2:
+                full_scale = np.max(np.abs(fields), axis=1, keepdims=True)
+            else:
+                full_scale = float(np.max(np.abs(fields)))
+            noise = rng.normal(
+                0.0, self.additive_noise_floor, size=fields.shape
+            ) * full_scale
+            result = result + noise
         return result
 
     # ------------------------------------------------------------------ presets

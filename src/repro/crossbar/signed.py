@@ -1,4 +1,4 @@
-"""Signed matrix-vector multiplication on the absorption-only crossbar.
+"""Signed matrix-matrix multiplication on the absorption-only crossbar.
 
 PCM cells can only attenuate, so crossbar weights are restricted to [0, 1]
 (the paper maps all weights to 64 levels between 0 and 1).  Real CNN layers
@@ -11,7 +11,19 @@ with the standard differential decomposition:
 
 so a signed GEMM becomes at most four non-negative crossbar passes whose
 results are combined digitally.  For ReLU networks the input decomposition
-collapses to a single pass.
+collapses to a single differential pass.
+
+Batched execution model
+-----------------------
+:meth:`SignedCrossbarEngine.matmul` is the primitive: the whole
+(num_vectors, rows) batch is normalised with *per-vector* input scales via
+broadcasting and pushed through the underlying
+:meth:`~repro.crossbar.array.CrossbarArray.matmul` GEMM passes.  When the
+entire batch is non-negative — the common case after ReLU — the two
+negative-input passes are skipped outright.  Vectors that do contain negative
+entries only add zero-rows for the all-positive vectors in the batch, which
+contribute exact zeros, so batched outputs match the per-vector path bitwise
+in noiseless mode.  :meth:`matvec` is a thin single-row wrapper.
 """
 
 from __future__ import annotations
@@ -87,7 +99,7 @@ class SignedCrossbarEngine:
 
     # ------------------------------------------------------------------ compute
     def matvec(self, inputs: np.ndarray) -> np.ndarray:
-        """Signed ``weights.T @ inputs`` using differential crossbar passes."""
+        """Signed ``weights.T @ inputs`` for one vector (wraps :meth:`matmul`)."""
         if not self._programmed:
             raise SimulationError("program() must be called before matvec()")
         inputs = np.asarray(inputs, dtype=float)
@@ -95,31 +107,43 @@ class SignedCrossbarEngine:
             raise SimulationError(
                 f"inputs must have shape ({self.rows},), got {inputs.shape}"
             )
-
-        input_scale = float(np.max(np.abs(inputs)))
-        if input_scale == 0.0:
-            return np.zeros(self.columns)
-        normalised = inputs / input_scale
-        positive_in = np.clip(normalised, 0.0, None)
-        negative_in = np.clip(-normalised, 0.0, None)
-
-        result = self.positive_array.matvec(positive_in) - self.negative_array.matvec(
-            positive_in
-        )
-        if np.any(negative_in > 0):
-            result -= self.positive_array.matvec(negative_in) - self.negative_array.matvec(
-                negative_in
-            )
-        return result * self._weight_scale * input_scale
+        return self.matmul(inputs[None, :])[0]
 
     def matmul(self, inputs: np.ndarray) -> np.ndarray:
-        """Signed GEMM for a matrix of input vectors, shape (num_vectors, rows)."""
+        """Signed GEMM for a batch of input vectors, shape (num_vectors, rows).
+
+        Each vector is normalised by its own max-magnitude scale
+        (broadcasting), split into non-negative positive/negative parts, and
+        the whole batch runs through the differential crossbar passes as
+        GEMMs.  The two negative-input passes are skipped when the entire
+        batch is non-negative (the common ReLU case).
+        """
+        if not self._programmed:
+            raise SimulationError("program() must be called before matmul()")
         inputs = np.asarray(inputs, dtype=float)
         if inputs.ndim != 2 or inputs.shape[1] != self.rows:
             raise SimulationError(
                 f"inputs must have shape (num_vectors, {self.rows}), got {inputs.shape}"
             )
-        return np.stack([self.matvec(vector) for vector in inputs])
+
+        input_scales = np.max(np.abs(inputs), axis=1)
+        if not np.any(input_scales > 0.0):
+            return np.zeros((inputs.shape[0], self.columns))
+        # Zero vectors keep a unit scale so the division is well-defined; their
+        # normalised rows are all-zero and produce exact zero outputs.
+        safe_scales = np.where(input_scales > 0.0, input_scales, 1.0)
+        normalised = inputs / safe_scales[:, None]
+        positive_in = np.clip(normalised, 0.0, None)
+        negative_in = np.clip(-normalised, 0.0, None)
+
+        result = self.positive_array.matmul(positive_in) - self.negative_array.matmul(
+            positive_in
+        )
+        if np.any(negative_in > 0):
+            result -= self.positive_array.matmul(negative_in) - self.negative_array.matmul(
+                negative_in
+            )
+        return result * self._weight_scale * input_scales[:, None]
 
     # ------------------------------------------------------------------ report
     def statistics(self) -> Dict[str, float]:

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import List
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.errors import WorkloadError
 from repro.nn.layers import ConvLayer, DenseLayer, TensorShape
@@ -110,34 +111,46 @@ def im2col_matrix(
     feature map.  This matches the weight flattening used by
     :func:`conv_weights_matrix`, so ``im2col @ weights`` reproduces the
     convolution.
+
+    A batched input of shape (B, H, W, C) is accepted as well and returns
+    (B, num_output_pixels, kernel_size² · C).
+
+    The gather is a zero-copy ``sliding_window_view`` over the (padded)
+    feature map; the only copy made is the final reshape into the contiguous
+    im2col matrix, so no per-patch Python loop is involved.
     """
     feature_map = np.asarray(feature_map, dtype=float)
-    if feature_map.ndim != 3:
+    batched = feature_map.ndim == 4
+    if feature_map.ndim not in (3, 4):
         raise WorkloadError(
-            f"feature_map must have shape (H, W, C), got {feature_map.shape}"
+            f"feature_map must have shape (H, W, C) or (B, H, W, C), "
+            f"got {feature_map.shape}"
         )
     if kernel_size < 1 or stride < 1 or padding < 0:
         raise WorkloadError("kernel_size and stride must be >= 1 and padding >= 0")
 
-    height, width, channels = feature_map.shape
+    stacked = feature_map if batched else feature_map[None]
     if padding:
-        feature_map = np.pad(
-            feature_map, ((padding, padding), (padding, padding), (0, 0)), mode="constant"
+        stacked = np.pad(
+            stacked,
+            ((0, 0), (padding, padding), (padding, padding), (0, 0)),
+            mode="constant",
         )
-    padded_h, padded_w = feature_map.shape[:2]
+    num_images, padded_h, padded_w, channels = stacked.shape
     out_h = (padded_h - kernel_size) // stride + 1
     out_w = (padded_w - kernel_size) // stride + 1
     if out_h < 1 or out_w < 1:
         raise WorkloadError("im2col produces an empty output; check kernel/stride/padding")
 
-    rows = []
-    for out_y in range(out_h):
-        for out_x in range(out_w):
-            y0 = out_y * stride
-            x0 = out_x * stride
-            patch = feature_map[y0 : y0 + kernel_size, x0 : x0 + kernel_size, :]
-            rows.append(patch.reshape(-1))
-    return np.stack(rows, axis=0)
+    # (B, out_h', out_w', C, ky, kx) view; subsample by the stride, then move
+    # the window axes in front of the channel axis so each flattened patch is
+    # ordered (ky, kx, c), matching conv_weights_matrix.
+    windows = sliding_window_view(stacked, (kernel_size, kernel_size), axis=(1, 2))
+    windows = windows[:, :: stride, :: stride]
+    patches = windows.transpose(0, 1, 2, 4, 5, 3).reshape(
+        num_images, out_h * out_w, kernel_size * kernel_size * channels
+    )
+    return patches if batched else patches[0]
 
 
 def conv_weights_matrix(weights: np.ndarray) -> np.ndarray:
@@ -165,23 +178,26 @@ def conv2d_reference(
     Parameters
     ----------
     feature_map:
-        Input of shape (H, W, C_in).
+        Input of shape (H, W, C_in), or a batch of shape (B, H, W, C_in).
     weights:
         Filters of shape (k, k, C_in, C_out).
 
     Returns
     -------
     numpy.ndarray
-        Output of shape (H_out, W_out, C_out).
+        Output of shape (H_out, W_out, C_out), with a leading batch axis when
+        the input had one.
     """
     weights = np.asarray(weights, dtype=float)
+    feature_map = np.asarray(feature_map, dtype=float)
     kernel_size = weights.shape[0]
     unrolled = im2col_matrix(feature_map, kernel_size, stride, padding)
     flat_weights = conv_weights_matrix(weights)
-    height, width, _ = np.asarray(feature_map, dtype=float).shape
-    padded_h = height + 2 * padding
-    padded_w = width + 2 * padding
-    out_h = (padded_h - kernel_size) // stride + 1
-    out_w = (padded_w - kernel_size) // stride + 1
+    batched = feature_map.ndim == 4
+    height, width = feature_map.shape[1:3] if batched else feature_map.shape[:2]
+    out_h = (height + 2 * padding - kernel_size) // stride + 1
+    out_w = (width + 2 * padding - kernel_size) // stride + 1
     product = unrolled @ flat_weights
+    if batched:
+        return product.reshape(feature_map.shape[0], out_h, out_w, flat_weights.shape[1])
     return product.reshape(out_h, out_w, flat_weights.shape[1])

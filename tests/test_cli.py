@@ -75,3 +75,25 @@ class TestCommands:
         assert code == 0
         data = json.loads(capsys.readouterr().out)
         assert "rows" in data and "ratios" in data
+
+    def test_infer_json_summary(self, capsys):
+        code = main(["infer", "--network", "lenet5", "--images", "2",
+                     "--rows", "32", "--columns", "32", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["images"] == 2
+        assert data["programming_events"] > 0
+        assert 0.0 <= data["top1_match_rate"] <= 1.0
+        assert data["images_per_second"] > 0
+
+    def test_infer_text_report_mentions_cache(self, capsys):
+        code = main(["infer", "--network", "lenet5", "--images", "2",
+                     "--rows", "32", "--columns", "32"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "PCM programming events" in output
+        assert "images/s" in output
+
+    def test_infer_rejects_non_positive_images(self):
+        with pytest.raises(SystemExit):
+            main(["infer", "--network", "lenet5", "--images", "0"])

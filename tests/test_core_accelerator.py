@@ -77,3 +77,90 @@ class TestFunctionalPath:
             accelerator.linear(np.zeros((4, 4)), np.zeros(5))
         with pytest.raises(SimulationError):
             accelerator.linear(np.zeros(4), np.zeros(4))
+
+    def test_conv2d_batched_matches_per_image(self, accelerator):
+        rng = np.random.default_rng(3)
+        fmaps = rng.uniform(0, 1, (3, 6, 6, 2))
+        weights = rng.normal(size=(3, 3, 2, 4))
+        batched = accelerator.conv2d(fmaps, weights, stride=1, padding=1)
+        assert batched.shape == (3, 6, 6, 4)
+        for i in range(3):
+            per_image = accelerator.conv2d(fmaps[i], weights, stride=1, padding=1)
+            assert np.array_equal(batched[i], per_image)
+
+
+class TestProgrammedTileCache:
+    @pytest.fixture()
+    def accelerator(self):
+        return OpticalCrossbarAccelerator(small_test_chip())
+
+    def test_repeated_linear_programs_each_tile_once(self, accelerator):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(size=(20, 11))  # 3 x 2 tile grid on the 8x8 chip
+        inputs = rng.uniform(0, 1, (4, 20))
+        first = accelerator.linear(weights, inputs)
+        events_after_first = accelerator.functional_statistics()["programming_events"]
+        # 6 tiles x 2 arrays (positive/negative) per signed engine.
+        assert events_after_first == 12
+        for _ in range(5):
+            again = accelerator.linear(weights, inputs)
+            assert np.array_equal(again, first)
+        stats = accelerator.functional_statistics()
+        assert stats["programming_events"] == events_after_first
+        assert stats["tile_cache_hits"] == 5
+        assert stats["tile_cache_misses"] == 1
+
+    def test_interleaved_layers_keep_correct_results(self, accelerator):
+        rng = np.random.default_rng(1)
+        weights_a = rng.normal(size=(12, 5))
+        weights_b = rng.normal(size=(9, 7))
+        x_a = rng.uniform(0, 1, (3, 12))
+        x_b = rng.uniform(0, 1, (3, 9))
+        baseline_a = OpticalCrossbarAccelerator(small_test_chip()).linear(weights_a, x_a)
+        baseline_b = OpticalCrossbarAccelerator(small_test_chip()).linear(weights_b, x_b)
+        for _ in range(3):
+            assert np.array_equal(accelerator.linear(weights_a, x_a), baseline_a)
+            assert np.array_equal(accelerator.linear(weights_b, x_b), baseline_b)
+        stats = accelerator.functional_statistics()
+        assert stats["tile_cache_misses"] == 2  # one plan per distinct weight matrix
+        assert stats["tile_cache_hits"] == 4
+
+    def test_mutated_weights_are_reprogrammed(self, accelerator):
+        rng = np.random.default_rng(2)
+        weights = rng.normal(size=(8, 8))
+        inputs = rng.uniform(0, 1, (2, 8))
+        first = accelerator.linear(weights, inputs)
+        events = accelerator.functional_statistics()["programming_events"]
+        weights[0, 0] += 1.0  # in-place mutation must invalidate the cache key
+        second = accelerator.linear(weights, inputs)
+        assert accelerator.functional_statistics()["programming_events"] > events
+        fresh = OpticalCrossbarAccelerator(small_test_chip()).linear(weights, inputs)
+        assert np.array_equal(second, fresh)
+        assert first.shape == second.shape
+
+    def test_lru_eviction_keeps_statistics(self):
+        accelerator = OpticalCrossbarAccelerator(
+            small_test_chip(), max_cached_weight_plans=2
+        )
+        rng = np.random.default_rng(3)
+        matrices = [rng.normal(size=(8, 8)) for _ in range(3)]
+        inputs = rng.uniform(0, 1, (1, 8))
+        for matrix in matrices:
+            accelerator.linear(matrix, inputs)
+        stats = accelerator.functional_statistics()
+        assert stats["tile_cache_evictions"] == 1
+        assert stats["programming_events"] == 6  # 3 plans x 1 tile x 2 arrays
+        # The evicted (oldest) plan reprograms on reuse; the cached ones do not.
+        accelerator.linear(matrices[0], inputs)
+        assert accelerator.functional_statistics()["programming_events"] == 8
+
+    def test_clear_functional_cache(self, accelerator):
+        rng = np.random.default_rng(4)
+        weights = rng.normal(size=(8, 8))
+        inputs = rng.uniform(0, 1, (1, 8))
+        accelerator.linear(weights, inputs)
+        accelerator.clear_functional_cache()
+        accelerator.linear(weights, inputs)
+        stats = accelerator.functional_statistics()
+        assert stats["programming_events"] == 4  # reprogrammed after the clear
+        assert stats["tile_cache_misses"] == 2

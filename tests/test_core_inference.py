@@ -109,6 +109,56 @@ class TestOpticalExecution:
         assert report["top1_match"] == 1.0
 
 
+class TestBatchedInference:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        network = tiny_cnn()
+        return FunctionalInferenceEngine(
+            network, generate_random_weights(network, seed=5), small_test_chip(rows=32, columns=32)
+        )
+
+    def test_run_batch_shape(self, engine):
+        images = np.random.default_rng(0).uniform(0, 1, (4, 8, 8, 2))
+        outputs = engine.run_batch(images)
+        assert outputs.shape == (4, 5)
+
+    def test_run_batch_matches_per_image_run(self, engine):
+        images = np.random.default_rng(1).uniform(0, 1, (3, 8, 8, 2))
+        batched = engine.run_batch(images)
+        per_image = np.stack([engine.run(image) for image in images])
+        assert np.array_equal(batched, per_image)
+
+    def test_run_batch_reference_matches_per_image(self, engine):
+        images = np.random.default_rng(2).uniform(0, 1, (3, 8, 8, 2))
+        batched = engine.run_batch_reference(images)
+        per_image = np.stack([engine.run_reference(image) for image in images])
+        assert np.array_equal(batched, per_image)
+
+    def test_batch_agreement_report(self, engine):
+        images = np.random.default_rng(3).uniform(0, 1, (3, 8, 8, 2))
+        report = engine.batch_agreement(images)
+        assert report["batch"] == 3.0
+        assert 0.0 <= report["top1_match_rate"] <= 1.0
+        assert report["mean_relative_error"] <= report["max_relative_error"]
+
+    def test_run_batch_programs_each_layer_once(self):
+        network = tiny_cnn()
+        engine = FunctionalInferenceEngine(
+            network, generate_random_weights(network, seed=5), small_test_chip(rows=32, columns=32)
+        )
+        images = np.random.default_rng(4).uniform(0, 1, (6, 8, 8, 2))
+        engine.run_batch(images)
+        events = engine.accelerator.functional_statistics()["programming_events"]
+        engine.run_batch(images)
+        assert engine.accelerator.functional_statistics()["programming_events"] == events
+
+    def test_run_batch_rejects_bad_shape(self, engine):
+        with pytest.raises(SimulationError):
+            engine.run_batch(np.zeros((2, 4, 4, 2)))
+        with pytest.raises(SimulationError):
+            engine.run_batch(np.zeros((8, 8, 2)))
+
+
 class TestValidation:
     def test_missing_weights_rejected(self):
         network = tiny_cnn()

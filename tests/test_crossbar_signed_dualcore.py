@@ -60,6 +60,72 @@ class TestSignedCrossbarEngine:
         engine.program(np.zeros((4, 4)))
         with pytest.raises(SimulationError):
             engine.matvec(np.zeros(5))
+        with pytest.raises(SimulationError):
+            engine.matmul(np.zeros((3, 5)))
+
+    def test_matmul_requires_programming(self):
+        engine = SignedCrossbarEngine(4, 4)
+        with pytest.raises(SimulationError):
+            engine.matmul(np.zeros((2, 4)))
+
+
+class TestSignedBatchedMatmul:
+    """The batched signed GEMM must reproduce the per-vector path exactly."""
+
+    def _programmed_engine(self, rows=16, columns=12, seed=0):
+        rng = np.random.default_rng(seed)
+        engine = SignedCrossbarEngine(rows, columns)
+        engine.program(rng.normal(size=(rows, columns)))
+        return engine, rng
+
+    def test_mixed_sign_batch_matches_per_vector_matvec(self):
+        engine, rng = self._programmed_engine()
+        inputs = rng.normal(size=(17, 16))
+        batched = engine.matmul(inputs)
+        per_vector = np.stack([engine.matvec(vector) for vector in inputs])
+        assert np.array_equal(batched, per_vector)
+
+    def test_zero_vectors_inside_batch_produce_exact_zeros(self):
+        engine, rng = self._programmed_engine(seed=1)
+        inputs = rng.normal(size=(6, 16))
+        inputs[0] = 0.0
+        inputs[3] = 0.0
+        outputs = engine.matmul(inputs)
+        assert np.array_equal(outputs[0], np.zeros(12))
+        assert np.array_equal(outputs[3], np.zeros(12))
+        # Per-vector input scales: the non-zero rows must be unaffected by the
+        # zero rows sharing the batch.
+        alone = engine.matmul(inputs[1:2])
+        assert np.array_equal(outputs[1], alone[0])
+
+    def test_all_zero_batch_short_circuits(self):
+        engine, _ = self._programmed_engine(seed=2)
+        outputs = engine.matmul(np.zeros((4, 16)))
+        assert outputs.shape == (4, 12)
+        assert np.array_equal(outputs, np.zeros((4, 12)))
+
+    def test_per_vector_scales_are_independent(self):
+        engine, rng = self._programmed_engine(seed=3)
+        small = rng.uniform(0, 0.01, 16)
+        large = rng.uniform(0, 100.0, 16)
+        batched = engine.matmul(np.stack([small, large]))
+        assert np.array_equal(batched[0], engine.matvec(small))
+        assert np.array_equal(batched[1], engine.matvec(large))
+
+    def test_nonnegative_batch_skips_negative_passes(self):
+        engine, rng = self._programmed_engine(seed=4)
+        inputs = rng.uniform(0, 1, (8, 16))
+        counting = {"calls": 0}
+        original = engine.positive_array.matmul
+
+        def spy(batch, **kwargs):
+            counting["calls"] += 1
+            return original(batch, **kwargs)
+
+        engine.positive_array.matmul = spy
+        engine.matmul(inputs)
+        # One positive pass only (plus the matching negative-array pass).
+        assert counting["calls"] == 1
 
 
 class TestDualCoreScheduler:

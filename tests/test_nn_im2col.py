@@ -2,10 +2,30 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import WorkloadError
 from repro.nn import ConvLayer, DenseLayer, TensorShape, build_resnet50, conv_to_gemm, layer_to_gemms
 from repro.nn.im2col import GemmShape, conv2d_reference, conv_weights_matrix, dense_to_gemm, im2col_matrix
+
+
+def _loop_im2col(feature_map, kernel_size, stride, padding):
+    """Per-patch reference implementation (the seed's Python loop)."""
+    if padding:
+        feature_map = np.pad(
+            feature_map, ((padding, padding), (padding, padding), (0, 0)), mode="constant"
+        )
+    padded_h, padded_w = feature_map.shape[:2]
+    out_h = (padded_h - kernel_size) // stride + 1
+    out_w = (padded_w - kernel_size) // stride + 1
+    rows = []
+    for out_y in range(out_h):
+        for out_x in range(out_w):
+            y0, x0 = out_y * stride, out_x * stride
+            patch = feature_map[y0 : y0 + kernel_size, x0 : x0 + kernel_size, :]
+            rows.append(patch.reshape(-1))
+    return np.stack(rows, axis=0)
 
 
 class TestGemmShape:
@@ -99,3 +119,56 @@ class TestIm2colData:
     def test_weights_matrix_rejects_non_square_kernel(self):
         with pytest.raises(WorkloadError):
             conv_weights_matrix(np.zeros((3, 5, 1, 1)))
+
+
+class TestIm2colVectorized:
+    """The sliding_window_view gather must match the per-patch loop bitwise."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        height=st.integers(min_value=1, max_value=9),
+        width=st.integers(min_value=1, max_value=9),
+        channels=st.integers(min_value=1, max_value=4),
+        kernel_size=st.integers(min_value=1, max_value=4),
+        stride=st.integers(min_value=1, max_value=3),
+        padding=st.integers(min_value=0, max_value=2),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_matches_loop_reference(
+        self, height, width, channels, kernel_size, stride, padding, seed
+    ):
+        if height + 2 * padding < kernel_size or width + 2 * padding < kernel_size:
+            return  # empty output; rejection is covered below
+        rng = np.random.default_rng(seed)
+        fmap = rng.normal(size=(height, width, channels))
+        vectorized = im2col_matrix(fmap, kernel_size, stride, padding)
+        reference = _loop_im2col(fmap, kernel_size, stride, padding)
+        assert vectorized.shape == reference.shape
+        assert np.array_equal(vectorized, reference)
+
+    def test_batched_input_stacks_per_image_results(self):
+        rng = np.random.default_rng(0)
+        batch = rng.normal(size=(5, 7, 6, 3))
+        unrolled = im2col_matrix(batch, kernel_size=3, stride=2, padding=1)
+        assert unrolled.shape[0] == 5
+        for i in range(5):
+            assert np.array_equal(unrolled[i], im2col_matrix(batch[i], 3, 2, 1))
+
+    def test_batched_conv2d_reference_matches_per_image(self):
+        rng = np.random.default_rng(1)
+        batch = rng.normal(size=(3, 6, 6, 2))
+        weights = rng.normal(size=(3, 3, 2, 4))
+        batched = conv2d_reference(batch, weights, stride=1, padding=1)
+        assert batched.shape == (3, 6, 6, 4)
+        for i in range(3):
+            assert np.array_equal(
+                batched[i], conv2d_reference(batch[i], weights, stride=1, padding=1)
+            )
+
+    def test_empty_output_still_rejected(self):
+        with pytest.raises(WorkloadError):
+            im2col_matrix(np.zeros((2, 2, 1)), kernel_size=3, stride=1, padding=0)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(WorkloadError):
+            im2col_matrix(np.zeros((2, 2, 1, 1, 1)), kernel_size=1)
