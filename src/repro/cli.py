@@ -21,6 +21,7 @@ Examples
     python -m repro optimize --network resnet50 --area-cap 160
     python -m repro figure --name fig6 --output fig6.csv
     python -m repro infer --network lenet5 --images 16 --rows 64 --columns 64
+    python -m repro infer --network lenet5 --images 16 --workers thread
 """
 
 from __future__ import annotations
@@ -49,7 +50,9 @@ from repro.core.inference import (
     agreement_metrics,
     generate_random_weights,
 )
+from repro.core.sharding import resolve_worker_count
 from repro.crossbar.noise import CrossbarNoiseModel
+from repro.errors import SimulationError
 from repro.core import (
     DesignOptimizer,
     SimulationFramework,
@@ -91,6 +94,25 @@ FIGURES = {
     "fig8": generate_fig8_breakdown,
     "table1": generate_table1,
 }
+
+
+def _parse_workers(value: str):
+    """Parse the ``--workers`` option: 'serial', 'thread' or a positive int.
+
+    Delegates validation to :func:`repro.core.sharding.resolve_worker_count`
+    so the CLI accepts exactly the specs the execution engine does.
+    """
+    spec: "str | int" = value
+    if value not in ("serial", "thread"):
+        try:
+            spec = int(value)
+        except ValueError:
+            pass
+    try:
+        resolve_worker_count(spec, num_cores=1)
+    except SimulationError as error:
+        raise argparse.ArgumentTypeError(str(error))
+    return spec
 
 
 def build_network(name: str) -> Network:
@@ -174,6 +196,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="none",
         help="analog impairment preset for the optical datapath",
     )
+    infer.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default="serial",
+        help=(
+            "sharded tile execution: 'serial' (default), 'thread' (one worker "
+            "per crossbar core) or a positive worker count; results are "
+            "bitwise identical for every setting"
+        ),
+    )
     infer.add_argument("--weight-seed", type=int, default=0, help="synthetic weight seed")
     infer.add_argument("--image-seed", type=int, default=1, help="random image seed")
     infer.add_argument("--json", action="store_true", help="print a JSON summary instead of text")
@@ -242,7 +274,11 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     }
     weights = generate_random_weights(network, seed=args.weight_seed, scale=0.3)
     engine = FunctionalInferenceEngine(
-        network, weights, config, noise_model=noise_presets[args.noise]
+        network,
+        weights,
+        config,
+        noise_model=noise_presets[args.noise],
+        execution=args.workers,
     )
     rng = np.random.default_rng(args.image_seed)
     images = rng.uniform(0.0, 1.0, (args.images,) + network.input_shape.as_tuple())
@@ -264,6 +300,8 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         "network": args.network,
         "images": args.images,
         "noise": args.noise,
+        "workers": str(args.workers),
+        "per_core_tile_dispatches": list(stats["per_core_tile_dispatches"]),
         "cold_batch_seconds": cold_s,
         "warm_batch_seconds": warm_s,
         "images_per_second": args.images / warm_s if warm_s > 0 else float("inf"),
@@ -290,6 +328,11 @@ def _cmd_infer(args: argparse.Namespace) -> int:
             f"(tile cache: {summary['tile_cache_hits']} hits, "
             f"{summary['tile_cache_misses']} misses)"
         )
+        dispatches = ", ".join(
+            f"core {core}: {count}"
+            for core, count in enumerate(summary["per_core_tile_dispatches"])
+        )
+        print(f"  tile GEMMs per crossbar core (workers={summary['workers']}): {dispatches}")
     return 0
 
 

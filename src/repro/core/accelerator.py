@@ -22,6 +22,20 @@ again.  Programming statistics survive cache eviction and are reported by
 :meth:`functional_statistics`.  Inputs stream through the cached tiles as
 batched GEMMs (:meth:`SignedCrossbarEngine.matmul`), so a whole batch of
 vectors per tile costs one BLAS call instead of a Python loop.
+
+Multi-core sharded execution
+----------------------------
+The per-tile GEMMs of a plan are dispatched through a
+:class:`~repro.core.sharding.ShardedExecutionEngine`, which assigns tile ``i``
+to crossbar core ``i % num_cores`` (the same static round-robin the analytical
+:class:`~repro.crossbar.dual_core.DualCoreCrossbar` schedule uses) and can run
+the shards on a thread pool (``execution="thread"`` or an integer worker
+count).  Each tile's noise generator is derived from an independent
+``SeedSequence`` child keyed by the weight content and tile index, so sharded
+execution is bitwise identical to serial execution even with a noise model,
+and noisy outputs do not depend on the order in which tile plans were built.
+Per-core tile counts and busy-time estimates are accumulated into
+:meth:`functional_statistics`.
 """
 
 from __future__ import annotations
@@ -35,6 +49,8 @@ import numpy as np
 
 from repro.config.chip import ChipConfig
 from repro.config.presets import optimal_chip
+from repro.core.sharding import ShardedExecutionEngine, WorkerSpec
+from repro.crossbar.dual_core import ProgrammingJob
 from repro.crossbar.noise import CrossbarNoiseModel
 from repro.crossbar.signed import SignedCrossbarEngine
 from repro.errors import SimulationError
@@ -88,6 +104,11 @@ class OpticalCrossbarAccelerator:
     max_cached_weight_plans:
         Upper bound on the number of distinct weight matrices whose
         programmed tile plans are kept alive (LRU eviction beyond it).
+    execution:
+        Worker-pool specification for multi-core sharded execution of the
+        per-tile GEMMs: ``"serial"`` (default, inline), ``"thread"`` (one
+        worker thread per crossbar core) or a positive integer worker count.
+        Results are bitwise identical across all settings.
     """
 
     def __init__(
@@ -96,10 +117,14 @@ class OpticalCrossbarAccelerator:
         noise_model: Optional[CrossbarNoiseModel] = None,
         seed: int = 0,
         max_cached_weight_plans: int = 64,
+        execution: WorkerSpec = "serial",
     ) -> None:
         self.config = config or optimal_chip()
         self.noise_model = noise_model
-        self._rng = np.random.default_rng(seed)
+        self._seed_sequence = np.random.SeedSequence(seed)
+        self.sharding = ShardedExecutionEngine(
+            self.config.num_cores, self.config.mac_clock_hz, workers=execution
+        )
         self._simulator = CrossbarDataflowSimulator(self.config)
         if max_cached_weight_plans < 1:
             raise SimulationError(
@@ -114,7 +139,10 @@ class OpticalCrossbarAccelerator:
             "tile_cache_hits": 0,
             "tile_cache_misses": 0,
             "tile_cache_evictions": 0,
+            "sharded_dispatches": 0,
         }
+        self._per_core_tile_dispatches = [0] * self.config.num_cores
+        self._per_core_busy_time_s = [0.0] * self.config.num_cores
 
     # ------------------------------------------------------------------ performance
     def runtime_specs(self, network: Network) -> NetworkRuntime:
@@ -136,38 +164,58 @@ class OpticalCrossbarAccelerator:
         digest = hashlib.sha1(contiguous.tobytes()).digest()
         return (weights.shape, digest)
 
-    def _build_tile_plan(self, weights: np.ndarray) -> _TilePlan:
+    def _tile_seed_sequences(self, key: Tuple, num_tiles: int) -> List[np.random.SeedSequence]:
+        """Independent per-tile child seeds for the plan identified by ``key``.
+
+        The children are spawned from a sequence keyed by the accelerator seed
+        *and* the weight matrix's content key, so each tile's noise stream
+        depends only on (seed, weights, tile index) — not on how many plans
+        were built before, nor on which thread executes the tile.  This is
+        what makes noisy sharded execution bitwise identical to serial
+        execution.
+        """
+        shape, digest = key
+        plan_sequence = np.random.SeedSequence(
+            entropy=self._seed_sequence.entropy,
+            spawn_key=tuple(int(dim) for dim in shape) + tuple(digest),
+        )
+        return plan_sequence.spawn(num_tiles)
+
+    def _build_tile_plan(self, weights: np.ndarray, key: Tuple) -> _TilePlan:
         """Derive the tile grid for ``weights`` and program every tile once."""
         k, n = weights.shape
         rows, columns = self.config.rows, self.config.columns
+        spans = [
+            (k_start, min(k_start + rows, k), n_start, min(n_start + columns, n))
+            for k_start in range(0, k, rows)
+            for n_start in range(0, n, columns)
+        ]
+        tile_seeds = self._tile_seed_sequences(key, len(spans))
         tiles: List[_ProgrammedTile] = []
-        for k_start in range(0, k, rows):
-            k_end = min(k_start + rows, k)
-            for n_start in range(0, n, columns):
-                n_end = min(n_start + columns, n)
-                tile = np.zeros((rows, columns))
-                tile[: k_end - k_start, : n_end - n_start] = weights[
-                    k_start:k_end, n_start:n_end
-                ]
-                engine = SignedCrossbarEngine(
-                    rows,
-                    columns,
-                    technology=self.config.technology,
-                    noise_model=self.noise_model,
-                    rng=self._rng,
-                )
-                engine.program(tile)
-                stats = engine.statistics()
-                self._functional_stats["programming_events"] += int(
-                    stats["programming_events"]
-                )
-                self._functional_stats["programming_energy_j"] += stats[
-                    "programming_energy_j"
-                ]
-                self._functional_stats["programming_time_s"] += stats[
-                    "programming_time_s"
-                ]
-                tiles.append(_ProgrammedTile(engine, k_start, k_end, n_start, n_end))
+        for (k_start, k_end, n_start, n_end), tile_seed in zip(spans, tile_seeds):
+            tile = np.zeros((rows, columns))
+            tile[: k_end - k_start, : n_end - n_start] = weights[
+                k_start:k_end, n_start:n_end
+            ]
+            engine = SignedCrossbarEngine(
+                rows,
+                columns,
+                technology=self.config.technology,
+                noise_model=self.noise_model,
+                rng=np.random.default_rng(tile_seed),
+            )
+            engine.program(tile)
+            stats = engine.statistics()
+            self._functional_stats["programming_events"] += int(
+                stats["programming_events"]
+            )
+            self._functional_stats["programming_energy_j"] += stats[
+                "programming_energy_j"
+            ]
+            self._functional_stats["programming_time_s"] += stats[
+                "programming_time_s"
+            ]
+            tiles.append(_ProgrammedTile(engine, k_start, k_end, n_start, n_end))
         return _TilePlan(k=k, n=n, tiles=tiles)
 
     def _programmed_tile_plan(self, weights: np.ndarray) -> _TilePlan:
@@ -179,7 +227,7 @@ class OpticalCrossbarAccelerator:
             self._functional_stats["tile_cache_hits"] += 1
             return plan
         self._functional_stats["tile_cache_misses"] += 1
-        plan = self._build_tile_plan(weights)
+        plan = self._build_tile_plan(weights, key)
         self._tile_plans[key] = plan
         while len(self._tile_plans) > self._max_cached_weight_plans:
             self._tile_plans.popitem(last=False)
@@ -190,15 +238,61 @@ class OpticalCrossbarAccelerator:
         """Drop every cached programmed tile plan (statistics are kept)."""
         self._tile_plans.clear()
 
-    def functional_statistics(self) -> Dict[str, float]:
-        """Aggregate PCM programming and tile-cache statistics.
+    def functional_statistics(self) -> Dict[str, object]:
+        """Aggregate PCM programming, tile-cache and sharding statistics.
 
         ``programming_events`` counts full-array programming passes across
         every engine ever created by :meth:`linear` (eviction does not erase
         history), so repeated inference with the same weights leaves the
-        count unchanged.
+        count unchanged.  ``per_core_tile_dispatches`` and
+        ``per_core_busy_time_s`` accumulate, per crossbar core, the number of
+        tile GEMMs dispatched and the modelled program+compute busy time —
+        consistent with the analytical
+        :class:`~repro.crossbar.dual_core.DualCoreCrossbar` schedule (see
+        :meth:`analytical_schedule`).
         """
-        return dict(self._functional_stats)
+        stats: Dict[str, object] = dict(self._functional_stats)
+        stats["per_core_tile_dispatches"] = tuple(self._per_core_tile_dispatches)
+        stats["per_core_busy_time_s"] = tuple(self._per_core_busy_time_s)
+        return stats
+
+    def _analytics_plan(self, weights: np.ndarray) -> _TilePlan:
+        """Tile plan for analytics queries, free of datapath side effects.
+
+        Reuses a cached plan without touching the LRU order or the hit/miss
+        counters.  For uncached weights a throwaway plan is built *outside*
+        the cache (so an analytics query can never evict a hot inference
+        plan) and the programming statistics it would have accumulated are
+        restored — the query describes a hypothetical schedule, it is not
+        datapath traffic.  Per-tile seeds are content-keyed, so the throwaway
+        plan is identical to the one :meth:`linear` would build.
+        """
+        key = self._weight_key(weights)
+        plan = self._tile_plans.get(key)
+        if plan is not None:
+            return plan
+        snapshot = dict(self._functional_stats)
+        try:
+            return self._build_tile_plan(weights, key)
+        finally:
+            self._functional_stats.update(snapshot)
+
+    def programming_jobs(self, weights: np.ndarray, num_vectors: int) -> List[ProgrammingJob]:
+        """Analytical per-tile job sequence for ``weights``.
+
+        Derives the tile plan and converts it into the
+        :class:`~repro.crossbar.dual_core.ProgrammingJob` list consumed by
+        :class:`~repro.crossbar.dual_core.DualCoreCrossbar`, so the functional
+        core assignment can be cross-checked against the analytical schedule.
+        Leaves the tile cache and functional statistics untouched.
+        """
+        plan = self._analytics_plan(np.asarray(weights, dtype=float))
+        return self.sharding.programming_jobs(plan, num_vectors)
+
+    def analytical_schedule(self, weights: np.ndarray, num_vectors: int) -> Dict[str, float]:
+        """:meth:`DualCoreCrossbar.summarize` of the tile plan for ``weights``."""
+        plan = self._analytics_plan(np.asarray(weights, dtype=float))
+        return self.sharding.schedule_summary(plan, num_vectors)
 
     def linear(self, weights: np.ndarray, inputs: np.ndarray) -> np.ndarray:
         """Compute ``inputs @ weights`` on the functional crossbar, tile by tile.
@@ -217,7 +311,9 @@ class OpticalCrossbarAccelerator:
             computed with INT6 quantisation of weights, inputs and outputs.
 
         The weight matrix is programmed at most once (see module docstring);
-        the input batch streams through the cached tiles as GEMMs.
+        the input batch streams through the cached tiles as GEMMs, sharded
+        across the chip's crossbar cores by the configured ``execution``
+        policy (bitwise identical results for every policy).
         """
         weights = np.asarray(weights, dtype=float)
         inputs = np.asarray(inputs, dtype=float)
@@ -233,15 +329,11 @@ class OpticalCrossbarAccelerator:
             )
 
         plan = self._programmed_tile_plan(weights)
-        rows = self.config.rows
-        num_vectors = inputs.shape[0]
-        result = np.zeros((num_vectors, plan.n))
-        for tile in plan.tiles:
-            padded_inputs = np.zeros((num_vectors, rows))
-            padded_inputs[:, : tile.tile_rows] = inputs[:, tile.k_start : tile.k_end]
-            partial = tile.engine.matmul(padded_inputs)
-            result[:, tile.n_start : tile.n_end] += partial[:, : tile.tile_cols]
-
+        result, report = self.sharding.execute(plan, inputs, self.config.rows)
+        self._functional_stats["sharded_dispatches"] += 1
+        for core in range(self.config.num_cores):
+            self._per_core_tile_dispatches[core] += report.core_tile_counts[core]
+            self._per_core_busy_time_s[core] += report.core_busy_time_s[core]
         return result[0] if single_vector else result
 
     def conv2d(
@@ -265,7 +357,28 @@ class OpticalCrossbarAccelerator:
         programming the filter tiles exactly once for the whole batch.
         """
         feature_map = np.asarray(feature_map, dtype=float)
-        kernel = np.asarray(weights).shape[0]
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 4:
+            raise SimulationError(
+                f"conv2d weights must have shape (k, k, C_in, C_out), "
+                f"got shape {weights.shape}"
+            )
+        if weights.shape[0] != weights.shape[1]:
+            raise SimulationError(
+                f"conv2d supports square kernels only, "
+                f"got {weights.shape[0]}x{weights.shape[1]}"
+            )
+        if feature_map.ndim not in (3, 4):
+            raise SimulationError(
+                f"conv2d feature_map must have shape (H, W, C_in) or "
+                f"(B, H, W, C_in), got shape {feature_map.shape}"
+            )
+        if feature_map.shape[-1] != weights.shape[2]:
+            raise SimulationError(
+                f"conv2d feature_map has {feature_map.shape[-1]} channels but "
+                f"weights expect {weights.shape[2]}"
+            )
+        kernel = weights.shape[0]
         unrolled = im2col_matrix(feature_map, kernel, stride, padding)
         flat_weights = conv_weights_matrix(weights)
         batched = feature_map.ndim == 4

@@ -81,10 +81,19 @@ def agreement_metrics(optical: np.ndarray, reference: np.ndarray) -> Dict[str, f
     Both arrays must have shape (batch, num_outputs).  Shared by
     :meth:`FunctionalInferenceEngine.batch_agreement` and the CLI ``infer``
     command so the relative-error / top-1 definitions cannot drift apart.
+
+    A sample whose reference output is all-zero has no meaningful relative
+    error scale: if the optical output is also zero the relative error is
+    0.0 (exact agreement), otherwise it is reported as ``inf`` instead of
+    silently claiming perfect agreement.
     """
     norms = np.linalg.norm(reference, axis=1)
     errors = np.linalg.norm(optical - reference, axis=1)
-    relative_errors = np.where(norms > 0, errors / np.where(norms > 0, norms, 1.0), 0.0)
+    relative_errors = np.where(
+        norms > 0,
+        errors / np.where(norms > 0, norms, 1.0),
+        np.where(errors > 0, np.inf, 0.0),
+    )
     top1 = np.argmax(optical, axis=1) == np.argmax(reference, axis=1)
     return {
         "batch": float(optical.shape[0]),
@@ -156,6 +165,10 @@ class FunctionalInferenceEngine:
         Chip configuration for the functional crossbar tiles.
     noise_model:
         Optional analog impairments for the optical path.
+    execution:
+        Worker-pool specification for the accelerator's multi-core sharded
+        execution (``"serial"``, ``"thread"`` or a positive worker count);
+        outputs are bitwise identical for every setting.
     """
 
     def __init__(
@@ -165,10 +178,13 @@ class FunctionalInferenceEngine:
         config: Optional[ChipConfig] = None,
         noise_model: Optional[CrossbarNoiseModel] = None,
         seed: int = 0,
+        execution: "str | int" = "serial",
     ) -> None:
         self.network = network
         self.weights = dict(weights)
-        self.accelerator = OpticalCrossbarAccelerator(config, noise_model=noise_model, seed=seed)
+        self.accelerator = OpticalCrossbarAccelerator(
+            config, noise_model=noise_model, seed=seed, execution=execution
+        )
         missing = [
             info.name for info in network.crossbar_layers if info.name not in self.weights
         ]
@@ -212,19 +228,16 @@ class FunctionalInferenceEngine:
         """Compare optical vs reference outputs for one sample."""
         optical = self.run(image)
         reference = self.run_reference(image)
-        denominator = float(np.linalg.norm(reference))
-        relative_error = (
-            float(np.linalg.norm(optical - reference)) / denominator if denominator else 0.0
-        )
+        metrics = agreement_metrics(optical[None, :], reference[None, :])
         correlation = (
             float(np.corrcoef(optical.ravel(), reference.ravel())[0, 1])
             if optical.size > 1
             else 1.0
         )
         return {
-            "relative_error": relative_error,
+            "relative_error": metrics["max_relative_error"],
             "correlation": correlation,
-            "top1_match": float(int(np.argmax(optical) == np.argmax(reference))),
+            "top1_match": metrics["top1_match_rate"],
         }
 
     def batch_agreement(self, images: np.ndarray) -> Dict[str, float]:

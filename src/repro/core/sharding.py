@@ -1,0 +1,247 @@
+"""Multi-core sharded execution of tiled crossbar GEMMs.
+
+The paper's headline architectural feature (Section IV) is the multi-core
+crossbar chip: a dual-core design keeps two copies of the photonic datapath so
+one core computes while the other is reprogrammed.
+:class:`~repro.crossbar.dual_core.DualCoreCrossbar` models that schedule
+analytically; this module makes the *functional* datapath follow the same
+schedule.  :class:`ShardedExecutionEngine` partitions the per-tile GEMMs of a
+programmed tile plan (see :mod:`repro.core.accelerator`) across the chip's
+``num_cores`` crossbar cores with the same static round-robin assignment the
+analytical scheduler uses — tile ``i`` computes on core ``i % num_cores`` —
+and optionally executes the shards on a thread pool.
+
+Determinism
+-----------
+Result assembly is decoupled from shard completion order: every tile's partial
+product is collected into a slot indexed by its position in the plan, and the
+final accumulation into the output matrix walks the tiles in plan order on the
+calling thread.  Together with per-tile noise generators (each
+:class:`~repro.crossbar.signed.SignedCrossbarEngine` owns an independent
+``SeedSequence``-derived generator), this makes sharded execution bitwise
+identical to serial execution — with or without a noise model — regardless of
+worker count or completion order.
+
+Cross-checking against the analytical schedule
+----------------------------------------------
+:meth:`ShardedExecutionEngine.programming_jobs` converts a tile plan into the
+:class:`~repro.crossbar.dual_core.ProgrammingJob` sequence the analytical
+scheduler consumes, and :meth:`ShardedExecutionEngine.schedule_summary` runs
+:meth:`DualCoreCrossbar.summarize` over it, so tests (and
+``functional_statistics()`` consumers) can verify that the functional per-core
+tile assignment and busy times agree with the event-driven schedule.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.crossbar.dual_core import DualCoreCrossbar, ProgrammingJob
+from repro.errors import SimulationError
+
+#: Worker-pool specification: ``"serial"`` (inline execution on the calling
+#: thread), ``"thread"`` (one worker thread per crossbar core), or a positive
+#: integer worker count.
+WorkerSpec = Union[str, int]
+
+
+def resolve_worker_count(workers: WorkerSpec, num_cores: int) -> int:
+    """Normalise a :data:`WorkerSpec` into a thread count (0 = inline serial).
+
+    ``"serial"`` maps to 0 (no pool, run on the calling thread), ``"thread"``
+    maps to one worker per crossbar core, and a positive integer is used as
+    given.  Anything else raises :class:`SimulationError`.
+    """
+    if workers == "serial":
+        return 0
+    if workers == "thread":
+        return max(int(num_cores), 1)
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise SimulationError(
+            f"workers must be 'serial', 'thread' or a positive integer, got {workers!r}"
+        )
+    if workers < 1:
+        raise SimulationError(f"worker count must be >= 1, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Per-core accounting of one sharded GEMM dispatch.
+
+    ``core_tile_counts[c]`` is the number of tiles executed on core ``c`` and
+    ``core_busy_time_s[c]`` the modelled busy time of that core (per-tile PCM
+    programming time plus ``num_vectors`` MAC cycles of compute per tile),
+    matching the per-core program+compute totals of the analytical
+    :class:`~repro.crossbar.dual_core.DualCoreCrossbar` schedule.
+    """
+
+    core_tile_counts: Tuple[int, ...]
+    core_busy_time_s: Tuple[float, ...]
+
+
+class ShardedExecutionEngine:
+    """Executes a tile plan's GEMMs across ``num_cores`` crossbar cores.
+
+    Parameters
+    ----------
+    num_cores:
+        Number of physical crossbar cores on the chip.  Tiles are assigned
+        round-robin (tile ``i`` → core ``i % num_cores``), matching the
+        core-alternation semantics of
+        :class:`~repro.crossbar.dual_core.DualCoreCrossbar`.
+    mac_clock_hz:
+        Optical MAC rate, used for the per-tile compute-time estimate
+        (one streamed vector per MAC cycle).
+    workers:
+        Worker pool specification; see :data:`WorkerSpec` and
+        :func:`resolve_worker_count`.
+    """
+
+    def __init__(
+        self,
+        num_cores: int,
+        mac_clock_hz: float,
+        workers: WorkerSpec = "serial",
+    ) -> None:
+        if num_cores < 1:
+            raise SimulationError(f"num_cores must be >= 1, got {num_cores}")
+        if mac_clock_hz <= 0:
+            raise SimulationError(f"mac_clock_hz must be > 0, got {mac_clock_hz}")
+        self.num_cores = int(num_cores)
+        self.mac_clock_hz = float(mac_clock_hz)
+        self.workers = workers
+        self._worker_count = resolve_worker_count(workers, self.num_cores)
+        self._pool: "ThreadPoolExecutor | None" = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        """Lazily create the worker pool, reused across dispatches."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._worker_count,
+                thread_name_prefix="crossbar-shard",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; a later dispatch re-creates it)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------ schedule
+    def core_assignment(self, num_tiles: int) -> List[int]:
+        """Static round-robin core of each tile: tile ``i`` → ``i % num_cores``."""
+        if num_tiles < 0:
+            raise SimulationError(f"num_tiles must be >= 0, got {num_tiles}")
+        return [index % self.num_cores for index in range(num_tiles)]
+
+    def programming_jobs(self, plan, num_vectors: int) -> List[ProgrammingJob]:
+        """Analytical :class:`ProgrammingJob` sequence for ``plan``.
+
+        Each tile contributes one job: its accumulated PCM programming time
+        and ``num_vectors`` MAC cycles of compute.  Feeding the result to
+        :class:`~repro.crossbar.dual_core.DualCoreCrossbar` reproduces the
+        core assignment used by :meth:`execute` (job ``i`` computes on core
+        ``i % 2`` in the dual-core schedule).
+        """
+        if num_vectors < 1:
+            raise SimulationError(f"num_vectors must be >= 1, got {num_vectors}")
+        compute_time_s = num_vectors / self.mac_clock_hz
+        jobs: List[ProgrammingJob] = []
+        for index, tile in enumerate(plan.tiles):
+            stats = tile.engine.statistics()
+            jobs.append(
+                ProgrammingJob(
+                    name=f"tile{index}",
+                    programming_time_s=float(stats["programming_time_s"]),
+                    compute_time_s=compute_time_s,
+                )
+            )
+        return jobs
+
+    def schedule_summary(self, plan, num_vectors: int) -> Dict[str, float]:
+        """:meth:`DualCoreCrossbar.summarize` over the plan's tile jobs."""
+        return DualCoreCrossbar.summarize(self.programming_jobs(plan, num_vectors))
+
+    def _report(self, plan, num_vectors: int) -> ShardReport:
+        """Per-core tile counts and busy-time estimates for one dispatch."""
+        counts = [0] * self.num_cores
+        busy = [0.0] * self.num_cores
+        compute_time_s = num_vectors / self.mac_clock_hz
+        for index, tile in enumerate(plan.tiles):
+            core = index % self.num_cores
+            counts[core] += 1
+            stats = tile.engine.statistics()
+            busy[core] += float(stats["programming_time_s"]) + compute_time_s
+        return ShardReport(tuple(counts), tuple(busy))
+
+    # ------------------------------------------------------------------ execute
+    def execute(self, plan, inputs: np.ndarray, rows: int):
+        """Run ``inputs`` through every tile of ``plan`` and assemble the result.
+
+        Parameters
+        ----------
+        plan:
+            A programmed tile plan (``repro.core.accelerator._TilePlan``): an
+            object with ``n`` (output width) and ``tiles``, where each tile
+            carries a programmed engine plus its ``k_start``/``k_end``/
+            ``n_start``/``n_end`` spans.
+        inputs:
+            Input matrix of shape (num_vectors, k).
+        rows:
+            Physical crossbar row count (tile input padding width).
+
+        Returns
+        -------
+        (numpy.ndarray, ShardReport)
+            The (num_vectors, plan.n) result and the per-core accounting of
+            this dispatch.  Partial products are accumulated in plan order on
+            the calling thread, so the result is bitwise independent of the
+            worker pool and of shard completion order.
+        """
+        num_vectors = inputs.shape[0]
+        tiles = plan.tiles
+
+        def run_tile(index: int) -> np.ndarray:
+            tile = tiles[index]
+            padded = np.zeros((num_vectors, rows))
+            padded[:, : tile.tile_rows] = inputs[:, tile.k_start : tile.k_end]
+            return tile.engine.matmul(padded)
+
+        if self._worker_count == 0 or len(tiles) <= 1:
+            partials = [run_tile(index) for index in range(len(tiles))]
+        else:
+            partials = list(self._ensure_pool().map(run_tile, range(len(tiles))))
+
+        result = np.zeros((num_vectors, plan.n))
+        for tile, partial in zip(tiles, partials):
+            result[:, tile.n_start : tile.n_end] += partial[:, : tile.tile_cols]
+        return result, self._report(plan, num_vectors)
+
+
+def compute_entries_per_core(
+    entries: Sequence, num_cores: int
+) -> Tuple[Tuple[int, ...], Tuple[float, ...]]:
+    """Fold a :meth:`DualCoreCrossbar.schedule` timeline into per-core totals.
+
+    Returns ``(tile_counts, busy_time_s)`` per core, where busy time is the
+    sum of each core's program and compute phase durations — directly
+    comparable with the ``per_core_*`` entries of
+    :meth:`repro.core.accelerator.OpticalCrossbarAccelerator.functional_statistics`.
+    """
+    counts = [0] * num_cores
+    busy = [0.0] * num_cores
+    for entry in entries:
+        if entry.core >= num_cores:
+            raise SimulationError(
+                f"schedule entry on core {entry.core} exceeds num_cores={num_cores}"
+            )
+        busy[entry.core] += entry.duration_s
+        if entry.kind == "compute":
+            counts[entry.core] += 1
+    return tuple(counts), tuple(busy)

@@ -15,6 +15,13 @@ from repro.nn import build_lenet5, build_resnet50
 from repro.scalesim.simulator import simulate_network
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "multicore: exercises multi-core sharded execution of the functional datapath",
+    )
+
+
 @pytest.fixture(scope="session")
 def resnet50():
     """The paper's benchmark workload (ResNet-50 v1.5 shapes)."""

@@ -97,3 +97,29 @@ class TestCommands:
     def test_infer_rejects_non_positive_images(self):
         with pytest.raises(SystemExit):
             main(["infer", "--network", "lenet5", "--images", "0"])
+
+    @pytest.mark.multicore
+    def test_infer_workers_thread_matches_serial(self, capsys):
+        base = ["infer", "--network", "lenet5", "--images", "2",
+                "--rows", "32", "--columns", "32", "--json"]
+        assert main(base) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(base + ["--workers", "thread"]) == 0
+        threaded = json.loads(capsys.readouterr().out)
+        assert threaded["workers"] == "thread"
+        assert threaded["mean_relative_error"] == serial["mean_relative_error"]
+        assert threaded["per_core_tile_dispatches"] == serial["per_core_tile_dispatches"]
+        assert sum(threaded["per_core_tile_dispatches"]) > 0
+
+    @pytest.mark.multicore
+    def test_infer_text_report_mentions_core_dispatches(self, capsys):
+        code = main(["infer", "--network", "lenet5", "--images", "2",
+                     "--rows", "32", "--columns", "32", "--workers", "2"])
+        assert code == 0
+        assert "tile GEMMs per crossbar core" in capsys.readouterr().out
+
+    def test_infer_rejects_bad_workers(self):
+        with pytest.raises(SystemExit):
+            main(["infer", "--network", "lenet5", "--images", "1", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            main(["infer", "--network", "lenet5", "--images", "1", "--workers", "bogus"])

@@ -78,6 +78,26 @@ class TestFunctionalPath:
         with pytest.raises(SimulationError):
             accelerator.linear(np.zeros(4), np.zeros(4))
 
+    def test_conv2d_rejects_non_square_kernels(self, accelerator):
+        with pytest.raises(SimulationError, match="square kernels"):
+            accelerator.conv2d(np.zeros((6, 6, 2)), np.zeros((3, 2, 2, 4)))
+
+    def test_conv2d_rejects_non_4d_weights(self, accelerator):
+        with pytest.raises(SimulationError, match="k, k, C_in, C_out"):
+            accelerator.conv2d(np.zeros((6, 6, 2)), np.zeros((3, 3, 2)))
+
+    def test_conv2d_rejects_2d_feature_map(self, accelerator):
+        with pytest.raises(SimulationError, match="feature_map"):
+            accelerator.conv2d(np.zeros((6, 6)), np.zeros((3, 3, 2, 4)))
+
+    def test_conv2d_rejects_5d_feature_map(self, accelerator):
+        with pytest.raises(SimulationError, match="feature_map"):
+            accelerator.conv2d(np.zeros((2, 2, 6, 6, 2)), np.zeros((3, 3, 2, 4)))
+
+    def test_conv2d_rejects_channel_mismatch(self, accelerator):
+        with pytest.raises(SimulationError, match="channels"):
+            accelerator.conv2d(np.zeros((6, 6, 3)), np.zeros((3, 3, 2, 4)))
+
     def test_conv2d_batched_matches_per_image(self, accelerator):
         rng = np.random.default_rng(3)
         fmaps = rng.uniform(0, 1, (3, 6, 6, 2))
@@ -164,3 +184,69 @@ class TestProgrammedTileCache:
         stats = accelerator.functional_statistics()
         assert stats["programming_events"] == 4  # reprogrammed after the clear
         assert stats["tile_cache_misses"] == 2
+
+    def test_clear_functional_cache_keeps_hit_and_eviction_counters(self, accelerator):
+        rng = np.random.default_rng(5)
+        weights = rng.normal(size=(8, 8))
+        inputs = rng.uniform(0, 1, (1, 8))
+        accelerator.linear(weights, inputs)
+        accelerator.linear(weights, inputs)  # one warm hit before the clear
+        accelerator.clear_functional_cache()
+        accelerator.linear(weights, inputs)  # re-programs (miss, not an eviction)
+        accelerator.linear(weights, inputs)  # warm again
+        stats = accelerator.functional_statistics()
+        assert stats["tile_cache_hits"] == 2
+        assert stats["tile_cache_misses"] == 2
+        assert stats["tile_cache_evictions"] == 0
+        assert stats["programming_events"] == 4
+
+    def test_cache_holds_exactly_max_plans_without_eviction(self):
+        accelerator = OpticalCrossbarAccelerator(
+            small_test_chip(), max_cached_weight_plans=2
+        )
+        rng = np.random.default_rng(6)
+        first, second = (rng.normal(size=(8, 8)) for _ in range(2))
+        inputs = rng.uniform(0, 1, (1, 8))
+        # Exactly max_cached_weight_plans distinct matrices: no eviction, and
+        # every re-use is a hit.
+        for matrix in (first, second, first, second):
+            accelerator.linear(matrix, inputs)
+        stats = accelerator.functional_statistics()
+        assert stats["tile_cache_evictions"] == 0
+        assert stats["tile_cache_hits"] == 2
+        assert stats["programming_events"] == 4
+
+    def test_eviction_drops_the_least_recently_used_plan(self):
+        accelerator = OpticalCrossbarAccelerator(
+            small_test_chip(), max_cached_weight_plans=2
+        )
+        rng = np.random.default_rng(7)
+        a, b, c = (rng.normal(size=(8, 8)) for _ in range(3))
+        inputs = rng.uniform(0, 1, (1, 8))
+        accelerator.linear(a, inputs)
+        accelerator.linear(b, inputs)
+        accelerator.linear(a, inputs)  # touch a: b becomes the LRU entry
+        accelerator.linear(c, inputs)  # evicts b
+        events = accelerator.functional_statistics()["programming_events"]
+        accelerator.linear(a, inputs)  # still cached
+        assert accelerator.functional_statistics()["programming_events"] == events
+        accelerator.linear(b, inputs)  # evicted: must re-program
+        assert accelerator.functional_statistics()["programming_events"] == events + 2
+
+    def test_same_bytes_different_shape_weights_are_distinct_plans(self, accelerator):
+        # (2, 8) and (8, 2) views of the same buffer have identical bytes; the
+        # cache key must still tell them apart (shape is part of the key).
+        base = np.arange(16, dtype=float) / 16.0
+        wide, tall = base.reshape(2, 8), base.reshape(8, 2)
+        x_wide = np.linspace(0, 1, 2)[None, :]
+        x_tall = np.linspace(0, 1, 8)[None, :]
+        result_wide = accelerator.linear(wide, x_wide)
+        result_tall = accelerator.linear(tall, x_tall)
+        stats = accelerator.functional_statistics()
+        assert stats["tile_cache_misses"] == 2
+        assert stats["tile_cache_hits"] == 0
+        assert result_wide.shape == (1, 8) and result_tall.shape == (1, 2)
+        fresh_wide = OpticalCrossbarAccelerator(small_test_chip()).linear(wide, x_wide)
+        fresh_tall = OpticalCrossbarAccelerator(small_test_chip()).linear(tall, x_tall)
+        assert np.array_equal(result_wide, fresh_wide)
+        assert np.array_equal(result_tall, fresh_tall)

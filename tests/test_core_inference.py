@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.config import small_test_chip
-from repro.core.inference import FunctionalInferenceEngine, generate_random_weights
+from repro.core.inference import (
+    FunctionalInferenceEngine,
+    agreement_metrics,
+    generate_random_weights,
+)
 from repro.crossbar import CrossbarNoiseModel
 from repro.errors import SimulationError
 from repro.nn import (
@@ -157,6 +161,35 @@ class TestBatchedInference:
             engine.run_batch(np.zeros((2, 4, 4, 2)))
         with pytest.raises(SimulationError):
             engine.run_batch(np.zeros((8, 8, 2)))
+
+
+class TestAgreementMetrics:
+    def test_zero_reference_and_zero_optical_agree_exactly(self):
+        metrics = agreement_metrics(np.zeros((2, 3)), np.zeros((2, 3)))
+        assert metrics["mean_relative_error"] == 0.0
+        assert metrics["max_relative_error"] == 0.0
+
+    def test_zero_reference_with_nonzero_optical_reports_inf(self):
+        # A zero reference used to be scored as *perfect* agreement no matter
+        # what the optical path produced; it must flag infinite error instead.
+        optical = np.array([[0.5, -0.25, 0.0]])
+        metrics = agreement_metrics(optical, np.zeros((1, 3)))
+        assert np.isinf(metrics["max_relative_error"])
+        assert np.isinf(metrics["mean_relative_error"])
+
+    def test_mixed_batch_keeps_finite_rows_and_flags_the_zero_norm_one(self):
+        optical = np.array([[1.0, 0.0], [1.0, 0.0]])
+        reference = np.array([[2.0, 0.0], [0.0, 0.0]])
+        metrics = agreement_metrics(optical, reference)
+        assert np.isinf(metrics["max_relative_error"])
+        assert metrics["batch"] == 2.0
+        assert metrics["top1_match_rate"] == 1.0
+
+    def test_nonzero_reference_unaffected(self):
+        optical = np.array([[1.0, 1.0]])
+        reference = np.array([[1.0, 0.0]])
+        metrics = agreement_metrics(optical, reference)
+        assert metrics["max_relative_error"] == pytest.approx(1.0)
 
 
 class TestValidation:

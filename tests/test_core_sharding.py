@@ -1,0 +1,204 @@
+"""Tests for multi-core sharded execution of the functional GEMM datapath.
+
+The ``multicore`` marker groups everything that exercises the sharded path;
+the tier-1 run collects this file by default, so sharding regressions fail
+every PR (``pytest -m multicore`` selects just these tests).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import small_test_chip
+from repro.core.accelerator import OpticalCrossbarAccelerator
+from repro.core.inference import FunctionalInferenceEngine, generate_random_weights
+from repro.core.sharding import (
+    ShardedExecutionEngine,
+    compute_entries_per_core,
+    resolve_worker_count,
+)
+from repro.crossbar import CrossbarNoiseModel
+from repro.crossbar.dual_core import DualCoreCrossbar
+from repro.errors import SimulationError
+from repro.nn import build_lenet5
+
+pytestmark = pytest.mark.multicore
+
+
+def dual_core_chip(**overrides):
+    """The 8x8 test chip with both crossbar cores enabled."""
+    return small_test_chip(num_cores=2, **overrides)
+
+
+class TestWorkerSpec:
+    def test_serial_resolves_to_inline(self):
+        assert resolve_worker_count("serial", 2) == 0
+
+    def test_thread_resolves_to_one_worker_per_core(self):
+        assert resolve_worker_count("thread", 2) == 2
+        assert resolve_worker_count("thread", 1) == 1
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_worker_count(5, 2) == 5
+
+    @pytest.mark.parametrize("bad", [0, -1, "threads", "parallel", 1.5, True, None])
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(SimulationError):
+            resolve_worker_count(bad, 2)
+
+    def test_accelerator_rejects_invalid_execution(self):
+        with pytest.raises(SimulationError):
+            OpticalCrossbarAccelerator(dual_core_chip(), execution="bogus")
+
+    def test_engine_rejects_invalid_dimensions(self):
+        with pytest.raises(SimulationError):
+            ShardedExecutionEngine(0, 10e9)
+        with pytest.raises(SimulationError):
+            ShardedExecutionEngine(2, 0.0)
+
+
+class TestRoundRobinAssignment:
+    def test_assignment_alternates_like_the_dual_core_schedule(self):
+        engine = ShardedExecutionEngine(2, 10e9)
+        assert engine.core_assignment(5) == [0, 1, 0, 1, 0]
+
+    def test_single_core_maps_everything_to_core_zero(self):
+        engine = ShardedExecutionEngine(1, 10e9)
+        assert engine.core_assignment(4) == [0, 0, 0, 0]
+
+    def test_single_core_chip_dispatches_only_core_zero(self):
+        accelerator = OpticalCrossbarAccelerator(small_test_chip())
+        rng = np.random.default_rng(0)
+        accelerator.linear(rng.normal(size=(20, 11)), rng.uniform(0, 1, (4, 20)))
+        stats = accelerator.functional_statistics()
+        assert stats["per_core_tile_dispatches"] == (6,)
+        assert stats["sharded_dispatches"] == 1
+
+
+class TestBitwiseEquivalence:
+    """Acceptance criterion: sharded output == serial output, bitwise."""
+
+    @pytest.fixture()
+    def problem(self):
+        rng = np.random.default_rng(1)
+        # 20x11 weights -> a 3x2 tile grid on the 8x8 chip.
+        return rng.normal(size=(20, 11)), rng.uniform(-1, 1, (7, 20))
+
+    @pytest.mark.parametrize("execution", ["thread", 2, 3, 8])
+    def test_sharded_linear_matches_serial(self, problem, execution):
+        weights, inputs = problem
+        serial = OpticalCrossbarAccelerator(dual_core_chip()).linear(weights, inputs)
+        sharded = OpticalCrossbarAccelerator(
+            dual_core_chip(), execution=execution
+        ).linear(weights, inputs)
+        assert np.array_equal(serial, sharded)
+
+    def test_sharded_conv2d_matches_serial(self):
+        rng = np.random.default_rng(2)
+        fmaps = rng.uniform(0, 1, (3, 6, 6, 2))
+        weights = rng.normal(size=(3, 3, 2, 4))
+        serial = OpticalCrossbarAccelerator(dual_core_chip()).conv2d(
+            fmaps, weights, stride=1, padding=1
+        )
+        sharded = OpticalCrossbarAccelerator(dual_core_chip(), execution="thread").conv2d(
+            fmaps, weights, stride=1, padding=1
+        )
+        assert np.array_equal(serial, sharded)
+
+    def test_noisy_sharded_execution_matches_serial(self, problem):
+        weights, inputs = problem
+        noise = CrossbarNoiseModel.pessimistic()
+        serial = OpticalCrossbarAccelerator(
+            dual_core_chip(), noise_model=noise, seed=11
+        ).linear(weights, inputs)
+        sharded = OpticalCrossbarAccelerator(
+            dual_core_chip(), noise_model=noise, seed=11, execution="thread"
+        ).linear(weights, inputs)
+        assert np.array_equal(serial, sharded)
+
+    def test_noisy_results_do_not_depend_on_plan_build_order(self, problem):
+        weights, inputs = problem
+        noise = CrossbarNoiseModel.pessimistic()
+        rng = np.random.default_rng(3)
+        other = rng.normal(size=(9, 9))
+        first = OpticalCrossbarAccelerator(dual_core_chip(), noise_model=noise, seed=11)
+        first.linear(other, rng.uniform(0, 1, (2, 9)))  # builds an unrelated plan first
+        fresh = OpticalCrossbarAccelerator(dual_core_chip(), noise_model=noise, seed=11)
+        assert np.array_equal(first.linear(weights, inputs), fresh.linear(weights, inputs))
+
+    def test_sharded_inference_engine_matches_serial(self):
+        network = build_lenet5(input_size=12)
+        weights = generate_random_weights(network, seed=6, scale=0.3)
+        config = small_test_chip(rows=32, columns=32, num_cores=2)
+        images = np.random.default_rng(7).uniform(0, 1, (4, 12, 12, 1))
+        serial = FunctionalInferenceEngine(network, weights, config).run_batch(images)
+        sharded = FunctionalInferenceEngine(
+            network, weights, config, execution="thread"
+        ).run_batch(images)
+        assert np.array_equal(serial, sharded)
+
+
+class TestScheduleCrossCheck:
+    """functional_statistics() must agree with DualCoreCrossbar's schedule."""
+
+    def test_per_core_tile_counts_match_the_analytical_schedule(self):
+        accelerator = OpticalCrossbarAccelerator(dual_core_chip(), execution="thread")
+        rng = np.random.default_rng(4)
+        weights = rng.normal(size=(20, 11))  # 6 tiles -> 3 per core
+        inputs = rng.uniform(0, 1, (5, 20))
+        accelerator.linear(weights, inputs)
+
+        jobs = accelerator.programming_jobs(weights, inputs.shape[0])
+        entries = DualCoreCrossbar(2).schedule(jobs)
+        analytical_counts, analytical_busy = compute_entries_per_core(entries, 2)
+
+        stats = accelerator.functional_statistics()
+        assert stats["per_core_tile_dispatches"] == analytical_counts == (3, 3)
+        assert stats["per_core_busy_time_s"] == pytest.approx(analytical_busy)
+
+    def test_busy_time_accumulates_per_dispatch(self):
+        accelerator = OpticalCrossbarAccelerator(dual_core_chip(), execution=2)
+        rng = np.random.default_rng(5)
+        weights = rng.normal(size=(16, 8))  # 2 tiles, one per core
+        inputs = rng.uniform(0, 1, (3, 16))
+        accelerator.linear(weights, inputs)
+        first = accelerator.functional_statistics()
+        accelerator.linear(weights, inputs)
+        second = accelerator.functional_statistics()
+        assert second["per_core_tile_dispatches"] == (2, 2)
+        assert second["sharded_dispatches"] == 2
+        for core in range(2):
+            assert second["per_core_busy_time_s"][core] == pytest.approx(
+                2 * first["per_core_busy_time_s"][core]
+            )
+
+    def test_schedule_summary_reports_dual_core_speedup(self):
+        accelerator = OpticalCrossbarAccelerator(dual_core_chip())
+        rng = np.random.default_rng(6)
+        weights = rng.normal(size=(32, 8))  # 4 equal tiles
+        summary = accelerator.analytical_schedule(weights, num_vectors=4)
+        assert summary["dual_core_makespan_s"] < summary["single_core_makespan_s"]
+        assert summary["speedup"] > 1.0
+
+    def test_analytics_queries_leave_the_datapath_untouched(self):
+        accelerator = OpticalCrossbarAccelerator(
+            dual_core_chip(), max_cached_weight_plans=1
+        )
+        rng = np.random.default_rng(8)
+        inference_weights = rng.normal(size=(8, 8))
+        inputs = rng.uniform(0, 1, (2, 8))
+        accelerator.linear(inference_weights, inputs)
+        before = accelerator.functional_statistics()
+        # Analytics on *uncached* weights must not count cache traffic,
+        # accumulate programming stats, or evict the hot inference plan.
+        accelerator.analytical_schedule(rng.normal(size=(16, 16)), num_vectors=3)
+        accelerator.programming_jobs(rng.normal(size=(24, 8)), num_vectors=3)
+        assert accelerator.functional_statistics() == before
+        accelerator.linear(inference_weights, inputs)  # still cached: no re-program
+        stats = accelerator.functional_statistics()
+        assert stats["programming_events"] == before["programming_events"]
+        assert stats["tile_cache_evictions"] == 0
+
+    def test_programming_jobs_validate_num_vectors(self):
+        accelerator = OpticalCrossbarAccelerator(dual_core_chip())
+        with pytest.raises(SimulationError):
+            accelerator.programming_jobs(np.eye(8), 0)
