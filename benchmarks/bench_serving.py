@@ -1,0 +1,125 @@
+"""Online-serving benchmarks: dynamic micro-batching vs batch-1 serving.
+
+The paper's Fig. 7 batch analysis is an *offline* argument that batching
+amortises PCM tile programming and per-dispatch overhead; this benchmark
+makes the same argument *online*.  The identical burst of requests is served
+twice through :class:`~repro.serve.InferenceServer` — once with the
+micro-batcher disabled (``max_batch=1``) and once with dynamic batching
+(``max_batch=8``) — and dynamic batching must win on throughput while
+staying bitwise identical to a direct ``run_batch`` of the same images.
+"""
+
+from __future__ import annotations
+
+import csv
+import time
+
+import numpy as np
+
+from repro.config import small_test_chip
+from repro.core.inference import FunctionalInferenceEngine, generate_random_weights
+from repro.nn import build_lenet5
+from repro.serve import InferenceServer, LoadGenerator, poisson_arrivals
+
+#: Serving scenario: LeNet on a dual-core 32x32 chip, one 16-request burst.
+_CHIP = dict(rows=32, columns=32, num_cores=2)
+_REQUESTS = 16
+
+
+def _workload():
+    network = build_lenet5()
+    weights = generate_random_weights(network, seed=0, scale=0.3)
+    config = small_test_chip(**_CHIP)
+    images = np.random.default_rng(1).uniform(
+        0.0, 1.0, (_REQUESTS,) + network.input_shape.as_tuple()
+    )
+    return network, weights, config, images
+
+
+def _serve_burst(network, weights, config, images, max_batch):
+    """Serve one all-at-once burst; returns (outputs, rps, telemetry)."""
+    server = InferenceServer(
+        network,
+        weights,
+        config,
+        max_batch=max_batch,
+        max_wait_s=0.002 if max_batch > 1 else 0.0,
+        queue_capacity=max(_REQUESTS, max_batch),
+    )
+    with server:
+        start = time.perf_counter()
+        outputs = server.serve_batch(images)
+        elapsed = time.perf_counter() - start
+        telemetry = server.telemetry.snapshot()
+    return outputs, len(images) / elapsed, telemetry
+
+
+def test_dynamic_batching_beats_batch1_serving(results_dir):
+    """Acceptance: micro-batching must out-serve batch-size-1 serving."""
+    network, weights, config, images = _workload()
+    direct = FunctionalInferenceEngine(network, weights, config).run_batch(images)
+
+    single_out, single_rps, single_tel = _serve_burst(
+        network, weights, config, images, max_batch=1
+    )
+    batched_out, batched_rps, batched_tel = _serve_burst(
+        network, weights, config, images, max_batch=8
+    )
+
+    # Serving must not change a single bit, batched or not.
+    assert np.array_equal(single_out, direct)
+    assert np.array_equal(batched_out, direct)
+
+    # The batcher really formed multi-request batches...
+    assert max(batched_tel["batch_size_histogram"]) > 1
+    assert single_tel["batch_size_histogram"] == {1: _REQUESTS}
+    # ...and they pay off: fewer dispatch chains -> higher throughput.
+    assert batched_rps > single_rps * 1.2
+
+    with open(results_dir / "serving_batching.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["policy", "throughput_rps", "p50_ms", "p99_ms", "mean_batch_size"]
+        )
+        for policy, rps, tel in (
+            ("batch-1", single_rps, single_tel),
+            ("dynamic max_batch=8", batched_rps, batched_tel),
+        ):
+            writer.writerow(
+                [
+                    policy,
+                    f"{rps:.1f}",
+                    f"{tel['latency_p50_s'] * 1e3:.2f}",
+                    f"{tel['latency_p99_s'] * 1e3:.2f}",
+                    f"{tel['mean_batch_size']:.2f}",
+                ]
+            )
+    print(
+        f"serving throughput: batch-1 {single_rps:.1f} rps -> dynamic batching "
+        f"{batched_rps:.1f} rps ({batched_rps / single_rps:.2f}x, mean batch "
+        f"{batched_tel['mean_batch_size']:.1f})"
+    )
+
+
+def test_open_loop_poisson_slo_report(results_dir):
+    """Open-loop Poisson run: SLO telemetry is complete and self-consistent."""
+    network, weights, config, images = _workload()
+    with InferenceServer(
+        network, weights, config, executor="thread:2", max_batch=4, max_wait_s=0.002
+    ) as server:
+        report = LoadGenerator(server).run_open_loop(
+            images, poisson_arrivals(800.0, _REQUESTS, seed=2)
+        )
+    telemetry = report.server["telemetry"]
+    assert telemetry["requests_completed"] == _REQUESTS
+    assert telemetry["throughput_rps"] > 0
+    assert telemetry["latency_p99_s"] >= telemetry["latency_p50_s"] > 0
+    assert sum(
+        size * count for size, count in telemetry["batch_size_histogram"].items()
+    ) == _REQUESTS
+    print(
+        f"open-loop poisson: {report.achieved_rps:.1f} rps, server p50 "
+        f"{telemetry['latency_p50_s'] * 1e3:.2f} ms, p99 "
+        f"{telemetry['latency_p99_s'] * 1e3:.2f} ms, mean batch "
+        f"{telemetry['mean_batch_size']:.2f}"
+    )

@@ -10,6 +10,10 @@ writing any Python:
   series to CSV/JSON;
 * ``infer``     — run batched functional INT6 inference on the optical
   crossbar and report optical-vs-float agreement plus throughput;
+* ``serve``     — run an online serving session (dynamic micro-batching over
+  an engine-replica pool) under synthetic traffic and report SLO telemetry;
+* ``loadgen``   — sweep open-/closed-loop load points against a fresh server
+  per point and print a throughput/latency table;
 * ``workloads`` — list the bundled CNN workload descriptions.
 
 Examples
@@ -21,7 +25,9 @@ Examples
     python -m repro optimize --network resnet50 --area-cap 160
     python -m repro figure --name fig6 --output fig6.csv
     python -m repro infer --network lenet5 --images 16 --rows 64 --columns 64
-    python -m repro infer --network lenet5 --images 16 --workers thread
+    python -m repro infer --network lenet5 --images 16 --workers process:2
+    python -m repro serve --network lenet5 --requests 32 --rate 500 --executor thread:2
+    python -m repro loadgen --network lenet5 --mode closed --concurrency 1,2,4
 """
 
 from __future__ import annotations
@@ -50,9 +56,17 @@ from repro.core.inference import (
     agreement_metrics,
     generate_random_weights,
 )
-from repro.core.sharding import resolve_worker_count
 from repro.crossbar.noise import CrossbarNoiseModel
 from repro.errors import SimulationError
+from repro.serve import (
+    ARRIVAL_PROCESSES,
+    EngineReplicaSpec,
+    EngineWorkerPool,
+    ExecutorSpec,
+    InferenceServer,
+    LoadGenerator,
+    parse_executor_spec,
+)
 from repro.core import (
     DesignOptimizer,
     SimulationFramework,
@@ -96,23 +110,34 @@ FIGURES = {
 }
 
 
-def _parse_workers(value: str):
-    """Parse the ``--workers`` option: 'serial', 'thread' or a positive int.
+def _parse_workers(value: str) -> ExecutorSpec:
+    """Parse an executor spelling shared by ``infer --workers`` and ``serve``.
 
-    Delegates validation to :func:`repro.core.sharding.resolve_worker_count`
-    so the CLI accepts exactly the specs the execution engine does.
+    Delegates to :func:`repro.serve.parse_executor_spec`, so every command
+    accepts exactly the same spellings: 'serial', 'thread', 'thread:N',
+    'process', 'process:N' or a positive integer (thread pool of N).
+    Malformed specs are rejected with the parser's SimulationError message.
     """
-    spec: "str | int" = value
-    if value not in ("serial", "thread"):
-        try:
-            spec = int(value)
-        except ValueError:
-            pass
     try:
-        resolve_worker_count(spec, num_cores=1)
+        return parse_executor_spec(value)
     except SimulationError as error:
         raise argparse.ArgumentTypeError(str(error))
-    return spec
+
+
+def _sharding_execution(spec: ExecutorSpec) -> "str | int":
+    """Map a serial/thread :class:`ExecutorSpec` onto the accelerator's
+    intra-engine tile-sharding spelling (``process`` does not apply there)."""
+    if spec.kind == "serial":
+        return "serial"
+    return "thread" if spec.count is None else spec.count
+
+
+#: Noise preset name -> model used by the functional commands.
+NOISE_PRESETS = {
+    "none": lambda: None,
+    "typical": CrossbarNoiseModel.typical,
+    "pessimistic": CrossbarNoiseModel.pessimistic,
+}
 
 
 def build_network(name: str) -> Network:
@@ -141,6 +166,88 @@ def config_from_args(args: argparse.Namespace) -> ChipConfig:
             accumulator_mb=args.accumulator_sram_mb,
         ),
     )
+
+
+def _parse_number_list(value: str, convert=float):
+    """Parse a comma-separated list of positive numbers ('250,500,1000')."""
+    try:
+        numbers = tuple(convert(part) for part in value.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated numbers, got {value!r}")
+    if not numbers or any(number <= 0 for number in numbers):
+        raise argparse.ArgumentTypeError(f"expected positive numbers, got {value!r}")
+    return numbers
+
+
+def _parse_int_list(value: str):
+    """Parse a comma-separated list of positive integers ('1,2,4')."""
+    return _parse_number_list(value, convert=int)
+
+
+def _positive_int(value: str) -> int:
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value!r}")
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value!r}")
+    return number
+
+
+def _positive_float(value: str) -> float:
+    try:
+        number = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {value!r}")
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {value!r}")
+    return number
+
+
+def _nonnegative_float(value: str) -> float:
+    try:
+        number = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a non-negative number, got {value!r}")
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative number, got {value!r}")
+    return number
+
+
+def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options shared by the ``serve`` and ``loadgen`` commands."""
+    parser.add_argument("--network", default="lenet5", help="workload name")
+    _add_chip_arguments(parser)
+    parser.add_argument(
+        "--executor",
+        type=_parse_workers,
+        default="serial",
+        help=(
+            "engine-replica pool: 'serial', 'thread[:N]' or 'process:N' "
+            "(process replicas scale past the GIL)"
+        ),
+    )
+    parser.add_argument(
+        "--max-batch", type=_positive_int, default=8, help="micro-batch flush-on-full size"
+    )
+    parser.add_argument(
+        "--max-wait-ms",
+        type=_nonnegative_float,
+        default=2.0,
+        help="micro-batch flush-on-timeout wait in milliseconds",
+    )
+    parser.add_argument(
+        "--queue-capacity", type=_positive_int, default=128, help="admission-queue bound"
+    )
+    parser.add_argument(
+        "--noise",
+        choices=sorted(NOISE_PRESETS),
+        default="none",
+        help="analog impairment preset for the optical datapath",
+    )
+    parser.add_argument("--weight-seed", type=int, default=0, help="synthetic weight seed")
+    parser.add_argument("--image-seed", type=int, default=1, help="random image seed")
+    parser.add_argument("--arrival-seed", type=int, default=2, help="arrival-process seed")
 
 
 def _add_chip_arguments(parser: argparse.ArgumentParser) -> None:
@@ -192,7 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     infer.add_argument(
         "--noise",
-        choices=("none", "typical", "pessimistic"),
+        choices=sorted(NOISE_PRESETS),
         default="none",
         help="analog impairment preset for the optical datapath",
     )
@@ -201,14 +308,79 @@ def build_parser() -> argparse.ArgumentParser:
         type=_parse_workers,
         default="serial",
         help=(
-            "sharded tile execution: 'serial' (default), 'thread' (one worker "
-            "per crossbar core) or a positive worker count; results are "
-            "bitwise identical for every setting"
+            "execution: 'serial' (default), 'thread' (one sharding worker per "
+            "crossbar core), 'thread:N' / a positive worker count (sharded "
+            "thread pool), or 'process:N' (data-parallel engine replicas, one "
+            "per process); deterministic results are bitwise identical for "
+            "every setting (with --noise, the process path chunks the batch "
+            "across replicas, so noisy outputs differ from one monolithic "
+            "batch)"
         ),
     )
     infer.add_argument("--weight-seed", type=int, default=0, help="synthetic weight seed")
     infer.add_argument("--image-seed", type=int, default=1, help="random image seed")
     infer.add_argument("--json", action="store_true", help="print a JSON summary instead of text")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="online serving session: dynamic micro-batching over engine replicas",
+    )
+    _add_serving_arguments(serve)
+    serve.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=32,
+        help="number of requests to serve (default 32)",
+    )
+    serve.add_argument(
+        "--rate", type=_positive_float, default=500.0, help="mean arrival rate in requests/s"
+    )
+    serve.add_argument(
+        "--arrival",
+        choices=sorted(ARRIVAL_PROCESSES),
+        default="poisson",
+        help="open-loop arrival process",
+    )
+    serve.add_argument("--json", action="store_true", help="print a JSON summary instead of text")
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="sweep open-/closed-loop load points and print a throughput/latency table",
+    )
+    _add_serving_arguments(loadgen)
+    loadgen.add_argument(
+        "--mode", choices=("open", "closed"), default="open", help="load-generation loop"
+    )
+    loadgen.add_argument(
+        "--arrival",
+        choices=sorted(ARRIVAL_PROCESSES),
+        default="poisson",
+        help="open-loop arrival process",
+    )
+    loadgen.add_argument(
+        "--rates",
+        type=_parse_number_list,
+        default=(250.0, 500.0, 1000.0),
+        help="comma-separated open-loop arrival rates in requests/s",
+    )
+    loadgen.add_argument(
+        "--concurrency",
+        type=_parse_int_list,
+        default=(1, 2, 4),
+        help="comma-separated closed-loop client counts",
+    )
+    loadgen.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=24,
+        help="requests per load point (default 24)",
+    )
+    loadgen.add_argument(
+        "--shed",
+        action="store_true",
+        help="open loop: drop (rather than block) requests when the queue is full",
+    )
+    loadgen.add_argument("--json", action="store_true", help="print a JSON summary instead of text")
 
     subparsers.add_parser("workloads", help="list the bundled workload descriptions")
     return parser
@@ -267,35 +439,49 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         raise SystemExit(f"--images must be >= 1, got {args.images}")
     network = build_network(args.network)
     config = config_from_args(args)
-    noise_presets = {
-        "none": None,
-        "typical": CrossbarNoiseModel.typical(),
-        "pessimistic": CrossbarNoiseModel.pessimistic(),
-    }
+    noise_model = NOISE_PRESETS[args.noise]()
     weights = generate_random_weights(network, seed=args.weight_seed, scale=0.3)
-    engine = FunctionalInferenceEngine(
-        network,
-        weights,
-        config,
-        noise_model=noise_presets[args.noise],
-        execution=args.workers,
-    )
     rng = np.random.default_rng(args.image_seed)
     images = rng.uniform(0.0, 1.0, (args.images,) + network.input_shape.as_tuple())
 
     # The first (cold) batch pays the one-time PCM tile programming; the
     # second (warm) batch shows the steady-state throughput the tile cache
     # enables.  Both are reported so the cache's effect is visible.
-    start = time.perf_counter()
-    optical = engine.run_batch(images)
-    cold_s = time.perf_counter() - start
-    start = time.perf_counter()
-    engine.run_batch(images)
-    warm_s = time.perf_counter() - start
-    reference = engine.run_batch_reference(images)
+    if args.workers.kind == "process":
+        # Data-parallel path: the batch is chunked across N engine replicas,
+        # each living in its own worker process (scales past the GIL).
+        replica = EngineReplicaSpec(
+            network=network, weights=weights, config=config, noise_model=noise_model
+        )
+        with EngineWorkerPool(replica, args.workers) as pool:
+            start = time.perf_counter()
+            optical = pool.run_batch_sharded(images)
+            cold_s = time.perf_counter() - start
+            start = time.perf_counter()
+            pool.run_batch_sharded(images)
+            warm_s = time.perf_counter() - start
+            stats = pool.statistics()
+        reference = FunctionalInferenceEngine(
+            network, weights, config
+        ).run_batch_reference(images)
+    else:
+        engine = FunctionalInferenceEngine(
+            network,
+            weights,
+            config,
+            noise_model=noise_model,
+            execution=_sharding_execution(args.workers),
+        )
+        start = time.perf_counter()
+        optical = engine.run_batch(images)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        engine.run_batch(images)
+        warm_s = time.perf_counter() - start
+        reference = engine.run_batch_reference(images)
+        stats = engine.accelerator.functional_statistics()
 
     agreement = agreement_metrics(optical, reference)
-    stats = engine.accelerator.functional_statistics()
     summary = {
         "network": args.network,
         "images": args.images,
@@ -336,6 +522,176 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_session(args: argparse.Namespace, num_images: int):
+    """Workload, config, weights, noise model and images shared by serve/loadgen."""
+    if num_images < 1:
+        raise SystemExit(f"--requests must be >= 1, got {num_images}")
+    network = build_network(args.network)
+    config = config_from_args(args)
+    noise_model = NOISE_PRESETS[args.noise]()
+    weights = generate_random_weights(network, seed=args.weight_seed, scale=0.3)
+    rng = np.random.default_rng(args.image_seed)
+    images = rng.uniform(0.0, 1.0, (num_images,) + network.input_shape.as_tuple())
+    return network, config, noise_model, weights, images
+
+
+def _make_server(args: argparse.Namespace, network, weights, config, noise_model) -> InferenceServer:
+    return InferenceServer(
+        network,
+        weights,
+        config,
+        noise_model=noise_model,
+        executor=args.executor,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        queue_capacity=args.queue_capacity,
+    )
+
+
+def _direct_reference(args, network, weights, config, images) -> Optional[np.ndarray]:
+    """Direct run_batch of ``images`` for bitwise verification.
+
+    None when verification does not apply (a noise model makes served noise
+    streams differ from one monolithic batch).
+    """
+    if args.noise != "none":
+        return None
+    return FunctionalInferenceEngine(network, weights, config).run_batch(images)
+
+
+def _verify_served_outputs(direct: Optional[np.ndarray], report) -> Optional[bool]:
+    """Bitwise check of served outputs vs the precomputed direct reference.
+
+    Returns None when the check does not apply (no reference, or open-loop
+    shedding dropped requests so the output rows no longer line up 1:1).
+    """
+    if direct is None or report.rejected:
+        return None
+    return bool(np.array_equal(report.outputs, direct))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    network, config, noise_model, weights, images = _serving_session(args, args.requests)
+    arrivals = ARRIVAL_PROCESSES[args.arrival](args.rate, args.requests, seed=args.arrival_seed)
+    with _make_server(args, network, weights, config, noise_model) as server:
+        report = LoadGenerator(server).run_open_loop(images, arrivals)
+    direct = _direct_reference(args, network, weights, config, images)
+    bitwise = _verify_served_outputs(direct, report)
+
+    telemetry = report.server["telemetry"]
+    summary = {
+        "network": args.network,
+        "executor": str(args.executor),
+        "arrival": args.arrival,
+        "rate_rps": args.rate,
+        "requests": report.requests,
+        "achieved_rps": report.achieved_rps,
+        "latency_p50_ms": telemetry["latency_p50_s"] * 1e3,
+        "latency_p95_ms": telemetry["latency_p95_s"] * 1e3,
+        "latency_p99_ms": telemetry["latency_p99_s"] * 1e3,
+        "mean_batch_size": telemetry["mean_batch_size"],
+        "batch_size_histogram": telemetry["batch_size_histogram"],
+        "queue_depth_max": telemetry["queue_depth_max"],
+        "per_core_tile_dispatches": list(
+            report.server["pool"].get("per_core_tile_dispatches", ())
+        ),
+        "replicas": report.server["pool"].get("replicas"),
+        "bitwise_match_vs_run_batch": bitwise,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, default=float))
+    else:
+        print(
+            f"{args.network}: served {summary['requests']} requests "
+            f"({args.arrival} arrivals at {args.rate:.0f} rps, "
+            f"executor={summary['executor']}) -> {summary['achieved_rps']:.1f} rps"
+        )
+        print(
+            f"  latency p50/p95/p99: {summary['latency_p50_ms']:.2f} / "
+            f"{summary['latency_p95_ms']:.2f} / {summary['latency_p99_ms']:.2f} ms"
+        )
+        histogram = ", ".join(
+            f"{size}x{count}" for size, count in summary["batch_size_histogram"].items()
+        )
+        print(
+            f"  micro-batches: mean size {summary['mean_batch_size']:.2f} "
+            f"(histogram: {histogram}); max queue depth {summary['queue_depth_max']}"
+        )
+        dispatches = ", ".join(
+            f"core {core}: {count}"
+            for core, count in enumerate(summary["per_core_tile_dispatches"])
+        )
+        print(f"  tile GEMMs per crossbar core (all replicas): {dispatches}")
+        if bitwise is not None:
+            verdict = "bitwise-identical" if bitwise else "MISMATCH"
+            print(f"  served outputs vs direct run_batch: {verdict}")
+    return 0 if bitwise in (None, True) else 1
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    network, config, noise_model, weights, images = _serving_session(args, args.requests)
+    direct = _direct_reference(args, network, weights, config, images)
+    points = args.rates if args.mode == "open" else args.concurrency
+    rows = []
+    for point in points:
+        with _make_server(args, network, weights, config, noise_model) as server:
+            generator = LoadGenerator(server)
+            if args.mode == "open":
+                arrivals = ARRIVAL_PROCESSES[args.arrival](
+                    point, args.requests, seed=args.arrival_seed
+                )
+                report = generator.run_open_loop(
+                    images, arrivals, shed_on_overflow=args.shed
+                )
+            else:
+                report = generator.run_closed_loop(images, concurrency=int(point))
+        bitwise = _verify_served_outputs(direct, report)
+        telemetry = report.server["telemetry"]
+        rows.append(
+            {
+                "load": point if args.mode == "open" else int(point),
+                "requests": report.requests,
+                "rejected": report.rejected,
+                "achieved_rps": report.achieved_rps,
+                "latency_p50_ms": telemetry["latency_p50_s"] * 1e3,
+                "latency_p99_ms": telemetry["latency_p99_s"] * 1e3,
+                "mean_batch_size": telemetry["mean_batch_size"],
+                "queue_depth_max": telemetry["queue_depth_max"],
+                "bitwise_match_vs_run_batch": bitwise,
+            }
+        )
+    if args.json:
+        print(
+            json.dumps(
+                {"mode": args.mode, "executor": str(args.executor), "points": rows},
+                indent=2,
+                default=float,
+            )
+        )
+    else:
+        load_header = "rate_rps" if args.mode == "open" else "clients"
+        print(
+            f"{args.network}: {args.mode}-loop sweep, executor={args.executor}, "
+            f"{args.requests} requests/point"
+        )
+        print(
+            f"  {load_header:>9s} {'rps':>8s} {'p50_ms':>8s} {'p99_ms':>8s} "
+            f"{'batch':>6s} {'depth':>6s} {'shed':>5s} {'match':>6s}"
+        )
+        for row in rows:
+            match = {None: "n/a", True: "yes", False: "NO"}[
+                row["bitwise_match_vs_run_batch"]
+            ]
+            print(
+                f"  {row['load']:>9.0f} {row['achieved_rps']:>8.1f} "
+                f"{row['latency_p50_ms']:>8.2f} {row['latency_p99_ms']:>8.2f} "
+                f"{row['mean_batch_size']:>6.2f} {row['queue_depth_max']:>6d} "
+                f"{row['rejected']:>5d} {match:>6s}"
+            )
+    failed = any(row["bitwise_match_vs_run_batch"] is False for row in rows)
+    return 1 if failed else 0
+
+
 def _cmd_workloads(_: argparse.Namespace) -> int:
     for name in sorted(WORKLOADS):
         network = WORKLOADS[name]()
@@ -353,6 +709,8 @@ COMMANDS = {
     "optimize": _cmd_optimize,
     "figure": _cmd_figure,
     "infer": _cmd_infer,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "workloads": _cmd_workloads,
 }
 

@@ -41,6 +41,7 @@ Per-core tile counts and busy-time estimates are accumulated into
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -131,6 +132,17 @@ class OpticalCrossbarAccelerator:
                 f"max_cached_weight_plans must be >= 1, got {max_cached_weight_plans}"
             )
         self._max_cached_weight_plans = max_cached_weight_plans
+        # Serialises tile-plan cache mutation and statistics accumulation so
+        # concurrent `linear` calls (thread-pool serving, sharded workers)
+        # cannot lose counter increments or corrupt the LRU order.  GEMM
+        # execution itself happens outside the lock.  Scope: with a noise
+        # model, concurrent `linear` calls on one accelerator interleave the
+        # per-tile generator state in arrival order, so noisy outputs are not
+        # reproducible across such runs (counters stay exact); callers that
+        # need reproducible noise must not share one accelerator across
+        # threads — the serving pool's replicas are checked out exclusively
+        # for this reason.
+        self._stats_lock = threading.RLock()
         self._tile_plans: "OrderedDict[Tuple, _TilePlan]" = OrderedDict()
         self._functional_stats = {
             "programming_events": 0,
@@ -221,22 +233,24 @@ class OpticalCrossbarAccelerator:
     def _programmed_tile_plan(self, weights: np.ndarray) -> _TilePlan:
         """Fetch (or build and cache) the programmed tile plan for ``weights``."""
         key = self._weight_key(weights)
-        plan = self._tile_plans.get(key)
-        if plan is not None:
-            self._tile_plans.move_to_end(key)
-            self._functional_stats["tile_cache_hits"] += 1
+        with self._stats_lock:
+            plan = self._tile_plans.get(key)
+            if plan is not None:
+                self._tile_plans.move_to_end(key)
+                self._functional_stats["tile_cache_hits"] += 1
+                return plan
+            self._functional_stats["tile_cache_misses"] += 1
+            plan = self._build_tile_plan(weights, key)
+            self._tile_plans[key] = plan
+            while len(self._tile_plans) > self._max_cached_weight_plans:
+                self._tile_plans.popitem(last=False)
+                self._functional_stats["tile_cache_evictions"] += 1
             return plan
-        self._functional_stats["tile_cache_misses"] += 1
-        plan = self._build_tile_plan(weights, key)
-        self._tile_plans[key] = plan
-        while len(self._tile_plans) > self._max_cached_weight_plans:
-            self._tile_plans.popitem(last=False)
-            self._functional_stats["tile_cache_evictions"] += 1
-        return plan
 
     def clear_functional_cache(self) -> None:
         """Drop every cached programmed tile plan (statistics are kept)."""
-        self._tile_plans.clear()
+        with self._stats_lock:
+            self._tile_plans.clear()
 
     def functional_statistics(self) -> Dict[str, object]:
         """Aggregate PCM programming, tile-cache and sharding statistics.
@@ -251,10 +265,11 @@ class OpticalCrossbarAccelerator:
         :class:`~repro.crossbar.dual_core.DualCoreCrossbar` schedule (see
         :meth:`analytical_schedule`).
         """
-        stats: Dict[str, object] = dict(self._functional_stats)
-        stats["per_core_tile_dispatches"] = tuple(self._per_core_tile_dispatches)
-        stats["per_core_busy_time_s"] = tuple(self._per_core_busy_time_s)
-        return stats
+        with self._stats_lock:
+            stats: Dict[str, object] = dict(self._functional_stats)
+            stats["per_core_tile_dispatches"] = tuple(self._per_core_tile_dispatches)
+            stats["per_core_busy_time_s"] = tuple(self._per_core_busy_time_s)
+            return stats
 
     def _analytics_plan(self, weights: np.ndarray) -> _TilePlan:
         """Tile plan for analytics queries, free of datapath side effects.
@@ -268,14 +283,15 @@ class OpticalCrossbarAccelerator:
         plan is identical to the one :meth:`linear` would build.
         """
         key = self._weight_key(weights)
-        plan = self._tile_plans.get(key)
-        if plan is not None:
-            return plan
-        snapshot = dict(self._functional_stats)
-        try:
-            return self._build_tile_plan(weights, key)
-        finally:
-            self._functional_stats.update(snapshot)
+        with self._stats_lock:
+            plan = self._tile_plans.get(key)
+            if plan is not None:
+                return plan
+            snapshot = dict(self._functional_stats)
+            try:
+                return self._build_tile_plan(weights, key)
+            finally:
+                self._functional_stats.update(snapshot)
 
     def programming_jobs(self, weights: np.ndarray, num_vectors: int) -> List[ProgrammingJob]:
         """Analytical per-tile job sequence for ``weights``.
@@ -330,10 +346,11 @@ class OpticalCrossbarAccelerator:
 
         plan = self._programmed_tile_plan(weights)
         result, report = self.sharding.execute(plan, inputs, self.config.rows)
-        self._functional_stats["sharded_dispatches"] += 1
-        for core in range(self.config.num_cores):
-            self._per_core_tile_dispatches[core] += report.core_tile_counts[core]
-            self._per_core_busy_time_s[core] += report.core_busy_time_s[core]
+        with self._stats_lock:
+            self._functional_stats["sharded_dispatches"] += 1
+            for core in range(self.config.num_cores):
+                self._per_core_tile_dispatches[core] += report.core_tile_counts[core]
+                self._per_core_busy_time_s[core] += report.core_busy_time_s[core]
         return result[0] if single_vector else result
 
     def conv2d(

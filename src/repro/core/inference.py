@@ -251,6 +251,11 @@ class FunctionalInferenceEngine:
     def _as_batch(self, images: np.ndarray) -> np.ndarray:
         images = np.asarray(images, dtype=float)
         expected = self.network.input_shape.as_tuple()
+        if images.size == 0:
+            raise SimulationError(
+                "input batch is empty: run_batch requires at least one image of "
+                f"shape {expected}"
+            )
         if images.ndim != 4 or images.shape[1:] != expected:
             raise SimulationError(
                 f"input batch must have shape (batch, {', '.join(map(str, expected))}), "

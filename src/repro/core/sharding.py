@@ -34,6 +34,7 @@ tile assignment and busy times agree with the event-driven schedule.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple, Union
@@ -117,21 +118,28 @@ class ShardedExecutionEngine:
         self.workers = workers
         self._worker_count = resolve_worker_count(workers, self.num_cores)
         self._pool: "ThreadPoolExecutor | None" = None
+        self._pool_lock = threading.Lock()
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
-        """Lazily create the worker pool, reused across dispatches."""
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self._worker_count,
-                thread_name_prefix="crossbar-shard",
-            )
-        return self._pool
+        """Lazily create the worker pool, reused across dispatches.
+
+        Guarded by a lock so two concurrent first dispatches cannot each
+        build a pool and leak one of them.
+        """
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._worker_count,
+                    thread_name_prefix="crossbar-shard",
+                )
+            return self._pool
 
     def close(self) -> None:
         """Shut down the worker pool (idempotent; a later dispatch re-creates it)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
 
     # ------------------------------------------------------------------ schedule
     def core_assignment(self, num_tiles: int) -> List[int]:

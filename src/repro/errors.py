@@ -38,3 +38,11 @@ class CapacityError(ReproError):
 
 class OptimizationError(ReproError):
     """The design-space optimizer could not find a feasible design point."""
+
+
+class ServeError(ReproError):
+    """The online inference-serving subsystem failed or was misused."""
+
+
+class QueueOverflowError(ServeError):
+    """A serving request was rejected because the admission queue is full."""

@@ -1,0 +1,54 @@
+"""Online inference serving: dynamic micro-batching over engine replicas.
+
+The paper's throughput analysis (Fig. 7) shows batching is what amortises
+PCM tile programming; this package turns that offline observation into an
+*online* serving system.  Single-image requests are admitted into a bounded
+queue, flushed into micro-batches by a ``max_batch`` / ``max_wait`` policy,
+executed on a pool of :class:`~repro.core.inference.FunctionalInferenceEngine`
+replicas (``serial``, ``thread:N`` or GIL-free ``process:N`` executors), and
+delivered in submission order with full SLO telemetry (latency percentiles,
+throughput, queue depth, batch-size histogram).
+
+See ``docs/serving.md`` for the CLI commands (``python -m repro serve`` /
+``python -m repro loadgen``) and the knob reference.
+"""
+
+from repro.serve.batcher import MicroBatcher, ServeRequest
+from repro.serve.loadgen import (
+    ARRIVAL_PROCESSES,
+    LoadGenerator,
+    LoadReport,
+    bursty_arrivals,
+    poisson_arrivals,
+)
+from repro.serve.server import InferenceServer
+from repro.serve.telemetry import ServeTelemetry, latency_summary
+from repro.serve.workers import (
+    DEFAULT_REPLICAS,
+    EngineReplicaSpec,
+    EngineWorkerPool,
+    ExecutorSpec,
+    merge_functional_statistics,
+    parse_executor_spec,
+    subtract_functional_statistics,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "DEFAULT_REPLICAS",
+    "EngineReplicaSpec",
+    "EngineWorkerPool",
+    "ExecutorSpec",
+    "InferenceServer",
+    "LoadGenerator",
+    "LoadReport",
+    "MicroBatcher",
+    "ServeRequest",
+    "ServeTelemetry",
+    "bursty_arrivals",
+    "latency_summary",
+    "merge_functional_statistics",
+    "parse_executor_spec",
+    "poisson_arrivals",
+    "subtract_functional_statistics",
+]

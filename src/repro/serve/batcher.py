@@ -1,0 +1,180 @@
+"""Request admission queue + dynamic micro-batcher.
+
+Single-image requests are admitted into a bounded FIFO; a consumer (the
+server's dispatch loop) pulls *micro-batches* governed by two knobs:
+
+``max_batch``
+    Flush as soon as this many requests are queued (**flush-on-full**).
+``max_wait_s``
+    Flush no later than this long after the *oldest* queued request arrived
+    (**flush-on-timeout**) — the classic dynamic-batching latency/throughput
+    trade-off: larger waits build bigger batches, which amortise dispatch
+    overhead exactly the way the paper's Fig. 7 batch analysis amortises PCM
+    programming, at the cost of head-of-line latency.
+
+Backpressure: the queue holds at most ``capacity`` requests.  A blocking
+submit waits for space (bounding the producer's rate to the server's); a
+non-blocking submit raises :class:`~repro.errors.QueueOverflowError` so
+open-loop load generators can count shed load instead of stalling.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.errors import QueueOverflowError, ServeError, SimulationError
+
+
+@dataclass
+class ServeRequest:
+    """One admitted single-image inference request."""
+
+    seq: int
+    image: np.ndarray
+    enqueue_time: float
+    future: "Future[np.ndarray]" = field(default_factory=Future)
+
+
+class MicroBatcher:
+    """Bounded request queue with a ``max_batch`` / ``max_wait_s`` flush policy.
+
+    Parameters
+    ----------
+    max_batch:
+        Largest micro-batch :meth:`next_batch` will return (>= 1).
+    max_wait_s:
+        Longest the oldest queued request may wait before a partial batch is
+        flushed; ``0.0`` flushes greedily (whatever is queued right now).
+    capacity:
+        Admission-queue bound (>= 1); see the module docstring for the
+        backpressure semantics.
+    """
+
+    def __init__(
+        self,
+        max_batch: int = 8,
+        max_wait_s: float = 0.002,
+        capacity: int = 128,
+        clock=time.monotonic,
+    ) -> None:
+        if max_batch < 1:
+            raise SimulationError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_s < 0:
+            raise SimulationError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        if capacity < max_batch:
+            raise SimulationError(
+                f"capacity ({capacity}) must be >= max_batch ({max_batch}); "
+                "a full batch could otherwise never assemble"
+            )
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self.capacity = int(capacity)
+        self._clock = clock
+        self._queue: Deque[ServeRequest] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._seq = 0
+
+    # ------------------------------------------------------------------ producer
+    @property
+    def depth(self) -> int:
+        """Current number of queued (not yet batched) requests."""
+        with self._cond:
+            return len(self._queue)
+
+    def submit(
+        self,
+        image: np.ndarray,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> ServeRequest:
+        """Admit one request; returns it with its response future attached.
+
+        With ``block=False`` (or when ``timeout`` expires) a full queue raises
+        :class:`QueueOverflowError` instead of waiting for space.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._cond:
+            while len(self._queue) >= self.capacity and not self._closed:
+                if not block:
+                    raise QueueOverflowError(
+                        f"admission queue is full ({self.capacity} requests)"
+                    )
+                remaining = None if deadline is None else deadline - self._clock()
+                if remaining is not None and remaining <= 0:
+                    raise QueueOverflowError(
+                        f"admission queue still full ({self.capacity} requests) "
+                        f"after {timeout:.3f} s"
+                    )
+                self._cond.wait(remaining)
+            if self._closed:
+                raise ServeError("micro-batcher is closed to new requests")
+            request = ServeRequest(
+                seq=self._seq,
+                image=np.asarray(image, dtype=float),
+                enqueue_time=self._clock(),
+            )
+            self._seq += 1
+            self._queue.append(request)
+            self._cond.notify_all()
+            return request
+
+    # ------------------------------------------------------------------ consumer
+    def next_batch(self, poll_timeout_s: Optional[float] = None) -> Optional[List[ServeRequest]]:
+        """Pull the next micro-batch, honouring the flush policy.
+
+        Blocks until at least one request is queued, then keeps collecting
+        until ``max_batch`` requests are available (flush-on-full) or the
+        oldest request has waited ``max_wait_s`` (flush-on-timeout).  Returns
+        ``None`` when ``poll_timeout_s`` elapses with an empty queue, or when
+        the batcher is closed and drained — the consumer's signal to exit.
+        """
+        with self._cond:
+            wait_deadline = (
+                None if poll_timeout_s is None else self._clock() + poll_timeout_s
+            )
+            while not self._queue:
+                if self._closed:
+                    return None
+                remaining = (
+                    None if wait_deadline is None else wait_deadline - self._clock()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+
+            flush_deadline = self._queue[0].enqueue_time + self.max_wait_s
+            while len(self._queue) < self.max_batch and not self._closed:
+                remaining = flush_deadline - self._clock()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(self.max_batch, len(self._queue)))
+            ]
+            # space freed: wake producers blocked on backpressure
+            self._cond.notify_all()
+            return batch
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Refuse new submissions; queued requests remain drainable."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed

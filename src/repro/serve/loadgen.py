@@ -1,0 +1,259 @@
+"""Open- and closed-loop load generation for the inference server.
+
+Arrival processes
+-----------------
+* :func:`poisson_arrivals` — memoryless traffic: exponential inter-arrival
+  times at a target mean rate, the standard open-loop model for independent
+  users.
+* :func:`bursty_arrivals` — an ON/OFF (interrupted-Poisson) process: bursts
+  of back-to-back requests at ``burst_factor`` times the mean rate separated
+  by idle gaps sized so the *long-run* rate still matches the target.  Bursty
+  traffic is what stresses the micro-batcher's flush policy and the queue
+  bound.
+
+Loops
+-----
+* **Open loop** (:meth:`LoadGenerator.run_open_loop`): requests are injected
+  on the arrival schedule regardless of completions — offered load is fixed,
+  latency is the dependent variable.  This is the loop that exposes queueing
+  collapse when the offered rate exceeds capacity.
+* **Closed loop** (:meth:`LoadGenerator.run_closed_loop`): ``concurrency``
+  synchronous clients each keep exactly one request outstanding — throughput
+  is the dependent variable, and the system is never driven past
+  ``concurrency`` in-flight requests.
+
+Every run returns a :class:`LoadReport` carrying client-side latency
+percentiles, achieved throughput, the server's own telemetry snapshot, and
+the served outputs in submission order so callers can verify bitwise
+equivalence against a direct ``run_batch`` of the same images.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import QueueOverflowError, SimulationError
+from repro.serve.server import InferenceServer
+from repro.serve.telemetry import latency_summary
+
+
+def _validate_rate(rate_rps: float, num_requests: int) -> None:
+    if rate_rps <= 0:
+        raise SimulationError(f"arrival rate must be > 0 requests/s, got {rate_rps}")
+    if num_requests < 1:
+        raise SimulationError(f"num_requests must be >= 1, got {num_requests}")
+
+
+def poisson_arrivals(rate_rps: float, num_requests: int, seed: int = 0) -> np.ndarray:
+    """Cumulative arrival offsets (seconds) of a Poisson process."""
+    _validate_rate(rate_rps, num_requests)
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_rps, size=num_requests)
+    offsets = np.cumsum(gaps)
+    return offsets - offsets[0]
+
+
+def bursty_arrivals(
+    rate_rps: float,
+    num_requests: int,
+    seed: int = 0,
+    burst_length: int = 8,
+    burst_factor: float = 10.0,
+) -> np.ndarray:
+    """Cumulative arrival offsets of an ON/OFF bursty process.
+
+    Requests arrive in bursts of ``burst_length`` spaced at ``burst_factor``
+    times the mean rate; the OFF gap between bursts restores the long-run
+    mean to ``rate_rps``.  ``burst_factor`` must exceed 1 (at 1.0 the process
+    degenerates to a uniform stream and no OFF gap exists).  When
+    ``num_requests`` is too small for two full bursts, ``burst_length`` is
+    clamped to ``num_requests // 2`` so at least one OFF gap exists —
+    otherwise the whole trace would be a single burst offered at
+    ``burst_factor`` times the requested rate.
+    """
+    _validate_rate(rate_rps, num_requests)
+    if burst_length < 1:
+        raise SimulationError(f"burst_length must be >= 1, got {burst_length}")
+    if burst_factor <= 1.0:
+        raise SimulationError(f"burst_factor must be > 1, got {burst_factor}")
+    burst_length = min(burst_length, max(1, num_requests // 2))
+    rng = np.random.default_rng(seed)
+    on_gap = 1.0 / (rate_rps * burst_factor)
+    # long-run mean of one burst cycle: burst_length requests over
+    # burst_length/rate seconds → OFF gap makes up what the ON phase saves.
+    off_gap_mean = burst_length * (1.0 / rate_rps - on_gap)
+    gaps = np.full(num_requests, on_gap)
+    burst_starts = np.arange(burst_length, num_requests, burst_length)
+    gaps[burst_starts] = rng.exponential(off_gap_mean, size=len(burst_starts))
+    offsets = np.cumsum(gaps)
+    return offsets - offsets[0]
+
+
+ARRIVAL_PROCESSES = {
+    "poisson": poisson_arrivals,
+    "bursty": bursty_arrivals,
+}
+
+
+@dataclass
+class LoadReport:
+    """Client-side view of one load-generation run."""
+
+    loop: str
+    requests: int
+    rejected: int
+    duration_s: float
+    achieved_rps: float
+    offered_rps: Optional[float]
+    client_latency: Dict[str, float]
+    server: Dict[str, object]
+    #: Served outputs in submission order, (requests, num_outputs); rejected
+    #: open-loop requests leave no row (their indices are in ``rejected_seqs``).
+    outputs: np.ndarray = field(repr=False)
+    rejected_seqs: List[int] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat JSON-friendly summary (excludes the raw outputs)."""
+        flat: Dict[str, object] = {
+            "loop": self.loop,
+            "requests": self.requests,
+            "rejected": self.rejected,
+            "duration_s": self.duration_s,
+            "achieved_rps": self.achieved_rps,
+            "offered_rps": self.offered_rps,
+        }
+        flat.update({f"client_{k}": v for k, v in self.client_latency.items()})
+        flat["server"] = self.server
+        return flat
+
+
+class LoadGenerator:
+    """Drives an :class:`InferenceServer` with synthetic traffic."""
+
+    def __init__(self, server: InferenceServer) -> None:
+        self.server = server
+
+    # ------------------------------------------------------------------ open loop
+    def run_open_loop(
+        self,
+        images: np.ndarray,
+        arrivals_s: np.ndarray,
+        shed_on_overflow: bool = False,
+    ) -> LoadReport:
+        """Inject ``images[i]`` at ``arrivals_s[i]``; wait for every response.
+
+        With ``shed_on_overflow`` the generator submits non-blocking and
+        counts queue overflows as shed load (open-loop semantics under
+        overload); otherwise submits block, pushing backpressure into the
+        arrival schedule.
+        """
+        images = np.asarray(images, dtype=float)
+        arrivals_s = np.asarray(arrivals_s, dtype=float)
+        if len(images) != len(arrivals_s):
+            raise SimulationError(
+                f"need one arrival offset per image, got {len(images)} images "
+                f"and {len(arrivals_s)} offsets"
+            )
+        futures = []
+        submit_ts: List[float] = []
+        rejected_seqs: List[int] = []
+        start = time.monotonic()
+        for index, (image, offset) in enumerate(zip(images, arrivals_s)):
+            delay = start + float(offset) - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                future = self.server.submit(image, block=not shed_on_overflow)
+            except QueueOverflowError:
+                rejected_seqs.append(index)
+                continue
+            submit_ts.append(time.monotonic())
+            futures.append(future)
+        outputs = []
+        latencies = []
+        for ts, future in zip(submit_ts, futures):
+            outputs.append(future.result())
+            latencies.append(time.monotonic() - ts)
+        duration = time.monotonic() - start
+        offered = len(images) / float(arrivals_s[-1]) if arrivals_s[-1] > 0 else None
+        return LoadReport(
+            loop="open",
+            requests=len(futures),
+            rejected=len(rejected_seqs),
+            duration_s=duration,
+            achieved_rps=len(futures) / duration if duration > 0 else 0.0,
+            offered_rps=offered,
+            client_latency=latency_summary(latencies),
+            server=self.server.stats(),
+            outputs=np.stack(outputs) if outputs else np.empty((0, 0)),
+            rejected_seqs=rejected_seqs,
+        )
+
+    # ------------------------------------------------------------------ closed loop
+    def run_closed_loop(
+        self,
+        images: np.ndarray,
+        concurrency: int = 2,
+        think_time_s: float = 0.0,
+    ) -> LoadReport:
+        """``concurrency`` synchronous clients round-robin through ``images``.
+
+        Client ``c`` serves images ``c, c+concurrency, c+2·concurrency, …``,
+        keeping exactly one request outstanding (plus an optional think time
+        between requests).  Outputs are reassembled in image order.
+        """
+        images = np.asarray(images, dtype=float)
+        if concurrency < 1:
+            raise SimulationError(f"concurrency must be >= 1, got {concurrency}")
+        if think_time_s < 0:
+            raise SimulationError(f"think_time_s must be >= 0, got {think_time_s}")
+        outputs: List[Optional[np.ndarray]] = [None] * len(images)
+        latencies: List[float] = []
+        latency_lock = threading.Lock()
+        errors: List[BaseException] = []
+
+        def client(worker: int) -> None:
+            try:
+                for index in range(worker, len(images), concurrency):
+                    submit_ts = time.monotonic()
+                    result = self.server.submit(images[index]).result()
+                    elapsed = time.monotonic() - submit_ts
+                    outputs[index] = result
+                    with latency_lock:
+                        latencies.append(elapsed)
+                    if think_time_s:
+                        time.sleep(think_time_s)
+            except BaseException as error:  # surfaced after join
+                errors.append(error)
+
+        start = time.monotonic()
+        clients = [
+            threading.Thread(target=client, args=(worker,), name=f"loadgen-{worker}")
+            for worker in range(min(concurrency, len(images)))
+        ]
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join()
+        duration = time.monotonic() - start
+        if errors:
+            raise errors[0]
+        return LoadReport(
+            loop="closed",
+            requests=len(images),
+            rejected=0,
+            duration_s=duration,
+            achieved_rps=len(images) / duration if duration > 0 else 0.0,
+            offered_rps=None,
+            client_latency=latency_summary(latencies),
+            server=self.server.stats(),
+            outputs=np.stack([o for o in outputs if o is not None])
+            if len(images)
+            else np.empty((0, 0)),
+            rejected_seqs=[],
+        )

@@ -1,0 +1,263 @@
+"""The online inference server.
+
+:class:`InferenceServer` glues the serving pipeline together::
+
+    submit(image) ──▶ MicroBatcher ──▶ dispatch loop ──▶ EngineWorkerPool
+         ▲                (bounded      (flush policy,     (serial /
+         │                 queue,        in-flight bound)    thread:N /
+      Future ◀── in-order delivery ◀── batch completion      process:N)
+
+Guarantees
+----------
+* **In-order delivery**: response futures resolve in submission order even
+  when later micro-batches finish first on a parallel executor (a re-order
+  buffer holds early completions).  Head-of-line blocking is therefore
+  *included* in the reported latency, which is what an SLO cares about.
+* **Determinism**: with no noise model, served outputs are bitwise identical
+  to a direct :meth:`FunctionalInferenceEngine.run_batch` of the same images,
+  regardless of executor kind, batch boundaries or completion order.
+* **Backpressure**: the admission queue is bounded (blocking or fail-fast
+  submits), and at most ``2 × replicas`` micro-batches are in flight, so a
+  slow executor pushes delay back into the queue instead of accumulating
+  unbounded in-flight work.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.config.chip import ChipConfig
+from repro.crossbar.noise import CrossbarNoiseModel
+from repro.errors import ServeError
+from repro.nn.network import Network
+from repro.serve.batcher import MicroBatcher, ServeRequest
+from repro.serve.telemetry import ServeTelemetry
+from repro.serve.workers import (
+    EngineReplicaSpec,
+    EngineWorkerPool,
+    ExecutorSpec,
+    parse_executor_spec,
+)
+
+
+class InferenceServer:
+    """Online serving front-end over a pool of functional-engine replicas.
+
+    Parameters
+    ----------
+    network, weights, config, noise_model, seed:
+        Forwarded into every engine replica (see
+        :class:`~repro.serve.workers.EngineReplicaSpec`).
+    executor:
+        Replica-pool executor spelling: ``"serial"``, ``"thread[:N]"`` or
+        ``"process[:N]"`` (see :func:`~repro.serve.workers.parse_executor_spec`).
+    intra_execution:
+        Tile-sharding spec inside each replica (accelerator ``execution``).
+    max_batch, max_wait_s, queue_capacity:
+        Dynamic micro-batching policy; see :class:`~repro.serve.batcher.MicroBatcher`.
+    warmup:
+        Run one zero image through every replica at :meth:`start` so the
+        one-time PCM tile programming does not land on the first request.
+    on_response:
+        Optional ``callback(seq, output)`` invoked in submission order as
+        responses are delivered.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        weights: Dict[str, np.ndarray],
+        config: Optional[ChipConfig] = None,
+        *,
+        noise_model: Optional[CrossbarNoiseModel] = None,
+        seed: int = 0,
+        executor: Union[str, int, ExecutorSpec] = "serial",
+        intra_execution: Union[str, int] = "serial",
+        max_batch: int = 8,
+        max_wait_s: float = 0.002,
+        queue_capacity: int = 128,
+        warmup: bool = True,
+        on_response: Optional[Callable[[int, np.ndarray], None]] = None,
+    ) -> None:
+        self.network = network
+        self.executor = parse_executor_spec(executor)
+        self._input_shape = network.input_shape.as_tuple()
+        warmup_image = np.zeros(self._input_shape) if warmup else None
+        self._replica = EngineReplicaSpec(
+            network=network,
+            weights=dict(weights),
+            config=config,
+            noise_model=noise_model,
+            seed=seed,
+            execution=intra_execution,
+            warmup_image=warmup_image,
+        )
+        self._batcher = MicroBatcher(
+            max_batch=max_batch, max_wait_s=max_wait_s, capacity=queue_capacity
+        )
+        self.telemetry = ServeTelemetry()
+        self._on_response = on_response
+        self._pool: Optional[EngineWorkerPool] = None
+        self._dispatcher: Optional[threading.Thread] = None
+        self._inflight: Optional[threading.BoundedSemaphore] = None
+        self._delivery_lock = threading.Lock()
+        self._next_delivery_seq = 0
+        self._completed: Dict[int, Tuple[ServeRequest, object]] = {}
+        self._started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> "InferenceServer":
+        """Build the replica pool (programming tiles) and start dispatching."""
+        if self._started:
+            raise ServeError("server already started")
+        self._pool = EngineWorkerPool(self._replica, self.executor)
+        self._inflight = threading.BoundedSemaphore(2 * self._pool.count)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatch", daemon=True
+        )
+        self._started = True
+        self._dispatcher.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain queued requests, resolve their futures, shut the pool down."""
+        if not self._started or self._stopped:
+            return
+        self._stopped = True
+        self._batcher.close()
+        assert self._dispatcher is not None and self._pool is not None
+        self._dispatcher.join()
+        self._pool.close()
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start() if not self._started else self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ producer API
+    def submit(
+        self,
+        image: np.ndarray,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> "Future[np.ndarray]":
+        """Admit one single-image request; returns its response future.
+
+        Raises :class:`~repro.errors.QueueOverflowError` on a full queue when
+        ``block=False`` (or after ``timeout``), and :class:`ServeError` for
+        wrong image shapes or a stopped server.
+        """
+        if not self._started or self._stopped:
+            raise ServeError("server is not running (call start() before submit())")
+        image = np.asarray(image, dtype=float)
+        if image.shape != self._input_shape:
+            raise ServeError(
+                f"request image must have shape {self._input_shape}, got {image.shape}"
+            )
+        try:
+            request = self._batcher.submit(image, block=block, timeout=timeout)
+        except Exception:
+            self.telemetry.record_rejection()
+            raise
+        self.telemetry.record_admission(self._batcher.depth)
+        return request.future
+
+    def serve_batch(self, images: np.ndarray) -> np.ndarray:
+        """Submit every image of ``images`` and gather responses in order.
+
+        Convenience for verification: the result is directly comparable with
+        ``FunctionalInferenceEngine.run_batch(images)``.
+        """
+        futures = [self.submit(image) for image in np.asarray(images, dtype=float)]
+        return np.stack([future.result() for future in futures])
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet dispatched to a replica."""
+        return self._batcher.depth
+
+    def stats(self) -> Dict[str, object]:
+        """SLO telemetry snapshot plus aggregated replica-pool statistics."""
+        pool_stats = self._pool.statistics() if self._pool is not None else {}
+        return {
+            "executor": str(self.executor),
+            "max_batch": self._batcher.max_batch,
+            "max_wait_s": self._batcher.max_wait_s,
+            "queue_capacity": self._batcher.capacity,
+            "telemetry": self.telemetry.snapshot(),
+            "pool": pool_stats,
+        }
+
+    # ------------------------------------------------------------------ dispatch
+    def _dispatch_loop(self) -> None:
+        assert self._pool is not None and self._inflight is not None
+        while True:
+            batch = self._batcher.next_batch(poll_timeout_s=0.05)
+            if batch is None:
+                if self._batcher.closed and self._batcher.depth == 0:
+                    return
+                continue
+            images = np.stack([request.image for request in batch])
+            self._inflight.acquire()
+            dispatch_ts = time.monotonic()
+            try:
+                future = self._pool.submit(images)
+            except BaseException as error:
+                self._inflight.release()
+                self._complete_batch(batch, error, dispatch_ts)
+                continue
+            future.add_done_callback(
+                lambda done, batch=batch, ts=dispatch_ts: self._on_batch_done(
+                    batch, ts, done
+                )
+            )
+
+    def _on_batch_done(
+        self, batch: List[ServeRequest], dispatch_ts: float, future: Future
+    ) -> None:
+        assert self._inflight is not None
+        self._inflight.release()
+        error = future.exception()
+        outcome = error if error is not None else future.result()
+        self._complete_batch(batch, outcome, dispatch_ts)
+
+    def _complete_batch(
+        self, batch: List[ServeRequest], outcome: object, dispatch_ts: float
+    ) -> None:
+        now = time.monotonic()
+        self.telemetry.record_batch(len(batch), now - dispatch_ts)
+        with self._delivery_lock:
+            if isinstance(outcome, BaseException):
+                for request in batch:
+                    self._completed[request.seq] = (request, outcome)
+            else:
+                outputs = np.asarray(outcome)
+                for request, output in zip(batch, outputs):
+                    self._completed[request.seq] = (request, output)
+            self._deliver_ready_locked()
+
+    def _deliver_ready_locked(self) -> None:
+        """Release contiguous completed responses in submission order."""
+        while self._next_delivery_seq in self._completed:
+            request, outcome = self._completed.pop(self._next_delivery_seq)
+            self._next_delivery_seq += 1
+            delivery_ts = time.monotonic()
+            if isinstance(outcome, BaseException):
+                request.future.set_exception(outcome)
+            else:
+                self.telemetry.record_response(delivery_ts - request.enqueue_time)
+                request.future.set_result(outcome)
+                if self._on_response is not None:
+                    try:
+                        self._on_response(request.seq, outcome)
+                    except Exception:
+                        # A raising callback must not stall delivery of the
+                        # responses still buffered behind it.
+                        pass

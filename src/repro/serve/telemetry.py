@@ -1,0 +1,137 @@
+"""SLO telemetry for the serving subsystem.
+
+:class:`ServeTelemetry` is a thread-safe sink the server (and the load
+generator, for client-side numbers) records into:
+
+* per-request **latency** samples (enqueue → response delivery), summarised
+  as p50/p95/p99/mean/max;
+* **throughput** — completed requests over the observation window (first
+  admission to last delivery);
+* **queue depth** — sampled at every admission, reported as mean/max;
+* **batch-size histogram** — how large the dynamically formed micro-batches
+  actually were, the knob the paper's Fig. 7 batch analysis turns.
+
+All durations are seconds; the CLI formats milliseconds.  Percentiles use
+the same linear interpolation as ``numpy.percentile``, so telemetry numbers
+are directly comparable with offline analyses of recorded latency traces.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: Latency percentiles reported by :meth:`ServeTelemetry.snapshot`.
+LATENCY_PERCENTILES = (50, 95, 99)
+
+
+def latency_summary(latencies_s: Sequence[float]) -> Dict[str, float]:
+    """p50/p95/p99/mean/max summary (seconds) of a latency sample list.
+
+    An empty sample yields zeros rather than NaNs so reports stay printable
+    for zero-request runs.
+    """
+    if len(latencies_s) == 0:
+        return {
+            **{f"latency_p{q}_s": 0.0 for q in LATENCY_PERCENTILES},
+            "latency_mean_s": 0.0,
+            "latency_max_s": 0.0,
+        }
+    values = np.asarray(latencies_s, dtype=float)
+    summary = {
+        f"latency_p{q}_s": float(np.percentile(values, q)) for q in LATENCY_PERCENTILES
+    }
+    summary["latency_mean_s"] = float(values.mean())
+    summary["latency_max_s"] = float(values.max())
+    return summary
+
+
+class ServeTelemetry:
+    """Thread-safe SLO metrics sink for one serving session."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._latencies_s: List[float] = []
+        self._batch_sizes: Counter = Counter()
+        self._service_time_s = 0.0
+        self._queue_depth_sum = 0
+        self._queue_depth_samples = 0
+        self._queue_depth_max = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._first_event_ts: Optional[float] = None
+        self._last_event_ts: Optional[float] = None
+
+    # ------------------------------------------------------------------ record
+    def _touch(self, now: float) -> None:
+        if self._first_event_ts is None:
+            self._first_event_ts = now
+        self._last_event_ts = now
+
+    def record_admission(self, queue_depth: int) -> None:
+        """One request entered the queue; ``queue_depth`` includes it."""
+        with self._lock:
+            self._touch(self._clock())
+            self._admitted += 1
+            self._queue_depth_sum += int(queue_depth)
+            self._queue_depth_samples += 1
+            self._queue_depth_max = max(self._queue_depth_max, int(queue_depth))
+
+    def record_rejection(self) -> None:
+        """One request was refused admission (queue overflow)."""
+        with self._lock:
+            self._touch(self._clock())
+            self._rejected += 1
+
+    def record_batch(self, size: int, service_time_s: float) -> None:
+        """One micro-batch of ``size`` requests finished executing."""
+        with self._lock:
+            self._touch(self._clock())
+            self._batch_sizes[int(size)] += 1
+            self._service_time_s += float(service_time_s)
+
+    def record_response(self, latency_s: float) -> None:
+        """One request was delivered ``latency_s`` after admission."""
+        with self._lock:
+            self._touch(self._clock())
+            self._latencies_s.append(float(latency_s))
+
+    # ------------------------------------------------------------------ report
+    def snapshot(self) -> Dict[str, object]:
+        """Aggregate SLO metrics of everything recorded so far."""
+        with self._lock:
+            latencies = list(self._latencies_s)
+            batch_sizes = dict(sorted(self._batch_sizes.items()))
+            service_time_s = self._service_time_s
+            admitted = self._admitted
+            rejected = self._rejected
+            depth_sum = self._queue_depth_sum
+            depth_samples = self._queue_depth_samples
+            depth_max = self._queue_depth_max
+            first_ts = self._first_event_ts
+            last_ts = self._last_event_ts
+
+        completed = len(latencies)
+        window_s = (last_ts - first_ts) if (first_ts is not None and last_ts is not None) else 0.0
+        num_batches = sum(batch_sizes.values())
+        batched_requests = sum(size * count for size, count in batch_sizes.items())
+        snapshot: Dict[str, object] = {
+            "requests_admitted": admitted,
+            "requests_rejected": rejected,
+            "requests_completed": completed,
+            "window_s": window_s,
+            "throughput_rps": completed / window_s if window_s > 0 else 0.0,
+            "batches": num_batches,
+            "batch_size_histogram": batch_sizes,
+            "mean_batch_size": batched_requests / num_batches if num_batches else 0.0,
+            "service_time_s": service_time_s,
+            "queue_depth_mean": depth_sum / depth_samples if depth_samples else 0.0,
+            "queue_depth_max": depth_max,
+        }
+        snapshot.update(latency_summary(latencies))
+        return snapshot

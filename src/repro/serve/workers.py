@@ -1,0 +1,391 @@
+"""Executor specifications and the engine-replica worker pool.
+
+Serving parallelism in this subsystem is *data parallelism over engine
+replicas*: every worker owns a full :class:`~repro.core.inference.
+FunctionalInferenceEngine` (network + weights + programmed PCM tiles), and
+micro-batches are dispatched to whichever replica is free.  Three executor
+kinds are supported, spelled the same way everywhere (the ``serve`` /
+``loadgen`` commands and ``infer --workers`` share :func:`parse_executor_spec`):
+
+``serial``
+    One replica, executed inline on the calling thread.
+``thread`` / ``thread:N``
+    ``N`` replicas served by a thread pool.  Replicas are checked out of a
+    free-list per dispatch, so no engine is ever used by two threads at once.
+``process`` / ``process:N``
+    ``N`` replicas, each living in its own worker *process*.  The replica
+    specification (network, weights, chip config, noise model, seed) is
+    serialized to every worker, which rebuilds — and re-programs — its own
+    tile plans at start-up.  Because the per-tile noise seeds are
+    content-keyed (see :mod:`repro.core.accelerator`), every replica programs
+    bitwise-identical tiles; in deterministic mode the pool's outputs are
+    bitwise identical to a single local engine.  This is the executor that
+    finally scales sharded functional inference past the GIL.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.config.chip import ChipConfig
+from repro.core.inference import FunctionalInferenceEngine
+from repro.crossbar.noise import CrossbarNoiseModel
+from repro.errors import ServeError, SimulationError
+from repro.nn.network import Network
+
+#: Executor kinds understood by :func:`parse_executor_spec`.
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+#: Default replica count when a bare ``thread`` / ``process`` spelling leaves
+#: it implicit and no contextual default applies (bounded so a bare spelling
+#: on a many-core host cannot fork dozens of replicas by accident).
+DEFAULT_REPLICAS = max(2, min(4, os.cpu_count() or 2))
+
+
+@dataclass(frozen=True)
+class ExecutorSpec:
+    """A parsed executor specification.
+
+    ``count is None`` means "use the context's default" — the sharded tile
+    datapath maps a bare ``thread`` to one worker per crossbar core, while the
+    serving pool maps bare ``thread`` / ``process`` to :data:`DEFAULT_REPLICAS`.
+    """
+
+    kind: str
+    count: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in EXECUTOR_KINDS:
+            raise SimulationError(
+                f"executor kind must be one of {EXECUTOR_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "serial":
+            object.__setattr__(self, "count", 1)
+        if self.count is not None and self.count < 1:
+            raise SimulationError(
+                f"executor worker count must be >= 1, got {self.count}"
+            )
+
+    def resolved_count(self, default: int = DEFAULT_REPLICAS) -> int:
+        """The worker count, with ``default`` filling an implicit spelling."""
+        return int(self.count) if self.count is not None else max(int(default), 1)
+
+    def __str__(self) -> str:
+        if self.kind == "serial" or self.count is None:
+            return self.kind
+        return f"{self.kind}:{self.count}"
+
+
+def parse_executor_spec(value: Union[str, int, "ExecutorSpec"]) -> ExecutorSpec:
+    """Parse an executor spelling shared by ``serve`` and ``infer --workers``.
+
+    Accepted spellings: ``"serial"``, ``"thread"``, ``"thread:N"``,
+    ``"process"``, ``"process:N"`` and a bare positive integer (kept for
+    backwards compatibility with ``infer --workers N``, where it means a
+    thread pool of ``N`` workers).  Anything else raises a
+    :class:`~repro.errors.SimulationError` naming the accepted forms.
+    """
+    if isinstance(value, ExecutorSpec):
+        return value
+    if isinstance(value, bool):
+        raise SimulationError(_spec_error_message(value))
+    if isinstance(value, int):
+        if value < 1:
+            raise SimulationError(_spec_error_message(value))
+        return ExecutorSpec("thread", value)
+    if not isinstance(value, str):
+        raise SimulationError(_spec_error_message(value))
+
+    text = value.strip()
+    if text in EXECUTOR_KINDS:
+        return ExecutorSpec(text, 1 if text == "serial" else None)
+    if text.isdigit() or (text.startswith("-") and text[1:].isdigit()):
+        count = int(text)
+        if count < 1:
+            raise SimulationError(_spec_error_message(value))
+        return ExecutorSpec("thread", count)
+    kind, separator, suffix = text.partition(":")
+    if separator and kind in ("thread", "process"):
+        if not suffix.isdigit() or int(suffix) < 1:
+            raise SimulationError(_spec_error_message(value))
+        return ExecutorSpec(kind, int(suffix))
+    raise SimulationError(_spec_error_message(value))
+
+
+def _spec_error_message(value) -> str:
+    return (
+        f"invalid executor spec {value!r}: expected 'serial', 'thread', "
+        "'thread:N', 'process', 'process:N' or a positive integer"
+    )
+
+
+@dataclass(frozen=True)
+class EngineReplicaSpec:
+    """Everything needed to (re)build an engine replica in any worker.
+
+    The fields are plain dataclasses and numpy arrays, so the spec pickles
+    cleanly into worker processes; :meth:`build` reconstructs the engine —
+    including re-programming its PCM tile plans on first use.  Replicas built
+    from the same spec share the accelerator seed, and per-tile noise streams
+    are content-keyed, so deterministic outputs are identical across replicas.
+    """
+
+    network: Network
+    weights: Dict[str, np.ndarray]
+    config: Optional[ChipConfig] = None
+    noise_model: Optional[CrossbarNoiseModel] = None
+    seed: int = 0
+    #: Intra-replica tile sharding passed through to the accelerator
+    #: (``"serial"``, ``"thread"`` or a worker count); replicas default to
+    #: serial tile execution because serving parallelism already comes from
+    #: the replica pool.
+    execution: Union[str, int] = "serial"
+    #: Optional representative input run through every replica at start-up so
+    #: the one-time PCM tile programming does not land on the first request.
+    warmup_image: Optional[np.ndarray] = None
+
+    def build(self) -> FunctionalInferenceEngine:
+        engine = FunctionalInferenceEngine(
+            self.network,
+            dict(self.weights),
+            self.config,
+            noise_model=self.noise_model,
+            seed=self.seed,
+            execution=self.execution,
+        )
+        if self.warmup_image is not None:
+            engine.run_batch(np.asarray(self.warmup_image, dtype=float)[None])
+        return engine
+
+
+# ---------------------------------------------------------------------------
+# process-worker plumbing (module level so it pickles)
+# ---------------------------------------------------------------------------
+
+_WORKER_ENGINE: Optional[FunctionalInferenceEngine] = None
+_WORKER_BASELINE: Dict[str, object] = {}
+
+
+def subtract_functional_statistics(
+    current: Dict[str, object], baseline: Dict[str, object]
+) -> Dict[str, object]:
+    """``current - baseline``, counter-wise (tuples subtract elementwise)."""
+    delta: Dict[str, object] = {}
+    for key, value in current.items():
+        base = baseline.get(key)
+        if isinstance(value, tuple):
+            base = base if isinstance(base, tuple) else (0,) * len(value)
+            delta[key] = tuple(a - b for a, b in zip(value, base))
+        else:
+            delta[key] = value - (base or 0)
+    return delta
+
+
+def _process_worker_init(spec: EngineReplicaSpec) -> None:
+    """Build this worker process's private engine replica (runs once).
+
+    The post-build statistics snapshot (which includes any warmup batch) is
+    kept as this replica's baseline, so the counters reported back to the
+    parent describe served traffic only.
+    """
+    global _WORKER_ENGINE, _WORKER_BASELINE
+    _WORKER_ENGINE = spec.build()
+    _WORKER_BASELINE = _WORKER_ENGINE.accelerator.functional_statistics()
+
+
+def _process_worker_run(images: np.ndarray) -> Tuple[int, np.ndarray, Dict[str, object]]:
+    """Run one micro-batch on this process's replica.
+
+    Returns ``(pid, outputs, stats)`` — the traffic-only functional
+    statistics snapshot (start-up baseline subtracted) rides along with every
+    result so the parent can aggregate per-replica counters without a
+    separate round-trip.
+    """
+    if _WORKER_ENGINE is None:  # pragma: no cover - initializer always ran
+        raise ServeError("process worker used before initialization")
+    outputs = _WORKER_ENGINE.run_batch(images)
+    stats = subtract_functional_statistics(
+        _WORKER_ENGINE.accelerator.functional_statistics(), _WORKER_BASELINE
+    )
+    return os.getpid(), outputs, stats
+
+
+def merge_functional_statistics(snapshots: List[Dict[str, object]]) -> Dict[str, object]:
+    """Sum functional-statistics snapshots across engine replicas.
+
+    Scalar counters add; the ``per_core_*`` tuples add elementwise.  An empty
+    list yields an empty dict (no replica has executed yet).
+    """
+    merged: Dict[str, object] = {}
+    for snapshot in snapshots:
+        for key, value in snapshot.items():
+            if isinstance(value, tuple):
+                previous = merged.get(key, (0,) * len(value))
+                merged[key] = tuple(a + b for a, b in zip(previous, value))
+            else:
+                merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+class EngineWorkerPool:
+    """A pool of :class:`FunctionalInferenceEngine` replicas.
+
+    Parameters
+    ----------
+    replica:
+        The serialized engine description every worker builds its replica
+        from.
+    executor:
+        Executor spelling (see :func:`parse_executor_spec`) or a parsed
+        :class:`ExecutorSpec`.
+
+    :meth:`submit` dispatches one micro-batch to one free replica and returns
+    a future of the (batch, num_outputs) result; :meth:`run_batch_sharded`
+    splits a large batch across all replicas and reassembles the outputs in
+    input order.
+    """
+
+    def __init__(
+        self,
+        replica: EngineReplicaSpec,
+        executor: Union[str, int, ExecutorSpec] = "serial",
+    ) -> None:
+        self.replica = replica
+        self.spec = parse_executor_spec(executor)
+        self.count = self.spec.resolved_count()
+        self._closed = False
+        self._engines: List[FunctionalInferenceEngine] = []
+        self._baselines: List[Dict[str, object]] = []
+        self._free: "queue.SimpleQueue[FunctionalInferenceEngine]" = queue.SimpleQueue()
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._process_stats: Dict[int, Dict[str, object]] = {}
+        self._process_stats_lock = threading.Lock()
+
+        if self.spec.kind == "process":
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=self.count,
+                initializer=_process_worker_init,
+                initargs=(replica,),
+            )
+        else:
+            self._engines = [replica.build() for _ in range(self.count)]
+            # Traffic-only statistics: anything the build (warmup included)
+            # accumulated is baseline, not served work.
+            self._baselines = [
+                engine.accelerator.functional_statistics() for engine in self._engines
+            ]
+            for engine in self._engines:
+                self._free.put(engine)
+            if self.spec.kind == "thread":
+                self._thread_pool = ThreadPoolExecutor(
+                    max_workers=self.count, thread_name_prefix="serve-replica"
+                )
+
+    # ------------------------------------------------------------------ dispatch
+    def submit(self, images: np.ndarray) -> "Future[np.ndarray]":
+        """Dispatch one micro-batch to one free replica; returns a future."""
+        if self._closed:
+            raise ServeError("worker pool is closed")
+        images = np.asarray(images, dtype=float)
+        if self.spec.kind == "process":
+            assert self._process_pool is not None
+            outer: "Future[np.ndarray]" = Future()
+            inner = self._process_pool.submit(_process_worker_run, images)
+            inner.add_done_callback(lambda done: self._finish_process(done, outer))
+            return outer
+        if self.spec.kind == "thread":
+            assert self._thread_pool is not None
+            return self._thread_pool.submit(self._checkout_run, images)
+        future: "Future[np.ndarray]" = Future()
+        try:
+            future.set_result(self._checkout_run(images))
+        except Exception as error:  # surface through the future like the pools do
+            future.set_exception(error)
+        return future
+
+    def _finish_process(self, inner: Future, outer: "Future[np.ndarray]") -> None:
+        error = inner.exception()
+        if error is not None:
+            outer.set_exception(error)
+            return
+        pid, outputs, stats = inner.result()
+        with self._process_stats_lock:
+            self._process_stats[pid] = stats
+        outer.set_result(outputs)
+
+    def _checkout_run(self, images: np.ndarray) -> np.ndarray:
+        engine = self._free.get()
+        try:
+            return engine.run_batch(images)
+        finally:
+            self._free.put(engine)
+
+    def run_batch(self, images: np.ndarray) -> np.ndarray:
+        """Run one batch on a single replica, synchronously."""
+        return self.submit(images).result()
+
+    def run_batch_sharded(self, images: np.ndarray) -> np.ndarray:
+        """Split ``images`` across all replicas and reassemble in input order.
+
+        This is the data-parallel path ``infer --workers process:N`` uses: each
+        replica runs a contiguous chunk of the batch, and the chunk outputs are
+        concatenated back in order, so deterministic results are bitwise
+        identical to a single-engine :meth:`run_batch` of the whole batch.
+        """
+        images = np.asarray(images, dtype=float)
+        chunks = [c for c in np.array_split(images, self.count) if c.shape[0] > 0]
+        futures = [self.submit(chunk) for chunk in chunks]
+        return np.concatenate([future.result() for future in futures], axis=0)
+
+    # ------------------------------------------------------------------ stats
+    def statistics(self) -> Dict[str, object]:
+        """Aggregate *traffic-only* functional statistics across replicas.
+
+        Whatever a replica accumulated while being built (including its
+        warmup batch and the PCM tile programming it triggers) is treated as
+        baseline and subtracted, so the counters describe served work and are
+        comparable across executor kinds.  For process replicas the counters
+        come from the snapshot piggybacked on each result, so replicas that
+        have not executed a batch yet are invisible (the pool cannot reach
+        into their address space) — which is consistent: a replica that never
+        served contributes zero traffic.
+        """
+        if self.spec.kind == "process":
+            with self._process_stats_lock:
+                snapshots = list(self._process_stats.values())
+        else:
+            snapshots = [
+                subtract_functional_statistics(
+                    engine.accelerator.functional_statistics(), baseline
+                )
+                for engine, baseline in zip(self._engines, self._baselines)
+            ]
+        merged = merge_functional_statistics(snapshots)
+        merged["replicas"] = self.count
+        merged["executor"] = str(self.spec)
+        return merged
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Shut the pool down (idempotent); pending futures complete first."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+
+    def __enter__(self) -> "EngineWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

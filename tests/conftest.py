@@ -20,6 +20,10 @@ def pytest_configure(config):
         "markers",
         "multicore: exercises multi-core sharded execution of the functional datapath",
     )
+    config.addinivalue_line(
+        "markers",
+        "serving: online inference-serving smoke lane (pytest -m serving)",
+    )
 
 
 @pytest.fixture(scope="session")
