@@ -1,12 +1,18 @@
-"""Online-serving benchmarks: dynamic micro-batching vs batch-1 serving.
+"""Online-serving benchmarks: batching policies under load.
 
 The paper's Fig. 7 batch analysis is an *offline* argument that batching
-amortises PCM tile programming and per-dispatch overhead; this benchmark
-makes the same argument *online*.  The identical burst of requests is served
-twice through :class:`~repro.serve.InferenceServer` — once with the
-micro-batcher disabled (``max_batch=1``) and once with dynamic batching
-(``max_batch=8``) — and dynamic batching must win on throughput while
-staying bitwise identical to a direct ``run_batch`` of the same images.
+amortises PCM tile programming and per-dispatch overhead; these benchmarks
+make the same argument *online*:
+
+* the identical burst of requests is served with the micro-batcher disabled
+  (``max_batch=1``) and with dynamic batching (``max_batch=8``) — dynamic
+  batching must win on throughput while staying bitwise identical to a
+  direct ``run_batch`` of the same images;
+* the same bursty arrival trace is served under the static ``fixed`` flush
+  policy and the deadline/SLO-aware ``adaptive`` policy — the adaptive
+  policy must meet a latency deadline the fixed policy (tuned for
+  throughput, oblivious to deadlines) misses, or match its throughput
+  within 5% when both meet it.
 """
 
 from __future__ import annotations
@@ -19,7 +25,12 @@ import numpy as np
 from repro.config import small_test_chip
 from repro.core.inference import FunctionalInferenceEngine, generate_random_weights
 from repro.nn import build_lenet5
-from repro.serve import InferenceServer, LoadGenerator, poisson_arrivals
+from repro.serve import (
+    InferenceServer,
+    LoadGenerator,
+    bursty_arrivals,
+    poisson_arrivals,
+)
 
 #: Serving scenario: LeNet on a dual-core 32x32 chip, one 16-request burst.
 _CHIP = dict(rows=32, columns=32, num_cores=2)
@@ -98,6 +109,75 @@ def test_dynamic_batching_beats_batch1_serving(results_dir):
         f"serving throughput: batch-1 {single_rps:.1f} rps -> dynamic batching "
         f"{batched_rps:.1f} rps ({batched_rps / single_rps:.2f}x, mean batch "
         f"{batched_tel['mean_batch_size']:.1f})"
+    )
+
+
+def test_adaptive_policy_meets_deadline_fixed_misses(results_dir):
+    """Acceptance: SLO-aware flushing beats a deadline the fixed policy blows.
+
+    The fixed policy is configured the way a throughput-first operator would
+    (large ``max_batch``, generous ``max_wait``) — on a bursty trace whose
+    bursts never fill the batch, every batch waits out the full timer and the
+    250 ms deadline is blown.  The adaptive policy is told the deadline and
+    nothing else; it must meet it (after one calibration pass) or, if the
+    fixed policy happens to meet it too, stay within 5% of its throughput.
+    """
+    network, weights, config, images = _workload()
+    direct = FunctionalInferenceEngine(network, weights, config).run_batch(images)
+    slo_s = 0.25
+    arrivals = bursty_arrivals(
+        400.0, _REQUESTS, seed=3, burst_length=8, burst_factor=10.0
+    )
+
+    def run(**policy_kwargs):
+        server = InferenceServer(
+            network, weights, config, queue_capacity=64, **policy_kwargs
+        )
+        with server:
+            generator = LoadGenerator(server)
+            generator.run_open_loop(images, arrivals)  # warm + calibrate
+            return generator.run_open_loop(images, arrivals)  # measured
+
+    fixed = run(max_batch=32, max_wait_s=0.6)
+    adaptive = run(policy="adaptive", slo_s=slo_s, max_batch=32)
+
+    # Policy choice must never change a bit.
+    assert np.array_equal(fixed.outputs, direct)
+    assert np.array_equal(adaptive.outputs, direct)
+
+    fixed_p95 = fixed.client_latency["latency_p95_s"]
+    adaptive_p95 = adaptive.client_latency["latency_p95_s"]
+    assert adaptive_p95 <= slo_s, (
+        f"adaptive policy blew the {slo_s * 1e3:.0f} ms deadline: "
+        f"p95 {adaptive_p95 * 1e3:.1f} ms"
+    )
+    assert fixed_p95 > slo_s or adaptive.achieved_rps >= 0.95 * fixed.achieved_rps
+    # the adaptive policy still batches (it is not degenerating to batch-1)
+    assert adaptive.server["telemetry"]["mean_batch_size"] > 1
+
+    with open(results_dir / "serving_policies.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["policy", "p95_ms", "slo_ms", "meets_slo", "throughput_rps", "mean_batch_size"]
+        )
+        for name, report, p95 in (
+            ("fixed max_wait=600ms", fixed, fixed_p95),
+            (f"adaptive slo={slo_s * 1e3:.0f}ms", adaptive, adaptive_p95),
+        ):
+            writer.writerow(
+                [
+                    name,
+                    f"{p95 * 1e3:.1f}",
+                    f"{slo_s * 1e3:.0f}",
+                    p95 <= slo_s,
+                    f"{report.achieved_rps:.1f}",
+                    f"{report.server['telemetry']['mean_batch_size']:.2f}",
+                ]
+            )
+    print(
+        f"bursty arrivals vs {slo_s * 1e3:.0f} ms SLO: fixed p95 "
+        f"{fixed_p95 * 1e3:.1f} ms ({fixed.achieved_rps:.1f} rps) -> adaptive p95 "
+        f"{adaptive_p95 * 1e3:.1f} ms ({adaptive.achieved_rps:.1f} rps)"
     )
 
 

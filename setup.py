@@ -5,6 +5,8 @@ PEP 517 editable-wheel path is unavailable; providing a classic ``setup.py``
 lets ``pip install -e .`` fall back to the legacy develop install.
 """
 
+from pathlib import Path
+
 from setuptools import find_packages, setup
 
 setup(
@@ -14,6 +16,8 @@ setup(
         "Scalable coherent optical crossbar (PCM) AI accelerator modeling framework — "
         "reproduction of Sturm & Moazeni, DATE 2023"
     ),
+    long_description=(Path(__file__).parent / "README.md").read_text(encoding="utf-8"),
+    long_description_content_type="text/markdown",
     author="Reproduction Authors",
     license="MIT",
     python_requires=">=3.10",

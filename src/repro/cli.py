@@ -11,9 +11,11 @@ writing any Python:
 * ``infer``     — run batched functional INT6 inference on the optical
   crossbar and report optical-vs-float agreement plus throughput;
 * ``serve``     — run an online serving session (dynamic micro-batching over
-  an engine-replica pool) under synthetic traffic and report SLO telemetry;
+  an engine-replica pool) under synthetic traffic and report SLO telemetry,
+  or expose the server over HTTP with ``--http PORT``;
 * ``loadgen``   — sweep open-/closed-loop load points against a fresh server
-  per point and print a throughput/latency table;
+  per point (or a remote ``--url`` HTTP server) and print a
+  throughput/latency table;
 * ``workloads`` — list the bundled CNN workload descriptions.
 
 Examples
@@ -27,7 +29,9 @@ Examples
     python -m repro infer --network lenet5 --images 16 --rows 64 --columns 64
     python -m repro infer --network lenet5 --images 16 --workers process:2
     python -m repro serve --network lenet5 --requests 32 --rate 500 --executor thread:2
+    python -m repro serve --network lenet5 --http 8080 --policy adaptive --slo-ms 50
     python -m repro loadgen --network lenet5 --mode closed --concurrency 1,2,4
+    python -m repro loadgen --network lenet5 --url http://127.0.0.1:8080 --rates 250,500
 """
 
 from __future__ import annotations
@@ -63,8 +67,11 @@ from repro.serve import (
     EngineReplicaSpec,
     EngineWorkerPool,
     ExecutorSpec,
+    HTTPInferenceClient,
     InferenceServer,
     LoadGenerator,
+    POLICY_KINDS,
+    ServeHTTPServer,
     parse_executor_spec,
 )
 from repro.core import (
@@ -240,6 +247,22 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
         "--queue-capacity", type=_positive_int, default=128, help="admission-queue bound"
     )
     parser.add_argument(
+        "--policy",
+        choices=POLICY_KINDS,
+        default="fixed",
+        help=(
+            "micro-batch flush policy: 'fixed' (static max-batch/max-wait) or "
+            "'adaptive' (SLO-deadline flush with analytical max-batch auto-tuning; "
+            "--max-batch becomes the cap)"
+        ),
+    )
+    parser.add_argument(
+        "--slo-ms",
+        type=_positive_float,
+        default=50.0,
+        help="adaptive policy: per-request latency budget in milliseconds",
+    )
+    parser.add_argument(
         "--noise",
         choices=sorted(NOISE_PRESETS),
         default="none",
@@ -342,6 +365,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="open-loop arrival process",
     )
     serve.add_argument("--json", action="store_true", help="print a JSON summary instead of text")
+    serve.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "expose the server over HTTP on this port (0 picks a free one) "
+            "instead of driving synthetic traffic; serves until interrupted, "
+            "--duration elapses or a /v1/shutdown request arrives"
+        ),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="HTTP bind host (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--duration",
+        type=_positive_float,
+        default=None,
+        help="HTTP mode: stop serving after this many seconds",
+    )
+    serve.add_argument(
+        "--allow-remote-shutdown",
+        action="store_true",
+        help="HTTP mode: honour POST /v1/shutdown requests",
+    )
 
     loadgen = subparsers.add_parser(
         "loadgen",
@@ -381,6 +429,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="open loop: drop (rather than block) requests when the queue is full",
     )
     loadgen.add_argument("--json", action="store_true", help="print a JSON summary instead of text")
+    loadgen.add_argument(
+        "--url",
+        default=None,
+        help=(
+            "drive a remote HTTP server (e.g. http://127.0.0.1:8080) instead of "
+            "building a local one; chip/executor/policy options are then decided "
+            "by the remote server and the bitwise check is skipped"
+        ),
+    )
+    loadgen.add_argument(
+        "--encoding",
+        choices=("json", "npy"),
+        default="json",
+        help="HTTP payload encoding for --url mode (npy is denser and bitwise-exact)",
+    )
 
     subparsers.add_parser("workloads", help="list the bundled workload descriptions")
     return parser
@@ -545,6 +608,8 @@ def _make_server(args: argparse.Namespace, network, weights, config, noise_model
         max_batch=args.max_batch,
         max_wait_s=args.max_wait_ms / 1e3,
         queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        slo_s=args.slo_ms / 1e3,
     )
 
 
@@ -570,7 +635,42 @@ def _verify_served_outputs(direct: Optional[np.ndarray], report) -> Optional[boo
     return bool(np.array_equal(report.outputs, direct))
 
 
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    """``serve --http PORT``: expose the server over a socket until stopped."""
+    network, config, noise_model, weights, _ = _serving_session(args, 1)
+    server = _make_server(args, network, weights, config, noise_model)
+    with server:
+        with ServeHTTPServer(
+            server,
+            host=args.host,
+            port=args.http,
+            allow_shutdown=args.allow_remote_shutdown,
+        ) as front:
+            print(
+                f"serving {args.network} (executor={args.executor}, "
+                f"policy={args.policy}) at {front.url}"
+            )
+            print(f"  POST {front.url}/v1/infer    — single image or batch")
+            print(f"  GET  {front.url}/v1/stats    — SLO telemetry snapshot")
+            print(f"  GET  {front.url}/healthz     — liveness probe")
+            if args.allow_remote_shutdown:
+                print(f"  POST {front.url}/v1/shutdown — stop the server")
+            try:
+                front.wait(args.duration)
+            except KeyboardInterrupt:
+                print("interrupted, shutting down")
+        telemetry = server.telemetry.snapshot()
+    print(
+        f"served {telemetry['requests_completed']} requests "
+        f"(p99 {telemetry['latency_p99_s'] * 1e3:.2f} ms, "
+        f"mean batch {telemetry['mean_batch_size']:.2f})"
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.http is not None:
+        return _cmd_serve_http(args)
     network, config, noise_model, weights, images = _serving_session(args, args.requests)
     arrivals = ARRIVAL_PROCESSES[args.arrival](args.rate, args.requests, seed=args.arrival_seed)
     with _make_server(args, network, weights, config, noise_model) as server:
@@ -628,33 +728,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if bitwise in (None, True) else 1
 
 
+def _run_load_point(args: argparse.Namespace, generator: LoadGenerator, images, point):
+    """One open-/closed-loop load point against an already-built target."""
+    if args.mode == "open":
+        arrivals = ARRIVAL_PROCESSES[args.arrival](
+            point, args.requests, seed=args.arrival_seed
+        )
+        return generator.run_open_loop(images, arrivals, shed_on_overflow=args.shed)
+    return generator.run_closed_loop(images, concurrency=int(point))
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
-    network, config, noise_model, weights, images = _serving_session(args, args.requests)
-    direct = _direct_reference(args, network, weights, config, images)
+    if args.url:
+        # The remote server owns the chip/executor/policy/weight choices, so
+        # only the workload's input shape matters locally: build the images,
+        # skip weight/noise construction and the bitwise reference.
+        if args.requests < 1:
+            raise SystemExit(f"--requests must be >= 1, got {args.requests}")
+        network = build_network(args.network)
+        rng = np.random.default_rng(args.image_seed)
+        images = rng.uniform(
+            0.0, 1.0, (args.requests,) + network.input_shape.as_tuple()
+        )
+        direct = None
+    else:
+        network, config, noise_model, weights, images = _serving_session(
+            args, args.requests
+        )
+        direct = _direct_reference(args, network, weights, config, images)
+    encoding = "npy_b64" if args.encoding == "npy" else "json"
     points = args.rates if args.mode == "open" else args.concurrency
     rows = []
     for point in points:
-        with _make_server(args, network, weights, config, noise_model) as server:
-            generator = LoadGenerator(server)
-            if args.mode == "open":
-                arrivals = ARRIVAL_PROCESSES[args.arrival](
-                    point, args.requests, seed=args.arrival_seed
-                )
-                report = generator.run_open_loop(
-                    images, arrivals, shed_on_overflow=args.shed
-                )
-            else:
-                report = generator.run_closed_loop(images, concurrency=int(point))
+        if args.url:
+            with HTTPInferenceClient(args.url, encoding=encoding) as client:
+                report = _run_load_point(args, LoadGenerator(client), images, point)
+        else:
+            with _make_server(args, network, weights, config, noise_model) as server:
+                report = _run_load_point(args, LoadGenerator(server), images, point)
         bitwise = _verify_served_outputs(direct, report)
         telemetry = report.server["telemetry"]
+        # Against a remote server the telemetry snapshot is cumulative over
+        # the server's whole lifetime (other points, other clients), so the
+        # per-point latency columns come from this run's client-side samples
+        # instead; locally every point gets a fresh server and the
+        # (delivery-inclusive) server-side numbers are the better ones.
+        latency_source = report.client_latency if args.url else telemetry
         rows.append(
             {
                 "load": point if args.mode == "open" else int(point),
                 "requests": report.requests,
                 "rejected": report.rejected,
                 "achieved_rps": report.achieved_rps,
-                "latency_p50_ms": telemetry["latency_p50_s"] * 1e3,
-                "latency_p99_ms": telemetry["latency_p99_s"] * 1e3,
+                "latency_p50_ms": latency_source["latency_p50_s"] * 1e3,
+                "latency_p99_ms": latency_source["latency_p99_s"] * 1e3,
                 "mean_batch_size": telemetry["mean_batch_size"],
                 "queue_depth_max": telemetry["queue_depth_max"],
                 "bitwise_match_vs_run_batch": bitwise,
@@ -663,15 +790,21 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if args.json:
         print(
             json.dumps(
-                {"mode": args.mode, "executor": str(args.executor), "points": rows},
+                {
+                    "mode": args.mode,
+                    "executor": str(args.executor),
+                    "url": args.url,
+                    "points": rows,
+                },
                 indent=2,
                 default=float,
             )
         )
     else:
         load_header = "rate_rps" if args.mode == "open" else "clients"
+        target = args.url if args.url else f"executor={args.executor}"
         print(
-            f"{args.network}: {args.mode}-loop sweep, executor={args.executor}, "
+            f"{args.network}: {args.mode}-loop sweep, {target}, "
             f"{args.requests} requests/point"
         )
         print(

@@ -46,3 +46,7 @@ class ServeError(ReproError):
 
 class QueueOverflowError(ServeError):
     """A serving request was rejected because the admission queue is full."""
+
+
+class BadRequestError(ServeError):
+    """A serving request payload is malformed (maps to HTTP 400)."""

@@ -9,11 +9,34 @@ replicas (``serial``, ``thread:N`` or GIL-free ``process:N`` executors), and
 delivered in submission order with full SLO telemetry (latency percentiles,
 throughput, queue depth, batch-size histogram).
 
+Two front-ends share that pipeline: in-process submission
+(:class:`InferenceServer.submit`) and an HTTP socket
+(:class:`ServeHTTPServer` — ``POST /v1/infer``, ``GET /v1/stats``,
+``GET /healthz``) with a matching stdlib :class:`HTTPInferenceClient`.
+Flush decisions are pluggable (:class:`FixedFlushPolicy` /
+:class:`AdaptiveFlushPolicy` with SLO deadlines and
+``analytical_schedule()``-seeded batch auto-tuning).
+
 See ``docs/serving.md`` for the CLI commands (``python -m repro serve`` /
-``python -m repro loadgen``) and the knob reference.
+``python -m repro loadgen``), the HTTP API and the knob reference.
 """
 
-from repro.serve.batcher import MicroBatcher, ServeRequest
+from repro.serve.batcher import (
+    AdaptiveFlushPolicy,
+    AnalyticalCostModel,
+    FixedFlushPolicy,
+    FlushPolicy,
+    MicroBatcher,
+    POLICY_KINDS,
+    ServeRequest,
+    make_flush_policy,
+)
+from repro.serve.http import (
+    HTTPInferenceClient,
+    ServeHTTPServer,
+    decode_array_b64,
+    encode_array_b64,
+)
 from repro.serve.loadgen import (
     ARRIVAL_PROCESSES,
     LoadGenerator,
@@ -35,18 +58,28 @@ from repro.serve.workers import (
 
 __all__ = [
     "ARRIVAL_PROCESSES",
+    "AdaptiveFlushPolicy",
+    "AnalyticalCostModel",
     "DEFAULT_REPLICAS",
     "EngineReplicaSpec",
     "EngineWorkerPool",
     "ExecutorSpec",
+    "FixedFlushPolicy",
+    "FlushPolicy",
+    "HTTPInferenceClient",
     "InferenceServer",
     "LoadGenerator",
     "LoadReport",
     "MicroBatcher",
+    "POLICY_KINDS",
+    "ServeHTTPServer",
     "ServeRequest",
     "ServeTelemetry",
     "bursty_arrivals",
+    "decode_array_b64",
+    "encode_array_b64",
     "latency_summary",
+    "make_flush_policy",
     "merge_functional_statistics",
     "parse_executor_spec",
     "poisson_arrivals",

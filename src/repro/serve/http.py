@@ -1,0 +1,547 @@
+"""HTTP front-end and client for the online inference server.
+
+:class:`ServeHTTPServer` puts a socket in front of an
+:class:`~repro.serve.server.InferenceServer`, so external clients can drive
+the dynamic micro-batcher over the wire — a stdlib
+:class:`~http.server.ThreadingHTTPServer`, one handler thread per in-flight
+HTTP request, every request funnelled through the *same* ``submit()`` path
+in-process callers use.  In-order delivery and bitwise determinism are
+therefore preserved: the HTTP layer only encodes and decodes payloads.
+
+Endpoints
+---------
+``POST /v1/infer``
+    One single-image request (``{"image": ...}``) or a batch
+    (``{"images": ...}``).  Payloads are either nested JSON lists or
+    base64-encoded ``.npy`` blobs (``image_npy_b64`` / ``images_npy_b64``),
+    which round-trip float64 bits exactly and are ~3x denser than JSON.
+    ``{"block": false}`` turns queue overflow into an HTTP 429 instead of
+    blocking the connection (open-loop shedding over the wire).
+``GET /v1/stats``
+    The server's :meth:`~repro.serve.server.InferenceServer.stats` snapshot —
+    SLO telemetry, flush-policy state and replica-pool counters — as JSON.
+``GET /healthz``
+    Liveness probe: workload name, input shape, executor, uptime.
+``POST /v1/shutdown``
+    Requests a clean shutdown; only honoured when the front-end was built
+    with ``allow_shutdown=True`` (404 otherwise, so probes cannot kill a
+    server that did not opt in).
+
+Error mapping: malformed payloads → 400, queue overflow → 429, server not
+running → 503, unknown path → 404, wrong method → 405.  Every error body is
+``{"error": msg, "type": ExceptionName}``.
+
+:class:`HTTPInferenceClient` is the matching stdlib-only client.  It exposes
+the same ``submit()/stats()`` surface as :class:`InferenceServer`, so a
+:class:`~repro.serve.loadgen.LoadGenerator` can drive a remote server over
+HTTP unchanged (``python -m repro loadgen --url ...``).
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import Future, ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import BadRequestError, QueueOverflowError, ServeError
+from repro.serve.server import InferenceServer
+
+#: Default bind host; loopback so a bare ``--http`` never exposes a socket.
+DEFAULT_HOST = "127.0.0.1"
+
+#: Largest accepted request body (a 64 MB batch is ~2000 LeNet images).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Payload encodings understood by the client (the server accepts both).
+ENCODINGS = ("json", "npy_b64")
+
+
+# ---------------------------------------------------------------------------
+# payload codecs (shared by server and client)
+# ---------------------------------------------------------------------------
+
+
+def encode_array_b64(array: np.ndarray) -> str:
+    """Base64 ``.npy`` serialization of an array (bitwise-exact transport)."""
+    buffer = io.BytesIO()
+    np.save(buffer, np.asarray(array))
+    return base64.b64encode(buffer.getvalue()).decode("ascii")
+
+
+def decode_array_b64(text: str) -> np.ndarray:
+    """Inverse of :func:`encode_array_b64`; malformed input → 400."""
+    try:
+        raw = base64.b64decode(text, validate=True)
+        return np.load(io.BytesIO(raw), allow_pickle=False)
+    except Exception as error:
+        raise BadRequestError(f"invalid base64 .npy payload: {error}") from error
+
+
+def decode_infer_payload(
+    payload: object, input_shape: Tuple[int, ...]
+) -> Tuple[np.ndarray, bool, str]:
+    """Decode a ``POST /v1/infer`` body into a validated image batch.
+
+    Returns ``(images, batched, encoding)`` where ``images`` always has shape
+    ``(B,) + input_shape``, ``batched`` says whether the caller sent a batch
+    (and so expects a batch response), and ``encoding`` is the payload field
+    family used (``"json"`` or ``"npy_b64"``) so the response can mirror it.
+    """
+    if not isinstance(payload, dict):
+        raise BadRequestError("request body must be a JSON object")
+    fields = [
+        key
+        for key in ("image", "images", "image_npy_b64", "images_npy_b64")
+        if key in payload
+    ]
+    if len(fields) != 1:
+        raise BadRequestError(
+            "request must carry exactly one of 'image', 'images', "
+            f"'image_npy_b64' or 'images_npy_b64', got {fields or 'none'}"
+        )
+    field = fields[0]
+    encoding = "npy_b64" if field.endswith("_npy_b64") else "json"
+    batched = field.startswith("images")
+    if encoding == "npy_b64":
+        array = decode_array_b64(payload[field])
+    else:
+        try:
+            array = np.asarray(payload[field], dtype=float)
+        except (TypeError, ValueError) as error:
+            raise BadRequestError(f"{field!r} is not a numeric array: {error}") from error
+    if array.dtype == object:
+        raise BadRequestError(f"{field!r} is not a rectangular numeric array")
+    array = np.asarray(array, dtype=float)
+    if not batched:
+        array = array[None]
+    expected_ndim = 1 + len(input_shape)
+    if array.ndim != expected_ndim or array.shape[1:] != tuple(input_shape):
+        raise BadRequestError(
+            f"{field!r} must decode to shape "
+            f"{'(batch, ' if batched else '('}"
+            f"{', '.join(map(str, input_shape))}), got {array[0].shape if not batched else array.shape}"
+        )
+    if batched and array.shape[0] < 1:
+        raise BadRequestError("'images' batch must contain at least one image")
+    return array, batched, encoding
+
+
+def _json_default(value):
+    """JSON fallback for numpy scalars/arrays inside stats payloads."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return float(value)
+
+
+# ---------------------------------------------------------------------------
+# server
+# ---------------------------------------------------------------------------
+
+
+class _ServeHTTPHandler(BaseHTTPRequestHandler):
+    """Request handler bound to one :class:`ServeHTTPServer` (its ``front``)."""
+
+    protocol_version = "HTTP/1.1"
+    front: "ServeHTTPServer"  # injected by ServeHTTPServer.start()
+
+    # The stdlib handler logs every request to stderr; a load generator at
+    # 1000 rps would drown the terminal, so logging is off by default.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    # ------------------------------------------------------------------ GET
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._send_json(200, self.front.health())
+        elif self.path == "/v1/stats":
+            self._send_json(200, self.front.server.stats())
+        else:
+            self._send_error(404, ServeError(f"unknown path {self.path!r}"))
+
+    # ------------------------------------------------------------------ POST
+    def do_POST(self) -> None:
+        if self.path == "/v1/infer":
+            self._infer()
+        elif self.path == "/v1/shutdown" and self.front.allow_shutdown:
+            self._send_json(200, {"status": "shutting-down"})
+            self.front.request_shutdown()
+        else:
+            self._send_error(404, ServeError(f"unknown path {self.path!r}"))
+
+    def _infer(self) -> None:
+        start = time.monotonic()
+        try:
+            payload = self._read_json_body()
+            images, batched, encoding = decode_infer_payload(
+                payload, self.front.server.network.input_shape.as_tuple()
+            )
+            block = payload.get("block", True)
+            if not isinstance(block, bool):
+                raise BadRequestError(f"'block' must be a JSON boolean, got {block!r}")
+            timeout = payload.get("timeout_s")
+            if timeout is not None and (
+                isinstance(timeout, bool) or not isinstance(timeout, (int, float))
+            ):
+                raise BadRequestError(
+                    f"'timeout_s' must be a JSON number, got {timeout!r}"
+                )
+            futures = []
+            overflow = None
+            for image in images:
+                try:
+                    futures.append(
+                        self.front.server.submit(image, block=block, timeout=timeout)
+                    )
+                except QueueOverflowError as error:
+                    overflow = error
+                    break
+            if overflow is not None:
+                # Part of the batch may already be admitted; wait those
+                # requests out so the engine work completes and telemetry
+                # stays consistent, then report the overflow with the count.
+                for future in futures:
+                    try:
+                        future.result()
+                    except Exception:
+                        pass
+                raise QueueOverflowError(
+                    f"{overflow} ({len(futures)} of {len(images)} images "
+                    "admitted and executed before overflow)"
+                )
+            outputs = np.stack([future.result() for future in futures])
+        except Exception as error:
+            self._send_error(self._status_for(error), error)
+            return
+        latency_ms = (time.monotonic() - start) * 1e3
+        body: Dict[str, object] = {"count": int(outputs.shape[0]), "latency_ms": latency_ms}
+        if encoding == "npy_b64":
+            key = "outputs_npy_b64" if batched else "output_npy_b64"
+            body[key] = encode_array_b64(outputs if batched else outputs[0])
+        elif batched:
+            body["outputs"] = outputs.tolist()
+        else:
+            body["output"] = outputs[0].tolist()
+        self._send_json(200, body)
+
+    # ------------------------------------------------------------------ plumbing
+    def _read_json_body(self) -> object:
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            raise BadRequestError("missing Content-Length header")
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise BadRequestError(f"invalid Content-Length {length_header!r}")
+        if length < 0 or length > self.front.max_body_bytes:
+            raise BadRequestError(
+                f"request body of {length} bytes exceeds the "
+                f"{self.front.max_body_bytes}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise BadRequestError(f"request body is not valid JSON: {error}") from error
+
+    @staticmethod
+    def _status_for(error: BaseException) -> int:
+        if isinstance(error, QueueOverflowError):
+            return 429
+        if isinstance(error, BadRequestError):
+            return 400
+        if isinstance(error, ServeError):
+            return 503  # lifecycle: shapes are validated before submit()
+        return 500
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload, default=_json_default).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, error: BaseException) -> None:
+        self._send_json(
+            status, {"error": str(error), "type": type(error).__name__}
+        )
+
+
+class ServeHTTPServer:
+    """Threaded HTTP front-end over a running :class:`InferenceServer`.
+
+    Parameters
+    ----------
+    server:
+        The inference server requests are submitted to.  Its lifecycle is
+        *not* owned by the front-end: start/stop it separately (or let the
+        CLI do both).
+    host, port:
+        Bind address; ``port=0`` picks a free ephemeral port (see
+        :attr:`port` after :meth:`start`).
+    allow_shutdown:
+        Enable the ``POST /v1/shutdown`` endpoint.
+    max_body_bytes:
+        Reject request bodies larger than this with HTTP 400.
+    """
+
+    def __init__(
+        self,
+        server: InferenceServer,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        allow_shutdown: bool = False,
+        max_body_bytes: int = MAX_BODY_BYTES,
+    ) -> None:
+        self.server = server
+        self.host = host
+        self.allow_shutdown = bool(allow_shutdown)
+        self.max_body_bytes = int(max_body_bytes)
+        self._requested_port = int(port)
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started_ts: Optional[float] = None
+        self._shutdown_event = threading.Event()
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> "ServeHTTPServer":
+        """Bind the socket and start answering requests on a daemon thread."""
+        if self._httpd is not None:
+            raise ServeError("HTTP front-end already started")
+        handler = type("BoundServeHTTPHandler", (_ServeHTTPHandler,), {"front": self})
+        self._httpd = ThreadingHTTPServer((self.host, self._requested_port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="serve-http", daemon=True
+        )
+        self._started_ts = time.monotonic()
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting connections and join the serving thread (idempotent)."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        assert self._thread is not None
+        self._thread.join()
+        self._httpd.server_close()
+        self._httpd = None
+        self._shutdown_event.set()
+
+    def __enter__(self) -> "ServeHTTPServer":
+        return self.start() if self._httpd is None else self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ state
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral choice)."""
+        if self._httpd is None:
+            return self._requested_port
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should target.
+
+        Wildcard binds (``0.0.0.0`` / ``::``) are rewritten to loopback —
+        the wildcard address is where the socket listens, not an address a
+        client can connect to.
+        """
+        host = "127.0.0.1" if self.host in ("0.0.0.0", "::", "") else self.host
+        return f"http://{host}:{self.port}"
+
+    def health(self) -> Dict[str, object]:
+        uptime = (
+            time.monotonic() - self._started_ts if self._started_ts is not None else 0.0
+        )
+        return {
+            "status": "ok",
+            "network": self.server.network.name,
+            "input_shape": list(self.server.network.input_shape.as_tuple()),
+            "executor": str(self.server.executor),
+            "policy": self.server.policy.kind,
+            "uptime_s": uptime,
+        }
+
+    def request_shutdown(self) -> None:
+        """Signal whoever owns the front-end (see :meth:`wait`) to stop it.
+
+        Handlers must not call :meth:`stop` themselves — joining the serving
+        thread from inside one of its handlers would deadlock — so shutdown
+        is a flag the owning thread observes.
+        """
+        self._shutdown_event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until a shutdown is requested (or ``timeout`` elapses)."""
+        return self._shutdown_event.wait(timeout)
+
+
+# ---------------------------------------------------------------------------
+# client
+# ---------------------------------------------------------------------------
+
+
+class HTTPInferenceClient:
+    """Stdlib HTTP client speaking the ``/v1`` serving API.
+
+    Duck-type compatible with :class:`InferenceServer` where the
+    :class:`~repro.serve.loadgen.LoadGenerator` is concerned: ``submit()``
+    returns a future of the output vector (dispatched on an internal thread
+    pool, one HTTP request per inference), and ``stats()`` fetches the remote
+    telemetry snapshot.  HTTP errors are mapped back onto the serve exception
+    hierarchy (429 → :class:`QueueOverflowError`, 400 →
+    :class:`BadRequestError`, anything else → :class:`ServeError`), so
+    shed-load accounting works unchanged over the wire.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout_s: float = 60.0,
+        max_connections: int = 16,
+        encoding: str = "json",
+    ) -> None:
+        if encoding not in ENCODINGS:
+            raise ServeError(
+                f"unknown payload encoding {encoding!r}: expected one of {ENCODINGS}"
+            )
+        self.base_url = url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+        self.encoding = encoding
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_connections, thread_name_prefix="http-client"
+        )
+
+    # ------------------------------------------------------------------ transport
+    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            raise self._mapped_error(error) from error
+        except urllib.error.URLError as error:
+            raise ServeError(
+                f"cannot reach inference server at {self.base_url}: {error.reason}"
+            ) from error
+
+    @staticmethod
+    def _mapped_error(error: urllib.error.HTTPError) -> ServeError:
+        try:
+            detail = json.loads(error.read()).get("error", "")
+        except Exception:
+            detail = ""
+        message = f"HTTP {error.code}: {detail or error.reason}"
+        if error.code == 429:
+            return QueueOverflowError(message)
+        if error.code == 400:
+            return BadRequestError(message)
+        return ServeError(message)
+
+    # ------------------------------------------------------------------ API
+    def infer(
+        self,
+        image: np.ndarray,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Run one image through the remote server; returns the output vector.
+
+        ``timeout`` bounds server-side *admission* blocking (the
+        ``timeout_s`` payload field) with the same semantics as
+        :meth:`InferenceServer.submit`: a still-full queue raises
+        :class:`QueueOverflowError` (HTTP 429) once it expires.
+        """
+        image = np.asarray(image, dtype=float)
+        if self.encoding == "npy_b64":
+            payload = {"image_npy_b64": encode_array_b64(image)}
+        else:
+            payload = {"image": image.tolist()}
+        payload["block"] = bool(block)
+        if timeout is not None:
+            payload["timeout_s"] = float(timeout)
+        body = self._request("POST", "/v1/infer", payload)
+        if "output_npy_b64" in body:
+            return decode_array_b64(body["output_npy_b64"])
+        return np.asarray(body["output"], dtype=float)
+
+    def infer_batch(
+        self,
+        images: np.ndarray,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Run a whole batch in one HTTP request; returns (B, num_outputs)."""
+        images = np.asarray(images, dtype=float)
+        if self.encoding == "npy_b64":
+            payload = {"images_npy_b64": encode_array_b64(images)}
+        else:
+            payload = {"images": images.tolist()}
+        payload["block"] = bool(block)
+        if timeout is not None:
+            payload["timeout_s"] = float(timeout)
+        body = self._request("POST", "/v1/infer", payload)
+        if "outputs_npy_b64" in body:
+            return decode_array_b64(body["outputs_npy_b64"])
+        return np.asarray(body["outputs"], dtype=float)
+
+    def submit(
+        self,
+        image: np.ndarray,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> "Future[np.ndarray]":
+        """LoadGenerator-compatible async submit (one HTTP request per image).
+
+        ``block``/``timeout`` carry :meth:`InferenceServer.submit` admission
+        semantics over the wire.  Queue overflow surfaces when the future
+        resolves (the wire cannot report admission separately from
+        completion), which the load generator's gather phase accounts for.
+        """
+        return self._executor.submit(
+            self.infer, np.asarray(image, dtype=float), block, timeout
+        )
+
+    def stats(self) -> dict:
+        """Remote :meth:`InferenceServer.stats` snapshot (JSON-typed)."""
+        return self._request("GET", "/v1/stats")
+
+    def healthz(self) -> dict:
+        """Remote liveness probe."""
+        return self._request("GET", "/healthz")
+
+    def shutdown_remote(self) -> dict:
+        """Ask the remote front-end to shut down (requires ``allow_shutdown``)."""
+        return self._request("POST", "/v1/shutdown", {})
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "HTTPInferenceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -26,6 +26,16 @@ Every run returns a :class:`LoadReport` carrying client-side latency
 percentiles, achieved throughput, the server's own telemetry snapshot, and
 the served outputs in submission order so callers can verify bitwise
 equivalence against a direct ``run_batch`` of the same images.
+
+Targets
+-------
+The generator drives anything with the server's ``submit()``/``stats()``
+surface: an in-process :class:`~repro.serve.server.InferenceServer` or an
+:class:`~repro.serve.http.HTTPInferenceClient` pointed at a remote
+``--http`` front-end.  Over HTTP a queue overflow can only surface when the
+response arrives (the wire does not report admission separately), so the
+open loop counts :class:`~repro.errors.QueueOverflowError` as shed load at
+*both* submit and gather time.
 """
 
 from __future__ import annotations
@@ -133,9 +143,11 @@ class LoadReport:
 
 
 class LoadGenerator:
-    """Drives an :class:`InferenceServer` with synthetic traffic."""
+    """Drives an inference server (in-process or HTTP) with synthetic traffic."""
 
-    def __init__(self, server: InferenceServer) -> None:
+    def __init__(self, server: "InferenceServer") -> None:
+        # Any object with submit(image, block=..., timeout=...) -> Future and
+        # stats() works; see the module docstring's Targets section.
         self.server = server
 
     # ------------------------------------------------------------------ open loop
@@ -159,8 +171,7 @@ class LoadGenerator:
                 f"need one arrival offset per image, got {len(images)} images "
                 f"and {len(arrivals_s)} offsets"
             )
-        futures = []
-        submit_ts: List[float] = []
+        submissions: List[tuple] = []  # (image index, submit timestamp, future)
         rejected_seqs: List[int] = []
         start = time.monotonic()
         for index, (image, offset) in enumerate(zip(images, arrivals_s)):
@@ -172,21 +183,26 @@ class LoadGenerator:
             except QueueOverflowError:
                 rejected_seqs.append(index)
                 continue
-            submit_ts.append(time.monotonic())
-            futures.append(future)
+            submissions.append((index, time.monotonic(), future))
         outputs = []
         latencies = []
-        for ts, future in zip(submit_ts, futures):
-            outputs.append(future.result())
+        for index, ts, future in submissions:
+            try:
+                outputs.append(future.result())
+            except QueueOverflowError:
+                # HTTP targets report overflow on completion, not admission.
+                rejected_seqs.append(index)
+                continue
             latencies.append(time.monotonic() - ts)
+        rejected_seqs.sort()
         duration = time.monotonic() - start
         offered = len(images) / float(arrivals_s[-1]) if arrivals_s[-1] > 0 else None
         return LoadReport(
             loop="open",
-            requests=len(futures),
+            requests=len(outputs),
             rejected=len(rejected_seqs),
             duration_s=duration,
-            achieved_rps=len(futures) / duration if duration > 0 else 0.0,
+            achieved_rps=len(outputs) / duration if duration > 0 else 0.0,
             offered_rps=offered,
             client_latency=latency_summary(latencies),
             server=self.server.stats(),

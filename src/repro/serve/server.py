@@ -35,7 +35,13 @@ from repro.config.chip import ChipConfig
 from repro.crossbar.noise import CrossbarNoiseModel
 from repro.errors import ServeError
 from repro.nn.network import Network
-from repro.serve.batcher import MicroBatcher, ServeRequest
+from repro.serve.batcher import (
+    AnalyticalCostModel,
+    FlushPolicy,
+    MicroBatcher,
+    ServeRequest,
+    make_flush_policy,
+)
 from repro.serve.telemetry import ServeTelemetry
 from repro.serve.workers import (
     EngineReplicaSpec,
@@ -60,6 +66,14 @@ class InferenceServer:
         Tile-sharding spec inside each replica (accelerator ``execution``).
     max_batch, max_wait_s, queue_capacity:
         Dynamic micro-batching policy; see :class:`~repro.serve.batcher.MicroBatcher`.
+    policy:
+        Flush-policy spelling (``"fixed"`` or ``"adaptive"``) or a built
+        :class:`~repro.serve.batcher.FlushPolicy`.  ``"adaptive"`` budgets
+        ``slo_s`` per request, caps its auto-tuned batches at ``max_batch``
+        and seeds its cost model from the workload's analytical schedule.
+    slo_s:
+        Per-request latency budget for the adaptive policy (ignored by
+        ``"fixed"``).
     warmup:
         Run one zero image through every replica at :meth:`start` so the
         one-time PCM tile programming does not land on the first request.
@@ -81,6 +95,8 @@ class InferenceServer:
         max_batch: int = 8,
         max_wait_s: float = 0.002,
         queue_capacity: int = 128,
+        policy: Union[str, FlushPolicy] = "fixed",
+        slo_s: float = 0.05,
         warmup: bool = True,
         on_response: Optional[Callable[[int, np.ndarray], None]] = None,
     ) -> None:
@@ -97,10 +113,22 @@ class InferenceServer:
             execution=intra_execution,
             warmup_image=warmup_image,
         )
-        self._batcher = MicroBatcher(
-            max_batch=max_batch, max_wait_s=max_wait_s, capacity=queue_capacity
+        cost_model = None
+        if policy == "adaptive":
+            cost_model = AnalyticalCostModel.from_workload(network, weights, config)
+        self.policy = make_flush_policy(
+            policy,
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+            slo_s=slo_s,
+            cost_model=cost_model,
         )
         self.telemetry = ServeTelemetry()
+        self._batcher = MicroBatcher(
+            capacity=queue_capacity,
+            policy=self.policy,
+            on_flush=self.telemetry.record_flush,
+        )
         self._on_response = on_response
         self._pool: Optional[EngineWorkerPool] = None
         self._dispatcher: Optional[threading.Thread] = None
@@ -191,6 +219,7 @@ class InferenceServer:
             "max_batch": self._batcher.max_batch,
             "max_wait_s": self._batcher.max_wait_s,
             "queue_capacity": self._batcher.capacity,
+            "policy": self.policy.snapshot(),
             "telemetry": self.telemetry.snapshot(),
             "pool": pool_stats,
         }
@@ -233,6 +262,10 @@ class InferenceServer:
     ) -> None:
         now = time.monotonic()
         self.telemetry.record_batch(len(batch), now - dispatch_ts)
+        if not isinstance(outcome, BaseException):
+            # Feed the flush policy so adaptive batching can calibrate its
+            # wall-clock service-time scale from real dispatches.
+            self._batcher.observe_batch(len(batch), now - dispatch_ts)
         with self._delivery_lock:
             if isinstance(outcome, BaseException):
                 for request in batch:

@@ -9,7 +9,10 @@ generator, for client-side numbers) records into:
   admission to last delivery);
 * **queue depth** — sampled at every admission, reported as mean/max;
 * **batch-size histogram** — how large the dynamically formed micro-batches
-  actually were, the knob the paper's Fig. 7 batch analysis turns.
+  actually were, the knob the paper's Fig. 7 batch analysis turns;
+* **flush reasons** — why each micro-batch left the queue (``full`` /
+  ``deadline`` / ``close``), which is how you see whether a flush policy is
+  building batches or timing out.
 
 All durations are seconds; the CLI formats milliseconds.  Percentiles use
 the same linear interpolation as ``numpy.percentile``, so telemetry numbers
@@ -58,6 +61,7 @@ class ServeTelemetry:
         self._lock = threading.Lock()
         self._latencies_s: List[float] = []
         self._batch_sizes: Counter = Counter()
+        self._flush_reasons: Counter = Counter()
         self._service_time_s = 0.0
         self._queue_depth_sum = 0
         self._queue_depth_samples = 0
@@ -88,6 +92,12 @@ class ServeTelemetry:
             self._touch(self._clock())
             self._rejected += 1
 
+    def record_flush(self, reason: str, size: int) -> None:
+        """One micro-batch of ``size`` requests flushed because of ``reason``."""
+        with self._lock:
+            self._touch(self._clock())
+            self._flush_reasons[str(reason)] += 1
+
     def record_batch(self, size: int, service_time_s: float) -> None:
         """One micro-batch of ``size`` requests finished executing."""
         with self._lock:
@@ -107,6 +117,7 @@ class ServeTelemetry:
         with self._lock:
             latencies = list(self._latencies_s)
             batch_sizes = dict(sorted(self._batch_sizes.items()))
+            flush_reasons = dict(sorted(self._flush_reasons.items()))
             service_time_s = self._service_time_s
             admitted = self._admitted
             rejected = self._rejected
@@ -128,6 +139,7 @@ class ServeTelemetry:
             "throughput_rps": completed / window_s if window_s > 0 else 0.0,
             "batches": num_batches,
             "batch_size_histogram": batch_sizes,
+            "flush_reasons": flush_reasons,
             "mean_batch_size": batched_requests / num_batches if num_batches else 0.0,
             "service_time_s": service_time_s,
             "queue_depth_mean": depth_sum / depth_samples if depth_samples else 0.0,

@@ -24,6 +24,11 @@ def pytest_configure(config):
         "markers",
         "serving: online inference-serving smoke lane (pytest -m serving)",
     )
+    config.addinivalue_line(
+        "markers",
+        "docs: documentation-executability lane (pytest -m docs): runs the "
+        "quickstart example and executes README/docs fenced python blocks",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,127 @@
+"""The ``docs`` lane: documentation that executes, or fails the build.
+
+Three guards keep the documentation surface honest:
+
+* every fenced ```` ```python ```` block in ``README.md`` and ``docs/*.md``
+  is executed (blocks in one file share a namespace, so a page can build up
+  a narrative; blocks containing ``>>>`` run as doctests with output
+  checking) — examples cannot silently rot;
+* ``examples/quickstart.py`` runs end to end;
+* ``docs/cli.md`` is diffed against the real argparse parser: every
+  subcommand and every flag must be documented.
+
+Run with ``pytest -m docs`` (the lane is also part of tier-1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import doctest
+import runpy
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+
+from repro.cli import build_parser
+
+pytestmark = pytest.mark.docs
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DOC_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+
+def extract_python_blocks(path: Path) -> List[Tuple[int, str]]:
+    """(start line, source) of every fenced ```python block in ``path``.
+
+    Only blocks whose info string is exactly ``python`` are executable
+    documentation; ``console``/``text``/untagged fences are illustrative.
+    """
+    blocks: List[Tuple[int, str]] = []
+    fence_lang = None
+    start = 0
+    lines: List[str] = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        stripped = line.strip()
+        if fence_lang is None:
+            if stripped.startswith("```") and stripped != "```":
+                fence_lang = stripped[3:].strip()
+                start = number + 1
+                lines = []
+        elif stripped == "```":
+            if fence_lang == "python":
+                blocks.append((start, "\n".join(lines) + "\n"))
+            fence_lang = None
+        else:
+            lines.append(line)
+    assert fence_lang is None, f"{path}: unterminated ``` fence"
+    return blocks
+
+
+def _documented_files() -> List[Path]:
+    return [path for path in DOC_FILES if extract_python_blocks(path)]
+
+
+@pytest.mark.parametrize(
+    "path", _documented_files(), ids=lambda p: str(p.relative_to(REPO_ROOT))
+)
+def test_doc_python_blocks_execute(path: Path):
+    """Each file's ```python blocks run top to bottom in one namespace."""
+    namespace = {"__name__": f"docs_{path.stem}"}
+    for start_line, source in extract_python_blocks(path):
+        if ">>>" in source:
+            parser = doctest.DocTestParser()
+            test = parser.get_doctest(
+                source, namespace, f"{path.name}:{start_line}", str(path), start_line
+            )
+            runner = doctest.DocTestRunner(verbose=False)
+            runner.run(test)
+            assert runner.failures == 0, (
+                f"{path.name}: doctest block at line {start_line} failed"
+            )
+        else:
+            code = compile(source, f"{path}:{start_line}", "exec")
+            exec(code, namespace)  # noqa: S102 - executing our own documentation
+
+
+def test_readme_has_executable_blocks():
+    """The quickstart narrative must stay executable, not drift to prose."""
+    assert extract_python_blocks(REPO_ROOT / "README.md")
+
+
+def test_quickstart_example_runs(capsys):
+    runpy.run_path(str(REPO_ROOT / "examples" / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "quickstart" in output
+    assert "Table I" in output
+
+
+def test_cli_doc_documents_every_subcommand_and_flag():
+    """docs/cli.md must name every subcommand and every option string."""
+    doc = (REPO_ROOT / "docs" / "cli.md").read_text()
+    parser = build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    assert subparsers.choices, "CLI has no subcommands?"
+    for name, subparser in subparsers.choices.items():
+        assert f"## `{name}`" in doc, (
+            f"subcommand {name!r} is missing a '## `{name}`' section in docs/cli.md"
+        )
+        for action in subparser._actions:
+            for option in action.option_strings:
+                if option in ("-h", "--help"):
+                    continue
+                assert f"`{option}`" in doc, (
+                    f"flag {option} of subcommand {name!r} is undocumented "
+                    "in docs/cli.md"
+                )
+
+
+def test_setup_long_description_points_at_readme():
+    """setup.py ships the README as the package's long description."""
+    source = (REPO_ROOT / "setup.py").read_text()
+    assert "README.md" in source
+    assert "long_description" in source

@@ -25,15 +25,19 @@ from repro.core.inference import FunctionalInferenceEngine, generate_random_weig
 from repro.errors import QueueOverflowError, ServeError, SimulationError
 from repro.nn import build_lenet5
 from repro.serve import (
+    AdaptiveFlushPolicy,
+    AnalyticalCostModel,
     EngineReplicaSpec,
     EngineWorkerPool,
     ExecutorSpec,
+    FixedFlushPolicy,
     InferenceServer,
     LoadGenerator,
     MicroBatcher,
     ServeTelemetry,
     bursty_arrivals,
     latency_summary,
+    make_flush_policy,
     merge_functional_statistics,
     parse_executor_spec,
     poisson_arrivals,
@@ -183,6 +187,138 @@ class TestMicroBatcher:
             MicroBatcher(max_wait_s=-0.1)
         with pytest.raises(SimulationError):
             MicroBatcher(max_batch=8, capacity=4)
+
+
+# ---------------------------------------------------------------------------
+# flush policies
+# ---------------------------------------------------------------------------
+
+
+class TestFlushPolicies:
+    def test_fixed_policy_target_and_deadline(self):
+        policy = FixedFlushPolicy(max_batch=6, max_wait_s=0.25)
+        assert policy.target_batch() == 6
+        assert policy.flush_deadline(10.0) == pytest.approx(10.25)
+        assert policy.snapshot() == {
+            "policy": "fixed",
+            "max_batch": 6,
+            "max_wait_s": 0.25,
+        }
+
+    def test_make_flush_policy_spellings(self):
+        fixed = make_flush_policy("fixed", max_batch=3, max_wait_s=0.1)
+        assert isinstance(fixed, FixedFlushPolicy) and fixed.max_batch == 3
+        adaptive = make_flush_policy("adaptive", slo_s=0.2, max_batch=12)
+        assert isinstance(adaptive, AdaptiveFlushPolicy)
+        assert adaptive.slo_s == 0.2 and adaptive.max_batch_cap == 12
+        passthrough = FixedFlushPolicy()
+        assert make_flush_policy(passthrough) is passthrough
+        with pytest.raises(SimulationError, match="flush policy"):
+            make_flush_policy("bogus")
+
+    def test_adaptive_uncalibrated_is_optimistic(self):
+        policy = AdaptiveFlushPolicy(slo_s=0.1, max_batch_cap=16, safety=0.5)
+        assert policy.target_batch() == 16  # no scale yet: cap applies
+        assert policy.estimate_service_s(4) is None
+        # full (safety-scaled) budget available while uncalibrated
+        assert policy.flush_deadline(5.0) == pytest.approx(5.05)
+        assert policy.snapshot()["calibrated"] is False
+
+    def test_adaptive_calibration_tunes_target_batch(self):
+        model = AnalyticalCostModel(fixed_units=1.0, per_image_units=1.0)
+        policy = AdaptiveFlushPolicy(
+            slo_s=1.0, cost_model=model, max_batch_cap=16, safety=0.5, ewma_alpha=1.0
+        )
+        # one 1-image batch took 0.2 s -> scale 0.1 s/unit -> largest B with
+        # 0.1 * (1 + B) <= 0.5 is B = 4
+        policy.observe_batch(1, 0.2)
+        assert policy.target_batch() == 4
+        assert policy.estimate_service_s(4) == pytest.approx(0.5)
+        # the deadline reserves the predicted service time out of the budget
+        assert policy.flush_deadline(7.0) == pytest.approx(7.0)
+        # a much slower service time shrinks the target to the floor of 1
+        policy.observe_batch(1, 2.0)
+        assert policy.target_batch() == 1
+        # a much faster one grows it back to the cap
+        policy.observe_batch(8, 0.009)
+        assert policy.target_batch() == 16
+        snapshot = policy.snapshot()
+        assert snapshot["calibrated"] is True
+        assert snapshot["observed_batches"] == 3
+
+    def test_adaptive_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            AdaptiveFlushPolicy(slo_s=0.0)
+        with pytest.raises(SimulationError):
+            AdaptiveFlushPolicy(slo_s=0.1, max_batch_cap=0)
+        with pytest.raises(SimulationError):
+            AdaptiveFlushPolicy(slo_s=0.1, safety=1.5)
+        with pytest.raises(SimulationError):
+            AdaptiveFlushPolicy(slo_s=0.1, ewma_alpha=0.0)
+        with pytest.raises(SimulationError):
+            AnalyticalCostModel(fixed_units=1.0, per_image_units=0.0)
+        with pytest.raises(SimulationError):
+            AnalyticalCostModel(fixed_units=-1.0, per_image_units=1.0)
+
+    def test_analytical_cost_model_from_workload(self, lenet_workload):
+        network, weights, config, _, _ = lenet_workload
+        model = AnalyticalCostModel.from_workload(network, weights, config)
+        assert model.per_image_units > 0
+        assert model.fixed_units >= 0
+        # affine and increasing in the batch size
+        assert model.units(2) > model.units(1)
+        assert model.units(4) - model.units(2) == pytest.approx(
+            2 * model.per_image_units
+        )
+
+    def test_batcher_flush_reasons(self):
+        flushes = []
+        batcher = MicroBatcher(
+            policy=FixedFlushPolicy(max_batch=2, max_wait_s=0.02),
+            capacity=8,
+            on_flush=lambda reason, size: flushes.append((reason, size)),
+        )
+        batcher.submit(np.zeros(2))
+        batcher.submit(np.zeros(2))
+        batcher.next_batch()  # two queued, target two -> flush-on-full
+        batcher.submit(np.zeros(2))
+        batcher.next_batch()  # partial batch that waits out the deadline
+        batcher.submit(np.zeros(2))
+        batcher.close()
+        batcher.next_batch()  # closed with a partial batch queued
+        assert flushes == [("full", 2), ("deadline", 1), ("close", 1)]
+
+    def test_batcher_clamps_adaptive_target_to_capacity(self):
+        policy = AdaptiveFlushPolicy(slo_s=10.0, max_batch_cap=64)
+        batcher = MicroBatcher(policy=policy, capacity=4)
+        assert batcher.max_batch == 4  # uncalibrated cap 64, clamped
+        assert batcher.max_wait_s is None  # adaptive has no fixed wait knob
+        for _ in range(4):
+            batcher.submit(np.zeros(2))
+        assert len(batcher.next_batch()) == 4
+
+
+class TestAdaptiveServing:
+    def test_adaptive_server_bitwise_and_policy_stats(self, lenet_workload):
+        _, _, _, images, direct = lenet_workload
+        with _server(
+            lenet_workload, policy="adaptive", slo_s=0.5, max_batch=16
+        ) as server:
+            served = server.serve_batch(images)
+            stats = server.stats()
+        assert np.array_equal(served, direct)
+        assert stats["policy"]["policy"] == "adaptive"
+        assert stats["policy"]["slo_s"] == pytest.approx(0.5)
+        assert stats["policy"]["calibrated"] is True
+        assert stats["telemetry"]["flush_reasons"]  # reasons were recorded
+
+    def test_fixed_server_snapshot_reports_flush_reasons(self, lenet_workload):
+        _, _, _, images, _ = lenet_workload
+        with _server(lenet_workload, max_batch=len(images), max_wait_s=0.2) as server:
+            server.serve_batch(images)
+            snapshot = server.telemetry.snapshot()
+        assert sum(snapshot["flush_reasons"].values()) == snapshot["batches"]
+        assert set(snapshot["flush_reasons"]) <= {"full", "deadline", "close"}
 
 
 # ---------------------------------------------------------------------------
