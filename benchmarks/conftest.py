@@ -53,9 +53,7 @@ def _benchmarks_explicitly_targeted(config) -> bool:
 
 
 def pytest_configure(config):
-    config.addinivalue_line(
-        "markers", "smoke: run each benchmark once without timing rounds"
-    )
+    # The `smoke` marker itself is registered centrally in pyproject.toml.
     # `-m smoke` implies one-shot execution: let pytest-benchmark call every
     # benchmarked function exactly once instead of running timing rounds.
     markexpr = (getattr(config.option, "markexpr", "") or "").strip()

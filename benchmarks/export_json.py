@@ -1,0 +1,158 @@
+"""Export serving/sharding benchmark smoke timings as one JSON artifact.
+
+CI runs this after the test lanes and uploads the result
+(``BENCH_serving.json``) as a workflow artifact, so every commit appends a
+point to the performance trajectory without anyone re-running benchmarks by
+hand.  The measurements are the *smoke* versions of
+``benchmarks/bench_serving.py`` and ``benchmarks/bench_sharding.py``: small
+enough for a CI runner, but shaped like the real benchmarks (throughput,
+latency percentiles, flush-reason counts, sharded-vs-serial timings).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/export_json.py --output BENCH_serving.json
+    PYTHONPATH=src python benchmarks/export_json.py --requests 8   # even faster
+
+Numbers are wall-clock measurements on whatever machine runs them — compare
+trends across runs of the *same* runner class, not absolute values across
+machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+
+import numpy as np
+
+from repro.config import small_test_chip
+from repro.core.inference import FunctionalInferenceEngine, generate_random_weights
+from repro.nn import build_lenet5
+from repro.serve import InferenceServer
+
+#: The benchmark scenario: LeNet on a dual-core 32x32 chip.
+_CHIP = dict(rows=32, columns=32, num_cores=2)
+
+
+def _workload(num_images: int):
+    network = build_lenet5()
+    weights = generate_random_weights(network, seed=0, scale=0.3)
+    config = small_test_chip(**_CHIP)
+    images = np.random.default_rng(1).uniform(
+        0.0, 1.0, (num_images,) + network.input_shape.as_tuple()
+    )
+    return network, weights, config, images
+
+
+def _serve_burst(network, weights, config, images, max_batch: int) -> dict:
+    """Serve one all-at-once burst; returns throughput + SLO telemetry."""
+    server = InferenceServer(
+        network,
+        weights,
+        config,
+        max_batch=max_batch,
+        max_wait_s=0.002 if max_batch > 1 else 0.0,
+        queue_capacity=max(len(images), max_batch),
+    )
+    with server:
+        start = time.perf_counter()
+        outputs = server.serve_batch(images)
+        elapsed = time.perf_counter() - start
+        telemetry = server.telemetry.snapshot()
+    direct = FunctionalInferenceEngine(network, weights, config).run_batch(images)
+    return {
+        "max_batch": max_batch,
+        "requests": int(len(images)),
+        "throughput_rps": len(images) / elapsed,
+        "latency_p50_ms": telemetry["latency_p50_s"] * 1e3,
+        "latency_p95_ms": telemetry["latency_p95_s"] * 1e3,
+        "latency_p99_ms": telemetry["latency_p99_s"] * 1e3,
+        "mean_batch_size": telemetry["mean_batch_size"],
+        "flush_reasons": telemetry["flush_reasons"],
+        "bitwise_match_vs_run_batch": bool(np.array_equal(outputs, direct)),
+    }
+
+
+def _sharding_timings(network, weights, config, images) -> dict:
+    """Warm-batch serial vs thread-sharded timings (bench_sharding smoke)."""
+    timings = {}
+    reference = None
+    for label, execution in (("serial", "serial"), ("thread:2", 2)):
+        engine = FunctionalInferenceEngine(
+            network, weights, config, execution=execution
+        )
+        engine.run_batch(images)  # cold batch: tile programming
+        start = time.perf_counter()
+        outputs = engine.run_batch(images)
+        timings[label] = {"warm_batch_s": time.perf_counter() - start}
+        if reference is None:
+            reference = outputs
+        else:
+            timings[label]["bitwise_match_vs_serial"] = bool(
+                np.array_equal(outputs, reference)
+            )
+    timings["speedup_thread_vs_serial"] = (
+        timings["serial"]["warm_batch_s"] / timings["thread:2"]["warm_batch_s"]
+    )
+    return timings
+
+
+def export(num_images: int) -> dict:
+    network, weights, config, images = _workload(num_images)
+    serving = {
+        "batch_1": _serve_burst(network, weights, config, images, max_batch=1),
+        "dynamic_batching": _serve_burst(network, weights, config, images, max_batch=8),
+    }
+    serving["batching_speedup"] = (
+        serving["dynamic_batching"]["throughput_rps"]
+        / serving["batch_1"]["throughput_rps"]
+    )
+    return {
+        "meta": {
+            "generated_at": datetime.now(timezone.utc).isoformat(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "workload": "lenet5",
+            "chip": _CHIP,
+        },
+        "serving": serving,
+        "sharding": _sharding_timings(network, weights, config, images),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default="BENCH_serving.json",
+        help="where to write the JSON artifact (default: BENCH_serving.json)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=16,
+        help="burst size per serving measurement (default 16)",
+    )
+    args = parser.parse_args(argv)
+    if args.requests < 1:
+        parser.error(f"--requests must be >= 1, got {args.requests}")
+    payload = export(args.requests)
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    serving = payload["serving"]
+    print(
+        f"wrote {args.output}: dynamic batching "
+        f"{serving['dynamic_batching']['throughput_rps']:.1f} rps "
+        f"({serving['batching_speedup']:.2f}x vs batch-1), "
+        f"thread sharding {payload['sharding']['speedup_thread_vs_serial']:.2f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,7 @@ import argparse
 import json
 import sys
 import time
+from collections import Counter
 from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
@@ -64,14 +65,17 @@ from repro.crossbar.noise import CrossbarNoiseModel
 from repro.errors import SimulationError
 from repro.serve import (
     ARRIVAL_PROCESSES,
+    AutoscalerPolicy,
     EngineReplicaSpec,
     EngineWorkerPool,
     ExecutorSpec,
     HTTPInferenceClient,
     InferenceServer,
     LoadGenerator,
+    ModelRegistry,
     POLICY_KINDS,
     ServeHTTPServer,
+    mixed_model_schedule,
     parse_executor_spec,
 )
 from repro.core import (
@@ -115,6 +119,26 @@ FIGURES = {
     "fig8": generate_fig8_breakdown,
     "table1": generate_table1,
 }
+
+
+def _parse_model_assignment(value: str):
+    """Parse one ``--model NAME=WORKLOAD`` assignment into ``(name, workload)``.
+
+    ``NAME`` is the hosted-model name requests route by; ``WORKLOAD`` is one
+    of the bundled workload builders (see ``--network`` / ``workloads``).
+    """
+    name, separator, workload = value.partition("=")
+    name = name.strip()
+    workload = workload.strip()
+    if not separator or not name or not workload:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=WORKLOAD (e.g. small=lenet5), got {value!r}"
+        )
+    if workload not in WORKLOADS:
+        raise argparse.ArgumentTypeError(
+            f"unknown workload {workload!r}; choose from {', '.join(sorted(WORKLOADS))}"
+        )
+    return name, workload
 
 
 def _parse_workers(value: str) -> ExecutorSpec:
@@ -225,6 +249,28 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
     """Options shared by the ``serve`` and ``loadgen`` commands."""
     parser.add_argument("--network", default="lenet5", help="workload name")
     _add_chip_arguments(parser)
+    parser.add_argument(
+        "--model",
+        action="append",
+        dest="models",
+        type=_parse_model_assignment,
+        metavar="NAME=WORKLOAD",
+        default=None,
+        help=(
+            "host a named model (repeatable): NAME routes requests, WORKLOAD "
+            "is a bundled workload (e.g. --model small=lenet5 --model mlp=mlp); "
+            "without --model the server hosts one model named after --network"
+        ),
+    )
+    parser.add_argument(
+        "--mix",
+        type=_parse_number_list,
+        default=None,
+        help=(
+            "per-model traffic weights for synthetic multi-model traffic "
+            "(comma-separated, one per --model; default: uniform)"
+        ),
+    )
     parser.add_argument(
         "--executor",
         type=_parse_workers,
@@ -389,6 +435,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--allow-remote-shutdown",
         action="store_true",
         help="HTTP mode: honour POST /v1/shutdown requests",
+    )
+    serve.add_argument(
+        "--ready-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "HTTP mode: write the bound base URL to this file once the socket "
+            "is listening (lets scripts and CI discover a --http 0 port "
+            "without racing the bind)"
+        ),
+    )
+    serve.add_argument(
+        "--autoscale",
+        action="store_true",
+        help=(
+            "enable queue-depth-driven replica autoscaling per hosted model "
+            "(scale up on sustained depth, scale down after an idle cooldown, "
+            "draining replicas before retiring them); a 'serial' --executor "
+            "is upgraded to a thread pool starting at --min-replicas"
+        ),
+    )
+    serve.add_argument(
+        "--min-replicas",
+        type=_positive_int,
+        default=1,
+        help="autoscale: lower replica bound per model (default 1)",
+    )
+    serve.add_argument(
+        "--max-replicas",
+        type=_positive_int,
+        default=4,
+        help="autoscale: upper replica bound per model (default 4)",
+    )
+    serve.add_argument(
+        "--scale-up-depth",
+        type=_positive_int,
+        default=4,
+        help="autoscale: queue depth that counts as overload (default 4)",
+    )
+    serve.add_argument(
+        "--scale-sustain-ms",
+        type=_nonnegative_float,
+        default=100.0,
+        help="autoscale: how long the overload must persist before scaling up",
+    )
+    serve.add_argument(
+        "--scale-cooldown-ms",
+        type=_nonnegative_float,
+        default=2000.0,
+        help="autoscale: idle time before each scale-down step",
+    )
+    serve.add_argument(
+        "--scale-interval-ms",
+        type=_positive_float,
+        default=50.0,
+        help="autoscale: control-loop sampling period",
     )
 
     loadgen = subparsers.add_parser(
@@ -585,60 +687,221 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serving_session(args: argparse.Namespace, num_images: int):
-    """Workload, config, weights, noise model and images shared by serve/loadgen."""
-    if num_images < 1:
-        raise SystemExit(f"--requests must be >= 1, got {num_images}")
-    network = build_network(args.network)
+def _model_entries(args: argparse.Namespace):
+    """``[(name, workload)]`` from repeated ``--model``, or the legacy ``--network``."""
+    entries = list(getattr(args, "models", None) or [(args.network, args.network)])
+    names = [name for name, _ in entries]
+    if len(set(names)) != len(names):
+        raise SystemExit(f"duplicate model names in --model: {', '.join(names)}")
+    if args.mix is not None and len(args.mix) != len(entries):
+        raise SystemExit(
+            f"--mix needs one weight per model, got {len(args.mix)} weights "
+            f"for {len(entries)} models"
+        )
+    return entries
+
+
+def _built_entries(args: argparse.Namespace):
+    """``[(name, network, weights)]`` with per-model synthetic weights.
+
+    Models get staggered weight seeds (``--weight-seed + index``) so two
+    hosted variants of the same workload still compute distinct functions —
+    which is what makes the routing bitwise-check meaningful.
+    """
+    entries = []
+    for index, (name, workload) in enumerate(_model_entries(args)):
+        network = build_network(workload)
+        weights = generate_random_weights(
+            network, seed=args.weight_seed + index, scale=0.3
+        )
+        entries.append((name, network, weights))
+    return entries
+
+
+def _autoscaler_from_args(args: argparse.Namespace) -> Optional[AutoscalerPolicy]:
+    if not getattr(args, "autoscale", False):
+        return None
+    try:
+        return AutoscalerPolicy(
+            min_replicas=args.min_replicas,
+            max_replicas=args.max_replicas,
+            scale_up_queue_depth=args.scale_up_depth,
+            sustain_s=args.scale_sustain_ms / 1e3,
+            cooldown_s=args.scale_cooldown_ms / 1e3,
+            interval_s=args.scale_interval_ms / 1e3,
+        )
+    except SimulationError as error:
+        raise SystemExit(str(error))
+
+
+def _make_server(args: argparse.Namespace, built_entries) -> InferenceServer:
+    """Build a (possibly multi-model, possibly autoscaled) inference server."""
     config = config_from_args(args)
     noise_model = NOISE_PRESETS[args.noise]()
-    weights = generate_random_weights(network, seed=args.weight_seed, scale=0.3)
-    rng = np.random.default_rng(args.image_seed)
-    images = rng.uniform(0.0, 1.0, (num_images,) + network.input_shape.as_tuple())
-    return network, config, noise_model, weights, images
+    autoscaler = _autoscaler_from_args(args)
+    executor = args.executor
+    if autoscaler is not None and executor.kind == "serial":
+        # Autoscaling needs a resizable pool; start a thread pool at the floor.
+        executor = ExecutorSpec("thread", autoscaler.min_replicas)
+    registry = ModelRegistry()
+    for name, network, weights in built_entries:
+        registry.add(
+            name,
+            network,
+            weights,
+            config=config,
+            noise_model=noise_model,
+            executor=executor,
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1e3,
+            queue_capacity=args.queue_capacity,
+            policy=args.policy,
+            slo_s=args.slo_ms / 1e3,
+        )
+    return InferenceServer(registry=registry, autoscaler=autoscaler)
 
 
-def _make_server(args: argparse.Namespace, network, weights, config, noise_model) -> InferenceServer:
-    return InferenceServer(
-        network,
-        weights,
-        config,
-        noise_model=noise_model,
-        executor=args.executor,
-        max_batch=args.max_batch,
-        max_wait_s=args.max_wait_ms / 1e3,
-        queue_capacity=args.queue_capacity,
-        policy=args.policy,
-        slo_s=args.slo_ms / 1e3,
+def _build_traffic(args: argparse.Namespace, built_entries, num_requests: int):
+    """Per-request model schedule + interleaved images for synthetic traffic.
+
+    Returns ``(schedule, images, images_by_model)``; ``schedule`` is ``None``
+    for a single-model session (requests then route to the default model,
+    exactly like the pre-multi-model CLI).
+    """
+    if num_requests < 1:
+        raise SystemExit(f"--requests must be >= 1, got {num_requests}")
+    names = [name for name, _, _ in built_entries]
+    shapes = {name: network.input_shape.as_tuple() for name, network, _ in built_entries}
+    if len(names) == 1:
+        rng = np.random.default_rng(args.image_seed)
+        images = rng.uniform(0.0, 1.0, (num_requests,) + shapes[names[0]])
+        return None, images, {names[0]: images}
+    schedule = mixed_model_schedule(
+        names, num_requests, weights=args.mix, seed=args.arrival_seed
     )
+    images_by_model = {}
+    for index, name in enumerate(names):
+        rng = np.random.default_rng(args.image_seed + index)
+        count = schedule.count(name)
+        images_by_model[name] = rng.uniform(0.0, 1.0, (count,) + shapes[name])
+    cursors = {name: iter(images_by_model[name]) for name in names}
+    images = [next(cursors[name]) for name in schedule]
+    return schedule, images, images_by_model
 
 
-def _direct_reference(args, network, weights, config, images) -> Optional[np.ndarray]:
-    """Direct run_batch of ``images`` for bitwise verification.
+def _direct_references(args, built_entries, images_by_model):
+    """Per-model direct ``run_batch`` references for bitwise verification.
 
     None when verification does not apply (a noise model makes served noise
     streams differ from one monolithic batch).
     """
     if args.noise != "none":
         return None
-    return FunctionalInferenceEngine(network, weights, config).run_batch(images)
+    config = config_from_args(args)
+    return {
+        name: FunctionalInferenceEngine(network, weights, config).run_batch(
+            images_by_model[name]
+        )
+        for name, network, weights in built_entries
+        if len(images_by_model[name])
+    }
 
 
-def _verify_served_outputs(direct: Optional[np.ndarray], report) -> Optional[bool]:
-    """Bitwise check of served outputs vs the precomputed direct reference.
+def _verify_served_outputs(directs, report, schedule) -> Optional[bool]:
+    """Bitwise check of served outputs vs the precomputed direct references.
 
     Returns None when the check does not apply (no reference, or open-loop
     shedding dropped requests so the output rows no longer line up 1:1).
     """
-    if direct is None or report.rejected:
+    by_model = _verify_by_model(directs, report, schedule)
+    if by_model is None:
         return None
-    return bool(np.array_equal(report.outputs, direct))
+    return all(by_model.values())
+
+
+def _cross_model_telemetry(report, schedule) -> Dict[str, object]:
+    """Whole-run latency/batch/queue numbers for the serve/loadgen summaries.
+
+    Single-model runs use the server's own telemetry (delivery-inclusive
+    latency).  Multi-model runs merge the per-model batch/queue counters and
+    take the latency percentiles from the client side — each model's server
+    telemetry describes only its own traffic, so presenting the default
+    model's numbers as whole-run figures would be misleading.
+    """
+    if schedule is None:
+        telemetry = report.server["telemetry"]
+        return {
+            "latency_p50_s": telemetry["latency_p50_s"],
+            "latency_p95_s": telemetry["latency_p95_s"],
+            "latency_p99_s": telemetry["latency_p99_s"],
+            "batch_size_histogram": telemetry["batch_size_histogram"],
+            "mean_batch_size": telemetry["mean_batch_size"],
+            "queue_depth_max": telemetry["queue_depth_max"],
+        }
+    histogram: Counter = Counter()
+    depth_max = 0
+    for model_stats in report.server["models"].values():
+        telemetry = model_stats["telemetry"]
+        histogram.update(
+            {int(size): count for size, count in telemetry["batch_size_histogram"].items()}
+        )
+        depth_max = max(depth_max, telemetry["queue_depth_max"])
+    batches = sum(histogram.values())
+    batched_requests = sum(size * count for size, count in histogram.items())
+    return {
+        "latency_p50_s": report.client_latency["latency_p50_s"],
+        "latency_p95_s": report.client_latency["latency_p95_s"],
+        "latency_p99_s": report.client_latency["latency_p99_s"],
+        "batch_size_histogram": dict(sorted(histogram.items())),
+        "mean_batch_size": batched_requests / batches if batches else 0.0,
+        "queue_depth_max": depth_max,
+    }
+
+
+def _cross_model_pool(report, schedule):
+    """``(per_core_tile_dispatches, replicas)`` summed over every model's pool."""
+    if schedule is None:
+        pool = report.server["pool"]
+        return list(pool.get("per_core_tile_dispatches", ())), pool.get("replicas")
+    dispatches: Optional[tuple] = None
+    replicas = 0
+    for model_stats in report.server["models"].values():
+        pool = model_stats["pool"]
+        replicas += pool.get("replicas") or 0
+        per_core = tuple(pool.get("per_core_tile_dispatches", ()))
+        if not per_core:
+            continue  # a model that served nothing has no per-core counters
+        if dispatches is None:
+            dispatches = per_core
+        else:
+            dispatches = tuple(a + b for a, b in zip(dispatches, per_core))
+    return list(dispatches or ()), replicas
+
+
+def _verify_by_model(directs, report, schedule) -> Optional[Dict[str, bool]]:
+    """Per-model bitwise verdicts (see :func:`_verify_served_outputs`).
+
+    Models that received zero requests have no reference and therefore no
+    verdict — look them up with ``.get(name)`` (``None`` renders as "n/a").
+    """
+    if directs is None or report.rejected:
+        return None
+    if schedule is None:
+        (name, direct), = directs.items()
+        return {name: bool(np.array_equal(report.outputs, direct))}
+    verdicts = {}
+    for name, direct in directs.items():
+        rows = [report.outputs[i] for i, n in enumerate(schedule) if n == name]
+        served = np.stack(rows) if rows else np.empty((0, 0))
+        verdicts[name] = bool(np.array_equal(served, direct))
+    return verdicts
 
 
 def _cmd_serve_http(args: argparse.Namespace) -> int:
     """``serve --http PORT``: expose the server over a socket until stopped."""
-    network, config, noise_model, weights, _ = _serving_session(args, 1)
-    server = _make_server(args, network, weights, config, noise_model)
+    built = _built_entries(args)
+    server = _make_server(args, built)
+    hosted = ", ".join(name for name, _, _ in built)
     with server:
         with ServeHTTPServer(
             server,
@@ -646,12 +909,17 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
             port=args.http,
             allow_shutdown=args.allow_remote_shutdown,
         ) as front:
+            if args.ready_file:
+                with open(args.ready_file, "w") as handle:
+                    handle.write(front.url + "\n")
             print(
-                f"serving {args.network} (executor={args.executor}, "
-                f"policy={args.policy}) at {front.url}"
+                f"serving {hosted} (executor={args.executor}, "
+                f"policy={args.policy}, autoscale="
+                f"{'on' if args.autoscale else 'off'}) at {front.url}"
             )
-            print(f"  POST {front.url}/v1/infer    — single image or batch")
-            print(f"  GET  {front.url}/v1/stats    — SLO telemetry snapshot")
+            print(f"  POST {front.url}/v1/infer    — single image or batch (optional 'model')")
+            print(f"  GET  {front.url}/v1/models   — hosted-model listing")
+            print(f"  GET  {front.url}/v1/stats    — SLO telemetry snapshot (?model=NAME)")
             print(f"  GET  {front.url}/healthz     — liveness probe")
             if args.allow_remote_shutdown:
                 print(f"  POST {front.url}/v1/shutdown — stop the server")
@@ -659,28 +927,48 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
                 front.wait(args.duration)
             except KeyboardInterrupt:
                 print("interrupted, shutting down")
-        telemetry = server.telemetry.snapshot()
-    print(
-        f"served {telemetry['requests_completed']} requests "
-        f"(p99 {telemetry['latency_p99_s'] * 1e3:.2f} ms, "
-        f"mean batch {telemetry['mean_batch_size']:.2f})"
-    )
+        final_stats = server.stats()
+    for name, model_stats in final_stats["models"].items():
+        telemetry = model_stats["telemetry"]
+        scaling = telemetry["autoscaler"]
+        print(
+            f"{name}: served {telemetry['requests_completed']} requests "
+            f"(p99 {telemetry['latency_p99_s'] * 1e3:.2f} ms, "
+            f"mean batch {telemetry['mean_batch_size']:.2f}, "
+            f"replicas {model_stats['replicas']}, "
+            f"scale-ups {scaling['scale_ups']}, scale-downs {scaling['scale_downs']})"
+        )
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.http is not None:
         return _cmd_serve_http(args)
-    network, config, noise_model, weights, images = _serving_session(args, args.requests)
+    built = _built_entries(args)
+    schedule, images, images_by_model = _build_traffic(args, built, args.requests)
     arrivals = ARRIVAL_PROCESSES[args.arrival](args.rate, args.requests, seed=args.arrival_seed)
-    with _make_server(args, network, weights, config, noise_model) as server:
-        report = LoadGenerator(server).run_open_loop(images, arrivals)
-    direct = _direct_reference(args, network, weights, config, images)
-    bitwise = _verify_served_outputs(direct, report)
+    with _make_server(args, built) as server:
+        report = LoadGenerator(server).run_open_loop(images, arrivals, models=schedule)
+    directs = _direct_references(args, built, images_by_model)
+    by_model = _verify_by_model(directs, report, schedule)
+    bitwise = None if by_model is None else all(by_model.values())
 
-    telemetry = report.server["telemetry"]
+    telemetry = _cross_model_telemetry(report, schedule)
+    dispatches, replicas = _cross_model_pool(report, schedule)
     summary = {
-        "network": args.network,
+        "network": args.network if schedule is None else None,
+        "models": {
+            name: {
+                "network": model_stats["network"],
+                "requests": model_stats["telemetry"]["requests_completed"],
+                "replicas": model_stats["replicas"],
+                "scale_ups": model_stats["telemetry"]["autoscaler"]["scale_ups"],
+                "scale_downs": model_stats["telemetry"]["autoscaler"]["scale_downs"],
+                "bitwise_match_vs_run_batch": None if by_model is None else by_model.get(name),
+            }
+            for name, model_stats in report.server["models"].items()
+        },
+        "autoscale": bool(args.autoscale),
         "executor": str(args.executor),
         "arrival": args.arrival,
         "rate_rps": args.rate,
@@ -692,17 +980,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "mean_batch_size": telemetry["mean_batch_size"],
         "batch_size_histogram": telemetry["batch_size_histogram"],
         "queue_depth_max": telemetry["queue_depth_max"],
-        "per_core_tile_dispatches": list(
-            report.server["pool"].get("per_core_tile_dispatches", ())
-        ),
-        "replicas": report.server["pool"].get("replicas"),
+        "per_core_tile_dispatches": dispatches,
+        "replicas": replicas,
         "bitwise_match_vs_run_batch": bitwise,
     }
     if args.json:
         print(json.dumps(summary, indent=2, default=float))
     else:
+        hosted = args.network if schedule is None else ", ".join(summary["models"])
         print(
-            f"{args.network}: served {summary['requests']} requests "
+            f"{hosted}: served {summary['requests']} requests "
             f"({args.arrival} arrivals at {args.rate:.0f} rps, "
             f"executor={summary['executor']}) -> {summary['achieved_rps']:.1f} rps"
         )
@@ -722,58 +1009,75 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             for core, count in enumerate(summary["per_core_tile_dispatches"])
         )
         print(f"  tile GEMMs per crossbar core (all replicas): {dispatches}")
+        if schedule is not None:
+            for name, model_summary in summary["models"].items():
+                verdict = {None: "n/a", True: "bitwise-identical", False: "MISMATCH"}[
+                    model_summary["bitwise_match_vs_run_batch"]
+                ]
+                print(
+                    f"  model {name} ({model_summary['network']}): "
+                    f"{model_summary['requests']} requests, "
+                    f"replicas {model_summary['replicas']}, "
+                    f"outputs {verdict}"
+                )
         if bitwise is not None:
             verdict = "bitwise-identical" if bitwise else "MISMATCH"
             print(f"  served outputs vs direct run_batch: {verdict}")
     return 0 if bitwise in (None, True) else 1
 
 
-def _run_load_point(args: argparse.Namespace, generator: LoadGenerator, images, point):
+def _run_load_point(args: argparse.Namespace, generator: LoadGenerator, images, point, schedule):
     """One open-/closed-loop load point against an already-built target."""
     if args.mode == "open":
         arrivals = ARRIVAL_PROCESSES[args.arrival](
             point, args.requests, seed=args.arrival_seed
         )
-        return generator.run_open_loop(images, arrivals, shed_on_overflow=args.shed)
-    return generator.run_closed_loop(images, concurrency=int(point))
+        return generator.run_open_loop(
+            images, arrivals, shed_on_overflow=args.shed, models=schedule
+        )
+    return generator.run_closed_loop(images, concurrency=int(point), models=schedule)
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     if args.url:
         # The remote server owns the chip/executor/policy/weight choices, so
-        # only the workload's input shape matters locally: build the images,
-        # skip weight/noise construction and the bitwise reference.
-        if args.requests < 1:
-            raise SystemExit(f"--requests must be >= 1, got {args.requests}")
-        network = build_network(args.network)
-        rng = np.random.default_rng(args.image_seed)
-        images = rng.uniform(
-            0.0, 1.0, (args.requests,) + network.input_shape.as_tuple()
-        )
-        direct = None
+        # only each workload's input shape matters locally: build the images,
+        # skip weight/noise construction and the bitwise reference.  With
+        # --model the request schedule routes by name on the remote server.
+        entries = _model_entries(args)
+        shaped = [(name, build_network(workload), None) for name, workload in entries]
+        schedule, images, _ = _build_traffic(args, shaped, args.requests)
+        directs = None
     else:
-        network, config, noise_model, weights, images = _serving_session(
-            args, args.requests
-        )
-        direct = _direct_reference(args, network, weights, config, images)
+        built = _built_entries(args)
+        schedule, images, images_by_model = _build_traffic(args, built, args.requests)
+        directs = _direct_references(args, built, images_by_model)
     encoding = "npy_b64" if args.encoding == "npy" else "json"
     points = args.rates if args.mode == "open" else args.concurrency
     rows = []
     for point in points:
         if args.url:
             with HTTPInferenceClient(args.url, encoding=encoding) as client:
-                report = _run_load_point(args, LoadGenerator(client), images, point)
+                report = _run_load_point(
+                    args, LoadGenerator(client), images, point, schedule
+                )
         else:
-            with _make_server(args, network, weights, config, noise_model) as server:
-                report = _run_load_point(args, LoadGenerator(server), images, point)
-        bitwise = _verify_served_outputs(direct, report)
-        telemetry = report.server["telemetry"]
+            with _make_server(args, built) as server:
+                report = _run_load_point(
+                    args, LoadGenerator(server), images, point, schedule
+                )
+        bitwise = _verify_served_outputs(directs, report, schedule)
+        telemetry = _cross_model_telemetry(report, schedule)
         # Against a remote server the telemetry snapshot is cumulative over
         # the server's whole lifetime (other points, other clients), so the
         # per-point latency columns come from this run's client-side samples
-        # instead; locally every point gets a fresh server and the
-        # (delivery-inclusive) server-side numbers are the better ones.
-        latency_source = report.client_latency if args.url else telemetry
+        # instead; multi-model runs also use client-side latency (server
+        # telemetry is per model); locally a single-model point gets a fresh
+        # server and the (delivery-inclusive) server-side numbers are the
+        # better ones.
+        latency_source = (
+            report.client_latency if (args.url or schedule is not None) else telemetry
+        )
         rows.append(
             {
                 "load": point if args.mode == "open" else int(point),
@@ -803,8 +1107,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     else:
         load_header = "rate_rps" if args.mode == "open" else "clients"
         target = args.url if args.url else f"executor={args.executor}"
+        hosted = (
+            args.network
+            if schedule is None
+            else ", ".join(name for name, _ in _model_entries(args))
+        )
         print(
-            f"{args.network}: {args.mode}-loop sweep, {target}, "
+            f"{hosted}: {args.mode}-loop sweep, {target}, "
             f"{args.requests} requests/point"
         )
         print(

@@ -50,3 +50,12 @@ class QueueOverflowError(ServeError):
 
 class BadRequestError(ServeError):
     """A serving request payload is malformed (maps to HTTP 400)."""
+
+
+class UnknownModelError(SimulationError, ServeError):
+    """A serving request named a model the server does not host.
+
+    Derives from both :class:`SimulationError` (it is a workload-addressing
+    mistake, like an unknown workload name) and :class:`ServeError` (it is
+    raised on the serving path and maps to HTTP 404).
+    """

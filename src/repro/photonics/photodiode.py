@@ -13,7 +13,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.constants import (
     BOLTZMANN_CONSTANT_J_K,

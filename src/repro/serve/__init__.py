@@ -11,16 +11,24 @@ throughput, queue depth, batch-size histogram).
 
 Two front-ends share that pipeline: in-process submission
 (:class:`InferenceServer.submit`) and an HTTP socket
-(:class:`ServeHTTPServer` — ``POST /v1/infer``, ``GET /v1/stats``,
-``GET /healthz``) with a matching stdlib :class:`HTTPInferenceClient`.
-Flush decisions are pluggable (:class:`FixedFlushPolicy` /
-:class:`AdaptiveFlushPolicy` with SLO deadlines and
-``analytical_schedule()``-seeded batch auto-tuning).
+(:class:`ServeHTTPServer` — ``POST /v1/infer``, ``GET /v1/models``,
+``GET /v1/stats``, ``GET /healthz``) with a matching stdlib
+:class:`HTTPInferenceClient`.  Flush decisions are pluggable
+(:class:`FixedFlushPolicy` / :class:`AdaptiveFlushPolicy` with SLO deadlines
+and ``analytical_schedule()``-seeded batch auto-tuning).
+
+One server can host **several named models** (a :class:`ModelRegistry` of
+:class:`ModelDefinition`\\ s — each with its own batcher, flush policy,
+telemetry and replica pool) behind the same endpoints, with requests routed
+by model name; and an :class:`AutoscalerPolicy` enables the queue-depth
+driven control loop that grows each model's replica pool under sustained
+load and shrinks it back (drain-before-retire) after an idle cooldown.
 
 See ``docs/serving.md`` for the CLI commands (``python -m repro serve`` /
 ``python -m repro loadgen``), the HTTP API and the knob reference.
 """
 
+from repro.serve.autoscaler import Autoscaler, AutoscalerPolicy, AutoscalerState
 from repro.serve.batcher import (
     AdaptiveFlushPolicy,
     AnalyticalCostModel,
@@ -31,6 +39,7 @@ from repro.serve.batcher import (
     ServeRequest,
     make_flush_policy,
 )
+from repro.serve.registry import ModelDefinition, ModelRegistry
 from repro.serve.http import (
     HTTPInferenceClient,
     ServeHTTPServer,
@@ -42,6 +51,7 @@ from repro.serve.loadgen import (
     LoadGenerator,
     LoadReport,
     bursty_arrivals,
+    mixed_model_schedule,
     poisson_arrivals,
 )
 from repro.serve.server import InferenceServer
@@ -60,6 +70,9 @@ __all__ = [
     "ARRIVAL_PROCESSES",
     "AdaptiveFlushPolicy",
     "AnalyticalCostModel",
+    "Autoscaler",
+    "AutoscalerPolicy",
+    "AutoscalerState",
     "DEFAULT_REPLICAS",
     "EngineReplicaSpec",
     "EngineWorkerPool",
@@ -71,6 +84,8 @@ __all__ = [
     "LoadGenerator",
     "LoadReport",
     "MicroBatcher",
+    "ModelDefinition",
+    "ModelRegistry",
     "POLICY_KINDS",
     "ServeHTTPServer",
     "ServeRequest",
@@ -81,6 +96,7 @@ __all__ = [
     "latency_summary",
     "make_flush_policy",
     "merge_functional_statistics",
+    "mixed_model_schedule",
     "parse_executor_spec",
     "poisson_arrivals",
     "subtract_functional_statistics",

@@ -1,0 +1,270 @@
+"""Queue-depth-driven replica autoscaling for the serving subsystem.
+
+The decision logic and the control loop are deliberately separated:
+
+:class:`AutoscalerPolicy` + :class:`AutoscalerState`
+    A *pure* decision function.  ``decide(state, now, depth, replicas, ...)``
+    consumes one observation — the clock, the model's current queue depth and
+    replica count — mutates the per-model :class:`AutoscalerState` (when the
+    depth first crossed the threshold, when the queue last went idle) and
+    returns either a new replica target or ``None``.  Because nothing here
+    touches threads or wall clocks, scale-up / scale-down / hold transitions
+    are unit-testable from synthetic queue-depth traces.
+
+:class:`Autoscaler`
+    The control loop: a daemon thread that samples every hosted model's
+    queue depth and arrival rate on a fixed interval, feeds the policy, and
+    applies targets via ``pool.resize()`` — which drains a replica (waits for
+    its in-flight batch) before retiring it.  Every applied change is
+    recorded as a telemetry scale event.
+
+Semantics
+---------
+* **Scale up** when the queue depth has stayed at or above
+  ``scale_up_queue_depth`` for ``sustain_s`` seconds (a momentary burst that
+  the current replicas absorb within one sustain window does not scale).
+* **Scale down** one step after the depth has stayed at or below
+  ``scale_down_queue_depth`` for ``cooldown_s`` seconds; each further step
+  needs a fresh cooldown, so a fleet decays gradually back to
+  ``min_replicas`` instead of collapsing at once.
+* Replica counts are always clamped into ``[min_replicas, max_replicas]``
+  (per-model overrides win over the policy defaults).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "AutoscalerPolicy",
+    "AutoscalerState",
+    "Autoscaler",
+]
+
+
+@dataclass(frozen=True)
+class AutoscalerPolicy:
+    """Tunable thresholds of the queue-depth autoscaling loop.
+
+    Parameters
+    ----------
+    min_replicas, max_replicas:
+        Default replica range; per-model ``ModelDefinition`` bounds override.
+    scale_up_queue_depth:
+        Depth at (or above) which a model counts as overloaded.
+    scale_down_queue_depth:
+        Depth at (or below) which a model counts as idle.
+    sustain_s:
+        How long the overload must persist before a scale-up fires.
+    cooldown_s:
+        How long the idleness must persist before each scale-down step.
+    interval_s:
+        Control-loop sampling period.
+    step:
+        Replicas added/removed per scale event.
+    drain_timeout_s:
+        Longest the loop will wait for a busy replica to finish its in-flight
+        batch when retiring it (scale-down gives up, not kills, on timeout).
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 4
+    scale_up_queue_depth: int = 4
+    scale_down_queue_depth: int = 0
+    sustain_s: float = 0.1
+    cooldown_s: float = 2.0
+    interval_s: float = 0.05
+    step: int = 1
+    drain_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise SimulationError(
+                f"min_replicas must be >= 1, got {self.min_replicas}"
+            )
+        if self.max_replicas < self.min_replicas:
+            raise SimulationError(
+                f"max_replicas ({self.max_replicas}) must be >= "
+                f"min_replicas ({self.min_replicas})"
+            )
+        if self.scale_up_queue_depth < 1:
+            raise SimulationError(
+                f"scale_up_queue_depth must be >= 1, got {self.scale_up_queue_depth}"
+            )
+        if self.scale_down_queue_depth < 0:
+            raise SimulationError(
+                "scale_down_queue_depth must be >= 0, got "
+                f"{self.scale_down_queue_depth}"
+            )
+        if self.scale_down_queue_depth >= self.scale_up_queue_depth:
+            raise SimulationError(
+                f"scale_down_queue_depth ({self.scale_down_queue_depth}) must be "
+                f"below scale_up_queue_depth ({self.scale_up_queue_depth})"
+            )
+        for name in ("sustain_s", "cooldown_s", "interval_s", "drain_timeout_s"):
+            if getattr(self, name) < 0:
+                raise SimulationError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.step < 1:
+            raise SimulationError(f"step must be >= 1, got {self.step}")
+
+    # ------------------------------------------------------------------ decision
+    def decide(
+        self,
+        state: "AutoscalerState",
+        now: float,
+        depth: int,
+        replicas: int,
+        min_replicas: Optional[int] = None,
+        max_replicas: Optional[int] = None,
+    ) -> Optional[int]:
+        """One observation in, one optional replica target out.
+
+        Mutates ``state`` (the overload / idle timers); returns the new
+        replica target when a transition fires, else ``None``.
+        """
+        lo = self.min_replicas if min_replicas is None else int(min_replicas)
+        hi = self.max_replicas if max_replicas is None else int(max_replicas)
+        if replicas < lo:
+            return lo
+        if replicas > hi:
+            return hi
+
+        if depth >= self.scale_up_queue_depth:
+            state.idle_since = None
+            if state.over_since is None:
+                state.over_since = now
+            if now - state.over_since >= self.sustain_s and replicas < hi:
+                state.over_since = None
+                return min(replicas + self.step, hi)
+            return None
+
+        state.over_since = None
+        if depth <= self.scale_down_queue_depth:
+            if state.idle_since is None:
+                state.idle_since = now
+            if now - state.idle_since >= self.cooldown_s and replicas > lo:
+                # restart the cooldown so each further step-down waits again
+                state.idle_since = now
+                return max(replicas - self.step, lo)
+            return None
+
+        # comfortable middle ground: neither timer runs
+        state.idle_since = None
+        return None
+
+
+@dataclass
+class AutoscalerState:
+    """Per-model timers the decision function carries between observations."""
+
+    over_since: Optional[float] = None
+    idle_since: Optional[float] = None
+    #: Arrival-rate bookkeeping for telemetry (admitted count at last sample).
+    last_admitted: int = 0
+    last_sample_ts: Optional[float] = None
+
+
+class Autoscaler:
+    """Daemon control loop applying an :class:`AutoscalerPolicy` to a server.
+
+    ``runtimes`` is a live mapping of model name → runtime; each runtime must
+    expose ``batcher.depth``, ``telemetry`` (a
+    :class:`~repro.serve.telemetry.ServeTelemetry`), ``pool`` (an
+    :class:`~repro.serve.workers.EngineWorkerPool`) and the per-model
+    ``min_replicas`` / ``max_replicas`` bounds.  Models whose pool is not
+    resizable (``serial`` executors) are left alone.
+    """
+
+    def __init__(
+        self,
+        runtimes: Dict[str, object],
+        policy: Optional[AutoscalerPolicy] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.policy = policy or AutoscalerPolicy()
+        self._runtimes = runtimes
+        self._clock = clock
+        self._states: Dict[str, AutoscalerState] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> "Autoscaler":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._loop, name="serve-autoscaler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------ loop
+    def _loop(self) -> None:
+        while not self._stop.wait(self.policy.interval_s):
+            for name, runtime in list(self._runtimes.items()):
+                try:
+                    self.evaluate_model(name, runtime)
+                except Exception:
+                    # A scaling hiccup (e.g. a replica build failing) must not
+                    # kill the control loop; the next tick retries.
+                    continue
+
+    def evaluate_model(self, name: str, runtime) -> Optional[int]:
+        """Sample one model, apply the policy, resize + record if it fires.
+
+        Exposed separately from the thread loop so tests can drive ticks
+        deterministically.  Returns the applied replica count, or ``None``
+        when nothing changed.
+        """
+        pool = runtime.pool
+        if pool is None or not pool.resizable:
+            return None
+        now = self._clock()
+        state = self._states.setdefault(name, AutoscalerState())
+        depth = runtime.batcher.depth
+        admitted = runtime.telemetry.admitted_total
+        if state.last_sample_ts is None or now <= state.last_sample_ts:
+            rate = 0.0
+        else:
+            rate = (admitted - state.last_admitted) / (now - state.last_sample_ts)
+        state.last_admitted = admitted
+        state.last_sample_ts = now
+
+        replicas = pool.count
+        target = self.policy.decide(
+            state,
+            now,
+            depth,
+            replicas,
+            min_replicas=runtime.min_replicas,
+            max_replicas=runtime.max_replicas,
+        )
+        if target is None or target == replicas:
+            return None
+        applied = pool.resize(target, drain_timeout_s=self.policy.drain_timeout_s)
+        if applied == replicas:
+            return None
+        runtime.telemetry.record_scale_event(
+            direction="up" if applied > replicas else "down",
+            from_replicas=replicas,
+            to_replicas=applied,
+            queue_depth=depth,
+            arrival_rps=rate,
+            reason="sustained-depth" if applied > replicas else "idle-cooldown",
+        )
+        return applied

@@ -15,21 +15,30 @@ Endpoints
     (``{"images": ...}``).  Payloads are either nested JSON lists or
     base64-encoded ``.npy`` blobs (``image_npy_b64`` / ``images_npy_b64``),
     which round-trip float64 bits exactly and are ~3x denser than JSON.
-    ``{"block": false}`` turns queue overflow into an HTTP 429 instead of
-    blocking the connection (open-loop shedding over the wire).
+    An optional ``{"model": name}`` field routes to one of the server's
+    hosted models (absent → the default model, preserving the single-model
+    API); unknown names are a 404.  ``{"block": false}`` turns queue
+    overflow into an HTTP 429 instead of blocking the connection (open-loop
+    shedding over the wire).
+``GET /v1/models``
+    The hosted-model listing: name, network, input shape, executor, current
+    replica count and autoscaling bounds per model, plus the default name.
 ``GET /v1/stats``
     The server's :meth:`~repro.serve.server.InferenceServer.stats` snapshot —
-    SLO telemetry, flush-policy state and replica-pool counters — as JSON.
+    SLO telemetry, flush-policy state, replica-pool counters and a
+    ``models`` section covering every hosted model — as JSON.
+    ``GET /v1/stats?model=NAME`` narrows to one model (404 when unknown).
 ``GET /healthz``
-    Liveness probe: workload name, input shape, executor, uptime.
+    Liveness probe: workload name, input shape, executor, hosted models,
+    uptime.
 ``POST /v1/shutdown``
     Requests a clean shutdown; only honoured when the front-end was built
     with ``allow_shutdown=True`` (404 otherwise, so probes cannot kill a
     server that did not opt in).
 
 Error mapping: malformed payloads → 400, queue overflow → 429, server not
-running → 503, unknown path → 404, wrong method → 405.  Every error body is
-``{"error": msg, "type": ExceptionName}``.
+running → 503, unknown path or model → 404, wrong method → 405.  Every
+error body is ``{"error": msg, "type": ExceptionName}``.
 
 :class:`HTTPInferenceClient` is the matching stdlib-only client.  It exposes
 the same ``submit()/stats()`` surface as :class:`InferenceServer`, so a
@@ -45,14 +54,20 @@ import json
 import threading
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from concurrent.futures import Future, ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import BadRequestError, QueueOverflowError, ServeError
+from repro.errors import (
+    BadRequestError,
+    QueueOverflowError,
+    ServeError,
+    UnknownModelError,
+)
 from repro.serve.server import InferenceServer
 
 #: Default bind host; loopback so a bare ``--http`` never exposes a socket.
@@ -162,10 +177,26 @@ class _ServeHTTPHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------ GET
     def do_GET(self) -> None:
-        if self.path == "/healthz":
+        parts = urllib.parse.urlsplit(self.path)
+        if parts.path == "/healthz":
             self._send_json(200, self.front.health())
-        elif self.path == "/v1/stats":
-            self._send_json(200, self.front.server.stats())
+        elif parts.path == "/v1/stats":
+            query = urllib.parse.parse_qs(parts.query)
+            model = query.get("model", [None])[0]
+            try:
+                stats = self.front.server.stats(model=model)
+            except UnknownModelError as error:
+                self._send_error(404, error)
+                return
+            self._send_json(200, stats)
+        elif parts.path == "/v1/models":
+            self._send_json(
+                200,
+                {
+                    "default": self.front.server.default_model,
+                    "models": self.front.server.models(),
+                },
+            )
         else:
             self._send_error(404, ServeError(f"unknown path {self.path!r}"))
 
@@ -183,9 +214,17 @@ class _ServeHTTPHandler(BaseHTTPRequestHandler):
         start = time.monotonic()
         try:
             payload = self._read_json_body()
-            images, batched, encoding = decode_infer_payload(
-                payload, self.front.server.network.input_shape.as_tuple()
-            )
+            model = None
+            if isinstance(payload, dict) and "model" in payload:
+                model = payload["model"]
+                if not isinstance(model, str):
+                    raise BadRequestError(
+                        f"'model' must be a JSON string, got {model!r}"
+                    )
+            # Resolve the model first so unknown names 404 before payload
+            # shape validation (which depends on the model's input shape).
+            input_shape = self.front.server.input_shape(model)
+            images, batched, encoding = decode_infer_payload(payload, input_shape)
             block = payload.get("block", True)
             if not isinstance(block, bool):
                 raise BadRequestError(f"'block' must be a JSON boolean, got {block!r}")
@@ -198,10 +237,17 @@ class _ServeHTTPHandler(BaseHTTPRequestHandler):
                 )
             futures = []
             overflow = None
+            # Only pass model= when the request named one: submit() may be
+            # wrapped (tests spy on it, middleware may decorate it) with the
+            # narrower pre-multi-model signature, and default-model requests
+            # should not require the wrapper to grow a kwarg it never uses.
+            submit_kwargs = {} if model is None else {"model": model}
             for image in images:
                 try:
                     futures.append(
-                        self.front.server.submit(image, block=block, timeout=timeout)
+                        self.front.server.submit(
+                            image, block=block, timeout=timeout, **submit_kwargs
+                        )
                     )
                 except QueueOverflowError as error:
                     overflow = error
@@ -225,6 +271,8 @@ class _ServeHTTPHandler(BaseHTTPRequestHandler):
             return
         latency_ms = (time.monotonic() - start) * 1e3
         body: Dict[str, object] = {"count": int(outputs.shape[0]), "latency_ms": latency_ms}
+        if model is not None:
+            body["model"] = model
         if encoding == "npy_b64":
             key = "outputs_npy_b64" if batched else "output_npy_b64"
             body[key] = encode_array_b64(outputs if batched else outputs[0])
@@ -260,6 +308,8 @@ class _ServeHTTPHandler(BaseHTTPRequestHandler):
             return 429
         if isinstance(error, BadRequestError):
             return 400
+        if isinstance(error, UnknownModelError):
+            return 404  # the model name addresses a resource, like a path
         if isinstance(error, ServeError):
             return 503  # lifecycle: shapes are validated before submit()
         return 500
@@ -375,6 +425,8 @@ class ServeHTTPServer:
             "input_shape": list(self.server.network.input_shape.as_tuple()),
             "executor": str(self.server.executor),
             "policy": self.server.policy.kind,
+            "models": self.server.model_names(),
+            "default_model": self.server.default_model,
             "uptime_s": uptime,
         }
 
@@ -416,6 +468,7 @@ class HTTPInferenceClient:
         timeout_s: float = 60.0,
         max_connections: int = 16,
         encoding: str = "json",
+        model: Optional[str] = None,
     ) -> None:
         if encoding not in ENCODINGS:
             raise ServeError(
@@ -424,6 +477,8 @@ class HTTPInferenceClient:
         self.base_url = url.rstrip("/")
         self.timeout_s = float(timeout_s)
         self.encoding = encoding
+        #: Default model name sent with every request (None = server default).
+        self.model = model
         self._executor = ThreadPoolExecutor(
             max_workers=max_connections, thread_name_prefix="http-client"
         )
@@ -449,39 +504,60 @@ class HTTPInferenceClient:
 
     @staticmethod
     def _mapped_error(error: urllib.error.HTTPError) -> ServeError:
+        detail = ""
+        error_type = ""
         try:
-            detail = json.loads(error.read()).get("error", "")
+            body = json.loads(error.read())
+            detail = body.get("error", "")
+            error_type = body.get("type", "")
         except Exception:
-            detail = ""
+            pass
         message = f"HTTP {error.code}: {detail or error.reason}"
         if error.code == 429:
             return QueueOverflowError(message)
         if error.code == 400:
             return BadRequestError(message)
+        if error.code == 404 and error_type == "UnknownModelError":
+            return UnknownModelError(message)
         return ServeError(message)
 
     # ------------------------------------------------------------------ API
+    def _resolve_model(self, model: Optional[str]) -> Optional[str]:
+        return self.model if model is None else model
+
+    def _admission_fields(
+        self, payload: dict, block: bool, timeout: Optional[float], model: Optional[str]
+    ) -> dict:
+        payload["block"] = bool(block)
+        if timeout is not None:
+            payload["timeout_s"] = float(timeout)
+        model = self._resolve_model(model)
+        if model is not None:
+            payload["model"] = model
+        return payload
+
     def infer(
         self,
         image: np.ndarray,
         block: bool = True,
         timeout: Optional[float] = None,
+        model: Optional[str] = None,
     ) -> np.ndarray:
         """Run one image through the remote server; returns the output vector.
 
         ``timeout`` bounds server-side *admission* blocking (the
         ``timeout_s`` payload field) with the same semantics as
         :meth:`InferenceServer.submit`: a still-full queue raises
-        :class:`QueueOverflowError` (HTTP 429) once it expires.
+        :class:`QueueOverflowError` (HTTP 429) once it expires.  ``model``
+        routes to one of the server's hosted models (falling back to the
+        client's default, then the server's).
         """
         image = np.asarray(image, dtype=float)
         if self.encoding == "npy_b64":
             payload = {"image_npy_b64": encode_array_b64(image)}
         else:
             payload = {"image": image.tolist()}
-        payload["block"] = bool(block)
-        if timeout is not None:
-            payload["timeout_s"] = float(timeout)
+        self._admission_fields(payload, block, timeout, model)
         body = self._request("POST", "/v1/infer", payload)
         if "output_npy_b64" in body:
             return decode_array_b64(body["output_npy_b64"])
@@ -492,6 +568,7 @@ class HTTPInferenceClient:
         images: np.ndarray,
         block: bool = True,
         timeout: Optional[float] = None,
+        model: Optional[str] = None,
     ) -> np.ndarray:
         """Run a whole batch in one HTTP request; returns (B, num_outputs)."""
         images = np.asarray(images, dtype=float)
@@ -499,9 +576,7 @@ class HTTPInferenceClient:
             payload = {"images_npy_b64": encode_array_b64(images)}
         else:
             payload = {"images": images.tolist()}
-        payload["block"] = bool(block)
-        if timeout is not None:
-            payload["timeout_s"] = float(timeout)
+        self._admission_fields(payload, block, timeout, model)
         body = self._request("POST", "/v1/infer", payload)
         if "outputs_npy_b64" in body:
             return decode_array_b64(body["outputs_npy_b64"])
@@ -512,6 +587,7 @@ class HTTPInferenceClient:
         image: np.ndarray,
         block: bool = True,
         timeout: Optional[float] = None,
+        model: Optional[str] = None,
     ) -> "Future[np.ndarray]":
         """LoadGenerator-compatible async submit (one HTTP request per image).
 
@@ -521,12 +597,24 @@ class HTTPInferenceClient:
         completion), which the load generator's gather phase accounts for.
         """
         return self._executor.submit(
-            self.infer, np.asarray(image, dtype=float), block, timeout
+            self.infer, np.asarray(image, dtype=float), block, timeout, model
         )
 
-    def stats(self) -> dict:
-        """Remote :meth:`InferenceServer.stats` snapshot (JSON-typed)."""
-        return self._request("GET", "/v1/stats")
+    def stats(self, model: Optional[str] = None) -> dict:
+        """Remote :meth:`InferenceServer.stats` snapshot (JSON-typed).
+
+        ``model`` narrows to one hosted model's snapshot.  Unlike the infer
+        calls, the client's default model is *not* applied here: bare
+        ``stats()`` keeps returning the whole-server snapshot.
+        """
+        path = "/v1/stats"
+        if model is not None:
+            path += "?" + urllib.parse.urlencode({"model": model})
+        return self._request("GET", path)
+
+    def models(self) -> dict:
+        """Remote hosted-model listing (``GET /v1/models``)."""
+        return self._request("GET", "/v1/models")
 
     def healthz(self) -> dict:
         """Remote liveness probe."""

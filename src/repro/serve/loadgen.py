@@ -36,6 +36,15 @@ surface: an in-process :class:`~repro.serve.server.InferenceServer` or an
 response arrives (the wire does not report admission separately), so the
 open loop counts :class:`~repro.errors.QueueOverflowError` as shed load at
 *both* submit and gather time.
+
+Multi-workload mixes
+--------------------
+Against a multi-model server, pass ``models=`` — one hosted-model name per
+request — to either loop; request ``i`` is routed to ``models[i]``
+(:func:`mixed_model_schedule` draws such a schedule from per-model traffic
+weights).  Because hosted models can have different input shapes, ``images``
+may then be a plain list; outputs with heterogeneous shapes come back as an
+object array instead of a stacked matrix.
 """
 
 from __future__ import annotations
@@ -43,7 +52,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -110,6 +119,67 @@ ARRIVAL_PROCESSES = {
 }
 
 
+def mixed_model_schedule(
+    names: Sequence[str],
+    num_requests: int,
+    weights: Optional[Sequence[float]] = None,
+    seed: int = 0,
+) -> List[str]:
+    """Draw a per-request model assignment from per-model traffic weights.
+
+    Every model is guaranteed at least one request when ``num_requests >=
+    len(names)`` (the first ``len(names)`` slots round-robin through the
+    models before the weighted draw fills the rest), so a sweep never
+    silently skips a hosted model.
+    """
+    names = list(names)
+    if not names:
+        raise SimulationError("mixed_model_schedule needs at least one model name")
+    if num_requests < 1:
+        raise SimulationError(f"num_requests must be >= 1, got {num_requests}")
+    if weights is None:
+        weights = [1.0] * len(names)
+    weights = [float(w) for w in weights]
+    if len(weights) != len(names):
+        raise SimulationError(
+            f"need one weight per model, got {len(weights)} weights "
+            f"for {len(names)} models"
+        )
+    if any(w <= 0 for w in weights):
+        raise SimulationError(f"traffic weights must be > 0, got {weights}")
+    probabilities = np.asarray(weights, dtype=float)
+    probabilities = probabilities / probabilities.sum()
+    rng = np.random.default_rng(seed)
+    schedule = [names[i % len(names)] for i in range(min(len(names), num_requests))]
+    remaining = num_requests - len(schedule)
+    if remaining > 0:
+        schedule.extend(rng.choice(names, size=remaining, p=probabilities).tolist())
+    # shuffle so the guaranteed head does not bias the arrival ordering
+    rng.shuffle(schedule)
+    return list(schedule)
+
+
+def _as_image_list(images) -> List[np.ndarray]:
+    """Normalise ``images`` (array or list, possibly ragged) to a list."""
+    return [np.asarray(image, dtype=float) for image in images]
+
+
+def _stack_outputs(outputs: List[np.ndarray]) -> np.ndarray:
+    """Stack homogeneous outputs; fall back to an object array for mixes."""
+    if not outputs:
+        return np.empty((0, 0))
+    if len({np.shape(output) for output in outputs}) == 1:
+        return np.stack(outputs)
+    stacked = np.empty(len(outputs), dtype=object)
+    stacked[:] = outputs
+    return stacked
+
+
+def _submit_kwargs(models: Optional[Sequence[str]], index: int) -> Dict[str, str]:
+    """The extra ``submit()`` kwargs for request ``index`` (model routing)."""
+    return {} if models is None else {"model": models[index]}
+
+
 @dataclass
 class LoadReport:
     """Client-side view of one load-generation run."""
@@ -156,20 +226,27 @@ class LoadGenerator:
         images: np.ndarray,
         arrivals_s: np.ndarray,
         shed_on_overflow: bool = False,
+        models: Optional[Sequence[str]] = None,
     ) -> LoadReport:
         """Inject ``images[i]`` at ``arrivals_s[i]``; wait for every response.
 
         With ``shed_on_overflow`` the generator submits non-blocking and
         counts queue overflows as shed load (open-loop semantics under
         overload); otherwise submits block, pushing backpressure into the
-        arrival schedule.
+        arrival schedule.  ``models`` (one hosted-model name per image)
+        routes each request on a multi-model server.
         """
-        images = np.asarray(images, dtype=float)
+        images = _as_image_list(images)
         arrivals_s = np.asarray(arrivals_s, dtype=float)
         if len(images) != len(arrivals_s):
             raise SimulationError(
                 f"need one arrival offset per image, got {len(images)} images "
                 f"and {len(arrivals_s)} offsets"
+            )
+        if models is not None and len(models) != len(images):
+            raise SimulationError(
+                f"need one model name per image, got {len(models)} names "
+                f"and {len(images)} images"
             )
         submissions: List[tuple] = []  # (image index, submit timestamp, future)
         rejected_seqs: List[int] = []
@@ -179,7 +256,11 @@ class LoadGenerator:
             if delay > 0:
                 time.sleep(delay)
             try:
-                future = self.server.submit(image, block=not shed_on_overflow)
+                future = self.server.submit(
+                    image,
+                    block=not shed_on_overflow,
+                    **_submit_kwargs(models, index),
+                )
             except QueueOverflowError:
                 rejected_seqs.append(index)
                 continue
@@ -206,7 +287,7 @@ class LoadGenerator:
             offered_rps=offered,
             client_latency=latency_summary(latencies),
             server=self.server.stats(),
-            outputs=np.stack(outputs) if outputs else np.empty((0, 0)),
+            outputs=_stack_outputs(outputs),
             rejected_seqs=rejected_seqs,
         )
 
@@ -216,18 +297,26 @@ class LoadGenerator:
         images: np.ndarray,
         concurrency: int = 2,
         think_time_s: float = 0.0,
+        models: Optional[Sequence[str]] = None,
     ) -> LoadReport:
         """``concurrency`` synchronous clients round-robin through ``images``.
 
         Client ``c`` serves images ``c, c+concurrency, c+2·concurrency, …``,
         keeping exactly one request outstanding (plus an optional think time
         between requests).  Outputs are reassembled in image order.
+        ``models`` (one hosted-model name per image) routes each request on a
+        multi-model server.
         """
-        images = np.asarray(images, dtype=float)
+        images = _as_image_list(images)
         if concurrency < 1:
             raise SimulationError(f"concurrency must be >= 1, got {concurrency}")
         if think_time_s < 0:
             raise SimulationError(f"think_time_s must be >= 0, got {think_time_s}")
+        if models is not None and len(models) != len(images):
+            raise SimulationError(
+                f"need one model name per image, got {len(models)} names "
+                f"and {len(images)} images"
+            )
         outputs: List[Optional[np.ndarray]] = [None] * len(images)
         latencies: List[float] = []
         latency_lock = threading.Lock()
@@ -237,7 +326,9 @@ class LoadGenerator:
             try:
                 for index in range(worker, len(images), concurrency):
                     submit_ts = time.monotonic()
-                    result = self.server.submit(images[index]).result()
+                    result = self.server.submit(
+                        images[index], **_submit_kwargs(models, index)
+                    ).result()
                     elapsed = time.monotonic() - submit_ts
                     outputs[index] = result
                     with latency_lock:
@@ -268,8 +359,6 @@ class LoadGenerator:
             offered_rps=None,
             client_latency=latency_summary(latencies),
             server=self.server.stats(),
-            outputs=np.stack([o for o in outputs if o is not None])
-            if len(images)
-            else np.empty((0, 0)),
+            outputs=_stack_outputs([o for o in outputs if o is not None]),
             rejected_seqs=[],
         )

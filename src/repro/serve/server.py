@@ -1,25 +1,40 @@
 """The online inference server.
 
-:class:`InferenceServer` glues the serving pipeline together::
+:class:`InferenceServer` glues the serving pipeline together, once per
+hosted model::
 
-    submit(image) ──▶ MicroBatcher ──▶ dispatch loop ──▶ EngineWorkerPool
-         ▲                (bounded      (flush policy,     (serial /
-         │                 queue,        in-flight bound)    thread:N /
-      Future ◀── in-order delivery ◀── batch completion      process:N)
+    submit(image, model=...) ─▶ router ─▶ MicroBatcher ─▶ dispatch ─▶ EngineWorkerPool
+         ▲                    (ModelRegistry) (bounded      loop        (serial /
+         │                                     queue,      (per model)   thread:N /
+      Future ◀──── in-order delivery ◀──────── batch completion          process:N)
+
+A server hosts one or many named models (see
+:class:`~repro.serve.registry.ModelRegistry`); every model owns its own
+micro-batcher, flush policy, telemetry sink, worker pool and dispatch
+thread, so one hot workload cannot head-of-line-block another.  Requests
+that do not name a model route to the *default* (first registered) model,
+which keeps the single-model constructor API — and its outputs — bitwise
+unchanged.
 
 Guarantees
 ----------
-* **In-order delivery**: response futures resolve in submission order even
-  when later micro-batches finish first on a parallel executor (a re-order
-  buffer holds early completions).  Head-of-line blocking is therefore
-  *included* in the reported latency, which is what an SLO cares about.
+* **In-order delivery**: response futures resolve in submission order *per
+  model* even when later micro-batches finish first on a parallel executor
+  (a re-order buffer holds early completions).  Head-of-line blocking is
+  therefore *included* in the reported latency, which is what an SLO cares
+  about.
 * **Determinism**: with no noise model, served outputs are bitwise identical
-  to a direct :meth:`FunctionalInferenceEngine.run_batch` of the same images,
-  regardless of executor kind, batch boundaries or completion order.
-* **Backpressure**: the admission queue is bounded (blocking or fail-fast
-  submits), and at most ``2 × replicas`` micro-batches are in flight, so a
-  slow executor pushes delay back into the queue instead of accumulating
-  unbounded in-flight work.
+  to a direct :meth:`FunctionalInferenceEngine.run_batch` of the same images
+  on the same model, regardless of executor kind, batch boundaries,
+  completion order or how many other models the server hosts.
+* **Backpressure**: each model's admission queue is bounded (blocking or
+  fail-fast submits), and at most ``2 × max replicas`` micro-batches are in
+  flight per model, so a slow executor pushes delay back into its own queue
+  instead of accumulating unbounded in-flight work.
+* **Elasticity**: with an :class:`~repro.serve.autoscaler.AutoscalerPolicy`,
+  a per-server control loop grows each model's replica pool under sustained
+  queue depth and shrinks it back after an idle cooldown, draining replicas
+  (in-flight batches complete) before retiring them.
 """
 
 from __future__ import annotations
@@ -35,209 +50,132 @@ from repro.config.chip import ChipConfig
 from repro.crossbar.noise import CrossbarNoiseModel
 from repro.errors import ServeError
 from repro.nn.network import Network
-from repro.serve.batcher import (
-    AnalyticalCostModel,
-    FlushPolicy,
-    MicroBatcher,
-    ServeRequest,
-    make_flush_policy,
-)
+from repro.serve.autoscaler import Autoscaler, AutoscalerPolicy
+from repro.serve.batcher import FlushPolicy, MicroBatcher, ServeRequest
+from repro.serve.registry import ModelDefinition, ModelRegistry
 from repro.serve.telemetry import ServeTelemetry
-from repro.serve.workers import (
-    EngineReplicaSpec,
-    EngineWorkerPool,
-    ExecutorSpec,
-    parse_executor_spec,
-)
+from repro.serve.workers import EngineWorkerPool, ExecutorSpec
 
 
-class InferenceServer:
-    """Online serving front-end over a pool of functional-engine replicas.
-
-    Parameters
-    ----------
-    network, weights, config, noise_model, seed:
-        Forwarded into every engine replica (see
-        :class:`~repro.serve.workers.EngineReplicaSpec`).
-    executor:
-        Replica-pool executor spelling: ``"serial"``, ``"thread[:N]"`` or
-        ``"process[:N]"`` (see :func:`~repro.serve.workers.parse_executor_spec`).
-    intra_execution:
-        Tile-sharding spec inside each replica (accelerator ``execution``).
-    max_batch, max_wait_s, queue_capacity:
-        Dynamic micro-batching policy; see :class:`~repro.serve.batcher.MicroBatcher`.
-    policy:
-        Flush-policy spelling (``"fixed"`` or ``"adaptive"``) or a built
-        :class:`~repro.serve.batcher.FlushPolicy`.  ``"adaptive"`` budgets
-        ``slo_s`` per request, caps its auto-tuned batches at ``max_batch``
-        and seeds its cost model from the workload's analytical schedule.
-    slo_s:
-        Per-request latency budget for the adaptive policy (ignored by
-        ``"fixed"``).
-    warmup:
-        Run one zero image through every replica at :meth:`start` so the
-        one-time PCM tile programming does not land on the first request.
-    on_response:
-        Optional ``callback(seq, output)`` invoked in submission order as
-        responses are delivered.
-    """
+class _ModelRuntime:
+    """Everything one hosted model owns while the server runs."""
 
     def __init__(
         self,
-        network: Network,
-        weights: Dict[str, np.ndarray],
-        config: Optional[ChipConfig] = None,
-        *,
-        noise_model: Optional[CrossbarNoiseModel] = None,
-        seed: int = 0,
-        executor: Union[str, int, ExecutorSpec] = "serial",
-        intra_execution: Union[str, int] = "serial",
-        max_batch: int = 8,
-        max_wait_s: float = 0.002,
-        queue_capacity: int = 128,
-        policy: Union[str, FlushPolicy] = "fixed",
-        slo_s: float = 0.05,
-        warmup: bool = True,
-        on_response: Optional[Callable[[int, np.ndarray], None]] = None,
+        definition: ModelDefinition,
+        autoscaler_policy: Optional[AutoscalerPolicy],
+        on_response: Optional[Callable[[int, np.ndarray], None]],
     ) -> None:
-        self.network = network
-        self.executor = parse_executor_spec(executor)
-        self._input_shape = network.input_shape.as_tuple()
-        warmup_image = np.zeros(self._input_shape) if warmup else None
-        self._replica = EngineReplicaSpec(
-            network=network,
-            weights=dict(weights),
-            config=config,
-            noise_model=noise_model,
-            seed=seed,
-            execution=intra_execution,
-            warmup_image=warmup_image,
-        )
-        cost_model = None
-        if policy == "adaptive":
-            cost_model = AnalyticalCostModel.from_workload(network, weights, config)
-        self.policy = make_flush_policy(
-            policy,
-            max_batch=max_batch,
-            max_wait_s=max_wait_s,
-            slo_s=slo_s,
-            cost_model=cost_model,
-        )
+        self.definition = definition
+        self.name = definition.name
+        self.input_shape = definition.input_shape
+        self.policy: FlushPolicy = definition.build_policy()
         self.telemetry = ServeTelemetry()
-        self._batcher = MicroBatcher(
-            capacity=queue_capacity,
+        self.batcher = MicroBatcher(
+            capacity=definition.queue_capacity,
             policy=self.policy,
             on_flush=self.telemetry.record_flush,
         )
         self._on_response = on_response
-        self._pool: Optional[EngineWorkerPool] = None
+
+        # Replica range: per-model bounds override the autoscaler defaults;
+        # without an autoscaler the executor's count is simply fixed.
+        executor: ExecutorSpec = definition.executor
+        if autoscaler_policy is not None:
+            self.min_replicas = (
+                autoscaler_policy.min_replicas
+                if definition.min_replicas is None
+                else int(definition.min_replicas)
+            )
+            self.max_replicas = (
+                autoscaler_policy.max_replicas
+                if definition.max_replicas is None
+                else int(definition.max_replicas)
+            )
+            self.max_replicas = max(self.max_replicas, self.min_replicas)
+        else:
+            self.min_replicas = self.max_replicas = executor.resolved_count()
+
+        self.pool: Optional[EngineWorkerPool] = None
         self._dispatcher: Optional[threading.Thread] = None
         self._inflight: Optional[threading.BoundedSemaphore] = None
         self._delivery_lock = threading.Lock()
         self._next_delivery_seq = 0
         self._completed: Dict[int, Tuple[ServeRequest, object]] = {}
-        self._started = False
-        self._stopped = False
 
     # ------------------------------------------------------------------ lifecycle
-    def start(self) -> "InferenceServer":
-        """Build the replica pool (programming tiles) and start dispatching."""
-        if self._started:
-            raise ServeError("server already started")
-        self._pool = EngineWorkerPool(self._replica, self.executor)
-        self._inflight = threading.BoundedSemaphore(2 * self._pool.count)
-        self._dispatcher = threading.Thread(
-            target=self._dispatch_loop, name="serve-dispatch", daemon=True
+    def start(self) -> None:
+        executor: ExecutorSpec = self.definition.executor
+        if self.pool is not None:
+            raise ServeError(f"model {self.name!r} already started")
+        initial = executor.resolved_count()
+        if executor.kind != "serial":
+            initial = max(self.min_replicas, min(initial, self.max_replicas))
+            executor = ExecutorSpec(executor.kind, initial)
+        self.pool = EngineWorkerPool(
+            self.definition.replica_spec(), executor, max_count=self.max_replicas
         )
-        self._started = True
+        self._inflight = threading.BoundedSemaphore(2 * self.max_replicas)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name=f"serve-dispatch-{self.name}", daemon=True
+        )
         self._dispatcher.start()
-        return self
 
     def stop(self) -> None:
-        """Drain queued requests, resolve their futures, shut the pool down."""
-        if not self._started or self._stopped:
-            return
-        self._stopped = True
-        self._batcher.close()
-        assert self._dispatcher is not None and self._pool is not None
-        self._dispatcher.join()
-        self._pool.close()
+        self.batcher.close()
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+        if self.pool is not None:
+            self.pool.close()
 
-    def __enter__(self) -> "InferenceServer":
-        return self.start() if not self._started else self
-
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
-
-    # ------------------------------------------------------------------ producer API
-    def submit(
-        self,
-        image: np.ndarray,
-        block: bool = True,
-        timeout: Optional[float] = None,
-    ) -> "Future[np.ndarray]":
-        """Admit one single-image request; returns its response future.
-
-        Raises :class:`~repro.errors.QueueOverflowError` on a full queue when
-        ``block=False`` (or after ``timeout``), and :class:`ServeError` for
-        wrong image shapes or a stopped server.
-        """
-        if not self._started or self._stopped:
-            raise ServeError("server is not running (call start() before submit())")
-        image = np.asarray(image, dtype=float)
-        if image.shape != self._input_shape:
-            raise ServeError(
-                f"request image must have shape {self._input_shape}, got {image.shape}"
-            )
-        try:
-            request = self._batcher.submit(image, block=block, timeout=timeout)
-        except Exception:
-            self.telemetry.record_rejection()
-            raise
-        self.telemetry.record_admission(self._batcher.depth)
-        return request.future
-
-    def serve_batch(self, images: np.ndarray) -> np.ndarray:
-        """Submit every image of ``images`` and gather responses in order.
-
-        Convenience for verification: the result is directly comparable with
-        ``FunctionalInferenceEngine.run_batch(images)``.
-        """
-        futures = [self.submit(image) for image in np.asarray(images, dtype=float)]
-        return np.stack([future.result() for future in futures])
-
-    @property
-    def queue_depth(self) -> int:
-        """Requests admitted but not yet dispatched to a replica."""
-        return self._batcher.depth
-
+    # ------------------------------------------------------------------ stats
     def stats(self) -> Dict[str, object]:
-        """SLO telemetry snapshot plus aggregated replica-pool statistics."""
-        pool_stats = self._pool.statistics() if self._pool is not None else {}
+        """This model's SLO telemetry plus pool and scaling state."""
+        pool_stats = self.pool.statistics() if self.pool is not None else {}
         return {
-            "executor": str(self.executor),
-            "max_batch": self._batcher.max_batch,
-            "max_wait_s": self._batcher.max_wait_s,
-            "queue_capacity": self._batcher.capacity,
+            "model": self.name,
+            "network": self.definition.network.name,
+            "executor": str(self.definition.executor),
+            "max_batch": self.batcher.max_batch,
+            "max_wait_s": self.batcher.max_wait_s,
+            "queue_capacity": self.batcher.capacity,
+            "queue_depth": self.batcher.depth,
+            "replicas": self.pool.count if self.pool is not None else 0,
+            "min_replicas": self.min_replicas,
+            "max_replicas": self.max_replicas,
             "policy": self.policy.snapshot(),
             "telemetry": self.telemetry.snapshot(),
             "pool": pool_stats,
         }
 
+    def describe(self, default: bool) -> Dict[str, object]:
+        """The ``/v1/models`` listing entry for this model."""
+        return {
+            "name": self.name,
+            "network": self.definition.network.name,
+            "input_shape": list(self.input_shape),
+            "executor": str(self.definition.executor),
+            "policy": self.policy.kind,
+            "replicas": self.pool.count if self.pool is not None else 0,
+            "min_replicas": self.min_replicas,
+            "max_replicas": self.max_replicas,
+            "default": bool(default),
+        }
+
     # ------------------------------------------------------------------ dispatch
     def _dispatch_loop(self) -> None:
-        assert self._pool is not None and self._inflight is not None
+        assert self.pool is not None and self._inflight is not None
         while True:
-            batch = self._batcher.next_batch(poll_timeout_s=0.05)
+            batch = self.batcher.next_batch(poll_timeout_s=0.05)
             if batch is None:
-                if self._batcher.closed and self._batcher.depth == 0:
+                if self.batcher.closed and self.batcher.depth == 0:
                     return
                 continue
             images = np.stack([request.image for request in batch])
             self._inflight.acquire()
             dispatch_ts = time.monotonic()
             try:
-                future = self._pool.submit(images)
+                future = self.pool.submit(images)
             except BaseException as error:
                 self._inflight.release()
                 self._complete_batch(batch, error, dispatch_ts)
@@ -265,7 +203,7 @@ class InferenceServer:
         if not isinstance(outcome, BaseException):
             # Feed the flush policy so adaptive batching can calibrate its
             # wall-clock service-time scale from real dispatches.
-            self._batcher.observe_batch(len(batch), now - dispatch_ts)
+            self.batcher.observe_batch(len(batch), now - dispatch_ts)
         with self._delivery_lock:
             if isinstance(outcome, BaseException):
                 for request in batch:
@@ -294,3 +232,281 @@ class InferenceServer:
                         # A raising callback must not stall delivery of the
                         # responses still buffered behind it.
                         pass
+
+
+class InferenceServer:
+    """Online serving front-end over pools of functional-engine replicas.
+
+    Two construction styles share one implementation:
+
+    * **Single model** (the original API): pass ``network``/``weights`` plus
+      the serving knobs; the server hosts one model named after the network.
+    * **Multi-workload**: pass a :class:`~repro.serve.registry.ModelRegistry`
+      via :meth:`hosting` (or ``registry=``); each
+      :class:`~repro.serve.registry.ModelDefinition` carries its own knobs,
+      and requests route by model name (default = first registered).
+
+    Parameters
+    ----------
+    network, weights, config, noise_model, seed:
+        Forwarded into every engine replica (see
+        :class:`~repro.serve.workers.EngineReplicaSpec`).  Ignored (must be
+        omitted) when ``registry`` is given.
+    executor:
+        Replica-pool executor spelling: ``"serial"``, ``"thread[:N]"`` or
+        ``"process[:N]"`` (see :func:`~repro.serve.workers.parse_executor_spec`).
+    intra_execution:
+        Tile-sharding spec inside each replica (accelerator ``execution``).
+    max_batch, max_wait_s, queue_capacity:
+        Dynamic micro-batching policy; see :class:`~repro.serve.batcher.MicroBatcher`.
+    policy:
+        Flush-policy spelling (``"fixed"`` or ``"adaptive"``) or a built
+        :class:`~repro.serve.batcher.FlushPolicy`.
+    slo_s:
+        Per-request latency budget for the adaptive policy.
+    warmup:
+        Run one zero image through every replica at :meth:`start` so the
+        one-time PCM tile programming does not land on the first request.
+    registry:
+        A pre-built :class:`ModelRegistry` hosting one model per definition.
+    autoscaler:
+        An :class:`~repro.serve.autoscaler.AutoscalerPolicy` enabling the
+        queue-depth-driven replica scaling loop (``thread``/``process``
+        executors only; ``serial`` models are left at one replica).
+    on_response:
+        Optional ``callback(seq, output)`` invoked in per-model submission
+        order as responses are delivered.
+    """
+
+    def __init__(
+        self,
+        network: Optional[Network] = None,
+        weights: Optional[Dict[str, np.ndarray]] = None,
+        config: Optional[ChipConfig] = None,
+        *,
+        noise_model: Optional[CrossbarNoiseModel] = None,
+        seed: int = 0,
+        executor: Union[str, int, ExecutorSpec] = "serial",
+        intra_execution: Union[str, int] = "serial",
+        max_batch: int = 8,
+        max_wait_s: float = 0.002,
+        queue_capacity: int = 128,
+        policy: Union[str, FlushPolicy] = "fixed",
+        slo_s: float = 0.05,
+        warmup: bool = True,
+        registry: Optional[ModelRegistry] = None,
+        autoscaler: Optional[AutoscalerPolicy] = None,
+        on_response: Optional[Callable[[int, np.ndarray], None]] = None,
+    ) -> None:
+        if registry is None:
+            if network is None or weights is None:
+                raise ServeError(
+                    "InferenceServer needs either (network, weights) or a registry"
+                )
+            registry = ModelRegistry(
+                [
+                    ModelDefinition(
+                        name=network.name,
+                        network=network,
+                        weights=dict(weights),
+                        config=config,
+                        noise_model=noise_model,
+                        seed=seed,
+                        executor=executor,
+                        intra_execution=intra_execution,
+                        max_batch=max_batch,
+                        max_wait_s=max_wait_s,
+                        queue_capacity=queue_capacity,
+                        policy=policy,
+                        slo_s=slo_s,
+                        warmup=warmup,
+                    )
+                ]
+            )
+        elif network is not None or weights is not None:
+            raise ServeError(
+                "pass either (network, weights) or registry=, not both"
+            )
+        if len(registry) == 0:
+            raise ServeError("model registry is empty: register a model first")
+        self.registry = registry
+        self.autoscaler_policy = autoscaler
+        self._runtimes: Dict[str, _ModelRuntime] = {
+            definition.name: _ModelRuntime(definition, autoscaler, on_response)
+            for definition in registry
+        }
+        self._autoscaler: Optional[Autoscaler] = None
+        self._started = False
+        self._stopped = False
+
+    @classmethod
+    def hosting(
+        cls,
+        registry: ModelRegistry,
+        autoscaler: Optional[AutoscalerPolicy] = None,
+        on_response: Optional[Callable[[int, np.ndarray], None]] = None,
+    ) -> "InferenceServer":
+        """Build a multi-workload server over a :class:`ModelRegistry`."""
+        return cls(registry=registry, autoscaler=autoscaler, on_response=on_response)
+
+    # ------------------------------------------------------------------ routing
+    @property
+    def default_model(self) -> str:
+        """The model requests route to when they do not name one."""
+        return self.registry.default_name
+
+    def model_names(self) -> List[str]:
+        return self.registry.names()
+
+    def _runtime(self, model: Optional[str]) -> _ModelRuntime:
+        definition = self.registry.resolve(model)
+        return self._runtimes[definition.name]
+
+    def input_shape(self, model: Optional[str] = None) -> tuple:
+        """The input-image shape of ``model`` (default model when ``None``)."""
+        return self._runtime(model).input_shape
+
+    # Single-model back-compat surface: these delegate to the default model.
+    @property
+    def network(self) -> Network:
+        return self._runtime(None).definition.network
+
+    @property
+    def executor(self) -> ExecutorSpec:
+        return self._runtime(None).definition.executor
+
+    @property
+    def policy(self) -> FlushPolicy:
+        return self._runtime(None).policy
+
+    @property
+    def telemetry(self) -> ServeTelemetry:
+        return self._runtime(None).telemetry
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> "InferenceServer":
+        """Build every model's replica pool and start dispatching."""
+        if self._started:
+            raise ServeError("server already started")
+        started = []
+        try:
+            for runtime in self._runtimes.values():
+                runtime.start()
+                started.append(runtime)
+        except BaseException:
+            # A later model failing to start must not leak the earlier
+            # models' dispatch threads and replica pools (process replicas
+            # would otherwise outlive the failed constructor call).
+            for runtime in started:
+                try:
+                    runtime.stop()
+                except Exception:
+                    pass
+            raise
+        self._started = True
+        if self.autoscaler_policy is not None:
+            self._autoscaler = Autoscaler(self._runtimes, self.autoscaler_policy)
+            self._autoscaler.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain queued requests, resolve their futures, shut the pools down."""
+        if not self._started or self._stopped:
+            return
+        self._stopped = True
+        if self._autoscaler is not None:
+            self._autoscaler.stop()
+        for runtime in self._runtimes.values():
+            runtime.stop()
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start() if not self._started else self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ producer API
+    def submit(
+        self,
+        image: np.ndarray,
+        block: bool = True,
+        timeout: Optional[float] = None,
+        model: Optional[str] = None,
+    ) -> "Future[np.ndarray]":
+        """Admit one single-image request; returns its response future.
+
+        ``model`` routes to a hosted model by name (``None`` = default).
+        Raises :class:`~repro.errors.UnknownModelError` for unknown names,
+        :class:`~repro.errors.QueueOverflowError` on a full queue when
+        ``block=False`` (or after ``timeout``), and :class:`ServeError` for
+        wrong image shapes or a stopped server.
+        """
+        if not self._started or self._stopped:
+            raise ServeError("server is not running (call start() before submit())")
+        runtime = self._runtime(model)
+        image = np.asarray(image, dtype=float)
+        if image.shape != runtime.input_shape:
+            raise ServeError(
+                f"request image for model {runtime.name!r} must have shape "
+                f"{runtime.input_shape}, got {image.shape}"
+            )
+        try:
+            request = runtime.batcher.submit(image, block=block, timeout=timeout)
+        except Exception:
+            runtime.telemetry.record_rejection()
+            raise
+        runtime.telemetry.record_admission(runtime.batcher.depth)
+        return request.future
+
+    def serve_batch(
+        self, images: np.ndarray, model: Optional[str] = None
+    ) -> np.ndarray:
+        """Submit every image of ``images`` and gather responses in order.
+
+        Convenience for verification: the result is directly comparable with
+        ``FunctionalInferenceEngine.run_batch(images)`` on the same model.
+        """
+        futures = [
+            self.submit(image, model=model)
+            for image in np.asarray(images, dtype=float)
+        ]
+        return np.stack([future.result() for future in futures])
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet dispatched, summed over all models."""
+        return sum(runtime.batcher.depth for runtime in self._runtimes.values())
+
+    def replica_count(self, model: Optional[str] = None) -> int:
+        """Current replica count of ``model`` (default model when ``None``)."""
+        runtime = self._runtime(model)
+        return runtime.pool.count if runtime.pool is not None else 0
+
+    # ------------------------------------------------------------------ stats
+    def models(self) -> List[Dict[str, object]]:
+        """The ``/v1/models`` listing: one descriptor per hosted model."""
+        default = self.default_model
+        return [
+            runtime.describe(default=(name == default))
+            for name, runtime in self._runtimes.items()
+        ]
+
+    def stats(self, model: Optional[str] = None) -> Dict[str, object]:
+        """Telemetry snapshot: one model's, or the whole server's.
+
+        With ``model=None`` the top-level keys keep the original single-model
+        shape (they describe the *default* model), and a ``"models"`` section
+        carries every hosted model's full snapshot.
+        """
+        if model is not None:
+            return self._runtime(model).stats()
+        default_name = self.default_model
+        models = {name: runtime.stats() for name, runtime in self._runtimes.items()}
+        # Reuse the default model's snapshot for the legacy top-level keys
+        # instead of computing it twice (each stats() pass walks every
+        # replica's functional counters under the pool lock).
+        snapshot = dict(models[default_name])
+        snapshot["default_model"] = default_name
+        snapshot["autoscaler_enabled"] = self.autoscaler_policy is not None
+        snapshot["models"] = models
+        return snapshot

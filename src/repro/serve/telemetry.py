@@ -12,7 +12,10 @@ generator, for client-side numbers) records into:
   actually were, the knob the paper's Fig. 7 batch analysis turns;
 * **flush reasons** — why each micro-batch left the queue (``full`` /
   ``deadline`` / ``close``), which is how you see whether a flush policy is
-  building batches or timing out.
+  building batches or timing out;
+* **autoscaler events** — every replica-count change (direction, old/new
+  count, the queue depth and arrival rate that triggered it), so a scaling
+  trace can be reconstructed from the snapshot alone.
 
 All durations are seconds; the CLI formats milliseconds.  Percentiles use
 the same linear interpolation as ``numpy.percentile``, so telemetry numbers
@@ -23,13 +26,16 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import Counter
-from typing import Dict, List, Optional, Sequence
+from collections import Counter, deque
+from typing import Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
 #: Latency percentiles reported by :meth:`ServeTelemetry.snapshot`.
 LATENCY_PERCENTILES = (50, 95, 99)
+
+#: Autoscaler events kept per telemetry sink (older events are dropped).
+MAX_SCALE_EVENTS = 256
 
 
 def latency_summary(latencies_s: Sequence[float]) -> Dict[str, float]:
@@ -68,6 +74,9 @@ class ServeTelemetry:
         self._queue_depth_max = 0
         self._admitted = 0
         self._rejected = 0
+        self._scale_events: Deque[Dict[str, object]] = deque(maxlen=MAX_SCALE_EVENTS)
+        self._scale_ups = 0
+        self._scale_downs = 0
         self._first_event_ts: Optional[float] = None
         self._last_event_ts: Optional[float] = None
 
@@ -111,6 +120,41 @@ class ServeTelemetry:
             self._touch(self._clock())
             self._latencies_s.append(float(latency_s))
 
+    def record_scale_event(
+        self,
+        direction: str,
+        from_replicas: int,
+        to_replicas: int,
+        queue_depth: int = 0,
+        arrival_rps: float = 0.0,
+        reason: str = "",
+    ) -> None:
+        """The autoscaler changed this model's replica count."""
+        with self._lock:
+            now = self._clock()
+            self._touch(now)
+            if direction == "up":
+                self._scale_ups += 1
+            else:
+                self._scale_downs += 1
+            self._scale_events.append(
+                {
+                    "ts": now,
+                    "direction": str(direction),
+                    "from_replicas": int(from_replicas),
+                    "to_replicas": int(to_replicas),
+                    "queue_depth": int(queue_depth),
+                    "arrival_rps": float(arrival_rps),
+                    "reason": str(reason),
+                }
+            )
+
+    @property
+    def admitted_total(self) -> int:
+        """Requests admitted so far (the autoscaler's arrival-rate input)."""
+        with self._lock:
+            return self._admitted
+
     # ------------------------------------------------------------------ report
     def snapshot(self) -> Dict[str, object]:
         """Aggregate SLO metrics of everything recorded so far."""
@@ -124,6 +168,9 @@ class ServeTelemetry:
             depth_sum = self._queue_depth_sum
             depth_samples = self._queue_depth_samples
             depth_max = self._queue_depth_max
+            scale_events = [dict(event) for event in self._scale_events]
+            scale_ups = self._scale_ups
+            scale_downs = self._scale_downs
             first_ts = self._first_event_ts
             last_ts = self._last_event_ts
 
@@ -144,6 +191,11 @@ class ServeTelemetry:
             "service_time_s": service_time_s,
             "queue_depth_mean": depth_sum / depth_samples if depth_samples else 0.0,
             "queue_depth_max": depth_max,
+            "autoscaler": {
+                "scale_ups": scale_ups,
+                "scale_downs": scale_downs,
+                "events": scale_events,
+            },
         }
         snapshot.update(latency_summary(latencies))
         return snapshot

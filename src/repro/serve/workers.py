@@ -29,7 +29,7 @@ import os
 import queue
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -234,8 +234,59 @@ def merge_functional_statistics(snapshots: List[Dict[str, object]]) -> Dict[str,
     return merged
 
 
+class _LocalReplica:
+    """One in-process engine replica (``serial`` / ``thread`` executors)."""
+
+    def __init__(self, spec: EngineReplicaSpec) -> None:
+        self.engine = spec.build()
+        # Traffic-only statistics: anything the build (warmup included)
+        # accumulated is baseline, not served work.
+        self.baseline = self.engine.accelerator.functional_statistics()
+
+    def run(self, images: np.ndarray) -> np.ndarray:
+        return self.engine.run_batch(images)
+
+    def statistics_delta(self) -> Dict[str, object]:
+        return subtract_functional_statistics(
+            self.engine.accelerator.functional_statistics(), self.baseline
+        )
+
+    def close(self) -> None:
+        pass
+
+
+class _ProcessReplica:
+    """One engine replica living in its own worker process.
+
+    Each replica owns a single-worker :class:`ProcessPoolExecutor`, so the
+    pool can add and retire process replicas independently (the fixed-size
+    executor of the original design could not grow or shrink).  Per-batch
+    functional statistics ride back with every result and are pushed into the
+    owning pool's pid-keyed sink, where they survive the replica's retirement.
+    """
+
+    def __init__(self, spec: EngineReplicaSpec, stats_sink) -> None:
+        self._executor = ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_process_worker_init,
+            initargs=(spec,),
+        )
+        self._stats_sink = stats_sink
+
+    def run(self, images: np.ndarray) -> np.ndarray:
+        pid, outputs, stats = self._executor.submit(_process_worker_run, images).result()
+        self._stats_sink(pid, stats)
+        return outputs
+
+    def statistics_delta(self) -> Optional[Dict[str, object]]:
+        return None  # reported through the pid-keyed sink instead
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
 class EngineWorkerPool:
-    """A pool of :class:`FunctionalInferenceEngine` replicas.
+    """A dynamically sized pool of :class:`FunctionalInferenceEngine` replicas.
 
     Parameters
     ----------
@@ -245,49 +296,63 @@ class EngineWorkerPool:
     executor:
         Executor spelling (see :func:`parse_executor_spec`) or a parsed
         :class:`ExecutorSpec`.
+    max_count:
+        Upper bound for :meth:`resize` (head-room the autoscaler can grow
+        into).  Defaults to the executor's replica count, i.e. a fixed pool.
 
     :meth:`submit` dispatches one micro-batch to one free replica and returns
     a future of the (batch, num_outputs) result; :meth:`run_batch_sharded`
     splits a large batch across all replicas and reassembles the outputs in
-    input order.
+    input order; :meth:`resize` grows or shrinks the replica set at runtime
+    (``thread`` / ``process`` kinds), draining each retiring replica —
+    waiting for its in-flight batch — before tearing it down.
     """
 
     def __init__(
         self,
         replica: EngineReplicaSpec,
         executor: Union[str, int, ExecutorSpec] = "serial",
+        max_count: Optional[int] = None,
     ) -> None:
         self.replica = replica
         self.spec = parse_executor_spec(executor)
         self.count = self.spec.resolved_count()
+        self.max_count = (
+            self.count if max_count is None else max(self.count, int(max_count))
+        )
         self._closed = False
-        self._engines: List[FunctionalInferenceEngine] = []
-        self._baselines: List[Dict[str, object]] = []
-        self._free: "queue.SimpleQueue[FunctionalInferenceEngine]" = queue.SimpleQueue()
-        self._thread_pool: Optional[ThreadPoolExecutor] = None
-        self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._replicas: List[object] = []
+        self._free: "queue.SimpleQueue[object]" = queue.SimpleQueue()
+        # _resize_lock serializes resize() calls; _structure_lock guards the
+        # replica/retired lists and is only ever held briefly, so stats reads
+        # never wait behind a scale-down's drain.
+        self._resize_lock = threading.Lock()
+        self._structure_lock = threading.Lock()
+        self._retired_stats: List[Dict[str, object]] = []
+        self._dispatch: Optional[ThreadPoolExecutor] = None
         self._process_stats: Dict[int, Dict[str, object]] = {}
         self._process_stats_lock = threading.Lock()
 
-        if self.spec.kind == "process":
-            self._process_pool = ProcessPoolExecutor(
-                max_workers=self.count,
-                initializer=_process_worker_init,
-                initargs=(replica,),
+        for _ in range(self.count):
+            handle = self._build_replica()
+            self._replicas.append(handle)
+            self._free.put(handle)
+        if self.spec.kind != "serial":
+            # Dispatch threads block while their checked-out replica runs (for
+            # process replicas: while waiting on the worker), so the pool
+            # needs one potential thread per replica it may ever hold.
+            self._dispatch = ThreadPoolExecutor(
+                max_workers=self.max_count, thread_name_prefix="serve-replica"
             )
-        else:
-            self._engines = [replica.build() for _ in range(self.count)]
-            # Traffic-only statistics: anything the build (warmup included)
-            # accumulated is baseline, not served work.
-            self._baselines = [
-                engine.accelerator.functional_statistics() for engine in self._engines
-            ]
-            for engine in self._engines:
-                self._free.put(engine)
-            if self.spec.kind == "thread":
-                self._thread_pool = ThreadPoolExecutor(
-                    max_workers=self.count, thread_name_prefix="serve-replica"
-                )
+
+    def _build_replica(self):
+        if self.spec.kind == "process":
+            return _ProcessReplica(self.replica, self._record_process_stats)
+        return _LocalReplica(self.replica)
+
+    def _record_process_stats(self, pid: int, stats: Dict[str, object]) -> None:
+        with self._process_stats_lock:
+            self._process_stats[pid] = stats
 
     # ------------------------------------------------------------------ dispatch
     def submit(self, images: np.ndarray) -> "Future[np.ndarray]":
@@ -295,15 +360,8 @@ class EngineWorkerPool:
         if self._closed:
             raise ServeError("worker pool is closed")
         images = np.asarray(images, dtype=float)
-        if self.spec.kind == "process":
-            assert self._process_pool is not None
-            outer: "Future[np.ndarray]" = Future()
-            inner = self._process_pool.submit(_process_worker_run, images)
-            inner.add_done_callback(lambda done: self._finish_process(done, outer))
-            return outer
-        if self.spec.kind == "thread":
-            assert self._thread_pool is not None
-            return self._thread_pool.submit(self._checkout_run, images)
+        if self._dispatch is not None:
+            return self._dispatch.submit(self._checkout_run, images)
         future: "Future[np.ndarray]" = Future()
         try:
             future.set_result(self._checkout_run(images))
@@ -311,22 +369,61 @@ class EngineWorkerPool:
             future.set_exception(error)
         return future
 
-    def _finish_process(self, inner: Future, outer: "Future[np.ndarray]") -> None:
-        error = inner.exception()
-        if error is not None:
-            outer.set_exception(error)
-            return
-        pid, outputs, stats = inner.result()
-        with self._process_stats_lock:
-            self._process_stats[pid] = stats
-        outer.set_result(outputs)
-
     def _checkout_run(self, images: np.ndarray) -> np.ndarray:
-        engine = self._free.get()
+        handle = self._free.get()
         try:
-            return engine.run_batch(images)
+            return handle.run(images)
         finally:
-            self._free.put(engine)
+            self._free.put(handle)
+
+    # ------------------------------------------------------------------ resize
+    @property
+    def resizable(self) -> bool:
+        """Whether :meth:`resize` applies (``serial`` pools are fixed at 1)."""
+        return self.spec.kind != "serial"
+
+    def resize(self, target: int, drain_timeout_s: Optional[float] = 30.0) -> int:
+        """Grow or shrink the replica set to ``target``; returns the new count.
+
+        ``target`` is clamped into ``[1, max_count]``.  Growing builds fresh
+        replicas (process replicas re-program their tiles in their own worker
+        at first dispatch).  Shrinking *drains before retiring*: each retiring
+        replica is taken out of the free list — which waits until its
+        in-flight batch completes — so no work is ever dropped.  If a busy
+        replica does not come free within ``drain_timeout_s`` the shrink
+        stops early and the achieved count is returned.
+        """
+        if not self.resizable:
+            raise ServeError(
+                "serial worker pools execute inline and cannot be resized; "
+                "use a thread:N or process:N executor"
+            )
+        if self._closed:
+            raise ServeError("worker pool is closed")
+        target = max(1, min(int(target), self.max_count))
+        with self._resize_lock:
+            while self.count < target:
+                handle = self._build_replica()
+                with self._structure_lock:
+                    self._replicas.append(handle)
+                    self.count = len(self._replicas)
+                self._free.put(handle)
+            while self.count > target:
+                try:
+                    # Drain-before-retire: wait (without holding the
+                    # structure lock) until a replica comes free, i.e. its
+                    # in-flight batch has completed.
+                    handle = self._free.get(timeout=drain_timeout_s)
+                except queue.Empty:
+                    break  # replicas stayed busy past the drain budget
+                delta = handle.statistics_delta()
+                with self._structure_lock:
+                    if delta is not None:
+                        self._retired_stats.append(delta)
+                    self._replicas.remove(handle)
+                    self.count = len(self._replicas)
+                handle.close()
+            return self.count
 
     def run_batch(self, images: np.ndarray) -> np.ndarray:
         """Run one batch on a single replica, synchronously."""
@@ -352,23 +449,22 @@ class EngineWorkerPool:
         Whatever a replica accumulated while being built (including its
         warmup batch and the PCM tile programming it triggers) is treated as
         baseline and subtracted, so the counters describe served work and are
-        comparable across executor kinds.  For process replicas the counters
-        come from the snapshot piggybacked on each result, so replicas that
-        have not executed a batch yet are invisible (the pool cannot reach
-        into their address space) — which is consistent: a replica that never
-        served contributes zero traffic.
+        comparable across executor kinds.  Replicas retired by :meth:`resize`
+        keep contributing the traffic they served.  For process replicas the
+        counters come from the snapshot piggybacked on each result, so
+        replicas that have not executed a batch yet are invisible (the pool
+        cannot reach into their address space) — which is consistent: a
+        replica that never served contributes zero traffic.
         """
         if self.spec.kind == "process":
             with self._process_stats_lock:
                 snapshots = list(self._process_stats.values())
         else:
-            snapshots = [
-                subtract_functional_statistics(
-                    engine.accelerator.functional_statistics(), baseline
-                )
-                for engine, baseline in zip(self._engines, self._baselines)
-            ]
-        merged = merge_functional_statistics(snapshots)
+            with self._structure_lock:
+                handles = list(self._replicas)
+                retired = list(self._retired_stats)
+            snapshots = [handle.statistics_delta() for handle in handles] + retired
+        merged = merge_functional_statistics([s for s in snapshots if s])
         merged["replicas"] = self.count
         merged["executor"] = str(self.spec)
         return merged
@@ -379,10 +475,10 @@ class EngineWorkerPool:
         if self._closed:
             return
         self._closed = True
-        if self._thread_pool is not None:
-            self._thread_pool.shutdown(wait=True)
-        if self._process_pool is not None:
-            self._process_pool.shutdown(wait=True)
+        if self._dispatch is not None:
+            self._dispatch.shutdown(wait=True)
+        for handle in self._replicas:
+            handle.close()
 
     def __enter__(self) -> "EngineWorkerPool":
         return self

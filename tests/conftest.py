@@ -15,20 +15,8 @@ from repro.nn import build_lenet5, build_resnet50
 from repro.scalesim.simulator import simulate_network
 
 
-def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "multicore: exercises multi-core sharded execution of the functional datapath",
-    )
-    config.addinivalue_line(
-        "markers",
-        "serving: online inference-serving smoke lane (pytest -m serving)",
-    )
-    config.addinivalue_line(
-        "markers",
-        "docs: documentation-executability lane (pytest -m docs): runs the "
-        "quickstart example and executes README/docs fenced python blocks",
-    )
+# Markers (multicore / serving / docs / smoke) are registered centrally in
+# pyproject.toml's [tool.pytest.ini_options], not here.
 
 
 @pytest.fixture(scope="session")

@@ -19,7 +19,6 @@ from repro.core.inference import FunctionalInferenceEngine, generate_random_weig
 from repro.crossbar import CrossbarArray, SignedCrossbarEngine
 from repro.nn import build_lenet5
 from repro.nn.im2col import conv_weights_matrix, im2col_matrix
-from repro.nn.quant import split_signed_matrix
 
 
 # ---------------------------------------------------------------------------

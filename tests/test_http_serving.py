@@ -11,7 +11,6 @@ generator, and the ``serve --http`` CLI round trip.
 from __future__ import annotations
 
 import json
-import socket
 import threading
 import time
 import urllib.error
@@ -281,25 +280,34 @@ class TestServeHTTPLifecycle:
 
 class TestServeHTTPCli:
     def test_serve_http_cli_round_trip(self, tmp_path):
-        with socket.socket() as probe:
-            probe.bind(("127.0.0.1", 0))
-            port = probe.getsockname()[1]
+        """CI-safe round trip: ``--http 0`` picks a free port, ``--ready-file``
+        publishes the bound URL, so the test never races the bind and never
+        collides with another port user on a loaded runner."""
+        ready_file = tmp_path / "serve-url.txt"
         result = {}
 
         def run():
             result["code"] = main(
                 [
                     "serve", "--network", "lenet5", "--rows", "32", "--columns", "32",
-                    "--http", str(port), "--policy", "adaptive", "--slo-ms", "500",
-                    "--allow-remote-shutdown",
+                    "--http", "0", "--policy", "adaptive", "--slo-ms", "500",
+                    "--allow-remote-shutdown", "--ready-file", str(ready_file),
                 ]
             )
 
         thread = threading.Thread(target=run, daemon=True)
         thread.start()
-        client = HTTPInferenceClient(f"http://127.0.0.1:{port}", timeout_s=5.0)
+        deadline = time.monotonic() + 60.0
+        url = None
+        while time.monotonic() < deadline:
+            if ready_file.exists():
+                url = ready_file.read_text().strip()
+                if url:
+                    break
+            time.sleep(0.1)
+        assert url, "serve --http 0 never published its URL to --ready-file"
+        client = HTTPInferenceClient(url, timeout_s=30.0)
         try:
-            deadline = time.monotonic() + 30.0
             health = None
             while time.monotonic() < deadline:
                 try:
@@ -309,12 +317,13 @@ class TestServeHTTPCli:
                     time.sleep(0.1)
             assert health is not None, "HTTP front-end never came up"
             assert health["policy"] == "adaptive"
+            assert health["models"] == ["lenet5"]
             image = np.random.default_rng(7).uniform(0.0, 1.0, (28, 28, 1))
             output = client.infer(image)
             assert output.shape[-1] == 10
             client.shutdown_remote()
         finally:
             client.close()
-        thread.join(timeout=30.0)
+        thread.join(timeout=60.0)
         assert not thread.is_alive()
         assert result["code"] == 0

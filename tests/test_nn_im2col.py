@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import WorkloadError
-from repro.nn import ConvLayer, DenseLayer, TensorShape, build_resnet50, conv_to_gemm, layer_to_gemms
+from repro.nn import ConvLayer, DenseLayer, TensorShape, conv_to_gemm, layer_to_gemms
 from repro.nn.im2col import GemmShape, conv2d_reference, conv_weights_matrix, dense_to_gemm, im2col_matrix
 
 

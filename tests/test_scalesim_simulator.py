@@ -4,7 +4,7 @@ import pytest
 
 from repro.config import ChipConfig, optimal_chip, small_test_chip
 from repro.errors import SimulationError
-from repro.nn import build_lenet5, build_resnet50
+from repro.nn import build_lenet5
 from repro.scalesim import CrossbarDataflowSimulator
 from repro.scalesim.simulator import simulate_network
 
