@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import time
 from collections import Counter
@@ -66,6 +67,7 @@ from repro.errors import SimulationError
 from repro.serve import (
     ARRIVAL_PROCESSES,
     AutoscalerPolicy,
+    CircuitBreakerPolicy,
     EngineReplicaSpec,
     EngineWorkerPool,
     ExecutorSpec,
@@ -77,6 +79,7 @@ from repro.serve import (
     ServeHTTPServer,
     mixed_model_schedule,
     parse_executor_spec,
+    parse_fault_spec,
 )
 from repro.core import (
     DesignOptimizer,
@@ -245,6 +248,25 @@ def _nonnegative_float(value: str) -> float:
     return number
 
 
+def _nonnegative_int(value: str) -> int:
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {value!r}")
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {value!r}")
+    return number
+
+
+def _parse_fault_rule(value: str) -> str:
+    """Validate an ``--inject-fault`` spelling eagerly (keep the string)."""
+    try:
+        parse_fault_spec(value)
+    except SimulationError as error:
+        raise argparse.ArgumentTypeError(str(error))
+    return value
+
+
 def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
     """Options shared by the ``serve`` and ``loadgen`` commands."""
     parser.add_argument("--network", default="lenet5", help="workload name")
@@ -317,6 +339,67 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--weight-seed", type=int, default=0, help="synthetic weight seed")
     parser.add_argument("--image-seed", type=int, default=1, help="random image seed")
     parser.add_argument("--arrival-seed", type=int, default=2, help="arrival-process seed")
+    # ---------------------------------------------------------------- robustness
+    parser.add_argument(
+        "--dispatch-timeout-ms",
+        type=_positive_float,
+        default=None,
+        help=(
+            "per-dispatch replica answer budget in milliseconds; a process "
+            "replica that misses it is declared hung, killed and replaced "
+            "(default: wait forever)"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=_nonnegative_int,
+        default=2,
+        help=(
+            "re-dispatch attempts for a micro-batch after a replica failure "
+            "before it fails permanently; with --url this also bounds the "
+            "HTTP client's transport retries"
+        ),
+    )
+    parser.add_argument(
+        "--breaker",
+        action="store_true",
+        help=(
+            "enable the per-model circuit breaker: repeated batch failures "
+            "open it and shed load as HTTP 503 + Retry-After until recovery"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=_positive_float,
+        default=0.5,
+        help="failure fraction over the rolling window that opens the breaker",
+    )
+    parser.add_argument(
+        "--breaker-window",
+        type=_positive_int,
+        default=8,
+        help="batch outcomes in the breaker's rolling window",
+    )
+    parser.add_argument(
+        "--breaker-recovery-ms",
+        type=_positive_float,
+        default=5000.0,
+        help="how long an open breaker sheds load before half-opening",
+    )
+    parser.add_argument(
+        "--inject-fault",
+        action="append",
+        dest="inject_faults",
+        type=_parse_fault_rule,
+        metavar="SPEC",
+        default=None,
+        help=(
+            "inject a deterministic replica fault (repeatable; demos/chaos "
+            "drills): KIND[:key=value,...] with KIND crash|hang|slow|corrupt "
+            "and keys every/at/probability/delay_ms/times/seed, e.g. "
+            "'crash:every=5' or 'slow:probability=0.2,delay_ms=30,seed=7'"
+        ),
+    )
 
 
 def _add_chip_arguments(parser: argparse.ArgumentParser) -> None:
@@ -743,6 +826,17 @@ def _make_server(args: argparse.Namespace, built_entries) -> InferenceServer:
     if autoscaler is not None and executor.kind == "serial":
         # Autoscaling needs a resizable pool; start a thread pool at the floor.
         executor = ExecutorSpec("thread", autoscaler.min_replicas)
+    breaker = None
+    if getattr(args, "breaker", False):
+        try:
+            breaker = CircuitBreakerPolicy(
+                failure_threshold=args.breaker_threshold,
+                window=args.breaker_window,
+                recovery_s=args.breaker_recovery_ms / 1e3,
+            )
+        except SimulationError as error:
+            raise SystemExit(str(error))
+    dispatch_timeout_ms = getattr(args, "dispatch_timeout_ms", None)
     registry = ModelRegistry()
     for name, network, weights in built_entries:
         registry.add(
@@ -757,6 +851,12 @@ def _make_server(args: argparse.Namespace, built_entries) -> InferenceServer:
             queue_capacity=args.queue_capacity,
             policy=args.policy,
             slo_s=args.slo_ms / 1e3,
+            dispatch_timeout_s=(
+                None if dispatch_timeout_ms is None else dispatch_timeout_ms / 1e3
+            ),
+            max_attempts=getattr(args, "max_retries", 2) + 1,
+            breaker=breaker,
+            faults=getattr(args, "inject_faults", None),
         )
     return InferenceServer(registry=registry, autoscaler=autoscaler)
 
@@ -923,20 +1023,52 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
             print(f"  GET  {front.url}/healthz     — liveness probe")
             if args.allow_remote_shutdown:
                 print(f"  POST {front.url}/v1/shutdown — stop the server")
+
+            # Graceful shutdown: SIGTERM (orchestrators) and SIGINT (Ctrl-C)
+            # flip the front-end's shutdown flag; the context managers below
+            # then stop accepting connections, drain the admission queues,
+            # finish in-flight batches and join the autoscaler/dispatch
+            # threads — exiting 0 with final telemetry, not mid-flight.
+            def _graceful_shutdown(signum, frame):
+                print(
+                    f"received {signal.Signals(signum).name}, draining and "
+                    "shutting down"
+                )
+                front.request_shutdown()
+
+            previous_handlers = {}
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    previous_handlers[signum] = signal.signal(
+                        signum, _graceful_shutdown
+                    )
+                except ValueError:
+                    pass  # not the main thread (embedded/test use): skip
             try:
                 front.wait(args.duration)
             except KeyboardInterrupt:
                 print("interrupted, shutting down")
+            finally:
+                for signum, handler in previous_handlers.items():
+                    signal.signal(signum, handler)
         final_stats = server.stats()
     for name, model_stats in final_stats["models"].items():
         telemetry = model_stats["telemetry"]
         scaling = telemetry["autoscaler"]
+        faults = (model_stats.get("pool") or {}).get("faults") or {}
+        robustness = ""
+        if faults.get("replica_restarts") or telemetry.get("requests_failed"):
+            robustness = (
+                f", replica restarts {faults.get('replica_restarts', 0)}, "
+                f"failed {telemetry.get('requests_failed', 0)}"
+            )
         print(
             f"{name}: served {telemetry['requests_completed']} requests "
             f"(p99 {telemetry['latency_p99_s'] * 1e3:.2f} ms, "
             f"mean batch {telemetry['mean_batch_size']:.2f}, "
             f"replicas {model_stats['replicas']}, "
-            f"scale-ups {scaling['scale_ups']}, scale-downs {scaling['scale_downs']})"
+            f"scale-ups {scaling['scale_ups']}, scale-downs {scaling['scale_downs']}"
+            f"{robustness})"
         )
     return 0
 
@@ -1057,7 +1189,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     rows = []
     for point in points:
         if args.url:
-            with HTTPInferenceClient(args.url, encoding=encoding) as client:
+            with HTTPInferenceClient(
+                args.url, encoding=encoding, max_retries=args.max_retries
+            ) as client:
                 report = _run_load_point(
                     args, LoadGenerator(client), images, point, schedule
                 )

@@ -59,3 +59,55 @@ class UnknownModelError(SimulationError, ServeError):
     mistake, like an unknown workload name) and :class:`ServeError` (it is
     raised on the serving path and maps to HTTP 404).
     """
+
+
+class ReplicaCrashError(ServeError):
+    """An engine replica died (or was injected to die) while running a batch."""
+
+
+class ReplicaTimeoutError(ServeError):
+    """An engine replica failed to answer within the dispatch timeout."""
+
+
+class CorruptResultError(ServeError):
+    """An engine replica returned outputs that failed validation (NaN/Inf)."""
+
+
+class ReplicaFailureError(ServeError):
+    """A micro-batch failed permanently after exhausting its retry budget.
+
+    ``attempts`` counts the dispatch attempts made; ``last_error`` is the
+    terminal per-attempt failure (also chained as ``__cause__``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        attempts: int = 0,
+        last_error: "Exception | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.attempts = int(attempts)
+        self.last_error = last_error
+
+
+class CircuitOpenError(ServeError):
+    """A request was shed because the model's circuit breaker is open.
+
+    Maps to HTTP 503 with a ``Retry-After`` header of ``retry_after_s``
+    (rounded up to whole seconds on the wire).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_s: float = 1.0,
+        model: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+        self.model = model
+
+
+class RequestTimeoutError(ServeError):
+    """An HTTP client request timed out (connect or read)."""

@@ -17,6 +17,14 @@ Two front-ends share that pipeline: in-process submission
 (:class:`FixedFlushPolicy` / :class:`AdaptiveFlushPolicy` with SLO deadlines
 and ``analytical_schedule()``-seeded batch auto-tuning).
 
+Serving is **fault tolerant**: replica dispatches are supervised (crash /
+hang / corruption detection, exponential-backoff restarts, bounded
+re-dispatch — bitwise-identical because inference is pure), a per-model
+:class:`CircuitBreaker` sheds load as HTTP 503 + ``Retry-After`` while a
+model is sick, and a seeded deterministic :class:`FaultInjector`
+(``--inject-fault``) makes the whole failure path testable in CI (the
+``chaos`` lane).
+
 One server can host **several named models** (a :class:`ModelRegistry` of
 :class:`ModelDefinition`\\ s — each with its own batcher, flush policy,
 telemetry and replica pool) behind the same endpoints, with requests routed
@@ -38,6 +46,15 @@ from repro.serve.batcher import (
     POLICY_KINDS,
     ServeRequest,
     make_flush_policy,
+)
+from repro.serve.faults import (
+    FAULT_KINDS,
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    FaultAction,
+    FaultInjector,
+    FaultRule,
+    parse_fault_spec,
 )
 from repro.serve.registry import ModelDefinition, ModelRegistry
 from repro.serve.http import (
@@ -73,10 +90,16 @@ __all__ = [
     "Autoscaler",
     "AutoscalerPolicy",
     "AutoscalerState",
+    "CircuitBreaker",
+    "CircuitBreakerPolicy",
     "DEFAULT_REPLICAS",
     "EngineReplicaSpec",
     "EngineWorkerPool",
     "ExecutorSpec",
+    "FAULT_KINDS",
+    "FaultAction",
+    "FaultInjector",
+    "FaultRule",
     "FixedFlushPolicy",
     "FlushPolicy",
     "HTTPInferenceClient",
@@ -98,6 +121,7 @@ __all__ = [
     "merge_functional_statistics",
     "mixed_model_schedule",
     "parse_executor_spec",
+    "parse_fault_spec",
     "poisson_arrivals",
     "subtract_functional_statistics",
 ]

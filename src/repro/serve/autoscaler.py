@@ -256,6 +256,12 @@ class Autoscaler:
         )
         if target is None or target == replicas:
             return None
+        if target < replicas and getattr(pool, "restarting", 0):
+            # A replica is mid-restart: its slot is accounted for in `count`
+            # but not in the free list, so a scale-down now would retire a
+            # *healthy* replica and leave the fleet below target once the
+            # restart lands.  Hold until the supervisor finishes.
+            return None
         applied = pool.resize(target, drain_timeout_s=self.policy.drain_timeout_s)
         if applied == replicas:
             return None

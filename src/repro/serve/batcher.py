@@ -518,11 +518,30 @@ class MicroBatcher:
         self.policy.observe_batch(size, service_time_s)
 
     # ------------------------------------------------------------------ lifecycle
-    def close(self) -> None:
-        """Refuse new submissions; queued requests remain drainable."""
+    def close(self, drain: bool = True) -> None:
+        """Refuse new submissions.
+
+        With ``drain=True`` (the default, and the graceful-shutdown path)
+        queued requests remain drainable: the dispatch loop keeps pulling
+        batches until the queue is empty.  With ``drain=False`` the queue is
+        abandoned instead — every pending request's future fails with a
+        :class:`~repro.errors.ServeError` so no caller blocks forever on a
+        response that will never be computed.
+        """
+        abandoned: List[ServeRequest] = []
         with self._cond:
             self._closed = True
+            if not drain:
+                abandoned = list(self._queue)
+                self._queue.clear()
             self._cond.notify_all()
+        if abandoned:
+            error = ServeError(
+                "server shut down before this request was dispatched"
+            )
+            for request in abandoned:
+                if not request.future.done():
+                    request.future.set_exception(error)
 
     @property
     def closed(self) -> bool:

@@ -1,0 +1,427 @@
+"""Deterministic fault injection and circuit breaking for the serving tier.
+
+Two independent pieces live here, both pure control-plane logic with no
+threads of their own:
+
+:class:`FaultInjector`
+    A seeded, deterministic source of *replica faults*.  The worker pool asks
+    it once per dispatch (``next_action()``); almost always the answer is
+    ``None`` and the hot path pays one counter increment.  When a
+    :class:`FaultRule` matches the dispatch index, the returned
+    :class:`FaultAction` is carried into the replica and *genuinely* applied
+    there: a ``crash`` SIGKILLs the worker process mid-batch, ``hang`` stalls
+    it past the dispatch timeout, ``slow`` adds latency, and ``corrupt``
+    NaN-poisons the outputs (which the pool's validation then catches).
+    Because rules trigger on a shared dispatch counter — not wall clock or
+    PIDs — a chaos test replays the exact same fault schedule every run.
+
+:class:`CircuitBreaker`
+    The classic closed → open → half-open state machine over a rolling
+    window of batch outcomes.  The server consults ``allow()`` at admission:
+    an open breaker sheds requests as
+    :class:`~repro.errors.CircuitOpenError` (HTTP 503 + ``Retry-After``)
+    instead of queueing work a sick model cannot serve.  After
+    ``recovery_s`` the breaker half-opens and lets a probe trickle through;
+    ``half_open_successes`` clean batches close it again, one failure snaps
+    it back open.  The clock is injectable so every transition is testable
+    without sleeping.
+
+Fault rules have a CLI spelling (``--inject-fault``), parsed by
+:func:`parse_fault_spec`::
+
+    crash:every=5            SIGKILL the serving replica on every 5th dispatch
+    hang:at=3                dispatch 3 never answers (parent times it out)
+    slow:every=2,delay_ms=20 every 2nd dispatch takes an extra 20 ms
+    corrupt:at=7,times=1     dispatch 7 returns NaN-poisoned outputs, once
+    crash:probability=0.1,seed=7   seeded Bernoulli instead of a fixed index
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultAction",
+    "FaultRule",
+    "FaultInjector",
+    "parse_fault_spec",
+    "CircuitBreakerPolicy",
+    "CircuitBreaker",
+]
+
+#: Fault kinds a rule can inject.
+FAULT_KINDS = ("crash", "hang", "slow", "corrupt")
+
+#: Default extra latency of a ``slow`` fault (seconds).
+DEFAULT_SLOW_DELAY_S = 0.05
+
+#: Default stall of a ``hang`` fault (seconds) — far past any sane dispatch
+#: timeout, so the parent-side timeout (not the sleep) ends the batch.
+DEFAULT_HANG_DELAY_S = 60.0
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One concrete fault to apply to one dispatch.
+
+    Plain data (kind + delay), so it pickles into process workers — the
+    fault is applied *inside* the replica, which is what makes an injected
+    crash indistinguishable from a real one to the supervision layer.
+    """
+
+    kind: str
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise SimulationError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.delay_s < 0:
+            raise SimulationError(f"fault delay must be >= 0, got {self.delay_s}")
+
+
+@dataclass
+class FaultRule:
+    """When to fire one kind of fault, in dispatch-counter terms.
+
+    Exactly one trigger must be set: ``every`` (periodic, 1-based — every
+    Nth dispatch), ``at`` (a single dispatch index) or ``probability``
+    (seeded Bernoulli per dispatch).  ``times`` caps total firings
+    (``None`` = unlimited); ``delay_s`` parameterises ``slow``/``hang``.
+    """
+
+    kind: str
+    every: Optional[int] = None
+    at: Optional[int] = None
+    probability: Optional[float] = None
+    delay_s: Optional[float] = None
+    times: Optional[int] = None
+    seed: int = 0
+    fired: int = field(default=0, init=False)
+    _rng: Optional[random.Random] = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise SimulationError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        triggers = [
+            name
+            for name in ("every", "at", "probability")
+            if getattr(self, name) is not None
+        ]
+        if len(triggers) != 1:
+            raise SimulationError(
+                "a fault rule needs exactly one trigger out of 'every', 'at' "
+                f"and 'probability', got {triggers or 'none'}"
+            )
+        if self.every is not None and int(self.every) < 1:
+            raise SimulationError(f"'every' must be >= 1, got {self.every}")
+        if self.at is not None and int(self.at) < 1:
+            raise SimulationError(f"'at' must be >= 1, got {self.at}")
+        if self.probability is not None and not (0.0 < float(self.probability) <= 1.0):
+            raise SimulationError(
+                f"'probability' must be in (0, 1], got {self.probability}"
+            )
+        if self.times is not None and int(self.times) < 1:
+            raise SimulationError(f"'times' must be >= 1, got {self.times}")
+        if self.delay_s is not None and float(self.delay_s) < 0:
+            raise SimulationError(f"'delay_s' must be >= 0, got {self.delay_s}")
+        if self.probability is not None:
+            self._rng = random.Random(self.seed)
+        if self.at is not None:
+            # A fixed index can only ever fire once.
+            self.times = 1 if self.times is None else min(int(self.times), 1)
+
+    def matches(self, dispatch_index: int) -> bool:
+        """Whether this rule fires on the 1-based ``dispatch_index``."""
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.every is not None:
+            return dispatch_index % int(self.every) == 0
+        if self.at is not None:
+            return dispatch_index == int(self.at)
+        assert self._rng is not None
+        return self._rng.random() < float(self.probability)
+
+    def action(self) -> FaultAction:
+        """The concrete action this rule injects (defaults filled per kind)."""
+        delay = self.delay_s
+        if delay is None:
+            delay = {
+                "slow": DEFAULT_SLOW_DELAY_S,
+                "hang": DEFAULT_HANG_DELAY_S,
+            }.get(self.kind, 0.0)
+        return FaultAction(kind=self.kind, delay_s=float(delay))
+
+
+def parse_fault_spec(spec: Union[str, FaultRule]) -> FaultRule:
+    """Parse one ``--inject-fault`` spelling into a :class:`FaultRule`.
+
+    Grammar: ``KIND[:key=value[,key=value...]]`` with keys ``every``, ``at``,
+    ``probability``, ``delay_ms``, ``times`` and ``seed``.  A bare ``KIND``
+    means ``every=1`` (fire on every dispatch).
+    """
+    if isinstance(spec, FaultRule):
+        return spec
+    if not isinstance(spec, str) or not spec.strip():
+        raise SimulationError(f"invalid fault spec {spec!r}: expected a string")
+    text = spec.strip()
+    kind, _, suffix = text.partition(":")
+    kind = kind.strip()
+    if kind not in FAULT_KINDS:
+        raise SimulationError(
+            f"invalid fault spec {spec!r}: kind must be one of {FAULT_KINDS}"
+        )
+    knobs: Dict[str, float] = {}
+    if suffix.strip():
+        for item in suffix.split(","):
+            key, separator, value = item.partition("=")
+            key = key.strip()
+            if not separator or not value.strip():
+                raise SimulationError(
+                    f"invalid fault spec {spec!r}: expected key=value, got {item!r}"
+                )
+            if key not in ("every", "at", "probability", "delay_ms", "times", "seed"):
+                raise SimulationError(
+                    f"invalid fault spec {spec!r}: unknown key {key!r} (expected "
+                    "every, at, probability, delay_ms, times or seed)"
+                )
+            try:
+                knobs[key] = float(value.strip())
+            except ValueError:
+                raise SimulationError(
+                    f"invalid fault spec {spec!r}: {key}={value.strip()!r} "
+                    "is not a number"
+                ) from None
+    if not any(key in knobs for key in ("every", "at", "probability")):
+        knobs["every"] = 1.0
+    return FaultRule(
+        kind=kind,
+        every=int(knobs["every"]) if "every" in knobs else None,
+        at=int(knobs["at"]) if "at" in knobs else None,
+        probability=knobs.get("probability"),
+        delay_s=knobs["delay_ms"] / 1e3 if "delay_ms" in knobs else None,
+        times=int(knobs["times"]) if "times" in knobs else None,
+        seed=int(knobs.get("seed", 0)),
+    )
+
+
+class FaultInjector:
+    """Seeded, deterministic fault source one worker pool consults per dispatch.
+
+    Thread-safe: dispatch threads race on ``next_action()``, which assigns
+    each caller a unique 1-based dispatch index under a lock and evaluates
+    the rules in registration order (first match wins).  With no rules —
+    the production default — the pool skips the injector entirely, so the
+    no-fault path pays nothing.
+    """
+
+    def __init__(
+        self, rules: Optional[Iterable[Union[str, FaultRule]]] = None
+    ) -> None:
+        self.rules: List[FaultRule] = [parse_fault_spec(rule) for rule in rules or ()]
+        self._lock = threading.Lock()
+        self._dispatches = 0
+        self._injected: Counter = Counter()
+
+    def next_action(self) -> Optional[FaultAction]:
+        """Advance the dispatch counter; return the fault to inject, if any."""
+        with self._lock:
+            self._dispatches += 1
+            index = self._dispatches
+            for rule in self.rules:
+                if rule.matches(index):
+                    rule.fired += 1
+                    self._injected[rule.kind] += 1
+                    return rule.action()
+        return None
+
+    @property
+    def dispatches(self) -> int:
+        with self._lock:
+            return self._dispatches
+
+    def snapshot(self) -> Dict[str, object]:
+        """Injection counters for telemetry (kind → times fired)."""
+        with self._lock:
+            return {
+                "dispatches": self._dispatches,
+                "injected": dict(sorted(self._injected.items())),
+                "rules": len(self.rules),
+            }
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker
+# ---------------------------------------------------------------------------
+
+#: Circuit breaker states.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class CircuitBreakerPolicy:
+    """Tunable thresholds of the per-model circuit breaker.
+
+    The breaker opens when, over the last ``window`` batch outcomes (with at
+    least ``min_samples`` recorded), the failure fraction reaches
+    ``failure_threshold``.  While open, admissions are shed for
+    ``recovery_s``; the breaker then half-opens and ``half_open_successes``
+    consecutive clean batches close it again (any failure re-opens it and
+    restarts the recovery clock).
+    """
+
+    failure_threshold: float = 0.5
+    window: int = 8
+    min_samples: int = 2
+    recovery_s: float = 5.0
+    half_open_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.failure_threshold <= 1.0):
+            raise SimulationError(
+                f"failure_threshold must be in (0, 1], got {self.failure_threshold}"
+            )
+        if self.window < 1:
+            raise SimulationError(f"window must be >= 1, got {self.window}")
+        if not (1 <= self.min_samples <= self.window):
+            raise SimulationError(
+                f"min_samples must be in [1, window={self.window}], "
+                f"got {self.min_samples}"
+            )
+        if self.recovery_s < 0:
+            raise SimulationError(f"recovery_s must be >= 0, got {self.recovery_s}")
+        if self.half_open_successes < 1:
+            raise SimulationError(
+                f"half_open_successes must be >= 1, got {self.half_open_successes}"
+            )
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure-rate breaker with injectable clock."""
+
+    def __init__(
+        self,
+        policy: Optional[CircuitBreakerPolicy] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.policy = policy or CircuitBreakerPolicy()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._outcomes: List[bool] = []  # rolling window, True = success
+        self._opened_at: Optional[float] = None
+        self._half_open_streak = 0
+        self._times_opened = 0
+        self._rejections = 0
+
+    # ------------------------------------------------------------------ admission
+    def allow(self) -> bool:
+        """Whether one request may be admitted right now.
+
+        Transitions open → half-open when the recovery window has elapsed.
+        A rejected admission is counted (the ``rejections`` telemetry).
+        """
+        with self._lock:
+            if self._state == BREAKER_OPEN:
+                assert self._opened_at is not None
+                if self._clock() - self._opened_at >= self.policy.recovery_s:
+                    self._state = BREAKER_HALF_OPEN
+                    self._half_open_streak = 0
+                else:
+                    self._rejections += 1
+                    return False
+            return True
+
+    def retry_after_s(self) -> float:
+        """Seconds until the breaker would half-open (0 when not open)."""
+        with self._lock:
+            if self._state != BREAKER_OPEN or self._opened_at is None:
+                return 0.0
+            remaining = self.policy.recovery_s - (self._clock() - self._opened_at)
+            return max(0.0, remaining)
+
+    # ------------------------------------------------------------------ outcomes
+    def record_success(self) -> None:
+        with self._lock:
+            self._push(True)
+            if self._state == BREAKER_HALF_OPEN:
+                self._half_open_streak += 1
+                if self._half_open_streak >= self.policy.half_open_successes:
+                    self._state = BREAKER_CLOSED
+                    self._outcomes.clear()
+                    self._opened_at = None
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._push(False)
+            if self._state == BREAKER_HALF_OPEN:
+                self._trip()
+                return
+            if self._state == BREAKER_CLOSED:
+                samples = len(self._outcomes)
+                failures = samples - sum(self._outcomes)
+                if (
+                    samples >= self.policy.min_samples
+                    and failures / samples >= self.policy.failure_threshold
+                ):
+                    self._trip()
+
+    def _push(self, success: bool) -> None:
+        self._outcomes.append(success)
+        if len(self._outcomes) > self.policy.window:
+            del self._outcomes[: len(self._outcomes) - self.policy.window]
+
+    def _trip(self) -> None:
+        self._state = BREAKER_OPEN
+        self._opened_at = self._clock()
+        self._times_opened += 1
+        self._half_open_streak = 0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def state(self) -> str:
+        with self._lock:
+            # Surface the lapsed-recovery transition without requiring an
+            # admission attempt first.
+            if (
+                self._state == BREAKER_OPEN
+                and self._opened_at is not None
+                and self._clock() - self._opened_at >= self.policy.recovery_s
+            ):
+                return BREAKER_HALF_OPEN
+            return self._state
+
+    def snapshot(self) -> Dict[str, object]:
+        state = self.state
+        with self._lock:
+            samples = len(self._outcomes)
+            failures = samples - sum(self._outcomes)
+            return {
+                "state": state,
+                "window_samples": samples,
+                "window_failures": failures,
+                "failure_rate": failures / samples if samples else 0.0,
+                "times_opened": self._times_opened,
+                "rejections": self._rejections,
+                "retry_after_s": (
+                    max(
+                        0.0,
+                        self.policy.recovery_s - (self._clock() - self._opened_at),
+                    )
+                    if self._state == BREAKER_OPEN and self._opened_at is not None
+                    else 0.0
+                ),
+            }

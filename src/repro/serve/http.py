@@ -49,13 +49,13 @@ HTTP unchanged (``python -m repro loadgen --url ...``).
 from __future__ import annotations
 
 import base64
+import http.client
 import io
 import json
+import random
 import threading
 import time
-import urllib.error
 import urllib.parse
-import urllib.request
 from concurrent.futures import Future, ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
@@ -64,7 +64,9 @@ import numpy as np
 
 from repro.errors import (
     BadRequestError,
+    CircuitOpenError,
     QueueOverflowError,
+    RequestTimeoutError,
     ServeError,
     UnknownModelError,
 )
@@ -311,20 +313,36 @@ class _ServeHTTPHandler(BaseHTTPRequestHandler):
         if isinstance(error, UnknownModelError):
             return 404  # the model name addresses a resource, like a path
         if isinstance(error, ServeError):
-            return 503  # lifecycle: shapes are validated before submit()
+            # Includes CircuitOpenError: breaker shed-load is 503 with a
+            # Retry-After header (see _send_error), like lifecycle errors.
+            return 503
         return 500
 
-    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload, default=_json_default).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error(self, status: int, error: BaseException) -> None:
+        headers = None
+        retry_after_s = getattr(error, "retry_after_s", None)
+        if retry_after_s is not None:
+            # Whole seconds, rounded up: the client must not come back early.
+            headers = {"Retry-After": str(max(1, int(-(-float(retry_after_s) // 1))))}
         self._send_json(
-            status, {"error": str(error), "type": type(error).__name__}
+            status,
+            {"error": str(error), "type": type(error).__name__},
+            headers=headers,
         )
 
 
@@ -416,11 +434,26 @@ class ServeHTTPServer:
         return f"http://{host}:{self.port}"
 
     def health(self) -> Dict[str, object]:
+        """The ``/healthz`` body: legacy summary plus live/ready/degraded.
+
+        ``status`` stays ``"ok"`` on a healthy server (probes and older
+        callers key on it); it reads ``"degraded"`` while a model is
+        recovering and ``"down"`` when nothing can admit traffic.
+        """
         uptime = (
             time.monotonic() - self._started_ts if self._started_ts is not None else 0.0
         )
+        levels = self.server.health_levels()
+        if levels["live"] and levels["ready"]:
+            status = "degraded" if levels["degraded"] else "ok"
+        else:
+            status = "down"
         return {
-            "status": "ok",
+            "status": status,
+            "live": levels["live"],
+            "ready": levels["ready"],
+            "degraded": levels["degraded"],
+            "model_health": levels["models"],
             "network": self.server.network.name,
             "input_shape": list(self.server.network.input_shape.as_tuple()),
             "executor": str(self.server.executor),
@@ -458,8 +491,23 @@ class HTTPInferenceClient:
     pool, one HTTP request per inference), and ``stats()`` fetches the remote
     telemetry snapshot.  HTTP errors are mapped back onto the serve exception
     hierarchy (429 → :class:`QueueOverflowError`, 400 →
-    :class:`BadRequestError`, anything else → :class:`ServeError`), so
-    shed-load accounting works unchanged over the wire.
+    :class:`BadRequestError`, breaker shed 503 → :class:`CircuitOpenError`,
+    anything else → :class:`ServeError`), so shed-load accounting works
+    unchanged over the wire.
+
+    **Timeouts.**  ``connect_timeout_s`` bounds the TCP connect,
+    ``timeout_s`` bounds each socket read after that (a hung server surfaces
+    as :class:`~repro.errors.RequestTimeoutError` instead of blocking the
+    caller forever).
+
+    **Retries.**  Transient failures — connection errors, timeouts and 503s
+    (the server restarting a replica, or a breaker shedding load) — are
+    retried up to ``max_retries`` times with jittered exponential backoff;
+    a ``Retry-After`` header, when the server sends one, overrides the
+    computed delay.  Inference is pure and admission is idempotent, so
+    retrying a ``POST /v1/infer`` cannot change the result.  Definite
+    rejections (400, 404, 429) are never retried: shed-load accounting
+    requires every 429 to surface exactly once.
     """
 
     def __init__(
@@ -469,57 +517,167 @@ class HTTPInferenceClient:
         max_connections: int = 16,
         encoding: str = "json",
         model: Optional[str] = None,
+        connect_timeout_s: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        retry_backoff_max_s: float = 2.0,
+        retry_seed: int = 0,
+        sleep=time.sleep,
     ) -> None:
         if encoding not in ENCODINGS:
             raise ServeError(
                 f"unknown payload encoding {encoding!r}: expected one of {ENCODINGS}"
             )
+        if max_retries < 0:
+            raise ServeError(f"max_retries must be >= 0, got {max_retries}")
         self.base_url = url.rstrip("/")
+        parts = urllib.parse.urlsplit(self.base_url)
+        if parts.scheme not in ("http", "https") or parts.hostname is None:
+            raise ServeError(
+                f"invalid server URL {url!r}: expected http[s]://host[:port]"
+            )
+        self._scheme = parts.scheme
+        self._host = parts.hostname
+        self._port = parts.port
+        self._path_prefix = parts.path.rstrip("/")
         self.timeout_s = float(timeout_s)
+        self.connect_timeout_s = (
+            self.timeout_s if connect_timeout_s is None else float(connect_timeout_s)
+        )
+        self.max_retries = int(max_retries)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.retry_backoff_max_s = float(retry_backoff_max_s)
         self.encoding = encoding
         #: Default model name sent with every request (None = server default).
         self.model = model
+        self._sleep = sleep
+        self._retry_rng = random.Random(retry_seed)
+        self._retry_lock = threading.Lock()
+        self._retries_performed = 0
         self._executor = ThreadPoolExecutor(
             max_workers=max_connections, thread_name_prefix="http-client"
         )
 
     # ------------------------------------------------------------------ transport
+    @property
+    def retries_performed(self) -> int:
+        """Total transport retries this client has made (telemetry)."""
+        with self._retry_lock:
+            return self._retries_performed
+
     def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        """One API call with bounded, jittered, Retry-After-aware retries."""
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except ServeError as error:
+                if not getattr(error, "_retryable", False) or attempt >= self.max_retries:
+                    raise
+                delay = getattr(error, "retry_after_s", None)
+                if not delay:
+                    delay = min(
+                        self.retry_backoff_s * (2**attempt), self.retry_backoff_max_s
+                    )
+                    delay *= 0.5 + 0.5 * self._retry_rng.random()  # jitter
+                attempt += 1
+                with self._retry_lock:
+                    self._retries_performed += 1
+                self._sleep(float(delay))
+
+    def _request_once(self, method: str, path: str, payload: Optional[dict]) -> dict:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=body,
-            method=method,
-            headers={"Content-Type": "application/json"} if body else {},
+        connection_cls = (
+            http.client.HTTPSConnection
+            if self._scheme == "https"
+            else http.client.HTTPConnection
+        )
+        connection = connection_cls(
+            self._host, self._port, timeout=self.connect_timeout_s
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
-                return json.loads(response.read())
-        except urllib.error.HTTPError as error:
-            raise self._mapped_error(error) from error
-        except urllib.error.URLError as error:
+            try:
+                connection.connect()
+            except (TimeoutError, OSError) as error:
+                raise self._transport_error("connect to", error) from error
+            # Separate read budget: the connect timeout guarded the dial,
+            # everything after runs on the per-read timeout.
+            if connection.sock is not None:
+                connection.sock.settimeout(self.timeout_s)
+            try:
+                connection.request(
+                    method,
+                    self._path_prefix + path,
+                    body=body,
+                    headers={"Content-Type": "application/json"} if body else {},
+                )
+                response = connection.getresponse()
+                status = response.status
+                reason = response.reason
+                retry_after = response.getheader("Retry-After")
+                raw = response.read()
+            except (TimeoutError, OSError, http.client.HTTPException) as error:
+                raise self._transport_error("read from", error) from error
+        finally:
+            connection.close()
+        if status >= 400:
+            raise self._mapped_error(status, reason, raw, retry_after)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as error:
             raise ServeError(
-                f"cannot reach inference server at {self.base_url}: {error.reason}"
+                f"invalid JSON response from {self.base_url}: {error}"
             ) from error
 
+    def _transport_error(self, stage: str, error: BaseException) -> ServeError:
+        if isinstance(error, TimeoutError):
+            mapped: ServeError = RequestTimeoutError(
+                f"timed out trying to {stage} inference server at "
+                f"{self.base_url} ({self.connect_timeout_s if 'connect' in stage else self.timeout_s} s)"
+            )
+        else:
+            mapped = ServeError(
+                f"cannot {stage} inference server at {self.base_url}: {error}"
+            )
+        mapped._retryable = True  # type: ignore[attr-defined]
+        return mapped
+
     @staticmethod
-    def _mapped_error(error: urllib.error.HTTPError) -> ServeError:
+    def _mapped_error(
+        status: int, reason: str, raw: bytes, retry_after: Optional[str]
+    ) -> ServeError:
         detail = ""
         error_type = ""
         try:
-            body = json.loads(error.read())
+            body = json.loads(raw)
             detail = body.get("error", "")
             error_type = body.get("type", "")
         except Exception:
             pass
-        message = f"HTTP {error.code}: {detail or error.reason}"
-        if error.code == 429:
+        message = f"HTTP {status}: {detail or reason}"
+        retry_after_s: Optional[float] = None
+        if retry_after is not None:
+            try:
+                retry_after_s = max(0.0, float(retry_after))
+            except ValueError:
+                pass
+        if status == 429:
             return QueueOverflowError(message)
-        if error.code == 400:
+        if status == 400:
             return BadRequestError(message)
-        if error.code == 404 and error_type == "UnknownModelError":
+        if status == 404 and error_type == "UnknownModelError":
             return UnknownModelError(message)
-        return ServeError(message)
+        if status == 503 and error_type == "CircuitOpenError":
+            error: ServeError = CircuitOpenError(
+                message, retry_after_s=retry_after_s or 1.0
+            )
+        else:
+            error = ServeError(message)
+            if retry_after_s is not None:
+                error.retry_after_s = retry_after_s  # type: ignore[attr-defined]
+        if status == 503:
+            error._retryable = True  # type: ignore[attr-defined]
+        return error
 
     # ------------------------------------------------------------------ API
     def _resolve_model(self, model: Optional[str]) -> Optional[str]:

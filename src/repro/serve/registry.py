@@ -17,8 +17,8 @@ hosted models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Union
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -30,6 +30,13 @@ from repro.serve.batcher import (
     AnalyticalCostModel,
     FlushPolicy,
     make_flush_policy,
+)
+from repro.serve.faults import (
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    FaultInjector,
+    FaultRule,
+    parse_fault_spec,
 )
 from repro.serve.workers import (
     EngineReplicaSpec,
@@ -64,6 +71,21 @@ class ModelDefinition:
     warmup: bool = True
     min_replicas: Optional[int] = None
     max_replicas: Optional[int] = None
+    #: Per-dispatch answer budget (see ``EngineWorkerPool``); ``None`` waits
+    #: forever — hung process replicas are then only caught by injection tests.
+    dispatch_timeout_s: Optional[float] = None
+    #: Dispatch attempts per micro-batch before ``ReplicaFailureError``.
+    max_attempts: int = 3
+    #: Exponential replica-restart backoff bounds.
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    #: Circuit-breaker thresholds; ``None`` disables the breaker.
+    breaker: Optional[CircuitBreakerPolicy] = None
+    #: Fault-injection rules (spec strings or ``FaultRule``\ s) or a prebuilt
+    #: injector; ``None`` (the default) serves without any injection.
+    faults: Optional[Union[FaultInjector, Sequence[Union[str, FaultRule]]]] = field(
+        default=None
+    )
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name.strip():
@@ -85,6 +107,19 @@ class ModelDefinition:
                 f"min_replicas ({self.min_replicas}) must not exceed "
                 f"max_replicas ({self.max_replicas})"
             )
+        if self.breaker is not None and not isinstance(
+            self.breaker, CircuitBreakerPolicy
+        ):
+            raise SimulationError(
+                "breaker must be a CircuitBreakerPolicy (or None), got "
+                f"{type(self.breaker).__name__}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultInjector):
+            # Validate the rule spellings eagerly so a typo fails at
+            # registration, not on the Nth dispatch.
+            self.faults = list(self.faults)
+            for rule in self.faults:
+                parse_fault_spec(rule)
 
     @property
     def input_shape(self) -> tuple:
@@ -117,6 +152,20 @@ class ModelDefinition:
             slo_s=self.slo_s,
             cost_model=cost_model,
         )
+
+    def build_breaker(self) -> Optional[CircuitBreaker]:
+        """This model's circuit breaker (``None`` when not configured)."""
+        if self.breaker is None:
+            return None
+        return CircuitBreaker(self.breaker)
+
+    def build_fault_injector(self) -> Optional[FaultInjector]:
+        """This model's fault injector (``None`` when no rules configured)."""
+        if self.faults is None:
+            return None
+        if isinstance(self.faults, FaultInjector):
+            return self.faults
+        return FaultInjector(self.faults)
 
 
 class ModelRegistry:

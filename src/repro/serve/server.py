@@ -48,10 +48,11 @@ import numpy as np
 
 from repro.config.chip import ChipConfig
 from repro.crossbar.noise import CrossbarNoiseModel
-from repro.errors import ServeError
+from repro.errors import CircuitOpenError, ServeError
 from repro.nn.network import Network
 from repro.serve.autoscaler import Autoscaler, AutoscalerPolicy
 from repro.serve.batcher import FlushPolicy, MicroBatcher, ServeRequest
+from repro.serve.faults import BREAKER_CLOSED, BREAKER_OPEN, CircuitBreaker
 from repro.serve.registry import ModelDefinition, ModelRegistry
 from repro.serve.telemetry import ServeTelemetry
 from repro.serve.workers import EngineWorkerPool, ExecutorSpec
@@ -77,6 +78,7 @@ class _ModelRuntime:
             on_flush=self.telemetry.record_flush,
         )
         self._on_response = on_response
+        self.breaker: Optional[CircuitBreaker] = definition.build_breaker()
 
         # Replica range: per-model bounds override the autoscaler defaults;
         # without an autoscaler the executor's count is simply fixed.
@@ -113,7 +115,14 @@ class _ModelRuntime:
             initial = max(self.min_replicas, min(initial, self.max_replicas))
             executor = ExecutorSpec(executor.kind, initial)
         self.pool = EngineWorkerPool(
-            self.definition.replica_spec(), executor, max_count=self.max_replicas
+            self.definition.replica_spec(),
+            executor,
+            max_count=self.max_replicas,
+            dispatch_timeout_s=self.definition.dispatch_timeout_s,
+            max_attempts=self.definition.max_attempts,
+            backoff_base_s=self.definition.backoff_base_s,
+            backoff_max_s=self.definition.backoff_max_s,
+            fault_injector=self.definition.build_fault_injector(),
         )
         self._inflight = threading.BoundedSemaphore(2 * self.max_replicas)
         self._dispatcher = threading.Thread(
@@ -121,18 +130,45 @@ class _ModelRuntime:
         )
         self._dispatcher.start()
 
-    def stop(self) -> None:
-        self.batcher.close()
+    def stop(self, drain: bool = True) -> None:
+        """Stop this model: close admission, run down the dispatch loop.
+
+        ``drain=True`` (graceful) finishes every queued request first;
+        ``drain=False`` fails the still-queued requests immediately
+        (in-flight batches complete either way — replicas are not killed).
+        """
+        self.batcher.close(drain=drain)
         if self._dispatcher is not None:
             self._dispatcher.join()
         if self.pool is not None:
             self.pool.close()
+
+    # ------------------------------------------------------------------ health
+    def health(self) -> str:
+        """This model's health level: ``ok`` / ``degraded`` / ``down``.
+
+        ``down`` means the breaker is open (admissions are shed);
+        ``degraded`` means recovery is in progress — a replica restart, a
+        run of consecutive dispatch failures, or a half-open breaker still
+        probing.  Both resolve back to ``ok`` on clean traffic.
+        """
+        if self.breaker is not None and self.breaker.state == BREAKER_OPEN:
+            return "down"
+        if self.breaker is not None and self.breaker.state != BREAKER_CLOSED:
+            return "degraded"
+        if self.pool is not None:
+            faults = self.pool.fault_statistics()
+            if faults["restarting"] or faults["consecutive_failures"]:
+                return "degraded"
+        return "ok"
 
     # ------------------------------------------------------------------ stats
     def stats(self) -> Dict[str, object]:
         """This model's SLO telemetry plus pool and scaling state."""
         pool_stats = self.pool.statistics() if self.pool is not None else {}
         return {
+            "health": self.health(),
+            "breaker": self.breaker.snapshot() if self.breaker is not None else None,
             "model": self.name,
             "network": self.definition.network.name,
             "executor": str(self.definition.executor),
@@ -200,7 +236,13 @@ class _ModelRuntime:
     ) -> None:
         now = time.monotonic()
         self.telemetry.record_batch(len(batch), now - dispatch_ts)
-        if not isinstance(outcome, BaseException):
+        if isinstance(outcome, BaseException):
+            self.telemetry.record_batch_failure(len(batch))
+            if self.breaker is not None:
+                self.breaker.record_failure()
+        else:
+            if self.breaker is not None:
+                self.breaker.record_success()
             # Feed the flush policy so adaptive batching can calibrate its
             # wall-clock service-time scale from real dispatches.
             self.batcher.observe_batch(len(batch), now - dispatch_ts)
@@ -409,15 +451,22 @@ class InferenceServer:
             self._autoscaler.start()
         return self
 
-    def stop(self) -> None:
-        """Drain queued requests, resolve their futures, shut the pools down."""
+    def stop(self, drain: bool = True) -> None:
+        """Stop serving and shut the pools down.
+
+        ``drain=True`` (the default, and the graceful path) finishes every
+        queued request and resolves its future before tearing anything down;
+        ``drain=False`` fails still-queued requests immediately (in-flight
+        batches complete either way).  The autoscaler loop joins first, so
+        no resize races the teardown.
+        """
         if not self._started or self._stopped:
             return
         self._stopped = True
         if self._autoscaler is not None:
             self._autoscaler.stop()
         for runtime in self._runtimes.values():
-            runtime.stop()
+            runtime.stop(drain=drain)
 
     def __enter__(self) -> "InferenceServer":
         return self.start() if not self._started else self
@@ -444,6 +493,14 @@ class InferenceServer:
         if not self._started or self._stopped:
             raise ServeError("server is not running (call start() before submit())")
         runtime = self._runtime(model)
+        if runtime.breaker is not None and not runtime.breaker.allow():
+            runtime.telemetry.record_shed()
+            raise CircuitOpenError(
+                f"model {runtime.name!r} is shedding load: circuit breaker is "
+                "open after repeated batch failures",
+                retry_after_s=max(1.0, runtime.breaker.retry_after_s()),
+                model=runtime.name,
+            )
         image = np.asarray(image, dtype=float)
         if image.shape != runtime.input_shape:
             raise ServeError(
@@ -481,6 +538,27 @@ class InferenceServer:
         """Current replica count of ``model`` (default model when ``None``)."""
         runtime = self._runtime(model)
         return runtime.pool.count if runtime.pool is not None else 0
+
+    # ------------------------------------------------------------------ health
+    def health_levels(self) -> Dict[str, object]:
+        """Kubernetes-style live / ready / degraded health summary.
+
+        * **live** — the server process is up (started and not stopped).
+        * **ready** — live and at least one hosted model is admitting
+          requests (its breaker is not open), i.e. traffic can be served.
+        * **degraded** — some model is not ``ok``: a breaker open or
+          half-open, a replica restarting, or a failure streak in progress.
+        """
+        live = self._started and not self._stopped
+        models = {name: runtime.health() for name, runtime in self._runtimes.items()}
+        ready = live and any(level != "down" for level in models.values())
+        degraded = live and any(level != "ok" for level in models.values())
+        return {
+            "live": bool(live),
+            "ready": bool(ready),
+            "degraded": bool(degraded),
+            "models": models,
+        }
 
     # ------------------------------------------------------------------ stats
     def models(self) -> List[Dict[str, object]]:

@@ -74,6 +74,9 @@ class ServeTelemetry:
         self._queue_depth_max = 0
         self._admitted = 0
         self._rejected = 0
+        self._shed = 0
+        self._requests_failed = 0
+        self._batches_failed = 0
         self._scale_events: Deque[Dict[str, object]] = deque(maxlen=MAX_SCALE_EVENTS)
         self._scale_ups = 0
         self._scale_downs = 0
@@ -100,6 +103,24 @@ class ServeTelemetry:
         with self._lock:
             self._touch(self._clock())
             self._rejected += 1
+
+    def record_shed(self) -> None:
+        """One request was shed by the circuit breaker (no queue contact)."""
+        with self._lock:
+            self._touch(self._clock())
+            self._shed += 1
+
+    def record_batch_failure(self, size: int) -> None:
+        """One micro-batch of ``size`` requests failed permanently.
+
+        The requests' futures resolve with the error; they are counted here
+        (not in the latency samples) so ``requests_failed`` +
+        ``requests_completed`` accounts for every delivered outcome.
+        """
+        with self._lock:
+            self._touch(self._clock())
+            self._batches_failed += 1
+            self._requests_failed += int(size)
 
     def record_flush(self, reason: str, size: int) -> None:
         """One micro-batch of ``size`` requests flushed because of ``reason``."""
@@ -165,6 +186,9 @@ class ServeTelemetry:
             service_time_s = self._service_time_s
             admitted = self._admitted
             rejected = self._rejected
+            shed = self._shed
+            requests_failed = self._requests_failed
+            batches_failed = self._batches_failed
             depth_sum = self._queue_depth_sum
             depth_samples = self._queue_depth_samples
             depth_max = self._queue_depth_max
@@ -181,7 +205,10 @@ class ServeTelemetry:
         snapshot: Dict[str, object] = {
             "requests_admitted": admitted,
             "requests_rejected": rejected,
+            "requests_shed": shed,
             "requests_completed": completed,
+            "requests_failed": requests_failed,
+            "batches_failed": batches_failed,
             "window_s": window_s,
             "throughput_rps": completed / window_s if window_s > 0 else 0.0,
             "batches": num_batches,

@@ -27,18 +27,35 @@ from __future__ import annotations
 
 import os
 import queue
+import signal
 import threading
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from collections import Counter
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.config.chip import ChipConfig
 from repro.core.inference import FunctionalInferenceEngine
 from repro.crossbar.noise import CrossbarNoiseModel
-from repro.errors import ServeError, SimulationError
+from repro.errors import (
+    CorruptResultError,
+    ReplicaCrashError,
+    ReplicaFailureError,
+    ReplicaTimeoutError,
+    ServeError,
+    SimulationError,
+)
 from repro.nn.network import Network
+from repro.serve.faults import FaultAction, FaultInjector
 
 #: Executor kinds understood by :func:`parse_executor_spec`.
 EXECUTOR_KINDS = ("serial", "thread", "process")
@@ -200,17 +217,40 @@ def _process_worker_init(spec: EngineReplicaSpec) -> None:
     _WORKER_BASELINE = _WORKER_ENGINE.accelerator.functional_statistics()
 
 
-def _process_worker_run(images: np.ndarray) -> Tuple[int, np.ndarray, Dict[str, object]]:
+def _poison_outputs(outputs: np.ndarray) -> np.ndarray:
+    """NaN-poison a copy of ``outputs`` (the ``corrupt`` fault payload)."""
+    poisoned = np.array(outputs, dtype=float, copy=True)
+    poisoned.reshape(-1)[0] = np.nan
+    return poisoned
+
+
+def _process_worker_run(
+    images: np.ndarray, fault: Optional[FaultAction] = None
+) -> Tuple[int, np.ndarray, Dict[str, object]]:
     """Run one micro-batch on this process's replica.
 
     Returns ``(pid, outputs, stats)`` — the traffic-only functional
     statistics snapshot (start-up baseline subtracted) rides along with every
     result so the parent can aggregate per-replica counters without a
     separate round-trip.
+
+    ``fault`` (injected chaos, see :mod:`repro.serve.faults`) is applied
+    *here*, inside the worker process, so an injected ``crash`` is a real
+    SIGKILL mid-batch (the parent sees ``BrokenProcessPool``, exactly like a
+    genuine OOM kill), ``hang``/``slow`` stall the worker for real, and
+    ``corrupt`` returns NaN-poisoned outputs for the parent's validation to
+    catch.
     """
     if _WORKER_ENGINE is None:  # pragma: no cover - initializer always ran
         raise ServeError("process worker used before initialization")
+    if fault is not None:
+        if fault.kind == "crash":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif fault.kind in ("hang", "slow"):
+            time.sleep(fault.delay_s)
     outputs = _WORKER_ENGINE.run_batch(images)
+    if fault is not None and fault.kind == "corrupt":
+        outputs = _poison_outputs(outputs)
     stats = subtract_functional_statistics(
         _WORKER_ENGINE.accelerator.functional_statistics(), _WORKER_BASELINE
     )
@@ -235,7 +275,16 @@ def merge_functional_statistics(snapshots: List[Dict[str, object]]) -> Dict[str,
 
 
 class _LocalReplica:
-    """One in-process engine replica (``serial`` / ``thread`` executors)."""
+    """One in-process engine replica (``serial`` / ``thread`` executors).
+
+    A thread cannot be SIGKILLed or interrupted mid-``run_batch``, so the
+    ``crash`` and ``hang`` faults are *simulated* here: a crash raises
+    :class:`~repro.errors.ReplicaCrashError` before touching the engine, and
+    a hang sleeps (bounded by the dispatch timeout) then raises
+    :class:`~repro.errors.ReplicaTimeoutError` — the same exceptions the
+    supervision layer sees from a real process-replica death or timeout, so
+    every retry/restart path is exercised without a process executor.
+    """
 
     def __init__(self, spec: EngineReplicaSpec) -> None:
         self.engine = spec.build()
@@ -243,13 +292,36 @@ class _LocalReplica:
         # accumulated is baseline, not served work.
         self.baseline = self.engine.accelerator.functional_statistics()
 
-    def run(self, images: np.ndarray) -> np.ndarray:
-        return self.engine.run_batch(images)
+    def run(
+        self,
+        images: np.ndarray,
+        timeout_s: Optional[float] = None,
+        fault: Optional[FaultAction] = None,
+    ) -> np.ndarray:
+        if fault is not None:
+            if fault.kind == "crash":
+                raise ReplicaCrashError("injected crash (in-process replica)")
+            if fault.kind == "hang":
+                stall = fault.delay_s if timeout_s is None else min(fault.delay_s, timeout_s)
+                time.sleep(stall)
+                raise ReplicaTimeoutError(
+                    f"injected hang: replica stalled past the "
+                    f"{timeout_s if timeout_s is not None else fault.delay_s} s budget"
+                )
+            if fault.kind == "slow":
+                time.sleep(fault.delay_s)
+        outputs = self.engine.run_batch(images)
+        if fault is not None and fault.kind == "corrupt":
+            outputs = _poison_outputs(outputs)
+        return outputs
 
     def statistics_delta(self) -> Dict[str, object]:
         return subtract_functional_statistics(
             self.engine.accelerator.functional_statistics(), self.baseline
         )
+
+    def kill(self) -> None:
+        pass
 
     def close(self) -> None:
         pass
@@ -273,13 +345,42 @@ class _ProcessReplica:
         )
         self._stats_sink = stats_sink
 
-    def run(self, images: np.ndarray) -> np.ndarray:
-        pid, outputs, stats = self._executor.submit(_process_worker_run, images).result()
+    def run(
+        self,
+        images: np.ndarray,
+        timeout_s: Optional[float] = None,
+        fault: Optional[FaultAction] = None,
+    ) -> np.ndarray:
+        future = self._executor.submit(_process_worker_run, images, fault)
+        try:
+            pid, outputs, stats = future.result(timeout=timeout_s)
+        except FuturesTimeoutError:
+            # The worker is hung (or just too slow): it stays checked out of
+            # the free list, so the supervisor can kill and replace it
+            # without racing a late result.
+            raise ReplicaTimeoutError(
+                f"process replica did not answer within {timeout_s} s"
+            ) from None
         self._stats_sink(pid, stats)
         return outputs
 
     def statistics_delta(self) -> Optional[Dict[str, object]]:
         return None  # reported through the pid-keyed sink instead
+
+    def pids(self) -> List[int]:
+        """Live worker PIDs (empty until the lazy first dispatch forks)."""
+        processes = getattr(self._executor, "_processes", None) or {}
+        return [proc.pid for proc in list(processes.values()) if proc.pid is not None]
+
+    def kill(self) -> None:
+        """Hard-stop the worker process (used when it is hung or broken)."""
+        processes = getattr(self._executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:
+                pass
+        self._executor.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:
         self._executor.shutdown(wait=True)
@@ -299,6 +400,30 @@ class EngineWorkerPool:
     max_count:
         Upper bound for :meth:`resize` (head-room the autoscaler can grow
         into).  Defaults to the executor's replica count, i.e. a fixed pool.
+    dispatch_timeout_s:
+        Per-dispatch answer budget.  A process replica that does not return
+        within it is declared hung, hard-killed and replaced; ``None`` (the
+        default) waits forever.  In-process replicas cannot be interrupted,
+        so for ``thread`` pools the budget only bounds *injected* hangs.
+    max_attempts:
+        Dispatch attempts per micro-batch before it fails permanently with
+        :class:`~repro.errors.ReplicaFailureError`.  Inference is pure, so a
+        retried batch re-executes bitwise identically on the fresh replica.
+    backoff_base_s, backoff_max_s:
+        Exponential restart backoff: the ``k``-th consecutive replica failure
+        waits ``min(backoff_base_s * 2**(k-1), backoff_max_s)`` before the
+        replacement replica is built (a crash-looping workload must not
+        hot-spin rebuilds).  A successful batch resets the streak.
+    fault_injector:
+        Optional :class:`~repro.serve.faults.FaultInjector` consulted once
+        per dispatch.  ``None`` (the default) skips injection entirely.
+    validate_outputs:
+        Reject non-finite (NaN/Inf) replica outputs as
+        :class:`~repro.errors.CorruptResultError`, which counts as a replica
+        failure and triggers the same replace-and-retry path.
+    sleep:
+        Injectable backoff sleeper (tests pass a recorder to assert the
+        exponential schedule without waiting it out).
 
     :meth:`submit` dispatches one micro-batch to one free replica and returns
     a future of the (batch, num_outputs) result; :meth:`run_batch_sharded`
@@ -306,6 +431,14 @@ class EngineWorkerPool:
     input order; :meth:`resize` grows or shrinks the replica set at runtime
     (``thread`` / ``process`` kinds), draining each retiring replica —
     waiting for its in-flight batch — before tearing it down.
+
+    **Supervision.**  A replica that crashes (``BrokenProcessPool``), hangs
+    past ``dispatch_timeout_s``, or returns corrupted outputs is *retired* —
+    never returned to the free list, which is the invariant that keeps one
+    dead process from poisoning the pool — and replaced in place (the pool's
+    ``count`` never changes during a restart, so a concurrent ``resize()``
+    neither double-counts nor retires the recovering slot).  The failed
+    batch is re-dispatched to another replica up to ``max_attempts`` times.
     """
 
     def __init__(
@@ -313,6 +446,14 @@ class EngineWorkerPool:
         replica: EngineReplicaSpec,
         executor: Union[str, int, ExecutorSpec] = "serial",
         max_count: Optional[int] = None,
+        *,
+        dispatch_timeout_s: Optional[float] = None,
+        max_attempts: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        fault_injector: Optional[FaultInjector] = None,
+        validate_outputs: bool = True,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.replica = replica
         self.spec = parse_executor_spec(executor)
@@ -320,6 +461,21 @@ class EngineWorkerPool:
         self.max_count = (
             self.count if max_count is None else max(self.count, int(max_count))
         )
+        if dispatch_timeout_s is not None and dispatch_timeout_s <= 0:
+            raise SimulationError(
+                f"dispatch_timeout_s must be > 0 (or None), got {dispatch_timeout_s}"
+            )
+        if int(max_attempts) < 1:
+            raise SimulationError(f"max_attempts must be >= 1, got {max_attempts}")
+        if backoff_base_s < 0 or backoff_max_s < 0:
+            raise SimulationError("backoff_base_s and backoff_max_s must be >= 0")
+        self.dispatch_timeout_s = dispatch_timeout_s
+        self.max_attempts = int(max_attempts)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.validate_outputs = bool(validate_outputs)
+        self._injector = fault_injector
+        self._sleep = sleep
         self._closed = False
         self._replicas: List[object] = []
         self._free: "queue.SimpleQueue[object]" = queue.SimpleQueue()
@@ -332,6 +488,17 @@ class EngineWorkerPool:
         self._dispatch: Optional[ThreadPoolExecutor] = None
         self._process_stats: Dict[int, Dict[str, object]] = {}
         self._process_stats_lock = threading.Lock()
+        # Supervision bookkeeping (kept off the no-fault hot path: a clean
+        # dispatch touches none of this beyond one unlocked streak read).
+        self._fault_lock = threading.Lock()
+        self._failure_counts: Counter = Counter()
+        self._retry_histogram: Counter = Counter()
+        self._restarts = 0
+        self._restarting = 0
+        self._batches_failed = 0
+        self._batches_recovered = 0
+        self._consecutive_failures = 0
+        self._last_backoff_s = 0.0
 
         for _ in range(self.count):
             handle = self._build_replica()
@@ -370,11 +537,170 @@ class EngineWorkerPool:
         return future
 
     def _checkout_run(self, images: np.ndarray) -> np.ndarray:
-        handle = self._free.get()
-        try:
-            return handle.run(images)
-        finally:
+        attempt = 0
+        while True:
+            handle = self._free.get()
+            action = self._injector.next_action() if self._injector is not None else None
+            try:
+                outputs = handle.run(
+                    images, timeout_s=self.dispatch_timeout_s, fault=action
+                )
+                if self.validate_outputs and not np.all(np.isfinite(outputs)):
+                    raise CorruptResultError(
+                        "replica returned non-finite outputs (NaN/Inf); "
+                        "result dropped and replica replaced"
+                    )
+            except (
+                ReplicaCrashError,
+                ReplicaTimeoutError,
+                CorruptResultError,
+                BrokenExecutor,
+            ) as error:
+                # Replica fault: the handle is never returned to the free
+                # list (a broken process pool would poison every later
+                # dispatch) — it is retired and replaced, and the batch is
+                # re-dispatched while the attempt budget lasts.
+                attempt += 1
+                self._record_replica_failure(error)
+                try:
+                    self._replace_replica(handle)
+                except Exception as rebuild_error:
+                    self._record_batch_failed()
+                    raise ReplicaFailureError(
+                        f"replica restart failed after {type(error).__name__} "
+                        f"({error}): {rebuild_error}",
+                        attempts=attempt,
+                        last_error=error,
+                    ) from error
+                if attempt >= self.max_attempts:
+                    self._record_batch_failed()
+                    raise ReplicaFailureError(
+                        f"micro-batch failed after {attempt} dispatch "
+                        f"attempt(s); last error: {type(error).__name__}: {error}",
+                        attempts=attempt,
+                        last_error=error,
+                    ) from error
+                continue
+            except BaseException:
+                # Not a replica fault (e.g. a malformed batch): the replica
+                # is healthy, so return it and surface the error unchanged.
+                self._free.put(handle)
+                raise
             self._free.put(handle)
+            self._record_batch_success(attempt)
+            return outputs
+
+    # ------------------------------------------------------------------ supervision
+    def _record_replica_failure(self, error: BaseException) -> None:
+        with self._fault_lock:
+            self._failure_counts[type(error).__name__] += 1
+
+    def _record_batch_failed(self) -> None:
+        with self._fault_lock:
+            self._batches_failed += 1
+
+    def _record_batch_success(self, attempt: int) -> None:
+        if attempt == 0 and self._consecutive_failures == 0:
+            return  # clean dispatch on a healthy pool: nothing to record
+        with self._fault_lock:
+            if attempt:
+                self._batches_recovered += 1
+                self._retry_histogram[attempt] += 1
+            self._consecutive_failures = 0
+
+    def _replace_replica(self, failed: object) -> None:
+        """Retire ``failed`` and install a fresh replica in its slot.
+
+        The swap is in place under ``_structure_lock``, so ``count`` is
+        constant throughout — a concurrent ``resize()`` sees a full-strength
+        pool and can neither double-count the recovering slot nor retire it
+        (only free-listed replicas are eligible for scale-down, and the
+        failed handle is checked out).  The exponential backoff runs on the
+        failing dispatch thread; healthy replicas keep serving meanwhile.
+        """
+        with self._fault_lock:
+            self._consecutive_failures += 1
+            streak = self._consecutive_failures
+            self._restarting += 1
+        try:
+            delta = None
+            try:
+                delta = failed.statistics_delta()
+            except Exception:
+                pass  # a dead process replica has no readable counters
+            try:
+                failed.kill()
+            except Exception:
+                pass
+            backoff = min(
+                self.backoff_base_s * (2 ** (streak - 1)), self.backoff_max_s
+            )
+            with self._fault_lock:
+                self._last_backoff_s = backoff
+            if backoff > 0:
+                self._sleep(backoff)
+            if self._closed:
+                with self._structure_lock:
+                    if failed in self._replicas:
+                        self._replicas.remove(failed)
+                        self.count = len(self._replicas)
+                raise ServeError("worker pool closed during replica restart")
+            replacement = self._build_replica()
+            with self._structure_lock:
+                if delta:
+                    self._retired_stats.append(delta)
+                try:
+                    index = self._replicas.index(failed)
+                except ValueError:
+                    self._replicas.append(replacement)
+                else:
+                    self._replicas[index] = replacement
+                self.count = len(self._replicas)
+            self._free.put(replacement)
+            with self._fault_lock:
+                self._restarts += 1
+        finally:
+            with self._fault_lock:
+                self._restarting -= 1
+
+    @property
+    def restarting(self) -> int:
+        """Replica restarts in progress (the autoscaler defers scale-down)."""
+        with self._fault_lock:
+            return self._restarting
+
+    def replica_pids(self) -> List[int]:
+        """Worker PIDs of live process replicas (empty for local kinds)."""
+        with self._structure_lock:
+            handles = list(self._replicas)
+        pids: List[int] = []
+        for handle in handles:
+            getter = getattr(handle, "pids", None)
+            if getter is not None:
+                pids.extend(getter())
+        return pids
+
+    def fault_statistics(self) -> Dict[str, object]:
+        """Supervision counters: failures, restarts, retries, injection."""
+        with self._fault_lock:
+            stats: Dict[str, object] = {
+                "dispatch_timeout_s": self.dispatch_timeout_s,
+                "max_attempts": self.max_attempts,
+                "replica_failures": dict(sorted(self._failure_counts.items())),
+                "replica_restarts": self._restarts,
+                "restarting": self._restarting,
+                "batches_failed": self._batches_failed,
+                "batches_recovered": self._batches_recovered,
+                "retry_histogram": {
+                    int(k): v for k, v in sorted(self._retry_histogram.items())
+                },
+                "consecutive_failures": self._consecutive_failures,
+                "last_backoff_s": self._last_backoff_s,
+            }
+        stats["injection"] = (
+            self._injector.snapshot() if self._injector is not None else None
+        )
+        return stats
 
     # ------------------------------------------------------------------ resize
     @property
@@ -467,6 +793,7 @@ class EngineWorkerPool:
         merged = merge_functional_statistics([s for s in snapshots if s])
         merged["replicas"] = self.count
         merged["executor"] = str(self.spec)
+        merged["faults"] = self.fault_statistics()
         return merged
 
     # ------------------------------------------------------------------ lifecycle

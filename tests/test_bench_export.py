@@ -35,7 +35,7 @@ def test_export_writes_schema_ci_uploads(export_json_module, tmp_path, capsys):
     assert "wrote" in capsys.readouterr().out
     payload = json.loads(output.read_text())
 
-    assert set(payload) == {"meta", "serving", "sharding"}
+    assert set(payload) == {"meta", "serving", "robustness", "sharding"}
     assert payload["meta"]["workload"] == "lenet5"
     for scenario in ("batch_1", "dynamic_batching"):
         burst = payload["serving"][scenario]
@@ -45,6 +45,13 @@ def test_export_writes_schema_ci_uploads(export_json_module, tmp_path, capsys):
         assert burst["bitwise_match_vs_run_batch"] is True
         assert sum(burst["flush_reasons"].values()) >= 1
     assert payload["serving"]["batching_speedup"] > 0
+    robustness = payload["robustness"]
+    assert robustness["injected"] == {"crash": 1}
+    assert robustness["replica_restarts"] == 1
+    assert robustness["batches_recovered"] == 1
+    assert robustness["batches_failed"] == 0
+    assert robustness["requests_failed"] == 0
+    assert robustness["bitwise_match_vs_run_batch"] is True
     sharding = payload["sharding"]
     assert sharding["thread:2"]["bitwise_match_vs_serial"] is True
     assert sharding["speedup_thread_vs_serial"] > 0
@@ -64,6 +71,7 @@ def test_ci_workflow_runs_every_lane():
         "python -m pytest -x -q",
         "python -m pytest -q -m docs",
         "python -m pytest -q -m serving",
+        "python -m pytest -q -m chaos",
         "python -m pytest -q benchmarks -m smoke",
         "python benchmarks/export_json.py --output BENCH_serving.json",
         "ruff check .",

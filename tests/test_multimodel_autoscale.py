@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from types import SimpleNamespace
 
 import numpy as np
 import pytest
@@ -27,16 +28,19 @@ from repro.core.inference import FunctionalInferenceEngine, generate_random_weig
 from repro.errors import ServeError, SimulationError, UnknownModelError
 from repro.nn import build_lenet5, build_mlp
 from repro.serve import (
+    Autoscaler,
     AutoscalerPolicy,
     AutoscalerState,
     EngineReplicaSpec,
     EngineWorkerPool,
+    FaultInjector,
     HTTPInferenceClient,
     InferenceServer,
     LoadGenerator,
     ModelDefinition,
     ModelRegistry,
     ServeHTTPServer,
+    ServeTelemetry,
     mixed_model_schedule,
     poisson_arrivals,
 )
@@ -247,6 +251,103 @@ class TestPoolResize:
             assert pool.resize(2) == 2
             assert np.array_equal(pool.run_batch_sharded(images), direct)
             assert pool.statistics()["replicas"] == 2
+
+
+class TestResizeDuringRestart:
+    """Replica supervision must not fight the autoscaler (PR 6 invariant)."""
+
+    class _FakePool:
+        """Just enough pool surface for the control loop: counters, no engines."""
+
+        def __init__(self, count=2):
+            self.count = count
+            self.restarting = 0
+            self.resizable = True
+            self.resize_calls = []
+
+        def resize(self, target, drain_timeout_s=None):
+            self.resize_calls.append(target)
+            self.count = target
+            return target
+
+    def _runtime(self, pool):
+        return SimpleNamespace(
+            pool=pool,
+            batcher=SimpleNamespace(depth=0),
+            telemetry=ServeTelemetry(),
+            min_replicas=1,
+            max_replicas=4,
+        )
+
+    def test_scale_down_deferred_while_replica_restarts(self):
+        policy = AutoscalerPolicy(
+            min_replicas=1, max_replicas=4, cooldown_s=1.0, interval_s=0.01
+        )
+        now = [0.0]
+        pool = self._FakePool(count=2)
+        runtime = self._runtime(pool)
+        scaler = Autoscaler({"m": runtime}, policy, clock=lambda: now[0])
+        # synthetic idle trace: depth stays 0, the cooldown elapses at t=1.5
+        assert scaler.evaluate_model("m", runtime) is None  # starts the timer
+        now[0] = 1.5
+        pool.restarting = 1  # a supervisor restart is in flight
+        assert scaler.evaluate_model("m", runtime) is None
+        assert pool.resize_calls == []  # held, not applied
+        assert pool.count == 2
+        # once the restart lands, the next elapsed cooldown applies the step
+        pool.restarting = 0
+        now[0] = 3.0
+        assert scaler.evaluate_model("m", runtime) == 1
+        assert pool.resize_calls == [1]
+
+    def test_scale_up_is_not_deferred_by_a_restart(self):
+        policy = AutoscalerPolicy(
+            min_replicas=1, max_replicas=4, scale_up_queue_depth=3, sustain_s=0.5
+        )
+        now = [0.0]
+        pool = self._FakePool(count=2)
+        pool.restarting = 1
+        runtime = self._runtime(pool)
+        runtime.batcher.depth = 8  # sustained overload
+        scaler = Autoscaler({"m": runtime}, policy, clock=lambda: now[0])
+        assert scaler.evaluate_model("m", runtime) is None  # sustain window
+        now[0] = 1.0
+        # growing while a slot recovers only helps the backlog: not held
+        assert scaler.evaluate_model("m", runtime) == 3
+        assert pool.resize_calls == [3]
+
+    def test_real_pool_resize_during_restart_keeps_inventory(self, lenet_workload):
+        """``resize()`` racing a supervisor restart must neither double-count
+        the recovering slot nor retire it (the failed handle is checked out,
+        so only healthy free-listed replicas are eligible)."""
+        network, weights, config, images, direct = lenet_workload
+        replica = EngineReplicaSpec(network=network, weights=weights, config=config)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gated_sleep(_delay):
+            entered.set()
+            assert release.wait(timeout=30.0)
+
+        with EngineWorkerPool(
+            replica, "thread:2", max_count=3,
+            fault_injector=FaultInjector(["crash:at=1"]),
+            backoff_base_s=0.01, sleep=gated_sleep,
+        ) as pool:
+            future = pool.submit(images)
+            assert entered.wait(timeout=30.0)  # supervisor is mid-restart
+            assert pool.restarting == 1
+            assert pool.count == 2  # the recovering slot still counts
+            # growing during the restart builds one replica on top of the
+            # full-strength fleet — the recovering slot is not double-counted
+            assert pool.resize(3) == 3
+            release.set()
+            assert np.array_equal(future.result(timeout=60), direct)
+            assert pool.restarting == 0
+            assert pool.count == 3
+            assert pool.fault_statistics()["replica_restarts"] == 1
+            # every replica is healthy and serving after the dust settles
+            assert np.array_equal(pool.run_batch_sharded(images), direct)
 
 
 # ---------------------------------------------------------------------------
