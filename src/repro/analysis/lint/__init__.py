@@ -1,0 +1,39 @@
+"""Project-specific static analysis (``python -m repro lint``).
+
+Importing this package registers the RPR1xx rules; the public surface is the
+framework's registry/runner/reporters plus the rule classes themselves.
+"""
+
+from repro.analysis.lint import rules as rules
+from repro.analysis.lint.framework import (
+    PARSE_ERROR_CODE,
+    RULE_REGISTRY,
+    Finding,
+    LintReport,
+    Rule,
+    format_json,
+    format_text,
+    iter_python_files,
+    lint_file,
+    lint_source,
+    register_rule,
+    rule_catalogue,
+    run_lint,
+)
+
+__all__ = [
+    "PARSE_ERROR_CODE",
+    "RULE_REGISTRY",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "format_json",
+    "format_text",
+    "iter_python_files",
+    "lint_file",
+    "lint_source",
+    "register_rule",
+    "rule_catalogue",
+    "rules",
+    "run_lint",
+]

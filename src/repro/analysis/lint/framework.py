@@ -1,0 +1,298 @@
+"""The lint framework: rule registry, file walker, suppressions, reporters.
+
+Rules are small :class:`Rule` subclasses registered under a stable ``RPR1xx``
+code via :func:`register_rule`.  Each rule receives a parsed ``ast`` tree and
+yields :class:`Finding` records; the framework handles path scoping,
+``# repro: noqa[CODE]`` suppressions, ``--select`` filtering and the text /
+JSON output formats.  The rules themselves live in
+:mod:`repro.analysis.lint.rules`.
+
+Suppression syntax (checked on the finding's source line)::
+
+    something_flagged()  # repro: noqa[RPR103]
+    something_flagged()  # repro: noqa[RPR103,RPR105]
+    something_flagged()  # repro: noqa
+
+A bare ``noqa`` suppresses every code on that line; the bracketed form only
+the listed codes.  Suppressed findings are kept (with ``suppressed=True``) so
+reporters can show them and tests can assert a suppression is still needed.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "RULE_REGISTRY",
+    "format_json",
+    "format_text",
+    "iter_python_files",
+    "lint_file",
+    "lint_source",
+    "register_rule",
+    "rule_catalogue",
+    "run_lint",
+]
+
+#: Matches ``# repro: noqa`` and ``# repro: noqa[RPR101,RPR105]``.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
+
+#: Pseudo-code used for files the parser rejects.
+PARSE_ERROR_CODE = "RPR100"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule fired at ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    suppressed: bool = False
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        return [finding for finding in self.findings if not finding.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for finding in self.unsuppressed:
+            tally[finding.code] = tally.get(finding.code, 0) + 1
+        return dict(sorted(tally.items()))
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`code` (stable ``RPR1xx`` identifier), :attr:`name`
+    (short kebab-case summary), :attr:`rationale` (one sentence shown in the
+    catalogue) and optionally :attr:`scope` — directory names the rule is
+    restricted to (matched against the file's path parts; empty = all files).
+    """
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+    scope: Tuple[str, ...] = ()
+
+    def applies_to(self, path: Path) -> bool:
+        if not self.scope:
+            return True
+        parts = set(path.parts)
+        return any(directory in parts for directory in self.scope)
+
+    def check(
+        self, tree: ast.AST, source_lines: Sequence[str], path: Path
+    ) -> Iterator[Tuple[int, int, str]]:
+        """Yield ``(line, col, message)`` for every violation in ``tree``."""
+
+        raise NotImplementedError
+
+
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``cls`` to :data:`RULE_REGISTRY` by code."""
+
+    if not cls.code:
+        raise ConfigurationError(f"rule {cls.__name__} has no code")
+    if cls.code in RULE_REGISTRY:
+        raise ConfigurationError(f"duplicate rule code {cls.code}")
+    RULE_REGISTRY[cls.code] = cls
+    return cls
+
+
+def rule_catalogue() -> List[Dict[str, str]]:
+    """The registered rules as ``{code, name, rationale, scope}`` rows."""
+
+    return [
+        {
+            "code": code,
+            "name": cls.name,
+            "rationale": cls.rationale,
+            "scope": ", ".join(cls.scope) if cls.scope else "all files",
+        }
+        for code, cls in sorted(RULE_REGISTRY.items())
+    ]
+
+
+def _resolve_select(select: Optional[Iterable[str]]) -> List[Type[Rule]]:
+    if select is None:
+        return [RULE_REGISTRY[code] for code in sorted(RULE_REGISTRY)]
+    rules = []
+    for code in select:
+        code = code.strip().upper()
+        if code not in RULE_REGISTRY:
+            known = ", ".join(sorted(RULE_REGISTRY))
+            raise ConfigurationError(f"unknown rule code {code!r} (known: {known})")
+        rules.append(RULE_REGISTRY[code])
+    return rules
+
+
+def _noqa_codes(line_text: str) -> Optional[set]:
+    """Codes suppressed on this line: ``set()`` means "all", None means none."""
+
+    match = _NOQA_RE.search(line_text)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if codes is None:
+        return set()
+    return {code.strip().upper() for code in codes.split(",") if code.strip()}
+
+
+def _is_suppressed(code: str, line: int, source_lines: Sequence[str]) -> bool:
+    if not 1 <= line <= len(source_lines):
+        return False
+    codes = _noqa_codes(source_lines[line - 1])
+    if codes is None:
+        return False
+    return not codes or code in codes
+
+
+def lint_source(
+    source: str,
+    path: "Path | str",
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint ``source`` as if it lived at ``path`` (the unit used by tests)."""
+
+    path = Path(path)
+    display = str(path)
+    source_lines = source.splitlines()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=display,
+                line=int(error.lineno or 1),
+                col=int(error.offset or 0),
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    findings: List[Finding] = []
+    for rule_cls in _resolve_select(select):
+        rule = rule_cls()
+        if not rule.applies_to(path):
+            continue
+        for line, col, message in rule.check(tree, source_lines, path):
+            findings.append(
+                Finding(
+                    path=display,
+                    line=line,
+                    col=col,
+                    code=rule.code,
+                    message=message,
+                    suppressed=_is_suppressed(rule.code, line, source_lines),
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def lint_file(path: Path, select: Optional[Iterable[str]] = None) -> List[Finding]:
+    return lint_source(path.read_text(encoding="utf-8"), path, select=select)
+
+
+def iter_python_files(paths: Iterable["Path | str"]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted."""
+
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            yield from sorted(entry.rglob("*.py"))
+        elif entry.suffix == ".py":
+            yield entry
+        else:
+            raise ConfigurationError(f"not a python file or directory: {entry}")
+
+
+def run_lint(
+    paths: Iterable["Path | str"],
+    select: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint every python file under ``paths`` and collect one report."""
+
+    report = LintReport()
+    for path in iter_python_files(paths):
+        report.files_scanned += 1
+        report.findings.extend(lint_file(path, select=select))
+    return report
+
+
+def format_text(report: LintReport, show_suppressed: bool = False) -> str:
+    """Human-readable report: one ``path:line:col CODE message`` per finding."""
+
+    lines = []
+    for finding in report.unsuppressed:
+        lines.append(f"{finding.location()} {finding.code} {finding.message}")
+    if show_suppressed:
+        for finding in report.suppressed:
+            lines.append(
+                f"{finding.location()} {finding.code} {finding.message} [suppressed]"
+            )
+    counts = report.counts()
+    summary = (
+        "clean: no unsuppressed findings"
+        if not counts
+        else "findings: " + ", ".join(f"{code}={n}" for code, n in counts.items())
+    )
+    lines.append(
+        f"{report.files_scanned} file(s) scanned, "
+        f"{len(report.unsuppressed)} finding(s), "
+        f"{len(report.suppressed)} suppressed — {summary}"
+    )
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    """Machine-readable report (stable schema, ``version`` bumped on change)."""
+
+    payload = {
+        "version": 1,
+        "files_scanned": report.files_scanned,
+        "counts": report.counts(),
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "code": finding.code,
+                "message": finding.message,
+                "suppressed": finding.suppressed,
+            }
+            for finding in report.findings
+        ],
+        "rules": rule_catalogue(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,571 @@
+"""The project-specific lint rules (RPR101–RPR106).
+
+Each rule encodes an invariant this reproduction actually depends on —
+determinism of the datapath, monotonic timing, lock discipline in the serving
+stack — rather than general style.  See ``docs/static-analysis.md`` for the
+catalogue with rationale and the suppression policy.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint.framework import Rule, register_rule
+
+__all__ = [
+    "BlockingCallUnderLockRule",
+    "BroadExceptSwallowRule",
+    "ThreadSharedMutationRule",
+    "UnnamedThreadRule",
+    "UnseededRngRule",
+    "WallClockDurationRule",
+]
+
+#: Directories that hold the deterministic numeric datapath.
+DATAPATH_DIRS = ("crossbar", "core", "nn", "electronics", "photonics")
+
+#: ``numpy.random`` attributes that are *not* the stateful module-level RNG.
+_NUMPY_RANDOM_SAFE = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+    "RandomState",  # explicit instance construction, takes a seed
+}
+
+#: ``random`` module functions that draw from the hidden global RNG.
+_RANDOM_GLOBAL_FNS = {
+    "betavariate",
+    "choice",
+    "choices",
+    "expovariate",
+    "gammavariate",
+    "gauss",
+    "getrandbits",
+    "lognormvariate",
+    "normalvariate",
+    "paretovariate",
+    "randbytes",
+    "randint",
+    "random",
+    "randrange",
+    "sample",
+    "seed",
+    "shuffle",
+    "triangular",
+    "uniform",
+    "vonmisesvariate",
+    "weibullvariate",
+}
+
+#: Method names that mutate common containers in place (for RPR106).
+_MUTATOR_METHODS = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "move_to_end",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "setdefault",
+    "update",
+}
+
+
+def _collect_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Map local names to the dotted import path they refer to.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from time import sleep`` -> ``{"sleep": "time.sleep"}``.
+    """
+
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                aliases[name.asname or name.name.split(".")[0]] = (
+                    name.name if name.asname else name.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for name in node.names:
+                aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _resolve_call(node: ast.Call, aliases: Dict[str, str]) -> Optional[str]:
+    """The fully-qualified dotted path of ``node``'s callee, if resolvable."""
+
+    dotted = _dotted_name(node.func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    root = aliases.get(head, head)
+    return f"{root}.{rest}" if rest else root
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The last identifier of a Name/Attribute chain (``a.b.c`` -> ``c``)."""
+
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_lockish_name(name: Optional[str]) -> bool:
+    """Heuristic: attribute names that denote a mutex or condition variable."""
+
+    if not name:
+        return False
+    lowered = name.lower()
+    if "clock" in lowered:
+        return False
+    return "lock" in lowered or "cond" in lowered or "mutex" in lowered
+
+
+@register_rule
+class UnseededRngRule(Rule):
+    """RPR101: the datapath's determinism contract forbids unseeded RNGs."""
+
+    code = "RPR101"
+    name = "unseeded-rng-in-datapath"
+    rationale = (
+        "Bitwise-equivalence tests rely on every noise source being derived "
+        "from an explicit seed; a module-level or unseeded RNG silently "
+        "breaks reproducibility."
+    )
+    scope = DATAPATH_DIRS
+
+    def check(
+        self, tree: ast.AST, source_lines: Sequence[str], path: Path
+    ) -> Iterator[Tuple[int, int, str]]:
+        aliases = _collect_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            full = _resolve_call(node, aliases)
+            if full is None:
+                continue
+            if full == "numpy.random.default_rng":
+                if not node.args and not node.keywords:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "np.random.default_rng() without a seed in a datapath "
+                        "module; pass an explicit seed or SeedSequence",
+                    )
+            elif full.startswith("numpy.random."):
+                tail = full.rsplit(".", 1)[1]
+                if tail not in _NUMPY_RANDOM_SAFE:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"module-level np.random.{tail}() uses the hidden "
+                        "global RNG; use a seeded Generator instead",
+                    )
+            elif full == "random.Random":
+                if not node.args and not node.keywords:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "random.Random() without a seed in a datapath module",
+                    )
+            elif full.startswith("random."):
+                tail = full.rsplit(".", 1)[1]
+                if tail in _RANDOM_GLOBAL_FNS:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"random.{tail}() uses the hidden global RNG; use a "
+                        "seeded random.Random instance instead",
+                    )
+
+
+@register_rule
+class WallClockDurationRule(Rule):
+    """RPR102: durations must come from a monotonic clock."""
+
+    code = "RPR102"
+    name = "wall-clock-for-durations"
+    rationale = (
+        "time.time() jumps on NTP adjustment; latency and timeout math in "
+        "the serving/core layers must use perf_counter or monotonic."
+    )
+    scope = ("serve", "core")
+
+    def check(
+        self, tree: ast.AST, source_lines: Sequence[str], path: Path
+    ) -> Iterator[Tuple[int, int, str]]:
+        aliases = _collect_aliases(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and _resolve_call(node, aliases) == "time.time":
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "time.time() in a timing-sensitive module; use "
+                    "time.perf_counter()/time.monotonic() for durations "
+                    "(suppress if wall-clock timestamps are genuinely needed)",
+                )
+
+
+class _WithLockVisitor(ast.NodeVisitor):
+    """Tracks the stack of enclosing ``with <lock>:`` context expressions."""
+
+    def __init__(self) -> None:
+        self.lock_stack: List[ast.AST] = []
+
+    def _lock_items(self, node: ast.With) -> List[ast.AST]:
+        return [
+            item.context_expr
+            for item in node.items
+            if _is_lockish_name(_terminal_name(item.context_expr))
+        ]
+
+    def visit_With(self, node: ast.With) -> None:
+        locks = self._lock_items(node)
+        self.lock_stack.extend(locks)
+        self.generic_visit(node)
+        del self.lock_stack[len(self.lock_stack) - len(locks) :]
+
+    # Nested functions run later, on a different stack — not "inside" the with.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        saved, self.lock_stack = self.lock_stack, []
+        self.generic_visit(node)
+        self.lock_stack = saved
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        saved, self.lock_stack = self.lock_stack, []
+        self.generic_visit(node)
+        self.lock_stack = saved
+
+
+@register_rule
+class BlockingCallUnderLockRule(Rule):
+    """RPR103: no blocking calls while lexically holding a lock."""
+
+    code = "RPR103"
+    name = "blocking-call-under-lock"
+    rationale = (
+        "A sleep/join/queue-get/acquire/Future.result inside a `with lock:` "
+        "body stalls every thread contending for that lock and invites "
+        "deadlock; waiting belongs on the enclosing Condition, not inside a "
+        "foreign lock."
+    )
+
+    def check(
+        self, tree: ast.AST, source_lines: Sequence[str], path: Path
+    ) -> Iterator[Tuple[int, int, str]]:
+        aliases = _collect_aliases(tree)
+        findings: List[Tuple[int, int, str]] = []
+
+        def same_object(call_target: ast.AST, locks: List[ast.AST]) -> bool:
+            target_dump = ast.dump(call_target)
+            return any(ast.dump(lock) == target_dump for lock in locks)
+
+        class Visitor(_WithLockVisitor):
+            def visit_Call(self, node: ast.Call) -> None:
+                if self.lock_stack:
+                    reason = self._blocking_reason(node)
+                    if reason is not None:
+                        lock_name = (
+                            _terminal_name(self.lock_stack[-1]) or "<lock>"
+                        )
+                        findings.append(
+                            (
+                                node.lineno,
+                                node.col_offset,
+                                f"{reason} inside `with {lock_name}:` body; "
+                                "move the blocking call outside the lock",
+                            )
+                        )
+                self.generic_visit(node)
+
+            def _blocking_reason(self, node: ast.Call) -> Optional[str]:
+                full = _resolve_call(node, aliases)
+                terminal = _terminal_name(node.func)
+                if full == "time.sleep" or (terminal and "sleep" in terminal.lower()):
+                    return "sleep()"
+                if not isinstance(node.func, ast.Attribute):
+                    return None
+                attr = node.func.attr
+                value = node.func.value
+                if attr in ("wait", "wait_for", "acquire"):
+                    # Waiting on the *held* Condition releases it — that is
+                    # the one legitimate blocking call under a lock.
+                    if same_object(value, self.lock_stack):
+                        return None
+                    return f".{attr}() on another synchronizer"
+                if attr == "result":
+                    return "Future.result()"
+                if attr == "join":
+                    # Exclude ', '.join(...) and os.path.join(...).
+                    if isinstance(value, ast.Constant) and isinstance(
+                        value.value, str
+                    ):
+                        return None
+                    if _terminal_name(value) == "path":
+                        return None
+                    return ".join()"
+                if attr == "get":
+                    # dict.get(key) always takes a positional argument;
+                    # Queue.get() blocks with no args or block=/timeout= kwargs.
+                    if node.args:
+                        return None
+                    if not node.keywords or any(
+                        kw.arg in ("block", "timeout") for kw in node.keywords
+                    ):
+                        return "Queue.get()"
+                return None
+
+        Visitor().visit(tree)
+        return iter(findings)
+
+
+@register_rule
+class UnnamedThreadRule(Rule):
+    """RPR104: every thread needs a stable name and an explicit daemon flag."""
+
+    code = "RPR104"
+    name = "unnamed-or-implicit-daemon-thread"
+    rationale = (
+        "Sanitizer reports, crash logs and `py-spy` dumps are only "
+        "attributable when threads carry stable names; daemon-ness must be a "
+        "decision, not a default."
+    )
+
+    def check(
+        self, tree: ast.AST, source_lines: Sequence[str], path: Path
+    ) -> Iterator[Tuple[int, int, str]]:
+        aliases = _collect_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _resolve_call(node, aliases) != "threading.Thread":
+                continue
+            keywords = {kw.arg for kw in node.keywords if kw.arg}
+            missing = [kw for kw in ("name", "daemon") if kw not in keywords]
+            if missing:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "threading.Thread(...) without explicit "
+                    + " and ".join(f"{kw}=" for kw in missing),
+                )
+
+
+@register_rule
+class BroadExceptSwallowRule(Rule):
+    """RPR105: broad excepts must re-raise, narrow, or route the error on."""
+
+    code = "RPR105"
+    name = "broad-except-swallows-error"
+    rationale = (
+        "A bare `except Exception: pass` in a dispatch or supervision loop "
+        "turns real faults into silence; handlers must re-raise, narrow the "
+        "type, or hand the exception to telemetry/response routing."
+    )
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def _is_broad(self, node: Optional[ast.AST]) -> bool:
+        if node is None:
+            return True
+        if isinstance(node, ast.Tuple):
+            return any(self._is_broad(element) for element in node.elts)
+        return _terminal_name(node) in self._BROAD
+
+    def check(
+        self, tree: ast.AST, source_lines: Sequence[str], path: Path
+    ) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            reraises = any(
+                isinstance(child, ast.Raise)
+                for body_node in node.body
+                for child in ast.walk(body_node)
+            )
+            if reraises:
+                continue
+            routed = node.name is not None and any(
+                isinstance(child, ast.Name) and child.id == node.name
+                for body_node in node.body
+                for child in ast.walk(body_node)
+            )
+            if routed:
+                continue
+            label = (
+                "bare except:"
+                if node.type is None
+                else f"except {_terminal_name(node.type) or '...'}:"
+            )
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"{label} swallows the error (no re-raise, no narrowing, the "
+                "exception is never routed anywhere)",
+            )
+
+
+@register_rule
+class ThreadSharedMutationRule(Rule):
+    """RPR106: ``self._*`` mutations in ``@thread_shared`` classes need the lock.
+
+    Lexical analysis per method: a write to ``self._x`` (attribute assign,
+    subscript assign, augmented assign, or an in-place mutator call like
+    ``self._q.append``) must sit inside a ``with self.<lock>:`` block, where
+    ``<lock>`` is any lock-like attribute the class assigns.  ``__init__`` is
+    exempt (construction is single-threaded), as are methods whose names end
+    in ``_locked`` — the project convention for helpers whose callers hold
+    the lock.
+    """
+
+    code = "RPR106"
+    name = "unlocked-mutation-in-thread-shared-class"
+    rationale = (
+        "Classes marked @thread_shared are mutated from several threads; a "
+        "`self._x = ...` outside the class's lock is a data race even when "
+        "tests pass."
+    )
+
+    _EXEMPT_METHODS = ("__init__", "__post_init__")
+
+    def check(
+        self, tree: ast.AST, source_lines: Sequence[str], path: Path
+    ) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and self._is_thread_shared(node):
+                yield from self._check_class(node)
+
+    def _is_thread_shared(self, node: ast.ClassDef) -> bool:
+        for decorator in node.decorator_list:
+            if _terminal_name(decorator) == "thread_shared":
+                return True
+        return False
+
+    def _lock_attrs(self, node: ast.ClassDef) -> Set[str]:
+        locks: Set[str] = set()
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Assign):
+                continue
+            for target in child.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and _is_lockish_name(target.attr)
+                ):
+                    locks.add(target.attr)
+        return locks
+
+    def _check_class(
+        self, class_node: ast.ClassDef
+    ) -> Iterator[Tuple[int, int, str]]:
+        lock_attrs = self._lock_attrs(class_node)
+        findings: List[Tuple[int, int, str]] = []
+        class_name = class_node.name
+
+        def is_self_underscore(target: ast.AST) -> Optional[str]:
+            """``self._x`` (or ``self._x[...]``) -> ``_x``; else None."""
+
+            if isinstance(target, ast.Subscript):
+                target = target.value
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and target.attr.startswith("_")
+                and target.attr not in lock_attrs
+                and not _is_lockish_name(target.attr)
+            ):
+                return target.attr
+            return None
+
+        class Visitor(_WithLockVisitor):
+            def _under_class_lock(self) -> bool:
+                for lock_expr in self.lock_stack:
+                    if (
+                        isinstance(lock_expr, ast.Attribute)
+                        and isinstance(lock_expr.value, ast.Name)
+                        and lock_expr.value.id == "self"
+                        and lock_expr.attr in lock_attrs
+                    ):
+                        return True
+                return False
+
+            def _flag(self, node: ast.AST, attr: str, verb: str) -> None:
+                findings.append(
+                    (
+                        node.lineno,
+                        node.col_offset,
+                        f"{verb} of self.{attr} outside {class_name}'s lock "
+                        "(class is @thread_shared); hold the lock or move "
+                        "the write into a *_locked helper",
+                    )
+                )
+
+            def visit_Assign(self, node: ast.Assign) -> None:
+                if not self._under_class_lock():
+                    for target in node.targets:
+                        attr = is_self_underscore(target)
+                        if attr is not None:
+                            self._flag(node, attr, "assignment")
+                self.generic_visit(node)
+
+            def visit_AugAssign(self, node: ast.AugAssign) -> None:
+                if not self._under_class_lock():
+                    attr = is_self_underscore(node.target)
+                    if attr is not None:
+                        self._flag(node, attr, "augmented assignment")
+                self.generic_visit(node)
+
+            def visit_Call(self, node: ast.Call) -> None:
+                if (
+                    not self._under_class_lock()
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATOR_METHODS
+                ):
+                    attr = is_self_underscore(node.func.value)
+                    if attr is not None:
+                        self._flag(node, attr, f"in-place .{node.func.attr}()")
+                self.generic_visit(node)
+
+        for item in class_node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in self._EXEMPT_METHODS or item.name.endswith("_locked"):
+                continue
+            visitor = Visitor()
+            for statement in item.body:
+                visitor.visit(statement)
+        return iter(findings)

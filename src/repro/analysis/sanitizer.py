@@ -1,0 +1,407 @@
+"""Runtime concurrency sanitizer: lock-order tracking and deadlock detection.
+
+The static RPR1xx rules (:mod:`repro.analysis.lint`) catch what is visible in
+the source; this module catches what only shows up at runtime.  When active,
+the lock factory in :mod:`repro.concurrency` hands out :class:`SanitizedLock`
+/ :class:`SanitizedRLock` / :class:`SanitizedCondition` wrappers instead of
+the stdlib primitives.  Every wrapper records, per thread, which locks were
+already held at each acquisition and feeds the ``held -> acquired`` pairs into
+one process-global *lock-order graph*:
+
+* an edge ``A -> B`` means "some thread acquired ``B`` while holding ``A``";
+  the acquiring stack is kept for the first observation of each edge;
+* a cycle in that graph (``A -> B`` somewhere, ``B -> A`` somewhere else) is a
+  potential deadlock even if the schedules never actually collided — the
+  report includes both acquisition stacks so each site is attributable;
+* releasing a lock after more than ``held_threshold_s`` seconds records a
+  held-too-long warning (a latency smell, not an error).
+
+Activation is either environmental (``REPRO_SANITIZE=1``, honoured by the
+pytest fixture in ``tests/conftest.py`` so the ``serving`` and ``chaos`` lanes
+run fully sanitized) or programmatic (:func:`enable` / :func:`disable`).
+Wrappers are handed out at lock *creation* time, so enable the sanitizer
+before constructing the objects under test.
+
+Graph nodes are lock *names* (``"ClassName._attr"``), not instances: two
+instances of the same class share a node, because an A->B / B->A inversion
+across two instances of one lock site is the classic ABBA deadlock.
+Re-entrant re-acquisition of the *same instance* is recognised and never adds
+an edge.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro import concurrency
+from repro.errors import ConcurrencyError
+
+__all__ = [
+    "SanitizedCondition",
+    "SanitizedLock",
+    "SanitizedRLock",
+    "assert_clean",
+    "cycle_reports",
+    "disable",
+    "enable",
+    "held_too_long_reports",
+    "is_enabled",
+    "report",
+    "reset",
+]
+
+DEFAULT_HELD_THRESHOLD_S = 1.0
+
+#: Frames of the sanitizer itself to drop from recorded stacks.
+_INTERNAL_FRAMES = 2
+
+
+class _Held:
+    """One entry on a thread's held-lock stack."""
+
+    __slots__ = ("name", "obj_id", "since")
+
+    def __init__(self, name: str, obj_id: int, since: float) -> None:
+        self.name = name
+        self.obj_id = obj_id
+        self.since = since
+
+
+class _Graph:
+    """The process-global lock-order graph (guarded by a plain stdlib lock)."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.enabled = False
+        self.held_threshold_s = DEFAULT_HELD_THRESHOLD_S
+        # (from_name, to_name) -> {"stack": str, "thread": str, "count": int}
+        self.edges: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        self.adjacency: Dict[str, set] = {}
+        self.cycles: List[Dict[str, Any]] = []
+        self._cycle_keys: set = set()
+        self.held_too_long: List[Dict[str, Any]] = []
+        self.acquisitions = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def add_edge(self, from_name: str, to_name: str) -> None:
+        stack = _capture_stack()
+        thread_name = threading.current_thread().name
+        with self.lock:
+            info = self.edges.get((from_name, to_name))
+            if info is None:
+                self.edges[(from_name, to_name)] = {
+                    "stack": stack,
+                    "thread": thread_name,
+                    "count": 1,
+                }
+                self.adjacency.setdefault(from_name, set()).add(to_name)
+                self._check_cycle_locked(from_name, to_name)
+            else:
+                info["count"] += 1
+
+    def note_held_too_long(self, name: str, duration_s: float) -> None:
+        entry = {
+            "lock": name,
+            "duration_s": duration_s,
+            "threshold_s": self.held_threshold_s,
+            "thread": threading.current_thread().name,
+            "stack": _capture_stack(),
+        }
+        with self.lock:
+            self.held_too_long.append(entry)
+
+    # -- cycle detection ---------------------------------------------------
+
+    def _check_cycle_locked(self, from_name: str, to_name: str) -> None:
+        """After adding ``from_name -> to_name``, look for a path back.
+
+        A path ``to_name -> ... -> from_name`` closes a cycle.  The degenerate
+        ``from_name == to_name`` self-edge (two instances of one lock site
+        nested inside each other) is itself the two-instance ABBA hazard.
+        """
+
+        path = (
+            [to_name]
+            if from_name == to_name
+            else self._find_path_locked(to_name, from_name)
+        )
+        if path is None:
+            return
+        # ``path`` ends at ``from_name`` (and for a self-edge *is* just the
+        # single node), so drop the duplicate before closing the ring.
+        cycle_nodes = [from_name] + path[:-1]
+        edge_pairs = list(zip(cycle_nodes, cycle_nodes[1:] + [cycle_nodes[0]]))
+        key: FrozenSet[Tuple[str, str]] = frozenset(edge_pairs)
+        if key in self._cycle_keys:
+            return
+        self._cycle_keys.add(key)
+        edges = []
+        for pair in edge_pairs:
+            info = self.edges.get(pair, {})
+            edges.append(
+                {
+                    "from": pair[0],
+                    "to": pair[1],
+                    "thread": info.get("thread", "?"),
+                    "stack": info.get("stack", ""),
+                }
+            )
+        message_lines = [
+            "potential deadlock: lock-order cycle "
+            + " -> ".join(cycle_nodes + [cycle_nodes[0]])
+        ]
+        for edge in edges:
+            message_lines.append(
+                f"  edge {edge['from']} -> {edge['to']} "
+                f"(first seen on thread {edge['thread']}):"
+            )
+            message_lines.append(_indent(edge["stack"], "    "))
+        self.cycles.append(
+            {
+                "locks": cycle_nodes,
+                "edges": edges,
+                "message": "\n".join(message_lines),
+            }
+        )
+
+    def _find_path_locked(self, start: str, goal: str) -> Optional[List[str]]:
+        """Nodes from ``start`` to ``goal`` (inclusive) via edges, else None."""
+
+        stack = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for nxt in self.adjacency.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+
+_GRAPH = _Graph()
+_TLS = threading.local()
+
+
+def _capture_stack() -> str:
+    frames = traceback.format_stack()
+    return "".join(frames[:-_INTERNAL_FRAMES]).rstrip()
+
+
+def _indent(text: str, prefix: str) -> str:
+    return "\n".join(prefix + line for line in text.splitlines())
+
+
+def _held_stack() -> List[_Held]:
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = _TLS.stack = []
+    return stack
+
+
+def _before_acquire(lock: "_SanitizedBase") -> None:
+    """Record ``held -> lock`` edges (skipped for re-entrant re-acquisition)."""
+
+    stack = _held_stack()
+    for held in stack:
+        if held.obj_id == id(lock):
+            return
+    for held in stack:
+        _GRAPH.add_edge(held.name, lock.name)
+
+
+def _after_acquire(lock: "_SanitizedBase") -> None:
+    with _GRAPH.lock:
+        _GRAPH.acquisitions += 1
+    _held_stack().append(_Held(lock.name, id(lock), time.monotonic()))
+
+
+def _on_release(lock: "_SanitizedBase") -> None:
+    stack = _held_stack()
+    for index in range(len(stack) - 1, -1, -1):
+        if stack[index].obj_id == id(lock):
+            held = stack.pop(index)
+            duration = time.monotonic() - held.since
+            if duration > _GRAPH.held_threshold_s:
+                _GRAPH.note_held_too_long(lock.name, duration)
+            return
+
+
+class _SanitizedBase:
+    """Shared acquire/release bookkeeping for the wrapper types."""
+
+    _inner: Any
+
+    def __init__(self, name: str) -> None:
+        self.name = str(name)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        _before_acquire(self)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            _after_acquire(self)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        _on_release(self)
+
+    def __enter__(self) -> "_SanitizedBase":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SanitizedLock(_SanitizedBase):
+    """Instrumented drop-in for ``threading.Lock()``."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._inner = threading.Lock()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+
+class SanitizedRLock(_SanitizedBase):
+    """Instrumented drop-in for ``threading.RLock()``.
+
+    Re-entrant acquisitions push a second held entry (popped on the matching
+    release) but never add lock-order edges — :func:`_before_acquire` skips
+    instances already on the thread's held stack.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._inner = threading.RLock()
+
+
+class SanitizedCondition(_SanitizedBase):
+    """Instrumented drop-in for ``threading.Condition()``.
+
+    ``wait()`` releases the underlying mutex while blocked, so the held-stack
+    bookkeeping mirrors that: the entry is popped before waiting and pushed
+    again once the mutex is re-acquired on wake-up.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._inner = threading.Condition()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        _on_release(self)
+        try:
+            return self._inner.wait(timeout)
+        finally:
+            _before_acquire(self)
+            _after_acquire(self)
+
+    def wait_for(self, predicate, timeout: Optional[float] = None):
+        _on_release(self)
+        try:
+            return self._inner.wait_for(predicate, timeout)
+        finally:
+            _before_acquire(self)
+            _after_acquire(self)
+
+    def notify(self, n: int = 1) -> None:
+        self._inner.notify(n)
+
+    def notify_all(self) -> None:
+        self._inner.notify_all()
+
+
+# -- public control surface ------------------------------------------------
+
+
+def enable(held_threshold_s: Optional[float] = None) -> None:
+    """Start handing out instrumented locks from :mod:`repro.concurrency`.
+
+    Only affects locks created *after* this call; existing plain locks keep
+    running uninstrumented.
+    """
+
+    with _GRAPH.lock:
+        _GRAPH.enabled = True
+        if held_threshold_s is not None:
+            _GRAPH.held_threshold_s = float(held_threshold_s)
+    concurrency._ACTIVE = True
+
+
+def disable() -> None:
+    """Stop handing out instrumented locks (``REPRO_SANITIZE`` still wins)."""
+
+    with _GRAPH.lock:
+        _GRAPH.enabled = False
+        _GRAPH.held_threshold_s = DEFAULT_HELD_THRESHOLD_S
+    concurrency._ACTIVE = False
+
+
+def is_enabled() -> bool:
+    """True when new locks are being created instrumented."""
+
+    return concurrency.sanitize_active()
+
+
+def reset() -> None:
+    """Clear the lock-order graph and all recorded reports."""
+
+    with _GRAPH.lock:
+        _GRAPH.edges.clear()
+        _GRAPH.adjacency.clear()
+        _GRAPH.cycles.clear()
+        _GRAPH._cycle_keys.clear()
+        _GRAPH.held_too_long.clear()
+        _GRAPH.acquisitions = 0
+
+
+def cycle_reports() -> List[Dict[str, Any]]:
+    """All potential-deadlock reports recorded so far (oldest first)."""
+
+    with _GRAPH.lock:
+        return list(_GRAPH.cycles)
+
+
+def held_too_long_reports() -> List[Dict[str, Any]]:
+    """All held-too-long warnings recorded so far (oldest first)."""
+
+    with _GRAPH.lock:
+        return list(_GRAPH.held_too_long)
+
+
+def report() -> Dict[str, Any]:
+    """A JSON-friendly snapshot of everything the sanitizer observed."""
+
+    with _GRAPH.lock:
+        return {
+            "enabled": is_enabled(),
+            "acquisitions": _GRAPH.acquisitions,
+            "held_threshold_s": _GRAPH.held_threshold_s,
+            "edges": [
+                {"from": pair[0], "to": pair[1], **info}
+                for pair, info in sorted(_GRAPH.edges.items())
+            ],
+            "cycles": list(_GRAPH.cycles),
+            "held_too_long": list(_GRAPH.held_too_long),
+        }
+
+
+def assert_clean() -> None:
+    """Raise :class:`ConcurrencyError` if any lock-order cycle was recorded."""
+
+    cycles = cycle_reports()
+    if cycles:
+        raise ConcurrencyError(
+            f"{len(cycles)} potential deadlock(s) detected:\n"
+            + "\n\n".join(cycle["message"] for cycle in cycles)
+        )

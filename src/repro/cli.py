@@ -16,7 +16,9 @@ writing any Python:
 * ``loadgen``   — sweep open-/closed-loop load points against a fresh server
   per point (or a remote ``--url`` HTTP server) and print a
   throughput/latency table;
-* ``workloads`` — list the bundled CNN workload descriptions.
+* ``workloads`` — list the bundled CNN workload descriptions;
+* ``lint``      — run the project-specific static-analysis rules (RPR1xx)
+  over the package source (exit 1 on any unsuppressed finding).
 
 Examples
 --------
@@ -32,6 +34,7 @@ Examples
     python -m repro serve --network lenet5 --http 8080 --policy adaptive --slo-ms 50
     python -m repro loadgen --network lenet5 --mode closed --concurrency 1,2,4
     python -m repro loadgen --network lenet5 --url http://127.0.0.1:8080 --rates 250,500
+    python -m repro lint --format json --select RPR103,RPR106
 """
 
 from __future__ import annotations
@@ -57,30 +60,6 @@ from repro.analysis import (
     save_rows,
 )
 from repro.config import ChipConfig, SramConfig, default_sweep_chip
-from repro.core.inference import (
-    FunctionalInferenceEngine,
-    agreement_metrics,
-    generate_random_weights,
-)
-from repro.crossbar.noise import CrossbarNoiseModel
-from repro.errors import SimulationError
-from repro.serve import (
-    ARRIVAL_PROCESSES,
-    AutoscalerPolicy,
-    CircuitBreakerPolicy,
-    EngineReplicaSpec,
-    EngineWorkerPool,
-    ExecutorSpec,
-    HTTPInferenceClient,
-    InferenceServer,
-    LoadGenerator,
-    ModelRegistry,
-    POLICY_KINDS,
-    ServeHTTPServer,
-    mixed_model_schedule,
-    parse_executor_spec,
-    parse_fault_spec,
-)
 from repro.core import (
     DesignOptimizer,
     SimulationFramework,
@@ -88,6 +67,13 @@ from repro.core import (
     format_comparison_table,
     format_metrics_report,
 )
+from repro.core.inference import (
+    FunctionalInferenceEngine,
+    agreement_metrics,
+    generate_random_weights,
+)
+from repro.crossbar.noise import CrossbarNoiseModel
+from repro.errors import SimulationError
 from repro.nn import (
     Network,
     build_alexnet,
@@ -98,6 +84,23 @@ from repro.nn import (
     build_resnet34,
     build_resnet50,
     build_vgg16,
+)
+from repro.serve import (
+    ARRIVAL_PROCESSES,
+    POLICY_KINDS,
+    AutoscalerPolicy,
+    CircuitBreakerPolicy,
+    EngineReplicaSpec,
+    EngineWorkerPool,
+    ExecutorSpec,
+    HTTPInferenceClient,
+    InferenceServer,
+    LoadGenerator,
+    ModelRegistry,
+    ServeHTTPServer,
+    mixed_model_schedule,
+    parse_executor_spec,
+    parse_fault_spec,
 )
 
 #: Workload name -> builder mapping used by the ``--network`` option.
@@ -155,7 +158,7 @@ def _parse_workers(value: str) -> ExecutorSpec:
     try:
         return parse_executor_spec(value)
     except SimulationError as error:
-        raise argparse.ArgumentTypeError(str(error))
+        raise argparse.ArgumentTypeError(str(error)) from error
 
 
 def _sharding_execution(spec: ExecutorSpec) -> "str | int":
@@ -181,7 +184,7 @@ def build_network(name: str) -> Network:
     except KeyError:
         raise SystemExit(
             f"unknown network {name!r}; choose from {', '.join(sorted(WORKLOADS))}"
-        )
+        ) from None
 
 
 def config_from_args(args: argparse.Namespace) -> ChipConfig:
@@ -207,7 +210,9 @@ def _parse_number_list(value: str, convert=float):
     try:
         numbers = tuple(convert(part) for part in value.split(",") if part.strip())
     except ValueError:
-        raise argparse.ArgumentTypeError(f"expected comma-separated numbers, got {value!r}")
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated numbers, got {value!r}"
+        ) from None
     if not numbers or any(number <= 0 for number in numbers):
         raise argparse.ArgumentTypeError(f"expected positive numbers, got {value!r}")
     return numbers
@@ -222,7 +227,9 @@ def _positive_int(value: str) -> int:
     try:
         number = int(value)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value!r}")
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value!r}"
+        ) from None
     if number < 1:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {value!r}")
     return number
@@ -232,7 +239,9 @@ def _positive_float(value: str) -> float:
     try:
         number = float(value)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"expected a positive number, got {value!r}")
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {value!r}"
+        ) from None
     if number <= 0:
         raise argparse.ArgumentTypeError(f"expected a positive number, got {value!r}")
     return number
@@ -242,7 +251,9 @@ def _nonnegative_float(value: str) -> float:
     try:
         number = float(value)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"expected a non-negative number, got {value!r}")
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative number, got {value!r}"
+        ) from None
     if number < 0:
         raise argparse.ArgumentTypeError(f"expected a non-negative number, got {value!r}")
     return number
@@ -252,7 +263,9 @@ def _nonnegative_int(value: str) -> int:
     try:
         number = int(value)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {value!r}")
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value!r}"
+        ) from None
     if number < 0:
         raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {value!r}")
     return number
@@ -263,7 +276,7 @@ def _parse_fault_rule(value: str) -> str:
     try:
         parse_fault_spec(value)
     except SimulationError as error:
-        raise argparse.ArgumentTypeError(str(error))
+        raise argparse.ArgumentTypeError(str(error)) from error
     return value
 
 
@@ -631,6 +644,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("workloads", help="list the bundled workload descriptions")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the project-specific static-analysis rules (RPR1xx)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: the repro package source)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is the stable machine-readable schema)",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (e.g. RPR101,RPR103); default all",
+    )
+    lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings silenced by `# repro: noqa[CODE]` comments",
+    )
     return parser
 
 
@@ -814,7 +854,7 @@ def _autoscaler_from_args(args: argparse.Namespace) -> Optional[AutoscalerPolicy
             interval_s=args.scale_interval_ms / 1e3,
         )
     except SimulationError as error:
-        raise SystemExit(str(error))
+        raise SystemExit(str(error)) from error
 
 
 def _make_server(args: argparse.Namespace, built_entries) -> InferenceServer:
@@ -835,7 +875,7 @@ def _make_server(args: argparse.Namespace, built_entries) -> InferenceServer:
                 recovery_s=args.breaker_recovery_ms / 1e3,
             )
         except SimulationError as error:
-            raise SystemExit(str(error))
+            raise SystemExit(str(error)) from error
     dispatch_timeout_ms = getattr(args, "dispatch_timeout_ms", None)
     registry = ModelRegistry()
     for name, network, weights in built_entries:
@@ -1279,6 +1319,25 @@ def _cmd_workloads(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.lint import format_json, format_text, run_lint
+
+    paths = args.paths or [Path(__file__).resolve().parent]
+    select = (
+        [code for code in args.select.split(",") if code.strip()]
+        if args.select
+        else None
+    )
+    report = run_lint(paths, select=select)
+    if args.format == "json":
+        print(format_json(report))
+    else:
+        print(format_text(report, show_suppressed=args.show_suppressed))
+    return 1 if report.unsuppressed else 0
+
+
 COMMANDS = {
     "evaluate": _cmd_evaluate,
     "compare": _cmd_compare,
@@ -1288,6 +1347,7 @@ COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "workloads": _cmd_workloads,
+    "lint": _cmd_lint,
 }
 
 

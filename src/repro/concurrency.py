@@ -1,0 +1,88 @@
+"""Concurrency markers and lock construction.
+
+Two small pieces that the rest of the package builds on:
+
+* :func:`thread_shared` — a marker decorator for classes whose instances are
+  mutated from more than one thread.  The marker is what the RPR106 lint rule
+  keys on (``self._*`` state in a ``@thread_shared`` class must only be
+  mutated under the class's lock), and it documents intent to readers.
+* :func:`make_lock` / :func:`make_rlock` / :func:`make_condition` — the lock
+  factory every shared-state class uses instead of calling ``threading.Lock()``
+  directly.  Normally these return the plain stdlib primitive (zero overhead);
+  when the runtime concurrency sanitizer is active (``REPRO_SANITIZE=1`` or
+  :func:`repro.analysis.sanitizer.enable`), they return instrumented wrappers
+  that record per-thread acquisition sequences into a global lock-order graph.
+
+This module is a dependency-free leaf so that ``repro.core`` and
+``repro.serve`` can import it without pulling in the analysis package (whose
+``__init__`` imports the figure generators, which import ``repro.core`` —
+a cycle).  The sanitizer is imported lazily, only when active.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import TypeVar
+
+_ClassT = TypeVar("_ClassT", bound=type)
+
+#: Set by :func:`repro.analysis.sanitizer.enable` / ``disable`` so the factory
+#: can check for programmatic activation without importing the sanitizer.
+_ACTIVE = False
+
+
+def thread_shared(cls: _ClassT) -> _ClassT:
+    """Mark ``cls`` as shared across threads (mutations must hold its lock).
+
+    The decorator is behaviour-free: it sets ``__thread_shared__ = True`` on
+    the class and returns it unchanged.  The RPR106 lint rule enforces the
+    contract statically; the runtime sanitizer checks the locks dynamically.
+    """
+
+    cls.__thread_shared__ = True
+    return cls
+
+
+def is_thread_shared(cls: type) -> bool:
+    """True when ``cls`` (or a base) carries the :func:`thread_shared` marker."""
+
+    return bool(getattr(cls, "__thread_shared__", False))
+
+
+def sanitize_active() -> bool:
+    """True when new locks should be created instrumented."""
+
+    if _ACTIVE:
+        return True
+    return os.environ.get("REPRO_SANITIZE", "").strip() not in ("", "0")
+
+
+def make_lock(name: str) -> threading.Lock:
+    """A mutex named ``name`` (``"ClassName._attr"`` by convention)."""
+
+    if sanitize_active():
+        from repro.analysis.sanitizer import SanitizedLock
+
+        return SanitizedLock(name)
+    return threading.Lock()
+
+
+def make_rlock(name: str) -> threading.RLock:
+    """A re-entrant mutex named ``name``."""
+
+    if sanitize_active():
+        from repro.analysis.sanitizer import SanitizedRLock
+
+        return SanitizedRLock(name)
+    return threading.RLock()
+
+
+def make_condition(name: str) -> threading.Condition:
+    """A condition variable (with its own mutex) named ``name``."""
+
+    if sanitize_active():
+        from repro.analysis.sanitizer import SanitizedCondition
+
+        return SanitizedCondition(name)
+    return threading.Condition()

@@ -48,6 +48,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.concurrency import make_rlock, thread_shared
 from repro.config.chip import ChipConfig
 from repro.config.presets import optimal_chip
 from repro.core.sharding import ShardedExecutionEngine, WorkerSpec
@@ -90,6 +91,7 @@ class _TilePlan:
     tiles: List[_ProgrammedTile]
 
 
+@thread_shared
 class OpticalCrossbarAccelerator:
     """A single optical crossbar accelerator chip.
 
@@ -142,7 +144,7 @@ class OpticalCrossbarAccelerator:
         # need reproducible noise must not share one accelerator across
         # threads — the serving pool's replicas are checked out exclusively
         # for this reason.
-        self._stats_lock = threading.RLock()
+        self._stats_lock = make_rlock("OpticalCrossbarAccelerator._stats_lock")
         self._tile_plans: "OrderedDict[Tuple, _TilePlan]" = OrderedDict()
         self._functional_stats = {
             "programming_events": 0,
@@ -193,7 +195,7 @@ class OpticalCrossbarAccelerator:
         )
         return plan_sequence.spawn(num_tiles)
 
-    def _build_tile_plan(self, weights: np.ndarray, key: Tuple) -> _TilePlan:
+    def _build_tile_plan_locked(self, weights: np.ndarray, key: Tuple) -> _TilePlan:
         """Derive the tile grid for ``weights`` and program every tile once."""
         k, n = weights.shape
         rows, columns = self.config.rows, self.config.columns
@@ -240,7 +242,7 @@ class OpticalCrossbarAccelerator:
                 self._functional_stats["tile_cache_hits"] += 1
                 return plan
             self._functional_stats["tile_cache_misses"] += 1
-            plan = self._build_tile_plan(weights, key)
+            plan = self._build_tile_plan_locked(weights, key)
             self._tile_plans[key] = plan
             while len(self._tile_plans) > self._max_cached_weight_plans:
                 self._tile_plans.popitem(last=False)
@@ -289,7 +291,7 @@ class OpticalCrossbarAccelerator:
                 return plan
             snapshot = dict(self._functional_stats)
             try:
-                return self._build_tile_plan(weights, key)
+                return self._build_tile_plan_locked(weights, key)
             finally:
                 self._functional_stats.update(snapshot)
 

@@ -41,6 +41,7 @@ from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.concurrency import make_lock, thread_shared
 from repro.crossbar.dual_core import DualCoreCrossbar, ProgrammingJob
 from repro.errors import SimulationError
 
@@ -85,6 +86,7 @@ class ShardReport:
     core_busy_time_s: Tuple[float, ...]
 
 
+@thread_shared
 class ShardedExecutionEngine:
     """Executes a tile plan's GEMMs across ``num_cores`` crossbar cores.
 
@@ -118,7 +120,7 @@ class ShardedExecutionEngine:
         self.workers = workers
         self._worker_count = resolve_worker_count(workers, self.num_cores)
         self._pool: "ThreadPoolExecutor | None" = None
-        self._pool_lock = threading.Lock()
+        self._pool_lock = make_lock("ShardedExecutionEngine._pool_lock")
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         """Lazily create the worker pool, reused across dispatches.

@@ -40,6 +40,11 @@ class OptimizationError(ReproError):
     """The design-space optimizer could not find a feasible design point."""
 
 
+class ConcurrencyError(ReproError):
+    """The runtime concurrency sanitizer detected a lock-discipline violation
+    (e.g. a lock-order cycle that could deadlock under a different schedule)."""
+
+
 class ServeError(ReproError):
     """The online inference-serving subsystem failed or was misused."""
 

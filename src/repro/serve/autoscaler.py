@@ -219,9 +219,9 @@ class Autoscaler:
             for name, runtime in list(self._runtimes.items()):
                 try:
                     self.evaluate_model(name, runtime)
-                except Exception:
-                    # A scaling hiccup (e.g. a replica build failing) must not
-                    # kill the control loop; the next tick retries.
+                except Exception:  # repro: noqa[RPR105] - a scaling hiccup
+                    # (e.g. a replica build failing) must not kill the
+                    # control loop; the next tick retries.
                     continue
 
     def evaluate_model(self, name: str, runtime) -> Optional[int]:

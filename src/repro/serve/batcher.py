@@ -31,7 +31,6 @@ open-loop load generators can count shed load instead of stalling.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
 from concurrent.futures import Future
@@ -40,6 +39,7 @@ from typing import Callable, Deque, Dict, List, Optional
 
 import numpy as np
 
+from repro.concurrency import make_condition, make_lock, thread_shared
 from repro.errors import QueueOverflowError, ServeError, SimulationError
 
 #: Flush policy spellings accepted by :func:`make_flush_policy` and the CLI.
@@ -250,7 +250,7 @@ class AdaptiveFlushPolicy(FlushPolicy):
         self.max_batch_cap = int(max_batch_cap)
         self.safety = float(safety)
         self.ewma_alpha = float(ewma_alpha)
-        self._lock = threading.Lock()
+        self._lock = make_lock("AdaptiveFlushPolicy._lock")
         self._scale: Optional[float] = None  # wall-clock seconds per model unit
         self._observed_batches = 0
 
@@ -355,6 +355,7 @@ def make_flush_policy(
 # ---------------------------------------------------------------------------
 
 
+@thread_shared
 class MicroBatcher:
     """Bounded request queue whose flushes are governed by a :class:`FlushPolicy`.
 
@@ -398,7 +399,7 @@ class MicroBatcher:
         self._clock = clock
         self._on_flush = on_flush
         self._queue: Deque[ServeRequest] = deque()
-        self._cond = threading.Condition()
+        self._cond = make_condition("MicroBatcher._cond")
         self._closed = False
         self._seq = 0
 

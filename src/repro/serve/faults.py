@@ -39,12 +39,12 @@ Fault rules have a CLI spelling (``--inject-fault``), parsed by
 from __future__ import annotations
 
 import random
-import threading
 import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
 
+from repro.concurrency import make_lock, thread_shared
 from repro.errors import SimulationError
 
 __all__ = [
@@ -230,7 +230,7 @@ class FaultInjector:
         self, rules: Optional[Iterable[Union[str, FaultRule]]] = None
     ) -> None:
         self.rules: List[FaultRule] = [parse_fault_spec(rule) for rule in rules or ()]
-        self._lock = threading.Lock()
+        self._lock = make_lock("FaultInjector._lock")
         self._dispatches = 0
         self._injected: Counter = Counter()
 
@@ -309,6 +309,7 @@ class CircuitBreakerPolicy:
             )
 
 
+@thread_shared
 class CircuitBreaker:
     """Closed → open → half-open failure-rate breaker with injectable clock."""
 
@@ -319,7 +320,7 @@ class CircuitBreaker:
     ) -> None:
         self.policy = policy or CircuitBreakerPolicy()
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("CircuitBreaker._lock")
         self._state = BREAKER_CLOSED
         self._outcomes: List[bool] = []  # rolling window, True = success
         self._opened_at: Optional[float] = None
@@ -356,7 +357,7 @@ class CircuitBreaker:
     # ------------------------------------------------------------------ outcomes
     def record_success(self) -> None:
         with self._lock:
-            self._push(True)
+            self._push_locked(True)
             if self._state == BREAKER_HALF_OPEN:
                 self._half_open_streak += 1
                 if self._half_open_streak >= self.policy.half_open_successes:
@@ -366,9 +367,9 @@ class CircuitBreaker:
 
     def record_failure(self) -> None:
         with self._lock:
-            self._push(False)
+            self._push_locked(False)
             if self._state == BREAKER_HALF_OPEN:
-                self._trip()
+                self._trip_locked()
                 return
             if self._state == BREAKER_CLOSED:
                 samples = len(self._outcomes)
@@ -377,14 +378,14 @@ class CircuitBreaker:
                     samples >= self.policy.min_samples
                     and failures / samples >= self.policy.failure_threshold
                 ):
-                    self._trip()
+                    self._trip_locked()
 
-    def _push(self, success: bool) -> None:
+    def _push_locked(self, success: bool) -> None:
         self._outcomes.append(success)
         if len(self._outcomes) > self.policy.window:
             del self._outcomes[: len(self._outcomes) - self.policy.window]
 
-    def _trip(self) -> None:
+    def _trip_locked(self) -> None:
         self._state = BREAKER_OPEN
         self._opened_at = self._clock()
         self._times_opened += 1

@@ -62,6 +62,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.concurrency import make_lock
 from repro.errors import (
     BadRequestError,
     CircuitOpenError,
@@ -261,8 +262,9 @@ class _ServeHTTPHandler(BaseHTTPRequestHandler):
                 for future in futures:
                     try:
                         future.result()
-                    except Exception:
-                        pass
+                    except Exception:  # repro: noqa[RPR105] - draining
+                        pass  # already-admitted work; the overflow itself is
+                        # reported to the client right below
                 raise QueueOverflowError(
                     f"{overflow} ({len(futures)} of {len(images)} images "
                     "admitted and executed before overflow)"
@@ -292,7 +294,9 @@ class _ServeHTTPHandler(BaseHTTPRequestHandler):
         try:
             length = int(length_header)
         except ValueError:
-            raise BadRequestError(f"invalid Content-Length {length_header!r}")
+            raise BadRequestError(
+                f"invalid Content-Length {length_header!r}"
+            ) from None
         if length < 0 or length > self.front.max_body_bytes:
             raise BadRequestError(
                 f"request body of {length} bytes exceeds the "
@@ -552,7 +556,7 @@ class HTTPInferenceClient:
         self.model = model
         self._sleep = sleep
         self._retry_rng = random.Random(retry_seed)
-        self._retry_lock = threading.Lock()
+        self._retry_lock = make_lock("HTTPInferenceClient._retry_lock")
         self._retries_performed = 0
         self._executor = ThreadPoolExecutor(
             max_workers=max_connections, thread_name_prefix="http-client"
@@ -652,8 +656,8 @@ class HTTPInferenceClient:
             body = json.loads(raw)
             detail = body.get("error", "")
             error_type = body.get("type", "")
-        except Exception:
-            pass
+        except (ValueError, AttributeError, TypeError):
+            pass  # non-JSON or non-object body; fall back to the HTTP reason
         message = f"HTTP {status}: {detail or reason}"
         retry_after_s: Optional[float] = None
         if retry_after is not None:

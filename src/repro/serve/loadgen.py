@@ -56,6 +56,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.concurrency import make_lock
 from repro.errors import QueueOverflowError, SimulationError
 from repro.serve.server import InferenceServer
 from repro.serve.telemetry import latency_summary
@@ -319,7 +320,7 @@ class LoadGenerator:
             )
         outputs: List[Optional[np.ndarray]] = [None] * len(images)
         latencies: List[float] = []
-        latency_lock = threading.Lock()
+        latency_lock = make_lock("LoadGenerator.latency_lock")
         errors: List[BaseException] = []
 
         def client(worker: int) -> None:
@@ -340,7 +341,12 @@ class LoadGenerator:
 
         start = time.monotonic()
         clients = [
-            threading.Thread(target=client, args=(worker,), name=f"loadgen-{worker}")
+            threading.Thread(
+                target=client,
+                args=(worker,),
+                name=f"loadgen-{worker}",
+                daemon=False,  # clients are joined below; no work may be lost
+            )
             for worker in range(min(concurrency, len(images)))
         ]
         for thread in clients:

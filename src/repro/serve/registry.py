@@ -22,6 +22,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.concurrency import make_lock, thread_shared
 from repro.config.chip import ChipConfig
 from repro.crossbar.noise import CrossbarNoiseModel
 from repro.errors import SimulationError, UnknownModelError
@@ -168,14 +169,18 @@ class ModelDefinition:
         return FaultInjector(self.faults)
 
 
+@thread_shared
 class ModelRegistry:
     """Ordered collection of :class:`ModelDefinition`\\ s, keyed by name.
 
     The first registered model is the *default*: requests that do not name a
     model route there, which is what keeps the single-model API unchanged.
+    Registration and lookup are lock-protected: a registry may be mutated
+    (e.g. from an admin path) while server threads resolve routes.
     """
 
     def __init__(self, models: Optional[Iterable[ModelDefinition]] = None) -> None:
+        self._lock = make_lock("ModelRegistry._lock")
         self._models: Dict[str, ModelDefinition] = {}
         for definition in models or ():
             self.register(definition)
@@ -187,11 +192,12 @@ class ModelRegistry:
             raise SimulationError(
                 f"expected a ModelDefinition, got {type(definition).__name__}"
             )
-        if definition.name in self._models:
-            raise SimulationError(
-                f"model {definition.name!r} is already registered"
-            )
-        self._models[definition.name] = definition
+        with self._lock:
+            if definition.name in self._models:
+                raise SimulationError(
+                    f"model {definition.name!r} is already registered"
+                )
+            self._models[definition.name] = definition
         return definition
 
     def add(
@@ -210,35 +216,41 @@ class ModelRegistry:
     @property
     def default_name(self) -> str:
         """The first registered model's name (the routing default)."""
-        if not self._models:
-            raise SimulationError("model registry is empty")
-        return next(iter(self._models))
+        with self._lock:
+            if not self._models:
+                raise SimulationError("model registry is empty")
+            return next(iter(self._models))
 
     def names(self) -> List[str]:
-        return list(self._models)
+        with self._lock:
+            return list(self._models)
 
     def get(self, name: str) -> ModelDefinition:
         """Look a model up by name; unknown names raise UnknownModelError."""
-        try:
-            return self._models[name]
-        except KeyError:
-            raise UnknownModelError(
-                f"unknown model {name!r}: hosted models are "
-                f"{', '.join(sorted(self._models)) or '(none)'}"
-            ) from None
+        with self._lock:
+            try:
+                return self._models[name]
+            except KeyError:
+                raise UnknownModelError(
+                    f"unknown model {name!r}: hosted models are "
+                    f"{', '.join(sorted(self._models)) or '(none)'}"
+                ) from None
 
     def resolve(self, name: Optional[str]) -> ModelDefinition:
         """``get(name)``, with ``None`` meaning the default model."""
         return self.get(self.default_name if name is None else name)
 
     def __contains__(self, name: object) -> bool:
-        return name in self._models
+        with self._lock:
+            return name in self._models
 
     def __iter__(self) -> Iterator[ModelDefinition]:
-        return iter(self._models.values())
+        with self._lock:
+            return iter(list(self._models.values()))
 
     def __len__(self) -> int:
-        return len(self._models)
+        with self._lock:
+            return len(self._models)
 
 
 __all__ = [

@@ -46,6 +46,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.concurrency import make_lock
 from repro.config.chip import ChipConfig
 from repro.crossbar.noise import CrossbarNoiseModel
 from repro.errors import CircuitOpenError, ServeError
@@ -101,7 +102,7 @@ class _ModelRuntime:
         self.pool: Optional[EngineWorkerPool] = None
         self._dispatcher: Optional[threading.Thread] = None
         self._inflight: Optional[threading.BoundedSemaphore] = None
-        self._delivery_lock = threading.Lock()
+        self._delivery_lock = make_lock("_ModelRuntime._delivery_lock")
         self._next_delivery_seq = 0
         self._completed: Dict[int, Tuple[ServeRequest, object]] = {}
 
@@ -270,8 +271,8 @@ class _ModelRuntime:
                 if self._on_response is not None:
                     try:
                         self._on_response(request.seq, outcome)
-                    except Exception:
-                        # A raising callback must not stall delivery of the
+                    except Exception:  # repro: noqa[RPR105] - a raising
+                        # observer callback must not stall delivery of the
                         # responses still buffered behind it.
                         pass
 
@@ -442,8 +443,8 @@ class InferenceServer:
             for runtime in started:
                 try:
                     runtime.stop()
-                except Exception:
-                    pass
+                except Exception:  # repro: noqa[RPR105] - rollback cleanup;
+                    pass  # the original startup failure re-raises below
             raise
         self._started = True
         if self.autoscaler_policy is not None:

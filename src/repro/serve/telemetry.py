@@ -24,12 +24,13 @@ are directly comparable with offline analyses of recorded latency traces.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import Counter, deque
 from typing import Deque, Dict, List, Optional, Sequence
 
 import numpy as np
+
+from repro.concurrency import make_lock, thread_shared
 
 #: Latency percentiles reported by :meth:`ServeTelemetry.snapshot`.
 LATENCY_PERCENTILES = (50, 95, 99)
@@ -59,12 +60,13 @@ def latency_summary(latencies_s: Sequence[float]) -> Dict[str, float]:
     return summary
 
 
+@thread_shared
 class ServeTelemetry:
     """Thread-safe SLO metrics sink for one serving session."""
 
     def __init__(self, clock=time.perf_counter) -> None:
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("ServeTelemetry._lock")
         self._latencies_s: List[float] = []
         self._batch_sizes: Counter = Counter()
         self._flush_reasons: Counter = Counter()
@@ -84,7 +86,7 @@ class ServeTelemetry:
         self._last_event_ts: Optional[float] = None
 
     # ------------------------------------------------------------------ record
-    def _touch(self, now: float) -> None:
+    def _touch_locked(self, now: float) -> None:
         if self._first_event_ts is None:
             self._first_event_ts = now
         self._last_event_ts = now
@@ -92,7 +94,7 @@ class ServeTelemetry:
     def record_admission(self, queue_depth: int) -> None:
         """One request entered the queue; ``queue_depth`` includes it."""
         with self._lock:
-            self._touch(self._clock())
+            self._touch_locked(self._clock())
             self._admitted += 1
             self._queue_depth_sum += int(queue_depth)
             self._queue_depth_samples += 1
@@ -101,13 +103,13 @@ class ServeTelemetry:
     def record_rejection(self) -> None:
         """One request was refused admission (queue overflow)."""
         with self._lock:
-            self._touch(self._clock())
+            self._touch_locked(self._clock())
             self._rejected += 1
 
     def record_shed(self) -> None:
         """One request was shed by the circuit breaker (no queue contact)."""
         with self._lock:
-            self._touch(self._clock())
+            self._touch_locked(self._clock())
             self._shed += 1
 
     def record_batch_failure(self, size: int) -> None:
@@ -118,27 +120,27 @@ class ServeTelemetry:
         ``requests_completed`` accounts for every delivered outcome.
         """
         with self._lock:
-            self._touch(self._clock())
+            self._touch_locked(self._clock())
             self._batches_failed += 1
             self._requests_failed += int(size)
 
     def record_flush(self, reason: str, size: int) -> None:
         """One micro-batch of ``size`` requests flushed because of ``reason``."""
         with self._lock:
-            self._touch(self._clock())
+            self._touch_locked(self._clock())
             self._flush_reasons[str(reason)] += 1
 
     def record_batch(self, size: int, service_time_s: float) -> None:
         """One micro-batch of ``size`` requests finished executing."""
         with self._lock:
-            self._touch(self._clock())
+            self._touch_locked(self._clock())
             self._batch_sizes[int(size)] += 1
             self._service_time_s += float(service_time_s)
 
     def record_response(self, latency_s: float) -> None:
         """One request was delivered ``latency_s`` after admission."""
         with self._lock:
-            self._touch(self._clock())
+            self._touch_locked(self._clock())
             self._latencies_s.append(float(latency_s))
 
     def record_scale_event(
@@ -153,7 +155,7 @@ class ServeTelemetry:
         """The autoscaler changed this model's replica count."""
         with self._lock:
             now = self._clock()
-            self._touch(now)
+            self._touch_locked(now)
             if direction == "up":
                 self._scale_ups += 1
             else:

@@ -43,6 +43,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.concurrency import make_lock, thread_shared
 from repro.config.chip import ChipConfig
 from repro.core.inference import FunctionalInferenceEngine
 from repro.crossbar.noise import CrossbarNoiseModel
@@ -378,14 +379,15 @@ class _ProcessReplica:
         for process in list(processes.values()):
             try:
                 process.kill()
-            except Exception:
-                pass
+            except (OSError, ValueError):
+                pass  # already dead or already reaped; the goal is "not running"
         self._executor.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:
         self._executor.shutdown(wait=True)
 
 
+@thread_shared
 class EngineWorkerPool:
     """A dynamically sized pool of :class:`FunctionalInferenceEngine` replicas.
 
@@ -482,15 +484,15 @@ class EngineWorkerPool:
         # _resize_lock serializes resize() calls; _structure_lock guards the
         # replica/retired lists and is only ever held briefly, so stats reads
         # never wait behind a scale-down's drain.
-        self._resize_lock = threading.Lock()
-        self._structure_lock = threading.Lock()
+        self._resize_lock = make_lock("EngineWorkerPool._resize_lock")
+        self._structure_lock = make_lock("EngineWorkerPool._structure_lock")
         self._retired_stats: List[Dict[str, object]] = []
         self._dispatch: Optional[ThreadPoolExecutor] = None
         self._process_stats: Dict[int, Dict[str, object]] = {}
-        self._process_stats_lock = threading.Lock()
+        self._process_stats_lock = make_lock("EngineWorkerPool._process_stats_lock")
         # Supervision bookkeeping (kept off the no-fault hot path: a clean
         # dispatch touches none of this beyond one unlocked streak read).
-        self._fault_lock = threading.Lock()
+        self._fault_lock = make_lock("EngineWorkerPool._fault_lock")
         self._failure_counts: Counter = Counter()
         self._retry_histogram: Counter = Counter()
         self._restarts = 0
@@ -626,12 +628,12 @@ class EngineWorkerPool:
             delta = None
             try:
                 delta = failed.statistics_delta()
-            except Exception:
-                pass  # a dead process replica has no readable counters
+            except Exception:  # repro: noqa[RPR105] - a dead process replica
+                pass  # has no readable counters; losing its stats is the cost
             try:
                 failed.kill()
-            except Exception:
-                pass
+            except Exception:  # repro: noqa[RPR105] - best-effort kill of an
+                pass  # already-crashed replica; failure means it is gone
             backoff = min(
                 self.backoff_base_s * (2 ** (streak - 1)), self.backoff_max_s
             )
@@ -738,8 +740,10 @@ class EngineWorkerPool:
                 try:
                     # Drain-before-retire: wait (without holding the
                     # structure lock) until a replica comes free, i.e. its
-                    # in-flight batch has completed.
-                    handle = self._free.get(timeout=drain_timeout_s)
+                    # in-flight batch has completed.  _resize_lock is held by
+                    # design — it only serializes resize() callers, never the
+                    # dispatch path, so waiting under it cannot stall serving.
+                    handle = self._free.get(timeout=drain_timeout_s)  # repro: noqa[RPR103]
                 except queue.Empty:
                     break  # replicas stayed busy past the drain budget
                 delta = handle.statistics_delta()
@@ -799,9 +803,10 @@ class EngineWorkerPool:
     # ------------------------------------------------------------------ lifecycle
     def close(self) -> None:
         """Shut the pool down (idempotent); pending futures complete first."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._structure_lock:
+            if self._closed:
+                return
+            self._closed = True
         if self._dispatch is not None:
             self._dispatch.shutdown(wait=True)
         for handle in self._replicas:

@@ -7,6 +7,8 @@ the simulation.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.config import default_sweep_chip, optimal_chip, small_test_chip
@@ -15,8 +17,46 @@ from repro.nn import build_lenet5, build_resnet50
 from repro.scalesim.simulator import simulate_network
 
 
-# Markers (multicore / serving / docs / smoke) are registered centrally in
-# pyproject.toml's [tool.pytest.ini_options], not here.
+# Markers (multicore / serving / docs / smoke / chaos / analysis) are
+# registered centrally in pyproject.toml's [tool.pytest.ini_options], not here.
+
+
+@pytest.fixture(autouse=True)
+def _lock_order_sanitizer():
+    """Run every test under the concurrency sanitizer when REPRO_SANITIZE=1.
+
+    With the env var set (the CI ``analysis`` lane reruns the ``serving`` and
+    ``chaos`` lanes this way) all locks built via :mod:`repro.concurrency`
+    come out instrumented, and any *new* lock-order cycle recorded during a
+    test fails that test with the potential-deadlock report (both stacks).
+    The lock-order graph accumulates across tests on purpose: an A→B edge
+    from one test plus a B→A edge from another is still a real inversion in
+    the codebase.
+    """
+    if os.environ.get("REPRO_SANITIZE", "").strip() in ("", "0"):
+        yield
+        return
+    from repro.analysis import sanitizer
+
+    sanitizer.enable()
+    cycles_before = len(sanitizer.cycle_reports())
+    yield
+    new_cycles = sanitizer.cycle_reports()[cycles_before:]
+    assert not new_cycles, "lock-order cycle(s) detected:\n" + "\n\n".join(
+        cycle["message"] for cycle in new_cycles
+    )
+
+
+@pytest.fixture
+def concurrency_sanitizer():
+    """Opt-in sanitizer with a clean graph; disabled again on teardown."""
+    from repro.analysis import sanitizer
+
+    sanitizer.enable()
+    sanitizer.reset()
+    yield sanitizer
+    sanitizer.disable()
+    sanitizer.reset()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,479 @@
+"""The ``analysis`` lane, part 1: the RPR1xx static-analysis framework.
+
+Every rule gets a trigger snippet (the finding fires) and a non-trigger
+snippet (the compliant spelling stays silent), plus framework-level tests:
+``# repro: noqa[CODE]`` suppression, ``--select`` filtering, the JSON output
+schema, the CLI exit codes — and the acceptance gate that the shipped
+``src/repro`` tree itself lints clean.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    PARSE_ERROR_CODE,
+    RULE_REGISTRY,
+    LintReport,
+    format_json,
+    format_text,
+    lint_source,
+    run_lint,
+)
+from repro.cli import main
+from repro.errors import ConfigurationError
+
+pytestmark = pytest.mark.analysis
+
+SRC_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def findings_for(code: str, snippet: str, path: str = "src/repro/serve/mod.py"):
+    """Lint ``snippet`` as if it lived at ``path``; findings for ``code``."""
+    found = lint_source(textwrap.dedent(snippet), Path(path))
+    return [finding for finding in found if finding.code == code and not finding.suppressed]
+
+
+# ---------------------------------------------------------------------------
+# framework
+# ---------------------------------------------------------------------------
+
+
+class TestFramework:
+    def test_registry_has_the_six_stable_codes(self):
+        assert set(RULE_REGISTRY) == {
+            "RPR101",
+            "RPR102",
+            "RPR103",
+            "RPR104",
+            "RPR105",
+            "RPR106",
+        }
+
+    def test_every_rule_has_name_and_rationale(self):
+        for code, rule_cls in RULE_REGISTRY.items():
+            assert rule_cls.code == code
+            assert rule_cls.name
+            assert rule_cls.rationale
+
+    def test_syntax_error_becomes_parse_finding(self):
+        findings = lint_source("def broken(:\n", Path("src/repro/core/x.py"))
+        assert [finding.code for finding in findings] == [PARSE_ERROR_CODE]
+
+    def test_select_unknown_code_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown rule code"):
+            lint_source("x = 1\n", Path("x.py"), select=["RPR999"])
+
+    def test_noqa_with_code_suppresses(self):
+        snippet = "import time\nwith lock:\n    time.sleep(1)  # repro: noqa[RPR103]\n"
+        findings = lint_source(snippet, Path("src/repro/serve/mod.py"))
+        rpr103 = [finding for finding in findings if finding.code == "RPR103"]
+        assert len(rpr103) == 1 and rpr103[0].suppressed
+
+    def test_bare_noqa_suppresses_everything_on_the_line(self):
+        snippet = "import time\nwith lock:\n    time.sleep(1)  # repro: noqa\n"
+        findings = lint_source(snippet, Path("src/repro/serve/mod.py"))
+        assert all(finding.suppressed for finding in findings)
+
+    def test_noqa_with_other_code_does_not_suppress(self):
+        snippet = "import time\nwith lock:\n    time.sleep(1)  # repro: noqa[RPR101]\n"
+        findings = lint_source(snippet, Path("src/repro/serve/mod.py"))
+        rpr103 = [finding for finding in findings if finding.code == "RPR103"]
+        assert len(rpr103) == 1 and not rpr103[0].suppressed
+
+    def test_json_schema(self, tmp_path):
+        target = tmp_path / "core" / "mod.py"
+        target.parent.mkdir()
+        target.write_text("import time\n\ndef f():\n    return time.time()\n")
+        report = run_lint([tmp_path])
+        payload = json.loads(format_json(report))
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 1
+        assert payload["counts"] == {"RPR102": 1}
+        (finding,) = payload["findings"]
+        assert set(finding) == {"path", "line", "col", "code", "message", "suppressed"}
+        assert finding["code"] == "RPR102"
+        assert finding["line"] == 4
+        assert finding["suppressed"] is False
+        assert {rule["code"] for rule in payload["rules"]} == set(RULE_REGISTRY)
+
+    def test_text_format_mentions_location_and_summary(self):
+        findings = lint_source(
+            "import time\n\ndef f():\n    return time.time()\n",
+            Path("src/repro/core/mod.py"),
+        )
+        report = LintReport(findings=findings, files_scanned=1)
+        text = format_text(report)
+        assert "src/repro/core/mod.py:4" in text
+        assert "RPR102" in text
+        assert "1 file(s) scanned" in text
+
+
+# ---------------------------------------------------------------------------
+# RPR101 — unseeded RNG in datapath modules
+# ---------------------------------------------------------------------------
+
+
+class TestRPR101:
+    DATAPATH = "src/repro/crossbar/mod.py"
+
+    def test_unseeded_default_rng_triggers(self):
+        snippet = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert len(findings_for("RPR101", snippet, self.DATAPATH)) == 1
+
+    def test_module_level_np_random_triggers(self):
+        snippet = "import numpy as np\nnoise = np.random.normal(0.0, 1.0)\n"
+        assert len(findings_for("RPR101", snippet, self.DATAPATH)) == 1
+
+    def test_global_random_module_triggers(self):
+        snippet = "import random\nvalue = random.random()\n"
+        assert len(findings_for("RPR101", snippet, self.DATAPATH)) == 1
+
+    def test_unseeded_random_instance_triggers(self):
+        snippet = "import random\nrng = random.Random()\n"
+        assert len(findings_for("RPR101", snippet, self.DATAPATH)) == 1
+
+    def test_seeded_rng_does_not_trigger(self):
+        snippet = (
+            "import numpy as np\nimport random\n"
+            "rng = np.random.default_rng(1234)\n"
+            "seq = np.random.SeedSequence(7)\n"
+            "r = random.Random(42)\n"
+        )
+        assert findings_for("RPR101", snippet, self.DATAPATH) == []
+
+    def test_outside_datapath_does_not_trigger(self):
+        snippet = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert findings_for("RPR101", snippet, "src/repro/serve/mod.py") == []
+
+
+# ---------------------------------------------------------------------------
+# RPR102 — wall clock for durations
+# ---------------------------------------------------------------------------
+
+
+class TestRPR102:
+    def test_time_time_in_serve_triggers(self):
+        snippet = "import time\nstart = time.time()\n"
+        assert len(findings_for("RPR102", snippet, "src/repro/serve/mod.py")) == 1
+
+    def test_time_time_in_core_triggers(self):
+        snippet = "import time\nstart = time.time()\n"
+        assert len(findings_for("RPR102", snippet, "src/repro/core/mod.py")) == 1
+
+    def test_monotonic_clocks_do_not_trigger(self):
+        snippet = "import time\na = time.perf_counter()\nb = time.monotonic()\n"
+        assert findings_for("RPR102", snippet, "src/repro/serve/mod.py") == []
+
+    def test_outside_scope_does_not_trigger(self):
+        snippet = "import time\nstart = time.time()\n"
+        assert findings_for("RPR102", snippet, "src/repro/photonics/mod.py") == []
+
+
+# ---------------------------------------------------------------------------
+# RPR103 — blocking call under a lock
+# ---------------------------------------------------------------------------
+
+
+class TestRPR103:
+    def test_sleep_under_lock_triggers(self):
+        snippet = """
+        import time
+
+        def f(self):
+            with self._lock:
+                time.sleep(0.1)
+        """
+        assert len(findings_for("RPR103", snippet)) == 1
+
+    def test_queue_get_under_lock_triggers(self):
+        snippet = """
+        def f(self):
+            with self._lock:
+                item = self._free.get(timeout=1.0)
+        """
+        assert len(findings_for("RPR103", snippet)) == 1
+
+    def test_future_result_under_lock_triggers(self):
+        snippet = """
+        def f(self):
+            with self._lock:
+                value = future.result()
+        """
+        assert len(findings_for("RPR103", snippet)) == 1
+
+    def test_foreign_acquire_under_lock_triggers(self):
+        snippet = """
+        def f(self):
+            with self._lock:
+                self._other_lock.acquire()
+        """
+        assert len(findings_for("RPR103", snippet)) == 1
+
+    def test_condition_wait_on_held_condition_does_not_trigger(self):
+        # Condition.wait releases the lock it is waiting on — the one
+        # legitimate blocking call inside its own `with` block.
+        snippet = """
+        def f(self):
+            with self._cond:
+                while not self._ready:
+                    self._cond.wait(0.5)
+        """
+        assert findings_for("RPR103", snippet) == []
+
+    def test_str_join_and_dict_get_do_not_trigger(self):
+        snippet = """
+        def f(self):
+            with self._lock:
+                label = ", ".join(self._names)
+                value = self._cache.get("key")
+        """
+        assert findings_for("RPR103", snippet) == []
+
+    def test_blocking_call_outside_lock_does_not_trigger(self):
+        snippet = """
+        import time
+
+        def f(self):
+            with self._lock:
+                depth = len(self._queue)
+            time.sleep(0.1)
+        """
+        assert findings_for("RPR103", snippet) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR104 — unnamed / implicit-daemon threads
+# ---------------------------------------------------------------------------
+
+
+class TestRPR104:
+    def test_thread_without_name_triggers(self):
+        snippet = "import threading\nt = threading.Thread(target=f, daemon=True)\n"
+        found = findings_for("RPR104", snippet)
+        assert len(found) == 1 and "name=" in found[0].message
+
+    def test_thread_without_daemon_triggers(self):
+        snippet = "import threading\nt = threading.Thread(target=f, name='worker')\n"
+        found = findings_for("RPR104", snippet)
+        assert len(found) == 1 and "daemon=" in found[0].message
+
+    def test_fully_specified_thread_does_not_trigger(self):
+        snippet = (
+            "import threading\n"
+            "t = threading.Thread(target=f, name='worker', daemon=True)\n"
+        )
+        assert findings_for("RPR104", snippet) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR105 — broad except that swallows the error
+# ---------------------------------------------------------------------------
+
+
+class TestRPR105:
+    def test_swallowing_broad_except_triggers(self):
+        snippet = """
+        def f():
+            try:
+                work()
+            except Exception:
+                pass
+        """
+        assert len(findings_for("RPR105", snippet)) == 1
+
+    def test_bare_except_triggers(self):
+        snippet = """
+        def f():
+            try:
+                work()
+            except:
+                return None
+        """
+        assert len(findings_for("RPR105", snippet)) == 1
+
+    def test_reraise_does_not_trigger(self):
+        snippet = """
+        def f():
+            try:
+                work()
+            except Exception:
+                cleanup()
+                raise
+        """
+        assert findings_for("RPR105", snippet) == []
+
+    def test_routing_the_exception_does_not_trigger(self):
+        snippet = """
+        def f(self):
+            try:
+                work()
+            except Exception as error:
+                self.telemetry.record_failure(error)
+        """
+        assert findings_for("RPR105", snippet) == []
+
+    def test_narrow_except_does_not_trigger(self):
+        snippet = """
+        def f():
+            try:
+                work()
+            except OSError:
+                pass
+        """
+        assert findings_for("RPR105", snippet) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR106 — unlocked mutation in @thread_shared classes
+# ---------------------------------------------------------------------------
+
+
+class TestRPR106:
+    def test_unlocked_attribute_write_triggers(self):
+        snippet = """
+        import threading
+        from repro.concurrency import thread_shared
+
+        @thread_shared
+        class Shared:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def bump(self):
+                self._count += 1
+        """
+        found = findings_for("RPR106", snippet)
+        assert len(found) == 1 and "_count" in found[0].message
+
+    def test_unlocked_container_mutation_triggers(self):
+        snippet = """
+        import threading
+        from repro.concurrency import thread_shared
+
+        @thread_shared
+        class Shared:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def push(self, item):
+                self._items.append(item)
+        """
+        assert len(findings_for("RPR106", snippet)) == 1
+
+    def test_locked_write_does_not_trigger(self):
+        snippet = """
+        import threading
+        from repro.concurrency import thread_shared
+
+        @thread_shared
+        class Shared:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def bump(self):
+                with self._lock:
+                    self._count += 1
+        """
+        assert findings_for("RPR106", snippet) == []
+
+    def test_init_and_locked_helpers_are_exempt(self):
+        snippet = """
+        import threading
+        from repro.concurrency import thread_shared
+
+        @thread_shared
+        class Shared:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def _bump_locked(self):
+                self._count += 1
+
+            def bump(self):
+                with self._lock:
+                    self._bump_locked()
+        """
+        assert findings_for("RPR106", snippet) == []
+
+    def test_unannotated_class_does_not_trigger(self):
+        snippet = """
+        import threading
+
+        class Unshared:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def bump(self):
+                self._count += 1
+        """
+        assert findings_for("RPR106", snippet) == []
+
+
+# ---------------------------------------------------------------------------
+# the shipped tree + the CLI
+# ---------------------------------------------------------------------------
+
+
+class TestAcceptance:
+    def test_shipped_source_tree_lints_clean(self):
+        report = run_lint([SRC_ROOT])
+        assert report.files_scanned > 50
+        assert report.unsuppressed == [], format_text(report)
+
+    def test_every_suppression_in_src_is_still_needed(self):
+        # A stale `# repro: noqa` (nothing fires on that line any more) is
+        # masked dead weight; this keeps the justified list minimal.
+        report = run_lint([SRC_ROOT])
+        assert report.suppressed, "expected the documented justified suppressions"
+        for finding in report.suppressed:
+            assert finding.code in RULE_REGISTRY
+
+    def test_cli_exit_zero_on_clean_tree(self, capsys):
+        assert main(["lint", str(SRC_ROOT)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_cli_exit_one_on_findings(self, tmp_path, capsys):
+        bad = tmp_path / "core" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("import time\nstart = time.time()\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "RPR102" in capsys.readouterr().out
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "serve" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("import threading\nt = threading.Thread(target=min)\n")
+        assert main(["lint", "--format", "json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"RPR104": 1}
+
+    def test_cli_select_filters_rules(self, tmp_path, capsys):
+        bad = tmp_path / "serve" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text(
+            "import time\nimport threading\n"
+            "start = time.time()\n"
+            "t = threading.Thread(target=min)\n"
+        )
+        assert main(["lint", "--select", "RPR104", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR104" in out and "RPR102" not in out
+
+    def test_cli_show_suppressed(self, tmp_path, capsys):
+        bad = tmp_path / "serve" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text(
+            "import time\nstart = time.time()  # repro: noqa[RPR102]\n"
+        )
+        assert main(["lint", "--show-suppressed", str(tmp_path)]) == 0
+        assert "[suppressed]" in capsys.readouterr().out

@@ -1,0 +1,237 @@
+"""The ``analysis`` lane, part 2: the runtime concurrency sanitizer.
+
+A constructed A→B / B→A acquisition inversion must produce a
+potential-deadlock report carrying both acquisition stacks; consistent
+ordering must stay silent; re-entrant RLocks and Condition.wait must not
+produce false positives; and a real sanitized serving session must come out
+cycle-free (the property the CI ``analysis`` lane asserts suite-wide via
+``REPRO_SANITIZE=1``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import concurrency
+from repro.analysis import sanitizer
+from repro.analysis.sanitizer import (
+    SanitizedCondition,
+    SanitizedLock,
+    SanitizedRLock,
+)
+from repro.errors import ConcurrencyError
+
+pytestmark = pytest.mark.analysis
+
+
+def run_thread(fn) -> None:
+    thread = threading.Thread(target=fn, name="sanitizer-test", daemon=True)
+    thread.start()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+
+
+class TestLockOrderGraph:
+    def test_ab_ba_inversion_is_reported_with_both_stacks(self, concurrency_sanitizer):
+        lock_a = SanitizedLock("test.A")
+        lock_b = SanitizedLock("test.B")
+
+        with lock_a:
+            with lock_b:
+                pass
+
+        def inverted():
+            with lock_b:
+                with lock_a:
+                    pass
+
+        # The orders never overlap in time, so nothing actually deadlocks —
+        # exactly the case only a lock-order graph can catch.
+        run_thread(inverted)
+
+        (cycle,) = sanitizer.cycle_reports()
+        assert set(cycle["locks"]) == {"test.A", "test.B"}
+        assert len(cycle["edges"]) == 2
+        for edge in cycle["edges"]:
+            assert edge["stack"], "each edge must carry its acquisition stack"
+        assert "potential deadlock" in cycle["message"]
+        with pytest.raises(ConcurrencyError, match="potential deadlock"):
+            sanitizer.assert_clean()
+
+    def test_consistent_ordering_is_clean(self, concurrency_sanitizer):
+        lock_a = SanitizedLock("test.A")
+        lock_b = SanitizedLock("test.B")
+        for _ in range(3):
+            with lock_a:
+                with lock_b:
+                    pass
+
+        def same_order():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        run_thread(same_order)
+        assert sanitizer.cycle_reports() == []
+        sanitizer.assert_clean()
+
+    def test_three_lock_cycle_detected(self, concurrency_sanitizer):
+        lock_a = SanitizedLock("test.A")
+        lock_b = SanitizedLock("test.B")
+        lock_c = SanitizedLock("test.C")
+        with lock_a, lock_b:
+            pass
+        with lock_b, lock_c:
+            pass
+        with lock_c, lock_a:
+            pass
+        (cycle,) = sanitizer.cycle_reports()
+        assert set(cycle["locks"]) == {"test.A", "test.B", "test.C"}
+
+    def test_two_instances_of_one_site_nested_is_reported(self, concurrency_sanitizer):
+        # Classic two-instance ABBA: the same lock *site* nested inside
+        # itself collapses to a self-edge in the name-keyed graph.
+        first = SanitizedLock("test.same_site")
+        second = SanitizedLock("test.same_site")
+        with first:
+            with second:
+                pass
+        (cycle,) = sanitizer.cycle_reports()
+        assert cycle["locks"] == ["test.same_site"]
+
+    def test_rlock_reentry_is_not_a_cycle(self, concurrency_sanitizer):
+        rlock = SanitizedRLock("test.R")
+        with rlock:
+            with rlock:
+                pass
+        assert sanitizer.cycle_reports() == []
+
+    def test_condition_wait_releases_for_ordering_purposes(self, concurrency_sanitizer):
+        cond = SanitizedCondition("test.cond")
+        other = SanitizedLock("test.other")
+        done = []
+
+        def waiter():
+            with cond:
+                cond.wait(timeout=0.05)  # times out; reacquires cleanly
+            with other:
+                done.append(True)
+
+        run_thread(waiter)
+        assert done == [True]
+        assert sanitizer.cycle_reports() == []
+
+    def test_condition_notify_wakes_waiter(self, concurrency_sanitizer):
+        cond = SanitizedCondition("test.cond")
+        state = {"ready": False, "seen": False}
+
+        def waiter():
+            with cond:
+                while not state["ready"]:
+                    cond.wait(timeout=5.0)
+                state["seen"] = True
+
+        thread = threading.Thread(target=waiter, name="cond-waiter", daemon=True)
+        thread.start()
+        time.sleep(0.02)
+        with cond:
+            state["ready"] = True
+            cond.notify_all()
+        thread.join(timeout=10.0)
+        assert state["seen"] and not thread.is_alive()
+
+
+class TestHeldTooLong:
+    def test_long_hold_records_warning(self, concurrency_sanitizer):
+        sanitizer.enable(held_threshold_s=0.01)
+        lock = SanitizedLock("test.slow")
+        with lock:
+            time.sleep(0.05)
+        (warning,) = sanitizer.held_too_long_reports()
+        assert warning["lock"] == "test.slow"
+        assert warning["duration_s"] > warning["threshold_s"]
+        # A latency smell, not a deadlock: assert_clean still passes.
+        sanitizer.assert_clean()
+
+    def test_short_hold_is_silent(self, concurrency_sanitizer):
+        lock = SanitizedLock("test.fast")
+        with lock:
+            pass
+        assert sanitizer.held_too_long_reports() == []
+
+
+class TestActivation:
+    def test_factory_plain_when_inactive(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        sanitizer.disable()
+        assert not isinstance(concurrency.make_lock("plain"), SanitizedLock)
+        assert not isinstance(concurrency.make_condition("plain"), SanitizedCondition)
+
+    def test_factory_instrumented_when_enabled(self, concurrency_sanitizer):
+        assert isinstance(concurrency.make_lock("inst"), SanitizedLock)
+        assert isinstance(concurrency.make_rlock("inst"), SanitizedRLock)
+        assert isinstance(concurrency.make_condition("inst"), SanitizedCondition)
+
+    def test_env_var_activates_factory(self, monkeypatch):
+        sanitizer.disable()
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert isinstance(concurrency.make_lock("env"), SanitizedLock)
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not isinstance(concurrency.make_lock("env"), SanitizedLock)
+
+    def test_thread_shared_marker(self):
+        @concurrency.thread_shared
+        class Marked:
+            pass
+
+        class Unmarked:
+            pass
+
+        assert concurrency.is_thread_shared(Marked)
+        assert not concurrency.is_thread_shared(Unmarked)
+
+    def test_report_shape(self, concurrency_sanitizer):
+        lock_a = SanitizedLock("test.A")
+        lock_b = SanitizedLock("test.B")
+        with lock_a, lock_b:
+            pass
+        snapshot = sanitizer.report()
+        assert snapshot["enabled"]
+        assert snapshot["acquisitions"] >= 2
+        (edge,) = snapshot["edges"]
+        assert (edge["from"], edge["to"]) == ("test.A", "test.B")
+        assert edge["count"] == 1
+        assert snapshot["cycles"] == [] and snapshot["held_too_long"] == []
+
+
+@pytest.mark.serving
+class TestSanitizedServing:
+    def test_serving_session_is_cycle_free(self, lenet, concurrency_sanitizer):
+        # Locks are instrumented at creation, so building the whole server
+        # under the fixture gives a fully sanitized end-to-end session.
+        from repro.config import small_test_chip
+        from repro.core.inference import generate_random_weights
+        from repro.serve.server import InferenceServer
+
+        weights = generate_random_weights(lenet, seed=0, scale=0.3)
+        server = InferenceServer(
+            lenet,
+            weights,
+            small_test_chip(),
+            executor="thread:2",
+            max_batch=4,
+            max_wait_s=0.002,
+        )
+        rng = np.random.default_rng(7)
+        images = rng.normal(size=(12, *lenet.input_shape.as_tuple()))
+        with server:
+            futures = [server.submit(image) for image in images]
+            outputs = [future.result(timeout=30.0) for future in futures]
+        assert len(outputs) == len(images)
+        assert sanitizer.report()["acquisitions"] > 0
+        assert sanitizer.cycle_reports() == []
+        sanitizer.assert_clean()
