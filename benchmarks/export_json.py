@@ -124,6 +124,42 @@ def _faulted_burst(network, weights, config, images) -> dict:
     }
 
 
+def _traced_burst(network, weights, config, images) -> dict:
+    """Serve a burst with full tracing; returns the per-stage mean breakdown.
+
+    The observability trajectory: mean milliseconds per pipeline stage
+    (admit → … → deliver, from the request traces) plus the tracer's own
+    bookkeeping, so a regression that shifts time between stages — or starts
+    dropping traces — shows up in the artifact diff even when end-to-end
+    throughput still looks fine.
+    """
+    server = InferenceServer(
+        network,
+        weights,
+        config,
+        max_batch=8,
+        max_wait_s=0.002,
+        queue_capacity=max(len(images), 8),
+    )
+    with server:
+        start = time.perf_counter()
+        server.serve_batch(images)
+        elapsed = time.perf_counter() - start
+    # Read after the graceful stop: the deliver span finishes just *after*
+    # the response future resolves, so an in-flight snapshot can undercount.
+    telemetry = server.telemetry.snapshot()
+    tracer = server.tracer.snapshot()
+    breakdown = telemetry["stage_breakdown"]
+    return {
+        "throughput_rps": len(images) / elapsed,
+        "traces_finished": tracer["finished"],
+        "traces_dropped": tracer["dropped"],
+        "stage_mean_ms": {
+            name: stats["mean_s"] * 1e3 for name, stats in breakdown.items()
+        },
+    }
+
+
 def _sharding_timings(network, weights, config, images) -> dict:
     """Warm-batch serial vs thread-sharded timings (bench_sharding smoke)."""
     timings = {}
@@ -168,6 +204,7 @@ def export(num_images: int) -> dict:
         },
         "serving": serving,
         "robustness": _faulted_burst(network, weights, config, images),
+        "observability": _traced_burst(network, weights, config, images),
         "sharding": _sharding_timings(network, weights, config, images),
     }
 

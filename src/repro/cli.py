@@ -17,6 +17,8 @@ writing any Python:
   per point (or a remote ``--url`` HTTP server) and print a
   throughput/latency table;
 * ``workloads`` — list the bundled CNN workload descriptions;
+* ``trace-report`` — summarise a Chrome trace-event JSON file written by
+  ``serve --trace-out`` into a per-stage latency table (offline analysis);
 * ``lint``      — run the project-specific static-analysis rules (RPR1xx)
   over the package source (exit 1 on any unsuppressed finding).
 
@@ -34,6 +36,8 @@ Examples
     python -m repro serve --network lenet5 --http 8080 --policy adaptive --slo-ms 50
     python -m repro loadgen --network lenet5 --mode closed --concurrency 1,2,4
     python -m repro loadgen --network lenet5 --url http://127.0.0.1:8080 --rates 250,500
+    python -m repro serve --network lenet5 --requests 64 --trace-out trace.json --slow-ms 20
+    python -m repro trace-report trace.json --top 3
     python -m repro lint --format json --select RPR103,RPR106
 """
 
@@ -271,6 +275,18 @@ def _nonnegative_int(value: str) -> int:
     return number
 
 
+def _unit_interval_float(value: str) -> float:
+    try:
+        number = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number in [0, 1], got {value!r}"
+        ) from None
+    if not (0.0 <= number <= 1.0):
+        raise argparse.ArgumentTypeError(f"expected a number in [0, 1], got {value!r}")
+    return number
+
+
 def _parse_fault_rule(value: str) -> str:
     """Validate an ``--inject-fault`` spelling eagerly (keep the string)."""
     try:
@@ -411,6 +427,38 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
             "drills): KIND[:key=value,...] with KIND crash|hang|slow|corrupt "
             "and keys every/at/probability/delay_ms/times/seed, e.g. "
             "'crash:every=5' or 'slow:probability=0.2,delay_ms=30,seed=7'"
+        ),
+    )
+    # ---------------------------------------------------------------- observability
+    parser.add_argument(
+        "--trace-sample",
+        type=_unit_interval_float,
+        default=1.0,
+        metavar="RATE",
+        help=(
+            "fraction of requests that carry a full trace (seeded sampling; "
+            "1.0 traces everything, 0 disables tracing entirely)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the retained request traces as Chrome trace-event JSON "
+            "(load in Perfetto / chrome://tracing, or summarise offline "
+            "with 'python -m repro trace-report FILE')"
+        ),
+    )
+    parser.add_argument(
+        "--slow-ms",
+        type=_positive_float,
+        default=None,
+        metavar="MS",
+        help=(
+            "log a JSON-lines exemplar (trace id + per-stage breakdown) to "
+            "stderr for every request slower end-to-end than this many "
+            "milliseconds"
         ),
     )
 
@@ -644,6 +692,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("workloads", help="list the bundled workload descriptions")
+
+    trace_report = subparsers.add_parser(
+        "trace-report",
+        help="summarise a Chrome trace-event JSON file into a per-stage latency table",
+    )
+    trace_report.add_argument(
+        "trace_file",
+        help="Chrome trace-event JSON written by 'serve --trace-out'",
+    )
+    trace_report.add_argument(
+        "--top",
+        type=_positive_int,
+        default=5,
+        help="number of slowest requests to list (default 5)",
+    )
+    trace_report.add_argument(
+        "--json", action="store_true", help="print a JSON summary instead of text"
+    )
 
     lint = subparsers.add_parser(
         "lint",
@@ -898,7 +964,31 @@ def _make_server(args: argparse.Namespace, built_entries) -> InferenceServer:
             breaker=breaker,
             faults=getattr(args, "inject_faults", None),
         )
-    return InferenceServer(registry=registry, autoscaler=autoscaler)
+    trace_sample = getattr(args, "trace_sample", 1.0)
+    return InferenceServer(
+        registry=registry,
+        autoscaler=autoscaler,
+        tracing=trace_sample > 0,
+        trace_sample=trace_sample,
+        slow_ms=getattr(args, "slow_ms", None),
+    )
+
+
+def _export_trace(args: argparse.Namespace, server: Optional[InferenceServer]) -> None:
+    """Honour ``--trace-out`` after a serving run (no-op without the flag)."""
+    trace_out = getattr(args, "trace_out", None)
+    if not trace_out:
+        return
+    if server is None or server.tracer is None:
+        print(
+            "--trace-out ignored: no local tracer "
+            "(tracing disabled or remote --url target)",
+            file=sys.stderr,
+        )
+        return
+    traces = server.export_trace(trace_out)
+    # stderr, so `--json` stdout stays machine-parseable.
+    print(f"wrote {traces} request traces to {trace_out}", file=sys.stderr)
 
 
 def _build_traffic(args: argparse.Namespace, built_entries, num_requests: int):
@@ -1060,6 +1150,9 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
             print(f"  POST {front.url}/v1/infer    — single image or batch (optional 'model')")
             print(f"  GET  {front.url}/v1/models   — hosted-model listing")
             print(f"  GET  {front.url}/v1/stats    — SLO telemetry snapshot (?model=NAME)")
+            print(f"  GET  {front.url}/metrics     — Prometheus text exposition")
+            if server.tracer is not None:
+                print(f"  GET  {front.url}/v1/trace/ID — one request trace as JSON")
             print(f"  GET  {front.url}/healthz     — liveness probe")
             if args.allow_remote_shutdown:
                 print(f"  POST {front.url}/v1/shutdown — stop the server")
@@ -1092,6 +1185,7 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
                 for signum, handler in previous_handlers.items():
                     signal.signal(signum, handler)
         final_stats = server.stats()
+    _export_trace(args, server)
     for name, model_stats in final_stats["models"].items():
         telemetry = model_stats["telemetry"]
         scaling = telemetry["autoscaler"]
@@ -1121,6 +1215,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     arrivals = ARRIVAL_PROCESSES[args.arrival](args.rate, args.requests, seed=args.arrival_seed)
     with _make_server(args, built) as server:
         report = LoadGenerator(server).run_open_loop(images, arrivals, models=schedule)
+    _export_trace(args, server)
     directs = _direct_references(args, built, images_by_model)
     by_model = _verify_by_model(directs, report, schedule)
     bitwise = None if by_model is None else all(by_model.values())
@@ -1227,6 +1322,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     encoding = "npy_b64" if args.encoding == "npy" else "json"
     points = args.rates if args.mode == "open" else args.concurrency
     rows = []
+    last_server: Optional[InferenceServer] = None
     for point in points:
         if args.url:
             with HTTPInferenceClient(
@@ -1240,6 +1336,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 report = _run_load_point(
                     args, LoadGenerator(server), images, point, schedule
                 )
+            last_server = server
         bitwise = _verify_served_outputs(directs, report, schedule)
         telemetry = _cross_model_telemetry(report, schedule)
         # Against a remote server the telemetry snapshot is cumulative over
@@ -1265,6 +1362,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 "bitwise_match_vs_run_batch": bitwise,
             }
         )
+    # Each local load point gets a fresh server, so the exported trace covers
+    # the last point of the sweep (a remote --url target has no local tracer).
+    _export_trace(args, last_server)
     if args.json:
         print(
             json.dumps(
@@ -1319,6 +1419,22 @@ def _cmd_workloads(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import format_report, report_from_file
+
+    try:
+        summary = report_from_file(args.trace_file, top=args.top)
+    except OSError as error:
+        raise SystemExit(f"cannot read {args.trace_file!r}: {error}") from error
+    except SimulationError as error:
+        raise SystemExit(str(error)) from error
+    if args.json:
+        print(json.dumps(summary, indent=2, default=float))
+    else:
+        print(format_report(summary))
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -1347,6 +1463,7 @@ COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "workloads": _cmd_workloads,
+    "trace-report": _cmd_trace_report,
     "lint": _cmd_lint,
 }
 

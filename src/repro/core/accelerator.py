@@ -273,6 +273,90 @@ class OpticalCrossbarAccelerator:
             stats["per_core_busy_time_s"] = tuple(self._per_core_busy_time_s)
             return stats
 
+    def register_metrics(self, registry, labels: Optional[Dict[str, str]] = None) -> None:
+        """Export :meth:`functional_statistics` into a metrics registry.
+
+        Metric names match the worker pool's accelerator exporter
+        (:meth:`repro.serve.workers.EngineWorkerPool.register_metrics`); the
+        registry merges same-named families, so a standalone accelerator and
+        a serving fleet land in the same time series.
+        """
+        label_set = dict(labels or {})
+
+        def _collect():
+            stats = self.functional_statistics()
+            families = [
+                {
+                    "name": "repro_accelerator_programming_events_total",
+                    "type": "counter",
+                    "help": "Full-array PCM programming passes.",
+                    "samples": [(label_set, float(stats["programming_events"]))],
+                },
+                {
+                    "name": "repro_accelerator_programming_energy_joules_total",
+                    "type": "counter",
+                    "help": "Modelled PCM programming energy.",
+                    "samples": [(label_set, float(stats["programming_energy_j"]))],
+                },
+                {
+                    "name": "repro_accelerator_programming_seconds_total",
+                    "type": "counter",
+                    "help": "Modelled PCM programming time.",
+                    "samples": [(label_set, float(stats["programming_time_s"]))],
+                },
+                {
+                    "name": "repro_accelerator_sharded_dispatches_total",
+                    "type": "counter",
+                    "help": "Multi-core sharded GEMM dispatches.",
+                    "samples": [(label_set, float(stats["sharded_dispatches"]))],
+                },
+                {
+                    "name": "repro_accelerator_tile_cache_total",
+                    "type": "counter",
+                    "help": "Programmed tile-plan cache events.",
+                    "samples": [
+                        (
+                            {**label_set, "event": event},
+                            float(stats[f"tile_cache_{key}"]),
+                        )
+                        for event, key in (
+                            ("hit", "hits"),
+                            ("miss", "misses"),
+                            ("eviction", "evictions"),
+                        )
+                    ],
+                },
+            ]
+            dispatches = stats["per_core_tile_dispatches"]
+            busy = stats["per_core_busy_time_s"]
+            if dispatches:
+                families.append(
+                    {
+                        "name": "repro_accelerator_core_tile_dispatches_total",
+                        "type": "counter",
+                        "help": "Tile GEMMs dispatched per crossbar core.",
+                        "samples": [
+                            ({**label_set, "core": str(core)}, float(value))
+                            for core, value in enumerate(dispatches)
+                        ],
+                    }
+                )
+            if busy:
+                families.append(
+                    {
+                        "name": "repro_accelerator_core_busy_seconds_total",
+                        "type": "counter",
+                        "help": "Modelled busy time per crossbar core.",
+                        "samples": [
+                            ({**label_set, "core": str(core)}, float(value))
+                            for core, value in enumerate(busy)
+                        ],
+                    }
+                )
+            return families
+
+        registry.register_collector(_collect)
+
     def _analytics_plan(self, weights: np.ndarray) -> _TilePlan:
         """Tile plan for analytics queries, free of datapath side effects.
 

@@ -1,0 +1,144 @@
+"""Offline trace-file analysis: ``python -m repro trace-report``.
+
+Loads a Chrome trace-event JSON file written by ``--trace-out`` (or
+:meth:`repro.obs.Tracer.export_chrome`), groups the complete ("X") events by
+trace id, and summarizes where the time went: per-stage count / mean /
+p50 / p95 / p99 / max plus the slowest end-to-end requests with their stage
+breakdowns — the same question ``stage_breakdown`` answers online, answered
+after the fact from a file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.obs.tracing import ROOT_SPAN_NAME, STAGES
+
+__all__ = [
+    "format_report",
+    "load_chrome_trace",
+    "summarize_chrome_trace",
+]
+
+_PERCENTILES = (50, 95, 99)
+
+
+def load_chrome_trace(path: str) -> List[Dict[str, object]]:
+    """The ``traceEvents`` list of a Chrome trace JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, list):
+        return payload
+    events = payload.get("traceEvents") if isinstance(payload, dict) else None
+    if not isinstance(events, list):
+        raise SimulationError(f"{path}: not a Chrome trace-event JSON file")
+    return events
+
+
+def _duration_stats(durations_ms: Sequence[float]) -> Dict[str, float]:
+    values = np.asarray(durations_ms, dtype=np.float64)
+    stats = {
+        "count": int(values.size),
+        "mean_ms": float(values.mean()),
+        "max_ms": float(values.max()),
+    }
+    for q in _PERCENTILES:
+        stats[f"p{q}_ms"] = float(np.percentile(values, q))
+    return stats
+
+
+def summarize_chrome_trace(
+    events: Sequence[Dict[str, object]], top: int = 5
+) -> Dict[str, object]:
+    """Aggregate span events into per-stage stats and slowest-trace exemplars."""
+    stage_durations: Dict[str, List[float]] = {}
+    trace_e2e: Dict[str, float] = {}
+    trace_stages: Dict[str, Dict[str, float]] = {}
+    span_events = 0
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        span_events += 1
+        name = str(event.get("name", ""))
+        args = event.get("args") or {}
+        trace_id = str(args.get("trace_id", ""))
+        duration_ms = float(event.get("dur", 0.0)) / 1e3
+        if name == ROOT_SPAN_NAME:
+            trace_e2e[trace_id] = duration_ms
+        elif name in STAGES:
+            stage_durations.setdefault(name, []).append(duration_ms)
+            per_trace = trace_stages.setdefault(trace_id, {})
+            per_trace[name] = per_trace.get(name, 0.0) + duration_ms
+    slowest = sorted(trace_e2e.items(), key=lambda item: item[1], reverse=True)[: max(top, 0)]
+    return {
+        "traces": len(trace_e2e),
+        "span_events": span_events,
+        "e2e": _duration_stats(list(trace_e2e.values())) if trace_e2e else {},
+        "stages": {
+            name: _duration_stats(stage_durations[name])
+            for name in STAGES
+            if name in stage_durations
+        },
+        "slowest": [
+            {
+                "trace_id": trace_id,
+                "e2e_ms": e2e_ms,
+                "stages_ms": {
+                    name: round(value, 3)
+                    for name, value in sorted(trace_stages.get(trace_id, {}).items())
+                },
+            }
+            for trace_id, e2e_ms in slowest
+        ],
+    }
+
+
+def format_report(summary: Dict[str, object]) -> str:
+    """Human-readable rendering of :func:`summarize_chrome_trace`."""
+    lines: List[str] = []
+    lines.append(
+        f"traces: {summary['traces']}   span events: {summary['span_events']}"
+    )
+    e2e = summary.get("e2e") or {}
+    if e2e:
+        lines.append(
+            "end-to-end: "
+            f"mean {e2e['mean_ms']:.3f} ms  p50 {e2e['p50_ms']:.3f}  "
+            f"p95 {e2e['p95_ms']:.3f}  p99 {e2e['p99_ms']:.3f}  max {e2e['max_ms']:.3f}"
+        )
+    stages: Dict[str, Dict[str, float]] = summary.get("stages") or {}
+    if stages:
+        lines.append("")
+        header = f"{'stage':<16} {'count':>7} {'mean':>9} {'p50':>9} {'p95':>9} {'p99':>9} {'max':>9}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name in STAGES:
+            stats = stages.get(name)
+            if not stats:
+                continue
+            lines.append(
+                f"{name:<16} {stats['count']:>7d} "
+                f"{stats['mean_ms']:>9.3f} {stats['p50_ms']:>9.3f} "
+                f"{stats['p95_ms']:>9.3f} {stats['p99_ms']:>9.3f} {stats['max_ms']:>9.3f}"
+            )
+        lines.append("(durations in ms)")
+    slowest: List[Dict[str, object]] = summary.get("slowest") or []
+    if slowest:
+        lines.append("")
+        lines.append("slowest requests:")
+        for entry in slowest:
+            stages_ms = entry.get("stages_ms") or {}
+            detail = "  ".join(f"{k}={v:.3f}" for k, v in stages_ms.items())
+            lines.append(
+                f"  {entry['trace_id']}  e2e {entry['e2e_ms']:.3f} ms  {detail}"
+            )
+    return "\n".join(lines)
+
+
+def report_from_file(path: str, top: int = 5) -> Dict[str, object]:
+    """Load + summarize in one call (what the CLI subcommand uses)."""
+    return summarize_chrome_trace(load_chrome_trace(path), top=top)

@@ -1,0 +1,79 @@
+"""Slow-request exemplar log: structured JSON lines keyed by trace id.
+
+When a delivered request's end-to-end latency crosses the threshold the
+server emits one JSON object per line — model, sequence number, latency,
+trace id, and the per-stage millisecond breakdown — so a tail-latency
+investigation starts from concrete exemplars (`grep` the trace id, then
+``GET /v1/trace/{id}`` or the Chrome trace export) instead of aggregates.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Dict, Mapping, Optional, TextIO
+
+from repro.concurrency import make_lock, thread_shared
+
+__all__ = ["SlowRequestLog"]
+
+
+@thread_shared
+class SlowRequestLog:
+    """Writes one JSON line per request slower than ``threshold_s``.
+
+    ``stream`` defaults to stderr; anything with a ``write`` method works
+    (tests pass ``io.StringIO``).  Wall-clock ``ts`` is included so exemplar
+    lines can be correlated with external logs; all latency figures remain
+    monotonic-clock durations.
+    """
+
+    def __init__(
+        self,
+        threshold_s: float,
+        stream: Optional[TextIO] = None,
+        wall_clock=time.time,
+    ) -> None:
+        self.threshold_s = float(threshold_s)
+        self._stream = stream if stream is not None else sys.stderr
+        self._wall_clock = wall_clock
+        self._lock = make_lock("SlowRequestLog._lock")
+        self._emitted = 0
+
+    @property
+    def emitted(self) -> int:
+        with self._lock:
+            return self._emitted
+
+    def observe(
+        self,
+        *,
+        model: str,
+        seq: int,
+        latency_s: float,
+        trace_id: Optional[str] = None,
+        stages_s: Optional[Mapping[str, float]] = None,
+    ) -> bool:
+        """Log the request if it is slow enough; returns whether it was."""
+        if latency_s < self.threshold_s:
+            return False
+        entry: Dict[str, object] = {
+            "event": "slow_request",
+            "ts": self._wall_clock(),
+            "model": str(model),
+            "seq": int(seq),
+            "latency_ms": round(float(latency_s) * 1e3, 3),
+            "threshold_ms": round(self.threshold_s * 1e3, 3),
+            "trace_id": trace_id,
+        }
+        if stages_s:
+            entry["stages_ms"] = {
+                name: round(float(value) * 1e3, 3)
+                for name, value in sorted(stages_s.items())
+            }
+        line = json.dumps(entry, sort_keys=True)
+        with self._lock:
+            self._emitted += 1
+            self._stream.write(line + "\n")
+        return True

@@ -32,6 +32,15 @@ by model name; and an :class:`AutoscalerPolicy` enables the queue-depth
 driven control loop that grows each model's replica pool under sustained
 load and shrinks it back (drain-before-retire) after an idle cooldown.
 
+Serving is **observable** end to end: every request carries a trace through
+``admit → queue_wait → batch_assemble → dispatch → replica_execute →
+reorder → deliver`` (propagated across process-replica boundaries, exported
+as Chrome trace-event JSON or ``GET /v1/trace/{id}``), every component
+registers into a unified :class:`~repro.obs.MetricsRegistry` exposed as
+Prometheus text at ``GET /metrics``, and the per-stage latency breakdown
+plus a slow-request exemplar log (``--slow-ms``) pinpoint where time goes.
+See ``docs/observability.md``.
+
 See ``docs/serving.md`` for the CLI commands (``python -m repro serve`` /
 ``python -m repro loadgen``), the HTTP API and the knob reference.
 """
@@ -72,7 +81,7 @@ from repro.serve.loadgen import (
     poisson_arrivals,
 )
 from repro.serve.server import InferenceServer
-from repro.serve.telemetry import ServeTelemetry, latency_summary
+from repro.serve.telemetry import LatencyReservoir, ServeTelemetry, latency_summary
 from repro.serve.workers import (
     DEFAULT_REPLICAS,
     EngineReplicaSpec,
@@ -104,6 +113,7 @@ __all__ = [
     "FlushPolicy",
     "HTTPInferenceClient",
     "InferenceServer",
+    "LatencyReservoir",
     "LoadGenerator",
     "LoadReport",
     "MicroBatcher",

@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.concurrency import make_lock
 from repro.errors import SimulationError
 
 __all__ = [
@@ -192,6 +193,9 @@ class Autoscaler:
         self._states: Dict[str, AutoscalerState] = {}
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        self._counter_lock = make_lock("Autoscaler._counter_lock")
+        self._ticks = 0
+        self._resizes = 0
 
     # ------------------------------------------------------------------ lifecycle
     def start(self) -> "Autoscaler":
@@ -212,6 +216,47 @@ class Autoscaler:
     @property
     def running(self) -> bool:
         return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------ observability
+    def snapshot(self) -> Dict[str, object]:
+        """Control-loop bookkeeping: evaluation ticks and applied resizes."""
+        with self._counter_lock:
+            ticks = self._ticks
+            resizes = self._resizes
+        return {
+            "running": self.running,
+            "ticks": ticks,
+            "resizes": resizes,
+            "interval_s": self.policy.interval_s,
+        }
+
+    def register_metrics(self, registry) -> None:
+        """Export loop health into a :class:`repro.obs.MetricsRegistry`."""
+
+        def _collect():
+            snap = self.snapshot()
+            return [
+                {
+                    "name": "repro_autoscaler_ticks_total",
+                    "type": "counter",
+                    "help": "Autoscaler model evaluations performed.",
+                    "samples": [({}, float(snap["ticks"]))],
+                },
+                {
+                    "name": "repro_autoscaler_resizes_total",
+                    "type": "counter",
+                    "help": "Replica-pool resizes applied by the autoscaler.",
+                    "samples": [({}, float(snap["resizes"]))],
+                },
+                {
+                    "name": "repro_autoscaler_running",
+                    "type": "gauge",
+                    "help": "Whether the autoscaler control loop is alive.",
+                    "samples": [({}, 1.0 if snap["running"] else 0.0)],
+                },
+            ]
+
+        registry.register_collector(_collect)
 
     # ------------------------------------------------------------------ loop
     def _loop(self) -> None:
@@ -234,6 +279,8 @@ class Autoscaler:
         pool = runtime.pool
         if pool is None or not pool.resizable:
             return None
+        with self._counter_lock:
+            self._ticks += 1
         now = self._clock()
         state = self._states.setdefault(name, AutoscalerState())
         depth = runtime.batcher.depth
@@ -265,6 +312,8 @@ class Autoscaler:
         applied = pool.resize(target, drain_timeout_s=self.policy.drain_timeout_s)
         if applied == replicas:
             return None
+        with self._counter_lock:
+            self._resizes += 1
         runtime.telemetry.record_scale_event(
             direction="up" if applied > replicas else "down",
             from_replicas=replicas,

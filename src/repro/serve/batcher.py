@@ -51,12 +51,21 @@ FLUSH_REASONS = ("full", "deadline", "close")
 
 @dataclass
 class ServeRequest:
-    """One admitted single-image inference request."""
+    """One admitted single-image inference request.
+
+    ``trace`` is the request's :class:`repro.obs.RequestTrace` (``None`` when
+    tracing is off or the request was not sampled); ``flush_time`` and
+    ``flush_reason`` are stamped by :meth:`MicroBatcher.next_batch` when the
+    request leaves the queue, bounding its ``queue_wait`` span.
+    """
 
     seq: int
     image: np.ndarray
     enqueue_time: float
     future: "Future[np.ndarray]" = field(default_factory=Future)
+    trace: Optional[object] = None
+    flush_time: Optional[float] = None
+    flush_reason: Optional[str] = None
 
 
 # ---------------------------------------------------------------------------
@@ -425,11 +434,15 @@ class MicroBatcher:
         image: np.ndarray,
         block: bool = True,
         timeout: Optional[float] = None,
+        trace: Optional[object] = None,
     ) -> ServeRequest:
         """Admit one request; returns it with its response future attached.
 
         With ``block=False`` (or when ``timeout`` expires) a full queue raises
-        :class:`QueueOverflowError` instead of waiting for space.
+        :class:`QueueOverflowError` instead of waiting for space.  ``trace``
+        (a :class:`repro.obs.RequestTrace`) is attached to the request under
+        the queue lock — before the dispatch loop can pop it — and its
+        ``admit`` span (trace start → admission) is recorded here.
         """
         deadline = None if timeout is None else self._clock() + timeout
         with self._cond:
@@ -451,7 +464,10 @@ class MicroBatcher:
                 seq=self._seq,
                 image=np.asarray(image, dtype=float),
                 enqueue_time=self._clock(),
+                trace=trace,
             )
+            if trace is not None:
+                trace.add_span("admit", trace.start_s, request.enqueue_time)
             self._seq += 1
             self._queue.append(request)
             self._cond.notify_all()
@@ -508,6 +524,10 @@ class MicroBatcher:
             else:
                 reason = "deadline"
             batch = [self._queue.popleft() for _ in range(size)]
+            flush_time = self._clock()
+            for request in batch:
+                request.flush_time = flush_time
+                request.flush_reason = reason
             # space freed: wake producers blocked on backpressure
             self._cond.notify_all()
         if self._on_flush is not None:

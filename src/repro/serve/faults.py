@@ -426,3 +426,37 @@ class CircuitBreaker:
                     else 0.0
                 ),
             }
+
+    def register_metrics(self, registry, labels: Optional[Dict[str, str]] = None) -> None:
+        """Export breaker state into a :class:`repro.obs.MetricsRegistry`.
+
+        ``repro_breaker_state`` encodes closed=0, half-open=1, open=2 so a
+        dashboard can alert on any non-zero value.
+        """
+        label_set = dict(labels or {})
+        state_codes = {BREAKER_CLOSED: 0.0, BREAKER_HALF_OPEN: 1.0, BREAKER_OPEN: 2.0}
+
+        def _collect():
+            snap = self.snapshot()
+            return [
+                {
+                    "name": "repro_breaker_state",
+                    "type": "gauge",
+                    "help": "Circuit breaker state (0=closed, 1=half-open, 2=open).",
+                    "samples": [(label_set, state_codes.get(snap["state"], 2.0))],
+                },
+                {
+                    "name": "repro_breaker_times_opened_total",
+                    "type": "counter",
+                    "help": "Times the circuit breaker tripped open.",
+                    "samples": [(label_set, float(snap["times_opened"]))],
+                },
+                {
+                    "name": "repro_breaker_rejections_total",
+                    "type": "counter",
+                    "help": "Admissions shed while the breaker was open.",
+                    "samples": [(label_set, float(snap["rejections"]))],
+                },
+            ]
+
+        registry.register_collector(_collect)

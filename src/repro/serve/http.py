@@ -28,6 +28,13 @@ Endpoints
     SLO telemetry, flush-policy state, replica-pool counters and a
     ``models`` section covering every hosted model — as JSON.
     ``GET /v1/stats?model=NAME`` narrows to one model (404 when unknown).
+``GET /metrics``
+    Prometheus text exposition (format 0.0.4) of the server's unified
+    :class:`~repro.obs.metrics.MetricsRegistry` — serving telemetry,
+    replica-pool and accelerator counters, breaker state, tracer health.
+``GET /v1/trace/{trace_id}``
+    One finished (or in-flight) request trace as JSON: the span tree plus
+    the per-stage duration breakdown.  Unknown or evicted ids are a 404.
 ``GET /healthz``
     Liveness probe: workload name, input shape, executor, hosted models,
     uptime.
@@ -71,6 +78,7 @@ from repro.errors import (
     ServeError,
     UnknownModelError,
 )
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
 from repro.serve.server import InferenceServer
 
 #: Default bind host; loopback so a bare ``--http`` never exposes a socket.
@@ -200,6 +208,23 @@ class _ServeHTTPHandler(BaseHTTPRequestHandler):
                     "models": self.front.server.models(),
                 },
             )
+        elif parts.path == "/metrics":
+            registry = getattr(self.front.server, "metrics", None)
+            if registry is None:
+                self._send_error(404, ServeError("metrics registry not available"))
+                return
+            self._send_text(200, registry.render_prometheus(), PROMETHEUS_CONTENT_TYPE)
+        elif parts.path.startswith("/v1/trace/"):
+            tracer = getattr(self.front.server, "tracer", None)
+            if tracer is None:
+                self._send_error(404, ServeError("tracing is disabled on this server"))
+                return
+            trace_id = urllib.parse.unquote(parts.path[len("/v1/trace/") :])
+            trace = tracer.get(trace_id)
+            if trace is None:
+                self._send_error(404, ServeError(f"unknown trace {trace_id!r}"))
+                return
+            self._send_json(200, trace)
         else:
             self._send_error(404, ServeError(f"unknown path {self.path!r}"))
 
@@ -334,6 +359,14 @@ class _ServeHTTPHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 

@@ -212,6 +212,18 @@ class LoadReport:
         flat["server"] = self.server
         return flat
 
+    def stage_breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Server-side per-stage latency breakdown captured with this run.
+
+        Empty when the target server had tracing disabled (the breakdown is
+        derived from per-request trace spans).
+        """
+        telemetry = self.server.get("telemetry") if isinstance(self.server, dict) else None
+        if not isinstance(telemetry, dict):
+            return {}
+        breakdown = telemetry.get("stage_breakdown")
+        return breakdown if isinstance(breakdown, dict) else {}
+
 
 class LoadGenerator:
     """Drives an inference server (in-process or HTTP) with synthetic traffic."""

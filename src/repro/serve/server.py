@@ -51,6 +51,9 @@ from repro.config.chip import ChipConfig
 from repro.crossbar.noise import CrossbarNoiseModel
 from repro.errors import CircuitOpenError, ServeError
 from repro.nn.network import Network
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slowlog import SlowRequestLog
+from repro.obs.tracing import DispatchTraceRecorder, Tracer
 from repro.serve.autoscaler import Autoscaler, AutoscalerPolicy
 from repro.serve.batcher import FlushPolicy, MicroBatcher, ServeRequest
 from repro.serve.faults import BREAKER_CLOSED, BREAKER_OPEN, CircuitBreaker
@@ -67,12 +70,16 @@ class _ModelRuntime:
         definition: ModelDefinition,
         autoscaler_policy: Optional[AutoscalerPolicy],
         on_response: Optional[Callable[[int, np.ndarray], None]],
+        tracer: Optional[Tracer] = None,
+        slow_log: Optional[SlowRequestLog] = None,
     ) -> None:
         self.definition = definition
         self.name = definition.name
         self.input_shape = definition.input_shape
         self.policy: FlushPolicy = definition.build_policy()
         self.telemetry = ServeTelemetry()
+        self.tracer = tracer
+        self.slow_log = slow_log
         self.batcher = MicroBatcher(
             capacity=definition.queue_capacity,
             policy=self.policy,
@@ -104,7 +111,9 @@ class _ModelRuntime:
         self._inflight: Optional[threading.BoundedSemaphore] = None
         self._delivery_lock = make_lock("_ModelRuntime._delivery_lock")
         self._next_delivery_seq = 0
-        self._completed: Dict[int, Tuple[ServeRequest, object]] = {}
+        # seq -> (request, outcome-or-output, completion timestamp); the
+        # completion timestamp bounds the request's reorder span.
+        self._completed: Dict[int, Tuple[ServeRequest, object, float]] = {}
 
     # ------------------------------------------------------------------ lifecycle
     def start(self) -> None:
@@ -182,6 +191,7 @@ class _ModelRuntime:
             "max_replicas": self.max_replicas,
             "policy": self.policy.snapshot(),
             "telemetry": self.telemetry.snapshot(),
+            "tracer": self.tracer.snapshot() if self.tracer is not None else None,
             "pool": pool_stats,
         }
 
@@ -211,29 +221,70 @@ class _ModelRuntime:
             images = np.stack([request.image for request in batch])
             self._inflight.acquire()
             dispatch_ts = time.monotonic()
+            # Record the queued stages for every traced request in the batch
+            # and reserve each one's replica_execute span id; the id travels
+            # to the replica as the parent for its own child spans and is
+            # closed in _complete_batch.  The flush timestamp stamped by the
+            # batcher splits queue_wait (waiting in line) from batch_assemble
+            # (popped but not yet dispatched).
+            traced = [request for request in batch if request.trace is not None]
+            recorder: Optional[DispatchTraceRecorder] = None
+            if traced:
+                contexts = []
+                for request in traced:
+                    trace = request.trace
+                    flush_ts = (
+                        request.flush_time
+                        if request.flush_time is not None
+                        else dispatch_ts
+                    )
+                    trace.add_span(
+                        "queue_wait",
+                        request.enqueue_time,
+                        flush_ts,
+                        reason=request.flush_reason,
+                    )
+                    trace.add_span("batch_assemble", flush_ts, dispatch_ts, batch=len(batch))
+                    contexts.append((trace.trace_id, trace.reserve_span_id()))
+                recorder = DispatchTraceRecorder(contexts)
             try:
-                future = self.pool.submit(images)
+                future = self.pool.submit(images, trace=recorder)
             except BaseException as error:
                 self._inflight.release()
-                self._complete_batch(batch, error, dispatch_ts)
+                self._complete_batch(batch, error, dispatch_ts, dispatch_ts, recorder)
                 continue
+            submitted_ts = time.monotonic()
+            for request in traced:
+                request.trace.add_span("dispatch", dispatch_ts, submitted_ts)
             future.add_done_callback(
-                lambda done, batch=batch, ts=dispatch_ts: self._on_batch_done(
-                    batch, ts, done
-                )
+                lambda done,
+                batch=batch,
+                ts=dispatch_ts,
+                sub=submitted_ts,
+                rec=recorder: self._on_batch_done(batch, ts, sub, rec, done)
             )
 
     def _on_batch_done(
-        self, batch: List[ServeRequest], dispatch_ts: float, future: Future
+        self,
+        batch: List[ServeRequest],
+        dispatch_ts: float,
+        submitted_ts: float,
+        recorder: Optional[DispatchTraceRecorder],
+        future: Future,
     ) -> None:
         assert self._inflight is not None
         self._inflight.release()
         error = future.exception()
         outcome = error if error is not None else future.result()
-        self._complete_batch(batch, outcome, dispatch_ts)
+        self._complete_batch(batch, outcome, dispatch_ts, submitted_ts, recorder)
 
     def _complete_batch(
-        self, batch: List[ServeRequest], outcome: object, dispatch_ts: float
+        self,
+        batch: List[ServeRequest],
+        outcome: object,
+        dispatch_ts: float,
+        submitted_ts: Optional[float] = None,
+        recorder: Optional[DispatchTraceRecorder] = None,
     ) -> None:
         now = time.monotonic()
         self.telemetry.record_batch(len(batch), now - dispatch_ts)
@@ -247,26 +298,85 @@ class _ModelRuntime:
             # Feed the flush policy so adaptive batching can calibrate its
             # wall-clock service-time scale from real dispatches.
             self.batcher.observe_batch(len(batch), now - dispatch_ts)
+        if recorder is not None:
+            self._record_execution_spans(batch, outcome, submitted_ts or dispatch_ts, now, recorder)
+        slow_entries: List[Dict[str, object]] = []
         with self._delivery_lock:
             if isinstance(outcome, BaseException):
                 for request in batch:
-                    self._completed[request.seq] = (request, outcome)
+                    self._completed[request.seq] = (request, outcome, now)
             else:
                 outputs = np.asarray(outcome)
                 for request, output in zip(batch, outputs):
-                    self._completed[request.seq] = (request, output)
-            self._deliver_ready_locked()
+                    self._completed[request.seq] = (request, output, now)
+            slow_entries = self._deliver_ready_locked()
+        # Exemplar I/O happens outside the delivery lock so a slow sink
+        # cannot stall in-order delivery.
+        if self.slow_log is not None:
+            for entry in slow_entries:
+                self.slow_log.observe(**entry)
 
-    def _deliver_ready_locked(self) -> None:
-        """Release contiguous completed responses in submission order."""
+    def _record_execution_spans(
+        self,
+        batch: List[ServeRequest],
+        outcome: object,
+        start_ts: float,
+        end_ts: float,
+        recorder: DispatchTraceRecorder,
+    ) -> None:
+        """Close every traced request's ``replica_execute`` span and splice in
+        the pool's retry/restart events plus replica-side child spans."""
+        records_by_trace: Dict[str, List[Dict[str, object]]] = {}
+        for record in recorder.replica_records:
+            records_by_trace.setdefault(str(record["trace_id"]), []).append(record)
+        traced = [request for request in batch if request.trace is not None]
+        failed = isinstance(outcome, BaseException)
+        for request, (trace_id, span_id) in zip(traced, recorder.contexts):
+            trace = request.trace
+            meta: Dict[str, object] = {"batch": len(batch)}
+            if failed:
+                meta["error"] = type(outcome).__name__
+            trace.add_span("replica_execute", start_ts, end_ts, span_id=span_id, **meta)
+            for event in recorder.events:
+                trace.add_span(
+                    str(event["name"]),
+                    float(event["start_s"]),
+                    float(event["end_s"]),
+                    parent_id=span_id,
+                    **dict(event["meta"]),
+                )
+            for record in records_by_trace.get(trace_id, ()):
+                trace.add_span(
+                    str(record["name"]),
+                    float(record["start_s"]),
+                    float(record["end_s"]),
+                    parent_id=str(record["parent_id"]),
+                    span_id=str(record["span_id"]),
+                    **dict(record["meta"]),
+                )
+
+    def _deliver_ready_locked(self) -> List[Dict[str, object]]:
+        """Release contiguous completed responses in submission order.
+
+        Returns slow-request exemplar entries for the caller to log *after*
+        the delivery lock is released.
+        """
+        slow_entries: List[Dict[str, object]] = []
         while self._next_delivery_seq in self._completed:
-            request, outcome = self._completed.pop(self._next_delivery_seq)
+            request, outcome, complete_ts = self._completed.pop(self._next_delivery_seq)
             self._next_delivery_seq += 1
             delivery_ts = time.monotonic()
+            trace = request.trace
             if isinstance(outcome, BaseException):
                 request.future.set_exception(outcome)
+                if trace is not None:
+                    trace.add_span("reorder", complete_ts, delivery_ts)
+                    trace.finish(
+                        delivery_ts, outcome="error", error=type(outcome).__name__
+                    )
             else:
-                self.telemetry.record_response(delivery_ts - request.enqueue_time)
+                latency_s = delivery_ts - request.enqueue_time
+                self.telemetry.record_response(latency_s)
                 request.future.set_result(outcome)
                 if self._on_response is not None:
                     try:
@@ -275,6 +385,27 @@ class _ModelRuntime:
                         # observer callback must not stall delivery of the
                         # responses still buffered behind it.
                         pass
+                if trace is not None:
+                    trace.add_span("reorder", complete_ts, delivery_ts)
+                    done_ts = time.monotonic()
+                    trace.add_span("deliver", delivery_ts, done_ts)
+                    trace.finish(done_ts, outcome="ok", model=self.name, seq=request.seq)
+                    stages = trace.stage_durations()
+                    self.telemetry.record_stages(stages)
+                    if (
+                        self.slow_log is not None
+                        and stages.get("e2e", latency_s) >= self.slow_log.threshold_s
+                    ):
+                        slow_entries.append(
+                            {
+                                "model": self.name,
+                                "seq": request.seq,
+                                "latency_s": stages.get("e2e", latency_s),
+                                "trace_id": trace.trace_id,
+                                "stages_s": stages,
+                            }
+                        )
+        return slow_entries
 
 
 class InferenceServer:
@@ -319,6 +450,21 @@ class InferenceServer:
     on_response:
         Optional ``callback(seq, output)`` invoked in per-model submission
         order as responses are delivered.
+    tracing:
+        Per-request tracing (see :mod:`repro.obs.tracing`): ``True`` (the
+        default) builds a :class:`~repro.obs.Tracer` sampling at
+        ``trace_sample``, ``False`` disables tracing entirely, and a
+        pre-built :class:`~repro.obs.Tracer` passes through.  The tracer is
+        shared by every hosted model; export with :meth:`export_trace` or
+        read single traces back via ``GET /v1/trace/{id}``.
+    trace_sample:
+        Fraction of requests traced in ``[0, 1]``; ``0`` disables tracing.
+    slow_ms:
+        Latency threshold (milliseconds) above which a delivered request is
+        logged as a JSON-lines exemplar (see :class:`~repro.obs.SlowRequestLog`);
+        ``None`` (the default) disables the slow log.
+    slow_stream:
+        Stream the slow log writes to (defaults to stderr).
     """
 
     def __init__(
@@ -340,6 +486,10 @@ class InferenceServer:
         registry: Optional[ModelRegistry] = None,
         autoscaler: Optional[AutoscalerPolicy] = None,
         on_response: Optional[Callable[[int, np.ndarray], None]] = None,
+        tracing: Union[bool, Tracer] = True,
+        trace_sample: float = 1.0,
+        slow_ms: Optional[float] = None,
+        slow_stream=None,
     ) -> None:
         if registry is None:
             if network is None or weights is None:
@@ -374,13 +524,32 @@ class InferenceServer:
             raise ServeError("model registry is empty: register a model first")
         self.registry = registry
         self.autoscaler_policy = autoscaler
+        if isinstance(tracing, Tracer):
+            self.tracer: Optional[Tracer] = tracing
+        elif tracing and trace_sample > 0:
+            self.tracer = Tracer(sample_rate=float(trace_sample))
+        else:
+            self.tracer = None
+        self.slow_log: Optional[SlowRequestLog] = (
+            SlowRequestLog(float(slow_ms) / 1e3, stream=slow_stream)
+            if slow_ms is not None
+            else None
+        )
+        self.metrics = MetricsRegistry()
         self._runtimes: Dict[str, _ModelRuntime] = {
-            definition.name: _ModelRuntime(definition, autoscaler, on_response)
+            definition.name: _ModelRuntime(
+                definition,
+                autoscaler,
+                on_response,
+                tracer=self.tracer,
+                slow_log=self.slow_log,
+            )
             for definition in registry
         }
         self._autoscaler: Optional[Autoscaler] = None
         self._started = False
         self._stopped = False
+        self._metrics_registered = False
 
     @classmethod
     def hosting(
@@ -447,10 +616,62 @@ class InferenceServer:
                     pass  # the original startup failure re-raises below
             raise
         self._started = True
+        self._register_metrics()
         if self.autoscaler_policy is not None:
             self._autoscaler = Autoscaler(self._runtimes, self.autoscaler_policy)
             self._autoscaler.start()
+            self._autoscaler.register_metrics(self.metrics)
         return self
+
+    def _register_metrics(self) -> None:
+        """Wire every subsystem into the unified metrics registry (once)."""
+        if self._metrics_registered:
+            return
+        self._metrics_registered = True
+        for name, runtime in self._runtimes.items():
+            labels = {"model": name}
+            runtime.telemetry.register_metrics(self.metrics, labels)
+            if runtime.breaker is not None:
+                runtime.breaker.register_metrics(self.metrics, labels)
+            if runtime.pool is not None:
+                runtime.pool.register_metrics(self.metrics, labels)
+        if self.tracer is not None:
+            tracer = self.tracer
+
+            def _tracer_families():
+                snap = tracer.snapshot()
+                return [
+                    {
+                        "name": "repro_traces_started_total",
+                        "type": "counter",
+                        "help": "Requests seen by the tracer (traced + sampled out).",
+                        "samples": [({}, float(snap["started"]))],
+                    },
+                    {
+                        "name": "repro_traces_sampled_out_total",
+                        "type": "counter",
+                        "help": "Requests skipped by trace sampling.",
+                        "samples": [({}, float(snap["sampled_out"]))],
+                    },
+                    {
+                        "name": "repro_traces_retained",
+                        "type": "gauge",
+                        "help": "Finished traces held in the in-memory ring.",
+                        "samples": [({}, float(snap["finished"]))],
+                    },
+                ]
+
+            self.metrics.register_collector(_tracer_families)
+
+    def export_trace(self, path: str) -> int:
+        """Write retained traces as Chrome trace-event JSON; returns the count.
+
+        The file loads directly in Perfetto (https://ui.perfetto.dev) or
+        ``chrome://tracing``.  Raises :class:`ServeError` with tracing off.
+        """
+        if self.tracer is None:
+            raise ServeError("tracing is disabled: no traces to export")
+        return self.tracer.export_chrome(path)
 
     def stop(self, drain: bool = True) -> None:
         """Stop serving and shut the pools down.
@@ -508,10 +729,19 @@ class InferenceServer:
                 f"request image for model {runtime.name!r} must have shape "
                 f"{runtime.input_shape}, got {image.shape}"
             )
+        trace = (
+            runtime.tracer.start_trace(model=runtime.name)
+            if runtime.tracer is not None
+            else None
+        )
         try:
-            request = runtime.batcher.submit(image, block=block, timeout=timeout)
-        except Exception:
+            request = runtime.batcher.submit(
+                image, block=block, timeout=timeout, trace=trace
+            )
+        except Exception as error:
             runtime.telemetry.record_rejection()
+            if trace is not None:
+                trace.finish(outcome="rejected", error=type(error).__name__)
             raise
         runtime.telemetry.record_admission(runtime.batcher.depth)
         return request.future
@@ -588,4 +818,5 @@ class InferenceServer:
         snapshot["default_model"] = default_name
         snapshot["autoscaler_enabled"] = self.autoscaler_policy is not None
         snapshot["models"] = models
+        snapshot["metrics"] = self.metrics.render_json()
         return snapshot

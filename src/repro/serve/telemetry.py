@@ -4,15 +4,26 @@
 generator, for client-side numbers) records into:
 
 * per-request **latency** samples (enqueue → response delivery), summarised
-  as p50/p95/p99/mean/max;
-* **throughput** — completed requests over the observation window (first
-  admission to last delivery);
+  as p50/p95/p99/mean/max.  Samples live in a bounded
+  :class:`LatencyReservoir` (Algorithm R): exact percentiles below the bound,
+  an unbiased uniform sample above it, and exact streaming count/mean/max
+  always — so a week-long serve does not grow memory without bound;
+* **throughput** — completed requests over the observation window, measured
+  *first admission → last delivery* only (rejections, sheds and autoscaler
+  events do not stretch the window, so an idle tail after the last response
+  cannot deflate the reported rate);
+* **per-stage breakdown** — time per pipeline stage
+  (:data:`repro.obs.STAGES`), fed from request traces via
+  :meth:`ServeTelemetry.record_stages`; ``snapshot()["stage_breakdown"]``
+  answers "where does p99 go" stage by stage, and the stage totals sum to
+  the end-to-end latency because the spans tile the request exactly;
 * **queue depth** — sampled at every admission, reported as mean/max;
 * **batch-size histogram** — how large the dynamically formed micro-batches
   actually were, the knob the paper's Fig. 7 batch analysis turns;
-* **flush reasons** — why each micro-batch left the queue (``full`` /
-  ``deadline`` / ``close``), which is how you see whether a flush policy is
-  building batches or timing out;
+* **flush reasons and sizes** — why each micro-batch left the queue
+  (``full`` / ``deadline`` / ``close``) and how big it was when it did
+  (per-reason batch/request counts and mean/max sizes), which is how you see
+  whether a flush policy is building batches or timing out;
 * **autoscaler events** — every replica-count change (direction, old/new
   count, the queue depth and arrival rate that triggered it), so a scaling
   trace can be reconstructed from the snapshot alone.
@@ -20,23 +31,33 @@ generator, for client-side numbers) records into:
 All durations are seconds; the CLI formats milliseconds.  Percentiles use
 the same linear interpolation as ``numpy.percentile``, so telemetry numbers
 are directly comparable with offline analyses of recorded latency traces.
+:meth:`ServeTelemetry.register_metrics` exports everything into a
+:class:`repro.obs.MetricsRegistry` for the ``/metrics`` endpoint.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from collections import Counter, deque
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.concurrency import make_lock, thread_shared
+from repro.errors import SimulationError
 
 #: Latency percentiles reported by :meth:`ServeTelemetry.snapshot`.
 LATENCY_PERCENTILES = (50, 95, 99)
 
 #: Autoscaler events kept per telemetry sink (older events are dropped).
 MAX_SCALE_EVENTS = 256
+
+#: Default bound on retained end-to-end latency samples.
+DEFAULT_LATENCY_RESERVOIR = 8192
+
+#: Bound on retained samples per pipeline stage.
+STAGE_RESERVOIR = 2048
 
 
 def latency_summary(latencies_s: Sequence[float]) -> Dict[str, float]:
@@ -60,16 +81,94 @@ def latency_summary(latencies_s: Sequence[float]) -> Dict[str, float]:
     return summary
 
 
+class LatencyReservoir:
+    """Bounded uniform sample of a duration stream (Vitter's Algorithm R).
+
+    Below ``capacity`` the sample is the full stream, so percentiles are
+    exact; above it each of the ``n`` observations is retained with equal
+    probability ``capacity / n`` (seeded RNG, so runs are reproducible).
+    Count, sum, mean and max are streamed exactly regardless of capacity.
+
+    Not self-locking — the owning :class:`ServeTelemetry` serializes access
+    under its own lock.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_LATENCY_RESERVOIR, seed: int = 0) -> None:
+        if capacity < 1:
+            raise SimulationError(f"reservoir capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._rng = random.Random(seed)
+        self._values: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def add(self, value: float) -> None:
+        number = float(value)
+        self._count += 1
+        self._sum += number
+        if number > self._max:
+            self._max = number
+        if len(self._values) < self.capacity:
+            self._values.append(number)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self.capacity:
+                self._values[slot] = number
+
+    @property
+    def count(self) -> int:
+        """Exact number of observations (not capped by capacity)."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Exact sum of all observations."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    @property
+    def saturated(self) -> bool:
+        """Whether percentiles are now estimates (stream outgrew capacity)."""
+        return self._count > self.capacity
+
+    def values(self) -> List[float]:
+        """The retained sample (the full stream while unsaturated)."""
+        return list(self._values)
+
+    def summary(self) -> Dict[str, float]:
+        """:func:`latency_summary` of the sample, with exact mean/max."""
+        summary = latency_summary(self._values)
+        summary["latency_mean_s"] = self.mean
+        summary["latency_max_s"] = self._max
+        return summary
+
+
 @thread_shared
 class ServeTelemetry:
     """Thread-safe SLO metrics sink for one serving session."""
 
-    def __init__(self, clock=time.perf_counter) -> None:
+    def __init__(
+        self,
+        clock=time.perf_counter,
+        reservoir_capacity: int = DEFAULT_LATENCY_RESERVOIR,
+        seed: int = 0,
+    ) -> None:
         self._clock = clock
         self._lock = make_lock("ServeTelemetry._lock")
-        self._latencies_s: List[float] = []
+        self._latencies = LatencyReservoir(capacity=reservoir_capacity, seed=seed)
+        self._stage_stats: Dict[str, LatencyReservoir] = {}
         self._batch_sizes: Counter = Counter()
         self._flush_reasons: Counter = Counter()
+        self._flush_requests: Counter = Counter()
+        self._flush_max_size: Counter = Counter()
         self._service_time_s = 0.0
         self._queue_depth_sum = 0
         self._queue_depth_samples = 0
@@ -82,19 +181,18 @@ class ServeTelemetry:
         self._scale_events: Deque[Dict[str, object]] = deque(maxlen=MAX_SCALE_EVENTS)
         self._scale_ups = 0
         self._scale_downs = 0
-        self._first_event_ts: Optional[float] = None
-        self._last_event_ts: Optional[float] = None
+        # Throughput window endpoints: first admission and last delivery.
+        # Nothing else moves them — a rejection burst or a late autoscaler
+        # event must not stretch the window and dilute throughput_rps.
+        self._first_admission_ts: Optional[float] = None
+        self._last_delivery_ts: Optional[float] = None
 
     # ------------------------------------------------------------------ record
-    def _touch_locked(self, now: float) -> None:
-        if self._first_event_ts is None:
-            self._first_event_ts = now
-        self._last_event_ts = now
-
     def record_admission(self, queue_depth: int) -> None:
         """One request entered the queue; ``queue_depth`` includes it."""
         with self._lock:
-            self._touch_locked(self._clock())
+            if self._first_admission_ts is None:
+                self._first_admission_ts = self._clock()
             self._admitted += 1
             self._queue_depth_sum += int(queue_depth)
             self._queue_depth_samples += 1
@@ -103,13 +201,11 @@ class ServeTelemetry:
     def record_rejection(self) -> None:
         """One request was refused admission (queue overflow)."""
         with self._lock:
-            self._touch_locked(self._clock())
             self._rejected += 1
 
     def record_shed(self) -> None:
         """One request was shed by the circuit breaker (no queue contact)."""
         with self._lock:
-            self._touch_locked(self._clock())
             self._shed += 1
 
     def record_batch_failure(self, size: int) -> None:
@@ -120,28 +216,43 @@ class ServeTelemetry:
         ``requests_completed`` accounts for every delivered outcome.
         """
         with self._lock:
-            self._touch_locked(self._clock())
             self._batches_failed += 1
             self._requests_failed += int(size)
 
     def record_flush(self, reason: str, size: int) -> None:
         """One micro-batch of ``size`` requests flushed because of ``reason``."""
+        key = str(reason)
         with self._lock:
-            self._touch_locked(self._clock())
-            self._flush_reasons[str(reason)] += 1
+            self._flush_reasons[key] += 1
+            self._flush_requests[key] += int(size)
+            self._flush_max_size[key] = max(self._flush_max_size[key], int(size))
 
     def record_batch(self, size: int, service_time_s: float) -> None:
         """One micro-batch of ``size`` requests finished executing."""
         with self._lock:
-            self._touch_locked(self._clock())
             self._batch_sizes[int(size)] += 1
             self._service_time_s += float(service_time_s)
 
     def record_response(self, latency_s: float) -> None:
         """One request was delivered ``latency_s`` after admission."""
         with self._lock:
-            self._touch_locked(self._clock())
-            self._latencies_s.append(float(latency_s))
+            self._last_delivery_ts = self._clock()
+            self._latencies.add(float(latency_s))
+
+    def record_stages(self, stages_s: Mapping[str, float]) -> None:
+        """Per-stage durations of one delivered request (from its trace).
+
+        ``stages_s`` maps stage names (:data:`repro.obs.STAGES`, plus
+        ``"e2e"``) to seconds, as produced by
+        :meth:`repro.obs.RequestTrace.stage_durations`.
+        """
+        with self._lock:
+            for name, value in stages_s.items():
+                reservoir = self._stage_stats.get(name)
+                if reservoir is None:
+                    reservoir = LatencyReservoir(capacity=STAGE_RESERVOIR)
+                    self._stage_stats[name] = reservoir
+                reservoir.add(float(value))
 
     def record_scale_event(
         self,
@@ -155,7 +266,6 @@ class ServeTelemetry:
         """The autoscaler changed this model's replica count."""
         with self._lock:
             now = self._clock()
-            self._touch_locked(now)
             if direction == "up":
                 self._scale_ups += 1
             else:
@@ -182,9 +292,39 @@ class ServeTelemetry:
     def snapshot(self) -> Dict[str, object]:
         """Aggregate SLO metrics of everything recorded so far."""
         with self._lock:
-            latencies = list(self._latencies_s)
+            completed = self._latencies.count
+            latency = self._latencies.summary()
+            latency_samples = self._latencies.count if not self._latencies.saturated else len(
+                self._latencies.values()
+            )
+            latency_saturated = self._latencies.saturated
+            stage_breakdown = {
+                name: {
+                    "count": reservoir.count,
+                    "total_s": reservoir.total,
+                    "mean_s": reservoir.mean,
+                    "max_s": reservoir.max,
+                    **{
+                        f"p{q}_s": percentile
+                        for q, percentile in zip(
+                            LATENCY_PERCENTILES,
+                            _percentiles(reservoir.values()),
+                        )
+                    },
+                }
+                for name, reservoir in sorted(self._stage_stats.items())
+            }
             batch_sizes = dict(sorted(self._batch_sizes.items()))
             flush_reasons = dict(sorted(self._flush_reasons.items()))
+            flush_sizes = {
+                reason: {
+                    "batches": count,
+                    "requests": self._flush_requests[reason],
+                    "mean_size": self._flush_requests[reason] / count if count else 0.0,
+                    "max_size": self._flush_max_size[reason],
+                }
+                for reason, count in flush_reasons.items()
+            }
             service_time_s = self._service_time_s
             admitted = self._admitted
             rejected = self._rejected
@@ -197,10 +337,9 @@ class ServeTelemetry:
             scale_events = [dict(event) for event in self._scale_events]
             scale_ups = self._scale_ups
             scale_downs = self._scale_downs
-            first_ts = self._first_event_ts
-            last_ts = self._last_event_ts
+            first_ts = self._first_admission_ts
+            last_ts = self._last_delivery_ts
 
-        completed = len(latencies)
         window_s = (last_ts - first_ts) if (first_ts is not None and last_ts is not None) else 0.0
         num_batches = sum(batch_sizes.values())
         batched_requests = sum(size * count for size, count in batch_sizes.items())
@@ -216,15 +355,144 @@ class ServeTelemetry:
             "batches": num_batches,
             "batch_size_histogram": batch_sizes,
             "flush_reasons": flush_reasons,
+            "flush_sizes": flush_sizes,
             "mean_batch_size": batched_requests / num_batches if num_batches else 0.0,
             "service_time_s": service_time_s,
             "queue_depth_mean": depth_sum / depth_samples if depth_samples else 0.0,
             "queue_depth_max": depth_max,
+            "latency_samples": latency_samples,
+            "latency_sample_saturated": latency_saturated,
+            "stage_breakdown": stage_breakdown,
             "autoscaler": {
                 "scale_ups": scale_ups,
                 "scale_downs": scale_downs,
                 "events": scale_events,
             },
         }
-        snapshot.update(latency_summary(latencies))
+        snapshot.update(latency)
         return snapshot
+
+    def register_metrics(self, registry, labels: Optional[Dict[str, str]] = None) -> None:
+        """Export this sink into a :class:`repro.obs.MetricsRegistry`.
+
+        Registers a scrape-time collector over :meth:`snapshot`, so the
+        counters stay single-sourced here and ``/metrics`` always reflects
+        the numbers ``GET /v1/stats`` reports.
+        """
+        base = dict(labels or {})
+
+        def _collect():
+            snap = self.snapshot()
+            families = [
+                {
+                    "name": "repro_serve_requests_total",
+                    "type": "counter",
+                    "help": "Requests by outcome (admitted/rejected/shed/completed/failed).",
+                    "samples": [
+                        ({**base, "outcome": outcome}, float(snap[f"requests_{outcome}"]))
+                        for outcome in ("admitted", "rejected", "shed", "completed", "failed")
+                    ],
+                },
+                {
+                    "name": "repro_serve_batches_total",
+                    "type": "counter",
+                    "help": "Micro-batches executed.",
+                    "samples": [(base, float(snap["batches"]))],
+                },
+                {
+                    "name": "repro_serve_batches_failed_total",
+                    "type": "counter",
+                    "help": "Micro-batches that failed permanently.",
+                    "samples": [(base, float(snap["batches_failed"]))],
+                },
+                {
+                    "name": "repro_serve_throughput_rps",
+                    "type": "gauge",
+                    "help": "Completed requests per second, first admission to last delivery.",
+                    "samples": [(base, float(snap["throughput_rps"]))],
+                },
+                {
+                    "name": "repro_serve_queue_depth_max",
+                    "type": "gauge",
+                    "help": "Maximum admission-queue depth observed.",
+                    "samples": [(base, float(snap["queue_depth_max"]))],
+                },
+                {
+                    "name": "repro_serve_mean_batch_size",
+                    "type": "gauge",
+                    "help": "Mean executed micro-batch size.",
+                    "samples": [(base, float(snap["mean_batch_size"]))],
+                },
+                {
+                    "name": "repro_serve_latency_seconds",
+                    "type": "gauge",
+                    "help": "End-to-end latency quantiles (seconds).",
+                    "samples": [
+                        (
+                            {**base, "quantile": str(q / 100)},
+                            float(snap[f"latency_p{q}_s"]),
+                        )
+                        for q in LATENCY_PERCENTILES
+                    ],
+                },
+            ]
+            if snap["flush_reasons"]:
+                families.append(
+                    {
+                        "name": "repro_serve_flushes_total",
+                        "type": "counter",
+                        "help": "Micro-batch flushes by reason.",
+                        "samples": [
+                            ({**base, "reason": reason}, float(count))
+                            for reason, count in snap["flush_reasons"].items()
+                        ],
+                    }
+                )
+            scale = snap["autoscaler"]
+            if scale["scale_ups"] or scale["scale_downs"]:
+                families.append(
+                    {
+                        "name": "repro_serve_scale_events_total",
+                        "type": "counter",
+                        "help": "Autoscaler replica-count changes by direction.",
+                        "samples": [
+                            ({**base, "direction": "up"}, float(scale["scale_ups"])),
+                            ({**base, "direction": "down"}, float(scale["scale_downs"])),
+                        ],
+                    }
+                )
+            breakdown = snap["stage_breakdown"]
+            if breakdown:
+                families.append(
+                    {
+                        "name": "repro_serve_stage_seconds_total",
+                        "type": "counter",
+                        "help": "Cumulative time per pipeline stage (seconds).",
+                        "samples": [
+                            ({**base, "stage": stage}, float(stats["total_s"]))
+                            for stage, stats in breakdown.items()
+                        ],
+                    }
+                )
+                families.append(
+                    {
+                        "name": "repro_serve_stage_p99_seconds",
+                        "type": "gauge",
+                        "help": "p99 time per pipeline stage (seconds).",
+                        "samples": [
+                            ({**base, "stage": stage}, float(stats["p99_s"]))
+                            for stage, stats in breakdown.items()
+                        ],
+                    }
+                )
+            return families
+
+        registry.register_collector(_collect)
+
+
+def _percentiles(values: Sequence[float]) -> List[float]:
+    """:data:`LATENCY_PERCENTILES` of ``values`` (zeros when empty)."""
+    if not values:
+        return [0.0 for _ in LATENCY_PERCENTILES]
+    array = np.asarray(values, dtype=float)
+    return [float(np.percentile(array, q)) for q in LATENCY_PERCENTILES]

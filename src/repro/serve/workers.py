@@ -25,6 +25,7 @@ kinds are supported, spelled the same way everywhere (the ``serve`` /
 
 from __future__ import annotations
 
+import itertools
 import os
 import queue
 import signal
@@ -56,6 +57,7 @@ from repro.errors import (
     SimulationError,
 )
 from repro.nn.network import Network
+from repro.obs.tracing import DispatchTraceRecorder, replica_span_records
 from repro.serve.faults import FaultAction, FaultInjector
 
 #: Executor kinds understood by :func:`parse_executor_spec`.
@@ -190,6 +192,10 @@ class EngineReplicaSpec:
 _WORKER_ENGINE: Optional[FunctionalInferenceEngine] = None
 _WORKER_BASELINE: Dict[str, object] = {}
 
+#: Per-process uniquifier for replica span ids: a batch retried on the same
+#: worker (or two batches on one worker) must not reuse span ids.
+_WORKER_SPAN_TOKEN = itertools.count()
+
 
 def subtract_functional_statistics(
     current: Dict[str, object], baseline: Dict[str, object]
@@ -226,14 +232,20 @@ def _poison_outputs(outputs: np.ndarray) -> np.ndarray:
 
 
 def _process_worker_run(
-    images: np.ndarray, fault: Optional[FaultAction] = None
-) -> Tuple[int, np.ndarray, Dict[str, object]]:
+    images: np.ndarray,
+    fault: Optional[FaultAction] = None,
+    trace_contexts: Optional[List[Tuple[str, str]]] = None,
+) -> Tuple[int, np.ndarray, Dict[str, object], List[Dict[str, object]]]:
     """Run one micro-batch on this process's replica.
 
-    Returns ``(pid, outputs, stats)`` — the traffic-only functional
-    statistics snapshot (start-up baseline subtracted) rides along with every
-    result so the parent can aggregate per-replica counters without a
-    separate round-trip.
+    Returns ``(pid, outputs, stats, trace_records)`` — the traffic-only
+    functional statistics snapshot (start-up baseline subtracted) rides along
+    with every result so the parent can aggregate per-replica counters
+    without a separate round-trip, and so do the replica-side span records
+    when ``trace_contexts`` carries ``(trace_id, parent_span_id)`` pairs
+    across the pickle boundary (see
+    :func:`repro.obs.tracing.replica_span_records`; times are relative to
+    this call's entry, on this process's own monotonic clock).
 
     ``fault`` (injected chaos, see :mod:`repro.serve.faults`) is applied
     *here*, inside the worker process, so an injected ``crash`` is a real
@@ -244,6 +256,7 @@ def _process_worker_run(
     """
     if _WORKER_ENGINE is None:  # pragma: no cover - initializer always ran
         raise ServeError("process worker used before initialization")
+    entry_s = time.monotonic()
     if fault is not None:
         if fault.kind == "crash":
             os.kill(os.getpid(), signal.SIGKILL)
@@ -255,7 +268,17 @@ def _process_worker_run(
     stats = subtract_functional_statistics(
         _WORKER_ENGINE.accelerator.functional_statistics(), _WORKER_BASELINE
     )
-    return os.getpid(), outputs, stats
+    records: List[Dict[str, object]] = []
+    if trace_contexts:
+        records = replica_span_records(
+            trace_contexts,
+            os.getpid(),
+            next(_WORKER_SPAN_TOKEN),
+            0.0,
+            time.monotonic() - entry_s,
+            batch=int(np.asarray(images).shape[0]),
+        )
+    return os.getpid(), outputs, stats, records
 
 
 def merge_functional_statistics(snapshots: List[Dict[str, object]]) -> Dict[str, object]:
@@ -298,7 +321,9 @@ class _LocalReplica:
         images: np.ndarray,
         timeout_s: Optional[float] = None,
         fault: Optional[FaultAction] = None,
+        recorder: Optional[DispatchTraceRecorder] = None,
     ) -> np.ndarray:
+        start_s = time.monotonic()
         if fault is not None:
             if fault.kind == "crash":
                 raise ReplicaCrashError("injected crash (in-process replica)")
@@ -314,6 +339,16 @@ class _LocalReplica:
         outputs = self.engine.run_batch(images)
         if fault is not None and fault.kind == "corrupt":
             outputs = _poison_outputs(outputs)
+        if recorder is not None and recorder.contexts:
+            records = replica_span_records(
+                recorder.contexts,
+                os.getpid(),
+                next(_WORKER_SPAN_TOKEN),
+                0.0,
+                time.monotonic() - start_s,
+                batch=int(np.asarray(images).shape[0]),
+            )
+            recorder.add_replica_records(records, start_s)
         return outputs
 
     def statistics_delta(self) -> Dict[str, object]:
@@ -351,10 +386,17 @@ class _ProcessReplica:
         images: np.ndarray,
         timeout_s: Optional[float] = None,
         fault: Optional[FaultAction] = None,
+        recorder: Optional[DispatchTraceRecorder] = None,
     ) -> np.ndarray:
-        future = self._executor.submit(_process_worker_run, images, fault)
+        contexts = list(recorder.contexts) if recorder is not None else None
+        # Worker span records carry times relative to the worker's own entry;
+        # rebasing them on the submit timestamp keeps them on this process's
+        # monotonic timeline (the small pickle/IPC lead is absorbed into the
+        # replica_run span rather than appearing as an unexplained gap).
+        base_s = time.monotonic()
+        future = self._executor.submit(_process_worker_run, images, fault, contexts)
         try:
-            pid, outputs, stats = future.result(timeout=timeout_s)
+            pid, outputs, stats, records = future.result(timeout=timeout_s)
         except FuturesTimeoutError:
             # The worker is hung (or just too slow): it stays checked out of
             # the free list, so the supervisor can kill and replace it
@@ -363,6 +405,8 @@ class _ProcessReplica:
                 f"process replica did not answer within {timeout_s} s"
             ) from None
         self._stats_sink(pid, stats)
+        if recorder is not None and records:
+            recorder.add_replica_records(records, base_s)
         return outputs
 
     def statistics_delta(self) -> Optional[Dict[str, object]]:
@@ -524,28 +568,45 @@ class EngineWorkerPool:
             self._process_stats[pid] = stats
 
     # ------------------------------------------------------------------ dispatch
-    def submit(self, images: np.ndarray) -> "Future[np.ndarray]":
-        """Dispatch one micro-batch to one free replica; returns a future."""
+    def submit(
+        self,
+        images: np.ndarray,
+        trace: Optional[DispatchTraceRecorder] = None,
+    ) -> "Future[np.ndarray]":
+        """Dispatch one micro-batch to one free replica; returns a future.
+
+        ``trace`` (a :class:`~repro.obs.tracing.DispatchTraceRecorder`)
+        carries the batch's span contexts down to the replica and collects
+        retry/restart events plus replica-side child spans on the way back.
+        """
         if self._closed:
             raise ServeError("worker pool is closed")
         images = np.asarray(images, dtype=float)
         if self._dispatch is not None:
-            return self._dispatch.submit(self._checkout_run, images)
+            return self._dispatch.submit(self._checkout_run, images, trace)
         future: "Future[np.ndarray]" = Future()
         try:
-            future.set_result(self._checkout_run(images))
+            future.set_result(self._checkout_run(images, trace))
         except Exception as error:  # surface through the future like the pools do
             future.set_exception(error)
         return future
 
-    def _checkout_run(self, images: np.ndarray) -> np.ndarray:
+    def _checkout_run(
+        self,
+        images: np.ndarray,
+        trace: Optional[DispatchTraceRecorder] = None,
+    ) -> np.ndarray:
         attempt = 0
         while True:
             handle = self._free.get()
+            attempt_start = time.monotonic()
             action = self._injector.next_action() if self._injector is not None else None
             try:
                 outputs = handle.run(
-                    images, timeout_s=self.dispatch_timeout_s, fault=action
+                    images,
+                    timeout_s=self.dispatch_timeout_s,
+                    fault=action,
+                    recorder=trace,
                 )
                 if self.validate_outputs and not np.all(np.isfinite(outputs)):
                     raise CorruptResultError(
@@ -563,7 +624,16 @@ class EngineWorkerPool:
                 # dispatch) — it is retired and replaced, and the batch is
                 # re-dispatched while the attempt budget lasts.
                 attempt += 1
+                failure_ts = time.monotonic()
                 self._record_replica_failure(error)
+                if trace is not None:
+                    trace.add_event(
+                        "attempt",
+                        attempt_start,
+                        failure_ts,
+                        attempt=attempt,
+                        error=type(error).__name__,
+                    )
                 try:
                     self._replace_replica(handle)
                 except Exception as rebuild_error:
@@ -574,6 +644,11 @@ class EngineWorkerPool:
                         attempts=attempt,
                         last_error=error,
                     ) from error
+                finally:
+                    if trace is not None:
+                        trace.add_event(
+                            "restart", failure_ts, time.monotonic(), attempt=attempt
+                        )
                 if attempt >= self.max_attempts:
                     self._record_batch_failed()
                     raise ReplicaFailureError(
@@ -799,6 +874,129 @@ class EngineWorkerPool:
         merged["executor"] = str(self.spec)
         merged["faults"] = self.fault_statistics()
         return merged
+
+    def register_metrics(self, registry, labels: Optional[Dict[str, str]] = None) -> None:
+        """Export pool state into a :class:`repro.obs.MetricsRegistry`.
+
+        Registers a scrape-time collector over :meth:`statistics`, so the
+        replica count, the accelerator's merged functional counters (the
+        paper's cost drivers: PCM programming events/energy/time, tile-cache
+        traffic, per-core dispatch balance) and the supervision counters all
+        land on ``/metrics`` without double bookkeeping.
+        """
+        base = dict(labels or {})
+
+        def _family(name, metric_type, help_text, samples):
+            return {"name": name, "type": metric_type, "help": help_text, "samples": samples}
+
+        def _collect():
+            stats = self.statistics()
+            faults = stats.get("faults") or {}
+            families = [
+                _family(
+                    "repro_replicas",
+                    "gauge",
+                    "Live engine replicas in the worker pool.",
+                    [(base, float(stats.get("replicas", 0)))],
+                ),
+                _family(
+                    "repro_replica_restarts_total",
+                    "counter",
+                    "Replica restarts performed by the supervisor.",
+                    [(base, float(faults.get("replica_restarts", 0)))],
+                ),
+                _family(
+                    "repro_batches_recovered_total",
+                    "counter",
+                    "Micro-batches recovered by dispatch retry.",
+                    [(base, float(faults.get("batches_recovered", 0)))],
+                ),
+            ]
+            failures = faults.get("replica_failures") or {}
+            if failures:
+                families.append(
+                    _family(
+                        "repro_replica_failures_total",
+                        "counter",
+                        "Replica failures by error type.",
+                        [
+                            ({**base, "error": error}, float(count))
+                            for error, count in sorted(failures.items())
+                        ],
+                    )
+                )
+            for key, name, help_text in (
+                (
+                    "programming_events",
+                    "repro_accelerator_programming_events_total",
+                    "PCM tile programming events across replicas.",
+                ),
+                (
+                    "programming_energy_j",
+                    "repro_accelerator_programming_energy_joules_total",
+                    "PCM tile programming energy across replicas (J).",
+                ),
+                (
+                    "programming_time_s",
+                    "repro_accelerator_programming_seconds_total",
+                    "PCM tile programming time across replicas (s).",
+                ),
+                (
+                    "sharded_dispatches",
+                    "repro_accelerator_sharded_dispatches_total",
+                    "Sharded tile dispatches across replicas.",
+                ),
+            ):
+                if key in stats:
+                    families.append(
+                        _family(name, "counter", help_text, [(base, float(stats[key]))])
+                    )
+            cache_samples = [
+                ({**base, "event": event}, float(stats[key]))
+                for key, event in (
+                    ("tile_cache_hits", "hit"),
+                    ("tile_cache_misses", "miss"),
+                    ("tile_cache_evictions", "eviction"),
+                )
+                if key in stats
+            ]
+            if cache_samples:
+                families.append(
+                    _family(
+                        "repro_accelerator_tile_cache_total",
+                        "counter",
+                        "Tile-cache events by kind across replicas.",
+                        cache_samples,
+                    )
+                )
+            for key, name, help_text in (
+                (
+                    "per_core_tile_dispatches",
+                    "repro_accelerator_core_tile_dispatches_total",
+                    "Tile dispatches per crossbar core across replicas.",
+                ),
+                (
+                    "per_core_busy_time_s",
+                    "repro_accelerator_core_busy_seconds_total",
+                    "Modelled busy time per crossbar core across replicas (s).",
+                ),
+            ):
+                values = stats.get(key)
+                if values:
+                    families.append(
+                        _family(
+                            name,
+                            "counter",
+                            help_text,
+                            [
+                                ({**base, "core": str(index)}, float(value))
+                                for index, value in enumerate(values)
+                            ],
+                        )
+                    )
+            return families
+
+        registry.register_collector(_collect)
 
     # ------------------------------------------------------------------ lifecycle
     def close(self) -> None:

@@ -35,7 +35,7 @@ def test_export_writes_schema_ci_uploads(export_json_module, tmp_path, capsys):
     assert "wrote" in capsys.readouterr().out
     payload = json.loads(output.read_text())
 
-    assert set(payload) == {"meta", "serving", "robustness", "sharding"}
+    assert set(payload) == {"meta", "serving", "robustness", "observability", "sharding"}
     assert payload["meta"]["workload"] == "lenet5"
     for scenario in ("batch_1", "dynamic_batching"):
         burst = payload["serving"][scenario]
@@ -52,6 +52,13 @@ def test_export_writes_schema_ci_uploads(export_json_module, tmp_path, capsys):
     assert robustness["batches_failed"] == 0
     assert robustness["requests_failed"] == 0
     assert robustness["bitwise_match_vs_run_batch"] is True
+    observability = payload["observability"]
+    assert observability["traces_finished"] == 6
+    assert observability["traces_dropped"] == 0
+    stage_means = observability["stage_mean_ms"]
+    assert stage_means["e2e"] > 0
+    for stage in ("admit", "queue_wait", "replica_execute", "deliver"):
+        assert stage in stage_means
     sharding = payload["sharding"]
     assert sharding["thread:2"]["bitwise_match_vs_serial"] is True
     assert sharding["speedup_thread_vs_serial"] > 0
@@ -72,8 +79,10 @@ def test_ci_workflow_runs_every_lane():
         "python -m pytest -q -m docs",
         "python -m pytest -q -m serving",
         "python -m pytest -q -m chaos",
+        "python -m pytest -q -m obs",
         "python -m pytest -q benchmarks -m smoke",
         "python benchmarks/export_json.py --output BENCH_serving.json",
+        "--trace-out TRACE_serving.json",
         "ruff check .",
         "ruff format --check .",
     ):
