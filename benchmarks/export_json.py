@@ -32,7 +32,7 @@ import numpy as np
 from repro.config import small_test_chip
 from repro.core.inference import FunctionalInferenceEngine, generate_random_weights
 from repro.nn import build_lenet5
-from repro.serve import InferenceServer, ModelDefinition, ModelRegistry
+from repro.serve import InferenceServer, LoadGenerator, ModelDefinition, ModelRegistry
 
 #: The benchmark scenario: LeNet on a dual-core 32x32 chip.
 _CHIP = dict(rows=32, columns=32, num_cores=2)
@@ -160,6 +160,51 @@ def _traced_burst(network, weights, config, images) -> dict:
     }
 
 
+def _ipc_burst(network, weights, config, images) -> dict:
+    """Pickle-vs-shm transport on a ``process:2`` pool (bench_serving smoke).
+
+    The zero-copy trajectory: the identical closed-loop run is served over
+    both tensor transports, and the artifact records throughput, tail
+    latency, the bytes the arena kept off the pickle pipe, and the resulting
+    speedup/p99 delta — so a regression that silently re-introduces
+    serialization on the process dispatch path shows up in the artifact diff.
+    The warm-up burst (replica fork + PCM tile programming) runs before the
+    measurement so both modes are compared on steady-state dispatches only.
+    """
+    direct = FunctionalInferenceEngine(network, weights, config).run_batch(images)
+    modes: dict = {}
+    for mode in ("pickle", "shm"):
+        server = InferenceServer(
+            network,
+            weights,
+            config,
+            executor="process:2",
+            ipc=mode,
+            max_batch=8,
+            max_wait_s=0.002,
+            queue_capacity=max(len(images), 8),
+        )
+        with server:
+            server.serve_batch(images)  # warm: fork replicas, program tiles
+            report = LoadGenerator(server).run_closed_loop(images, concurrency=4)
+            ipc_stats = server.stats()["pool"]["ipc"]
+        modes[mode] = {
+            "throughput_rps": report.achieved_rps,
+            "latency_p50_ms": report.client_latency["latency_p50_s"] * 1e3,
+            "latency_p99_ms": report.client_latency["latency_p99_s"] * 1e3,
+            "copy_bytes_avoided": int(ipc_stats.get("copy_bytes_avoided", 0)),
+            "pickle_fallbacks": int(ipc_stats.get("pickle_fallbacks", 0)),
+            "bitwise_match_vs_run_batch": bool(np.array_equal(report.outputs, direct)),
+        }
+    modes["throughput_speedup_shm"] = (
+        modes["shm"]["throughput_rps"] / modes["pickle"]["throughput_rps"]
+    )
+    modes["p99_delta_ms"] = (
+        modes["pickle"]["latency_p99_ms"] - modes["shm"]["latency_p99_ms"]
+    )
+    return modes
+
+
 def _sharding_timings(network, weights, config, images) -> dict:
     """Warm-batch serial vs thread-sharded timings (bench_sharding smoke)."""
     timings = {}
@@ -206,6 +251,7 @@ def export(num_images: int) -> dict:
         "robustness": _faulted_burst(network, weights, config, images),
         "observability": _traced_burst(network, weights, config, images),
         "sharding": _sharding_timings(network, weights, config, images),
+        "ipc": _ipc_burst(network, weights, config, images),
     }
 
 
@@ -231,13 +277,16 @@ def main(argv=None) -> int:
         handle.write("\n")
     serving = payload["serving"]
     robustness = payload["robustness"]
+    ipc = payload["ipc"]
     print(
         f"wrote {args.output}: dynamic batching "
         f"{serving['dynamic_batching']['throughput_rps']:.1f} rps "
         f"({serving['batching_speedup']:.2f}x vs batch-1), "
         f"thread sharding {payload['sharding']['speedup_thread_vs_serial']:.2f}x, "
         f"chaos burst recovered {robustness['batches_recovered']} batches "
-        f"over {robustness['replica_restarts']} restarts"
+        f"over {robustness['replica_restarts']} restarts, "
+        f"shm ipc {ipc['throughput_speedup_shm']:.2f}x vs pickle "
+        f"(p99 {ipc['p99_delta_ms']:+.2f} ms)"
     )
     return 0
 

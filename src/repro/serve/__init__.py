@@ -82,6 +82,14 @@ from repro.serve.loadgen import (
 )
 from repro.serve.server import InferenceServer
 from repro.serve.telemetry import LatencyReservoir, ServeTelemetry, latency_summary
+from repro.serve.shm import (
+    DEFAULT_SLOT_BATCH,
+    IPC_MODES,
+    ArenaLayout,
+    ShmSlotArena,
+    SlotDescriptor,
+    parse_ipc_mode,
+)
 from repro.serve.workers import (
     DEFAULT_REPLICAS,
     EngineReplicaSpec,
@@ -89,6 +97,7 @@ from repro.serve.workers import (
     ExecutorSpec,
     merge_functional_statistics,
     parse_executor_spec,
+    spec_serialization_count,
     subtract_functional_statistics,
 )
 
@@ -99,9 +108,12 @@ __all__ = [
     "Autoscaler",
     "AutoscalerPolicy",
     "AutoscalerState",
+    "ArenaLayout",
     "CircuitBreaker",
     "CircuitBreakerPolicy",
     "DEFAULT_REPLICAS",
+    "DEFAULT_SLOT_BATCH",
+    "IPC_MODES",
     "EngineReplicaSpec",
     "EngineWorkerPool",
     "ExecutorSpec",
@@ -123,6 +135,8 @@ __all__ = [
     "ServeHTTPServer",
     "ServeRequest",
     "ServeTelemetry",
+    "ShmSlotArena",
+    "SlotDescriptor",
     "bursty_arrivals",
     "decode_array_b64",
     "encode_array_b64",
@@ -132,6 +146,8 @@ __all__ = [
     "mixed_model_schedule",
     "parse_executor_spec",
     "parse_fault_spec",
+    "parse_ipc_mode",
     "poisson_arrivals",
+    "spec_serialization_count",
     "subtract_functional_statistics",
 ]

@@ -133,6 +133,11 @@ class _ModelRuntime:
             backoff_base_s=self.definition.backoff_base_s,
             backoff_max_s=self.definition.backoff_max_s,
             fault_injector=self.definition.build_fault_injector(),
+            ipc=self.definition.ipc,
+            # Size arena slots to the batcher's ceiling: every micro-batch
+            # this model can ever form fits one slot, so the shm path never
+            # needs its pickle fallback.
+            slot_batch=self.definition.max_batch,
         )
         self._inflight = threading.BoundedSemaphore(2 * self.max_replicas)
         self._dispatcher = threading.Thread(
@@ -255,7 +260,9 @@ class _ModelRuntime:
                 continue
             submitted_ts = time.monotonic()
             for request in traced:
-                request.trace.add_span("dispatch", dispatch_ts, submitted_ts)
+                request.trace.add_span(
+                    "dispatch", dispatch_ts, submitted_ts, ipc=self.pool.ipc
+                )
             future.add_done_callback(
                 lambda done,
                 batch=batch,
@@ -441,6 +448,10 @@ class InferenceServer:
     warmup:
         Run one zero image through every replica at :meth:`start` so the
         one-time PCM tile programming does not land on the first request.
+    ipc:
+        Tensor transport for ``process`` executors: ``"pickle"`` (default)
+        or ``"shm"`` — the zero-copy shared-memory arena of
+        :mod:`repro.serve.shm`.  Outputs are bitwise identical either way.
     registry:
         A pre-built :class:`ModelRegistry` hosting one model per definition.
     autoscaler:
@@ -483,6 +494,7 @@ class InferenceServer:
         policy: Union[str, FlushPolicy] = "fixed",
         slo_s: float = 0.05,
         warmup: bool = True,
+        ipc: str = "pickle",
         registry: Optional[ModelRegistry] = None,
         autoscaler: Optional[AutoscalerPolicy] = None,
         on_response: Optional[Callable[[int, np.ndarray], None]] = None,
@@ -513,6 +525,7 @@ class InferenceServer:
                         policy=policy,
                         slo_s=slo_s,
                         warmup=warmup,
+                        ipc=ipc,
                     )
                 ]
             )

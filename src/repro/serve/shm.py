@@ -1,0 +1,367 @@
+"""Zero-copy shared-memory datapath for process engine replicas.
+
+The process executor's one remaining per-batch cost is serialization: every
+dispatch pickles the image tensor into the worker and pickles the result
+back, so at serving batch sizes the `process:N` boundary pays memcpy + pickle
+framing twice per batch.  This module removes that copy.  An
+:class:`ShmSlotArena` preallocates one ``multiprocessing.shared_memory``
+segment, partitioned into batch-shaped ring-buffer *slots*; the dispatching
+parent writes a micro-batch's inputs into a free slot's numpy view, the
+worker process maps the same segment and reads/writes it in place, and the
+only thing that crosses the executor pipe is a :class:`SlotDescriptor` — a
+two-integer control message.
+
+Ownership model (what makes this safe rather than merely fast):
+
+* **Slots are owned by the parent.**  The dispatch thread acquires a slot,
+  writes inputs, and releases it only after the result has been copied out or
+  the batch has permanently failed.  Workers never allocate or free slots, so
+  a SIGKILLed worker cannot leak or corrupt slot bookkeeping.
+* **The executor pipe is the happens-before edge.**  A worker writes outputs
+  into the slot *before* returning its control message; the parent reads the
+  slot only *after* the future resolves.  No cross-process locks are needed
+  and torn reads are impossible by construction.
+* **Slots outlive replica crashes.**  The inputs stay bitwise intact in the
+  slot across a mid-batch SIGKILL, so supervision retries re-dispatch the
+  identical bytes to the replacement replica — deterministic outputs stay
+  bitwise identical to a direct ``run_batch`` even under fault injection.
+* **The parent is the sole segment owner.**  Workers attach *untracked*
+  (see :func:`attach_untracked`), so Python's ``resource_tracker`` never
+  believes a killed worker leaked the segment; the arena unlinks it exactly
+  once, at pool close.
+
+The arena's internal lock/condition come from :mod:`repro.concurrency`, so
+``REPRO_SANITIZE=1`` puts slot admission under the lock-order sanitizer like
+every other serving lock.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.concurrency import make_condition, thread_shared
+from repro.errors import ServeError, SimulationError
+
+#: IPC modes understood by the serving stack.  ``pickle`` (the default)
+#: serializes tensors across the executor pipe; ``shm`` moves them through a
+#: shared-memory slot arena and only pickles slot descriptors.
+IPC_MODES = ("pickle", "shm")
+
+#: Default per-slot batch capacity when the caller does not size slots from
+#: its own ``max_batch`` — matches the paper's batch-32 design point.
+DEFAULT_SLOT_BATCH = 32
+
+#: ``/dev/shm`` name prefix for every arena segment (leak tests scan for it).
+SEGMENT_PREFIX = "repro_shm"
+
+
+def parse_ipc_mode(value: str) -> str:
+    """Validate an ``--ipc`` spelling; returns the canonical mode string."""
+    if isinstance(value, str) and value.strip() in IPC_MODES:
+        return value.strip()
+    raise SimulationError(
+        f"ipc mode must be one of {IPC_MODES}, got {value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class SlotDescriptor:
+    """The control message that replaces a pickled tensor payload.
+
+    ``index`` names the slot, ``batch`` the number of occupied rows (a batch
+    smaller than the slot's capacity uses a prefix of it).  This is all a
+    worker needs to locate the inputs and all the parent needs to read the
+    outputs back.
+    """
+
+    index: int
+    batch: int
+
+
+@dataclass(frozen=True)
+class ArenaLayout:
+    """Geometry of one arena — everything a worker needs to map the segment.
+
+    The segment is a flat float64 array of ``slots`` equal slots; each slot
+    is an input region of ``slot_batch`` images followed by an output region
+    of ``slot_batch`` result rows.  The layout pickles into worker
+    initializers (it is tiny), and both sides derive their numpy views from
+    it, so parent and worker can never disagree about offsets.
+    """
+
+    name: str
+    slots: int
+    slot_batch: int
+    input_shape: Tuple[int, ...]
+    output_size: int
+
+    @property
+    def input_elements(self) -> int:
+        """Float64 elements in one slot's input region."""
+        return self.slot_batch * int(np.prod(self.input_shape, dtype=np.int64))
+
+    @property
+    def output_elements(self) -> int:
+        """Float64 elements in one slot's output region."""
+        return self.slot_batch * self.output_size
+
+    @property
+    def slot_elements(self) -> int:
+        return self.input_elements + self.output_elements
+
+    @property
+    def total_bytes(self) -> int:
+        return self.slots * self.slot_elements * np.dtype(np.float64).itemsize
+
+    def slot_views(self, buffer, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(inputs, outputs) numpy views of slot ``index`` over ``buffer``.
+
+        The views alias the shared segment — no bytes are copied.  ``inputs``
+        has shape ``(slot_batch, *input_shape)``; ``outputs`` has shape
+        ``(slot_batch, output_size)``.
+        """
+        if not 0 <= index < self.slots:
+            raise ServeError(f"slot index {index} out of range [0, {self.slots})")
+        flat = np.ndarray(
+            (self.slot_elements,),
+            dtype=np.float64,
+            buffer=buffer,
+            offset=index * self.slot_elements * np.dtype(np.float64).itemsize,
+        )
+        inputs = flat[: self.input_elements].reshape(
+            (self.slot_batch,) + tuple(self.input_shape)
+        )
+        outputs = flat[self.input_elements :].reshape(
+            (self.slot_batch, self.output_size)
+        )
+        return inputs, outputs
+
+
+def attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker registration.
+
+    The arena's parent process owns the segment's lifetime; if workers
+    registered their attachments, every SIGKILLed replica would make the
+    tracker print spurious "leaked shared_memory" warnings at exit (and, on
+    some Python versions, unlink a segment that is still live).  Python 3.13
+    exposes ``track=False`` for exactly this; on older versions the tracker
+    registration hook is stubbed out for the duration of the attach.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: SharedMemory has no track= parameter
+        original_register = resource_tracker.register
+
+        def _skip_shared_memory(target, rtype):
+            if rtype != "shared_memory":
+                original_register(target, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+
+
+@thread_shared
+class ShmSlotArena:
+    """A parent-owned ring of shared-memory batch slots.
+
+    ``slots`` bounds how many micro-batches can be in flight through the
+    segment at once (the worker pool sizes it to ``max_count``, its dispatch
+    concurrency, so admission never deadlocks).  ``resize`` narrows or widens
+    the number of concurrently *acquirable* slots without reallocating the
+    segment — shrinking below the current occupancy is allowed and simply
+    stops admitting new batches until enough slots drain.
+
+    Invariants (the property test in ``tests/test_shm_datapath.py`` drives
+    randomized acquire/release/resize sequences against them):
+
+    * a slot has at most one owner — ``acquire`` hands out each index at most
+      once until it is ``release``d;
+    * slots are never lost — free + in-use always partitions ``range(slots)``;
+    * a drained arena is fully free.
+    """
+
+    def __init__(
+        self,
+        slot_batch: int,
+        input_shape: Tuple[int, ...],
+        output_size: int,
+        slots: int,
+    ) -> None:
+        if slots < 1:
+            raise SimulationError(f"arena needs >= 1 slot, got {slots}")
+        if slot_batch < 1:
+            raise SimulationError(f"slot_batch must be >= 1, got {slot_batch}")
+        if output_size < 1:
+            raise SimulationError(f"output_size must be >= 1, got {output_size}")
+        name = f"{SEGMENT_PREFIX}_{os.getpid()}_{os.urandom(4).hex()}"
+        self.layout = ArenaLayout(
+            name=name,
+            slots=int(slots),
+            slot_batch=int(slot_batch),
+            input_shape=tuple(int(d) for d in input_shape),
+            output_size=int(output_size),
+        )
+        self._shm = shared_memory.SharedMemory(
+            name=name, create=True, size=self.layout.total_bytes
+        )
+        self._cond = make_condition("ShmSlotArena._cond")
+        self._free = list(range(self.layout.slots - 1, -1, -1))  # LIFO: pop() -> 0 first
+        self._in_use: set = set()
+        self._limit = self.layout.slots
+        self._closed = False
+        # Telemetry (all guarded by _cond): how much pickling the arena saved
+        # and how full it runs.
+        self._copy_bytes_avoided = 0
+        self._acquires = 0
+        self._releases = 0
+        self._high_water = 0
+        self._fallbacks = 0
+
+    # ------------------------------------------------------------------ admission
+    def acquire(self, timeout_s: Optional[float] = None) -> Optional[int]:
+        """Check out a free slot index; ``None`` on timeout or closed arena.
+
+        Blocks while every admissible slot is in use.  ``timeout_s=0`` is a
+        non-blocking try-acquire (the property test's probe).
+        """
+        with self._cond:
+            if not self._cond.wait_for(self._admissible_locked, timeout=timeout_s):
+                return None
+            if self._closed:
+                return None
+            index = self._free.pop()
+            self._in_use.add(index)
+            self._acquires += 1
+            self._high_water = max(self._high_water, len(self._in_use))
+            return index
+
+    def _admissible_locked(self) -> bool:
+        return self._closed or (
+            bool(self._free) and len(self._in_use) < self._limit
+        )
+
+    def release(self, index: int) -> None:
+        """Return a slot to the free ring (its contents become reusable)."""
+        with self._cond:
+            if index not in self._in_use:
+                raise ServeError(
+                    f"slot {index} released without being acquired (double release?)"
+                )
+            self._in_use.discard(index)
+            self._free.append(index)
+            self._releases += 1
+            self._cond.notify_all()
+
+    def resize(self, limit: int) -> int:
+        """Clamp the number of concurrently acquirable slots to ``limit``.
+
+        Returns the applied limit (clamped into ``[1, slots]``).  The segment
+        itself never moves or reallocates, so live views stay valid.
+        """
+        with self._cond:
+            self._limit = max(1, min(int(limit), self.layout.slots))
+            self._cond.notify_all()
+            return self._limit
+
+    # ------------------------------------------------------------------ datapath
+    def fits(self, images: np.ndarray) -> bool:
+        """Whether a batch fits one slot (shape- and capacity-wise)."""
+        shape = np.asarray(images).shape
+        return (
+            len(shape) == len(self.layout.input_shape) + 1
+            and 0 < shape[0] <= self.layout.slot_batch
+            and tuple(shape[1:]) == self.layout.input_shape
+        )
+
+    def write_inputs(self, index: int, images: np.ndarray) -> SlotDescriptor:
+        """Copy a batch into slot ``index``; returns its descriptor.
+
+        This is the *single* input copy in shm mode (host array -> shared
+        segment); the worker reads the segment in place.  The caller must own
+        ``index`` via :meth:`acquire`.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        if not self.fits(images):
+            raise ServeError(
+                f"batch of shape {images.shape} does not fit a "
+                f"{self.layout.slot_batch} x {self.layout.input_shape} slot"
+            )
+        inputs, _ = self.layout.slot_views(self._shm.buf, index)
+        batch = int(images.shape[0])
+        inputs[:batch] = images
+        with self._cond:
+            self._copy_bytes_avoided += int(images.nbytes)
+        return SlotDescriptor(index=index, batch=batch)
+
+    def read_outputs(self, slot: SlotDescriptor) -> np.ndarray:
+        """Copy the worker-written result rows out of ``slot``.
+
+        The returned array is private to the caller, so releasing the slot
+        (and a later batch overwriting it) cannot alias served results.
+        """
+        _, outputs = self.layout.slot_views(self._shm.buf, slot.index)
+        result = np.array(outputs[: slot.batch], copy=True)
+        with self._cond:
+            self._copy_bytes_avoided += int(result.nbytes)
+        return result
+
+    def record_fallback(self) -> None:
+        """Count a dispatch that had to take the pickle path (oversized batch)."""
+        with self._cond:
+            self._fallbacks += 1
+
+    # ------------------------------------------------------------------ telemetry
+    def snapshot(self) -> Dict[str, object]:
+        with self._cond:
+            return {
+                "segment": self.layout.name,
+                "slots": self.layout.slots,
+                "slot_batch": self.layout.slot_batch,
+                "slot_limit": self._limit,
+                "slots_in_use": len(self._in_use),
+                "slot_high_water": self._high_water,
+                "slot_acquires": self._acquires,
+                "slot_releases": self._releases,
+                "copy_bytes_avoided": self._copy_bytes_avoided,
+                "pickle_fallbacks": self._fallbacks,
+            }
+
+    @property
+    def fully_free(self) -> bool:
+        """True when every slot has been released (the drain invariant)."""
+        with self._cond:
+            return not self._in_use and len(self._free) == self.layout.slots
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Unmap and unlink the segment (idempotent).
+
+        The parent is the sole owner: close wakes every blocked ``acquire``
+        (they return ``None``), unmaps this process's view, and unlinks the
+        backing file so ``/dev/shm`` holds nothing after a clean shutdown, a
+        SIGTERM drain, or a chaos-lane worker kill.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - unlinked out of band
+            pass
+
+    def __enter__(self) -> "ShmSlotArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

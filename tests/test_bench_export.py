@@ -35,7 +35,14 @@ def test_export_writes_schema_ci_uploads(export_json_module, tmp_path, capsys):
     assert "wrote" in capsys.readouterr().out
     payload = json.loads(output.read_text())
 
-    assert set(payload) == {"meta", "serving", "robustness", "observability", "sharding"}
+    assert set(payload) == {
+        "meta",
+        "serving",
+        "robustness",
+        "observability",
+        "sharding",
+        "ipc",
+    }
     assert payload["meta"]["workload"] == "lenet5"
     for scenario in ("batch_1", "dynamic_batching"):
         burst = payload["serving"][scenario]
@@ -62,6 +69,16 @@ def test_export_writes_schema_ci_uploads(export_json_module, tmp_path, capsys):
     sharding = payload["sharding"]
     assert sharding["thread:2"]["bitwise_match_vs_serial"] is True
     assert sharding["speedup_thread_vs_serial"] > 0
+    ipc = payload["ipc"]
+    assert ipc["throughput_speedup_shm"] > 0
+    assert "p99_delta_ms" in ipc
+    for mode in ("pickle", "shm"):
+        burst = ipc[mode]
+        assert burst["throughput_rps"] > 0
+        assert burst["bitwise_match_vs_run_batch"] is True
+    assert ipc["shm"]["copy_bytes_avoided"] > 0
+    assert ipc["shm"]["pickle_fallbacks"] == 0
+    assert ipc["pickle"]["copy_bytes_avoided"] == 0
 
 
 def test_export_rejects_bad_request_counts(export_json_module, tmp_path):
@@ -80,6 +97,7 @@ def test_ci_workflow_runs_every_lane():
         "python -m pytest -q -m serving",
         "python -m pytest -q -m chaos",
         "python -m pytest -q -m obs",
+        "python -m pytest -q -m shm -W error::UserWarning",
         "python -m pytest -q benchmarks -m smoke",
         "python benchmarks/export_json.py --output BENCH_serving.json",
         "--trace-out TRACE_serving.json",

@@ -488,9 +488,13 @@ class TestProcessReplicaFaults:
         assert faults["replica_restarts"] == 1
         assert elapsed >= 1.5  # the timeout, not the 60 s hang, bounded it
 
-    def test_periodic_kills_full_run_zero_lost_bitwise(self, lenet_workload):
+    @pytest.mark.parametrize("ipc", ["pickle", "shm"])
+    def test_periodic_kills_full_run_zero_lost_bitwise(self, lenet_workload, ipc):
         """The PR's acceptance run: crash a process replica every K batches,
-        drive a full closed-loop load run, lose nothing, stay bitwise."""
+        drive a full closed-loop load run, lose nothing, stay bitwise — over
+        both tensor transports (in shm mode a kill lands while the batch's
+        inputs live in the shared arena, so the retry must re-dispatch the
+        still-live slot bytes)."""
         _, _, _, images, direct = lenet_workload
         server = _faulty_server(
             lenet_workload,
@@ -500,6 +504,7 @@ class TestProcessReplicaFaults:
             dispatch_timeout_s=120.0,
             max_attempts=3,
             backoff_base_s=0.01,
+            ipc=ipc,
         )
         flood = np.concatenate([images, images])
         with server:
@@ -512,6 +517,12 @@ class TestProcessReplicaFaults:
         assert faults["replica_restarts"] >= 1
         assert faults["batches_failed"] == 0
         assert stats["telemetry"]["requests_failed"] == 0
+        ipc_stats = stats["pool"]["ipc"]
+        assert ipc_stats["mode"] == ipc
+        if ipc == "shm":
+            assert ipc_stats["zero_copy_active"]
+            assert ipc_stats["copy_bytes_avoided"] > 0
+            assert ipc_stats["slots_in_use"] == 0
 
 
 # ---------------------------------------------------------------------------

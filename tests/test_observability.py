@@ -405,6 +405,28 @@ class TestTracedServing:
         mean_sum = sum(breakdown[stage]["mean_s"] for stage in STAGES)
         assert abs(mean_sum - breakdown["e2e"]["mean_s"]) < 1e-3
 
+    def test_trace_tiles_exactly_through_shm_arena(self, lenet_workload):
+        """Stage spans still tile the request lifetime when dispatch goes
+        through the shared-memory arena, and the dispatch span says so."""
+        network, weights, config, images, direct = lenet_workload
+        with InferenceServer(
+            network, weights, config,
+            max_batch=4, max_wait_s=0.005, executor="process:2", ipc="shm",
+        ) as server:
+            outputs = _serve_all(server, images)
+            traces = _wait_for_traces(server.tracer, len(images))
+        assert np.array_equal(outputs, direct)  # zero-copy keeps outputs bitwise
+        assert len(traces) == len(images)
+        for trace in traces:
+            durations = trace.stage_durations()
+            assert set(STAGES) <= set(durations)
+            stage_sum = sum(v for k, v in durations.items() if k != "e2e")
+            # Slot acquire/write/read-back all happen inside the dispatch /
+            # replica_execute windows, so the tiling stays gap-free.
+            assert abs(stage_sum - durations["e2e"]) < 1e-3
+            spans = {span.name: span for span in trace.spans()}
+            assert spans["dispatch"].meta["ipc"] == "shm"
+
     def test_trace_propagates_across_process_boundary(self, lenet_workload):
         network, weights, config, images, direct = lenet_workload
         with InferenceServer(

@@ -1,0 +1,428 @@
+"""Zero-copy IPC lane (``pytest -m shm``).
+
+What makes a lock-coordinated cross-process datapath trustworthy rather than
+merely fast: the :class:`~repro.serve.shm.ShmSlotArena` slot-lifecycle
+invariants under seeded randomized acquire/release/resize sequences (never
+two owners, never a lost slot, a drained arena is fully free); bitwise
+equivalence of ``--ipc shm`` serving against a direct ``run_batch`` —
+including through the oversized-batch pickle fallback, pool ``resize()`` and
+real SIGKILL recovery; a many-threads × ``process:N`` stress test asserting
+no torn reads; the one-serialization-per-spec payload cache; and segment-leak
+regression tests (clean shutdown, SIGTERM drain of the ``serve --http`` CLI,
+and a chaos-style worker kill mid-batch must all leave ``/dev/shm`` clean and
+raise no resource-tracker warnings).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import subprocess
+import sys
+import threading
+import time
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import small_test_chip
+from repro.core.inference import FunctionalInferenceEngine, generate_random_weights
+from repro.errors import ServeError, SimulationError
+from repro.nn import build_lenet5
+from repro.serve import (
+    EngineReplicaSpec,
+    EngineWorkerPool,
+    FaultInjector,
+    ShmSlotArena,
+    parse_ipc_mode,
+    spec_serialization_count,
+)
+from repro.serve.shm import SEGMENT_PREFIX, attach_untracked
+
+pytestmark = pytest.mark.shm
+
+_CHIP = dict(rows=32, columns=32, num_cores=2)
+
+_DEV_SHM = Path("/dev/shm")
+
+needs_dev_shm = pytest.mark.skipif(
+    not _DEV_SHM.is_dir(), reason="platform has no /dev/shm to scan"
+)
+
+
+def _segment_path(arena: ShmSlotArena) -> Path:
+    return _DEV_SHM / arena.layout.name
+
+
+def _live_segments() -> set:
+    return {p.name for p in _DEV_SHM.glob(f"{SEGMENT_PREFIX}_*")}
+
+
+@pytest.fixture(scope="module")
+def lenet_workload():
+    network = build_lenet5()
+    weights = generate_random_weights(network, seed=0, scale=0.3)
+    config = small_test_chip(**_CHIP)
+    images = np.random.default_rng(1).uniform(
+        0.0, 1.0, (8,) + network.input_shape.as_tuple()
+    )
+    direct = FunctionalInferenceEngine(network, weights, config).run_batch(images)
+    return network, weights, config, images, direct
+
+
+def _pool(lenet_workload, executor="process:2", **options) -> EngineWorkerPool:
+    network, weights, config, _, _ = lenet_workload
+    spec = EngineReplicaSpec(network=network, weights=dict(weights), config=config)
+    return EngineWorkerPool(spec, executor=executor, ipc="shm", **options)
+
+
+# ---------------------------------------------------------------------------
+# slot-lifecycle properties (no worker processes: the arena alone)
+# ---------------------------------------------------------------------------
+
+
+class TestIpcModeParsing:
+    def test_accepts_known_modes(self):
+        assert parse_ipc_mode("pickle") == "pickle"
+        assert parse_ipc_mode(" shm ") == "shm"
+
+    @pytest.mark.parametrize("bad", ["mmap", "", None, 3])
+    def test_rejects_unknown_modes(self, bad):
+        with pytest.raises(SimulationError):
+            parse_ipc_mode(bad)
+
+
+class TestSlotArenaProperties:
+    SLOTS = 5
+
+    def _arena(self) -> ShmSlotArena:
+        return ShmSlotArena(
+            slot_batch=2, input_shape=(3,), output_size=2, slots=self.SLOTS
+        )
+
+    def test_randomized_acquire_release_resize_invariants(self):
+        """Seeded op sequence: never two owners, never a lost slot, drains free.
+
+        The acquire probe is non-blocking (``timeout_s=0``), so a refused
+        admission is observable rather than a hang; every step re-checks the
+        occupancy bookkeeping against the test's own shadow set.
+        """
+        rng = random.Random(0xC0FFEE)
+        arena = self._arena()
+        held: set = set()
+        try:
+            for _ in range(2000):
+                roll = rng.random()
+                if roll < 0.45:
+                    index = arena.acquire(timeout_s=0)
+                    snap = arena.snapshot()
+                    if index is not None:
+                        assert index not in held, "slot handed to two owners"
+                        assert 0 <= index < self.SLOTS
+                        held.add(index)
+                    else:
+                        # Admission correctly refused: all slots owned or the
+                        # resize limit is saturated.
+                        assert len(held) >= min(snap["slot_limit"], self.SLOTS)
+                elif roll < 0.85 and held:
+                    victim = rng.choice(sorted(held))
+                    held.discard(victim)
+                    arena.release(victim)
+                else:
+                    limit = arena.resize(rng.randint(1, self.SLOTS))
+                    assert 1 <= limit <= self.SLOTS
+                snap = arena.snapshot()
+                assert snap["slots_in_use"] == len(held), "slot lost or duplicated"
+                assert snap["slot_acquires"] - snap["slot_releases"] == len(held)
+            for index in sorted(held):
+                arena.release(index)
+            held.clear()
+            assert arena.fully_free, "drained arena must be fully free"
+        finally:
+            arena.close()
+        assert not _segment_path(arena).exists()
+
+    def test_release_without_acquire_is_rejected(self):
+        with self._arena() as arena:
+            index = arena.acquire(timeout_s=0)
+            arena.release(index)
+            with pytest.raises(ServeError):
+                arena.release(index)  # double release
+            with pytest.raises(ServeError):
+                arena.release(self.SLOTS - 1)  # never acquired
+
+    def test_resize_bounds_concurrent_admission(self):
+        with self._arena() as arena:
+            assert arena.resize(2) == 2
+            first, second = arena.acquire(timeout_s=0), arena.acquire(timeout_s=0)
+            assert first is not None and second is not None
+            assert arena.acquire(timeout_s=0) is None  # limit saturated
+            # Shrinking below the current occupancy is allowed and simply
+            # stops admitting until enough slots drain.
+            assert arena.resize(1) == 1
+            arena.release(first)
+            assert arena.acquire(timeout_s=0) is None  # still 1 in use, limit 1
+            arena.release(second)
+            assert arena.acquire(timeout_s=0) is not None
+            # Clamped into [1, slots].
+            assert arena.resize(0) == 1
+            assert arena.resize(99) == self.SLOTS
+
+    def test_closed_arena_refuses_admission_and_wakes_waiters(self):
+        arena = self._arena()
+        for _ in range(self.SLOTS):
+            assert arena.acquire(timeout_s=0) is not None
+        results = []
+        waiter = threading.Thread(
+            target=lambda: results.append(arena.acquire(timeout_s=30.0)),
+            name="shm-test-waiter",
+            daemon=True,
+        )
+        waiter.start()
+        time.sleep(0.05)  # let the waiter block on a fully-owned arena
+        arena.close()
+        waiter.join(timeout=30.0)
+        assert not waiter.is_alive(), "close() must wake blocked acquirers"
+        assert results == [None]
+        assert arena.acquire(timeout_s=0) is None
+
+    @needs_dev_shm
+    def test_worker_side_views_alias_the_same_bytes(self):
+        """An untracked attach sees exactly the bytes the parent wrote."""
+        with self._arena() as arena:
+            index = arena.acquire(timeout_s=0)
+            payload = np.arange(6.0).reshape(2, 3)
+            slot = arena.write_inputs(index, payload)
+            segment = attach_untracked(arena.layout.name)
+            try:
+                inputs, outputs = arena.layout.slot_views(segment.buf, slot.index)
+                assert np.array_equal(inputs[: slot.batch], payload)
+                outputs[: slot.batch] = payload[:, :2] * 10.0
+            finally:
+                segment.close()
+            assert np.array_equal(arena.read_outputs(slot), payload[:, :2] * 10.0)
+            arena.release(index)
+
+
+# ---------------------------------------------------------------------------
+# cross-process bitwise equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestCrossProcessBitwise:
+    def test_shm_pool_matches_run_batch(self, lenet_workload):
+        _, _, _, images, direct = lenet_workload
+        with _pool(lenet_workload, executor="process:2", slot_batch=8) as pool:
+            futures = [pool.submit(images[:5]), pool.submit(images[5:])]
+            outputs = np.concatenate([f.result() for f in futures], axis=0)
+            stats = pool.ipc_statistics()
+        assert np.array_equal(outputs, direct)
+        assert stats["mode"] == "shm" and stats["zero_copy_active"]
+        assert stats["copy_bytes_avoided"] > 0
+        assert stats["pickle_fallbacks"] == 0
+        assert stats["slots_in_use"] == 0  # every slot released
+
+    def test_oversized_batch_falls_back_to_pickle_bitwise(self, lenet_workload):
+        _, _, _, images, direct = lenet_workload
+        with _pool(lenet_workload, executor="process:1", slot_batch=2) as pool:
+            outputs = pool.run_batch(images)  # 8 rows > 2-row slots
+            stats = pool.ipc_statistics()
+        assert np.array_equal(outputs, direct)
+        assert stats["pickle_fallbacks"] == 1
+        assert stats["slot_acquires"] == 0
+
+    def test_resize_under_shm_stays_bitwise(self, lenet_workload):
+        _, _, _, images, direct = lenet_workload
+        with _pool(
+            lenet_workload, executor="process:1", max_count=3, slot_batch=8
+        ) as pool:
+            assert np.array_equal(pool.run_batch(images), direct)
+            assert pool.resize(3) == 3
+            futures = [pool.submit(images[i : i + 3]) for i in (0, 3, 6)]
+            grown = np.concatenate([f.result() for f in futures], axis=0)
+            assert np.array_equal(grown, direct)
+            assert pool.resize(1) == 1
+            assert np.array_equal(pool.run_batch(images), direct)
+
+
+# ---------------------------------------------------------------------------
+# concurrent stress: many threads x process replicas, no torn reads
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrentStress:
+    THREADS = 6
+    BATCHES_PER_THREAD = 3
+
+    def test_many_threads_process_replicas_no_torn_reads(self, lenet_workload):
+        """Every concurrently served batch must come back bitwise-correct.
+
+        Each thread repeatedly serves a random (seeded) row subset; a torn
+        read — a slot overwritten while a result was still being served, or
+        two dispatches sharing a slot — would surface as a row mismatch
+        against the direct reference outputs.
+        """
+        _, _, _, images, direct = lenet_workload
+        failures: list = []
+        with _pool(lenet_workload, executor="process:3", slot_batch=4) as pool:
+
+            def hammer(thread_index: int) -> None:
+                rng = random.Random(1000 + thread_index)
+                try:
+                    for _ in range(self.BATCHES_PER_THREAD):
+                        rows = sorted(
+                            rng.sample(range(len(images)), rng.randint(1, 4))
+                        )
+                        outputs = pool.submit(images[rows]).result(timeout=300.0)
+                        if not np.array_equal(outputs, direct[rows]):
+                            failures.append(
+                                f"thread {thread_index}: torn read on rows {rows}"
+                            )
+                except Exception as error:  # surfaces in the main thread
+                    failures.append(f"thread {thread_index}: {error!r}")
+
+            threads = [
+                threading.Thread(
+                    target=hammer, args=(i,), name=f"shm-stress-{i}", daemon=True
+                )
+                for i in range(self.THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=600.0)
+            assert not any(t.is_alive() for t in threads), "stress thread hung"
+            stats = pool.ipc_statistics()
+        assert not failures, "\n".join(failures)
+        assert stats["slot_acquires"] == self.THREADS * self.BATCHES_PER_THREAD
+        assert stats["slots_in_use"] == 0
+
+
+# ---------------------------------------------------------------------------
+# the spec payload cache (double-pickle fix)
+# ---------------------------------------------------------------------------
+
+
+class TestSpecSerializationCache:
+    def test_spec_pickled_once_across_replica_restarts(self, lenet_workload):
+        """Restarts reuse the cached payload: one serialization per pool, ever.
+
+        Two injected crashes force two supervision restarts; before the fix
+        every restart re-pickled the weight-laden spec through the fresh
+        ``ProcessPoolExecutor`` initializer.
+        """
+        _, _, _, images, direct = lenet_workload
+        before = spec_serialization_count()
+        with _pool(
+            lenet_workload,
+            executor="process:1",
+            slot_batch=8,
+            fault_injector=FaultInjector(["crash:at=1", "crash:at=3"]),
+            dispatch_timeout_s=120.0,
+            max_attempts=3,
+            backoff_base_s=0.0,
+        ) as pool:
+            for _ in range(3):
+                assert np.array_equal(pool.run_batch(images), direct)
+            restarts = pool.fault_statistics()["replica_restarts"]
+        assert restarts == 2
+        assert spec_serialization_count() - before == 1
+
+
+# ---------------------------------------------------------------------------
+# leak regression: /dev/shm must be clean after every way out
+# ---------------------------------------------------------------------------
+
+
+@needs_dev_shm
+class TestLeakRegression:
+    def test_clean_shutdown_unlinks_segment(self, lenet_workload):
+        _, _, _, images, direct = lenet_workload
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            pool = _pool(lenet_workload, executor="process:1", slot_batch=8)
+            try:
+                segment = _segment_path(pool._arena)
+                assert segment.exists(), "arena segment must be visible in /dev/shm"
+                assert np.array_equal(pool.run_batch(images), direct)
+            finally:
+                pool.close()
+            pool.close()  # idempotent: the unlink must not double-fire
+        assert not segment.exists(), "clean shutdown leaked the segment"
+        leaks = [w for w in caught if "shared_memory" in str(w.message).lower()]
+        assert not leaks, f"resource-tracker warnings: {leaks}"
+
+    def test_sigkill_mid_batch_leaves_no_segment(self, lenet_workload):
+        """Chaos path: a worker SIGKILLed mid-batch must not leak the segment.
+
+        The killed worker held an (untracked) attachment; the retry must
+        still serve the batch bitwise from the still-live slot, and close()
+        must still be the one and only unlink.
+        """
+        _, _, _, images, direct = lenet_workload
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            pool = _pool(
+                lenet_workload,
+                executor="process:1",
+                slot_batch=8,
+                fault_injector=FaultInjector(["crash:at=1"]),
+                dispatch_timeout_s=120.0,
+                max_attempts=3,
+                backoff_base_s=0.0,
+            )
+            try:
+                segment = _segment_path(pool._arena)
+                outputs = pool.run_batch(images)
+                faults = pool.fault_statistics()
+            finally:
+                pool.close()
+        assert np.array_equal(outputs, direct), "retry must re-read the live slot"
+        assert faults["replica_restarts"] == 1
+        assert not segment.exists(), "SIGKILL recovery leaked the segment"
+        leaks = [w for w in caught if "shared_memory" in str(w.message).lower()]
+        assert not leaks, f"resource-tracker warnings: {leaks}"
+
+    def test_serve_cli_sigterm_drain_unlinks_segments(self, tmp_path):
+        """The serve CLI under --ipc shm exits 0 on SIGTERM with /dev/shm clean."""
+        before = _live_segments()
+        ready_file = tmp_path / "serve-url.txt"
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(repo_root, "src"), env.get("PYTHONPATH")) if p
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--network", "lenet5", "--rows", "32", "--columns", "32",
+                "--executor", "process:2", "--ipc", "shm",
+                "--http", "0", "--ready-file", str(ready_file),
+            ],
+            cwd=repo_root, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if ready_file.exists() and ready_file.read_text().strip():
+                    break
+                if process.poll() is not None:
+                    break
+                time.sleep(0.1)
+            assert process.poll() is None, (
+                f"serve exited early:\n{process.stdout.read()}"
+            )
+            process.send_signal(signal.SIGTERM)
+            stdout, _ = process.communicate(timeout=120.0)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate(timeout=30.0)
+        assert process.returncode == 0, f"non-zero exit:\n{stdout}"
+        assert "leaked" not in stdout.lower(), f"resource tracker complained:\n{stdout}"
+        remaining = _live_segments() - before
+        assert not remaining, f"SIGTERM drain leaked segments: {sorted(remaining)}"
