@@ -21,6 +21,7 @@ machines.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import platform
 import sys
@@ -32,7 +33,15 @@ import numpy as np
 from repro.config import small_test_chip
 from repro.core.inference import FunctionalInferenceEngine, generate_random_weights
 from repro.nn import build_lenet5
-from repro.serve import InferenceServer, LoadGenerator, ModelDefinition, ModelRegistry
+from repro.serve import (
+    AsyncServeHTTPServer,
+    InferenceServer,
+    LoadGenerator,
+    ModelDefinition,
+    ModelRegistry,
+    ServeHTTPServer,
+)
+from repro.serve.http import encode_array_b64
 
 #: The benchmark scenario: LeNet on a dual-core 32x32 chip.
 _CHIP = dict(rows=32, columns=32, num_cores=2)
@@ -205,6 +214,137 @@ def _ipc_burst(network, weights, config, images) -> dict:
     return modes
 
 
+#: Concurrent keep-alive clients per front-end for the CI-sized scaling sweep
+#: (the full 100/500/2000 comparison lives in ``bench_serving.py``).
+_CONN_COUNTS = (50, 200, 500)
+
+
+async def _keepalive_wave(url: str, bodies, expected_b64, count: int) -> dict:
+    """``count`` concurrent keep-alive clients: one infer + one healthz each."""
+    host, port = url.split("//", 1)[1].rsplit(":", 1)
+    dial_gate = asyncio.Semaphore(64)  # spare the listen backlog
+    connected = 0
+    all_connected = asyncio.Event()
+    go = asyncio.Event()
+    mismatches = 0
+
+    async def read_response(reader):
+        status = (await reader.readline()).split(b" ")[1]
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.lower() == "content-length":
+                length = int(value.strip())
+        return status, await reader.readexactly(length)
+
+    async def client(index: int) -> None:
+        nonlocal connected, mismatches
+        async with dial_gate:
+            for attempt in range(20):
+                try:
+                    reader, writer = await asyncio.open_connection(host, int(port))
+                    break
+                except OSError:
+                    await asyncio.sleep(0.05 * (attempt + 1))
+            else:
+                raise OSError(f"client {index}: could not connect to {url}")
+        connected += 1
+        if connected == count:
+            all_connected.set()
+        await go.wait()
+        try:
+            body = bodies[index % len(bodies)]
+            writer.write(
+                b"POST /v1/infer HTTP/1.1\r\nHost: bench\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+            )
+            await writer.drain()
+            status, payload = await read_response(reader)
+            if status != b"200" or (
+                json.loads(payload).get("output_npy_b64")
+                != expected_b64[index % len(expected_b64)]
+            ):
+                mismatches += 1
+            writer.write(b"GET /healthz HTTP/1.1\r\nHost: bench\r\n\r\n")
+            await writer.drain()
+            status, _ = await read_response(reader)
+            if status != b"200":
+                mismatches += 1
+        finally:
+            writer.close()
+
+    tasks = [asyncio.create_task(client(i)) for i in range(count)]
+    try:
+        await asyncio.wait_for(all_connected.wait(), timeout=60.0)
+        start = time.perf_counter()
+        go.set()
+        await asyncio.wait_for(asyncio.gather(*tasks), timeout=120.0)
+        elapsed = time.perf_counter() - start
+    except BaseException:
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        raise
+    return {
+        "connections": count,
+        "all_ok_bitwise": mismatches == 0,
+        "serve_s": elapsed,
+        "throughput_rps": count / elapsed,
+    }
+
+
+def _conn_scaling(network, weights, config, images) -> dict:
+    """Threaded vs asyncio front-end under concurrent keep-alive clients.
+
+    The connection-scaling trajectory: every client holds one keep-alive
+    connection, sends one single-image infer (checked bitwise against a
+    direct ``run_batch`` through the base64 ``.npy`` encoding) plus one
+    healthz on the same socket.  A front-end that stops answering at a count
+    records an ``error`` entry instead of silently shrinking the sweep.
+    """
+    direct = FunctionalInferenceEngine(network, weights, config).run_batch(images)
+    bodies = [
+        json.dumps({"image_npy_b64": encode_array_b64(image)}).encode("ascii")
+        for image in images
+    ]
+    expected = [encode_array_b64(row) for row in direct]
+    out: dict = {}
+    for label, front_cls in (("threaded", ServeHTTPServer), ("async", AsyncServeHTTPServer)):
+        points = []
+        server = InferenceServer(
+            network,
+            weights,
+            config,
+            executor="thread:2",
+            max_batch=32,
+            max_wait_s=0.002,
+            queue_capacity=2 * max(_CONN_COUNTS),
+        )
+        with server:
+            server.serve_batch(images)  # warm: program tiles before timing
+            with front_cls(server, port=0) as front:
+                for count in _CONN_COUNTS:
+                    try:
+                        points.append(
+                            asyncio.run(_keepalive_wave(front.url, bodies, expected, count))
+                        )
+                    except (OSError, asyncio.TimeoutError) as error:
+                        points.append(
+                            {
+                                "connections": count,
+                                "all_ok_bitwise": False,
+                                "error": f"{type(error).__name__}: {error}",
+                            }
+                        )
+                        break  # larger counts would only time out again
+        out[label] = points
+    return out
+
+
 def _sharding_timings(network, weights, config, images) -> dict:
     """Warm-batch serial vs thread-sharded timings (bench_sharding smoke)."""
     timings = {}
@@ -252,6 +392,7 @@ def export(num_images: int) -> dict:
         "observability": _traced_burst(network, weights, config, images),
         "sharding": _sharding_timings(network, weights, config, images),
         "ipc": _ipc_burst(network, weights, config, images),
+        "async_conn_scaling": _conn_scaling(network, weights, config, images),
     }
 
 

@@ -93,6 +93,7 @@ from repro.serve import (
     ARRIVAL_PROCESSES,
     IPC_MODES,
     POLICY_KINDS,
+    AsyncServeHTTPServer,
     AutoscalerPolicy,
     CircuitBreakerPolicy,
     EngineReplicaSpec,
@@ -580,6 +581,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--host", default="127.0.0.1", help="HTTP bind host (default 127.0.0.1)"
     )
+    frontend = serve.add_mutually_exclusive_group()
+    frontend.add_argument(
+        "--async-http",
+        dest="async_http",
+        action="store_true",
+        default=True,
+        help=(
+            "HTTP mode: serve on the single-event-loop asyncio front-end "
+            "(the default) — keep-alive multiplexing, streamed NDJSON "
+            "responses and SSE progress events"
+        ),
+    )
+    frontend.add_argument(
+        "--legacy-http",
+        dest="async_http",
+        action="store_false",
+        help=(
+            "HTTP mode: serve on the legacy thread-per-connection front-end "
+            "instead of the asyncio one (kept one release as a fallback; no "
+            "streaming or SSE support)"
+        ),
+    )
     serve.add_argument(
         "--duration",
         type=_positive_float,
@@ -700,6 +723,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("json", "npy"),
         default="json",
         help="HTTP payload encoding for --url mode (npy is denser and bitwise-exact)",
+    )
+    loadgen.add_argument(
+        "--connections",
+        type=_positive_int,
+        default=16,
+        metavar="N",
+        help=(
+            "--url mode: keep-alive connection budget — at most N sockets "
+            "are held open and reused across requests (default 16)"
+        ),
     )
 
     subparsers.add_parser("workloads", help="list the bundled workload descriptions")
@@ -1144,8 +1177,9 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
     built = _built_entries(args)
     server = _make_server(args, built)
     hosted = ", ".join(name for name, _, _ in built)
+    front_cls = AsyncServeHTTPServer if getattr(args, "async_http", True) else ServeHTTPServer
     with server:
-        with ServeHTTPServer(
+        with front_cls(
             server,
             host=args.host,
             port=args.http,
@@ -1154,12 +1188,20 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
             if args.ready_file:
                 with open(args.ready_file, "w") as handle:
                     handle.write(front.url + "\n")
+            frontend_kind = "async" if front_cls is AsyncServeHTTPServer else "legacy threaded"
             print(
                 f"serving {hosted} (executor={args.executor}, "
                 f"policy={args.policy}, autoscale="
-                f"{'on' if args.autoscale else 'off'}) at {front.url}"
+                f"{'on' if args.autoscale else 'off'}, "
+                f"frontend={frontend_kind}) at {front.url}"
             )
             print(f"  POST {front.url}/v1/infer    — single image or batch (optional 'model')")
+            if front_cls is AsyncServeHTTPServer:
+                print(
+                    f"  POST {front.url}/v1/infer    — ... with 'stream': true for "
+                    "NDJSON streaming, 'request_id' for SSE progress"
+                )
+                print(f"  GET  {front.url}/v1/infer/ID/events — SSE progress stream")
             print(f"  GET  {front.url}/v1/models   — hosted-model listing")
             print(f"  GET  {front.url}/v1/stats    — SLO telemetry snapshot (?model=NAME)")
             print(f"  GET  {front.url}/metrics     — Prometheus text exposition")
@@ -1338,11 +1380,15 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     for point in points:
         if args.url:
             with HTTPInferenceClient(
-                args.url, encoding=encoding, max_retries=args.max_retries
+                args.url,
+                encoding=encoding,
+                max_retries=args.max_retries,
+                max_connections=getattr(args, "connections", 16),
             ) as client:
                 report = _run_load_point(
                     args, LoadGenerator(client), images, point, schedule
                 )
+                transport = client.transport_stats()
         else:
             with _make_server(args, built) as server:
                 report = _run_load_point(
@@ -1361,19 +1407,22 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         latency_source = (
             report.client_latency if (args.url or schedule is not None) else telemetry
         )
-        rows.append(
-            {
-                "load": point if args.mode == "open" else int(point),
-                "requests": report.requests,
-                "rejected": report.rejected,
-                "achieved_rps": report.achieved_rps,
-                "latency_p50_ms": latency_source["latency_p50_s"] * 1e3,
-                "latency_p99_ms": latency_source["latency_p99_s"] * 1e3,
-                "mean_batch_size": telemetry["mean_batch_size"],
-                "queue_depth_max": telemetry["queue_depth_max"],
-                "bitwise_match_vs_run_batch": bitwise,
-            }
-        )
+        row = {
+            "load": point if args.mode == "open" else int(point),
+            "requests": report.requests,
+            "rejected": report.rejected,
+            "achieved_rps": report.achieved_rps,
+            "latency_p50_ms": latency_source["latency_p50_s"] * 1e3,
+            "latency_p99_ms": latency_source["latency_p99_s"] * 1e3,
+            "mean_batch_size": telemetry["mean_batch_size"],
+            "queue_depth_max": telemetry["queue_depth_max"],
+            "bitwise_match_vs_run_batch": bitwise,
+        }
+        if args.url:
+            # How hard the keep-alive pool worked: dials vs reuses shows
+            # whether --connections actually bounded the socket count.
+            row["transport"] = transport
+        rows.append(row)
     # Each local load point gets a fresh server, so the exported trace covers
     # the last point of the sweep (a remote --url target has no local tracer).
     _export_trace(args, last_server)

@@ -67,11 +67,13 @@ from repro.serve.faults import (
 )
 from repro.serve.registry import ModelDefinition, ModelRegistry
 from repro.serve.http import (
+    API_ROUTES,
     HTTPInferenceClient,
     ServeHTTPServer,
     decode_array_b64,
     encode_array_b64,
 )
+from repro.serve.http_async import AsyncServeHTTPServer
 from repro.serve.loadgen import (
     ARRIVAL_PROCESSES,
     LoadGenerator,
@@ -81,7 +83,12 @@ from repro.serve.loadgen import (
     poisson_arrivals,
 )
 from repro.serve.server import InferenceServer
-from repro.serve.telemetry import LatencyReservoir, ServeTelemetry, latency_summary
+from repro.serve.telemetry import (
+    FrontendTelemetry,
+    LatencyReservoir,
+    ServeTelemetry,
+    latency_summary,
+)
 from repro.serve.shm import (
     DEFAULT_SLOT_BATCH,
     IPC_MODES,
@@ -102,9 +109,11 @@ from repro.serve.workers import (
 )
 
 __all__ = [
+    "API_ROUTES",
     "ARRIVAL_PROCESSES",
     "AdaptiveFlushPolicy",
     "AnalyticalCostModel",
+    "AsyncServeHTTPServer",
     "Autoscaler",
     "AutoscalerPolicy",
     "AutoscalerState",
@@ -123,6 +132,7 @@ __all__ = [
     "FaultRule",
     "FixedFlushPolicy",
     "FlushPolicy",
+    "FrontendTelemetry",
     "HTTPInferenceClient",
     "InferenceServer",
     "LatencyReservoir",

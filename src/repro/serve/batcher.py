@@ -411,6 +411,9 @@ class MicroBatcher:
         self._cond = make_condition("MicroBatcher._cond")
         self._closed = False
         self._seq = 0
+        # EWMA of batch service time, fed by observe_batch(); powers the
+        # Retry-After hint the HTTP front-ends attach to 429 responses.
+        self._ewma_batch_s: Optional[float] = None
 
     # ------------------------------------------------------------------ producer
     @property
@@ -536,7 +539,31 @@ class MicroBatcher:
 
     def observe_batch(self, size: int, service_time_s: float) -> None:
         """Forward a completed batch's service time to the flush policy."""
+        with self._cond:
+            if self._ewma_batch_s is None:
+                self._ewma_batch_s = float(service_time_s)
+            else:
+                self._ewma_batch_s += 0.3 * (float(service_time_s) - self._ewma_batch_s)
         self.policy.observe_batch(size, service_time_s)
+
+    def retry_after_hint_s(self) -> float:
+        """Estimated seconds until a queue slot frees (backpressure hint).
+
+        Used by the HTTP front-ends for the ``Retry-After`` header on 429
+        responses: the number of flush targets queued ahead times the EWMA
+        batch service time, clamped to [0.05 s, 30 s].  Before any batch has
+        completed there is no service-time signal, so the hint defaults to
+        one second (the smallest value the wire can express anyway — HTTP
+        Retry-After is whole seconds, rounded up).
+        """
+        with self._cond:
+            depth = len(self._queue)
+            ewma = self._ewma_batch_s
+            target = max(1, min(int(self.policy.target_batch()), self.capacity))
+        if ewma is None:
+            return 1.0
+        batches_ahead = max(1, -(-depth // target))
+        return min(30.0, max(0.05, batches_ahead * ewma))
 
     # ------------------------------------------------------------------ lifecycle
     def close(self, drain: bool = True) -> None:

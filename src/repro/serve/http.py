@@ -1,12 +1,22 @@
-"""HTTP front-end and client for the online inference server.
+"""HTTP front-ends and client for the online inference server.
 
-:class:`ServeHTTPServer` puts a socket in front of an
-:class:`~repro.serve.server.InferenceServer`, so external clients can drive
-the dynamic micro-batcher over the wire — a stdlib
-:class:`~http.server.ThreadingHTTPServer`, one handler thread per in-flight
-HTTP request, every request funnelled through the *same* ``submit()`` path
-in-process callers use.  In-order delivery and bitwise determinism are
-therefore preserved: the HTTP layer only encodes and decodes payloads.
+Two front-ends speak the same ``/v1`` API over one
+:class:`~repro.serve.server.InferenceServer`:
+
+* :class:`~repro.serve.http_async.AsyncServeHTTPServer` (the default) — a
+  single-event-loop asyncio front-end multiplexing thousands of keep-alive
+  connections, with NDJSON streaming responses and SSE progress (see
+  ``repro.serve.http_async``);
+* :class:`ServeHTTPServer` (this module) — the legacy stdlib
+  :class:`~http.server.ThreadingHTTPServer`, one handler thread per
+  connection, kept one release as a ``--legacy-http`` fallback.
+
+Both funnel every request through the *same* ``submit()`` path in-process
+callers use, so in-order delivery and bitwise determinism are preserved:
+the HTTP layer only encodes and decodes payloads.  The shared route table
+(:data:`API_ROUTES`), payload codecs and request/submission helpers in this
+module are what keep the two front-ends byte-for-byte compatible — and what
+``docs/http-api.md`` is checked against by the docs-freshness test.
 
 Endpoints
 ---------
@@ -18,8 +28,15 @@ Endpoints
     An optional ``{"model": name}`` field routes to one of the server's
     hosted models (absent → the default model, preserving the single-model
     API); unknown names are a 404.  ``{"block": false}`` turns queue
-    overflow into an HTTP 429 instead of blocking the connection (open-loop
-    shedding over the wire).
+    overflow into an HTTP 429 with a ``Retry-After`` backpressure hint
+    instead of blocking the connection (open-loop shedding over the wire).
+    On the async front-end ``{"stream": true}`` switches the response to
+    chunked newline-delimited JSON (one item per line as the re-order
+    buffer releases it) and ``{"request_id": "..."}`` names the request so
+    its progress can be followed over SSE.
+``GET /v1/infer/{request_id}/events``
+    Server-sent-events progress for a named in-flight request (async
+    front-end only; 404 on the legacy server).
 ``GET /v1/models``
     The hosted-model listing: name, network, input shape, executor, current
     replica count and autoscaling bounds per model, plus the default name.
@@ -89,6 +106,23 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 
 #: Payload encodings understood by the client (the server accepts both).
 ENCODINGS = ("json", "npy_b64")
+
+#: The complete serving API: ``(method, route template)`` pairs.  Both
+#: front-ends register exactly these routes, ``docs/http-api.md`` documents
+#: exactly these routes, and ``tests/test_docs.py`` diffs the two — so the
+#: endpoint reference cannot drift from the implementation.  The SSE events
+#: route is answered only by the async front-end (404 on the legacy one);
+#: ``POST /v1/shutdown`` only when the front-end opted in.
+API_ROUTES = (
+    ("GET", "/healthz"),
+    ("GET", "/metrics"),
+    ("GET", "/v1/models"),
+    ("GET", "/v1/stats"),
+    ("GET", "/v1/trace/{trace_id}"),
+    ("GET", "/v1/infer/{request_id}/events"),
+    ("POST", "/v1/infer"),
+    ("POST", "/v1/shutdown"),
+)
 
 
 # ---------------------------------------------------------------------------
@@ -170,6 +204,234 @@ def _json_default(value):
     return float(value)
 
 
+def dump_json(payload: object) -> bytes:
+    """The one JSON serialization both front-ends use for response bodies."""
+    return json.dumps(payload, default=_json_default).encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# shared request handling (used by both front-ends)
+# ---------------------------------------------------------------------------
+
+
+class InferRequest:
+    """A validated ``POST /v1/infer`` body, front-end independent."""
+
+    __slots__ = (
+        "model",
+        "images",
+        "batched",
+        "encoding",
+        "block",
+        "timeout",
+        "stream",
+        "request_id",
+    )
+
+    def __init__(self, model, images, batched, encoding, block, timeout, stream, request_id):
+        self.model = model
+        self.images = images
+        self.batched = batched
+        self.encoding = encoding
+        self.block = block
+        self.timeout = timeout
+        self.stream = stream
+        self.request_id = request_id
+
+
+def parse_infer_request(
+    payload: object, server: InferenceServer, allow_stream: bool = False
+) -> InferRequest:
+    """Validate a ``POST /v1/infer`` payload against ``server``'s models.
+
+    Raises :class:`BadRequestError` on malformed fields and
+    :class:`UnknownModelError` for unknown model names (the model resolves
+    first, so unknown names 404 before shape validation — which depends on
+    the model's input shape).  ``allow_stream`` gates the ``stream`` field:
+    only the async front-end can actually stream, so the legacy server
+    rejects it explicitly instead of silently ignoring it.
+    """
+    model = None
+    if isinstance(payload, dict) and "model" in payload:
+        model = payload["model"]
+        if not isinstance(model, str):
+            raise BadRequestError(f"'model' must be a JSON string, got {model!r}")
+    input_shape = server.input_shape(model)
+    images, batched, encoding = decode_infer_payload(payload, input_shape)
+    block = payload.get("block", True)
+    if not isinstance(block, bool):
+        raise BadRequestError(f"'block' must be a JSON boolean, got {block!r}")
+    timeout = payload.get("timeout_s")
+    if timeout is not None and (
+        isinstance(timeout, bool) or not isinstance(timeout, (int, float))
+    ):
+        raise BadRequestError(f"'timeout_s' must be a JSON number, got {timeout!r}")
+    stream = payload.get("stream", False)
+    if not isinstance(stream, bool):
+        raise BadRequestError(f"'stream' must be a JSON boolean, got {stream!r}")
+    if stream and not allow_stream:
+        raise BadRequestError(
+            "'stream' responses require the async front-end "
+            "(serve --http without --legacy-http)"
+        )
+    request_id = payload.get("request_id")
+    if request_id is not None and (not isinstance(request_id, str) or not request_id):
+        raise BadRequestError(
+            f"'request_id' must be a non-empty JSON string, got {request_id!r}"
+        )
+    return InferRequest(model, images, batched, encoding, block, timeout, stream, request_id)
+
+
+def submit_images(server: InferenceServer, request: InferRequest) -> list:
+    """Admit every image of ``request`` via ``server.submit``; returns futures.
+
+    Only passes ``model=`` when the request named one: ``submit()`` may be
+    wrapped (tests spy on it, middleware may decorate it) with the narrower
+    pre-multi-model signature, and default-model requests should not require
+    the wrapper to grow a kwarg it never uses.
+
+    On queue overflow, part of the batch may already be admitted; those
+    requests are waited out so the engine work completes and telemetry stays
+    consistent, then the overflow is re-raised with the admitted count and a
+    ``retry_after_s`` backpressure hint (the 429 response's ``Retry-After``).
+    """
+    futures = []
+    overflow = None
+    submit_kwargs = {} if request.model is None else {"model": request.model}
+    for image in request.images:
+        try:
+            futures.append(
+                server.submit(
+                    image, block=request.block, timeout=request.timeout, **submit_kwargs
+                )
+            )
+        except QueueOverflowError as error:
+            overflow = error
+            break
+    if overflow is None:
+        return futures
+    for future in futures:
+        try:
+            future.result()
+        except Exception:  # repro: noqa[RPR105] - draining
+            pass  # already-admitted work; the overflow itself is
+            # reported to the client right below
+    rejection = QueueOverflowError(
+        f"{overflow} ({len(futures)} of {len(request.images)} images "
+        "admitted and executed before overflow)"
+    )
+    hint = getattr(server, "admission_retry_after_s", None)
+    if hint is not None:
+        rejection.retry_after_s = float(hint(request.model))  # type: ignore[attr-defined]
+    raise rejection
+
+
+def infer_response_body(
+    outputs: np.ndarray, request: InferRequest, latency_ms: float
+) -> Dict[str, object]:
+    """The non-streamed ``POST /v1/infer`` response body (both front-ends)."""
+    body: Dict[str, object] = {"count": int(outputs.shape[0]), "latency_ms": latency_ms}
+    if request.model is not None:
+        body["model"] = request.model
+    if request.request_id is not None:
+        body["request_id"] = request.request_id
+    if request.encoding == "npy_b64":
+        key = "outputs_npy_b64" if request.batched else "output_npy_b64"
+        body[key] = encode_array_b64(outputs if request.batched else outputs[0])
+    elif request.batched:
+        body["outputs"] = outputs.tolist()
+    else:
+        body["output"] = outputs[0].tolist()
+    return body
+
+
+def stream_item_body(index: int, output: np.ndarray, encoding: str) -> Dict[str, object]:
+    """One NDJSON line of a streamed response.
+
+    The per-item encoding mirrors the non-streamed body exactly — the same
+    ``encode_array_b64`` / ``tolist()`` serialization of the same output row
+    — so streamed and non-streamed responses byte-compare equal item-wise.
+    """
+    if encoding == "npy_b64":
+        return {"index": int(index), "output_npy_b64": encode_array_b64(output)}
+    return {"index": int(index), "output": output.tolist()}
+
+
+def status_for_error(error: BaseException) -> int:
+    """The serve exception hierarchy → HTTP status mapping (both front-ends)."""
+    if isinstance(error, QueueOverflowError):
+        return 429
+    if isinstance(error, BadRequestError):
+        return 400
+    if isinstance(error, UnknownModelError):
+        return 404  # the model name addresses a resource, like a path
+    if isinstance(error, ServeError):
+        # Includes CircuitOpenError: breaker shed-load is 503 with a
+        # Retry-After header (see retry_after_headers), like lifecycle errors.
+        return 503
+    return 500
+
+
+def error_body(error: BaseException) -> Dict[str, object]:
+    """Every error response body is ``{"error": msg, "type": ExceptionName}``."""
+    return {"error": str(error), "type": type(error).__name__}
+
+
+def retry_after_headers(error: BaseException) -> Optional[Dict[str, str]]:
+    """``Retry-After`` header for errors carrying a ``retry_after_s`` hint.
+
+    Whole seconds, rounded up: the client must not come back early.
+    """
+    retry_after_s = getattr(error, "retry_after_s", None)
+    if retry_after_s is None:
+        return None
+    return {"Retry-After": str(max(1, int(-(-float(retry_after_s) // 1))))}
+
+
+def models_payload(server: InferenceServer) -> Dict[str, object]:
+    """The ``GET /v1/models`` body."""
+    return {"default": server.default_model, "models": server.models()}
+
+
+def trace_payload(server: InferenceServer, trace_id: str) -> Dict[str, object]:
+    """The ``GET /v1/trace/{trace_id}`` body; raises ServeError for 404s."""
+    tracer = getattr(server, "tracer", None)
+    if tracer is None:
+        raise ServeError("tracing is disabled on this server")
+    trace = tracer.get(trace_id)
+    if trace is None:
+        raise ServeError(f"unknown trace {trace_id!r}")
+    return trace
+
+
+def health_payload(server: InferenceServer, uptime_s: float) -> Dict[str, object]:
+    """The ``/healthz`` body: legacy summary plus live/ready/degraded.
+
+    ``status`` stays ``"ok"`` on a healthy server (probes and older callers
+    key on it); it reads ``"degraded"`` while a model is recovering and
+    ``"down"`` when nothing can admit traffic.
+    """
+    levels = server.health_levels()
+    if levels["live"] and levels["ready"]:
+        status = "degraded" if levels["degraded"] else "ok"
+    else:
+        status = "down"
+    return {
+        "status": status,
+        "live": levels["live"],
+        "ready": levels["ready"],
+        "degraded": levels["degraded"],
+        "model_health": levels["models"],
+        "network": server.network.name,
+        "input_shape": list(server.network.input_shape.as_tuple()),
+        "executor": str(server.executor),
+        "policy": server.policy.kind,
+        "models": server.model_names(),
+        "default_model": server.default_model,
+        "uptime_s": uptime_s,
+    }
+
+
 # ---------------------------------------------------------------------------
 # server
 # ---------------------------------------------------------------------------
@@ -201,13 +463,7 @@ class _ServeHTTPHandler(BaseHTTPRequestHandler):
                 return
             self._send_json(200, stats)
         elif parts.path == "/v1/models":
-            self._send_json(
-                200,
-                {
-                    "default": self.front.server.default_model,
-                    "models": self.front.server.models(),
-                },
-            )
+            self._send_json(200, models_payload(self.front.server))
         elif parts.path == "/metrics":
             registry = getattr(self.front.server, "metrics", None)
             if registry is None:
@@ -215,16 +471,11 @@ class _ServeHTTPHandler(BaseHTTPRequestHandler):
                 return
             self._send_text(200, registry.render_prometheus(), PROMETHEUS_CONTENT_TYPE)
         elif parts.path.startswith("/v1/trace/"):
-            tracer = getattr(self.front.server, "tracer", None)
-            if tracer is None:
-                self._send_error(404, ServeError("tracing is disabled on this server"))
-                return
             trace_id = urllib.parse.unquote(parts.path[len("/v1/trace/") :])
-            trace = tracer.get(trace_id)
-            if trace is None:
-                self._send_error(404, ServeError(f"unknown trace {trace_id!r}"))
-                return
-            self._send_json(200, trace)
+            try:
+                self._send_json(200, trace_payload(self.front.server, trace_id))
+            except ServeError as error:
+                self._send_error(404, error)
         else:
             self._send_error(404, ServeError(f"unknown path {self.path!r}"))
 
@@ -242,74 +493,17 @@ class _ServeHTTPHandler(BaseHTTPRequestHandler):
         start = time.monotonic()
         try:
             payload = self._read_json_body()
-            model = None
-            if isinstance(payload, dict) and "model" in payload:
-                model = payload["model"]
-                if not isinstance(model, str):
-                    raise BadRequestError(
-                        f"'model' must be a JSON string, got {model!r}"
-                    )
-            # Resolve the model first so unknown names 404 before payload
-            # shape validation (which depends on the model's input shape).
-            input_shape = self.front.server.input_shape(model)
-            images, batched, encoding = decode_infer_payload(payload, input_shape)
-            block = payload.get("block", True)
-            if not isinstance(block, bool):
-                raise BadRequestError(f"'block' must be a JSON boolean, got {block!r}")
-            timeout = payload.get("timeout_s")
-            if timeout is not None and (
-                isinstance(timeout, bool) or not isinstance(timeout, (int, float))
-            ):
-                raise BadRequestError(
-                    f"'timeout_s' must be a JSON number, got {timeout!r}"
-                )
-            futures = []
-            overflow = None
-            # Only pass model= when the request named one: submit() may be
-            # wrapped (tests spy on it, middleware may decorate it) with the
-            # narrower pre-multi-model signature, and default-model requests
-            # should not require the wrapper to grow a kwarg it never uses.
-            submit_kwargs = {} if model is None else {"model": model}
-            for image in images:
-                try:
-                    futures.append(
-                        self.front.server.submit(
-                            image, block=block, timeout=timeout, **submit_kwargs
-                        )
-                    )
-                except QueueOverflowError as error:
-                    overflow = error
-                    break
-            if overflow is not None:
-                # Part of the batch may already be admitted; wait those
-                # requests out so the engine work completes and telemetry
-                # stays consistent, then report the overflow with the count.
-                for future in futures:
-                    try:
-                        future.result()
-                    except Exception:  # repro: noqa[RPR105] - draining
-                        pass  # already-admitted work; the overflow itself is
-                        # reported to the client right below
-                raise QueueOverflowError(
-                    f"{overflow} ({len(futures)} of {len(images)} images "
-                    "admitted and executed before overflow)"
-                )
+            # allow_stream=False: one thread per connection cannot stream
+            # incrementally without starving the pool, so 'stream' is an
+            # explicit 400 here (the async front-end accepts it).
+            request = parse_infer_request(payload, self.front.server, allow_stream=False)
+            futures = submit_images(self.front.server, request)
             outputs = np.stack([future.result() for future in futures])
         except Exception as error:
             self._send_error(self._status_for(error), error)
             return
         latency_ms = (time.monotonic() - start) * 1e3
-        body: Dict[str, object] = {"count": int(outputs.shape[0]), "latency_ms": latency_ms}
-        if model is not None:
-            body["model"] = model
-        if encoding == "npy_b64":
-            key = "outputs_npy_b64" if batched else "output_npy_b64"
-            body[key] = encode_array_b64(outputs if batched else outputs[0])
-        elif batched:
-            body["outputs"] = outputs.tolist()
-        else:
-            body["output"] = outputs[0].tolist()
-        self._send_json(200, body)
+        self._send_json(200, infer_response_body(outputs, request, latency_ms))
 
     # ------------------------------------------------------------------ plumbing
     def _read_json_body(self) -> object:
@@ -333,19 +527,7 @@ class _ServeHTTPHandler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as error:
             raise BadRequestError(f"request body is not valid JSON: {error}") from error
 
-    @staticmethod
-    def _status_for(error: BaseException) -> int:
-        if isinstance(error, QueueOverflowError):
-            return 429
-        if isinstance(error, BadRequestError):
-            return 400
-        if isinstance(error, UnknownModelError):
-            return 404  # the model name addresses a resource, like a path
-        if isinstance(error, ServeError):
-            # Includes CircuitOpenError: breaker shed-load is 503 with a
-            # Retry-After header (see _send_error), like lifecycle errors.
-            return 503
-        return 500
+    _status_for = staticmethod(status_for_error)
 
     def _send_json(
         self,
@@ -353,7 +535,7 @@ class _ServeHTTPHandler(BaseHTTPRequestHandler):
         payload: Dict[str, object],
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        body = json.dumps(payload, default=_json_default).encode("utf-8")
+        body = dump_json(payload)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -371,16 +553,7 @@ class _ServeHTTPHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _send_error(self, status: int, error: BaseException) -> None:
-        headers = None
-        retry_after_s = getattr(error, "retry_after_s", None)
-        if retry_after_s is not None:
-            # Whole seconds, rounded up: the client must not come back early.
-            headers = {"Retry-After": str(max(1, int(-(-float(retry_after_s) // 1))))}
-        self._send_json(
-            status,
-            {"error": str(error), "type": type(error).__name__},
-            headers=headers,
-        )
+        self._send_json(status, error_body(error), headers=retry_after_headers(error))
 
 
 class ServeHTTPServer:
@@ -425,7 +598,13 @@ class ServeHTTPServer:
         if self._httpd is not None:
             raise ServeError("HTTP front-end already started")
         handler = type("BoundServeHTTPHandler", (_ServeHTTPHandler,), {"front": self})
-        self._httpd = ThreadingHTTPServer((self.host, self._requested_port), handler)
+        # The socketserver default listen backlog (5) refuses bursts of
+        # concurrent dials long before the thread-per-connection model is the
+        # bottleneck; match the asyncio front-end's backlog instead.
+        server_cls = type(
+            "BoundServeHTTPServer", (ThreadingHTTPServer,), {"request_queue_size": 128}
+        )
+        self._httpd = server_cls((self.host, self._requested_port), handler)
         self._httpd.daemon_threads = True
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, name="serve-http", daemon=True
@@ -471,34 +650,11 @@ class ServeHTTPServer:
         return f"http://{host}:{self.port}"
 
     def health(self) -> Dict[str, object]:
-        """The ``/healthz`` body: legacy summary plus live/ready/degraded.
-
-        ``status`` stays ``"ok"`` on a healthy server (probes and older
-        callers key on it); it reads ``"degraded"`` while a model is
-        recovering and ``"down"`` when nothing can admit traffic.
-        """
+        """The ``/healthz`` body (see :func:`health_payload`)."""
         uptime = (
             time.monotonic() - self._started_ts if self._started_ts is not None else 0.0
         )
-        levels = self.server.health_levels()
-        if levels["live"] and levels["ready"]:
-            status = "degraded" if levels["degraded"] else "ok"
-        else:
-            status = "down"
-        return {
-            "status": status,
-            "live": levels["live"],
-            "ready": levels["ready"],
-            "degraded": levels["degraded"],
-            "model_health": levels["models"],
-            "network": self.server.network.name,
-            "input_shape": list(self.server.network.input_shape.as_tuple()),
-            "executor": str(self.server.executor),
-            "policy": self.server.policy.kind,
-            "models": self.server.model_names(),
-            "default_model": self.server.default_model,
-            "uptime_s": uptime,
-        }
+        return health_payload(self.server, uptime)
 
     def request_shutdown(self) -> None:
         """Signal whoever owns the front-end (see :meth:`wait`) to stop it.
@@ -545,6 +701,15 @@ class HTTPInferenceClient:
     retrying a ``POST /v1/infer`` cannot change the result.  Definite
     rejections (400, 404, 429) are never retried: shed-load accounting
     requires every 429 to surface exactly once.
+
+    **Connections.**  Requests reuse keep-alive connections from an idle
+    pool (at most ``max_connections`` retained) instead of dialing per
+    request, so a load generator with ``--connections N`` holds N
+    keep-alive sockets against the async front-end.  A pooled connection
+    the server closed while idle gets one silent retry on a fresh dial —
+    that is transport housekeeping, not a request retry, so it does not
+    count against ``max_retries``.  :meth:`transport_stats` exposes the
+    dial/reuse counters.
     """
 
     def __init__(
@@ -591,6 +756,12 @@ class HTTPInferenceClient:
         self._retry_rng = random.Random(retry_seed)
         self._retry_lock = make_lock("HTTPInferenceClient._retry_lock")
         self._retries_performed = 0
+        self._max_connections = int(max_connections)
+        self._pool_lock = make_lock("HTTPInferenceClient._pool_lock")
+        self._pool: list = []  # idle keep-alive connections (LIFO)
+        self._connections_opened = 0
+        self._connections_reused = 0
+        self._closed = False
         self._executor = ThreadPoolExecutor(
             max_workers=max_connections, thread_name_prefix="http-client"
         )
@@ -601,6 +772,79 @@ class HTTPInferenceClient:
         """Total transport retries this client has made (telemetry)."""
         with self._retry_lock:
             return self._retries_performed
+
+    def transport_stats(self) -> Dict[str, int]:
+        """Connection-pool counters: dials, reuses, idle size, retries."""
+        with self._pool_lock:
+            stats = {
+                "connections_opened": self._connections_opened,
+                "connections_reused": self._connections_reused,
+                "connections_idle": len(self._pool),
+            }
+        stats["retries_performed"] = self.retries_performed
+        return stats
+
+    def _dial(self):
+        connection_cls = (
+            http.client.HTTPSConnection
+            if self._scheme == "https"
+            else http.client.HTTPConnection
+        )
+        connection = connection_cls(
+            self._host, self._port, timeout=self.connect_timeout_s
+        )
+        try:
+            connection.connect()
+        except (TimeoutError, OSError) as error:
+            raise self._transport_error("connect to", error) from error
+        # Separate read budget: the connect timeout guarded the dial,
+        # everything after runs on the per-read timeout.
+        if connection.sock is not None:
+            connection.sock.settimeout(self.timeout_s)
+        with self._pool_lock:
+            self._connections_opened += 1
+        return connection
+
+    def _acquire(self):
+        """An idle pooled connection if one exists, else a fresh dial."""
+        with self._pool_lock:
+            if self._pool:
+                self._connections_reused += 1
+                return self._pool.pop(), True
+        return self._dial(), False
+
+    def _release(self, connection, reusable: bool) -> None:
+        if reusable:
+            with self._pool_lock:
+                if not self._closed and len(self._pool) < self._max_connections:
+                    self._pool.append(connection)
+                    return
+        connection.close()
+
+    def _open_response(self, method: str, path: str, body: Optional[bytes]):
+        """Send one request and return ``(connection, response)``, body unread.
+
+        A pooled connection can go stale while idle (server-side keep-alive
+        timeout, server restart); failures on a *reused* connection get one
+        silent retry on a fresh dial before surfacing, and that retry does
+        not count against ``max_retries`` — the request was never delivered.
+        """
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection, reused = self._acquire()
+        try:
+            connection.request(method, self._path_prefix + path, body=body, headers=headers)
+            return connection, connection.getresponse()
+        except (TimeoutError, OSError, http.client.HTTPException) as error:
+            connection.close()
+            if not reused:
+                raise self._transport_error("read from", error) from error
+        connection = self._dial()
+        try:
+            connection.request(method, self._path_prefix + path, body=body, headers=headers)
+            return connection, connection.getresponse()
+        except (TimeoutError, OSError, http.client.HTTPException) as error:
+            connection.close()
+            raise self._transport_error("read from", error) from error
 
     def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
         """One API call with bounded, jittered, Retry-After-aware retries."""
@@ -624,39 +868,16 @@ class HTTPInferenceClient:
 
     def _request_once(self, method: str, path: str, payload: Optional[dict]) -> dict:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
-        connection_cls = (
-            http.client.HTTPSConnection
-            if self._scheme == "https"
-            else http.client.HTTPConnection
-        )
-        connection = connection_cls(
-            self._host, self._port, timeout=self.connect_timeout_s
-        )
+        connection, response = self._open_response(method, path, body)
         try:
-            try:
-                connection.connect()
-            except (TimeoutError, OSError) as error:
-                raise self._transport_error("connect to", error) from error
-            # Separate read budget: the connect timeout guarded the dial,
-            # everything after runs on the per-read timeout.
-            if connection.sock is not None:
-                connection.sock.settimeout(self.timeout_s)
-            try:
-                connection.request(
-                    method,
-                    self._path_prefix + path,
-                    body=body,
-                    headers={"Content-Type": "application/json"} if body else {},
-                )
-                response = connection.getresponse()
-                status = response.status
-                reason = response.reason
-                retry_after = response.getheader("Retry-After")
-                raw = response.read()
-            except (TimeoutError, OSError, http.client.HTTPException) as error:
-                raise self._transport_error("read from", error) from error
-        finally:
+            status = response.status
+            reason = response.reason
+            retry_after = response.getheader("Retry-After")
+            raw = response.read()
+        except (TimeoutError, OSError, http.client.HTTPException) as error:
             connection.close()
+            raise self._transport_error("read from", error) from error
+        self._release(connection, not response.will_close)
         if status >= 400:
             raise self._mapped_error(status, reason, raw, retry_after)
         try:
@@ -764,8 +985,17 @@ class HTTPInferenceClient:
         block: bool = True,
         timeout: Optional[float] = None,
         model: Optional[str] = None,
+        stream: bool = False,
     ) -> np.ndarray:
-        """Run a whole batch in one HTTP request; returns (B, num_outputs)."""
+        """Run a whole batch in one HTTP request; returns (B, num_outputs).
+
+        ``stream=True`` consumes the response as NDJSON items instead of one
+        body (async front-end only) — same outputs, same order, but the
+        server starts sending as soon as the first item completes.
+        """
+        if stream:
+            rows = [output for _, output in self.infer_stream(images, block, timeout, model)]
+            return np.stack(rows)
         images = np.asarray(images, dtype=float)
         if self.encoding == "npy_b64":
             payload = {"images_npy_b64": encode_array_b64(images)}
@@ -776,6 +1006,162 @@ class HTTPInferenceClient:
         if "outputs_npy_b64" in body:
             return decode_array_b64(body["outputs_npy_b64"])
         return np.asarray(body["outputs"], dtype=float)
+
+    def infer_stream(
+        self,
+        images: np.ndarray,
+        block: bool = True,
+        timeout: Optional[float] = None,
+        model: Optional[str] = None,
+        request_id: Optional[str] = None,
+    ):
+        """Stream a batch's per-item results as they complete (async front-end).
+
+        Yields ``(index, output_vector)`` pairs in submission order — the
+        server releases items through the same in-order path as the
+        non-streamed response, so indices arrive ``0, 1, 2, ...``.  A
+        mid-stream failure raises the mapped serve exception after all
+        earlier items were yielded.  ``request_id`` names the request so a
+        second connection can follow it via :meth:`events`.
+        """
+        images = np.asarray(images, dtype=float)
+        if self.encoding == "npy_b64":
+            payload: dict = {"images_npy_b64": encode_array_b64(images)}
+        else:
+            payload = {"images": images.tolist()}
+        self._admission_fields(payload, block, timeout, model)
+        payload["stream"] = True
+        if request_id is not None:
+            payload["request_id"] = request_id
+        for item in self._ndjson_items("/v1/infer", payload):
+            if "error" in item:
+                raise self._item_error(item)
+            if item.get("done"):
+                return
+            if "output_npy_b64" in item:
+                yield int(item["index"]), decode_array_b64(item["output_npy_b64"])
+            else:
+                yield int(item["index"]), np.asarray(item["output"], dtype=float)
+
+    def events(self, request_id: str):
+        """Follow SSE progress for a named request (``GET .../events``).
+
+        Yields ``{"event": name, "data": payload}`` dicts — ``progress``
+        events while the request runs, one final ``done`` — then returns.
+        Unknown request ids raise :class:`ServeError` (HTTP 404).
+        """
+        path = f"/v1/infer/{urllib.parse.quote(request_id)}/events"
+        connection, response = self._open_response("GET", path, None)
+        complete = False
+        try:
+            if response.status >= 400:
+                raw = response.read()
+                complete = not response.will_close
+                raise self._mapped_error(
+                    response.status,
+                    response.reason,
+                    raw,
+                    response.getheader("Retry-After"),
+                )
+            event_name: Optional[str] = None
+            data_lines: list = []
+            while True:
+                try:
+                    line = response.readline()
+                except (TimeoutError, OSError, http.client.HTTPException) as error:
+                    raise self._transport_error("read from", error) from error
+                if not line:
+                    complete = not response.will_close
+                    return
+                text = line.decode("utf-8").rstrip("\r\n")
+                if not text:  # blank line dispatches the accumulated event
+                    if data_lines:
+                        data = json.loads("\n".join(data_lines))
+                        name = event_name or "message"
+                        if name == "done":
+                            # Drain before yielding: a consumer that stops at
+                            # the terminal event closes this generator at the
+                            # yield, and the connection must already be marked
+                            # reusable by then.
+                            response.read()  # drain the terminal chunk
+                            complete = not response.will_close
+                            yield {"event": name, "data": data}
+                            return
+                        yield {"event": name, "data": data}
+                    event_name, data_lines = None, []
+                elif text.startswith("event:"):
+                    event_name = text[len("event:") :].strip()
+                elif text.startswith("data:"):
+                    data_lines.append(text[len("data:") :].strip())
+        finally:
+            self._release(connection, complete)
+
+    def _ndjson_items(self, path: str, payload: dict):
+        """POST ``payload`` and yield each NDJSON line of the response."""
+        body = json.dumps(payload).encode("utf-8")
+        connection, response = self._open_response("POST", path, body)
+        complete = False
+        try:
+            if response.status >= 400:
+                raw = response.read()
+                complete = not response.will_close
+                raise self._mapped_error(
+                    response.status,
+                    response.reason,
+                    raw,
+                    response.getheader("Retry-After"),
+                )
+            while True:
+                try:
+                    line = response.readline()
+                except (TimeoutError, OSError, http.client.HTTPException) as error:
+                    raise self._transport_error("read from", error) from error
+                if not line:
+                    # EOF without a terminal item; the body is exhausted, so
+                    # the socket is still reusable unless the server asked to
+                    # close it.
+                    complete = not response.will_close
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    item = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise ServeError(
+                        f"invalid NDJSON line from {self.base_url}: {error}"
+                    ) from error
+                if isinstance(item, dict) and (item.get("done") or "error" in item):
+                    # Drain before yielding the terminal item: consumers stop
+                    # iterating the moment they see it (``infer_stream``
+                    # returns on ``done``, raises on ``error``), which closes
+                    # this generator at the yield — the connection must
+                    # already be marked reusable by then.
+                    try:
+                        response.read()  # drain the terminal chunk for reuse
+                        complete = not response.will_close
+                    except (TimeoutError, OSError, http.client.HTTPException):
+                        complete = False
+                    yield item
+                    return
+                yield item
+        finally:
+            self._release(connection, complete)
+
+    _ITEM_ERROR_TYPES = {
+        "QueueOverflowError": QueueOverflowError,
+        "BadRequestError": BadRequestError,
+        "UnknownModelError": UnknownModelError,
+        "ServeError": ServeError,
+    }
+
+    @classmethod
+    def _item_error(cls, item: dict) -> ServeError:
+        """Map a mid-stream ``{"index", "error", "type"}`` line to an exception."""
+        message = f"item {item.get('index')}: {item.get('error', 'inference failed')}"
+        if item.get("type") == "CircuitOpenError":
+            return CircuitOpenError(message)
+        return cls._ITEM_ERROR_TYPES.get(item.get("type", ""), ServeError)(message)
 
     def submit(
         self,
@@ -822,6 +1208,11 @@ class HTTPInferenceClient:
     # ------------------------------------------------------------------ lifecycle
     def close(self) -> None:
         self._executor.shutdown(wait=True)
+        with self._pool_lock:
+            self._closed = True
+            idle, self._pool = self._pool, []
+        for connection in idle:
+            connection.close()
 
     def __enter__(self) -> "HTTPInferenceClient":
         return self

@@ -783,6 +783,16 @@ class InferenceServer:
         runtime = self._runtime(model)
         return runtime.pool.count if runtime.pool is not None else 0
 
+    def admission_retry_after_s(self, model: Optional[str] = None) -> float:
+        """Backpressure hint: seconds until ``model``'s queue likely has room.
+
+        The HTTP front-ends attach this as the ``Retry-After`` header on
+        429 (queue overflow) responses, so shedding surfaces as actionable
+        backpressure instead of a bare rejection.  See
+        :meth:`MicroBatcher.retry_after_hint_s` for the estimate.
+        """
+        return self._runtime(model).batcher.retry_after_hint_s()
+
     # ------------------------------------------------------------------ health
     def health_levels(self) -> Dict[str, object]:
         """Kubernetes-style live / ready / degraded health summary.

@@ -496,3 +496,139 @@ def _percentiles(values: Sequence[float]) -> List[float]:
         return [0.0 for _ in LATENCY_PERCENTILES]
     array = np.asarray(values, dtype=float)
     return [float(np.percentile(array, q)) for q in LATENCY_PERCENTILES]
+
+
+@thread_shared
+class FrontendTelemetry:
+    """Thread-safe counters for one HTTP front-end (connections and routes).
+
+    The serving telemetry above describes the *engine* side of a request
+    (admission, batching, delivery); this sink describes the *wire* side —
+    how many sockets are open, how many requests each route answered with
+    which status class, and how much of the traffic used the streaming /
+    SSE surfaces.  The async front-end records into one of these and
+    exports it via :meth:`register_metrics`; the connection gauge is what
+    distinguishes "one thread per client" saturation from event-loop
+    multiplexing on a dashboard.
+    """
+
+    def __init__(self) -> None:
+        self._lock = make_lock("FrontendTelemetry._lock")
+        self._connections_opened = 0
+        self._connections_active = 0
+        self._requests: Counter = Counter()  # (route, status) -> count
+        self._streams_started = 0
+        self._stream_items = 0
+        self._sse_streams = 0
+        self._sse_events = 0
+
+    def connection_opened(self) -> None:
+        with self._lock:
+            self._connections_opened += 1
+            self._connections_active += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self._connections_active -= 1
+
+    def record_request(self, route: str, status: int) -> None:
+        """One answered request: ``route`` is the route template, not the URL."""
+        with self._lock:
+            self._requests[(str(route), int(status))] += 1
+
+    def record_stream(self, items: int) -> None:
+        """One finished NDJSON streaming response that delivered ``items``."""
+        with self._lock:
+            self._streams_started += 1
+            self._stream_items += int(items)
+
+    def record_sse(self, events: int) -> None:
+        """One finished SSE subscription that emitted ``events`` events."""
+        with self._lock:
+            self._sse_streams += 1
+            self._sse_events += int(events)
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "connections_opened": self._connections_opened,
+                "connections_active": self._connections_active,
+                "requests": {
+                    f"{route} {status}": count
+                    for (route, status), count in sorted(self._requests.items())
+                },
+                "streams_started": self._streams_started,
+                "stream_items": self._stream_items,
+                "sse_streams": self._sse_streams,
+                "sse_events": self._sse_events,
+            }
+
+    def register_metrics(self, registry, labels: Optional[Dict[str, str]] = None) -> None:
+        """Export into a :class:`repro.obs.MetricsRegistry` (scrape-time)."""
+        base = dict(labels or {})
+
+        def _collect():
+            with self._lock:
+                requests = dict(self._requests)
+                opened = self._connections_opened
+                active = self._connections_active
+                streams = self._streams_started
+                stream_items = self._stream_items
+                sse_streams = self._sse_streams
+                sse_events = self._sse_events
+            families = [
+                {
+                    "name": "repro_http_connections_opened_total",
+                    "type": "counter",
+                    "help": "TCP connections accepted by the HTTP front-end.",
+                    "samples": [(base, float(opened))],
+                },
+                {
+                    "name": "repro_http_connections_active",
+                    "type": "gauge",
+                    "help": "Currently open HTTP connections.",
+                    "samples": [(base, float(active))],
+                },
+                {
+                    "name": "repro_http_streamed_items_total",
+                    "type": "counter",
+                    "help": "Per-item results delivered over NDJSON streaming responses.",
+                    "samples": [(base, float(stream_items))],
+                },
+                {
+                    "name": "repro_http_streams_total",
+                    "type": "counter",
+                    "help": "Streaming (NDJSON) inference responses served.",
+                    "samples": [(base, float(streams))],
+                },
+                {
+                    "name": "repro_http_sse_streams_total",
+                    "type": "counter",
+                    "help": "Server-sent-event progress subscriptions served.",
+                    "samples": [(base, float(sse_streams))],
+                },
+                {
+                    "name": "repro_http_sse_events_total",
+                    "type": "counter",
+                    "help": "Server-sent events emitted.",
+                    "samples": [(base, float(sse_events))],
+                },
+            ]
+            if requests:
+                families.append(
+                    {
+                        "name": "repro_http_requests_total",
+                        "type": "counter",
+                        "help": "HTTP requests answered, by route template and status.",
+                        "samples": [
+                            (
+                                {**base, "route": route, "status": str(status)},
+                                float(count),
+                            )
+                            for (route, status), count in sorted(requests.items())
+                        ],
+                    }
+                )
+            return families
+
+        registry.register_collector(_collect)

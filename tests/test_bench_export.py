@@ -42,6 +42,7 @@ def test_export_writes_schema_ci_uploads(export_json_module, tmp_path, capsys):
         "observability",
         "sharding",
         "ipc",
+        "async_conn_scaling",
     }
     assert payload["meta"]["workload"] == "lenet5"
     for scenario in ("batch_1", "dynamic_batching"):
@@ -79,6 +80,17 @@ def test_export_writes_schema_ci_uploads(export_json_module, tmp_path, capsys):
     assert ipc["shm"]["copy_bytes_avoided"] > 0
     assert ipc["shm"]["pickle_fallbacks"] == 0
     assert ipc["pickle"]["copy_bytes_avoided"] == 0
+    scaling = payload["async_conn_scaling"]
+    assert set(scaling) == {"threaded", "async"}
+    for frontend, points in scaling.items():
+        assert points, f"{frontend} sweep is empty"
+        for point in points:
+            assert point["connections"] > 0
+            if "error" not in point:
+                assert point["all_ok_bitwise"] is True, (frontend, point)
+                assert point["throughput_rps"] > 0
+    # The async front-end must clear every sweep point outright.
+    assert all("error" not in point for point in scaling["async"])
 
 
 def test_export_rejects_bad_request_counts(export_json_module, tmp_path):
@@ -98,6 +110,8 @@ def test_ci_workflow_runs_every_lane():
         "python -m pytest -q -m chaos",
         "python -m pytest -q -m obs",
         "python -m pytest -q -m shm -W error::UserWarning",
+        "python -m pytest -q -m asynchttp",
+        "tests/test_docs.py::test_http_api_doc_matches_registered_routes",
         "python -m pytest -q benchmarks -m smoke",
         "python benchmarks/export_json.py --output BENCH_serving.json",
         "--trace-out TRACE_serving.json",

@@ -125,3 +125,44 @@ def test_setup_long_description_points_at_readme():
     source = (REPO_ROOT / "setup.py").read_text()
     assert "README.md" in source
     assert "long_description" in source
+
+
+def test_http_api_doc_matches_registered_routes():
+    """docs/http-api.md and the servers' route table must not diverge.
+
+    Both directions are checked: every route in :data:`repro.serve.API_ROUTES`
+    (the table both front-ends register) must be documented with a
+    '### METHOD /path' heading, and every such heading in the doc must name a
+    registered route.  This is the docs-freshness gate CI runs — adding an
+    endpoint without documenting it (or documenting one that does not exist)
+    fails the build.
+    """
+    import re
+
+    from repro.serve import API_ROUTES
+
+    doc = (REPO_ROOT / "docs" / "http-api.md").read_text()
+    documented = set(
+        re.findall(r"^### `(GET|POST) (/[^`]*)`", doc, flags=re.MULTILINE)
+    )
+    registered = {(method, route) for method, route in API_ROUTES}
+    missing = registered - documented
+    assert not missing, (
+        f"routes registered on the server but missing from docs/http-api.md: "
+        f"{sorted(missing)}"
+    )
+    phantom = documented - registered
+    assert not phantom, (
+        f"routes documented in docs/http-api.md but not registered on the "
+        f"server: {sorted(phantom)}"
+    )
+
+
+def test_new_docs_are_linked_from_readme_and_serving_doc():
+    """The PR's acceptance: both new docs exist and README links them."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    serving = (REPO_ROOT / "docs" / "serving.md").read_text()
+    for target in ("docs/http-api.md", "docs/operations.md"):
+        assert (REPO_ROOT / target).exists(), f"{target} is missing"
+        assert target in readme, f"README.md does not link {target}"
+    assert "http-api.md" in serving, "docs/serving.md does not link http-api.md"
